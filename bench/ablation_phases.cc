@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Robustness study: phase-synchronized benign contention.
+ *
+ * CC-Hunter's premise is that *recurrent conflict patterns* mean covert
+ * signalling.  Real programs have phases; two divide-heavy programs
+ * whose active phases happen to alternate produce contention bursts
+ * that recur with the phase period — a structure the detector cannot,
+ * in principle, tell apart from a deliberately modulated channel.  This
+ * harness maps the boundary:
+ *
+ *  - unphased and randomly-phased pairs stay below the likelihood
+ *    threshold (the contention density decays smoothly);
+ *  - tightly phase-locked pairs can cross it — an honest limitation
+ *    shared with the paper's framework, which motivates its pairing of
+ *    detection with administrator review rather than automatic
+ *    punishment.
+ */
+
+#include <algorithm>
+#include <memory>
+
+#include "auditor/cc_auditor.hh"
+#include "auditor/daemon.hh"
+#include "bench/common.hh"
+#include "workloads/synthetic.hh"
+
+using namespace cchunter;
+using namespace cchunter::bench;
+
+namespace
+{
+
+SyntheticParams
+divHeavy(std::uint64_t seed, Tick on, Tick off, bool saturating)
+{
+    SyntheticParams p;
+    p.name = saturating ? "saturating-div" : "phased-div";
+    p.seed = seed;
+    if (saturating) {
+        // Back-to-back long division batches: the unit never idles
+        // during the active phase (the trojan's behaviour, but with an
+        // innocent purpose).
+        p.memFraction = 0.0;
+        p.divideFraction = 0.98;
+        p.divideOpsMin = 1000;
+        p.divideOpsMax = 2000;
+    } else {
+        p.memFraction = 0.2;
+        p.divideFraction = 0.5;
+        p.divideOpsMin = 8;
+        p.divideOpsMax = 40;
+    }
+    p.computeMin = 100;
+    p.computeMax = 400;
+    p.phaseOnTicks = on;
+    p.phaseOffTicks = off;
+    return p;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const Config cfg = Config::fromArgs(argc, argv);
+    const Tick quantum = cfg.getUint("quantum", 25000000);
+    const std::size_t quanta = cfg.getUint("quanta", 4);
+
+    banner("Robustness: phase-synchronized benign contention",
+           "Two divide-heavy programs with alternating activity "
+           "phases, from unphased to\ntightly phase-locked.");
+
+    struct Row
+    {
+        const char* name;
+        Tick on, off;
+        bool saturating;
+    };
+    const Row rows[] = {
+        {"unphased, realistic mix", 0, 0, false},
+        {"loose phases (11 ms / 7 ms)", 27500000, 17500000, false},
+        {"phase-locked (1 ms / 1 ms)", 2500000, 2500000, false},
+        {"phase-locked (100 us / 100 us)", 250000, 250000, false},
+        {"SATURATING phase-locked (1 ms / 1 ms)", 2500000, 2500000,
+         true},
+    };
+
+    TableWriter t({"pair phasing", "conflict events", "likelihood",
+                   "verdict", "note"});
+    for (const auto& row : rows) {
+        MachineParams mp;
+        mp.scheduler.quantum = quantum;
+        Machine machine(mp);
+        machine.addProcess(
+            std::make_unique<SyntheticWorkload>(
+                divHeavy(1, row.on, row.off, row.saturating)),
+            0);
+        machine.addProcess(
+            std::make_unique<SyntheticWorkload>(
+                divHeavy(2, row.on, row.off, row.saturating)),
+            1);
+
+        CCAuditor auditor(machine);
+        const AuditKey key = requestAuditKey(true);
+        auditor.monitorDivider(key, 0, 0);
+        AuditDaemon daemon(machine, auditor);
+        machine.runQuanta(quanta);
+
+        const auto verdict = daemon.analyzeContention(0);
+        const double lr =
+            std::max(verdict.combined.likelihoodRatio,
+                     verdict.recurrence.maxLikelihoodRatio);
+        t.addRow({row.name,
+                  fmtInt(static_cast<long long>(
+                      machine.divider(0).totalConflicts())),
+                  fmtDouble(lr, 3),
+                  verdict.detected ? "flagged" : "clean",
+                  verdict.detected
+                      ? "phase-locked contention mimics signalling"
+                      : "-"});
+    }
+    t.render(std::cout);
+    std::printf("\nrealistic mixes stay clean at every phasing: "
+                "benign contention densities spread\nsmoothly instead "
+                "of clustering, so the valley/likelihood tests reject "
+                "them.  Only a\npair that *saturates* the unit in "
+                "lock-step — statistically identical to a trojan\n"
+                "signalling all-ones — reaches the gray zone, which "
+                "the paper resolves by keeping an\nadministrator in "
+                "the loop after detection.\n");
+    return 0;
+}

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Analysis-kernel timing (paper section V-B): the pattern-clustering
+ * algorithm runs every 51.2 s and takes at most 0.25 s per computation
+ * (0.02 s with feature-dimension reduction); the autocorrelation
+ * analysis runs every OS time quantum (0.1 s) and takes at most
+ * 0.001 s.  These google-benchmark measurements confirm the software
+ * analyses are cheap enough to run as background daemons.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "detect/autocorrelation.hh"
+#include "detect/burst_detector.hh"
+#include "detect/detector.hh"
+#include "detect/event_density.hh"
+#include "detect/kmeans.hh"
+#include "detect/pattern_clustering.hh"
+#include "util/rng.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+std::vector<double>
+makeLabelSeries(std::size_t n)
+{
+    std::vector<double> s;
+    s.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        s.push_back((i / 256) % 2 ? 1.0 : 0.0);
+    return s;
+}
+
+std::vector<Histogram>
+makeQuanta(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Histogram> quanta;
+    quanta.reserve(n);
+    for (std::size_t q = 0; q < n; ++q) {
+        Histogram h(128);
+        h.addSample(0, 2000 + rng.nextBelow(500));
+        if (q % 2) {
+            h.addSample(19 + rng.nextBelow(3), 100 + rng.nextBelow(50));
+            h.addSample(20, 200 + rng.nextBelow(50));
+        } else {
+            h.addSample(1, rng.nextBelow(20));
+            h.addSample(2, rng.nextBelow(8));
+        }
+        quanta.push_back(std::move(h));
+    }
+    return quanta;
+}
+
+/**
+ * Autocorrelation over one quantum's conflict events at the paper's
+ * scale (lags up to 1000).  Paper budget: 1 ms per quantum.
+ */
+void
+BM_AutocorrelogramQuantum(benchmark::State& state)
+{
+    const auto series =
+        makeLabelSeries(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        auto gram = autocorrelogram(series, 1000);
+        benchmark::DoNotOptimize(gram);
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AutocorrelogramQuantum)->Arg(2048)->Arg(8192)->Arg(32768);
+
+/**
+ * Full pattern-clustering pass over a 512-quantum window.  Paper
+ * budget: 0.25 s worst case without feature-dimension reduction,
+ * 0.02 s with it.
+ */
+void
+BM_PatternClusteringWindow(benchmark::State& state)
+{
+    const auto quanta =
+        makeQuanta(static_cast<std::size_t>(state.range(0)), 7);
+    PatternClusteringParams params;
+    params.maxFeatureDims =
+        static_cast<std::size_t>(state.range(1));
+    PatternClusteringAnalyzer analyzer(params);
+    for (auto _ : state) {
+        auto result = analyzer.analyze(quanta);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_PatternClusteringWindow)
+    ->Args({64, 0})
+    ->Args({512, 0})   // all 128 dims (paper: <= 0.25 s)
+    ->Args({512, 16}); // reduced (paper: <= 0.02 s)
+
+/** Burst analysis of one density histogram. */
+void
+BM_BurstAnalysis(benchmark::State& state)
+{
+    auto quanta = makeQuanta(1, 11);
+    BurstDetector detector;
+    for (auto _ : state) {
+        auto a = detector.analyze(quanta[0]);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_BurstAnalysis);
+
+/** Density-histogram construction from a raw event train. */
+void
+BM_EventDensityHistogram(benchmark::State& state)
+{
+    Rng rng(3);
+    EventTrain train(0, 250000000);
+    Tick now = 0;
+    for (int i = 0; i < 50000; ++i) {
+        now += rng.nextBelow(5000) + 1;
+        train.addEvent(now);
+    }
+    for (auto _ : state) {
+        auto h = buildEventDensityHistogram(train, 100000);
+        benchmark::DoNotOptimize(h);
+    }
+}
+BENCHMARK(BM_EventDensityHistogram);
+
+/** k-means over 512 discretized histograms (the clustering core). */
+void
+BM_KMeans512(benchmark::State& state)
+{
+    Rng rng(5);
+    std::vector<std::vector<double>> points;
+    for (int i = 0; i < 512; ++i) {
+        std::vector<double> p(128, 0.0);
+        p[0] = 10.0;
+        p[20] = (i % 2) ? 8.0 + rng.nextDouble() : 0.0;
+        p[1] = rng.nextDouble();
+        points.push_back(std::move(p));
+    }
+    KMeansParams params;
+    params.k = 4;
+    for (auto _ : state) {
+        auto r = kmeans(points, params);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_KMeans512);
+
+/** End-to-end contention verdict over a 512-quantum window. */
+void
+BM_ContentionVerdict512(benchmark::State& state)
+{
+    const auto quanta = makeQuanta(512, 13);
+    CCHunter hunter;
+    for (auto _ : state) {
+        auto v = hunter.analyzeContention(quanta);
+        benchmark::DoNotOptimize(v);
+    }
+}
+BENCHMARK(BM_ContentionVerdict512);
+
+} // namespace
+} // namespace cchunter
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Table I: area, power and latency estimates of the CC-Auditor
+ * hardware (histogram buffers, registers, conflict-miss detector),
+ * from the Cacti-like analytical cost model.
+ */
+
+#include "bench/common.hh"
+#include "cost/auditor_cost.hh"
+
+using namespace cchunter;
+using namespace cchunter::bench;
+
+int
+main(int argc, char** argv)
+{
+    const Config cfg = Config::fromArgs(argc, argv);
+    AuditorCostConfig config;
+    config.cacheBlocks = cfg.getUint("cache_blocks", 4096);
+    config.histogramEntries = cfg.getUint("hist_entries", 128);
+    config.vectorRegisterBytes = cfg.getUint("vector_bytes", 128);
+
+    banner("Table I",
+           "Area, power and latency estimates of the CC-Auditor "
+           "(paper values from Cacti 5.3).");
+
+    const AuditorCostReport r = estimateAuditorCost(config);
+
+    TableWriter t({"", "Histogram Buffers", "Registers",
+                   "Conflict Miss Detector", "paper (H/R/C)"});
+    t.addRow({"Area (mm^2)",
+              fmtDouble(r.histogramBuffers.areaMm2, 4),
+              fmtDouble(r.registers.areaMm2, 4),
+              fmtDouble(r.conflictMissDetector.areaMm2, 4),
+              "0.0028 / 0.0011 / 0.004"});
+    t.addRow({"Power (mW)",
+              fmtDouble(r.histogramBuffers.powerMw, 1),
+              fmtDouble(r.registers.powerMw, 1),
+              fmtDouble(r.conflictMissDetector.powerMw, 1),
+              "2.8 / 0.8 / 5.4"});
+    t.addRow({"Latency (ns)",
+              fmtDouble(r.histogramBuffers.latencyNs, 2),
+              fmtDouble(r.registers.latencyNs, 2),
+              fmtDouble(r.conflictMissDetector.latencyNs, 2),
+              "0.17 / 0.17 / 0.12"});
+    t.render(std::cout);
+
+    std::printf("\ncontext (paper section V-A1):\n");
+    std::printf("  total area:   %.4f mm^2 = %.5f%% of a 263 mm^2 "
+                "Intel i7 die (insignificant)\n",
+                r.total().areaMm2, 100.0 * r.areaFractionOfI7());
+    std::printf("  total power:  %.1f mW = %.5f%% of the i7's 130 W "
+                "peak (a few milliwatts)\n",
+                r.total().powerMw, 100.0 * r.powerFractionOfI7());
+    std::printf("  worst latency: %.2f ns = %.0f%% of the 0.33 ns "
+                "clock period at 3 GHz (sub-cycle)\n",
+                r.total().latencyNs,
+                100.0 * r.latencyOverClockPeriod());
+    std::printf("  cache metadata: +%.1f%% L2 access latency "
+                "(paper: ~1.5%%)\n",
+                100.0 * r.cacheMetadataLatencyOverhead());
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Bus-lock forensics: sweep a memory-bus covert channel across
+ * bandwidths and watch the indicator statistics CC-Hunter extracts —
+ * the lock-density histograms, the likelihood ratios, and the final
+ * verdicts.  Demonstrates that the detector keys on the *pattern* of
+ * conflicts rather than their absolute rate.
+ *
+ * Usage: bus_lock_forensics [quanta=6] [seed=1]
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "scenario/experiment.hh"
+#include "util/config.hh"
+#include "util/table_writer.hh"
+
+using namespace cchunter;
+
+int
+main(int argc, char** argv)
+{
+    const Config cfg = Config::fromArgs(argc, argv);
+
+    TableWriter table({"bandwidth (bps)", "locks", "burst peak bin",
+                       "likelihood", "BER", "verdict"});
+    bool all_detected = true;
+
+    for (double bandwidth : {100.0, 500.0, 2000.0}) {
+        ScenarioOptions opts;
+        opts.bandwidthBps = bandwidth;
+        opts.quantum = 25000000;
+        opts.quanta = cfg.getUint("quanta", 6);
+        opts.seed = cfg.getUint("seed", 1);
+
+        const BusScenarioResult r = runBusScenario(opts);
+        all_detected &= r.verdict.detected;
+        table.addRow({fmtDouble(bandwidth, 0),
+                      fmtInt(static_cast<long long>(r.lockEvents)),
+                      fmtInt(static_cast<long long>(
+                          r.verdict.combined.burstPeakBin)),
+                      fmtDouble(r.verdict.combined.likelihoodRatio, 3),
+                      fmtDouble(r.bitErrorRate, 3),
+                      r.verdict.detected ? "DETECTED" : "missed"});
+    }
+
+    std::printf("memory-bus covert channel forensics "
+                "(atomic-unaligned bus locks as indicator events)\n\n");
+    table.render(std::cout);
+    std::printf("\nacross bandwidths the burst density per delta-t "
+                "stays tied to the lock pacing,\nso the likelihood "
+                "ratio remains decisive.\n");
+    return all_detected ? 0 : 1;
+}

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The CC-Auditor hardware device (paper section V-A).
+ *
+ * The instruction set is augmented with a privileged instruction that
+ * programs the auditor to watch selected shared hardware units; here
+ * that instruction is modelled by the monitor* methods, which demand an
+ * AuditKey that the OS only grants to administrators (section V-B).
+ *
+ * To bound cost, the auditor monitors at most two units at a time
+ * (`maxSlots`).  A slot programmed on a combinational unit (memory bus,
+ * integer divider) owns a Δt count-down register, a 16-bit accumulator
+ * and a 128-entry histogram buffer; a slot programmed on a cache owns
+ * the generation-based conflict-miss tracker and the pair of 128-byte
+ * vector registers.
+ */
+
+#ifndef CCHUNTER_AUDITOR_CC_AUDITOR_HH
+#define CCHUNTER_AUDITOR_CC_AUDITOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "auditor/conflict_miss_tracker.hh"
+#include "auditor/histogram_buffer.hh"
+#include "auditor/lru_stack_tracker.hh"
+#include "auditor/vector_register.hh"
+#include "sim/machine.hh"
+#include "util/types.hh"
+
+namespace cchunter
+{
+
+/** What a slot is monitoring. */
+enum class MonitorTarget : std::uint8_t
+{
+    None,
+    MemoryBus,
+    IntegerDivider,
+    IntegerMultiplier,
+    L2Cache,
+};
+
+/**
+ * Capability proving the caller passed the OS authorization check for
+ * the privileged audit instruction.
+ */
+class AuditKey
+{
+  public:
+    bool valid() const { return valid_; }
+
+  private:
+    friend AuditKey requestAuditKey(bool is_admin);
+    bool valid_ = false;
+};
+
+/**
+ * OS-side authorization: only administrators receive a valid key
+ * (prevents sensitive system-activity data from leaking to attackers).
+ * Fatal when the requester is not privileged.
+ */
+AuditKey requestAuditKey(bool is_admin);
+
+/** Paper default Δt for the memory-bus channel: 100,000 cycles. */
+constexpr Tick busDeltaT = 100000;
+
+/** Paper default Δt for the integer-divider channel: 500 cycles. */
+constexpr Tick dividerDeltaT = 500;
+
+/** Δt for the multiplier (shorter op latency -> denser conflicts). */
+constexpr Tick multiplierDeltaT = 300;
+
+/**
+ * The auditor device attached to one machine.
+ */
+class CCAuditor
+{
+  public:
+    static constexpr unsigned maxSlots = 2;
+
+    /**
+     * @param machine Machine whose units can be audited.
+     * @param num_slots Units monitorable at once.  Defaults to the
+     *        paper's low-overhead configuration of two; super-secure
+     *        environments that can ignore performance constraints may
+     *        enable more (up to maxSuperSecureSlots).
+     */
+    explicit CCAuditor(Machine& machine, unsigned num_slots = maxSlots);
+    ~CCAuditor();
+
+    /** Upper bound for the super-secure configuration. */
+    static constexpr unsigned maxSuperSecureSlots = 16;
+
+    /** Slots available on this auditor instance. */
+    unsigned numSlots() const { return numSlots_; }
+
+    CCAuditor(const CCAuditor&) = delete;
+    CCAuditor& operator=(const CCAuditor&) = delete;
+
+    /** Program `slot` to count memory-bus lock events. */
+    void monitorBus(const AuditKey& key, unsigned slot,
+                    Tick delta_t = busDeltaT);
+
+    /** Program `slot` to count divider wait conflicts on `core`. */
+    void monitorDivider(const AuditKey& key, unsigned slot,
+                        unsigned core, Tick delta_t = dividerDeltaT);
+
+    /** Program `slot` to count multiplier wait conflicts on `core`. */
+    void monitorMultiplier(const AuditKey& key, unsigned slot,
+                           unsigned core,
+                           Tick delta_t = multiplierDeltaT);
+
+    /** Program `slot` to track conflict misses on `core`'s L2 with the
+     *  practical generation/bloom tracker. */
+    void monitorCache(const AuditKey& key, unsigned slot, unsigned core,
+                      ConflictTrackerParams params = {});
+
+    /**
+     * Program `slot` with the *ideal* fully-associative LRU-stack
+     * tracker instead (too expensive for real hardware; the reference
+     * the practical scheme approximates — paper section V-A).
+     */
+    void monitorCacheIdeal(const AuditKey& key, unsigned slot,
+                           unsigned core);
+
+    /** Stop monitoring on `slot` and release its hardware. */
+    void stopMonitor(const AuditKey& key, unsigned slot);
+
+    /** @return true when the slot is programmed. */
+    bool slotActive(unsigned slot) const;
+
+    /** Target the slot is programmed on. */
+    MonitorTarget slotTarget(unsigned slot) const;
+
+    /** Histogram buffer of a contention slot (nullptr otherwise). */
+    HistogramBuffer* histogramBuffer(unsigned slot);
+
+    /** Vector registers of a cache slot (nullptr otherwise). */
+    ConflictVectorRegisters* vectorRegisters(unsigned slot);
+
+    /** Practical conflict-miss tracker of a cache slot (nullptr when
+     *  the slot is not a practical-tracker cache monitor). */
+    ConflictMissTracker* tracker(unsigned slot);
+
+    /** Ideal LRU-stack tracker of a cache slot (nullptr when the slot
+     *  is not an ideal-tracker cache monitor). */
+    LruStackTracker* idealTracker(unsigned slot);
+
+    Machine& machine() { return machine_; }
+
+  private:
+    struct SlotState
+    {
+        bool active = false;
+        MonitorTarget target = MonitorTarget::None;
+        unsigned core = 0;
+        std::unique_ptr<HistogramBuffer> histogram;
+        std::unique_ptr<ConflictMissTracker> cacheTracker;
+        std::unique_ptr<LruStackTracker> idealTracker;
+        std::unique_ptr<ConflictVectorRegisters> vectors;
+    };
+
+    void checkKey(const AuditKey& key) const;
+    void checkSlot(unsigned slot) const;
+    void release(unsigned slot);
+
+    Machine& machine_;
+    unsigned numSlots_;
+    std::vector<std::shared_ptr<SlotState>> slots_;
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_AUDITOR_CC_AUDITOR_HH

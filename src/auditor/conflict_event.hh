@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The conflict-miss event record shared by the trackers, the vector
+ * registers and the daemon.
+ */
+
+#ifndef CCHUNTER_AUDITOR_CONFLICT_EVENT_HH
+#define CCHUNTER_AUDITOR_CONFLICT_EVENT_HH
+
+#include <functional>
+
+#include "util/types.hh"
+
+namespace cchunter
+{
+
+/**
+ * One identified conflict miss: the replacer (context requesting the
+ * incoming block) and the victim (owner context recorded in the
+ * metadata of the block being displaced).
+ */
+struct ConflictMissEvent
+{
+    Tick time = 0;
+    ContextId replacer = invalidContext;
+    ContextId victim = invalidContext;
+};
+
+/** Listener invoked for each identified conflict miss. */
+using ConflictMissListener =
+    std::function<void(const ConflictMissEvent&)>;
+
+} // namespace cchunter
+
+#endif // CCHUNTER_AUDITOR_CONFLICT_EVENT_HH

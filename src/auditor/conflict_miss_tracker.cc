@@ -1,0 +1,121 @@
+#include "auditor/conflict_miss_tracker.hh"
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+ConflictMissTracker::ConflictMissTracker(std::size_t num_blocks,
+                                         ConflictTrackerParams params)
+    : numBlocks_(num_blocks), params_(params)
+{
+    if (num_blocks == 0)
+        fatal("ConflictMissTracker: cache has no blocks");
+    if (params_.numGenerations < 2 || params_.numGenerations > 8)
+        fatal("ConflictMissTracker: generations must be in [2, 8]");
+    threshold_ = params_.generationThreshold != 0
+                     ? params_.generationThreshold
+                     : num_blocks / params_.numGenerations;
+    if (threshold_ == 0)
+        threshold_ = 1;
+    const std::size_t bloom_bits =
+        params_.bloomBitsPerGeneration != 0
+            ? params_.bloomBitsPerGeneration
+            : num_blocks;
+    genBits_.assign(num_blocks, 0);
+    for (unsigned g = 0; g < params_.numGenerations; ++g)
+        filters_.emplace_back(bloom_bits, params_.bloomHashes);
+}
+
+void
+ConflictMissTracker::rotateGeneration()
+{
+    // Advance to the next slot: it currently holds the *oldest*
+    // generation, which is discarded (bottom of the LRU stack).
+    currentGen_ = (currentGen_ + 1) % params_.numGenerations;
+    filters_[currentGen_].clear();
+    const std::uint8_t mask =
+        static_cast<std::uint8_t>(~(1u << currentGen_));
+    for (auto& bits : genBits_)
+        bits &= mask;
+    currentGenCount_ = 0;
+    ++rotations_;
+}
+
+void
+ConflictMissTracker::onAccess(std::size_t block_idx, Addr, ContextId,
+                              Tick)
+{
+    if (block_idx >= numBlocks_)
+        panic("ConflictMissTracker: block index out of range");
+    const std::uint8_t bit =
+        static_cast<std::uint8_t>(1u << currentGen_);
+    if (!(genBits_[block_idx] & bit)) {
+        genBits_[block_idx] |= bit;
+        if (++currentGenCount_ >= threshold_)
+            rotateGeneration();
+    }
+}
+
+void
+ConflictMissTracker::onEvict(std::size_t block_idx, Addr line_addr,
+                             ContextId, Tick)
+{
+    if (block_idx >= numBlocks_)
+        panic("ConflictMissTracker: block index out of range");
+    const std::uint8_t bits = genBits_[block_idx];
+    if (bits != 0) {
+        // Youngest generation in which the block was accessed: scan
+        // from the current generation backwards in age.
+        for (unsigned age = 0; age < params_.numGenerations; ++age) {
+            const unsigned g =
+                (currentGen_ + params_.numGenerations - age) %
+                params_.numGenerations;
+            if (bits & (1u << g)) {
+                filters_[g].insert(line_addr);
+                break;
+            }
+        }
+    } else {
+        // All of the block's access bits were flash-cleared: its last
+        // access predates every live generation, i.e. it sits at the
+        // bottom of the approximated LRU stack.  Record it in the
+        // oldest live generation so it retains brief protection.
+        const unsigned oldest =
+            (currentGen_ + 1) % params_.numGenerations;
+        filters_[oldest].insert(line_addr);
+    }
+    // The physical slot is being refilled: its history belongs to the
+    // departing line.
+    genBits_[block_idx] = 0;
+}
+
+void
+ConflictMissTracker::onMiss(Addr line_addr, ContextId requester,
+                            ContextId victim_owner, bool had_victim,
+                            Tick now)
+{
+    ++totalMisses_;
+    bool conflict = false;
+    for (auto& f : filters_) {
+        if (f.mayContain(line_addr)) {
+            conflict = true;
+            break;
+        }
+    }
+    if (!conflict)
+        return;
+    ++conflictMisses_;
+    const ConflictMissEvent ev{
+        now, requester, had_victim ? victim_owner : invalidContext};
+    for (const auto& listener : listeners_)
+        listener(ev);
+}
+
+void
+ConflictMissTracker::addListener(ConflictMissListener listener)
+{
+    listeners_.push_back(std::move(listener));
+}
+
+} // namespace cchunter

@@ -1,0 +1,197 @@
+#include "auditor/daemon.hh"
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+AuditDaemon::AuditDaemon(Machine& machine, CCAuditor& auditor)
+    : machine_(machine), auditor_(auditor)
+{
+    contention_.resize(auditor_.numSlots());
+    conflicts_.resize(auditor_.numSlots());
+    machine_.scheduler().addQuantumObserver(
+        [this](std::uint64_t q, Tick now) { onQuantum(q, now); });
+    for (unsigned s = 0; s < auditor_.numSlots(); ++s)
+        wireCacheSlot(s);
+}
+
+void
+AuditDaemon::wireCacheSlot(unsigned slot)
+{
+    auto* vr = auditor_.vectorRegisters(slot);
+    if (!vr)
+        return;
+    vr->setDrainCallback(
+        [this, slot](const std::vector<ConflictMissEvent>& evs) {
+            for (const auto& ev : evs) {
+                ConflictRecord rec;
+                rec.time = ev.time;
+                rec.replacerContext = ev.replacer;
+                rec.victimContext = ev.victim;
+                rec.quantum = currentQuantum_;
+                if (ev.replacer != invalidContext &&
+                    ev.replacer < machine_.numContexts()) {
+                    if (Process* p = machine_.runningOn(ev.replacer))
+                        rec.replacerPid = p->pid();
+                }
+                if (ev.victim != invalidContext &&
+                    ev.victim < machine_.numContexts()) {
+                    if (Process* p = machine_.runningOn(ev.victim))
+                        rec.victimPid = p->pid();
+                }
+                conflicts_[slot].push_back(rec);
+            }
+        });
+}
+
+void
+AuditDaemon::onQuantum(std::uint64_t quantum_index, Tick now)
+{
+    for (unsigned s = 0; s < auditor_.numSlots(); ++s) {
+        if (!auditor_.slotActive(s))
+            continue;
+        // Slots may have been (re)programmed since construction; keep
+        // the drain callback wired (idempotent).
+        wireCacheSlot(s);
+        if (auto* hb = auditor_.histogramBuffer(s))
+            contention_[s].push_back(hb->snapshotAndReset(now));
+        if (auto* vr = auditor_.vectorRegisters(s))
+            vr->flush();
+    }
+    if (online_)
+        runOnlineAnalyses(quantum_index, now);
+    currentQuantum_ = quantum_index + 1;
+    ++quanta_;
+}
+
+void
+AuditDaemon::enableOnlineAnalysis(OnlineAnalysisParams params,
+                                  AlarmCallback callback)
+{
+    if (params.clusteringIntervalQuanta == 0)
+        fatal("enableOnlineAnalysis: clustering interval must be > 0");
+    online_ = true;
+    onlineParams_ = params;
+    alarmCallback_ = std::move(callback);
+}
+
+void
+AuditDaemon::runOnlineAnalyses(std::uint64_t quantum_index, Tick now)
+{
+    CCHunter hunter(onlineParams_.hunter);
+    auto raise = [&](unsigned slot, std::string summary) {
+        Alarm alarm{slot, now, quantum_index, std::move(summary)};
+        alarms_.push_back(alarm);
+        if (alarmCallback_)
+            alarmCallback_(alarms_.back());
+    };
+
+    for (unsigned s = 0; s < auditor_.numSlots(); ++s) {
+        if (!auditor_.slotActive(s))
+            continue;
+
+        // Contention path: clustering once per interval, over the most
+        // recent window of quanta.
+        if (auditor_.histogramBuffer(s) &&
+            (quantum_index + 1) %
+                    onlineParams_.clusteringIntervalQuanta ==
+                0) {
+            const auto verdict =
+                hunter.analyzeContention(contention_[s]);
+            if (verdict.detected)
+                raise(s, verdict.summary());
+        }
+
+        // Oscillation path: this quantum's labelled conflicts.
+        if (auditor_.vectorRegisters(s) &&
+            onlineParams_.autocorrEveryQuantum) {
+            const auto verdict = hunter.analyzeOscillation(
+                labelSeriesForQuantum(s, quantum_index));
+            if (verdict.detected)
+                raise(s, verdict.summary());
+        }
+    }
+}
+
+std::uint64_t
+AuditDaemon::firstAlarmQuantum(unsigned slot) const
+{
+    for (const auto& a : alarms_)
+        if (a.slot == slot)
+            return a.quantum;
+    return SIZE_MAX;
+}
+
+const std::vector<Histogram>&
+AuditDaemon::contentionQuanta(unsigned slot) const
+{
+    if (slot >= contention_.size())
+        fatal("AuditDaemon: bad slot");
+    return contention_[slot];
+}
+
+const std::vector<ConflictRecord>&
+AuditDaemon::conflictRecords(unsigned slot) const
+{
+    if (slot >= conflicts_.size())
+        fatal("AuditDaemon: bad slot");
+    return conflicts_[slot];
+}
+
+namespace
+{
+
+double
+labelOf(const ConflictRecord& r)
+{
+    return r.replacerPid != invalidProcess &&
+                   r.victimPid != invalidProcess &&
+                   r.replacerPid < r.victimPid
+               ? 1.0
+               : 0.0;
+}
+
+} // namespace
+
+std::vector<double>
+AuditDaemon::labelSeries(unsigned slot) const
+{
+    const auto& recs = conflictRecords(slot);
+    std::vector<double> out;
+    out.reserve(recs.size());
+    for (const auto& r : recs)
+        out.push_back(labelOf(r));
+    return out;
+}
+
+std::vector<double>
+AuditDaemon::labelSeriesForQuantum(unsigned slot,
+                                   std::uint64_t quantum) const
+{
+    const auto& recs = conflictRecords(slot);
+    std::vector<double> out;
+    for (const auto& r : recs) {
+        if (r.quantum == quantum)
+            out.push_back(labelOf(r));
+    }
+    return out;
+}
+
+ContentionVerdict
+AuditDaemon::analyzeContention(unsigned slot, CCHunterParams params)
+    const
+{
+    CCHunter hunter(params);
+    return hunter.analyzeContention(contentionQuanta(slot));
+}
+
+OscillationVerdict
+AuditDaemon::analyzeOscillation(unsigned slot, CCHunterParams params)
+    const
+{
+    CCHunter hunter(params);
+    return hunter.analyzeOscillation(labelSeries(slot));
+}
+
+} // namespace cchunter

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The CC-Hunter software daemon (paper section V-B).
+ *
+ * A background process records the auditor's histogram buffers at each
+ * OS time quantum (contention channels) and drains the conflict vector
+ * registers (cache channels), translating hardware context IDs into
+ * process IDs using the OS's knowledge of the schedule — this is how
+ * trojan/spy pairs are identified correctly despite migration across
+ * contexts.  The recorded series feed the CCHunter analysis engine.
+ */
+
+#ifndef CCHUNTER_AUDITOR_DAEMON_HH
+#define CCHUNTER_AUDITOR_DAEMON_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "auditor/cc_auditor.hh"
+#include "detect/detector.hh"
+#include "util/histogram.hh"
+#include "util/types.hh"
+
+namespace cchunter
+{
+
+/** A conflict miss translated to schedulable-entity identities. */
+struct ConflictRecord
+{
+    Tick time = 0;
+    ContextId replacerContext = invalidContext;
+    ContextId victimContext = invalidContext;
+    ProcessId replacerPid = invalidProcess;
+    ProcessId victimPid = invalidProcess;
+    std::uint64_t quantum = 0;
+};
+
+/** Online analysis cadence (paper section V-B). */
+struct OnlineAnalysisParams
+{
+    /** Pattern clustering runs once per this many quanta (the paper's
+     *  51.2 s at a 0.1 s quantum). */
+    std::size_t clusteringIntervalQuanta = 512;
+
+    /** Autocorrelation runs at the end of every OS time quantum. */
+    bool autocorrEveryQuantum = true;
+
+    /** Analysis parameters. */
+    CCHunterParams hunter;
+};
+
+/** One raised alarm. */
+struct Alarm
+{
+    unsigned slot = 0;
+    Tick when = 0;
+    std::uint64_t quantum = 0;
+    std::string summary;
+};
+
+/** Invoked whenever an online analysis pass flags a channel. */
+using AlarmCallback = std::function<void(const Alarm&)>;
+
+/**
+ * The daemon: quantum-driven recording plus analysis entry points.
+ */
+class AuditDaemon
+{
+  public:
+    /**
+     * Constructing the daemon registers it as a quantum observer on the
+     * machine's scheduler; it then records every active auditor slot at
+     * every quantum boundary.
+     */
+    AuditDaemon(Machine& machine, CCAuditor& auditor);
+
+    /** Per-quantum density histograms collected from a contention
+     *  slot. */
+    const std::vector<Histogram>& contentionQuanta(unsigned slot) const;
+
+    /** All conflict records collected from a cache slot. */
+    const std::vector<ConflictRecord>& conflictRecords(
+        unsigned slot) const;
+
+    /**
+     * Label series for oscillation analysis: one value per conflict
+     * record, 1.0 when the replacer pid is the smaller of the pair and
+     * 0.0 otherwise (every ordered pair maps to a stable label).
+     */
+    std::vector<double> labelSeries(unsigned slot) const;
+
+    /** Label series restricted to records from one quantum. */
+    std::vector<double> labelSeriesForQuantum(
+        unsigned slot, std::uint64_t quantum) const;
+
+    /** Run the recurrent-burst pipeline on a contention slot. */
+    ContentionVerdict analyzeContention(unsigned slot,
+                                        CCHunterParams params = {}) const;
+
+    /** Run the oscillation pipeline on a cache slot. */
+    OscillationVerdict analyzeOscillation(
+        unsigned slot, CCHunterParams params = {}) const;
+
+    /** Quanta recorded so far. */
+    std::uint64_t quantaRecorded() const { return quanta_; }
+
+    /**
+     * Switch on live analysis at the paper's cadence: recurrent-burst
+     * clustering every clusteringIntervalQuanta, oscillation analysis
+     * on each quantum's conflict labels.  The callback fires for every
+     * positive verdict; raised alarms are also retained.
+     */
+    void enableOnlineAnalysis(OnlineAnalysisParams params,
+                              AlarmCallback callback = {});
+
+    /** Alarms raised by online analysis so far. */
+    const std::vector<Alarm>& alarms() const { return alarms_; }
+
+    /** Quantum index of the first alarm on a slot (detection latency);
+     *  returns SIZE_MAX when the slot never alarmed. */
+    std::uint64_t firstAlarmQuantum(unsigned slot) const;
+
+  private:
+    void onQuantum(std::uint64_t quantum_index, Tick now);
+    void wireCacheSlot(unsigned slot);
+    void runOnlineAnalyses(std::uint64_t quantum_index, Tick now);
+
+    Machine& machine_;
+    CCAuditor& auditor_;
+    std::vector<std::vector<Histogram>> contention_;
+    std::vector<std::vector<ConflictRecord>> conflicts_;
+    std::uint64_t currentQuantum_ = 0;
+    std::uint64_t quanta_ = 0;
+    bool online_ = false;
+    OnlineAnalysisParams onlineParams_;
+    AlarmCallback alarmCallback_;
+    std::vector<Alarm> alarms_;
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_AUDITOR_DAEMON_HH

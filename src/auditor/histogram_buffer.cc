@@ -1,0 +1,107 @@
+#include "auditor/histogram_buffer.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+namespace
+{
+
+/** 16-bit accumulator ceiling. */
+constexpr std::uint32_t max16 = 0xffff;
+
+} // namespace
+
+HistogramBuffer::HistogramBuffer(Tick delta_t, Tick origin,
+                                 HistogramBufferParams params)
+    : deltaT_(delta_t), origin_(origin), params_(params)
+{
+    if (delta_t == 0)
+        fatal("HistogramBuffer: delta_t must be positive");
+    if (params_.numBins == 0)
+        fatal("HistogramBuffer: need at least one bin");
+}
+
+std::size_t
+HistogramBuffer::windowIndex(Tick when)
+{
+    if (when < origin_)
+        panic("HistogramBuffer: event precedes window origin");
+    const auto idx = static_cast<std::size_t>((when - origin_) / deltaT_);
+    if (idx >= windows_.size())
+        windows_.resize(idx + 1, 0);
+    return idx;
+}
+
+void
+HistogramBuffer::recordEvent(Tick when)
+{
+    auto& w = windows_[windowIndex(when)];
+    if (!params_.saturate16 || w < max16)
+        ++w;
+    ++totalEvents_;
+}
+
+void
+HistogramBuffer::recordBurst(Tick start, std::uint64_t count,
+                             Tick spacing)
+{
+    if (count == 0)
+        return;
+    if (spacing == 0)
+        spacing = 1;
+    totalEvents_ += count;
+    const Tick last = start + (count - 1) * spacing;
+    const std::size_t first_w = windowIndex(start);
+    const std::size_t last_w = windowIndex(last);
+    for (std::size_t w = first_w; w <= last_w; ++w) {
+        // Events with start + i*spacing in [w_begin, w_end).
+        const Tick w_begin = origin_ + w * deltaT_;
+        const Tick w_end = w_begin + deltaT_;
+        // ceil((max(w_begin,start) - start) / spacing)
+        const Tick lo = std::max(w_begin, start);
+        const std::uint64_t i_lo = (lo - start + spacing - 1) / spacing;
+        const std::uint64_t i_hi =
+            std::min<std::uint64_t>(count, (w_end - start + spacing - 1) /
+                                               spacing);
+        if (i_hi <= i_lo)
+            continue;
+        const std::uint64_t n = i_hi - i_lo;
+        auto& cell = windows_[w];
+        const std::uint64_t updated = cell + n;
+        cell = params_.saturate16
+                   ? static_cast<std::uint32_t>(
+                         std::min<std::uint64_t>(updated, max16))
+                   : static_cast<std::uint32_t>(updated);
+    }
+}
+
+Histogram
+HistogramBuffer::snapshotAndReset(Tick now)
+{
+    Histogram hist(params_.numBins);
+    if (now < origin_)
+        panic("HistogramBuffer: snapshot before origin");
+    const auto complete =
+        static_cast<std::size_t>((now - origin_) / deltaT_);
+    if (windows_.size() < complete)
+        windows_.resize(complete, 0);
+    for (std::size_t w = 0; w < complete; ++w)
+        hist.addSample(windows_[w]);
+    if (params_.saturate16) {
+        // Clamp bin counts to the 16-bit entry width.
+        Histogram clamped(params_.numBins);
+        for (std::size_t b = 0; b < hist.numBins(); ++b)
+            clamped.addSample(
+                b, std::min<std::uint64_t>(hist.bin(b), max16));
+        hist = clamped;
+    }
+    windows_.clear();
+    origin_ = now;
+    return hist;
+}
+
+} // namespace cchunter

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The CC-Auditor's event-density accumulation hardware: a 32-bit Δt
+ * count-down register, a 16-bit event accumulator, and a 128-entry
+ * histogram buffer (paper section V-A).
+ *
+ * Whenever the monitored unit signals an indicator event the
+ * accumulator increments; at the end of each Δt the accumulator value
+ * indexes the histogram buffer (whose entry increments) and the
+ * count-down register resets.  At the end of each OS time quantum the
+ * software daemon snapshots and clears the buffer.
+ *
+ * Divider wait conflicts arrive as bursts (start, count, spacing); the
+ * buffer integrates a burst across its Δt windows arithmetically so the
+ * cost is proportional to the number of windows touched, not events.
+ */
+
+#ifndef CCHUNTER_AUDITOR_HISTOGRAM_BUFFER_HH
+#define CCHUNTER_AUDITOR_HISTOGRAM_BUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/histogram.hh"
+#include "util/types.hh"
+
+namespace cchunter
+{
+
+/** Hardware sizing of one histogram-buffer channel. */
+struct HistogramBufferParams
+{
+    std::size_t numBins = 128;  //!< histogram buffer entries
+    bool saturate16 = false;    //!< model 16-bit entry saturation
+};
+
+/**
+ * One monitored unit's Δt accumulator + histogram buffer.
+ */
+class HistogramBuffer
+{
+  public:
+    /**
+     * @param delta_t Δt window length in ticks (count-down preset).
+     * @param origin Tick at which the first window starts.
+     */
+    HistogramBuffer(Tick delta_t, Tick origin = 0,
+                    HistogramBufferParams params = {});
+
+    /** Record a single indicator event. */
+    void recordEvent(Tick when);
+
+    /** Record a burst: `count` events at when = start + i * spacing. */
+    void recordBurst(Tick start, std::uint64_t count, Tick spacing);
+
+    /**
+     * Finish all windows ending at or before `now`, bin them, and
+     * return the histogram accumulated since the last snapshot.  The
+     * buffer restarts with a window origin at `now`.
+     */
+    Histogram snapshotAndReset(Tick now);
+
+    /** Δt in ticks. */
+    Tick deltaT() const { return deltaT_; }
+
+    /** Events recorded since construction. */
+    std::uint64_t totalEvents() const { return totalEvents_; }
+
+  private:
+    /** Ensure the window containing `when` exists; returns its index. */
+    std::size_t windowIndex(Tick when);
+
+    Tick deltaT_;
+    Tick origin_;
+    HistogramBufferParams params_;
+    /** Event count per Δt window since the last snapshot. */
+    std::vector<std::uint32_t> windows_;
+    std::uint64_t totalEvents_ = 0;
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_AUDITOR_HISTOGRAM_BUFFER_HH

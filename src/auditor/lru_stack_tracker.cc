@@ -1,0 +1,69 @@
+#include "auditor/lru_stack_tracker.hh"
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+LruStackTracker::LruStackTracker(std::size_t num_blocks)
+    : capacity_(num_blocks)
+{
+    if (num_blocks == 0)
+        fatal("LruStackTracker: cache has no blocks");
+}
+
+void
+LruStackTracker::touch(Addr line_addr)
+{
+    auto it = where_.find(line_addr);
+    if (it != where_.end()) {
+        stack_.erase(it->second);
+    } else if (stack_.size() >= capacity_) {
+        // The fully-associative cache would evict its LRU line.
+        where_.erase(stack_.back());
+        stack_.pop_back();
+    }
+    stack_.push_front(line_addr);
+    where_[line_addr] = stack_.begin();
+}
+
+void
+LruStackTracker::onAccess(std::size_t, Addr line_addr, ContextId, Tick)
+{
+    touch(line_addr);
+}
+
+void
+LruStackTracker::onEvict(std::size_t, Addr, ContextId, Tick)
+{
+    // The ideal model is driven purely by the access stream.
+}
+
+void
+LruStackTracker::onMiss(Addr line_addr, ContextId requester,
+                        ContextId victim_owner, bool had_victim,
+                        Tick now)
+{
+    ++totalMisses_;
+    if (!residentInIdealCache(line_addr))
+        return;
+    ++conflictMisses_;
+    const ConflictMissEvent ev{
+        now, requester, had_victim ? victim_owner : invalidContext};
+    for (const auto& listener : listeners_)
+        listener(ev);
+}
+
+bool
+LruStackTracker::residentInIdealCache(Addr line_addr) const
+{
+    return where_.count(line_addr) != 0;
+}
+
+void
+LruStackTracker::addListener(ConflictMissListener listener)
+{
+    listeners_.push_back(std::move(listener));
+}
+
+} // namespace cchunter

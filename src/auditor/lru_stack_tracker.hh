@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The ideal LRU-stack conflict-miss tracker (the paper's "ideal"
+ * scheme): an exact fully-associative LRU model of equal capacity.
+ *
+ * A miss is a conflict miss iff the fully-associative cache would still
+ * hold the line.  This oracle is too expensive for hardware (it updates
+ * a recency stack on every access) but serves as the reference the
+ * practical generation-based tracker is validated against.
+ */
+
+#ifndef CCHUNTER_AUDITOR_LRU_STACK_TRACKER_HH
+#define CCHUNTER_AUDITOR_LRU_STACK_TRACKER_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "auditor/conflict_event.hh"
+#include "mem/cache.hh"
+#include "util/types.hh"
+
+namespace cchunter
+{
+
+/**
+ * CacheMonitor implementing the exact premature-eviction check.
+ */
+class LruStackTracker : public CacheMonitor
+{
+  public:
+    /** @param num_blocks Capacity (N) of the monitored cache. */
+    explicit LruStackTracker(std::size_t num_blocks);
+
+    void onAccess(std::size_t block_idx, Addr line_addr, ContextId ctx,
+                  Tick now) override;
+    void onEvict(std::size_t block_idx, Addr line_addr, ContextId owner,
+                 Tick now) override;
+    void onMiss(Addr line_addr, ContextId requester,
+                ContextId victim_owner, bool had_victim,
+                Tick now) override;
+
+    /** Register a conflict-miss listener. */
+    void addListener(ConflictMissListener listener);
+
+    /** @return true if the fully-associative model holds the line. */
+    bool residentInIdealCache(Addr line_addr) const;
+
+    std::uint64_t conflictMisses() const { return conflictMisses_; }
+    std::uint64_t totalMisses() const { return totalMisses_; }
+
+  private:
+    void touch(Addr line_addr);
+
+    std::size_t capacity_;
+    std::list<Addr> stack_; //!< front = most recently used
+    std::unordered_map<Addr, std::list<Addr>::iterator> where_;
+    std::vector<ConflictMissListener> listeners_;
+    std::uint64_t conflictMisses_ = 0;
+    std::uint64_t totalMisses_ = 0;
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_AUDITOR_LRU_STACK_TRACKER_HH

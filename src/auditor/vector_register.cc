@@ -1,0 +1,60 @@
+#include "auditor/vector_register.hh"
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+ConflictVectorRegisters::ConflictVectorRegisters(
+        VectorRegisterParams params)
+    : params_(params)
+{
+    if (params_.bitsPerContext == 0 || params_.bitsPerContext > 8)
+        fatal("ConflictVectorRegisters: bitsPerContext out of range");
+    if (params_.entriesPerRegister() == 0)
+        fatal("ConflictVectorRegisters: registers too small");
+    buffers_[0].reserve(params_.entriesPerRegister());
+    buffers_[1].reserve(params_.entriesPerRegister());
+}
+
+void
+ConflictVectorRegisters::record(const ConflictMissEvent& event)
+{
+    buffers_[active_].push_back(event);
+    ++totalRecorded_;
+    if (buffers_[active_].size() >= params_.entriesPerRegister()) {
+        const unsigned full = active_;
+        active_ = 1 - active_;
+        drain(full);
+    }
+}
+
+void
+ConflictVectorRegisters::flush()
+{
+    // Drain the inactive register first (it holds older events if a
+    // swap happened without a callback), then the active one.
+    if (!buffers_[1 - active_].empty())
+        drain(1 - active_);
+    if (!buffers_[active_].empty())
+        drain(active_);
+}
+
+void
+ConflictVectorRegisters::drain(unsigned idx)
+{
+    if (buffers_[idx].empty())
+        return;
+    ++drains_;
+    if (callback_)
+        callback_(buffers_[idx]);
+    buffers_[idx].clear();
+}
+
+void
+ConflictVectorRegisters::setDrainCallback(VectorDrainCallback callback)
+{
+    callback_ = std::move(callback);
+}
+
+} // namespace cchunter

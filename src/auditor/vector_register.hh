@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The CC-Auditor's two alternating 128-byte vector registers that
+ * record the (replacer, victim) context-ID pairs of identified conflict
+ * misses (paper section V-A).
+ *
+ * When one register fills, recording switches to the other and the full
+ * register is handed to the software module in the background, so the
+ * processor never stalls on auditing.
+ */
+
+#ifndef CCHUNTER_AUDITOR_VECTOR_REGISTER_HH
+#define CCHUNTER_AUDITOR_VECTOR_REGISTER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "auditor/conflict_event.hh"
+#include "util/types.hh"
+
+namespace cchunter
+{
+
+/** Sizing of the vector-register pair. */
+struct VectorRegisterParams
+{
+    /** Bytes per register (paper: 128). */
+    std::size_t bytesPerRegister = 128;
+
+    /** Bits per recorded context ID (paper: 3). */
+    unsigned bitsPerContext = 3;
+
+    /** Entries per register: bytes*8 / (2 * bitsPerContext). */
+    std::size_t
+    entriesPerRegister() const
+    {
+        return bytesPerRegister * 8 / (2 * bitsPerContext);
+    }
+};
+
+/** Callback receiving a drained register's events. */
+using VectorDrainCallback =
+    std::function<void(const std::vector<ConflictMissEvent>&)>;
+
+/**
+ * The alternating vector-register pair.
+ */
+class ConflictVectorRegisters
+{
+  public:
+    explicit ConflictVectorRegisters(VectorRegisterParams params = {});
+
+    /** Record one conflict miss; may trigger a background drain. */
+    void record(const ConflictMissEvent& event);
+
+    /** Software-side: drain the partially filled register (end of
+     *  quantum). */
+    void flush();
+
+    /** Register the software module's drain callback. */
+    void setDrainCallback(VectorDrainCallback callback);
+
+    /** Index (0/1) of the register currently recording. */
+    unsigned activeRegister() const { return active_; }
+
+    /** Entries in the currently recording register. */
+    std::size_t activeCount() const { return buffers_[active_].size(); }
+
+    /** Total events recorded. */
+    std::uint64_t totalRecorded() const { return totalRecorded_; }
+
+    /** Number of full-register drains. */
+    std::uint64_t drains() const { return drains_; }
+
+    const VectorRegisterParams& params() const { return params_; }
+
+  private:
+    void drain(unsigned idx);
+
+    VectorRegisterParams params_;
+    std::vector<ConflictMissEvent> buffers_[2];
+    unsigned active_ = 0;
+    VectorDrainCallback callback_;
+    std::uint64_t totalRecorded_ = 0;
+    std::uint64_t drains_ = 0;
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_AUDITOR_VECTOR_REGISTER_HH

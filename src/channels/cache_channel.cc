@@ -1,0 +1,228 @@
+#include "channels/cache_channel.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+Addr
+CacheChannelLayout::addrFor(Addr base, bool group1, std::size_t idx,
+                            std::size_t line) const
+{
+    if (idx >= setsPerGroup())
+        panic("CacheChannelLayout: set index out of range");
+    if (line >= linesPerSet)
+        panic("CacheChannelLayout: line index out of range");
+    const std::size_t set =
+        firstSet + (group1 ? 0 : setsPerGroup()) + idx;
+    const Addr set_stride = static_cast<Addr>(lineSize);
+    const Addr tag_stride = static_cast<Addr>(l2NumSets) * lineSize;
+    return base + set * set_stride + line * tag_stride;
+}
+
+CacheTrojan::CacheTrojan(CacheTrojanParams params)
+    : params_(std::move(params))
+{
+    if (params_.message.empty())
+        fatal("CacheTrojan: empty message");
+    if (params_.layout.channelSets < 2 ||
+        params_.layout.channelSets % 2 != 0)
+        fatal("CacheTrojan: channelSets must be even and >= 2");
+    if (params_.layout.firstSet + params_.layout.channelSets >
+        params_.layout.l2NumSets)
+        fatal("CacheTrojan: channel sets exceed the L2");
+}
+
+Action
+CacheTrojan::nextAction(const ExecView& view)
+{
+    const Tick now = view.now;
+    const ChannelTiming& t = params_.timing;
+    if (now < t.start)
+        return Action::sleepUntil(t.start);
+
+    const std::size_t bit = t.bitIndexAt(now);
+    if (!params_.repeat && bit >= params_.message.size())
+        return Action::halt();
+
+    // Rounds: the signal window splits into roundsPerBit prime/probe
+    // cycles; the trojan primes during the first half of each round.
+    const Tick bit_start = t.bitStart(bit);
+    const Tick signal = t.signalTicks();
+    const std::size_t rounds =
+        std::max<std::size_t>(1, params_.roundsPerBit);
+    const Tick round_ticks = std::max<Tick>(2, signal / rounds);
+    if (now >= bit_start + signal)
+        return Action::sleepUntil(t.bitStart(bit + 1));
+
+    const std::size_t round = std::min<std::size_t>(
+        rounds - 1, static_cast<std::size_t>(
+                        (now - bit_start) / round_ticks));
+    const std::uint64_t round_key =
+        static_cast<std::uint64_t>(bit) * rounds + round;
+    if (round_key != lastRoundKey_) {
+        lastRoundKey_ = round_key;
+        primeCursor_ = 0;
+    }
+
+    const bool value = params_.message.bitCyclic(bit);
+    const Tick round_start = bit_start + round * round_ticks;
+    const Tick prime_end = round_start + round_ticks / 2;
+    const std::size_t total = params_.layout.linesPerGroup();
+    if (primeCursor_ >= total || now >= prime_end) {
+        const Tick next_round = round_start + round_ticks;
+        if (round + 1 < rounds && next_round < bit_start + signal)
+            return Action::sleepUntil(next_round);
+        return Action::sleepUntil(t.bitStart(bit + 1));
+    }
+
+    const std::size_t idx =
+        primeCursor_ % params_.layout.setsPerGroup();
+    const std::size_t line =
+        primeCursor_ / params_.layout.setsPerGroup();
+    ++primeCursor_;
+    ++primesIssued_;
+    return Action::read(
+        params_.layout.addrFor(params_.addrBase, value, idx, line));
+}
+
+CacheSpy::CacheSpy(CacheSpyParams params)
+    : params_(std::move(params)), rng_(params.seed)
+{
+    if (params_.layout.channelSets < 2 ||
+        params_.layout.channelSets % 2 != 0)
+        fatal("CacheSpy: channelSets must be even and >= 2");
+}
+
+Message
+CacheSpy::decoded() const
+{
+    std::vector<bool> bits;
+    bits.reserve(decodedSlots_.size());
+    for (const auto& [slot, value] : decodedSlots_)
+        bits.push_back(value);
+    return Message::fromBits(std::move(bits));
+}
+
+void
+CacheSpy::finishBit()
+{
+    if (g1Count_ == 0 || g0Count_ == 0)
+        return;
+    const double g1 = g1Sum_ / static_cast<double>(g1Count_);
+    const double g0 = g0Sum_ / static_cast<double>(g0Count_);
+    const double ratio = g0 > 0.0 ? g1 / g0 : 0.0;
+    ratios_.push_back(ratio);
+    decodedSlots_.emplace_back(lastBit_, ratio > 1.0);
+    g1Sum_ = g0Sum_ = 0.0;
+    g1Count_ = g0Count_ = 0;
+}
+
+Action
+CacheSpy::nextAction(const ExecView& view)
+{
+    const Tick now = view.now;
+    const ChannelTiming& t = params_.timing;
+
+    if (pendingMeasure_) {
+        pendingMeasure_ = false;
+        const double lat = static_cast<double>(view.lastLatency);
+        if (measuringG1_) {
+            g1Sum_ += lat;
+            ++g1Count_;
+        } else {
+            g0Sum_ += lat;
+            ++g0Count_;
+        }
+    }
+
+    if (done_)
+        return Action::halt();
+    if (now < t.start)
+        return Action::sleepUntil(t.start);
+
+    const std::size_t bit = t.bitIndexAt(now);
+    if (bit != lastBit_) {
+        finishBit();
+        lastBit_ = bit;
+        probeCursor_ = 0;
+        if (params_.maxBits != 0 &&
+            decodedSlots_.size() >= params_.maxBits) {
+            done_ = true;
+            return Action::halt();
+        }
+    }
+
+    // While dormant (past the signal window), optionally behave like
+    // the embedding cover program: sparse random reads, not pure sleep.
+    const Tick bit_start = t.bitStart(bit);
+    const Tick signal = t.signalTicks();
+    auto dormant_until = [&](Tick until) -> Action {
+        if (params_.dormantNoiseGap == 0)
+            return Action::sleepUntil(until);
+        if (now >= nextDormantRead_) {
+            nextDormantRead_ = now + params_.dormantNoiseGap;
+            const Addr noise =
+                params_.noiseBase +
+                rng_.nextBelow(params_.layout.l2NumSets * 2) * 64;
+            return Action::read(noise);
+        }
+        return Action::sleepUntil(std::min(nextDormantRead_, until));
+    };
+    if (now >= bit_start + signal)
+        return dormant_until(t.bitStart(bit + 1));
+
+    // Rounds: probe during the second half of each prime/probe round.
+    const std::size_t rounds =
+        std::max<std::size_t>(1, params_.roundsPerBit);
+    const Tick round_ticks = std::max<Tick>(2, signal / rounds);
+    const std::size_t round = std::min<std::size_t>(
+        rounds - 1, static_cast<std::size_t>(
+                        (now - bit_start) / round_ticks));
+    const std::uint64_t round_key =
+        static_cast<std::uint64_t>(bit) * rounds + round;
+    if (round_key != lastRoundKey_) {
+        lastRoundKey_ = round_key;
+        probeCursor_ = 0;
+    }
+    const Tick round_start = bit_start + round * round_ticks;
+    const Tick probe_start = round_start + round_ticks / 2;
+    if (now < probe_start)
+        return Action::sleepUntil(probe_start);
+
+    const std::size_t per_group = params_.layout.linesPerGroup();
+    const std::size_t total = 2 * per_group;
+    if (probeCursor_ >= total) {
+        const Tick next_round = round_start + round_ticks;
+        if (round + 1 < rounds && next_round < bit_start + signal)
+            return Action::sleepUntil(next_round);
+        finishBit();
+        return dormant_until(t.bitStart(bit + 1));
+    }
+
+    // Occasional "surrounding code" accesses: random lines that may
+    // collide with channel sets and interleave noise conflicts.
+    if (params_.noiseEvery != 0 &&
+        ++sinceNoise_ >= params_.noiseEvery) {
+        sinceNoise_ = 0;
+        const Addr noise =
+            params_.noiseBase +
+            (rng_.nextBelow(params_.layout.l2NumSets * 4)) * 64;
+        return Action::read(noise);
+    }
+
+    const bool in_g1 = probeCursor_ < per_group;
+    const std::size_t within =
+        in_g1 ? probeCursor_ : probeCursor_ - per_group;
+    const std::size_t idx = within % params_.layout.setsPerGroup();
+    const std::size_t line = within / params_.layout.setsPerGroup();
+    ++probeCursor_;
+    pendingMeasure_ = true;
+    measuringG1_ = in_g1;
+    return Action::read(
+        params_.layout.addrFor(params_.addrBase, in_g1, idx, line));
+}
+
+} // namespace cchunter

@@ -1,0 +1,87 @@
+#include "channels/message.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+Message
+Message::fromBits(std::vector<bool> bits)
+{
+    Message m;
+    m.bits_ = std::move(bits);
+    return m;
+}
+
+Message
+Message::fromUint64(std::uint64_t value)
+{
+    std::vector<bool> bits(64);
+    for (int i = 0; i < 64; ++i)
+        bits[i] = (value >> (63 - i)) & 1;
+    return fromBits(std::move(bits));
+}
+
+Message
+Message::random64(Rng& rng)
+{
+    return fromUint64(rng.next());
+}
+
+Message
+Message::random(Rng& rng, std::size_t bits)
+{
+    std::vector<bool> v(bits);
+    for (std::size_t i = 0; i < bits; ++i)
+        v[i] = rng.nextBool();
+    return fromBits(std::move(v));
+}
+
+bool
+Message::bit(std::size_t i) const
+{
+    if (i >= bits_.size())
+        panic("Message::bit index out of range");
+    return bits_[i];
+}
+
+bool
+Message::bitCyclic(std::size_t i) const
+{
+    if (bits_.empty())
+        panic("Message::bitCyclic on empty message");
+    return bits_[i % bits_.size()];
+}
+
+std::size_t
+Message::popCount() const
+{
+    return static_cast<std::size_t>(
+        std::count(bits_.begin(), bits_.end(), true));
+}
+
+double
+Message::bitErrorRate(const Message& other) const
+{
+    const std::size_t n = std::min(size(), other.size());
+    if (n == 0)
+        return 1.0;
+    std::size_t errors = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        errors += bits_[i] != other.bits_[i];
+    return static_cast<double>(errors) / static_cast<double>(n);
+}
+
+std::string
+Message::toString() const
+{
+    std::string s;
+    s.reserve(bits_.size());
+    for (bool b : bits_)
+        s.push_back(b ? '1' : '0');
+    return s;
+}
+
+} // namespace cchunter

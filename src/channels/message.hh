@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Covert-channel payloads: bit messages such as the randomly chosen
+ * 64-bit credit-card number the paper transmits in its examples.
+ */
+
+#ifndef CCHUNTER_CHANNELS_MESSAGE_HH
+#define CCHUNTER_CHANNELS_MESSAGE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace cchunter
+{
+
+/**
+ * An immutable bit string transmitted over a covert channel.
+ */
+class Message
+{
+  public:
+    Message() = default;
+
+    /** Build from explicit bits (index 0 transmitted first). */
+    static Message fromBits(std::vector<bool> bits);
+
+    /** Build from a 64-bit value, MSB first. */
+    static Message fromUint64(std::uint64_t value);
+
+    /** A random 64-bit message (the paper's credit-card proxy). */
+    static Message random64(Rng& rng);
+
+    /** A random message of arbitrary length. */
+    static Message random(Rng& rng, std::size_t bits);
+
+    /** Bit at transmission index i (cyclic when repeat). */
+    bool bit(std::size_t i) const;
+
+    /** Bit at index i modulo the message length. */
+    bool bitCyclic(std::size_t i) const;
+
+    std::size_t size() const { return bits_.size(); }
+    bool empty() const { return bits_.empty(); }
+
+    /** Number of set bits. */
+    std::size_t popCount() const;
+
+    /** Fraction of differing bits against another message (compared up
+     *  to the shorter length; 1.0 when either is empty). */
+    double bitErrorRate(const Message& other) const;
+
+    /** "0101..." rendering. */
+    std::string toString() const;
+
+    bool operator==(const Message& other) const = default;
+
+  private:
+    std::vector<bool> bits_;
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_CHANNELS_MESSAGE_HH

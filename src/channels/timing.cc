@@ -1,0 +1,55 @@
+#include "channels/timing.hh"
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+Tick
+ChannelTiming::bitTicks() const
+{
+    if (bandwidthBps <= 0.0)
+        fatal("ChannelTiming: bandwidth must be positive");
+    const double ticks = ghz * 1e9 / bandwidthBps;
+    return ticks < 1.0 ? 1 : static_cast<Tick>(ticks);
+}
+
+Tick
+ChannelTiming::signalTicks() const
+{
+    const Tick bit = bitTicks();
+    if (maxSignalTicks == 0 || maxSignalTicks > bit)
+        return bit;
+    return maxSignalTicks;
+}
+
+std::size_t
+ChannelTiming::bitIndexAt(Tick now) const
+{
+    if (now <= start)
+        return 0;
+    return static_cast<std::size_t>((now - start) / bitTicks());
+}
+
+Tick
+ChannelTiming::bitStart(std::size_t i) const
+{
+    return start + static_cast<Tick>(i) * bitTicks();
+}
+
+Tick
+ChannelTiming::signalEnd(std::size_t i) const
+{
+    return bitStart(i) + signalTicks();
+}
+
+bool
+ChannelTiming::inSignalWindow(Tick now) const
+{
+    if (now < start)
+        return false;
+    const std::size_t bit = bitIndexAt(now);
+    return now >= bitStart(bit) && now < signalEnd(bit);
+}
+
+} // namespace cchunter

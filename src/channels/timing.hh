@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared transmission timing for trojan/spy pairs.
+ *
+ * The paper's channels are synchronized (a synchronization phase
+ * precedes transmission); we model the established schedule directly:
+ * both sides agree on the start tick, the bit period, and the signal
+ * window (the leading portion of each bit slot during which conflicts
+ * are generated — low-bandwidth channels signal briefly and lie dormant
+ * for the rest of the slot, as the paper's section VI-A describes).
+ */
+
+#ifndef CCHUNTER_CHANNELS_TIMING_HH
+#define CCHUNTER_CHANNELS_TIMING_HH
+
+#include <cstddef>
+
+#include "util/types.hh"
+
+namespace cchunter
+{
+
+/** Transmission schedule shared by a trojan/spy pair. */
+struct ChannelTiming
+{
+    Tick start = 0;             //!< first bit slot begins here
+    double bandwidthBps = 10.0; //!< bits per second
+    double ghz = defaultCoreGHz;
+    /**
+     * Cap on the per-bit signalling window in ticks (0 = the whole bit
+     * slot).  Low-bandwidth channels use a bounded window so a bit's
+     * conflicts form a burst followed by dormancy.
+     */
+    Tick maxSignalTicks = 0;
+
+    /** Ticks per transmitted bit. */
+    Tick bitTicks() const;
+
+    /** Ticks of active signalling at the head of each bit slot. */
+    Tick signalTicks() const;
+
+    /** Index of the bit slot containing `now`. */
+    std::size_t bitIndexAt(Tick now) const;
+
+    /** Start tick of bit slot i. */
+    Tick bitStart(std::size_t i) const;
+
+    /** End of the signalling window of bit slot i. */
+    Tick signalEnd(std::size_t i) const;
+
+    /** @return true when `now` lies inside bit i's signal window. */
+    bool inSignalWindow(Tick now) const;
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_CHANNELS_TIMING_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * CC-Auditor hardware cost report: reproduces the paper's Table I and
+ * its contextual claims (area vs. an i7 die, power vs. its TDP, access
+ * latency vs. a 3 GHz clock period, cache metadata overhead).
+ */
+
+#ifndef CCHUNTER_COST_AUDITOR_COST_HH
+#define CCHUNTER_COST_AUDITOR_COST_HH
+
+#include <cstddef>
+
+#include "cost/cost_model.hh"
+
+namespace cchunter
+{
+
+/** Structure sizing knobs (defaults = the paper's configuration). */
+struct AuditorCostConfig
+{
+    std::size_t histogramEntries = 128;   //!< entries per buffer
+    std::size_t histogramEntryBits = 16;
+    unsigned histogramBuffers = 2;
+
+    std::size_t vectorRegisterBytes = 128;
+    unsigned vectorRegisters = 2;
+    std::size_t accumulatorBits = 16;
+    unsigned accumulators = 2;
+    std::size_t countdownBits = 32;
+    unsigned countdowns = 2;
+
+    std::size_t cacheBlocks = 4096;       //!< 256 KB / 64 B
+    unsigned bloomFilters = 4;            //!< one per generation
+    std::size_t bloomBitsPerFilter = 0;   //!< 0 = cacheBlocks
+    std::size_t metadataBitsPerBlock = 7; //!< 4 generation + 3 owner
+};
+
+/** The three Table I rows plus context. */
+struct AuditorCostReport
+{
+    CostEstimate histogramBuffers;
+    CostEstimate registers;
+    CostEstimate conflictMissDetector;
+
+    /** Sum of all three structures. */
+    CostEstimate total() const;
+
+    /** Fraction of a 263 mm^2 Intel i7 die. */
+    double areaFractionOfI7() const;
+
+    /** Fraction of a 130 W Intel i7 peak power budget. */
+    double powerFractionOfI7() const;
+
+    /** Worst structure latency over a 3 GHz clock period (0.33 ns). */
+    double latencyOverClockPeriod() const;
+
+    /** Relative L2 access-latency increase from the 7 metadata bits
+     *  (paper: about 1.5%). */
+    double cacheMetadataLatencyOverhead() const;
+};
+
+/** Evaluate the cost model over a configuration. */
+AuditorCostReport estimateAuditorCost(
+    const AuditorCostConfig& config = {});
+
+} // namespace cchunter
+
+#endif // CCHUNTER_COST_AUDITOR_COST_HH

@@ -1,0 +1,85 @@
+#include "cost/cost_model.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+CostEstimate&
+CostEstimate::operator+=(const CostEstimate& other)
+{
+    areaMm2 += other.areaMm2;
+    powerMw += other.powerMw;
+    latencyNs = std::max(latencyNs, other.latencyNs);
+    return *this;
+}
+
+namespace
+{
+
+struct StyleCoefficients
+{
+    double areaUm2PerBit;   //!< cell + overhead area per bit
+    double powerUwPerBit;   //!< dynamic + leakage per bit at 2.5 GHz
+    double latencyBaseNs;   //!< wordline/sense floor
+    double latencyPerLog2;  //!< decode depth slope
+};
+
+/**
+ * Coefficients calibrated so the paper's structure sizes reproduce its
+ * Table I (Cacti 5.3):
+ *  - histogram buffers: 2 x 128 x 16 b = 4096 b
+ *      -> 0.0028 mm^2, 2.8 mW, 0.17 ns
+ *  - registers: 2 x 128 B + 2 x 16 b + 2 x 32 b = 2144 b
+ *      -> 0.0011 mm^2, 0.8 mW, 0.17 ns
+ *  - conflict-miss detector: 4 x 4096 b bloom + 7 x 4096 b metadata
+ *      = 45056 b -> 0.004 mm^2, 5.4 mW, 0.12 ns
+ */
+StyleCoefficients
+coefficientsFor(ArrayStyle style)
+{
+    switch (style) {
+      case ArrayStyle::RegisterFile:
+        return {0.513, 0.373, 0.059, 0.0100};
+      case ArrayStyle::SramBuffer:
+        return {0.684, 0.684, 0.050, 0.0100};
+      case ArrayStyle::DenseSram:
+        return {0.0888, 0.1198, 0.043, 0.0050};
+    }
+    panic("unknown array style");
+}
+
+} // namespace
+
+CostEstimate
+CostModel::estimateArray(ArrayStyle style, std::size_t bits) const
+{
+    if (bits == 0)
+        fatal("CostModel: zero-bit array");
+    const StyleCoefficients c = coefficientsFor(style);
+    CostEstimate e;
+    e.areaMm2 = c.areaUm2PerBit * static_cast<double>(bits) * 1e-6;
+    e.powerMw = c.powerUwPerBit * static_cast<double>(bits) * 1e-3;
+    e.latencyNs =
+        c.latencyBaseNs +
+        c.latencyPerLog2 * std::log2(static_cast<double>(bits));
+    return e;
+}
+
+std::string
+CostModel::styleName(ArrayStyle style)
+{
+    switch (style) {
+      case ArrayStyle::RegisterFile:
+        return "register-file";
+      case ArrayStyle::SramBuffer:
+        return "sram-buffer";
+      case ArrayStyle::DenseSram:
+        return "dense-sram";
+    }
+    return "unknown";
+}
+
+} // namespace cchunter

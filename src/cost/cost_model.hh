@@ -1,0 +1,63 @@
+/**
+ * @file
+ * An analytical SRAM/register-array cost model standing in for Cacti
+ * 5.3 (paper section V-A1).
+ *
+ * The paper sizes the CC-Auditor with Cacti at a 45 nm-class node; this
+ * model reproduces the same estimates from per-bit area/power constants
+ * and a log-depth latency term, with coefficients calibrated against
+ * the paper's Table I.  The point of the model is the *sizing
+ * arithmetic* — how buffer geometry translates to cost — not process
+ * physics.
+ */
+
+#ifndef CCHUNTER_COST_COST_MODEL_HH
+#define CCHUNTER_COST_COST_MODEL_HH
+
+#include <cstddef>
+#include <string>
+
+namespace cchunter
+{
+
+/** Cost estimate for one hardware structure. */
+struct CostEstimate
+{
+    double areaMm2 = 0.0;
+    double powerMw = 0.0;
+    double latencyNs = 0.0;
+
+    CostEstimate& operator+=(const CostEstimate& other);
+};
+
+/** Array implementation styles with distinct cost densities. */
+enum class ArrayStyle
+{
+    /** Multiported register-file cells (accumulators, vector regs). */
+    RegisterFile,
+    /** Small SRAM buffer with read-modify-write port (histograms). */
+    SramBuffer,
+    /** Dense single-port SRAM (bloom filters, metadata columns). */
+    DenseSram,
+};
+
+/**
+ * Cacti-like analytical model: area and power scale linearly with bit
+ * count at a style-dependent density; access latency grows with the
+ * logarithm of the array size (decode depth).
+ */
+class CostModel
+{
+  public:
+    CostModel() = default;
+
+    /** Estimate one array of `bits` storage bits. */
+    CostEstimate estimateArray(ArrayStyle style, std::size_t bits) const;
+
+    /** Human-readable style name. */
+    static std::string styleName(ArrayStyle style);
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_COST_COST_MODEL_HH

@@ -1,0 +1,97 @@
+#include "detect/autocorrelation.hh"
+
+#include <algorithm>
+
+#include "util/stats.hh"
+
+namespace cchunter
+{
+
+namespace
+{
+
+/** Shared denominator: total sum of squared deviations. */
+double
+sumSquaredDeviations(const std::vector<double>& series, double mean)
+{
+    double s = 0.0;
+    for (double x : series)
+        s += (x - mean) * (x - mean);
+    return s;
+}
+
+double
+numeratorAt(const std::vector<double>& series, double mean,
+            std::size_t lag)
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i + lag < series.size(); ++i)
+        s += (series[i] - mean) * (series[i + lag] - mean);
+    return s;
+}
+
+} // namespace
+
+double
+autocorrelationAt(const std::vector<double>& series, std::size_t lag)
+{
+    if (series.size() < 2 || lag >= series.size())
+        return 0.0;
+    const double mean = meanOf(series);
+    const double denom = sumSquaredDeviations(series, mean);
+    if (denom == 0.0)
+        return 0.0;
+    return numeratorAt(series, mean, lag) / denom;
+}
+
+std::vector<double>
+autocorrelogram(const std::vector<double>& series, std::size_t max_lag)
+{
+    std::vector<double> out;
+    out.reserve(max_lag + 1);
+    if (series.size() < 2) {
+        out.assign(max_lag + 1, 0.0);
+        return out;
+    }
+    const double mean = meanOf(series);
+    const double denom = sumSquaredDeviations(series, mean);
+    if (denom == 0.0) {
+        out.assign(max_lag + 1, 0.0);
+        return out;
+    }
+    for (std::size_t lag = 0; lag <= max_lag; ++lag) {
+        if (lag >= series.size()) {
+            out.push_back(0.0);
+            continue;
+        }
+        out.push_back(numeratorAt(series, mean, lag) / denom);
+    }
+    return out;
+}
+
+std::vector<AutocorrPeak>
+findPeaks(const std::vector<double>& correlogram, double min_value,
+          std::size_t min_separation)
+{
+    std::vector<AutocorrPeak> peaks;
+    const std::size_t n = correlogram.size();
+    for (std::size_t lag = 1; lag + 1 < n; ++lag) {
+        const double v = correlogram[lag];
+        if (v < min_value)
+            continue;
+        if (v < correlogram[lag - 1] || v < correlogram[lag + 1])
+            continue;
+        // Plateau handling: take the first sample of a flat top only.
+        if (correlogram[lag - 1] == v)
+            continue;
+        if (!peaks.empty() && lag - peaks.back().lag < min_separation) {
+            if (v > peaks.back().value)
+                peaks.back() = AutocorrPeak{lag, v};
+            continue;
+        }
+        peaks.push_back(AutocorrPeak{lag, v});
+    }
+    return peaks;
+}
+
+} // namespace cchunter

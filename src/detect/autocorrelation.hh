@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Autocorrelation analysis (paper section IV-D).
+ *
+ * Cache-based covert timing channels modulate event *latency* rather than
+ * inter-event intervals; the (replacer, victim)-labelled conflict-miss
+ * event train then oscillates with a period tied to the number of cache
+ * sets used for transmission.  Oscillation is measured through the
+ * autocorrelation coefficient of the label series with time-lagged
+ * versions of itself.
+ */
+
+#ifndef CCHUNTER_DETECT_AUTOCORRELATION_HH
+#define CCHUNTER_DETECT_AUTOCORRELATION_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace cchunter
+{
+
+/**
+ * Autocorrelation coefficient r_p of a series at a single lag p:
+ *
+ *   r_p = sum_{i=1}^{n-p} (X_i - mean)(X_{i+p} - mean)
+ *         / sum_{i=1}^{n} (X_i - mean)^2
+ *
+ * Returns 0 for degenerate inputs (p >= n or zero variance).
+ */
+double autocorrelationAt(const std::vector<double>& series,
+                         std::size_t lag);
+
+/**
+ * An autocorrelogram: coefficients for lags 0..maxLag (inclusive).
+ * r_0 is 1 by definition for a non-degenerate series.
+ */
+std::vector<double> autocorrelogram(const std::vector<double>& series,
+                                    std::size_t max_lag);
+
+/** A detected autocorrelogram peak. */
+struct AutocorrPeak
+{
+    std::size_t lag = 0;  //!< lag of the local maximum
+    double value = 0.0;   //!< coefficient at that lag
+};
+
+/**
+ * Find local maxima of an autocorrelogram above a floor value,
+ * excluding lag 0 and enforcing a minimum separation between peaks.
+ */
+std::vector<AutocorrPeak> findPeaks(const std::vector<double>& correlogram,
+                                    double min_value,
+                                    std::size_t min_separation = 8);
+
+} // namespace cchunter
+
+#endif // CCHUNTER_DETECT_AUTOCORRELATION_HH

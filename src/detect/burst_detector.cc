@@ -1,0 +1,131 @@
+#include "detect/burst_detector.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+BurstDetector::BurstDetector(BurstDetectorParams params)
+    : params_(params)
+{
+    if (params_.likelihoodThreshold < 0.0 ||
+        params_.likelihoodThreshold > 1.0)
+        fatal("BurstDetector: likelihoodThreshold outside [0,1]");
+    if (params_.gentleSlopeFraction <= 0.0)
+        fatal("BurstDetector: gentleSlopeFraction must be positive");
+}
+
+std::optional<std::size_t>
+BurstDetector::thresholdDensity(const Histogram& hist) const
+{
+    const std::size_t n = hist.numBins();
+    if (hist.countInRange(1, n - 1) == 0)
+        return std::nullopt;
+
+    // When even the least-dense window holds two or more events there
+    // is no non-burst distribution at all: the train is wall-to-wall
+    // contention (continuous signalling) and every populated bin
+    // belongs to the burst distribution.
+    std::size_t first_populated = 0;
+    while (first_populated < n && hist.bin(first_populated) == 0)
+        ++first_populated;
+    if (first_populated >= 2)
+        return first_populated;
+
+    // Fit a curve to the histogram (three-point moving average).
+    std::vector<double> smooth(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        double sum = static_cast<double>(hist.bin(i));
+        double cnt = 1.0;
+        if (i > 0) {
+            sum += static_cast<double>(hist.bin(i - 1));
+            cnt += 1.0;
+        }
+        if (i + 1 < n) {
+            sum += static_cast<double>(hist.bin(i + 1));
+            cnt += 1.0;
+        }
+        smooth[i] = sum / cnt;
+    }
+
+    // Suffix maxima: the largest smoothed count at or beyond each bin.
+    std::vector<double> suffix_max(n + 1, 0.0);
+    for (std::size_t i = n; i-- > 0;)
+        suffix_max[i] = std::max(smooth[i], suffix_max[i + 1]);
+
+    // Rule 1: the first bin of the fitted curve that is smaller than
+    // its predecessor, not larger than its successor, and a genuine
+    // valley (well below the remaining right-tail mass) — the point
+    // separating the non-burst and burst distributions.
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+        if (smooth[i] < smooth[i - 1] && smooth[i] <= smooth[i + 1] &&
+            smooth[i] <= params_.valleyDepthRatio * suffix_max[i + 1])
+            return i;
+    }
+
+    // Rule 2 (fallback): the bin where the slope of the fitted curve
+    // becomes gentle, relative to the curve's own scale beyond bin 0
+    // (a monotonically decaying benign histogram reaches this deep in
+    // its tail).
+    const double peak1 =
+        n > 1 ? suffix_max[1] : suffix_max[0];
+    const double gentle =
+        std::max(params_.gentleSlopeFraction * peak1, 1e-9);
+    for (std::size_t i = 1; i < n; ++i) {
+        const double slope = smooth[i - 1] - smooth[i];
+        if (std::abs(slope) <= gentle)
+            return i;
+    }
+    return n - 1;
+}
+
+BurstAnalysis
+BurstDetector::analyze(const Histogram& hist) const
+{
+    BurstAnalysis out;
+    const std::size_t n = hist.numBins();
+    out.nonZeroSamples = hist.countInRange(1, n - 1);
+
+    const auto threshold = thresholdDensity(hist);
+    if (!threshold) {
+        // All samples (if any) sit in bin 0: no contention at all.
+        return out;
+    }
+    out.thresholdBin = *threshold;
+    out.nonBurstMean =
+        out.thresholdBin > 0 ?
+        hist.meanInRange(0, out.thresholdBin - 1) : 0.0;
+    out.burstSamples = hist.countInRange(out.thresholdBin, n - 1);
+
+    if (out.burstSamples == 0)
+        return out;
+
+    out.burstMean = hist.meanInRange(out.thresholdBin, n - 1);
+    out.burstPeakBin = hist.peakBin(out.thresholdBin, n - 1);
+
+    // Extent of the burst distribution (first/last populated bin at or
+    // beyond the threshold).
+    out.burstFirstBin = out.thresholdBin;
+    while (out.burstFirstBin < n - 1 && hist.bin(out.burstFirstBin) == 0)
+        ++out.burstFirstBin;
+    out.burstLastBin = hist.maxNonZeroBin();
+
+    out.hasSecondDistribution = out.burstMean > params_.minBurstMean;
+    if (!out.hasSecondDistribution)
+        return out;
+
+    out.likelihoodRatio =
+        out.nonZeroSamples == 0 ? 0.0 :
+        static_cast<double>(out.burstSamples) /
+        static_cast<double>(out.nonZeroSamples);
+    out.significant =
+        out.likelihoodRatio >= params_.likelihoodThreshold &&
+        out.nonZeroSamples >= params_.minNonZeroSamples;
+    return out;
+}
+
+} // namespace cchunter

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Recurrent-burst detection over event-density histograms
+ * (paper section IV-B, steps three and four).
+ *
+ * A bursty train produces a bimodal density histogram: a non-burst
+ * distribution whose mean density is below 1.0 and a burst distribution
+ * in the right tail whose mean exceeds 1.0.  The two are separated at the
+ * *threshold density* — the first bin smaller than its predecessor and
+ * not larger than its successor — and the burst distribution's
+ * significance is measured by its likelihood ratio (samples in the burst
+ * distribution over all samples, bin 0 excluded).
+ */
+
+#ifndef CCHUNTER_DETECT_BURST_DETECTOR_HH
+#define CCHUNTER_DETECT_BURST_DETECTOR_HH
+
+#include <cstddef>
+#include <optional>
+
+#include "util/histogram.hh"
+
+namespace cchunter
+{
+
+/** Tunable thresholds for burst detection. */
+struct BurstDetectorParams
+{
+    /**
+     * Likelihood ratio above which the burst distribution is considered
+     * significant.  The paper observes >= 0.9 for real channels and
+     * < 0.5 for benign programs, and sets a conservative 0.5 cut-off.
+     */
+    double likelihoodThreshold = 0.5;
+
+    /**
+     * When no interior valley exists, the threshold falls back to the
+     * first bin where the smoothed downward slope flattens to below
+     * this fraction of the curve's peak beyond bin 0.
+     */
+    double gentleSlopeFraction = 0.01;
+
+    /**
+     * A local minimum of the fitted (smoothed) curve only separates
+     * "two distinct distributions" when it is a genuine valley: its
+     * value must not exceed this fraction of the largest smoothed
+     * count at any later bin.  This rejects sawtooth artefacts in a
+     * monotonically decaying (benign) contention histogram.
+     */
+    double valleyDepthRatio = 0.5;
+
+    /** Minimum mean density for a valid burst (second) distribution. */
+    double minBurstMean = 1.0;
+
+    /**
+     * Minimum non-idle samples (Δt windows with at least one event)
+     * for a likelihood ratio to be meaningful.  A histogram with a
+     * handful of contended windows carries too little evidence to call
+     * a burst distribution significant.
+     */
+    std::uint64_t minNonZeroSamples = 8;
+};
+
+/** Outcome of analysing one event-density histogram. */
+struct BurstAnalysis
+{
+    /** Separating bin between non-burst and burst distributions. */
+    std::size_t thresholdBin = 0;
+
+    /** True when a distinct second (burst) distribution exists. */
+    bool hasSecondDistribution = false;
+
+    /** Likelihood ratio of the burst distribution (bin 0 excluded). */
+    double likelihoodRatio = 0.0;
+
+    /** Mean density of the non-burst distribution (bins < threshold). */
+    double nonBurstMean = 0.0;
+
+    /** Mean density of the burst distribution (bins >= threshold). */
+    double burstMean = 0.0;
+
+    /** Peak (most populated) bin of the burst distribution. */
+    std::size_t burstPeakBin = 0;
+
+    /** First and last non-empty bins of the burst distribution. */
+    std::size_t burstFirstBin = 0;
+    std::size_t burstLastBin = 0;
+
+    /** Total samples in the burst distribution. */
+    std::uint64_t burstSamples = 0;
+
+    /** Total samples excluding bin 0. */
+    std::uint64_t nonZeroSamples = 0;
+
+    /** True when the burst distribution passes the likelihood test. */
+    bool significant = false;
+};
+
+/**
+ * Detects burst (contention-cluster) patterns in density histograms.
+ */
+class BurstDetector
+{
+  public:
+    explicit BurstDetector(BurstDetectorParams params = {});
+
+    /** Analyse one event-density histogram. */
+    BurstAnalysis analyze(const Histogram& hist) const;
+
+    /**
+     * Locate the threshold density bin for a histogram: the first
+     * genuine valley of the fitted (smoothed) curve — smaller than its
+     * predecessor, not larger than its successor, and well below the
+     * remaining right-tail mass — with the gentle-slope rule as the
+     * fallback.  Returns std::nullopt when the histogram has no
+     * samples beyond bin 0.
+     */
+    std::optional<std::size_t> thresholdDensity(const Histogram& hist)
+        const;
+
+    const BurstDetectorParams& params() const { return params_; }
+
+  private:
+    BurstDetectorParams params_;
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_DETECT_BURST_DETECTOR_HH

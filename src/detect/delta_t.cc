@@ -1,0 +1,47 @@
+#include "detect/delta_t.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+double
+alphaForResource(const ResourceTiming& timing)
+{
+    if (timing.maxBandwidthBps <= 0.0 || timing.minBandwidthBps <= 0.0)
+        fatal("alphaForResource: bandwidths must be positive");
+    if (timing.maxBandwidthBps < timing.minBandwidthBps)
+        fatal("alphaForResource: max bandwidth below min bandwidth");
+    if (timing.conflictsPerBit <= 0.0)
+        fatal("alphaForResource: conflictsPerBit must be positive");
+    // Bit times at the bandwidth extremes, in seconds.
+    const double t_fast = 1.0 / timing.maxBandwidthBps;
+    const double t_slow = 1.0 / timing.minBandwidthBps;
+    // Geometric mean keeps Delta-t between the extremes on a log scale;
+    // dividing by the burst size positions one Delta-t around one burst.
+    const double ratio = std::sqrt(t_fast * t_slow) / t_fast;
+    return ratio / timing.conflictsPerBit;
+}
+
+Tick
+determineDeltaT(const EventTrain& train, double alpha, Tick min_dt,
+                Tick max_dt)
+{
+    if (alpha <= 0.0)
+        fatal("determineDeltaT: alpha must be positive");
+    if (train.empty())
+        return std::clamp<Tick>(min_dt, min_dt, max_dt);
+    const double rate = train.meanRate();
+    if (rate <= 0.0)
+        return std::clamp<Tick>(min_dt, min_dt, max_dt);
+    const double dt = alpha / rate;
+    const double clamped =
+        std::clamp(dt, static_cast<double>(min_dt),
+                   static_cast<double>(max_dt));
+    return std::max<Tick>(1, static_cast<Tick>(clamped));
+}
+
+} // namespace cchunter

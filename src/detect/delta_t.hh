@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Determination of the event-density observation interval Δt
+ * (paper section IV-B, algorithm step one).
+ *
+ * Δt is the product of the inverse of the average event rate and an
+ * empirical constant α derived from the maximum and minimum achievable
+ * covert-channel bandwidths on the monitored hardware.  α tempers Δt so
+ * that it is neither so small that densities degenerate to a Poisson
+ * process nor so large that they approach a normal distribution.
+ */
+
+#ifndef CCHUNTER_DETECT_DELTA_T_HH
+#define CCHUNTER_DETECT_DELTA_T_HH
+
+#include "detect/event_train.hh"
+#include "util/types.hh"
+
+namespace cchunter
+{
+
+/**
+ * Parameters describing a monitored shared-hardware resource, used to
+ * derive the α constant.
+ */
+struct ResourceTiming
+{
+    /** Conflicts/second required to reliably signal one bit at the
+     *  maximum achievable channel bandwidth. */
+    double maxBandwidthBps = 1000.0;
+    /** Lowest bandwidth considered a feasible channel (TCSEC: 0.1 bps). */
+    double minBandwidthBps = 0.1;
+    /** Typical number of back-to-back conflict events needed to signal
+     *  one bit reliably on this resource. */
+    double conflictsPerBit = 20.0;
+};
+
+/**
+ * Compute the α tempering constant for a resource.
+ *
+ * α is chosen so that, at the maximum channel bandwidth, one Δt window
+ * spans roughly one bit's worth of conflict events: the geometric mean of
+ * the max- and min-bandwidth bit times measured in conflict events,
+ * normalised by the conflicts-per-bit burst size.
+ */
+double alphaForResource(const ResourceTiming& timing);
+
+/**
+ * Determine Δt for an event train: (1 / mean event rate) * α.
+ *
+ * @param train Event train with a valid observation window.
+ * @param alpha Empirical tempering constant (see alphaForResource()).
+ * @param min_dt Lower clamp (hardware countdown granularity).
+ * @param max_dt Upper clamp (window must contain many Δt's).
+ * @return Interval length in ticks; at least 1.
+ */
+Tick determineDeltaT(const EventTrain& train, double alpha,
+                     Tick min_dt = 1, Tick max_dt = maxTick);
+
+} // namespace cchunter
+
+#endif // CCHUNTER_DETECT_DELTA_T_HH

@@ -1,0 +1,113 @@
+#include "detect/detector.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+std::string
+ContentionVerdict::summary() const
+{
+    std::ostringstream os;
+    os << (detected ? "DETECTED" : "clean")
+       << " likelihood=" << combined.likelihoodRatio
+       << " threshold_bin=" << combined.thresholdBin
+       << " burst_peak_bin=" << combined.burstPeakBin
+       << " bursty_quanta=" << recurrence.burstyQuanta
+       << " recurrent=" << (recurrence.recurrent ? "yes" : "no");
+    return os.str();
+}
+
+std::string
+OscillationVerdict::summary() const
+{
+    std::ostringstream os;
+    os << (detected ? "DETECTED" : "clean")
+       << " dominant_lag=" << analysis.dominantLag
+       << " peak=" << analysis.dominantValue
+       << " trough=" << analysis.deepestTrough
+       << " period_score=" << analysis.periodScore
+       << " events=" << analysis.seriesLength;
+    return os.str();
+}
+
+CCHunter::CCHunter(CCHunterParams params)
+    : params_(params)
+{
+}
+
+ContentionVerdict
+CCHunter::analyzeContention(const std::vector<Histogram>& quanta) const
+{
+    ContentionVerdict out;
+    if (quanta.empty())
+        return out;
+
+    BurstDetector detector(params_.clustering.burst);
+    out.perQuantum.reserve(quanta.size());
+    Histogram merged(quanta.front().numBins());
+    for (const auto& h : quanta) {
+        merged.merge(h);
+        BurstAnalysis ba = detector.analyze(h);
+        if (ba.significant)
+            ++out.significantQuanta;
+        out.perQuantum.push_back(std::move(ba));
+    }
+    out.combined = detector.analyze(merged);
+
+    PatternClusteringAnalyzer clusterer(params_.clustering);
+    out.recurrence = clusterer.analyze(quanta);
+
+    // A channel is flagged when significant bursts exist and recur.
+    // With a single quantum of data, the per-quantum significance alone
+    // decides (there is no recurrence to establish yet).
+    if (quanta.size() == 1) {
+        out.detected = out.combined.significant;
+    } else {
+        out.detected = out.recurrence.recurrent;
+    }
+    return out;
+}
+
+OscillationVerdict
+CCHunter::analyzeOscillation(
+        const std::vector<double>& label_series) const
+{
+    OscillationVerdict out;
+    OscillationDetector detector(params_.oscillation);
+    out.analysis = detector.analyze(label_series);
+    out.detected = out.analysis.oscillating;
+    return out;
+}
+
+OscillationVerdict
+CCHunter::analyzeOscillationWindowed(
+        const std::vector<double>& label_series,
+        std::size_t num_windows) const
+{
+    if (num_windows == 0)
+        fatal("analyzeOscillationWindowed: need at least one window");
+    OscillationVerdict best;
+    const std::size_t n = label_series.size();
+    const std::size_t win = std::max<std::size_t>(1, n / num_windows);
+    for (std::size_t w = 0; w < num_windows; ++w) {
+        const std::size_t lo = w * win;
+        if (lo >= n)
+            break;
+        const std::size_t hi = std::min(n, lo + win);
+        std::vector<double> sub(label_series.begin() + lo,
+                                label_series.begin() + hi);
+        OscillationVerdict v = analyzeOscillation(sub);
+        const bool better =
+            (v.detected && !best.detected) ||
+            (v.detected == best.detected &&
+             v.analysis.dominantValue > best.analysis.dominantValue);
+        if (better)
+            best = std::move(v);
+    }
+    return best;
+}
+
+} // namespace cchunter

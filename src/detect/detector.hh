@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The CC-Hunter detection facade: the software half of the framework.
+ *
+ * The CC-Auditor hardware (src/auditor) produces, per OS time quantum,
+ * either event-density histogram snapshots (contention channels on
+ * combinational hardware) or labelled conflict-miss streams (cache
+ * channels).  This facade feeds those observations through the burst /
+ * recurrence and oscillation analyses and renders verdicts.
+ */
+
+#ifndef CCHUNTER_DETECT_DETECTOR_HH
+#define CCHUNTER_DETECT_DETECTOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "detect/burst_detector.hh"
+#include "detect/oscillation_detector.hh"
+#include "detect/pattern_clustering.hh"
+#include "util/histogram.hh"
+
+namespace cchunter
+{
+
+/** Verdict from the contention (recurrent-burst) path. */
+struct ContentionVerdict
+{
+    /** Burst analysis of the merged (all-quanta) histogram. */
+    BurstAnalysis combined;
+
+    /** Per-quantum burst analyses. */
+    std::vector<BurstAnalysis> perQuantum;
+
+    /** Recurrence analysis over the quanta window. */
+    PatternClusteringResult recurrence;
+
+    /** Number of quanta whose own histogram was burst-significant. */
+    std::size_t significantQuanta = 0;
+
+    /** Covert timing channel likely present on this resource. */
+    bool detected = false;
+
+    /** Human-readable one-line summary. */
+    std::string summary() const;
+};
+
+/** Verdict from the oscillation (cache-channel) path. */
+struct OscillationVerdict
+{
+    OscillationAnalysis analysis;
+
+    /** Covert timing channel likely present on this resource. */
+    bool detected = false;
+
+    /** Human-readable one-line summary. */
+    std::string summary() const;
+};
+
+/** Configuration of a full CC-Hunter software instance. */
+struct CCHunterParams
+{
+    PatternClusteringParams clustering;
+    OscillationParams oscillation;
+};
+
+/**
+ * The CC-Hunter analysis engine.
+ *
+ * analyzeContention() consumes per-quantum event-density histograms for
+ * one monitored combinational resource; analyzeOscillation() consumes
+ * the labelled conflict-miss series for a monitored cache.
+ */
+class CCHunter
+{
+  public:
+    explicit CCHunter(CCHunterParams params = {});
+
+    /** Run the recurrent-burst pipeline over a window of quanta. */
+    ContentionVerdict analyzeContention(
+        const std::vector<Histogram>& quanta) const;
+
+    /** Run the oscillation pipeline over a labelled event series. */
+    OscillationVerdict analyzeOscillation(
+        const std::vector<double>& label_series) const;
+
+    /**
+     * Run the oscillation pipeline over sub-windows of the series and
+     * report the strongest verdict.  Fine-grained windows improve the
+     * detection probability of low-bandwidth channels (paper VI-A).
+     *
+     * @param label_series Full labelled event series.
+     * @param num_windows Number of equal sub-windows to analyse.
+     */
+    OscillationVerdict analyzeOscillationWindowed(
+        const std::vector<double>& label_series,
+        std::size_t num_windows) const;
+
+    const CCHunterParams& params() const { return params_; }
+
+  private:
+    CCHunterParams params_;
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_DETECT_DETECTOR_HH

@@ -1,0 +1,63 @@
+#include "detect/discretizer.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+HistogramDiscretizer::HistogramDiscretizer(DiscretizerParams params)
+    : params_(params)
+{
+    if (params_.alphabetSize < 2)
+        fatal("HistogramDiscretizer: alphabet must have >= 2 symbols");
+    if (params_.alphabetSize > 64)
+        fatal("HistogramDiscretizer: alphabet too large");
+}
+
+unsigned
+HistogramDiscretizer::levelOf(std::uint64_t count) const
+{
+    // floor(log2(count + 1)): 0 -> 0, 1 -> 1, 2..3 -> 2, 4..7 -> 3, ...
+    const unsigned level =
+        count == 0 ? 0u
+                   : static_cast<unsigned>(std::bit_width(count + 1) - 1);
+    return std::min(level, params_.alphabetSize - 1);
+}
+
+std::string
+HistogramDiscretizer::toString(const Histogram& hist) const
+{
+    std::string out;
+    out.reserve(hist.numBins());
+    for (std::size_t i = 0; i < hist.numBins(); ++i)
+        out.push_back(static_cast<char>('0' + levelOf(hist.bin(i))));
+    return out;
+}
+
+std::vector<double>
+HistogramDiscretizer::toFeatures(const Histogram& hist) const
+{
+    std::vector<double> out;
+    out.reserve(hist.numBins());
+    for (std::size_t i = 0; i < hist.numBins(); ++i)
+        out.push_back(static_cast<double>(levelOf(hist.bin(i))));
+    return out;
+}
+
+std::size_t
+HistogramDiscretizer::hammingDistance(const std::string& a,
+                                      const std::string& b)
+{
+    if (a.size() != b.size())
+        fatal("hammingDistance: length mismatch");
+    std::size_t d = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i] != b[i])
+            ++d;
+    return d;
+}
+
+} // namespace cchunter

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Discretization of event-density histograms into symbol strings
+ * (paper section IV-B, step five, part one).
+ *
+ * Each per-quantum histogram is rendered as a fixed-length string of
+ * symbols, one per bin, where the symbol encodes the bin count on a
+ * logarithmic scale.  Strings abstract away small count fluctuations so
+ * that k-means clustering groups quanta with the same burst signature.
+ */
+
+#ifndef CCHUNTER_DETECT_DISCRETIZER_HH
+#define CCHUNTER_DETECT_DISCRETIZER_HH
+
+#include <string>
+#include <vector>
+
+#include "util/histogram.hh"
+
+namespace cchunter
+{
+
+/** Parameters for histogram discretization. */
+struct DiscretizerParams
+{
+    /** Number of distinct symbols (log-scale levels). */
+    unsigned alphabetSize = 8;
+};
+
+/**
+ * Converts histograms to symbol strings and numeric feature vectors.
+ */
+class HistogramDiscretizer
+{
+  public:
+    explicit HistogramDiscretizer(DiscretizerParams params = {});
+
+    /**
+     * Discretize a histogram into a string with one character per bin.
+     * Character '0' + level, level = min(alphabet-1, floor(log2(c + 1))).
+     */
+    std::string toString(const Histogram& hist) const;
+
+    /**
+     * Numeric feature embedding of the same discretization, suitable for
+     * k-means (one dimension per bin, values 0..alphabetSize-1).
+     */
+    std::vector<double> toFeatures(const Histogram& hist) const;
+
+    /** Symbol level for a single bin count. */
+    unsigned levelOf(std::uint64_t count) const;
+
+    /** Hamming distance between two equal-length symbol strings. */
+    static std::size_t hammingDistance(const std::string& a,
+                                       const std::string& b);
+
+    const DiscretizerParams& params() const { return params_; }
+
+  private:
+    DiscretizerParams params_;
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_DETECT_DISCRETIZER_HH

@@ -1,0 +1,42 @@
+#include "detect/event_density.hh"
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+std::vector<std::uint32_t>
+eventDensitySeries(const EventTrain& train, Tick delta_t)
+{
+    if (delta_t == 0)
+        fatal("eventDensitySeries: delta_t must be positive");
+    const Tick begin = train.windowBegin();
+    const Tick end = train.windowEnd();
+    std::vector<std::uint32_t> out;
+    if (end <= begin)
+        return out;
+    const Tick span = end - begin;
+    const std::size_t n_windows =
+        static_cast<std::size_t>((span + delta_t - 1) / delta_t);
+    out.assign(n_windows, 0);
+    for (const auto& e : train.events()) {
+        if (e.time < begin || e.time >= end)
+            continue;
+        const std::size_t idx =
+            static_cast<std::size_t>((e.time - begin) / delta_t);
+        ++out[idx];
+    }
+    return out;
+}
+
+Histogram
+buildEventDensityHistogram(const EventTrain& train, Tick delta_t,
+                           std::size_t num_bins)
+{
+    Histogram hist(num_bins);
+    for (auto density : eventDensitySeries(train, delta_t))
+        hist.addSample(density);
+    return hist;
+}
+
+} // namespace cchunter

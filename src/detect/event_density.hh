@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Event density histogram construction (paper section IV-B, step two).
+ *
+ * The observation window is divided into consecutive Δt intervals; the
+ * number of indicator events inside each interval is its *density*, and
+ * the histogram counts how many intervals exhibited each density.
+ */
+
+#ifndef CCHUNTER_DETECT_EVENT_DENSITY_HH
+#define CCHUNTER_DETECT_EVENT_DENSITY_HH
+
+#include <vector>
+
+#include "detect/event_train.hh"
+#include "util/histogram.hh"
+#include "util/types.hh"
+
+namespace cchunter
+{
+
+/**
+ * Build the event-density histogram for a train at interval Δt.
+ *
+ * @param train Event train with a valid observation window.
+ * @param delta_t Density interval in ticks (>= 1).
+ * @param num_bins Histogram bins (hardware buffer: 128 entries).
+ * @return Histogram whose bin i counts the Δt windows with i events
+ *         (densities >= num_bins land in the last bin).
+ */
+Histogram buildEventDensityHistogram(const EventTrain& train, Tick delta_t,
+                                     std::size_t num_bins = 128);
+
+/**
+ * The per-interval density sequence itself (one entry per Δt window),
+ * used by tests and by the density-sequence diagnostics.
+ */
+std::vector<std::uint32_t> eventDensitySeries(const EventTrain& train,
+                                              Tick delta_t);
+
+} // namespace cchunter
+
+#endif // CCHUNTER_DETECT_EVENT_DENSITY_HH

@@ -1,0 +1,109 @@
+#include "detect/event_train.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+EventTrain::EventTrain(Tick begin, Tick end)
+    : begin_(begin), end_(end), explicitWindow_(true)
+{
+    if (end < begin)
+        fatal("EventTrain window end precedes begin");
+}
+
+void
+EventTrain::addEvent(Tick time, std::uint8_t label)
+{
+    if (!events_.empty() && time < events_.back().time)
+        panic("EventTrain events must be appended in time order");
+    events_.push_back(Event{time, label});
+    if (!explicitWindow_) {
+        if (events_.size() == 1)
+            begin_ = time;
+        end_ = time + 1;
+    }
+}
+
+void
+EventTrain::setWindow(Tick begin, Tick end)
+{
+    if (end < begin)
+        fatal("EventTrain window end precedes begin");
+    begin_ = begin;
+    end_ = end;
+    explicitWindow_ = true;
+}
+
+Tick
+EventTrain::duration() const
+{
+    return end_ > begin_ ? end_ - begin_ : 1;
+}
+
+double
+EventTrain::meanRate() const
+{
+    return static_cast<double>(events_.size()) /
+           static_cast<double>(duration());
+}
+
+std::size_t
+EventTrain::countInRange(Tick t0, Tick t1) const
+{
+    auto lo = std::lower_bound(
+        events_.begin(), events_.end(), t0,
+        [](const Event& e, Tick t) { return e.time < t; });
+    auto hi = std::lower_bound(
+        events_.begin(), events_.end(), t1,
+        [](const Event& e, Tick t) { return e.time < t; });
+    return static_cast<std::size_t>(hi - lo);
+}
+
+EventTrain
+EventTrain::slice(Tick t0, Tick t1) const
+{
+    EventTrain out(t0, t1);
+    for (const auto& e : events_) {
+        if (e.time >= t1)
+            break;
+        if (e.time >= t0)
+            out.addEvent(e.time, e.label);
+    }
+    return out;
+}
+
+std::vector<double>
+EventTrain::labelSeries() const
+{
+    std::vector<double> out;
+    out.reserve(events_.size());
+    for (const auto& e : events_)
+        out.push_back(static_cast<double>(e.label));
+    return out;
+}
+
+std::vector<double>
+EventTrain::interEventIntervals() const
+{
+    std::vector<double> out;
+    if (events_.size() < 2)
+        return out;
+    out.reserve(events_.size() - 1);
+    for (std::size_t i = 1; i < events_.size(); ++i)
+        out.push_back(static_cast<double>(
+            events_[i].time - events_[i - 1].time));
+    return out;
+}
+
+void
+EventTrain::clear()
+{
+    events_.clear();
+    begin_ = end_ = 0;
+    explicitWindow_ = false;
+}
+
+} // namespace cchunter

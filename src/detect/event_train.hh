@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Event trains: uni-dimensional time series of indicator-event
+ * occurrences (paper section IV-B, step two).
+ *
+ * Combinational-hardware channels are analysed from an *unlabelled* train
+ * (each event is one conflict: a bus lock, a divider-wait).  Cache
+ * channels are analysed from a *labelled* train where each conflict miss
+ * carries an identifier derived from its (replacer, victim) context pair.
+ */
+
+#ifndef CCHUNTER_DETECT_EVENT_TRAIN_HH
+#define CCHUNTER_DETECT_EVENT_TRAIN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace cchunter
+{
+
+/** One recorded indicator event. */
+struct Event
+{
+    Tick time = 0;          //!< occurrence time in CPU cycles
+    std::uint8_t label = 0; //!< ordered replacer/victim pair id (or 0)
+};
+
+/**
+ * An append-only, time-ordered record of indicator events within an
+ * observation window.
+ */
+class EventTrain
+{
+  public:
+    EventTrain() = default;
+
+    /** Construct with an explicit observation window [begin, end). */
+    EventTrain(Tick begin, Tick end);
+
+    /** Append an event; times must be non-decreasing. */
+    void addEvent(Tick time, std::uint8_t label = 0);
+
+    /** Number of recorded events. */
+    std::size_t size() const { return events_.size(); }
+
+    /** @return true when no events are recorded. */
+    bool empty() const { return events_.empty(); }
+
+    /** Event at index i. */
+    const Event& operator[](std::size_t i) const { return events_[i]; }
+
+    /** All events in time order. */
+    const std::vector<Event>& events() const { return events_; }
+
+    /** Start of the observation window. */
+    Tick windowBegin() const { return begin_; }
+
+    /** End of the observation window (exclusive). */
+    Tick windowEnd() const { return end_; }
+
+    /** Set the observation window explicitly. */
+    void setWindow(Tick begin, Tick end);
+
+    /** Window length in ticks (at least 1). */
+    Tick duration() const;
+
+    /** Mean event rate in events per tick. */
+    double meanRate() const;
+
+    /** Number of events with time in [t0, t1). */
+    std::size_t countInRange(Tick t0, Tick t1) const;
+
+    /** Sub-train containing events in [t0, t1), window set to match. */
+    EventTrain slice(Tick t0, Tick t1) const;
+
+    /** Labels of all events, in order, as doubles (for autocorrelation). */
+    std::vector<double> labelSeries() const;
+
+    /** Inter-event intervals (size()-1 entries). */
+    std::vector<double> interEventIntervals() const;
+
+    /** Remove all events and reset the window. */
+    void clear();
+
+  private:
+    std::vector<Event> events_;
+    Tick begin_ = 0;
+    Tick end_ = 0;
+    bool explicitWindow_ = false;
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_DETECT_EVENT_TRAIN_HH

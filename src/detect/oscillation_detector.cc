@@ -1,0 +1,82 @@
+#include "detect/oscillation_detector.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace cchunter
+{
+
+OscillationDetector::OscillationDetector(OscillationParams params)
+    : params_(params)
+{
+    if (params_.maxLag < 2)
+        fatal("OscillationDetector: maxLag must be at least 2");
+}
+
+OscillationAnalysis
+OscillationDetector::analyze(const std::vector<double>& series) const
+{
+    OscillationAnalysis out;
+    out.seriesLength = series.size();
+    out.correlogram = autocorrelogram(series, params_.maxLag);
+    if (series.size() < params_.minSeriesLength)
+        return out;
+
+    out.r1 = out.correlogram.size() > 1 ? out.correlogram[1] : 0.0;
+    for (std::size_t lag = 1; lag < out.correlogram.size(); ++lag)
+        out.deepestTrough =
+            std::min(out.deepestTrough, out.correlogram[lag]);
+
+    out.peaks = findPeaks(out.correlogram, params_.peakThreshold,
+                          params_.minPeakSeparation);
+    if (out.peaks.empty())
+        return out;
+
+    const auto strongest = std::max_element(
+        out.peaks.begin(), out.peaks.end(),
+        [](const AutocorrPeak& a, const AutocorrPeak& b) {
+            return a.value < b.value;
+        });
+    out.dominantLag = strongest->lag;
+    out.dominantValue = strongest->value;
+
+    if (out.peaks.size() >= 2) {
+        // Multi-peak signature: evenly spaced peaks spanning most of the
+        // lag range.
+        std::vector<double> spacings;
+        spacings.reserve(out.peaks.size() - 1);
+        for (std::size_t i = 1; i < out.peaks.size(); ++i)
+            spacings.push_back(static_cast<double>(
+                out.peaks[i].lag - out.peaks[i - 1].lag));
+        const double mean_spacing = meanOf(spacings);
+        const double sd = std::sqrt(varianceOf(spacings));
+        out.periodScore = mean_spacing > 0.0 ?
+            std::clamp(1.0 - sd / mean_spacing, 0.0, 1.0) : 0.0;
+        // Span from the origin through the last peak: a full periodic
+        // train has peaks from ~period through ~maxLag.
+        out.spanFraction =
+            static_cast<double>(out.peaks.back().lag) /
+            static_cast<double>(params_.maxLag);
+        if (out.periodScore >= params_.minPeriodScore &&
+            out.spanFraction >= params_.minSpanFraction) {
+            out.oscillating = true;
+        }
+    }
+
+    if (!out.oscillating) {
+        // Single-strong-peak signature: one high peak plus a deep
+        // negative trough near the half period (square-wave train whose
+        // period fits the correlogram only once).
+        if (out.dominantValue >= params_.strongPeakThreshold &&
+            out.deepestTrough <= -params_.troughThreshold) {
+            out.oscillating = true;
+            // The dominant period estimate remains the strongest peak.
+        }
+    }
+    return out;
+}
+
+} // namespace cchunter

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Oscillatory-pattern detection on labelled conflict-miss event trains
+ * (paper section IV-D).
+ *
+ * An oscillation is inferred when the autocorrelogram of the label
+ * series shows significant periodicity with sufficiently high peaks.
+ * Two signatures are accepted:
+ *   - multiple evenly spaced peaks covering a substantial share of the
+ *     lag range (channels whose period fits several times into the
+ *     correlogram, e.g. few cache sets), and
+ *   - a single strong peak accompanied by a deep negative trough near
+ *     the half period (square-wave-like trains whose period fits only
+ *     once, e.g. 512 sets with a 1000-lag correlogram).
+ * Brief local wiggles (e.g. the webserver pair's transient periodicity
+ * between lags 120 and 180) fail the span requirement and are ignored.
+ */
+
+#ifndef CCHUNTER_DETECT_OSCILLATION_DETECTOR_HH
+#define CCHUNTER_DETECT_OSCILLATION_DETECTOR_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "detect/autocorrelation.hh"
+
+namespace cchunter
+{
+
+/** Tunable thresholds for oscillation detection. */
+struct OscillationParams
+{
+    /** Highest lag evaluated in the autocorrelogram. */
+    std::size_t maxLag = 1000;
+
+    /** Minimum coefficient for a local maximum to count as a peak. */
+    double peakThreshold = 0.35;
+
+    /** Minimum coefficient for the single-peak signature. */
+    double strongPeakThreshold = 0.6;
+
+    /** Minimum |negative| trough accompanying a single strong peak. */
+    double troughThreshold = 0.2;
+
+    /** Minimum spacing regularity (1 - cv of peak spacings). */
+    double minPeriodScore = 0.7;
+
+    /** Peaks must span at least this fraction of the lag range. */
+    double minSpanFraction = 0.4;
+
+    /** Minimum events in the train for a meaningful analysis. */
+    std::size_t minSeriesLength = 64;
+
+    /** Minimum separation between detected peaks. */
+    std::size_t minPeakSeparation = 8;
+};
+
+/** Outcome of oscillation analysis on one label series. */
+struct OscillationAnalysis
+{
+    /** Autocorrelation coefficients for lags 0..maxLag. */
+    std::vector<double> correlogram;
+
+    /** Detected peaks (lag > 0). */
+    std::vector<AutocorrPeak> peaks;
+
+    /** r_1, the lag-1 coefficient (non-randomness indicator). */
+    double r1 = 0.0;
+
+    /** Lag of the strongest peak (0 when none). */
+    std::size_t dominantLag = 0;
+
+    /** Coefficient at the dominant lag. */
+    double dominantValue = 0.0;
+
+    /** Deepest (most negative) coefficient over all lags. */
+    double deepestTrough = 0.0;
+
+    /** Spacing-regularity score in [0, 1] (multi-peak signature). */
+    double periodScore = 0.0;
+
+    /** Fraction of the lag range covered by the peak sequence. */
+    double spanFraction = 0.0;
+
+    /** Number of events analysed. */
+    std::size_t seriesLength = 0;
+
+    /** Final verdict: the train oscillates. */
+    bool oscillating = false;
+};
+
+/**
+ * Detects oscillatory patterns in labelled event trains.
+ */
+class OscillationDetector
+{
+  public:
+    explicit OscillationDetector(OscillationParams params = {});
+
+    /** Analyse a label series (one value per conflict-miss event). */
+    OscillationAnalysis analyze(const std::vector<double>& series) const;
+
+    const OscillationParams& params() const { return params_; }
+
+  private:
+    OscillationParams params_;
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_DETECT_OSCILLATION_DETECTOR_HH

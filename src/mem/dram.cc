@@ -1,0 +1,32 @@
+#include "mem/dram.hh"
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+Dram::Dram(DramParams params)
+    : params_(params)
+{
+    if (params_.numBanks == 0 || params_.rowBytes == 0)
+        fatal("Dram: banks and row size must be positive");
+    openRow_.assign(params_.numBanks, 0);
+    rowValid_.assign(params_.numBanks, false);
+}
+
+Cycles
+Dram::access(Addr addr)
+{
+    const std::uint64_t row = addr / params_.rowBytes;
+    const std::size_t bank = row % params_.numBanks;
+    if (rowValid_[bank] && openRow_[bank] == row) {
+        ++rowHits_;
+        return params_.rowHitCycles;
+    }
+    openRow_[bank] = row;
+    rowValid_[bank] = true;
+    ++rowMisses_;
+    return params_.rowMissCycles;
+}
+
+} // namespace cchunter

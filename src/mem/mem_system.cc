@@ -1,0 +1,115 @@
+#include "mem/mem_system.hh"
+
+#include <string>
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+MemSystem::MemSystem(MemSystemParams params)
+    : params_(params), bus_(params.bus), dram_(params.dram)
+{
+    if (params_.numCores == 0 || params_.threadsPerCore == 0)
+        fatal("MemSystem: need at least one core and one thread");
+    const unsigned contexts = numContexts();
+    if (contexts > 8)
+        warn("MemSystem: more than 8 contexts; the paper's 3-bit owner "
+             "metadata would not suffice");
+    for (unsigned c = 0; c < contexts; ++c)
+        l1s_.push_back(std::make_unique<Cache>(
+            "l1." + std::to_string(c), params_.l1));
+    for (unsigned c = 0; c < params_.numCores; ++c)
+        l2s_.push_back(std::make_unique<Cache>(
+            "l2." + std::to_string(c), params_.l2));
+}
+
+Cache&
+MemSystem::l1(ContextId ctx)
+{
+    if (ctx >= l1s_.size())
+        panic("MemSystem::l1: context out of range");
+    return *l1s_[ctx];
+}
+
+Cache&
+MemSystem::l2(unsigned core)
+{
+    if (core >= l2s_.size())
+        panic("MemSystem::l2: core out of range");
+    return *l2s_[core];
+}
+
+Cache&
+MemSystem::l2ForContext(ContextId ctx)
+{
+    return l2(coreOf(ctx));
+}
+
+MemAccessOutcome
+MemSystem::access(ContextId ctx, Addr addr, bool write, Tick now)
+{
+    MemAccessOutcome out;
+    Cache& l1c = l1(ctx);
+    const unsigned core = coreOf(ctx);
+    Cache& l2c = l2(core);
+
+    const CacheAccessResult r1 = l1c.access(addr, ctx, now);
+    if (r1.hit) {
+        out.l1Hit = true;
+        out.latency = params_.l1HitCycles;
+        return out;
+    }
+    // L1 miss: evicted L1 lines need no write-back handling in this
+    // timing model.
+    const CacheAccessResult r2 = l2c.access(addr, ctx, now);
+    if (r2.hit) {
+        out.l2Hit = true;
+        out.latency = params_.l1HitCycles + params_.l2HitCycles;
+        return out;
+    }
+    // L2 miss: the fill may have evicted another line from L2; enforce
+    // inclusion by invalidating that line in every L1 of this core.
+    if (r2.evicted) {
+        const unsigned first = core * params_.threadsPerCore;
+        for (unsigned t = 0; t < params_.threadsPerCore; ++t)
+            l1(static_cast<ContextId>(first + t))
+                .invalidate(r2.evictedLineAddr);
+    }
+    // Fetch from DRAM across the shared bus.
+    const Tick bus_done = bus_.transfer(ctx, now);
+    const Cycles dram_lat = dram_.access(addr);
+    const Tick done = bus_done + dram_lat;
+    out.latency = static_cast<Cycles>(done - now) + params_.l2HitCycles +
+                  params_.l1HitCycles;
+    return out;
+}
+
+MemAccessOutcome
+MemSystem::lockedAccess(ContextId ctx, Addr addr, Tick now)
+{
+    MemAccessOutcome out;
+    // Touch both lines the unaligned access spans so that the cache
+    // state reflects the two-line footprint.
+    Cache& l1c = l1(ctx);
+    Cache& l2c = l2ForContext(ctx);
+    const Addr second = addr + l1c.geometry().lineSize;
+    for (Addr a : {addr, second}) {
+        l1c.access(a, ctx, now);
+        const CacheAccessResult r2 = l2c.access(a, ctx, now);
+        if (r2.evicted) {
+            const unsigned first =
+                coreOf(ctx) * params_.threadsPerCore;
+            for (unsigned t = 0; t < params_.threadsPerCore; ++t)
+                l1(static_cast<ContextId>(first + t))
+                    .invalidate(r2.evictedLineAddr);
+        }
+    }
+    // The locked transaction itself: exclusive bus ownership.
+    const Tick done = bus_.lockedTransfer(ctx, now);
+    const Cycles dram_lat = dram_.access(addr);
+    out.latency = static_cast<Cycles>(done - now) + dram_lat;
+    return out;
+}
+
+} // namespace cchunter

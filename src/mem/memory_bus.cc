@@ -1,0 +1,77 @@
+#include "mem/memory_bus.hh"
+
+#include <algorithm>
+
+namespace cchunter
+{
+
+MemoryBus::MemoryBus(BusParams params)
+    : params_(params)
+{
+}
+
+Tick
+MemoryBus::busyUntil() const
+{
+    return lockPending_ ? std::max(freeFrom_, lockEnd_) : freeFrom_;
+}
+
+Tick
+MemoryBus::transfer(ContextId ctx, Tick now)
+{
+    Tick start = std::max(now, freeFrom_);
+    if (lockPending_) {
+        if (start + params_.transferCycles <= lockStart_) {
+            // The transfer fits in the idle gap before the scheduled
+            // lock window.
+        } else {
+            start = std::max(start, lockEnd_);
+            // The lock window now lies behind the cursor.
+            lockPending_ = false;
+        }
+    }
+    totalWait_ += start - now;
+    freeFrom_ = start + params_.transferCycles;
+    ++transfers_;
+    return freeFrom_;
+}
+
+Tick
+MemoryBus::lockedTransfer(ContextId ctx, Tick now)
+{
+    // Locks serialize after all current occupancy, including any
+    // still-pending lock window.
+    Tick start = std::max(now, freeFrom_);
+    if (lockPending_) {
+        start = std::max(start, lockEnd_);
+        // Ordinary transfers may no longer slip before the old window.
+        freeFrom_ = std::max(freeFrom_, lockEnd_);
+    }
+    if (lockRateLimit_ != 0 && start < nextLockAllowed_) {
+        start = nextLockAllowed_;
+        ++throttledLocks_;
+    }
+    totalWait_ += start - now;
+    lockPending_ = true;
+    lockStart_ = start;
+    lockEnd_ = start + params_.lockHoldCycles;
+    nextLockAllowed_ = start + lockRateLimit_;
+    ++locks_;
+    for (const auto& listener : lockListeners_)
+        listener(start, ctx);
+    return lockEnd_;
+}
+
+void
+MemoryBus::setLockRateLimit(Cycles min_interval)
+{
+    lockRateLimit_ = min_interval;
+}
+
+void
+MemoryBus::addLockListener(BusLockListener listener)
+{
+    lockListeners_.push_back(std::move(listener));
+}
+
+} // namespace cchunter

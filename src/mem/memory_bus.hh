@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The shared memory bus / QPI model.
+ *
+ * All off-chip transfers arbitrate for a single shared bus.  Atomic
+ * unaligned accesses spanning two cache lines assert a *bus lock*
+ * (emulated even on QPI systems, per the paper), holding the bus
+ * exclusively for an extended period; lock events are the indicator
+ * events of the memory-bus covert channel.
+ */
+
+#ifndef CCHUNTER_MEM_MEMORY_BUS_HH
+#define CCHUNTER_MEM_MEMORY_BUS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace cchunter
+{
+
+/** Timing of the shared bus. */
+struct BusParams
+{
+    /** Cycles to transfer one cache line across the bus. */
+    Cycles transferCycles = 36;
+
+    /** Cycles a bus lock holds the bus exclusively.  Covers the two
+     *  split transfers plus the locked read-modify-write window. */
+    Cycles lockHoldCycles = 3600;
+};
+
+/**
+ * Listener invoked on every bus-lock operation (the covert-channel
+ * indicator event for wires).
+ */
+using BusLockListener =
+    std::function<void(Tick when, ContextId locker)>;
+
+/**
+ * A single shared memory bus with FIFO arbitration and lock support.
+ */
+class MemoryBus
+{
+  public:
+    explicit MemoryBus(BusParams params = {});
+
+    /**
+     * Arbitrate for the bus for a normal line transfer.
+     * @return the tick at which the transfer completes.
+     */
+    Tick transfer(ContextId ctx, Tick now);
+
+    /**
+     * Perform a locked (atomic unaligned) transaction: waits for the
+     * bus, holds it for lockHoldCycles and fires the lock listeners at
+     * the acquisition tick.
+     * @return the tick at which the locked transaction completes.
+     */
+    Tick lockedTransfer(ContextId ctx, Tick now);
+
+    /** Register a lock-event listener. */
+    void addLockListener(BusLockListener listener);
+
+    /**
+     * Rate-limit locked transactions: successive bus locks are forced
+     * at least `min_interval` cycles apart (0 disables).  A mitigation
+     * control — throttling lock throughput caps the bus channel's
+     * bandwidth without penalising ordinary transfers.
+     */
+    void setLockRateLimit(Cycles min_interval);
+
+    /** Current lock rate limit (0 = none). */
+    Cycles lockRateLimit() const { return lockRateLimit_; }
+
+    /** Locks that were delayed by the rate limiter. */
+    std::uint64_t throttledLocks() const { return throttledLocks_; }
+
+    /** Tick until which the bus is occupied (including any scheduled
+     *  future lock window). */
+    Tick busyUntil() const;
+
+    /** Lifetime statistics. */
+    std::uint64_t transfers() const { return transfers_; }
+    std::uint64_t locks() const { return locks_; }
+    Cycles totalWaitCycles() const { return totalWait_; }
+
+    const BusParams& params() const { return params_; }
+
+  private:
+    BusParams params_;
+    /** The bus is free for ordinary transfers from this tick (up to a
+     *  pending lock window, if one is scheduled). */
+    Tick freeFrom_ = 0;
+    /** A scheduled (possibly rate-limit-deferred) lock window; the
+     *  gap before lockStart_ remains usable by ordinary transfers. */
+    bool lockPending_ = false;
+    Tick lockStart_ = 0;
+    Tick lockEnd_ = 0;
+    /** Earliest tick the next lock may start (rate limiter). */
+    Tick nextLockAllowed_ = 0;
+    std::vector<BusLockListener> lockListeners_;
+    std::uint64_t transfers_ = 0;
+    std::uint64_t locks_ = 0;
+    Cycles totalWait_ = 0;
+    Cycles lockRateLimit_ = 0;
+    std::uint64_t throttledLocks_ = 0;
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_MEM_MEMORY_BUS_HH

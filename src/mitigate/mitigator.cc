@@ -1,0 +1,184 @@
+#include "mitigate/mitigator.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+std::string
+mitigationName(MitigationKind kind)
+{
+    switch (kind) {
+      case MitigationKind::None:
+        return "none";
+      case MitigationKind::UnshareCore:
+        return "unshare-core";
+      case MitigationKind::RateLimitBusLocks:
+        return "rate-limit-bus-locks";
+    }
+    return "unknown";
+}
+
+MitigationKind
+recommendMitigation(MonitorTarget target)
+{
+    switch (target) {
+      case MonitorTarget::MemoryBus:
+        return MitigationKind::RateLimitBusLocks;
+      case MonitorTarget::IntegerDivider:
+      case MonitorTarget::IntegerMultiplier:
+      case MonitorTarget::L2Cache:
+        return MitigationKind::UnshareCore;
+      case MonitorTarget::None:
+        return MitigationKind::None;
+    }
+    return MitigationKind::None;
+}
+
+std::string
+MitigationReport::summary() const
+{
+    std::ostringstream os;
+    os << mitigationName(kind)
+       << (applied ? " applied" : " not applied");
+    if (migratedPid != invalidProcess)
+        os << " pid=" << migratedPid << " -> context "
+           << int{newContext};
+    if (lockInterval != 0)
+        os << " min-lock-interval=" << lockInterval;
+    return os.str();
+}
+
+Mitigator::Mitigator(Machine& machine, AuditDaemon& daemon)
+    : machine_(machine), daemon_(daemon)
+{
+}
+
+std::pair<ProcessId, ProcessId>
+Mitigator::suspectPair(unsigned slot) const
+{
+    std::map<std::pair<ProcessId, ProcessId>, std::uint64_t> counts;
+    for (const auto& rec : daemon_.conflictRecords(slot)) {
+        if (rec.replacerPid == invalidProcess ||
+            rec.victimPid == invalidProcess)
+            continue;
+        auto key = std::minmax(rec.replacerPid, rec.victimPid);
+        ++counts[{key.first, key.second}];
+    }
+    std::pair<ProcessId, ProcessId> best{invalidProcess,
+                                         invalidProcess};
+    std::uint64_t best_count = 0;
+    for (const auto& [pair, count] : counts) {
+        if (count > best_count) {
+            best_count = count;
+            best = pair;
+        }
+    }
+    return best;
+}
+
+std::vector<ProcessId>
+Mitigator::coreResidents(unsigned core) const
+{
+    std::vector<ProcessId> out;
+    const unsigned threads =
+        machine_.numContexts() / machine_.numCores();
+    for (unsigned t = 0; t < threads; ++t) {
+        const auto ctx = static_cast<ContextId>(core * threads + t);
+        if (Process* p = machine_.runningOn(ctx))
+            out.push_back(p->pid());
+    }
+    return out;
+}
+
+Process*
+Mitigator::findProcess(ProcessId pid) const
+{
+    for (const auto& p : machine_.scheduler().processes())
+        if (p->pid() == pid)
+            return p.get();
+    return nullptr;
+}
+
+MitigationReport
+Mitigator::unshare(ProcessId pid)
+{
+    MitigationReport report;
+    report.kind = MitigationKind::UnshareCore;
+    Process* p = findProcess(pid);
+    if (!p) {
+        warn("Mitigator: pid ", pid, " not found");
+        return report;
+    }
+    const unsigned threads =
+        machine_.numContexts() / machine_.numCores();
+    const unsigned current_core =
+        p->pinned() ? p->pinnedContext() / threads : 0;
+    // Farthest core: maximise the distance so the pair cannot follow.
+    const unsigned target_core =
+        (current_core + machine_.numCores() / 2) % machine_.numCores();
+    const auto target_ctx =
+        static_cast<ContextId>(target_core * threads);
+    p->setPinnedContext(target_ctx);
+    report.applied = true;
+    report.migratedPid = pid;
+    report.newContext = target_ctx;
+    return report;
+}
+
+MitigationReport
+Mitigator::rateLimitBusLocks(Cycles min_interval)
+{
+    MitigationReport report;
+    report.kind = MitigationKind::RateLimitBusLocks;
+    if (min_interval == 0) {
+        warn("Mitigator: zero lock interval is a no-op");
+        return report;
+    }
+    machine_.mem().bus().setLockRateLimit(min_interval);
+    report.applied = true;
+    report.lockInterval = min_interval;
+    return report;
+}
+
+MitigationReport
+Mitigator::respond(MonitorTarget target, unsigned slot)
+{
+    switch (recommendMitigation(target)) {
+      case MitigationKind::RateLimitBusLocks:
+        // Throttle to one lock per default bus-channel delta-t: at
+        // most one conflict event per observation window.
+        return rateLimitBusLocks(100000);
+
+      case MitigationKind::UnshareCore: {
+        // Prefer the cache slot's evidence; fall back to whoever is
+        // resident on the audited core.
+        auto pair = suspectPair(slot);
+        if (pair.first == invalidProcess) {
+            const auto residents = coreResidents(0);
+            if (!residents.empty())
+                pair.first = residents.back();
+        }
+        if (pair.first == invalidProcess) {
+            MitigationReport report;
+            report.kind = MitigationKind::UnshareCore;
+            return report;
+        }
+        // Migrate the higher pid (the later-arrived, typically the
+        // spy); either party leaving severs the channel.
+        const ProcessId victim =
+            pair.second != invalidProcess ? pair.second : pair.first;
+        return unshare(victim);
+      }
+
+      case MitigationKind::None:
+        break;
+    }
+    return MitigationReport{};
+}
+
+} // namespace cchunter

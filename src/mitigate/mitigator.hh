@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Post-detection damage control (paper sections I and VII): once
+ * CC-Hunter flags a covert timing channel, the OS can limit resource
+ * sharing or reduce the channel's bandwidth.  The paper leaves the
+ * response to complementary work (BusMonitor, cache partitioning,
+ * fuzzy time); this module implements the two generic responses its
+ * introduction names:
+ *
+ *  - **Unshare** — migrate one suspected party off the shared unit
+ *    (SMT execution units and per-core caches stop being shared, which
+ *    severs the channel entirely);
+ *  - **Rate-limit** — throttle the scarce conflict operation (bus
+ *    locks), collapsing the channel's usable bandwidth while leaving
+ *    ordinary traffic untouched.
+ */
+
+#ifndef CCHUNTER_MITIGATE_MITIGATOR_HH
+#define CCHUNTER_MITIGATE_MITIGATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "auditor/daemon.hh"
+#include "sim/machine.hh"
+
+namespace cchunter
+{
+
+/** Available responses. */
+enum class MitigationKind : std::uint8_t
+{
+    None,
+    UnshareCore,      //!< migrate one suspect to another core
+    RateLimitBusLocks, //!< throttle atomic-unaligned transactions
+};
+
+/** Human-readable name of a response. */
+std::string mitigationName(MitigationKind kind);
+
+/** Policy: map the flagged monitor target to a response. */
+MitigationKind recommendMitigation(MonitorTarget target);
+
+/** The outcome of applying one mitigation. */
+struct MitigationReport
+{
+    MitigationKind kind = MitigationKind::None;
+    bool applied = false;
+    /** Unshare: the migrated process and its new context. */
+    ProcessId migratedPid = invalidProcess;
+    ContextId newContext = invalidContext;
+    /** Rate limit: enforced minimum lock interval. */
+    Cycles lockInterval = 0;
+    std::string summary() const;
+};
+
+/**
+ * Applies responses to a machine under audit.
+ */
+class Mitigator
+{
+  public:
+    Mitigator(Machine& machine, AuditDaemon& daemon);
+
+    /**
+     * Identify the most likely trojan/spy pair behind a cache slot's
+     * conflict records: the most frequent unordered pid pair.
+     * Returns (invalidProcess, invalidProcess) when no records exist.
+     */
+    std::pair<ProcessId, ProcessId> suspectPair(unsigned slot) const;
+
+    /** Pids of the processes currently running on a core's contexts
+     *  (the suspects for an execution-unit channel). */
+    std::vector<ProcessId> coreResidents(unsigned core) const;
+
+    /**
+     * Unshare: re-pin the process `pid` onto a hardware context of a
+     * different core (the first context of the farthest core).  Takes
+     * effect at the next quantum boundary.
+     */
+    MitigationReport unshare(ProcessId pid);
+
+    /** Throttle bus locks to at most one per `min_interval` cycles. */
+    MitigationReport rateLimitBusLocks(Cycles min_interval);
+
+    /** Apply the recommended response for a flagged target. */
+    MitigationReport respond(MonitorTarget target, unsigned slot);
+
+  private:
+    Process* findProcess(ProcessId pid) const;
+
+    Machine& machine_;
+    AuditDaemon& daemon_;
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_MITIGATE_MITIGATOR_HH

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Canned experiment scenarios reproducing the paper's evaluation setup:
+ * a quad-core SMT machine at 2.5 GHz, a trojan/spy pair on one shared
+ * resource, at least three other active processes for interference, the
+ * CC-Auditor programmed on the attacked unit, and the software daemon
+ * recording each OS time quantum.
+ */
+
+#ifndef CCHUNTER_SCENARIO_EXPERIMENT_HH
+#define CCHUNTER_SCENARIO_EXPERIMENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "auditor/daemon.hh"
+#include "channels/message.hh"
+#include "detect/detector.hh"
+#include "detect/event_train.hh"
+#include "util/histogram.hh"
+#include "util/types.hh"
+
+namespace cchunter
+{
+
+/** Options common to all channel scenarios. */
+struct ScenarioOptions
+{
+    double bandwidthBps = 10.0;
+    std::size_t quanta = 4;          //!< OS time quanta to simulate
+    Tick quantum = defaultQuantumTicks;
+    std::uint64_t seed = 1;
+    unsigned noiseProcesses = 3;     //!< paper: at least three
+    double noiseIntensity = 1.0;     //!< background activity scaling
+    Message message;                 //!< empty selects random64(seed)
+    /**
+     * Per-bit signalling window cap; 0 selects the default of
+     * min(bit slot, 25 M cycles = 10 ms), so low-bandwidth bits signal
+     * briefly and lie dormant (paper section VI-A).
+     */
+    Tick maxSignalTicks = 0;
+
+    // Cache-channel specific.
+    std::size_t channelSets = 512;   //!< sets across G1 and G0
+    std::size_t cacheNoiseEvery = 24; //!< spy "surrounding code" noise
+    std::size_t linesPerSet = 1;
+    Tick cacheDormantNoiseGap = 0;   //!< spy cover-program noise period
+    /**
+     * Prime/probe rounds per bit; 0 selects automatically from the
+     * signal window (one round per ~800k cycles, at most 64) so that
+     * even a single low-bandwidth bit yields many oscillation periods.
+     */
+    std::size_t cacheRoundsPerBit = 0;
+
+    /** Rounds actually used for a given signal window. */
+    std::size_t effectiveCacheRounds() const;
+
+    /** Audit the L2 with the ideal LRU-stack tracker instead of the
+     *  practical generation/bloom scheme (ablation studies). */
+    bool idealTracker = false;
+
+    /** Parameters of the practical tracker (bloom sizing etc.). */
+    ConflictTrackerParams trackerParams;
+
+    /** Bus-trojan decoy-lock spacing for evasion experiments
+     *  (0 = no evasion attempt). */
+    Cycles busEvasionPeriod = 0;
+
+    /**
+     * Record the raw indicator-event train for the first this-many
+     * ticks of the run (0 disables recording).  Used by the figure-4
+     * event-train plots; kept bounded because full-rate divider
+     * conflict trains are enormous.
+     */
+    Tick trainWindowTicks = 0;
+
+    /** Effective signal window for the configured bandwidth. */
+    Tick effectiveSignalTicks() const;
+};
+
+/** Expected bit values for the first n transmitted slots. */
+Message expectedBits(const Message& sent, std::size_t n);
+
+/** BER between sent (cyclic) and the spy's slot-indexed decodes. */
+double slotBitErrorRate(
+    const Message& sent,
+    const std::vector<std::pair<std::size_t, bool>>& decoded);
+
+/** Result of a memory-bus channel scenario. */
+struct BusScenarioResult
+{
+    std::vector<Histogram> quantaHistograms; //!< per-quantum densities
+    ContentionVerdict verdict;
+    std::vector<double> spySamples; //!< figure-2 series
+    Message sent;
+    Message decoded;
+    double bitErrorRate = 1.0;
+    std::uint64_t lockEvents = 0;
+    Tick deltaT = 0;
+    /** Lock-event train within options.trainWindowTicks. */
+    EventTrain eventTrain;
+    /** (bit slot, spy's mean access latency) per decoded slot. */
+    std::vector<std::pair<std::size_t, double>> slotMeans;
+};
+
+/** Result of an integer-divider channel scenario. */
+struct DividerScenarioResult
+{
+    std::vector<Histogram> quantaHistograms;
+    ContentionVerdict verdict;
+    std::vector<double> spySamples; //!< figure-3 series
+    Message sent;
+    Message decoded;
+    double bitErrorRate = 1.0;
+    std::uint64_t conflictEvents = 0;
+    Tick deltaT = 0;
+    /** Wait-conflict event train within options.trainWindowTicks. */
+    EventTrain eventTrain;
+    /** (bit slot, spy's mean loop latency) per decoded slot. */
+    std::vector<std::pair<std::size_t, double>> slotMeans;
+};
+
+/** Result of a shared-cache channel scenario. */
+struct CacheScenarioResult
+{
+    std::vector<ConflictRecord> records;
+    std::vector<double> labelSeries;
+    OscillationVerdict verdict;
+    std::vector<double> spyRatios; //!< figure-7 series
+    Message sent;
+    Message decoded;
+    double bitErrorRate = 1.0;
+    std::uint64_t trackedConflicts = 0;
+};
+
+/** Result of a benign pair run (false-alarm study). */
+struct BenignScenarioResult
+{
+    std::vector<Histogram> busQuanta;
+    std::vector<Histogram> dividerQuanta;
+    std::vector<double> cacheLabelSeries;
+    ContentionVerdict busVerdict;
+    ContentionVerdict dividerVerdict;
+    OscillationVerdict cacheVerdict;
+};
+
+/** Run the memory-bus covert channel under audit. */
+BusScenarioResult runBusScenario(const ScenarioOptions& options);
+
+/** Run the integer-divider covert channel under audit. */
+DividerScenarioResult runDividerScenario(const ScenarioOptions& options);
+
+/**
+ * Run the Wang & Lee SMT/multiplier covert channel under audit.  Not
+ * part of the paper's evaluation, but squarely inside its claim that
+ * recurrent-conflict detection covers all shared processor hardware.
+ * Result has the divider-scenario shape (the channels share the SMT
+ * execution-unit mechanics).
+ */
+DividerScenarioResult runMultiplierScenario(
+    const ScenarioOptions& options);
+
+/** Run the shared-L2 covert channel under audit. */
+CacheScenarioResult runCacheScenario(const ScenarioOptions& options);
+
+/**
+ * Run a benign benchmark pair as hyperthreads on core 0 and audit all
+ * three resources (two passes honouring the two-slot auditor limit).
+ */
+BenignScenarioResult runBenignPair(const std::string& a,
+                                   const std::string& b,
+                                   const ScenarioOptions& options);
+
+} // namespace cchunter
+
+#endif // CCHUNTER_SCENARIO_EXPERIMENT_HH

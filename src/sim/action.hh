@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Actions: the unit of work a workload hands to its hardware context.
+ *
+ * The simulator is action-driven rather than instruction-driven: each
+ * action represents a short block of instructions whose timing depends
+ * on shared-resource state (caches, memory bus, divider).  This keeps
+ * simulation cost low while reproducing contention and conflict event
+ * trains at full cycle resolution.
+ */
+
+#ifndef CCHUNTER_SIM_ACTION_HH
+#define CCHUNTER_SIM_ACTION_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace cchunter
+{
+
+/** Kinds of work a context can perform. */
+enum class ActionKind : std::uint8_t
+{
+    Compute,      //!< pure ALU work for a fixed cycle count
+    MemRead,      //!< load from an address through the cache hierarchy
+    MemWrite,     //!< store to an address through the cache hierarchy
+    LockedAccess, //!< atomic unaligned access: asserts the bus lock
+    DivideBatch,  //!< a run of dependent integer divisions
+    MultiplyBatch, //!< a run of dependent integer multiplications
+    SleepUntil,   //!< stall until an absolute tick (pacing)
+    Halt,         //!< the process is finished
+};
+
+/** One schedulable unit of work. */
+struct Action
+{
+    ActionKind kind = ActionKind::Compute;
+    Cycles cycles = 1;   //!< Compute: duration
+    Addr addr = 0;       //!< Mem*/LockedAccess: target address
+    std::uint32_t count = 1; //!< Divide/MultiplyBatch: operation count
+    Tick until = 0;      //!< SleepUntil: absolute wake tick
+
+    /** Factories for readability at call sites. */
+    static Action
+    compute(Cycles cycles)
+    {
+        Action a;
+        a.kind = ActionKind::Compute;
+        a.cycles = cycles;
+        return a;
+    }
+
+    static Action
+    read(Addr addr)
+    {
+        Action a;
+        a.kind = ActionKind::MemRead;
+        a.addr = addr;
+        return a;
+    }
+
+    static Action
+    write(Addr addr)
+    {
+        Action a;
+        a.kind = ActionKind::MemWrite;
+        a.addr = addr;
+        return a;
+    }
+
+    static Action
+    lockedAccess(Addr addr)
+    {
+        Action a;
+        a.kind = ActionKind::LockedAccess;
+        a.addr = addr;
+        return a;
+    }
+
+    static Action
+    divideBatch(std::uint32_t count)
+    {
+        Action a;
+        a.kind = ActionKind::DivideBatch;
+        a.count = count;
+        return a;
+    }
+
+    static Action
+    multiplyBatch(std::uint32_t count)
+    {
+        Action a;
+        a.kind = ActionKind::MultiplyBatch;
+        a.count = count;
+        return a;
+    }
+
+    static Action
+    sleepUntil(Tick until)
+    {
+        Action a;
+        a.kind = ActionKind::SleepUntil;
+        a.until = until;
+        return a;
+    }
+
+    static Action
+    halt()
+    {
+        Action a;
+        a.kind = ActionKind::Halt;
+        return a;
+    }
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_SIM_ACTION_HH

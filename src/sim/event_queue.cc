@@ -1,0 +1,45 @@
+#include "sim/event_queue.hh"
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
+{
+    if (when < now_)
+        panic("EventQueue: scheduling into the past (", when, " < ",
+              now_, ")");
+    queue_.push(Entry{when, prio, nextSeq_++, std::move(cb)});
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick until)
+{
+    std::uint64_t executed = 0;
+    while (!queue_.empty() && queue_.top().when < until) {
+        Entry e = queue_.top();
+        queue_.pop();
+        now_ = e.when;
+        e.cb();
+        ++executed;
+    }
+    if (now_ < until)
+        now_ = until;
+    return executed;
+}
+
+bool
+EventQueue::step()
+{
+    if (queue_.empty())
+        return false;
+    Entry e = queue_.top();
+    queue_.pop();
+    now_ = e.when;
+    e.cb();
+    return true;
+}
+
+} // namespace cchunter

@@ -1,0 +1,17 @@
+#include "sim/process.hh"
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+Process::Process(ProcessId pid, std::unique_ptr<Workload> workload,
+                 ContextId pinned_context)
+    : pid_(pid), workload_(std::move(workload)),
+      pinnedContext_(pinned_context)
+{
+    if (!workload_)
+        fatal("Process requires a workload");
+}
+
+} // namespace cchunter

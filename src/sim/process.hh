@@ -1,0 +1,79 @@
+/**
+ * @file
+ * A schedulable software process wrapping a workload.
+ */
+
+#ifndef CCHUNTER_SIM_PROCESS_HH
+#define CCHUNTER_SIM_PROCESS_HH
+
+#include <memory>
+#include <string>
+
+#include "sim/workload.hh"
+#include "util/types.hh"
+
+namespace cchunter
+{
+
+/** Aggregate execution statistics for one process. */
+struct ProcessStats
+{
+    std::uint64_t actions = 0;      //!< actions executed
+    std::uint64_t memAccesses = 0;  //!< loads + stores
+    std::uint64_t cacheMisses = 0;  //!< accesses missing all cache levels
+    std::uint64_t busLocks = 0;     //!< locked (atomic unaligned) accesses
+    std::uint64_t divides = 0;      //!< division operations
+    std::uint64_t multiplies = 0;   //!< multiplication operations
+    Cycles busyCycles = 0;          //!< cycles spent executing
+    Tick scheduledQuanta = 0;       //!< quanta during which it ran
+};
+
+/**
+ * A process: identity, behaviour (workload) and scheduling constraints.
+ */
+class Process
+{
+  public:
+    /**
+     * @param pid Unique process identifier.
+     * @param workload Behavioural model; owned by the process.
+     * @param pinned_context Context to pin to, or invalidContext for a
+     *        floating (migratable) process.
+     */
+    Process(ProcessId pid, std::unique_ptr<Workload> workload,
+            ContextId pinned_context = invalidContext);
+
+    ProcessId pid() const { return pid_; }
+    Workload& workload() { return *workload_; }
+    const Workload& workload() const { return *workload_; }
+    std::string name() const { return workload_->name(); }
+
+    /** Pinned hardware context, or invalidContext when floating. */
+    ContextId pinnedContext() const { return pinnedContext_; }
+    bool pinned() const { return pinnedContext_ != invalidContext; }
+
+    /**
+     * Re-pin the process (invalidContext to float).  Takes effect at
+     * the next quantum boundary; mitigation uses this to migrate a
+     * suspected covert-channel party away from the shared unit.
+     */
+    void setPinnedContext(ContextId ctx) { pinnedContext_ = ctx; }
+
+    /** The process executed a Halt action and will not run again. */
+    bool halted() const { return halted_; }
+    void setHalted() { halted_ = true; }
+
+    ProcessStats& stats() { return stats_; }
+    const ProcessStats& stats() const { return stats_; }
+
+  private:
+    ProcessId pid_;
+    std::unique_ptr<Workload> workload_;
+    ContextId pinnedContext_;
+    bool halted_ = false;
+    ProcessStats stats_;
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_SIM_PROCESS_HH

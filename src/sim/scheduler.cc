@@ -1,0 +1,123 @@
+#include "sim/scheduler.hh"
+
+#include <algorithm>
+
+#include "sim/machine.hh"
+#include "sim/trace.hh"
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+Scheduler::Scheduler(Machine& machine, SchedulerParams params)
+    : machine_(machine), params_(params), rng_(params.seed)
+{
+    if (params_.quantum == 0)
+        fatal("Scheduler: quantum must be positive");
+}
+
+Process&
+Scheduler::addProcess(std::unique_ptr<Process> process)
+{
+    if (process->pinned() &&
+        process->pinnedContext() >= machine_.numContexts())
+        fatal("Scheduler: process pinned to non-existent context ",
+              int{process->pinnedContext()});
+    processes_.push_back(std::move(process));
+    Process& ref = *processes_.back();
+    if (started_) {
+        // Late arrival: it will be picked up at the next boundary; if
+        // its pinned context is idle, install it immediately.
+        assign(machine_.now());
+    }
+    return ref;
+}
+
+void
+Scheduler::addQuantumObserver(QuantumObserver observer)
+{
+    observers_.push_back(std::move(observer));
+}
+
+void
+Scheduler::start()
+{
+    if (started_)
+        return;
+    started_ = true;
+    assign(machine_.now());
+    machine_.eventQueue().schedule(
+        machine_.now() + params_.quantum, [this] { quantumBoundary(); },
+        EventPriority::Scheduler);
+}
+
+void
+Scheduler::quantumBoundary()
+{
+    const Tick now = machine_.now();
+    trace(TraceCategory::Sched, now, "quantum ", quanta_, " ends");
+    for (const auto& obs : observers_)
+        obs(quanta_, now);
+    ++quanta_;
+    assign(now);
+    machine_.eventQueue().schedule(
+        now + params_.quantum, [this] { quantumBoundary(); },
+        EventPriority::Scheduler);
+}
+
+void
+Scheduler::assign(Tick now)
+{
+    const unsigned n_ctx = machine_.numContexts();
+
+    // Partition live processes.
+    std::vector<std::vector<Process*>> pinned(n_ctx);
+    std::vector<Process*> floating;
+    for (const auto& p : processes_) {
+        if (p->halted())
+            continue;
+        if (p->pinned())
+            pinned[p->pinnedContext()].push_back(p.get());
+        else
+            floating.push_back(p.get());
+    }
+
+    // Pinned processes: round-robin within their context by quantum.
+    std::vector<Process*> chosen(n_ctx, nullptr);
+    std::vector<ContextId> free_ctx;
+    for (unsigned c = 0; c < n_ctx; ++c) {
+        if (!pinned[c].empty()) {
+            chosen[c] = pinned[c][quanta_ % pinned[c].size()];
+        } else {
+            free_ctx.push_back(static_cast<ContextId>(c));
+        }
+    }
+
+    // Optional migration: randomise which free context each floating
+    // process lands on this quantum.
+    if (params_.migrate)
+        rng_.shuffle(free_ctx);
+
+    // Floating processes: rotate through the free contexts.
+    if (!floating.empty()) {
+        const std::size_t n_float = floating.size();
+        for (std::size_t i = 0;
+             i < free_ctx.size() && i < n_float; ++i) {
+            Process* p = floating[(rrOffset_ + i) % n_float];
+            chosen[free_ctx[i]] = p;
+        }
+        rrOffset_ = (rrOffset_ + std::min(free_ctx.size(), n_float)) %
+                    n_float;
+    }
+
+    for (unsigned c = 0; c < n_ctx; ++c)
+        machine_.assignContext(static_cast<ContextId>(c), chosen[c],
+                               now);
+
+    // Count scheduled quanta for stats.
+    for (unsigned c = 0; c < n_ctx; ++c)
+        if (chosen[c])
+            ++chosen[c]->stats().scheduledQuanta;
+}
+
+} // namespace cchunter

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The OS scheduler model: time quanta, round-robin assignment of
+ * processes to hardware contexts, optional migration, and quantum
+ * observers (the hook the CC-Hunter software daemon uses to record the
+ * auditor's buffers each quantum).
+ */
+
+#ifndef CCHUNTER_SIM_SCHEDULER_HH
+#define CCHUNTER_SIM_SCHEDULER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/process.hh"
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace cchunter
+{
+
+class Machine;
+
+/** Scheduler configuration. */
+struct SchedulerParams
+{
+    Tick quantum = defaultQuantumTicks; //!< OS time quantum (0.1 s)
+    bool migrate = false; //!< unpinned processes hop contexts randomly
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Callback invoked at the end of every OS time quantum, before
+ * processes are re-assigned.  quantum_index counts completed quanta.
+ */
+using QuantumObserver =
+    std::function<void(std::uint64_t quantum_index, Tick now)>;
+
+/**
+ * Quantum-based scheduler over the machine's hardware contexts.
+ *
+ * Pinned processes always run on their context (several pinned to one
+ * context round-robin across quanta); unpinned processes round-robin
+ * over the remaining contexts, optionally migrating.
+ */
+class Scheduler
+{
+  public:
+    Scheduler(Machine& machine, SchedulerParams params);
+
+    /** Register a process. */
+    Process& addProcess(std::unique_ptr<Process> process);
+
+    /** Begin scheduling: performs the initial assignment and arms the
+     *  quantum timer.  Idempotent. */
+    void start();
+
+    /** Register an end-of-quantum observer. */
+    void addQuantumObserver(QuantumObserver observer);
+
+    /** Completed quanta. */
+    std::uint64_t quantaElapsed() const { return quanta_; }
+
+    /** All registered processes. */
+    const std::vector<std::unique_ptr<Process>>& processes() const
+    {
+        return processes_;
+    }
+
+    const SchedulerParams& params() const { return params_; }
+
+  private:
+    void quantumBoundary();
+    void assign(Tick now);
+
+    Machine& machine_;
+    SchedulerParams params_;
+    Rng rng_;
+    std::vector<std::unique_ptr<Process>> processes_;
+    std::vector<QuantumObserver> observers_;
+    std::uint64_t quanta_ = 0;
+    std::uint64_t rrOffset_ = 0;
+    bool started_ = false;
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_SIM_SCHEDULER_HH

@@ -1,0 +1,120 @@
+#include "sim/stats_report.hh"
+
+#include <iomanip>
+
+#include "util/table_writer.hh"
+
+namespace cchunter
+{
+
+namespace
+{
+
+void
+add(std::vector<StatEntry>& out, std::string name, double value,
+    std::string description)
+{
+    out.push_back(
+        StatEntry{std::move(name), value, std::move(description)});
+}
+
+} // namespace
+
+std::vector<StatEntry>
+collectMachineStats(Machine& machine)
+{
+    std::vector<StatEntry> out;
+    add(out, "sim.ticks", static_cast<double>(machine.now()),
+        "simulated time in CPU cycles");
+    add(out, "sim.seconds", ticksToSeconds(machine.now()),
+        "simulated time in seconds");
+    add(out, "sched.quanta",
+        static_cast<double>(machine.scheduler().quantaElapsed()),
+        "completed OS time quanta");
+
+    MemoryBus& bus = machine.mem().bus();
+    add(out, "bus.transfers", static_cast<double>(bus.transfers()),
+        "ordinary line transfers");
+    add(out, "bus.locks", static_cast<double>(bus.locks()),
+        "locked (atomic unaligned) transactions");
+    add(out, "bus.wait_cycles",
+        static_cast<double>(bus.totalWaitCycles()),
+        "cycles requests waited for the bus");
+    add(out, "bus.throttled_locks",
+        static_cast<double>(bus.throttledLocks()),
+        "locks delayed by the rate limiter");
+
+    Dram& dram = machine.mem().dram();
+    add(out, "dram.row_hits", static_cast<double>(dram.rowHits()),
+        "accesses hitting an open row");
+    add(out, "dram.row_misses", static_cast<double>(dram.rowMisses()),
+        "accesses opening a new row");
+
+    for (unsigned core = 0; core < machine.numCores(); ++core) {
+        const std::string prefix = "core" + std::to_string(core);
+        Cache& l2 = machine.mem().l2(core);
+        add(out, prefix + ".l2.hits", static_cast<double>(l2.hits()),
+            "L2 hits");
+        add(out, prefix + ".l2.misses",
+            static_cast<double>(l2.misses()), "L2 misses");
+        add(out, prefix + ".l2.evictions",
+            static_cast<double>(l2.evictions()), "L2 evictions");
+        add(out, prefix + ".divider.ops",
+            static_cast<double>(machine.divider(core).totalOps()),
+            "division operations");
+        add(out, prefix + ".divider.conflicts",
+            static_cast<double>(
+                machine.divider(core).totalConflicts()),
+            "divider wait conflicts");
+        add(out, prefix + ".multiplier.ops",
+            static_cast<double>(machine.multiplier(core).totalOps()),
+            "multiplication operations");
+        add(out, prefix + ".multiplier.conflicts",
+            static_cast<double>(
+                machine.multiplier(core).totalConflicts()),
+            "multiplier wait conflicts");
+    }
+
+    for (unsigned ctx = 0; ctx < machine.numContexts(); ++ctx) {
+        Cache& l1 = machine.mem().l1(static_cast<ContextId>(ctx));
+        add(out, "ctx" + std::to_string(ctx) + ".l1.hits",
+            static_cast<double>(l1.hits()), "L1 hits");
+        add(out, "ctx" + std::to_string(ctx) + ".l1.misses",
+            static_cast<double>(l1.misses()), "L1 misses");
+    }
+    return out;
+}
+
+void
+dumpMachineStats(Machine& machine, std::ostream& os)
+{
+    os << "---------- machine statistics ----------\n";
+    for (const auto& e : collectMachineStats(machine)) {
+        os << std::left << std::setw(28) << e.name << ' '
+           << std::right << std::setw(16) << std::fixed
+           << std::setprecision(0) << e.value << "  # "
+           << e.description << '\n';
+    }
+}
+
+void
+dumpProcessStats(Machine& machine, std::ostream& os)
+{
+    TableWriter t({"pid", "name", "actions", "mem", "misses", "locks",
+                   "divs", "muls", "busy cycles", "quanta"});
+    for (const auto& p : machine.scheduler().processes()) {
+        const ProcessStats& s = p->stats();
+        t.addRow({fmtInt(static_cast<long long>(p->pid())), p->name(),
+                  fmtInt(static_cast<long long>(s.actions)),
+                  fmtInt(static_cast<long long>(s.memAccesses)),
+                  fmtInt(static_cast<long long>(s.cacheMisses)),
+                  fmtInt(static_cast<long long>(s.busLocks)),
+                  fmtInt(static_cast<long long>(s.divides)),
+                  fmtInt(static_cast<long long>(s.multiplies)),
+                  fmtInt(static_cast<long long>(s.busyCycles)),
+                  fmtInt(static_cast<long long>(s.scheduledQuanta))});
+    }
+    t.render(os);
+}
+
+} // namespace cchunter

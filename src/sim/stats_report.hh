@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Machine-wide statistics reporting.
+ *
+ * Every component keeps its own counters (cache hits/misses, bus
+ * transfers/locks/waits, DRAM row hits, execution-unit operations and
+ * conflicts, per-process action mixes, scheduler quanta); this module
+ * walks the machine and renders them as a flat name/value listing in
+ * the style of gem5's stats.txt, plus a per-process table.
+ */
+
+#ifndef CCHUNTER_SIM_STATS_REPORT_HH
+#define CCHUNTER_SIM_STATS_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hh"
+
+namespace cchunter
+{
+
+/** One named statistic. */
+struct StatEntry
+{
+    std::string name;
+    double value = 0.0;
+    std::string description;
+};
+
+/** Collect every machine statistic as flat entries. */
+std::vector<StatEntry> collectMachineStats(Machine& machine);
+
+/** Render the flat listing (name, value, description columns). */
+void dumpMachineStats(Machine& machine, std::ostream& os);
+
+/** Render the per-process activity table. */
+void dumpProcessStats(Machine& machine, std::ostream& os);
+
+} // namespace cchunter
+
+#endif // CCHUNTER_SIM_STATS_REPORT_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The workload interface: the behavioural model of a software process.
+ *
+ * A workload is a generator of Actions.  The trojan/spy channel
+ * implementations, the benign SPEC/Stream/Filebench proxies and test
+ * stubs all implement this interface.
+ */
+
+#ifndef CCHUNTER_SIM_WORKLOAD_HH
+#define CCHUNTER_SIM_WORKLOAD_HH
+
+#include <string>
+
+#include "sim/action.hh"
+#include "util/types.hh"
+
+namespace cchunter
+{
+
+/**
+ * The view of execution state a workload sees when deciding its next
+ * action.  Spies use lastLatency to decode timing-modulated bits.
+ */
+struct ExecView
+{
+    Tick now = 0;              //!< current simulated time
+    Cycles lastLatency = 0;    //!< latency of the previous action
+    bool lastWasHit = true;    //!< previous memory access hit in cache
+    ContextId context = 0;     //!< hardware context currently running on
+};
+
+/**
+ * Abstract behaviour of one simulated process.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Produce the next action given the observed execution state. */
+    virtual Action nextAction(const ExecView& view) = 0;
+
+    /** Human-readable workload name. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Notification that the process was (re)scheduled onto a hardware
+     * context; channels use it to track co-residency.
+     */
+    virtual void
+    onSchedule(ContextId context, Tick now)
+    {
+    }
+
+    /** Notification that the process was descheduled. */
+    virtual void
+    onDeschedule(Tick now)
+    {
+    }
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_SIM_WORKLOAD_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The shared integer-division unit of one SMT core.
+ *
+ * Both hardware contexts of a core issue division batches to the same
+ * non-pipelined divider.  When batches from the two contexts overlap in
+ * time the divider round-robins between them: each context's operations
+ * effectively take twice the base latency, and every operation that
+ * finds the unit busy with the *other* context is a wait conflict — the
+ * indicator event of the integer-divider covert channel ("the number of
+ * times a division instruction from one process waits on a busy divider
+ * occupied by an instruction from another context").
+ *
+ * For efficiency, wait conflicts are reported to listeners as *bursts*
+ * (start, count, spacing): a burst expands to `count` events at
+ * `start + i * spacing`.  The CC-Auditor integrates bursts into its Δt
+ * accumulators arithmetically, so no per-operation callback cost is
+ * paid even under full contention.
+ *
+ * The contention machinery is shared with other SMT execution units
+ * (see exec_unit.hh); this header configures the divider instance.
+ */
+
+#ifndef CCHUNTER_UARCH_DIVIDER_HH
+#define CCHUNTER_UARCH_DIVIDER_HH
+
+#include "uarch/exec_unit.hh"
+
+namespace cchunter
+{
+
+/** Timing of the division unit. */
+struct DividerParams : public ExecUnitParams
+{
+};
+
+/**
+ * The shared divider of one core.
+ */
+class DividerUnit : public SmtExecUnit
+{
+  public:
+    /**
+     * @param first_context Lowest hardware context id on this core
+     *        (contexts first_context and first_context+1 share the
+     *        unit).
+     */
+    explicit DividerUnit(ContextId first_context,
+                         DividerParams params = {})
+        : SmtExecUnit("divider", first_context, params)
+    {
+    }
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_UARCH_DIVIDER_HH

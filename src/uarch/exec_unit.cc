@@ -1,0 +1,97 @@
+#include "uarch/exec_unit.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+SmtExecUnit::SmtExecUnit(std::string name, ContextId first_context,
+                         ExecUnitParams params)
+    : name_(std::move(name)), firstContext_(first_context),
+      params_(params)
+{
+    if (params_.opLatency == 0)
+        fatal("SmtExecUnit ", name_, ": opLatency must be positive");
+}
+
+unsigned
+SmtExecUnit::slotOf(ContextId ctx) const
+{
+    if (ctx != firstContext_ &&
+        ctx != static_cast<ContextId>(firstContext_ + 1))
+        panic("SmtExecUnit ", name_, ": context ", int{ctx},
+              " does not belong to this core");
+    return ctx - firstContext_;
+}
+
+void
+SmtExecUnit::emitBurst(Tick start, std::uint64_t count, Tick spacing,
+                       ContextId waiter, ContextId occupant)
+{
+    if (count == 0)
+        return;
+    totalConflicts_ += count;
+    const WaitConflictBurst burst{start, count, spacing, waiter,
+                                  occupant};
+    for (const auto& listener : listeners_)
+        listener(burst);
+}
+
+Tick
+SmtExecUnit::executeBatch(ContextId ctx, std::uint32_t count, Tick now)
+{
+    if (count == 0)
+        return now;
+    totalOps_ += count;
+
+    const unsigned slot = slotOf(ctx);
+    const unsigned other = 1 - slot;
+    const Tick op = params_.opLatency;
+    const BatchState& peer = batches_[other];
+
+    Tick end;
+    if (peer.end <= now) {
+        // Unit free: full throughput, no conflicts.
+        end = now + static_cast<Tick>(count) * op;
+    } else {
+        // Contended: while the peer batch is active, the divider
+        // round-robins, so each of our operations takes 2 * op.
+        const Tick peer_remaining = peer.end - now;
+        const Tick fully_contended =
+            static_cast<Tick>(count) * 2 * op;
+        std::uint64_t contended_ops;
+        if (fully_contended <= peer_remaining) {
+            contended_ops = count;
+            end = now + fully_contended;
+        } else {
+            contended_ops = peer_remaining / (2 * op);
+            const std::uint64_t free_ops = count - contended_ops;
+            end = now + contended_ops * 2 * op + free_ops * op;
+        }
+        // Wait conflicts over the contended window, both directions:
+        // our ops wait on the peer and the peer's ops wait on us.
+        // Interleaved execution -> one wait per op slot of 2*op for
+        // each side, the two sides offset by one op latency.
+        const ContextId peer_ctx =
+            static_cast<ContextId>(firstContext_ + other);
+        emitBurst(now, contended_ops, 2 * op, ctx, peer_ctx);
+        // The peer only waits on us while both batches are active.
+        const Tick overlap_end = std::min(end, peer.end);
+        const std::uint64_t peer_waits =
+            overlap_end > now ? (overlap_end - now) / (2 * op) : 0;
+        emitBurst(now + op, peer_waits, 2 * op, peer_ctx, ctx);
+    }
+
+    batches_[slot] = BatchState{now, end};
+    return end;
+}
+
+void
+SmtExecUnit::addWaitListener(WaitConflictListener listener)
+{
+    listeners_.push_back(std::move(listener));
+}
+
+} // namespace cchunter

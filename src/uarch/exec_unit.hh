@@ -1,0 +1,108 @@
+/**
+ * @file
+ * A generic contended SMT execution unit.
+ *
+ * The integer divider of the paper's section IV-A is one instance of a
+ * wider class: any non-pipelined unit shared between a core's hardware
+ * contexts (the paper cites Wang and Lee's SMT/multiplier channel as
+ * another).  SmtExecUnit models the class once; DividerUnit and
+ * MultiplierUnit are configured instances.
+ *
+ * Contention model and wait-conflict burst reporting are documented in
+ * divider.hh (the original, divider-specific description).
+ */
+
+#ifndef CCHUNTER_UARCH_EXEC_UNIT_HH
+#define CCHUNTER_UARCH_EXEC_UNIT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace cchunter
+{
+
+/** Timing of a contended execution unit. */
+struct ExecUnitParams
+{
+    /** Cycles one operation occupies the unit without contention. */
+    Cycles opLatency = 5;
+};
+
+/**
+ * A burst of wait-conflict events, all with the same waiter/occupant.
+ */
+struct WaitConflictBurst
+{
+    Tick start = 0;          //!< time of the first conflict
+    std::uint64_t count = 0; //!< number of conflicts in the burst
+    Tick spacing = 1;        //!< inter-conflict interval
+    ContextId waiter = 0;    //!< context whose instruction waited
+    ContextId occupant = 0;  //!< context occupying the unit
+};
+
+/** Listener invoked for every wait-conflict burst. */
+using WaitConflictListener =
+    std::function<void(const WaitConflictBurst&)>;
+
+/**
+ * A non-pipelined execution unit shared by one core's two SMT
+ * contexts.
+ */
+class SmtExecUnit
+{
+  public:
+    /**
+     * @param name Unit name for diagnostics ("divider", "multiplier").
+     * @param first_context Lowest hardware context id on this core.
+     */
+    SmtExecUnit(std::string name, ContextId first_context,
+                ExecUnitParams params = {});
+
+    /**
+     * Execute a batch of `count` dependent operations issued by `ctx`
+     * at time `now`.
+     * @return completion tick of the batch.
+     */
+    Tick executeBatch(ContextId ctx, std::uint32_t count, Tick now);
+
+    /** Register a wait-conflict listener. */
+    void addWaitListener(WaitConflictListener listener);
+
+    /** Total wait-conflict events reported so far. */
+    std::uint64_t totalConflicts() const { return totalConflicts_; }
+
+    /** Total operations executed. */
+    std::uint64_t totalOps() const { return totalOps_; }
+
+    const ExecUnitParams& params() const { return params_; }
+    const std::string& name() const { return name_; }
+
+  private:
+    /** Slot index (0/1) for a context; fatal for foreign contexts. */
+    unsigned slotOf(ContextId ctx) const;
+
+    void emitBurst(Tick start, std::uint64_t count, Tick spacing,
+                   ContextId waiter, ContextId occupant);
+
+    struct BatchState
+    {
+        Tick start = 0;
+        Tick end = 0; //!< end <= start means inactive
+    };
+
+    std::string name_;
+    ContextId firstContext_;
+    ExecUnitParams params_;
+    BatchState batches_[2];
+    std::vector<WaitConflictListener> listeners_;
+    std::uint64_t totalConflicts_ = 0;
+    std::uint64_t totalOps_ = 0;
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_UARCH_EXEC_UNIT_HH

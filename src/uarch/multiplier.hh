@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The shared integer-multiplier unit of one SMT core.
+ *
+ * Wang and Lee demonstrated a covert channel through SMT/multiplier
+ * contention (the paper's reference [7]); CC-Hunter's claim is that it
+ * detects covert channels on *all* shared processor hardware using
+ * recurrent conflict patterns, so the framework must handle this unit
+ * with no channel-specific logic.  The multiplier shares the generic
+ * SMT execution-unit contention model with a shorter operation latency
+ * than the divider.
+ */
+
+#ifndef CCHUNTER_UARCH_MULTIPLIER_HH
+#define CCHUNTER_UARCH_MULTIPLIER_HH
+
+#include "uarch/exec_unit.hh"
+
+namespace cchunter
+{
+
+/** Timing of the multiplier unit. */
+struct MultiplierParams : public ExecUnitParams
+{
+    MultiplierParams() { opLatency = 3; }
+};
+
+/**
+ * The shared multiplier of one core.
+ */
+class MultiplierUnit : public SmtExecUnit
+{
+  public:
+    explicit MultiplierUnit(ContextId first_context,
+                            MultiplierParams params = {})
+        : SmtExecUnit("multiplier", first_context, params)
+    {
+    }
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_UARCH_MULTIPLIER_HH

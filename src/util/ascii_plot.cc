@@ -1,0 +1,165 @@
+#include "util/ascii_plot.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace cchunter
+{
+
+namespace
+{
+
+struct Range
+{
+    double lo;
+    double hi;
+};
+
+Range
+findRange(const std::vector<double>& v, bool from_zero)
+{
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (double y : v) {
+        if (!std::isfinite(y))
+            continue;
+        lo = std::min(lo, y);
+        hi = std::max(hi, y);
+    }
+    if (!std::isfinite(lo)) {
+        lo = 0.0;
+        hi = 1.0;
+    }
+    if (from_zero) {
+        lo = std::min(lo, 0.0);
+        hi = std::max(hi, 0.0);
+    }
+    if (hi == lo)
+        hi = lo + 1.0;
+    return {lo, hi};
+}
+
+std::string
+axisLabel(double v)
+{
+    std::ostringstream os;
+    if (std::abs(v) >= 10000 || (std::abs(v) < 0.01 && v != 0.0))
+        os << std::scientific << std::setprecision(1) << v;
+    else
+        os << std::fixed << std::setprecision(2) << v;
+    return os.str();
+}
+
+void
+renderGrid(std::ostream& os, const std::vector<std::string>& grid,
+           const Range& r, const PlotOptions& opts)
+{
+    if (!opts.title.empty())
+        os << "  " << opts.title << "\n";
+    const std::size_t h = grid.size();
+    for (std::size_t row = 0; row < h; ++row) {
+        const double frac =
+            1.0 - static_cast<double>(row) / static_cast<double>(h - 1);
+        const double yval = r.lo + frac * (r.hi - r.lo);
+        std::string label = axisLabel(yval);
+        if (row == 0 || row + 1 == h || row == h / 2)
+            os << std::setw(10) << label << " |";
+        else
+            os << std::setw(10) << "" << " |";
+        os << grid[row] << "\n";
+    }
+    os << std::setw(10) << "" << " +"
+       << std::string(grid.empty() ? 0 : grid[0].size(), '-') << "\n";
+    if (!opts.xLabel.empty())
+        os << std::setw(12) << "" << opts.xLabel << "\n";
+}
+
+} // namespace
+
+void
+asciiPlot(std::ostream& os, const std::vector<double>& ys,
+          const PlotOptions& opts)
+{
+    std::vector<double> xs(ys.size());
+    for (std::size_t i = 0; i < ys.size(); ++i)
+        xs[i] = static_cast<double>(i);
+    asciiPlotXY(os, xs, ys, opts);
+}
+
+void
+asciiPlotXY(std::ostream& os, const std::vector<double>& xs,
+            const std::vector<double>& ys, const PlotOptions& opts)
+{
+    const std::size_t w = std::max<std::size_t>(opts.width, 8);
+    const std::size_t h = std::max<std::size_t>(opts.height, 4);
+    std::vector<std::string> grid(h, std::string(w, ' '));
+    if (xs.empty() || xs.size() != ys.size()) {
+        renderGrid(os, grid, {0.0, 1.0}, opts);
+        return;
+    }
+
+    const Range yr = findRange(ys, opts.yFromZero);
+    const double xlo = xs.front();
+    const double xhi = std::max(xs.back(), xlo + 1e-12);
+
+    // Column-wise mean of samples mapping to that column.
+    std::vector<double> col_sum(w, 0.0);
+    std::vector<std::size_t> col_n(w, 0);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (!std::isfinite(ys[i]))
+            continue;
+        double fx = (xs[i] - xlo) / (xhi - xlo);
+        auto c = static_cast<std::size_t>(
+            fx * static_cast<double>(w - 1) + 0.5);
+        c = std::min(c, w - 1);
+        col_sum[c] += ys[i];
+        ++col_n[c];
+    }
+    for (std::size_t c = 0; c < w; ++c) {
+        if (!col_n[c])
+            continue;
+        const double y = col_sum[c] / static_cast<double>(col_n[c]);
+        double fy = (y - yr.lo) / (yr.hi - yr.lo);
+        fy = std::clamp(fy, 0.0, 1.0);
+        auto row = static_cast<std::size_t>(
+            (1.0 - fy) * static_cast<double>(h - 1) + 0.5);
+        grid[row][c] = '*';
+    }
+    renderGrid(os, grid, yr, opts);
+}
+
+void
+asciiBars(std::ostream& os, const std::vector<double>& bins,
+          const PlotOptions& opts)
+{
+    const std::size_t w = std::min(std::max<std::size_t>(opts.width, 8),
+                                   std::max<std::size_t>(bins.size(), 8));
+    const std::size_t h = std::max<std::size_t>(opts.height, 4);
+    std::vector<std::string> grid(h, std::string(w, ' '));
+    if (bins.empty()) {
+        renderGrid(os, grid, {0.0, 1.0}, opts);
+        return;
+    }
+
+    // Downsample bins to columns by max (preserve peaks).
+    std::vector<double> cols(w, 0.0);
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+        const std::size_t c = i * w / bins.size();
+        cols[c] = std::max(cols[c], bins[i]);
+    }
+    Range yr = findRange(cols, true);
+    for (std::size_t c = 0; c < w; ++c) {
+        double fy = (cols[c] - yr.lo) / (yr.hi - yr.lo);
+        fy = std::clamp(fy, 0.0, 1.0);
+        const auto top = static_cast<std::size_t>(
+            (1.0 - fy) * static_cast<double>(h - 1) + 0.5);
+        for (std::size_t row = top; row < h; ++row)
+            grid[row][c] = (row == top) ? '#' : '|';
+    }
+    renderGrid(os, grid, yr, opts);
+}
+
+} // namespace cchunter

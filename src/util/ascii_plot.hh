@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Terminal line/bar plots so each benchmark binary can render the *shape*
+ * of the paper's figures directly in its stdout.
+ */
+
+#ifndef CCHUNTER_UTIL_ASCII_PLOT_HH
+#define CCHUNTER_UTIL_ASCII_PLOT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cchunter
+{
+
+/** Options controlling an ASCII plot rendering. */
+struct PlotOptions
+{
+    std::size_t width = 78;   //!< plot columns
+    std::size_t height = 16;  //!< plot rows
+    std::string title;        //!< optional title line
+    std::string xLabel;       //!< x-axis caption
+    std::string yLabel;       //!< y-axis caption
+    bool yFromZero = false;   //!< force the y range to include zero
+};
+
+/**
+ * Render a series of (implicit-x) samples as a scatter/line plot.
+ * Values are downsampled column-wise by averaging.
+ */
+void asciiPlot(std::ostream& os, const std::vector<double>& ys,
+               const PlotOptions& opts = {});
+
+/**
+ * Render x/y pairs; x must be non-decreasing.
+ */
+void asciiPlotXY(std::ostream& os, const std::vector<double>& xs,
+                 const std::vector<double>& ys,
+                 const PlotOptions& opts = {});
+
+/**
+ * Render a vertical bar chart of bin counts (histogram shape).
+ */
+void asciiBars(std::ostream& os, const std::vector<double>& bins,
+               const PlotOptions& opts = {});
+
+} // namespace cchunter
+
+#endif // CCHUNTER_UTIL_ASCII_PLOT_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * A compact k-hash Bloom filter.
+ *
+ * The CC-Auditor's practical conflict-miss tracker records replaced cache
+ * tags in one three-hash Bloom filter per generation (paper section V-A).
+ */
+
+#ifndef CCHUNTER_UTIL_BLOOM_FILTER_HH
+#define CCHUNTER_UTIL_BLOOM_FILTER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cchunter
+{
+
+/**
+ * Bloom filter over 64-bit keys with a configurable number of hash
+ * functions (the paper uses three).
+ */
+class BloomFilter
+{
+  public:
+    /**
+     * @param num_bits Size of the bit array (rounded up to a power of two).
+     * @param num_hashes Number of hash probes per key.
+     */
+    explicit BloomFilter(std::size_t num_bits, unsigned num_hashes = 3);
+
+    /** Insert a key. */
+    void insert(std::uint64_t key);
+
+    /** @return true if the key may have been inserted (false = definitely
+     *  not). */
+    bool mayContain(std::uint64_t key) const;
+
+    /** Flash-clear every bit (models discarding a generation). */
+    void clear();
+
+    /** Number of bits in the underlying array. */
+    std::size_t sizeBits() const { return words_.size() * 64; }
+
+    /** Number of hash functions. */
+    unsigned numHashes() const { return numHashes_; }
+
+    /** Number of set bits (occupancy diagnostic). */
+    std::size_t popCount() const;
+
+    /** Expected false-positive rate for n inserted keys. */
+    double estimatedFalsePositiveRate(std::size_t n) const;
+
+  private:
+    std::uint64_t hash(std::uint64_t key, unsigned i) const;
+
+    std::vector<std::uint64_t> words_;
+    std::uint64_t mask_;
+    unsigned numHashes_;
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_UTIL_BLOOM_FILTER_HH

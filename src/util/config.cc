@@ -1,0 +1,128 @@
+#include "util/config.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+Config
+Config::fromArgs(int argc, const char* const* argv)
+{
+    Config cfg;
+    for (int i = 1; i < argc; ++i) {
+        const std::string tok = argv[i];
+        const auto eq = tok.find('=');
+        if (eq == std::string::npos || eq == 0)
+            fatal("expected key=value argument, got '", tok, "'");
+        cfg.set(tok.substr(0, eq), tok.substr(eq + 1));
+    }
+    return cfg;
+}
+
+void
+Config::set(const std::string& key, const std::string& value)
+{
+    values_[key] = value;
+}
+
+void
+Config::set(const std::string& key, std::int64_t value)
+{
+    values_[key] = std::to_string(value);
+}
+
+void
+Config::set(const std::string& key, double value)
+{
+    values_[key] = std::to_string(value);
+}
+
+void
+Config::set(const std::string& key, bool value)
+{
+    values_[key] = value ? "true" : "false";
+}
+
+bool
+Config::has(const std::string& key) const
+{
+    return values_.count(key) != 0;
+}
+
+std::string
+Config::getString(const std::string& key, const std::string& def) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+}
+
+std::int64_t
+Config::getInt(const std::string& key, std::int64_t def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    char* end = nullptr;
+    const long long v = std::strtoll(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("config key '", key, "' is not an integer: '",
+              it->second, "'");
+    return v;
+}
+
+std::uint64_t
+Config::getUint(const std::string& key, std::uint64_t def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    char* end = nullptr;
+    const unsigned long long v =
+        std::strtoull(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("config key '", key, "' is not an unsigned integer: '",
+              it->second, "'");
+    return v;
+}
+
+double
+Config::getDouble(const std::string& key, double def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("config key '", key, "' is not a number: '",
+              it->second, "'");
+    return v;
+}
+
+bool
+Config::getBool(const std::string& key, bool def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    const std::string& s = it->second;
+    if (s == "true" || s == "1" || s == "yes" || s == "on")
+        return true;
+    if (s == "false" || s == "0" || s == "no" || s == "off")
+        return false;
+    fatal("config key '", key, "' is not a boolean: '", s, "'");
+}
+
+std::vector<std::string>
+Config::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto& [k, v] : values_)
+        out.push_back(k);
+    return out;
+}
+
+} // namespace cchunter

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * A minimal typed key/value configuration store.
+ *
+ * Experiment harnesses and examples parse "key=value" command-line
+ * arguments into a Config so that sweeps (bandwidth, #sets, window size)
+ * can be driven without recompiling.
+ */
+
+#ifndef CCHUNTER_UTIL_CONFIG_HH
+#define CCHUNTER_UTIL_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cchunter
+{
+
+/**
+ * String-keyed configuration with typed accessors and defaults.
+ */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Parse argv-style "key=value" tokens (non-matching tokens fatal). */
+    static Config fromArgs(int argc, const char* const* argv);
+
+    /** Set a value (stringified). */
+    void set(const std::string& key, const std::string& value);
+    void set(const std::string& key, std::int64_t value);
+    void set(const std::string& key, double value);
+    void set(const std::string& key, bool value);
+
+    /** @return true if the key is present. */
+    bool has(const std::string& key) const;
+
+    /** Typed getters with defaults; malformed values are fatal. */
+    std::string getString(const std::string& key,
+                          const std::string& def = "") const;
+    std::int64_t getInt(const std::string& key, std::int64_t def = 0) const;
+    std::uint64_t getUint(const std::string& key,
+                          std::uint64_t def = 0) const;
+    double getDouble(const std::string& key, double def = 0.0) const;
+    bool getBool(const std::string& key, bool def = false) const;
+
+    /** All keys in sorted order. */
+    std::vector<std::string> keys() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_UTIL_CONFIG_HH

@@ -1,0 +1,133 @@
+#include "util/histogram.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+Histogram::Histogram(std::size_t num_bins)
+{
+    if (num_bins == 0)
+        fatal("Histogram requires at least one bin");
+    bins_.assign(num_bins, 0);
+}
+
+void
+Histogram::addSample(std::uint64_t value, std::uint64_t weight)
+{
+    const std::size_t idx =
+        std::min<std::uint64_t>(value, bins_.size() - 1);
+    bins_[idx] += weight;
+    total_ += weight;
+}
+
+std::uint64_t
+Histogram::bin(std::size_t i) const
+{
+    if (i >= bins_.size())
+        panic("Histogram::bin index out of range");
+    return bins_[i];
+}
+
+std::uint64_t
+Histogram::countInRange(std::size_t first, std::size_t last) const
+{
+    last = std::min(last, bins_.size() - 1);
+    std::uint64_t n = 0;
+    for (std::size_t i = first; i <= last && i < bins_.size(); ++i)
+        n += bins_[i];
+    return n;
+}
+
+std::size_t
+Histogram::maxNonZeroBin() const
+{
+    for (std::size_t i = bins_.size(); i-- > 0;)
+        if (bins_[i] != 0)
+            return i;
+    return 0;
+}
+
+std::size_t
+Histogram::peakBin(std::size_t first, std::size_t last) const
+{
+    last = std::min(last, bins_.size() - 1);
+    std::size_t best = first;
+    std::uint64_t best_count = 0;
+    for (std::size_t i = first; i <= last && i < bins_.size(); ++i) {
+        if (bins_[i] > best_count) {
+            best_count = bins_[i];
+            best = i;
+        }
+    }
+    return best;
+}
+
+double
+Histogram::mean() const
+{
+    return meanInRange(0, bins_.size() - 1);
+}
+
+double
+Histogram::meanInRange(std::size_t first, std::size_t last) const
+{
+    last = std::min(last, bins_.size() - 1);
+    double weighted = 0.0;
+    double count = 0.0;
+    for (std::size_t i = first; i <= last && i < bins_.size(); ++i) {
+        weighted += static_cast<double>(i) * static_cast<double>(bins_[i]);
+        count += static_cast<double>(bins_[i]);
+    }
+    return count == 0.0 ? 0.0 : weighted / count;
+}
+
+void
+Histogram::merge(const Histogram& other)
+{
+    if (other.bins_.size() != bins_.size())
+        fatal("Histogram::merge: bin-count mismatch");
+    for (std::size_t i = 0; i < bins_.size(); ++i)
+        bins_[i] += other.bins_[i];
+    total_ += other.total_;
+}
+
+void
+Histogram::clear()
+{
+    std::fill(bins_.begin(), bins_.end(), 0);
+    total_ = 0;
+}
+
+std::vector<double>
+Histogram::normalized() const
+{
+    std::vector<double> out(bins_.size(), 0.0);
+    if (total_ == 0)
+        return out;
+    for (std::size_t i = 0; i < bins_.size(); ++i)
+        out[i] = static_cast<double>(bins_[i]) /
+                 static_cast<double>(total_);
+    return out;
+}
+
+std::string
+Histogram::toString() const
+{
+    std::ostringstream os;
+    bool first = true;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        if (bins_[i] == 0)
+            continue;
+        if (!first)
+            os << ' ';
+        os << i << ':' << bins_[i];
+        first = false;
+    }
+    return os.str();
+}
+
+} // namespace cchunter

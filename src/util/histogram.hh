@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fixed-bin counting histogram.
+ *
+ * The event density histogram at the heart of CC-Hunter's burst-pattern
+ * detection (paper section IV-B) counts, for each Δt observation window,
+ * how many windows contained a given number of indicator events.  The
+ * hardware realisation is a 128-entry buffer of 16-bit counters; the
+ * software-side analysis uses the same structure with saturating adds.
+ */
+
+#ifndef CCHUNTER_UTIL_HISTOGRAM_HH
+#define CCHUNTER_UTIL_HISTOGRAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cchunter
+{
+
+/**
+ * A histogram with a fixed number of integer bins.  Samples at or above
+ * the bin count land in the last (overflow) bin.
+ */
+class Histogram
+{
+  public:
+    /** @param num_bins Number of bins (the CC-Auditor uses 128). */
+    explicit Histogram(std::size_t num_bins = 128);
+
+    /** Record one sample with the given bin value. */
+    void addSample(std::uint64_t value, std::uint64_t weight = 1);
+
+    /** Count in a bin. */
+    std::uint64_t bin(std::size_t i) const;
+
+    /** Number of bins. */
+    std::size_t numBins() const { return bins_.size(); }
+
+    /** Sum of all bin counts. */
+    std::uint64_t totalSamples() const { return total_; }
+
+    /** Sum of bin counts for bins [first, last]. */
+    std::uint64_t countInRange(std::size_t first, std::size_t last) const;
+
+    /** Index of the highest non-zero bin, or 0 when empty. */
+    std::size_t maxNonZeroBin() const;
+
+    /** Index of the bin with the largest count in [first, last]. */
+    std::size_t peakBin(std::size_t first = 0,
+                        std::size_t last = SIZE_MAX) const;
+
+    /** Mean bin value weighted by count. */
+    double mean() const;
+
+    /** Mean bin value over bins in [first, last]. */
+    double meanInRange(std::size_t first, std::size_t last) const;
+
+    /** Merge another histogram (bin-wise add; sizes must match). */
+    void merge(const Histogram& other);
+
+    /** Reset all bins to zero. */
+    void clear();
+
+    /** Raw bin vector (for plotting / serialisation). */
+    const std::vector<std::uint64_t>& bins() const { return bins_; }
+
+    /** Normalised bin frequencies (sum to 1; empty histogram -> zeros). */
+    std::vector<double> normalized() const;
+
+    /** One-line textual rendering "b0:c0 b1:c1 ..." of non-zero bins. */
+    std::string toString() const;
+
+  private:
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_UTIL_HISTOGRAM_HH

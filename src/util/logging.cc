@@ -1,0 +1,70 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace cchunter
+{
+
+namespace
+{
+
+LogLevel globalLevel = LogLevel::Warn;
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+namespace detail
+{
+
+void
+fatalImpl(const std::string& where, const std::string& msg)
+{
+    std::fprintf(stderr, "%s: %s\n", where.c_str(), msg.c_str());
+    // Throw instead of exit(1) so tests can assert on fatal conditions.
+    throw std::runtime_error(where + ": " + msg);
+}
+
+void
+panicImpl(const std::string& where, const std::string& msg)
+{
+    std::fprintf(stderr, "%s: %s\n", where.c_str(), msg.c_str());
+    throw std::logic_error(where + ": " + msg);
+}
+
+void
+warnImpl(const std::string& msg)
+{
+    if (globalLevel >= LogLevel::Warn)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string& msg)
+{
+    if (globalLevel >= LogLevel::Inform)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+debugImpl(const std::string& msg)
+{
+    if (globalLevel >= LogLevel::Debug)
+        std::fprintf(stderr, "debug: %s\n", msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace cchunter

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Status/error reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * fatal() is for user-level errors (bad configuration); panic() is for
+ * internal invariant violations.  inform()/warn() report status without
+ * stopping the run.
+ */
+
+#ifndef CCHUNTER_UTIL_LOGGING_HH
+#define CCHUNTER_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace cchunter
+{
+
+/** Verbosity levels for runtime logging. */
+enum class LogLevel
+{
+    Silent = 0,
+    Warn = 1,
+    Inform = 2,
+    Debug = 3,
+};
+
+/** Set the global log verbosity. */
+void setLogLevel(LogLevel level);
+
+/** Get the current global log verbosity. */
+LogLevel logLevel();
+
+namespace detail
+{
+
+[[noreturn]] void fatalImpl(const std::string& where,
+                            const std::string& msg);
+[[noreturn]] void panicImpl(const std::string& where,
+                            const std::string& msg);
+void warnImpl(const std::string& msg);
+void informImpl(const std::string& msg);
+void debugImpl(const std::string& msg);
+
+/** Fold a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Terminate due to a user-level (configuration) error. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args&&... args)
+{
+    detail::fatalImpl("fatal", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Terminate due to an internal invariant violation. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args&&... args)
+{
+    detail::panicImpl("panic", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a suspicious-but-survivable condition. */
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Verbose diagnostic output, off by default. */
+template <typename... Args>
+void
+debugLog(Args&&... args)
+{
+    detail::debugImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace cchunter
+
+#endif // CCHUNTER_UTIL_LOGGING_HH

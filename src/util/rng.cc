@@ -1,0 +1,162 @@
+#include "util/rng.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t& x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto& s : s_)
+        s = splitmix64(x);
+    // Avoid the all-zero state, which is a fixed point of xoshiro.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    if (bound == 0)
+        panic("Rng::nextBelow called with bound 0");
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t all_ones = ~std::uint64_t{0};
+    const std::uint64_t limit = all_ones - (all_ones % bound);
+    std::uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return v % bound;
+}
+
+std::int64_t
+Rng::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    if (lo > hi)
+        panic("Rng::nextRange: lo > hi");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(nextBelow(span));
+}
+
+double
+Rng::nextDouble()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+double
+Rng::nextExponential(double mean)
+{
+    double u;
+    do {
+        u = nextDouble();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+double
+Rng::nextGaussian(double mean, double stddev)
+{
+    if (haveSpareGaussian_) {
+        haveSpareGaussian_ = false;
+        return mean + stddev * spareGaussian_;
+    }
+    double u, v, s;
+    do {
+        u = 2.0 * nextDouble() - 1.0;
+        v = 2.0 * nextDouble() - 1.0;
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spareGaussian_ = v * mul;
+    haveSpareGaussian_ = true;
+    return mean + stddev * u * mul;
+}
+
+std::uint64_t
+Rng::nextPoisson(double mean)
+{
+    if (mean <= 0.0)
+        return 0;
+    if (mean < 30.0) {
+        // Knuth's multiplicative method for small means.
+        const double limit = std::exp(-mean);
+        double prod = nextDouble();
+        std::uint64_t n = 0;
+        while (prod > limit) {
+            ++n;
+            prod *= nextDouble();
+        }
+        return n;
+    }
+    // Gaussian approximation for large means; adequate for workload noise.
+    const double v = nextGaussian(mean, std::sqrt(mean));
+    return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+}
+
+std::uint64_t
+Rng::nextGeometric(double p)
+{
+    if (p <= 0.0 || p > 1.0)
+        panic("Rng::nextGeometric: p out of (0,1]");
+    if (p == 1.0)
+        return 1;
+    double u;
+    do {
+        u = nextDouble();
+    } while (u <= 0.0);
+    return 1 + static_cast<std::uint64_t>(std::log(u) / std::log1p(-p));
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0xd1b54a32d192ed03ull);
+}
+
+} // namespace cchunter

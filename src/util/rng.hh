@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the simulator (workload interleaving, noise
+ * injection, payload generation) draws from Rng so that experiments are
+ * reproducible from a single seed.
+ */
+
+#ifndef CCHUNTER_UTIL_RNG_HH
+#define CCHUNTER_UTIL_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace cchunter
+{
+
+/**
+ * A small, fast, seedable PRNG (xoshiro256**).
+ *
+ * We implement the generator ourselves rather than using std::mt19937 so
+ * that streams are cheap to fork (one per simulated process) and stable
+ * across standard library implementations.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed via splitmix64 expansion. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) using rejection sampling. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability p of true. */
+    bool nextBool(double p = 0.5);
+
+    /** Exponentially distributed double with the given mean. */
+    double nextExponential(double mean);
+
+    /** Normally distributed double (Box-Muller). */
+    double nextGaussian(double mean, double stddev);
+
+    /** Poisson-distributed count with the given mean (Knuth / PTRS). */
+    std::uint64_t nextPoisson(double mean);
+
+    /** Geometrically distributed count >= 1 with success probability p. */
+    std::uint64_t nextGeometric(double p);
+
+    /** Fork an independent stream (hash of this stream's next outputs). */
+    Rng fork();
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T>& v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = nextBelow(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+  private:
+    std::uint64_t s_[4];
+    bool haveSpareGaussian_ = false;
+    double spareGaussian_ = 0.0;
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_UTIL_RNG_HH

@@ -1,0 +1,96 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+void
+RunningStats::add(double x)
+{
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+RunningStats::variance() const
+{
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStats::clear()
+{
+    *this = RunningStats();
+}
+
+double
+meanOf(const std::vector<double>& v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += x;
+    return s / static_cast<double>(v.size());
+}
+
+double
+varianceOf(const std::vector<double>& v)
+{
+    if (v.empty())
+        return 0.0;
+    const double m = meanOf(v);
+    double s = 0.0;
+    for (double x : v)
+        s += (x - m) * (x - m);
+    return s / static_cast<double>(v.size());
+}
+
+double
+pearson(const std::vector<double>& a, const std::vector<double>& b)
+{
+    if (a.size() != b.size())
+        fatal("pearson: length mismatch");
+    if (a.empty())
+        return 0.0;
+    const double ma = meanOf(a);
+    const double mb = meanOf(b);
+    double num = 0.0, da = 0.0, db = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        num += (a[i] - ma) * (b[i] - mb);
+        da += (a[i] - ma) * (a[i] - ma);
+        db += (b[i] - mb) * (b[i] - mb);
+    }
+    const double den = std::sqrt(da * db);
+    return den == 0.0 ? 0.0 : num / den;
+}
+
+double
+quantileOf(std::vector<double> v, double p)
+{
+    if (v.empty())
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    std::sort(v.begin(), v.end());
+    const double pos = p * static_cast<double>(v.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, v.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+} // namespace cchunter

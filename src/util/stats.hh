@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Streaming summary statistics (count / mean / variance / extrema).
+ */
+
+#ifndef CCHUNTER_UTIL_STATS_HH
+#define CCHUNTER_UTIL_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace cchunter
+{
+
+/**
+ * Welford-style running statistics accumulator.
+ */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Number of observations. */
+    std::uint64_t count() const { return n_; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Sample variance (0 when fewer than two observations). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Minimum observation (+inf when empty). */
+    double min() const { return min_; }
+
+    /** Maximum observation (-inf when empty). */
+    double max() const { return max_; }
+
+    /** Sum of observations. */
+    double sum() const { return mean_ * static_cast<double>(n_); }
+
+    /** Reset to empty. */
+    void clear();
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Mean of a vector (0 when empty). */
+double meanOf(const std::vector<double>& v);
+
+/** Population variance of a vector (0 when empty). */
+double varianceOf(const std::vector<double>& v);
+
+/** Pearson correlation of two equal-length vectors. */
+double pearson(const std::vector<double>& a, const std::vector<double>& b);
+
+/** p-quantile (0..1) of a vector using linear interpolation. */
+double quantileOf(std::vector<double> v, double p);
+
+} // namespace cchunter
+
+#endif // CCHUNTER_UTIL_STATS_HH

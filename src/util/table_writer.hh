@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Plain-text table and CSV emitters used by the benchmark harnesses to
+ * print the rows/series the paper's tables and figures report.
+ */
+
+#ifndef CCHUNTER_UTIL_TABLE_WRITER_HH
+#define CCHUNTER_UTIL_TABLE_WRITER_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cchunter
+{
+
+/**
+ * Accumulates rows of string cells and renders an aligned ASCII table.
+ */
+class TableWriter
+{
+  public:
+    explicit TableWriter(std::vector<std::string> headers);
+
+    /** Append one row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column alignment and a header rule. */
+    void render(std::ostream& os) const;
+
+    /** Render as comma-separated values. */
+    void renderCsv(std::ostream& os) const;
+
+    /** Number of data rows. */
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given precision. */
+std::string fmtDouble(double v, int precision = 3);
+
+/** Format an integer with thousands separators removed (plain). */
+std::string fmtInt(long long v);
+
+} // namespace cchunter
+
+#endif // CCHUNTER_UTIL_TABLE_WRITER_HH

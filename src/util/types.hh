@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fundamental types shared across the CC-Hunter code base.
+ */
+
+#ifndef CCHUNTER_UTIL_TYPES_HH
+#define CCHUNTER_UTIL_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace cchunter
+{
+
+/** Simulation time expressed in CPU clock cycles. */
+using Tick = std::uint64_t;
+
+/** A span of CPU clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Maximum representable tick; used as "never". */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/**
+ * Identifier of a hardware context (one SMT thread slot on one core).
+ * The paper assumes a quad-core with two SMT threads per core, so context
+ * IDs fit in three bits (0..7); the cache block metadata stores exactly
+ * three owner-context bits.
+ */
+using ContextId = std::uint8_t;
+
+/** Sentinel meaning "no context" (e.g. an unowned cache block). */
+constexpr ContextId invalidContext = 0xff;
+
+/** Identifier of a software process (schedulable entity). */
+using ProcessId = std::uint32_t;
+
+/** Sentinel meaning "no process". */
+constexpr ProcessId invalidProcess = 0xffffffffu;
+
+/** Physical / simulated memory address. */
+using Addr = std::uint64_t;
+
+/** Default simulated core frequency used throughout the paper: 2.5 GHz. */
+constexpr double defaultCoreGHz = 2.5;
+
+/** Convert seconds to ticks at a given core frequency. */
+constexpr Tick
+secondsToTicks(double seconds, double ghz = defaultCoreGHz)
+{
+    return static_cast<Tick>(seconds * ghz * 1e9);
+}
+
+/** Convert ticks to seconds at a given core frequency. */
+constexpr double
+ticksToSeconds(Tick ticks, double ghz = defaultCoreGHz)
+{
+    return static_cast<double>(ticks) / (ghz * 1e9);
+}
+
+/**
+ * Length of one OS scheduler time quantum in ticks.  The paper assumes a
+ * 0.1 s quantum (250 M cycles at 2.5 GHz).
+ */
+constexpr Tick defaultQuantumTicks = secondsToTicks(0.1);
+
+} // namespace cchunter
+
+#endif // CCHUNTER_UTIL_TYPES_HH

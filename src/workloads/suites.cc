@@ -1,0 +1,157 @@
+#include "workloads/suites.hh"
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+namespace
+{
+
+SyntheticParams
+baseParams(const std::string& name, std::uint64_t seed, Addr base)
+{
+    SyntheticParams p;
+    p.name = name;
+    p.seed = seed;
+    p.addrBase = base;
+    return p;
+}
+
+} // namespace
+
+namespace
+{
+
+std::unique_ptr<SyntheticWorkload>
+finishProxy(SyntheticParams p, double intensity)
+{
+    if (intensity <= 0.0 || intensity > 1.0)
+        fatal("makeBenchmark: intensity must be in (0, 1]");
+    p.computeMin = static_cast<Cycles>(
+        static_cast<double>(p.computeMin) / intensity);
+    p.computeMax = static_cast<Cycles>(
+        static_cast<double>(p.computeMax) / intensity);
+    return std::make_unique<SyntheticWorkload>(std::move(p));
+}
+
+} // namespace
+
+std::unique_ptr<SyntheticWorkload>
+makeBenchmark(const std::string& name, std::uint64_t seed,
+              double intensity)
+{
+    // Give each instance a distinct address region so co-runners do not
+    // share data.
+    const Addr base = 0x100000000ull + (seed % 64) * 0x10000000ull;
+
+    if (name == "gobmk") {
+        SyntheticParams p = baseParams(name, seed, base);
+        p.memFraction = 0.55;
+        p.streamFraction = 0.2;
+        p.workingSetLines = 16384; // 1 MiB: frequent L2 misses
+        p.lockFraction = 0.00004;  // rare incidental misaligned atomics
+        p.computeMin = 300;
+        p.computeMax = 1500;
+        return finishProxy(p, intensity);
+    }
+    if (name == "sjeng") {
+        SyntheticParams p = baseParams(name, seed, base);
+        p.memFraction = 0.5;
+        p.streamFraction = 0.1;
+        p.workingSetLines = 32768; // 2 MiB
+        p.lockFraction = 0.00005;
+        p.computeMin = 300;
+        p.computeMax = 2000;
+        return finishProxy(p, intensity);
+    }
+    if (name == "bzip2") {
+        SyntheticParams p = baseParams(name, seed, base);
+        p.memFraction = 0.35;
+        p.streamFraction = 0.7;
+        p.workingSetLines = 8192;
+        p.divideFraction = 0.30;
+        p.divideOpsMin = 4;
+        p.divideOpsMax = 32;
+        p.computeMin = 200;
+        p.computeMax = 1200;
+        return finishProxy(p, intensity);
+    }
+    if (name == "h264ref") {
+        SyntheticParams p = baseParams(name, seed, base);
+        p.memFraction = 0.4;
+        p.streamFraction = 0.8;
+        p.workingSetLines = 8192;
+        p.divideFraction = 0.25;
+        p.divideOpsMin = 8;
+        p.divideOpsMax = 48;
+        p.computeMin = 200;
+        p.computeMax = 1000;
+        return finishProxy(p, intensity);
+    }
+    if (name == "mcf") {
+        SyntheticParams p = baseParams(name, seed, base);
+        p.memFraction = 0.75;
+        p.streamFraction = 0.05; // pointer chasing: random
+        p.workingSetLines = 131072; // 8 MiB
+        p.computeMin = 100;
+        p.computeMax = 500;
+        return finishProxy(p, intensity);
+    }
+    if (name == "stream") {
+        SyntheticParams p = baseParams(name, seed, base);
+        p.memFraction = 0.9;
+        p.streamFraction = 1.0;
+        p.workingSetLines = 1048576; // 64 MiB: pure streaming
+        p.computeMin = 100;
+        p.computeMax = 300;
+        return finishProxy(p, intensity);
+    }
+    if (name == "webserver") {
+        SyntheticParams p = baseParams(name, seed, base);
+        // 100 threads of open-read-close: heavy, mildly regular reads.
+        p.memFraction = 0.7;
+        p.streamFraction = 0.6;
+        p.workingSetLines = 65536; // 4 MiB of hot files
+        p.lockFraction = 0.00002;
+        p.computeMin = 150;
+        p.computeMax = 900;
+        return finishProxy(p, intensity);
+    }
+    if (name == "mailserver") {
+        SyntheticParams p = baseParams(name, seed, base);
+        // create-append-sync: each sync issues a burst of locked ops.
+        p.memFraction = 0.55;
+        p.streamFraction = 0.4;
+        p.workingSetLines = 32768;
+        p.lockFraction = 0.00010;      // scattered single locks
+        p.lockBurstFraction = 0.00004; // occasional sync bursts
+        p.lockBurstMin = 5;
+        p.lockBurstMax = 8;
+        p.computeMin = 150;
+        p.computeMax = 1000;
+        return finishProxy(p, intensity);
+    }
+    fatal("unknown benchmark proxy '", name, "'");
+}
+
+std::vector<std::string>
+benchmarkNames()
+{
+    return {"gobmk",  "sjeng",  "bzip2",     "h264ref",
+            "mcf",    "stream", "webserver", "mailserver"};
+}
+
+std::vector<std::pair<std::string, std::string>>
+falseAlarmPairs()
+{
+    return {
+        {"gobmk", "sjeng"},           {"bzip2", "h264ref"},
+        {"stream", "stream"},         {"mailserver", "mailserver"},
+        {"webserver", "webserver"},   {"gobmk", "bzip2"},
+        {"mcf", "stream"},            {"sjeng", "h264ref"},
+        {"mcf", "mailserver"},        {"webserver", "stream"},
+    };
+}
+
+} // namespace cchunter

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Named benchmark proxies: the SPEC2006 / Stream / Filebench stand-ins
+ * used in the paper's false-alarm study (section VI-D).
+ *
+ * Tuning rationale per proxy:
+ *  - gobmk, sjeng: CPU benchmarks with numerous memory-bus accesses and
+ *    rare incidental bus locks (misaligned atomics in library code).
+ *  - bzip2, h264ref: CPU benchmarks with a significant number of
+ *    integer divisions, so hyperthreaded pairs create random divider
+ *    contention.
+ *  - mcf: memory-bound pointer chasing (generic cache-noise process).
+ *  - stream: pure streaming bandwidth kernel; no locks, no divisions.
+ *  - webserver: Filebench-style multi-threaded open-read-close request
+ *    loops (bursty reads with mild regularity).
+ *  - mailserver: Filebench-style create-append-SYNC loops; each sync
+ *    issues a short burst of locked operations, producing the weak
+ *    second distribution (histogram bins 5-8) whose likelihood ratio
+ *    stays below 0.5 in the paper.
+ */
+
+#ifndef CCHUNTER_WORKLOADS_SUITES_HH
+#define CCHUNTER_WORKLOADS_SUITES_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/synthetic.hh"
+
+namespace cchunter
+{
+
+/**
+ * Instantiate a benchmark proxy by name; fatal for unknown names.
+ *
+ * @param intensity Activity scaling in (0, 1]: values below 1 stretch
+ *        the proxy's compute phases, lowering its event rate and
+ *        simulation cost proportionally (used as background noise in
+ *        long low-bandwidth runs).
+ */
+std::unique_ptr<SyntheticWorkload> makeBenchmark(const std::string& name,
+                                                 std::uint64_t seed,
+                                                 double intensity = 1.0);
+
+/** All available proxy names. */
+std::vector<std::string> benchmarkNames();
+
+/** The pairings evaluated in the paper's figure 14. */
+std::vector<std::pair<std::string, std::string>> falseAlarmPairs();
+
+} // namespace cchunter
+
+#endif // CCHUNTER_WORKLOADS_SUITES_HH

@@ -1,0 +1,90 @@
+#include "workloads/synthetic.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+SyntheticWorkload::SyntheticWorkload(SyntheticParams params)
+    : params_(std::move(params)), rng_(params_.seed)
+{
+    if (params_.workingSetLines == 0)
+        fatal("SyntheticWorkload: empty working set");
+    if (params_.computeMin == 0 ||
+        params_.computeMax < params_.computeMin)
+        fatal("SyntheticWorkload: bad compute range");
+    if (params_.divideOpsMax < params_.divideOpsMin)
+        fatal("SyntheticWorkload: bad divide range");
+    if (params_.lockBurstMax < params_.lockBurstMin)
+        fatal("SyntheticWorkload: bad lock burst range");
+    const double total = params_.memFraction + params_.divideFraction +
+                         params_.lockFraction +
+                         params_.lockBurstFraction;
+    if (total > 1.0)
+        fatal("SyntheticWorkload: action fractions exceed 1.0");
+}
+
+Addr
+SyntheticWorkload::nextMemAddr()
+{
+    std::uint64_t line;
+    if (rng_.nextBool(params_.streamFraction)) {
+        line = streamCursor_++ % params_.workingSetLines;
+    } else {
+        line = rng_.nextBelow(params_.workingSetLines);
+    }
+    return params_.addrBase + line * 64;
+}
+
+Action
+SyntheticWorkload::nextAction(const ExecView& view)
+{
+    // Quiet phase: pure compute until the next active phase begins.
+    if (params_.phaseOnTicks != 0 && params_.phaseOffTicks != 0) {
+        const Tick period =
+            params_.phaseOnTicks + params_.phaseOffTicks;
+        const Tick pos = view.now % period;
+        if (pos >= params_.phaseOnTicks) {
+            const Tick remaining = period - pos;
+            const Cycles chunk = static_cast<Cycles>(std::min<Tick>(
+                remaining, params_.computeMax * 4));
+            return Action::compute(std::max<Cycles>(1, chunk));
+        }
+    }
+
+    if (lockBurstRemaining_ > 0) {
+        --lockBurstRemaining_;
+        return Action::lockedAccess(nextMemAddr());
+    }
+
+    double roll = rng_.nextDouble();
+    if (roll < params_.memFraction)
+        return Action::read(nextMemAddr());
+    roll -= params_.memFraction;
+
+    if (roll < params_.divideFraction) {
+        const auto ops = static_cast<std::uint32_t>(rng_.nextRange(
+            params_.divideOpsMin, params_.divideOpsMax));
+        return Action::divideBatch(ops);
+    }
+    roll -= params_.divideFraction;
+
+    if (roll < params_.lockFraction)
+        return Action::lockedAccess(nextMemAddr());
+    roll -= params_.lockFraction;
+
+    if (roll < params_.lockBurstFraction) {
+        lockBurstRemaining_ = static_cast<std::uint32_t>(rng_.nextRange(
+            params_.lockBurstMin, params_.lockBurstMax));
+        return Action::lockedAccess(nextMemAddr());
+    }
+
+    const auto cycles = static_cast<Cycles>(rng_.nextRange(
+        static_cast<std::int64_t>(params_.computeMin),
+        static_cast<std::int64_t>(params_.computeMax)));
+    return Action::compute(cycles);
+}
+
+} // namespace cchunter

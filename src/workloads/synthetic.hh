@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Parameterized synthetic workloads standing in for the paper's benign
+ * benchmarks (SPEC2006, Stream, Filebench).
+ *
+ * Only the *resource-conflict* behaviour matters to CC-Hunter: how
+ * often a program locks the bus, contends for the divider, and churns
+ * the caches — and whether any of that recurs in channel-like patterns
+ * (it must not, for benign programs).  SyntheticWorkload generates
+ * actions from a tunable stochastic mix; suites.hh instantiates the
+ * named benchmark proxies.
+ */
+
+#ifndef CCHUNTER_WORKLOADS_SYNTHETIC_HH
+#define CCHUNTER_WORKLOADS_SYNTHETIC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/workload.hh"
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace cchunter
+{
+
+/** Stochastic action-mix parameters. */
+struct SyntheticParams
+{
+    std::string name = "synthetic";
+    std::uint64_t seed = 1;
+
+    /** Probability the next action is a memory access. */
+    double memFraction = 0.4;
+
+    /** Probability a memory access streams sequentially (vs random
+     *  within the working set). */
+    double streamFraction = 0.5;
+
+    /** Working-set size in cache lines (locality footprint). */
+    std::size_t workingSetLines = 4096;
+
+    /** Probability the next action is a division batch. */
+    double divideFraction = 0.0;
+
+    /** Division batch size range. */
+    std::uint32_t divideOpsMin = 4;
+    std::uint32_t divideOpsMax = 40;
+
+    /** Probability the next action is a single locked access
+     *  (misaligned atomic in benign code). */
+    double lockFraction = 0.0;
+
+    /** Probability of starting a burst of locked accesses (e.g. a
+     *  mailserver fsync); burst length uniform in [burstMin,
+     *  burstMax]. */
+    double lockBurstFraction = 0.0;
+    std::uint32_t lockBurstMin = 5;
+    std::uint32_t lockBurstMax = 8;
+
+    /** Compute action duration range in cycles. */
+    Cycles computeMin = 200;
+    Cycles computeMax = 2000;
+
+    /** Base of the private address region. */
+    Addr addrBase = 0x100000000ull;
+
+    /**
+     * Optional phase behaviour: the program alternates between an
+     * active phase of phaseOnTicks (normal action mix) and a quiet
+     * phase of phaseOffTicks (compute only), as real programs do
+     * between computation and I/O phases.  Both 0 disables phasing.
+     */
+    Tick phaseOnTicks = 0;
+    Tick phaseOffTicks = 0;
+};
+
+/**
+ * A stochastic, endlessly running benign workload.
+ */
+class SyntheticWorkload : public Workload
+{
+  public:
+    explicit SyntheticWorkload(SyntheticParams params);
+
+    Action nextAction(const ExecView& view) override;
+    std::string name() const override { return params_.name; }
+
+    const SyntheticParams& params() const { return params_; }
+
+  private:
+    Addr nextMemAddr();
+
+    SyntheticParams params_;
+    Rng rng_;
+    std::uint64_t streamCursor_ = 0;
+    std::uint32_t lockBurstRemaining_ = 0;
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_WORKLOADS_SYNTHETIC_HH

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "auditor/conflict_miss_tracker.hh"
+#include "auditor/lru_stack_tracker.hh"
+#include "mem/cache.hh"
+#include "util/rng.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+/** 8 sets x 2 ways = 16 blocks. */
+CacheGeometry
+tinyGeom()
+{
+    return CacheGeometry{1024, 2, 64};
+}
+
+TEST(ConflictMissTrackerTest, DefaultThresholdIsQuarterCapacity)
+{
+    ConflictMissTracker t(4096);
+    EXPECT_EQ(t.threshold(), 1024u);
+}
+
+TEST(ConflictMissTrackerTest, PrematureEvictionIsConflictMiss)
+{
+    Cache cache("t", tinyGeom());
+    ConflictMissTracker tracker(cache.geometry().numBlocks());
+    cache.setMonitor(&tracker);
+    std::vector<ConflictMissEvent> events;
+    tracker.addListener([&](const ConflictMissEvent& e) {
+        events.push_back(e);
+    });
+
+    // Three lines to set 0 (stride = 8 sets * 64 B = 512 B): C evicts A
+    // while the cache is nearly empty -> refetching A is a conflict
+    // miss.
+    cache.access(0x0000, 1, 0);
+    cache.access(0x0200, 2, 1);
+    cache.access(0x0400, 3, 2); // evicts A (premature)
+    EXPECT_EQ(tracker.conflictMisses(), 0u);
+    cache.access(0x0000, 1, 3); // conflict miss, evicts B
+    EXPECT_EQ(tracker.conflictMisses(), 1u);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].replacer, 1);
+    EXPECT_EQ(events[0].victim, 2); // B's owner
+    EXPECT_EQ(events[0].time, 3u);
+}
+
+TEST(ConflictMissTrackerTest, ColdMissesAreNotConflicts)
+{
+    Cache cache("t", tinyGeom());
+    ConflictMissTracker tracker(cache.geometry().numBlocks());
+    cache.setMonitor(&tracker);
+    for (Addr a = 0; a < 16 * 64; a += 64)
+        cache.access(a, 0, 0);
+    EXPECT_EQ(tracker.conflictMisses(), 0u);
+    EXPECT_EQ(tracker.totalMisses(), 16u);
+}
+
+TEST(ConflictMissTrackerTest, CapacityEvictionsAgeOut)
+{
+    // Stream far more distinct blocks than the cache holds: re-access
+    // of long-gone lines must not count as conflict misses because the
+    // generations have rotated them away.
+    Cache cache("t", tinyGeom());
+    ConflictMissTracker tracker(cache.geometry().numBlocks());
+    cache.setMonitor(&tracker);
+    cache.access(0x0000, 0, 0);
+    // Touch 16 * 8 distinct other blocks (many generations).
+    for (Addr a = 0x10000; a < 0x10000 + 128 * 64; a += 64)
+        cache.access(a, 0, 1);
+    const auto before = tracker.conflictMisses();
+    cache.access(0x0000, 0, 2);
+    EXPECT_EQ(tracker.conflictMisses(), before);
+}
+
+TEST(ConflictMissTrackerTest, GenerationsRotateAtThreshold)
+{
+    ConflictMissTracker t(16); // threshold = 4
+    // Touch 4 distinct blocks -> one rotation.
+    for (std::size_t b = 0; b < 4; ++b)
+        t.onAccess(b, b * 64, 0, 0);
+    EXPECT_EQ(t.rotations(), 1u);
+    // Re-touching the same blocks in the *new* generation counts anew.
+    for (std::size_t b = 0; b < 4; ++b)
+        t.onAccess(b, b * 64, 0, 1);
+    EXPECT_EQ(t.rotations(), 2u);
+}
+
+TEST(ConflictMissTrackerTest, RepeatAccessesDoNotAdvanceGeneration)
+{
+    ConflictMissTracker t(16);
+    for (int i = 0; i < 100; ++i)
+        t.onAccess(0, 0, 0, 0);
+    EXPECT_EQ(t.rotations(), 0u);
+}
+
+TEST(ConflictMissTrackerTest, InvalidConfigThrows)
+{
+    EXPECT_ANY_THROW(ConflictMissTracker(0));
+    ConflictTrackerParams p;
+    p.numGenerations = 1;
+    EXPECT_ANY_THROW(ConflictMissTracker(16, p));
+    p.numGenerations = 9;
+    EXPECT_ANY_THROW(ConflictMissTracker(16, p));
+}
+
+TEST(LruStackTrackerTest, ExactPrematureEvictionCheck)
+{
+    Cache cache("t", tinyGeom());
+    LruStackTracker oracle(cache.geometry().numBlocks());
+    cache.setMonitor(&oracle);
+    cache.access(0x0000, 0, 0);
+    cache.access(0x0200, 0, 1);
+    cache.access(0x0400, 0, 2); // evicts 0x0000 prematurely
+    EXPECT_TRUE(oracle.residentInIdealCache(0x0000));
+    cache.access(0x0000, 0, 3);
+    EXPECT_EQ(oracle.conflictMisses(), 1u);
+}
+
+TEST(LruStackTrackerTest, CapacityBound)
+{
+    LruStackTracker oracle(4);
+    for (Addr a = 0; a < 8 * 64; a += 64)
+        oracle.onAccess(0, a, 0, 0);
+    // Only the last 4 lines remain in the ideal cache.
+    EXPECT_FALSE(oracle.residentInIdealCache(0x0000));
+    EXPECT_TRUE(oracle.residentInIdealCache(7 * 64));
+    EXPECT_TRUE(oracle.residentInIdealCache(4 * 64));
+}
+
+/**
+ * Property test: on random access streams, the practical tracker's
+ * conflict-miss decisions closely follow the LRU-stack oracle.  The
+ * approximation errs in both directions (generation granularity, bloom
+ * false positives) but must agree on the vast majority of misses.
+ */
+class TrackerAgreementTest
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TrackerAgreementTest, PracticalApproximatesOracle)
+{
+    const std::uint64_t seed = GetParam();
+    Rng rng(seed);
+
+    // Two independent caches with identical streams so each monitor
+    // sees identical structural events.
+    Cache cache_a("a", CacheGeometry{8192, 4, 64}); // 128 blocks
+    Cache cache_b("b", CacheGeometry{8192, 4, 64});
+    ConflictMissTracker practical(128);
+    LruStackTracker oracle(128);
+
+    // Count agreement via parallel event streams.
+    std::uint64_t practical_hits = 0, oracle_hits = 0;
+    practical.addListener(
+        [&](const ConflictMissEvent&) { ++practical_hits; });
+    oracle.addListener([&](const ConflictMissEvent&) { ++oracle_hits; });
+    cache_a.setMonitor(&practical);
+    cache_b.setMonitor(&oracle);
+
+    // Zipf-ish reuse pattern over 4x capacity worth of lines.
+    std::vector<Addr> pool;
+    for (Addr a = 0; a < 512; ++a)
+        pool.push_back(a * 64);
+    for (int i = 0; i < 20000; ++i) {
+        const std::size_t r = rng.nextBelow(512);
+        const Addr addr = pool[(r * r) / 512]; // skew toward low lines
+        const auto ctx = static_cast<ContextId>(rng.nextBelow(4));
+        cache_a.access(addr, ctx, i);
+        cache_b.access(addr, ctx, i);
+    }
+
+    ASSERT_GT(oracle_hits, 100u) << "stream produced too few conflicts";
+    const double ratio = static_cast<double>(practical_hits) /
+                         static_cast<double>(oracle_hits);
+    EXPECT_GT(ratio, 0.6) << "practical tracker misses too many";
+    EXPECT_LT(ratio, 1.4) << "practical tracker over-reports";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrackerAgreementTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+} // namespace
+} // namespace cchunter

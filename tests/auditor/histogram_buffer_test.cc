@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "auditor/histogram_buffer.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+TEST(HistogramBufferTest, EventsBinnedByWindow)
+{
+    HistogramBuffer hb(100, 0);
+    hb.recordEvent(10);
+    hb.recordEvent(20);
+    hb.recordEvent(150); // second window
+    Histogram h = hb.snapshotAndReset(300);
+    // Windows: [0,100): 2 events; [100,200): 1; [200,300): 0.
+    EXPECT_EQ(h.bin(2), 1u);
+    EXPECT_EQ(h.bin(1), 1u);
+    EXPECT_EQ(h.bin(0), 1u);
+    EXPECT_EQ(h.totalSamples(), 3u);
+}
+
+TEST(HistogramBufferTest, EmptyWindowsCountAsZeroDensity)
+{
+    HistogramBuffer hb(100, 0);
+    Histogram h = hb.snapshotAndReset(1000);
+    EXPECT_EQ(h.bin(0), 10u);
+}
+
+TEST(HistogramBufferTest, SnapshotResetsOrigin)
+{
+    HistogramBuffer hb(100, 0);
+    hb.recordEvent(50);
+    hb.snapshotAndReset(100);
+    hb.recordEvent(150); // first window of the new epoch
+    Histogram h = hb.snapshotAndReset(200);
+    EXPECT_EQ(h.bin(1), 1u);
+    EXPECT_EQ(h.totalSamples(), 1u);
+}
+
+TEST(HistogramBufferTest, PartialWindowExcluded)
+{
+    HistogramBuffer hb(100, 0);
+    hb.recordEvent(250);
+    Histogram h = hb.snapshotAndReset(270); // window [200,300) incomplete
+    EXPECT_EQ(h.totalSamples(), 2u); // only [0,100) and [100,200)
+    EXPECT_EQ(h.bin(0), 2u);
+}
+
+TEST(HistogramBufferTest, BurstSpreadAcrossWindows)
+{
+    HistogramBuffer hb(100, 0);
+    // 10 events at t = 0, 25, 50, ..., 225: windows get 4, 4, 2.
+    hb.recordBurst(0, 10, 25);
+    Histogram h = hb.snapshotAndReset(300);
+    EXPECT_EQ(h.bin(4), 2u);
+    EXPECT_EQ(h.bin(2), 1u);
+    EXPECT_EQ(hb.totalEvents(), 10u);
+}
+
+TEST(HistogramBufferTest, BurstSingleWindow)
+{
+    HistogramBuffer hb(1000, 0);
+    hb.recordBurst(100, 50, 2);
+    Histogram h = hb.snapshotAndReset(1000);
+    EXPECT_EQ(h.bin(50), 1u);
+}
+
+TEST(HistogramBufferTest, BurstMatchesEquivalentEvents)
+{
+    // A burst must integrate exactly like its expansion.
+    HistogramBuffer burst(70, 0);
+    HistogramBuffer single(70, 0);
+    burst.recordBurst(13, 37, 11);
+    for (std::uint64_t i = 0; i < 37; ++i)
+        single.recordEvent(13 + i * 11);
+    Histogram a = burst.snapshotAndReset(1000);
+    Histogram b = single.snapshotAndReset(1000);
+    for (std::size_t i = 0; i < a.numBins(); ++i)
+        EXPECT_EQ(a.bin(i), b.bin(i)) << "bin " << i;
+}
+
+TEST(HistogramBufferTest, ZeroCountBurstIsNoOp)
+{
+    HistogramBuffer hb(100, 0);
+    hb.recordBurst(0, 0, 10);
+    EXPECT_EQ(hb.totalEvents(), 0u);
+}
+
+TEST(HistogramBufferTest, DensityOverflowGoesToLastBin)
+{
+    HistogramBufferParams p;
+    p.numBins = 8;
+    HistogramBuffer hb(1000, 0, p);
+    hb.recordBurst(0, 100, 1);
+    Histogram h = hb.snapshotAndReset(1000);
+    EXPECT_EQ(h.bin(7), 1u);
+}
+
+TEST(HistogramBufferTest, Saturate16CapsAccumulator)
+{
+    HistogramBufferParams p;
+    p.saturate16 = true;
+    HistogramBuffer hb(1000000, 0, p);
+    hb.recordBurst(0, 100000, 1); // > 65535 events in one window
+    Histogram h = hb.snapshotAndReset(1000000);
+    // The window's density saturated at 65535 -> last bin (127).
+    EXPECT_EQ(h.bin(127), 1u);
+    EXPECT_EQ(h.countInRange(0, 126), 0u);
+}
+
+TEST(HistogramBufferTest, EventBeforeOriginPanics)
+{
+    HistogramBuffer hb(100, 500);
+    EXPECT_ANY_THROW(hb.recordEvent(499));
+}
+
+TEST(HistogramBufferTest, InvalidParamsThrow)
+{
+    EXPECT_ANY_THROW(HistogramBuffer(0, 0));
+}
+
+TEST(HistogramBufferTest, PaperScaleQuantum)
+{
+    // Bus channel parameters: delta-t 100k cycles, quantum 250M cycles
+    // -> exactly 2500 density windows per quantum.
+    HistogramBuffer hb(100000, 0);
+    Histogram h = hb.snapshotAndReset(250000000);
+    EXPECT_EQ(h.totalSamples(), 2500u);
+}
+
+} // namespace
+} // namespace cchunter

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Online-analysis cadence tests: the daemon running the paper's live
+ * schedule (clustering every N quanta, autocorrelation every quantum)
+ * and raising alarms with bounded detection latency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "auditor/cc_auditor.hh"
+#include "auditor/daemon.hh"
+#include "channels/cache_channel.hh"
+#include "channels/divider_channel.hh"
+#include "sim/machine.hh"
+#include "workloads/suites.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+MachineParams
+smallMachine()
+{
+    MachineParams p;
+    p.scheduler.quantum = 2500000;
+    return p;
+}
+
+ChannelTiming
+fastTiming()
+{
+    ChannelTiming t;
+    t.start = 1000;
+    t.bandwidthBps = 10000.0;
+    return t;
+}
+
+TEST(OnlineAnalysisTest, DividerChannelAlarmsAtFirstInterval)
+{
+    Machine m(smallMachine());
+    Rng rng(1);
+    DividerTrojanParams tp;
+    tp.timing = fastTiming();
+    tp.message = Message::random64(rng);
+    m.addProcess(std::make_unique<DividerTrojan>(tp), 0);
+    DividerSpyParams sp;
+    sp.timing = fastTiming();
+    m.addProcess(std::make_unique<DividerSpy>(sp), 1);
+
+    CCAuditor auditor(m);
+    const AuditKey key = requestAuditKey(true);
+    auditor.monitorDivider(key, 0, 0);
+    AuditDaemon daemon(m, auditor);
+
+    OnlineAnalysisParams params;
+    params.clusteringIntervalQuanta = 4;
+    int callbacks = 0;
+    daemon.enableOnlineAnalysis(
+        params, [&](const Alarm& a) { ++callbacks; });
+
+    m.runQuanta(8);
+    // Intervals complete after quanta 4 and 8: two alarms.
+    ASSERT_GE(daemon.alarms().size(), 2u);
+    EXPECT_EQ(callbacks, static_cast<int>(daemon.alarms().size()));
+    EXPECT_EQ(daemon.firstAlarmQuantum(0), 3u); // quantum index 3
+    EXPECT_NE(daemon.alarms()[0].summary.find("DETECTED"),
+              std::string::npos);
+}
+
+TEST(OnlineAnalysisTest, CacheChannelAlarmsEveryQuantum)
+{
+    MachineParams mp = smallMachine();
+    mp.mem.l2 = CacheGeometry{256 * 1024, 1, 64};
+    Machine m(mp);
+    ChannelTiming timing;
+    timing.start = 1000;
+    timing.bandwidthBps = 1000.0; // one bit per quantum
+    Rng rng(2);
+
+    CacheChannelLayout layout;
+    layout.l2NumSets = 4096;
+    layout.channelSets = 256;
+
+    CacheTrojanParams tp;
+    tp.timing = timing;
+    tp.message = Message::random64(rng);
+    tp.layout = layout;
+    tp.roundsPerBit = 4;
+    m.addProcess(std::make_unique<CacheTrojan>(tp), 0);
+    CacheSpyParams sp;
+    sp.timing = timing;
+    sp.layout = layout;
+    sp.roundsPerBit = 4;
+    m.addProcess(std::make_unique<CacheSpy>(sp), 1);
+
+    CCAuditor auditor(m);
+    const AuditKey key = requestAuditKey(true);
+    auditor.monitorCache(key, 0, 0);
+    AuditDaemon daemon(m, auditor);
+    daemon.enableOnlineAnalysis(OnlineAnalysisParams{});
+
+    m.runQuanta(6);
+    // Warm-up quantum aside, nearly every quantum holds several full
+    // oscillation periods and alarms.
+    EXPECT_GE(daemon.alarms().size(), 4u);
+    EXPECT_LE(daemon.firstAlarmQuantum(0), 2u);
+}
+
+TEST(OnlineAnalysisTest, BenignPairNeverAlarms)
+{
+    Machine m(smallMachine());
+    m.addProcess(makeBenchmark("gobmk", 3), 0);
+    m.addProcess(makeBenchmark("sjeng", 4), 1);
+    m.addProcess(makeBenchmark("mcf", 5));
+
+    CCAuditor auditor(m);
+    const AuditKey key = requestAuditKey(true);
+    auditor.monitorBus(key, 0);
+    auditor.monitorDivider(key, 1, 0);
+    AuditDaemon daemon(m, auditor);
+    OnlineAnalysisParams params;
+    params.clusteringIntervalQuanta = 2;
+    daemon.enableOnlineAnalysis(params);
+
+    m.runQuanta(8);
+    EXPECT_TRUE(daemon.alarms().empty());
+    EXPECT_EQ(daemon.firstAlarmQuantum(0), SIZE_MAX);
+}
+
+TEST(OnlineAnalysisTest, InvalidIntervalThrows)
+{
+    Machine m(smallMachine());
+    CCAuditor auditor(m);
+    AuditDaemon daemon(m, auditor);
+    OnlineAnalysisParams params;
+    params.clusteringIntervalQuanta = 0;
+    EXPECT_ANY_THROW(daemon.enableOnlineAnalysis(params));
+}
+
+} // namespace
+} // namespace cchunter

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "auditor/vector_register.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+TEST(VectorRegisterTest, EntriesPerRegisterSizing)
+{
+    VectorRegisterParams p;
+    // 128 bytes = 1024 bits; 6 bits per event -> 170 entries.
+    EXPECT_EQ(p.entriesPerRegister(), 170u);
+}
+
+TEST(VectorRegisterTest, DrainFiresWhenRegisterFills)
+{
+    ConflictVectorRegisters vr;
+    std::vector<std::size_t> drain_sizes;
+    vr.setDrainCallback(
+        [&](const std::vector<ConflictMissEvent>& evs) {
+            drain_sizes.push_back(evs.size());
+        });
+    const std::size_t cap = vr.params().entriesPerRegister();
+    for (std::size_t i = 0; i < cap; ++i)
+        vr.record(ConflictMissEvent{i, 0, 1});
+    ASSERT_EQ(drain_sizes.size(), 1u);
+    EXPECT_EQ(drain_sizes[0], cap);
+    EXPECT_EQ(vr.activeCount(), 0u);
+}
+
+TEST(VectorRegisterTest, AlternatesRegisters)
+{
+    ConflictVectorRegisters vr;
+    vr.setDrainCallback([](const std::vector<ConflictMissEvent>&) {});
+    const std::size_t cap = vr.params().entriesPerRegister();
+    EXPECT_EQ(vr.activeRegister(), 0u);
+    for (std::size_t i = 0; i < cap; ++i)
+        vr.record(ConflictMissEvent{i, 0, 1});
+    EXPECT_EQ(vr.activeRegister(), 1u);
+    for (std::size_t i = 0; i < cap; ++i)
+        vr.record(ConflictMissEvent{i, 0, 1});
+    EXPECT_EQ(vr.activeRegister(), 0u);
+    EXPECT_EQ(vr.drains(), 2u);
+}
+
+TEST(VectorRegisterTest, FlushDrainsPartial)
+{
+    ConflictVectorRegisters vr;
+    std::vector<ConflictMissEvent> all;
+    vr.setDrainCallback(
+        [&](const std::vector<ConflictMissEvent>& evs) {
+            all.insert(all.end(), evs.begin(), evs.end());
+        });
+    vr.record(ConflictMissEvent{1, 2, 3});
+    vr.record(ConflictMissEvent{2, 3, 2});
+    vr.flush();
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(all[0].time, 1u);
+    EXPECT_EQ(all[1].replacer, 3);
+    EXPECT_EQ(vr.activeCount(), 0u);
+}
+
+TEST(VectorRegisterTest, FlushOnEmptyIsNoOp)
+{
+    ConflictVectorRegisters vr;
+    int drains = 0;
+    vr.setDrainCallback(
+        [&](const std::vector<ConflictMissEvent>&) { ++drains; });
+    vr.flush();
+    EXPECT_EQ(drains, 0);
+}
+
+TEST(VectorRegisterTest, EventsPreservedInOrder)
+{
+    ConflictVectorRegisters vr;
+    std::vector<Tick> times;
+    vr.setDrainCallback(
+        [&](const std::vector<ConflictMissEvent>& evs) {
+            for (const auto& e : evs)
+                times.push_back(e.time);
+        });
+    for (Tick t = 0; t < 500; ++t)
+        vr.record(ConflictMissEvent{t, 0, 1});
+    vr.flush();
+    ASSERT_EQ(times.size(), 500u);
+    for (Tick t = 0; t < 500; ++t)
+        EXPECT_EQ(times[t], t);
+}
+
+TEST(VectorRegisterTest, TotalRecordedCounts)
+{
+    ConflictVectorRegisters vr;
+    vr.setDrainCallback([](const std::vector<ConflictMissEvent>&) {});
+    for (int i = 0; i < 300; ++i)
+        vr.record(ConflictMissEvent{0, 0, 1});
+    EXPECT_EQ(vr.totalRecorded(), 300u);
+}
+
+TEST(VectorRegisterTest, InvalidParamsThrow)
+{
+    VectorRegisterParams p;
+    p.bitsPerContext = 0;
+    EXPECT_ANY_THROW(ConflictVectorRegisters{p});
+    VectorRegisterParams q;
+    q.bytesPerRegister = 0;
+    EXPECT_ANY_THROW(ConflictVectorRegisters{q});
+}
+
+} // namespace
+} // namespace cchunter

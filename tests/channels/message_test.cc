@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "channels/message.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+TEST(MessageTest, FromUint64MsbFirst)
+{
+    Message m = Message::fromUint64(0x8000000000000001ull);
+    EXPECT_EQ(m.size(), 64u);
+    EXPECT_TRUE(m.bit(0));
+    EXPECT_FALSE(m.bit(1));
+    EXPECT_TRUE(m.bit(63));
+}
+
+TEST(MessageTest, FromBitsRoundTrip)
+{
+    Message m = Message::fromBits({true, false, true});
+    EXPECT_EQ(m.toString(), "101");
+    EXPECT_EQ(m.size(), 3u);
+    EXPECT_EQ(m.popCount(), 2u);
+}
+
+TEST(MessageTest, Random64HasSixtyFourBits)
+{
+    Rng rng(1);
+    Message m = Message::random64(rng);
+    EXPECT_EQ(m.size(), 64u);
+    // A random credit-card proxy should not be degenerate.
+    EXPECT_GT(m.popCount(), 10u);
+    EXPECT_LT(m.popCount(), 54u);
+}
+
+TEST(MessageTest, RandomMessagesDiffer)
+{
+    Rng rng(2);
+    Message a = Message::random64(rng);
+    Message b = Message::random64(rng);
+    EXPECT_NE(a, b);
+}
+
+TEST(MessageTest, CyclicBitWraps)
+{
+    Message m = Message::fromBits({true, false});
+    EXPECT_TRUE(m.bitCyclic(0));
+    EXPECT_FALSE(m.bitCyclic(1));
+    EXPECT_TRUE(m.bitCyclic(2));
+    EXPECT_FALSE(m.bitCyclic(101));
+}
+
+TEST(MessageTest, BitErrorRate)
+{
+    Message a = Message::fromBits({true, true, false, false});
+    Message b = Message::fromBits({true, false, false, true});
+    EXPECT_DOUBLE_EQ(a.bitErrorRate(b), 0.5);
+    EXPECT_DOUBLE_EQ(a.bitErrorRate(a), 0.0);
+    EXPECT_DOUBLE_EQ(a.bitErrorRate(Message()), 1.0);
+}
+
+TEST(MessageTest, OutOfRangeBitPanics)
+{
+    Message m = Message::fromBits({true});
+    EXPECT_ANY_THROW(m.bit(1));
+    EXPECT_ANY_THROW(Message().bitCyclic(0));
+}
+
+} // namespace
+} // namespace cchunter

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "channels/timing.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+TEST(ChannelTimingTest, BitTicksFromBandwidth)
+{
+    ChannelTiming t;
+    t.bandwidthBps = 10.0;
+    // 2.5 GHz / 10 bps = 250 M ticks per bit.
+    EXPECT_EQ(t.bitTicks(), 250000000u);
+    t.bandwidthBps = 1000.0;
+    EXPECT_EQ(t.bitTicks(), 2500000u);
+}
+
+TEST(ChannelTimingTest, SignalWindowCapped)
+{
+    ChannelTiming t;
+    t.bandwidthBps = 0.1; // 25 G ticks per bit
+    t.maxSignalTicks = 25000000;
+    EXPECT_EQ(t.signalTicks(), 25000000u);
+    t.maxSignalTicks = 0;
+    EXPECT_EQ(t.signalTicks(), t.bitTicks());
+}
+
+TEST(ChannelTimingTest, SignalCapAboveBitClamps)
+{
+    ChannelTiming t;
+    t.bandwidthBps = 1000.0; // 2.5 M per bit
+    t.maxSignalTicks = 25000000;
+    EXPECT_EQ(t.signalTicks(), t.bitTicks());
+}
+
+TEST(ChannelTimingTest, BitIndexing)
+{
+    ChannelTiming t;
+    t.start = 1000;
+    t.bandwidthBps = 1000.0; // bit = 2.5M
+    EXPECT_EQ(t.bitIndexAt(0), 0u);
+    EXPECT_EQ(t.bitIndexAt(1000), 0u);
+    EXPECT_EQ(t.bitIndexAt(1000 + 2500000 - 1), 0u);
+    EXPECT_EQ(t.bitIndexAt(1000 + 2500000), 1u);
+    EXPECT_EQ(t.bitStart(3), 1000u + 3 * 2500000u);
+}
+
+TEST(ChannelTimingTest, InSignalWindow)
+{
+    ChannelTiming t;
+    t.start = 0;
+    t.bandwidthBps = 10.0;     // bit = 250M
+    t.maxSignalTicks = 1000000; // 1M signal window
+    EXPECT_TRUE(t.inSignalWindow(0));
+    EXPECT_TRUE(t.inSignalWindow(999999));
+    EXPECT_FALSE(t.inSignalWindow(1000000));
+    EXPECT_TRUE(t.inSignalWindow(250000000));
+}
+
+TEST(ChannelTimingTest, InvalidBandwidthThrows)
+{
+    ChannelTiming t;
+    t.bandwidthBps = 0.0;
+    EXPECT_ANY_THROW(t.bitTicks());
+}
+
+TEST(ChannelTimingTest, VeryHighBandwidthClampsToOneTick)
+{
+    ChannelTiming t;
+    t.bandwidthBps = 1e12;
+    EXPECT_GE(t.bitTicks(), 1u);
+}
+
+} // namespace
+} // namespace cchunter

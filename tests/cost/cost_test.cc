@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "cost/auditor_cost.hh"
+#include "cost/cost_model.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+TEST(CostModelTest, AreaAndPowerScaleLinearly)
+{
+    CostModel m;
+    auto small = m.estimateArray(ArrayStyle::DenseSram, 1024);
+    auto big = m.estimateArray(ArrayStyle::DenseSram, 2048);
+    EXPECT_NEAR(big.areaMm2 / small.areaMm2, 2.0, 1e-9);
+    EXPECT_NEAR(big.powerMw / small.powerMw, 2.0, 1e-9);
+    EXPECT_GT(big.latencyNs, small.latencyNs);
+}
+
+TEST(CostModelTest, DenserStylesAreSmaller)
+{
+    CostModel m;
+    const std::size_t bits = 4096;
+    auto rf = m.estimateArray(ArrayStyle::RegisterFile, bits);
+    auto dense = m.estimateArray(ArrayStyle::DenseSram, bits);
+    EXPECT_GT(rf.areaMm2, dense.areaMm2);
+}
+
+TEST(CostModelTest, ZeroBitsThrows)
+{
+    CostModel m;
+    EXPECT_ANY_THROW(m.estimateArray(ArrayStyle::DenseSram, 0));
+}
+
+TEST(CostModelTest, StyleNames)
+{
+    EXPECT_EQ(CostModel::styleName(ArrayStyle::RegisterFile),
+              "register-file");
+    EXPECT_EQ(CostModel::styleName(ArrayStyle::SramBuffer),
+              "sram-buffer");
+    EXPECT_EQ(CostModel::styleName(ArrayStyle::DenseSram),
+              "dense-sram");
+}
+
+TEST(CostEstimateTest, AccumulationTakesMaxLatency)
+{
+    CostEstimate a{1.0, 2.0, 0.1};
+    CostEstimate b{0.5, 1.0, 0.3};
+    a += b;
+    EXPECT_DOUBLE_EQ(a.areaMm2, 1.5);
+    EXPECT_DOUBLE_EQ(a.powerMw, 3.0);
+    EXPECT_DOUBLE_EQ(a.latencyNs, 0.3);
+}
+
+TEST(AuditorCostTest, ReproducesTableOne)
+{
+    // Paper Table I:
+    //            histogram  registers  conflict-miss detector
+    //  area mm^2   0.0028     0.0011     0.004
+    //  power mW    2.8        0.8        5.4
+    //  latency ns  0.17       0.17       0.12
+    auto report = estimateAuditorCost();
+    EXPECT_NEAR(report.histogramBuffers.areaMm2, 0.0028, 0.0002);
+    EXPECT_NEAR(report.histogramBuffers.powerMw, 2.8, 0.2);
+    EXPECT_NEAR(report.histogramBuffers.latencyNs, 0.17, 0.01);
+
+    EXPECT_NEAR(report.registers.areaMm2, 0.0011, 0.0001);
+    EXPECT_NEAR(report.registers.powerMw, 0.8, 0.1);
+    EXPECT_NEAR(report.registers.latencyNs, 0.17, 0.01);
+
+    EXPECT_NEAR(report.conflictMissDetector.areaMm2, 0.004, 0.0003);
+    EXPECT_NEAR(report.conflictMissDetector.powerMw, 5.4, 0.3);
+    EXPECT_NEAR(report.conflictMissDetector.latencyNs, 0.12, 0.01);
+}
+
+TEST(AuditorCostTest, PaperContextClaimsHold)
+{
+    auto report = estimateAuditorCost();
+    // Insignificant area vs. a 263 mm^2 i7 die.
+    EXPECT_LT(report.areaFractionOfI7(), 0.0001);
+    // A few milliwatts vs. a 130 W budget.
+    EXPECT_LT(report.powerFractionOfI7(), 0.001);
+    // Latencies below the 3 GHz clock period.
+    EXPECT_LT(report.latencyOverClockPeriod(), 1.0);
+    // Cache metadata overhead about 1.5%.
+    EXPECT_NEAR(report.cacheMetadataLatencyOverhead(), 0.015, 0.005);
+}
+
+TEST(AuditorCostTest, BiggerCacheCostsMore)
+{
+    AuditorCostConfig small;
+    AuditorCostConfig big;
+    big.cacheBlocks = 4 * small.cacheBlocks;
+    auto rs = estimateAuditorCost(small);
+    auto rb = estimateAuditorCost(big);
+    EXPECT_GT(rb.conflictMissDetector.areaMm2,
+              3.0 * rs.conflictMissDetector.areaMm2);
+    EXPECT_DOUBLE_EQ(rb.histogramBuffers.areaMm2,
+                     rs.histogramBuffers.areaMm2);
+}
+
+TEST(AuditorCostTest, TotalSumsComponents)
+{
+    auto r = estimateAuditorCost();
+    EXPECT_NEAR(r.total().areaMm2,
+                r.histogramBuffers.areaMm2 + r.registers.areaMm2 +
+                    r.conflictMissDetector.areaMm2,
+                1e-12);
+}
+
+TEST(AuditorCostTest, InvalidConfigThrows)
+{
+    AuditorCostConfig cfg;
+    cfg.cacheBlocks = 0;
+    EXPECT_ANY_THROW(estimateAuditorCost(cfg));
+}
+
+} // namespace
+} // namespace cchunter

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Property tests for the autocorrelation kernel: mathematical
+ * invariants that must hold for arbitrary inputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "detect/autocorrelation.hh"
+#include "util/rng.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+std::vector<double>
+randomSeries(std::uint64_t seed, std::size_t n)
+{
+    Rng rng(seed);
+    std::vector<double> s;
+    s.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        s.push_back(rng.nextGaussian(0.0, 1.0));
+    return s;
+}
+
+class AutocorrPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(AutocorrPropertyTest, CoefficientsBoundedByOne)
+{
+    const auto s = randomSeries(GetParam(), 700);
+    const auto gram = autocorrelogram(s, 300);
+    for (double r : gram) {
+        EXPECT_LE(r, 1.0 + 1e-9);
+        EXPECT_GE(r, -1.0 - 1e-9);
+    }
+}
+
+TEST_P(AutocorrPropertyTest, LagZeroIsExactlyOne)
+{
+    const auto s = randomSeries(GetParam() + 100, 500);
+    EXPECT_NEAR(autocorrelationAt(s, 0), 1.0, 1e-12);
+}
+
+TEST_P(AutocorrPropertyTest, ShiftInvariant)
+{
+    // Adding a constant to the series must not change r_p.
+    const auto s = randomSeries(GetParam() + 200, 400);
+    std::vector<double> shifted = s;
+    for (double& v : shifted)
+        v += 1234.5;
+    for (std::size_t lag : {1u, 7u, 63u}) {
+        EXPECT_NEAR(autocorrelationAt(s, lag),
+                    autocorrelationAt(shifted, lag), 1e-9);
+    }
+}
+
+TEST_P(AutocorrPropertyTest, ScaleInvariant)
+{
+    // Multiplying by a positive constant must not change r_p.
+    const auto s = randomSeries(GetParam() + 300, 400);
+    std::vector<double> scaled = s;
+    for (double& v : scaled)
+        v *= 42.0;
+    for (std::size_t lag : {1u, 11u, 97u}) {
+        EXPECT_NEAR(autocorrelationAt(s, lag),
+                    autocorrelationAt(scaled, lag), 1e-9);
+    }
+}
+
+TEST_P(AutocorrPropertyTest, PeriodicSeriesPeaksAtMultiples)
+{
+    Rng rng(GetParam() + 400);
+    const std::size_t period = 20 + rng.nextBelow(60);
+    std::vector<double> s;
+    for (std::size_t i = 0; i < period * 30; ++i)
+        s.push_back(std::sin(2.0 * M_PI *
+                             static_cast<double>(i % period) /
+                             static_cast<double>(period)) +
+                    rng.nextGaussian(0.0, 0.1));
+    const double at_period = autocorrelationAt(s, period);
+    const double at_half = autocorrelationAt(s, period / 2);
+    EXPECT_GT(at_period, 0.8);
+    EXPECT_LT(at_half, at_period);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutocorrPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(AutocorrPropertyTest2, WhiteNoiseStaysNearZeroEverywhere)
+{
+    const auto s = randomSeries(777, 20000);
+    const auto gram = autocorrelogram(s, 500);
+    // 3-sigma band for white noise: ~3/sqrt(n).
+    const double band = 3.0 / std::sqrt(20000.0);
+    std::size_t outside = 0;
+    for (std::size_t lag = 1; lag < gram.size(); ++lag)
+        outside += std::abs(gram[lag]) > band;
+    // Allow a small tail beyond 3 sigma.
+    EXPECT_LT(outside, 10u);
+}
+
+} // namespace
+} // namespace cchunter

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "detect/autocorrelation.hh"
+#include "util/rng.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+/** Square wave with `period` (half ones, half zeros), `cycles` repeats. */
+std::vector<double>
+squareWave(std::size_t period, std::size_t cycles)
+{
+    std::vector<double> s;
+    s.reserve(period * cycles);
+    for (std::size_t c = 0; c < cycles; ++c) {
+        for (std::size_t i = 0; i < period; ++i)
+            s.push_back(i < period / 2 ? 1.0 : 0.0);
+    }
+    return s;
+}
+
+TEST(AutocorrelationTest, LagZeroIsOne)
+{
+    std::vector<double> s{1, 2, 3, 4, 5, 4, 3, 2};
+    EXPECT_NEAR(autocorrelationAt(s, 0), 1.0, 1e-12);
+}
+
+TEST(AutocorrelationTest, ConstantSeriesIsZero)
+{
+    std::vector<double> s(100, 5.0);
+    EXPECT_DOUBLE_EQ(autocorrelationAt(s, 1), 0.0);
+    EXPECT_DOUBLE_EQ(autocorrelationAt(s, 5), 0.0);
+}
+
+TEST(AutocorrelationTest, LagBeyondLengthIsZero)
+{
+    std::vector<double> s{1, 2, 3};
+    EXPECT_DOUBLE_EQ(autocorrelationAt(s, 3), 0.0);
+    EXPECT_DOUBLE_EQ(autocorrelationAt(s, 100), 0.0);
+}
+
+TEST(AutocorrelationTest, SquareWavePeaksAtPeriod)
+{
+    auto s = squareWave(64, 16);
+    const double at_period = autocorrelationAt(s, 64);
+    const double at_half = autocorrelationAt(s, 32);
+    EXPECT_GT(at_period, 0.85);
+    EXPECT_LT(at_half, -0.75);
+}
+
+TEST(AutocorrelationTest, WhiteNoiseIsUncorrelated)
+{
+    Rng rng(1);
+    std::vector<double> s;
+    for (int i = 0; i < 5000; ++i)
+        s.push_back(rng.nextDouble());
+    for (std::size_t lag : {1u, 7u, 50u})
+        EXPECT_LT(std::abs(autocorrelationAt(s, lag)), 0.05);
+}
+
+TEST(AutocorrelationTest, AlternatingSeriesNegativeAtOddLags)
+{
+    std::vector<double> s;
+    for (int i = 0; i < 200; ++i)
+        s.push_back(i % 2 ? 1.0 : 0.0);
+    EXPECT_LT(autocorrelationAt(s, 1), -0.9);
+    EXPECT_GT(autocorrelationAt(s, 2), 0.9);
+}
+
+TEST(AutocorrelogramTest, MatchesPointwiseComputation)
+{
+    Rng rng(2);
+    std::vector<double> s;
+    for (int i = 0; i < 300; ++i)
+        s.push_back(rng.nextGaussian(0.0, 1.0) +
+                    std::sin(i * 2.0 * M_PI / 25.0));
+    auto gram = autocorrelogram(s, 60);
+    ASSERT_EQ(gram.size(), 61u);
+    for (std::size_t lag = 0; lag <= 60; ++lag)
+        EXPECT_NEAR(gram[lag], autocorrelationAt(s, lag), 1e-12);
+}
+
+TEST(AutocorrelogramTest, DegenerateSeriesAllZero)
+{
+    auto gram = autocorrelogram({1.0}, 10);
+    ASSERT_EQ(gram.size(), 11u);
+    for (double v : gram)
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(FindPeaksTest, FindsSquareWavePeaks)
+{
+    auto s = squareWave(50, 30);
+    auto gram = autocorrelogram(s, 300);
+    auto peaks = findPeaks(gram, 0.5, 8);
+    // Peaks at 50, 100, 150, 200, 250, 300 (some boundary effects).
+    ASSERT_GE(peaks.size(), 4u);
+    EXPECT_NEAR(static_cast<double>(peaks[0].lag), 50.0, 2.0);
+    EXPECT_NEAR(static_cast<double>(peaks[1].lag), 100.0, 2.0);
+}
+
+TEST(FindPeaksTest, RespectsMinValue)
+{
+    auto s = squareWave(50, 30);
+    auto gram = autocorrelogram(s, 300);
+    auto none = findPeaks(gram, 1.1, 8);
+    EXPECT_TRUE(none.empty());
+}
+
+TEST(FindPeaksTest, MinSeparationMergesNearbyPeaks)
+{
+    // Construct a correlogram with two local maxima 3 lags apart.
+    std::vector<double> gram{0.0, 0.2, 0.8, 0.3, 0.9, 0.1, 0.0};
+    auto peaks = findPeaks(gram, 0.5, 8);
+    ASSERT_EQ(peaks.size(), 1u);
+    EXPECT_EQ(peaks[0].lag, 4u);
+    EXPECT_DOUBLE_EQ(peaks[0].value, 0.9);
+}
+
+TEST(FindPeaksTest, EmptyCorrelogram)
+{
+    EXPECT_TRUE(findPeaks({}, 0.1).empty());
+}
+
+/** Period sweep mirroring the paper's cache-set sensitivity study. */
+class PeriodSweepTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(PeriodSweepTest, PeakLagTracksPeriod)
+{
+    const std::size_t period = GetParam();
+    auto s = squareWave(period, 4096 / period + 4);
+    auto gram = autocorrelogram(s, 1000);
+    auto peaks = findPeaks(gram, 0.5, period / 4);
+    ASSERT_FALSE(peaks.empty()) << "period=" << period;
+    EXPECT_NEAR(static_cast<double>(peaks[0].lag),
+                static_cast<double>(period), 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, PeriodSweepTest,
+                         ::testing::Values(64, 128, 256, 512));
+
+} // namespace
+} // namespace cchunter

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "detect/burst_detector.hh"
+#include "detect/event_density.hh"
+#include "util/rng.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+/** Histogram resembling a covert bus channel: idle mass at bin 0, a thin
+ *  valley, and a burst cluster near bin 20. */
+Histogram
+channelLikeHistogram()
+{
+    Histogram h(128);
+    h.addSample(0, 1648);
+    h.addSample(1, 6);
+    h.addSample(2, 2);
+    h.addSample(18, 40);
+    h.addSample(19, 120);
+    h.addSample(20, 200);
+    h.addSample(21, 110);
+    h.addSample(22, 30);
+    return h;
+}
+
+/** Histogram resembling benign traffic: geometric decay from bin 0. */
+Histogram
+benignHistogram()
+{
+    Histogram h(128);
+    h.addSample(0, 2400);
+    h.addSample(1, 70);
+    h.addSample(2, 20);
+    h.addSample(3, 7);
+    h.addSample(4, 2);
+    h.addSample(5, 1);
+    return h;
+}
+
+TEST(BurstDetectorTest, DetectsChannelLikeBurst)
+{
+    BurstDetector d;
+    BurstAnalysis a = d.analyze(channelLikeHistogram());
+    EXPECT_TRUE(a.hasSecondDistribution);
+    EXPECT_TRUE(a.significant);
+    EXPECT_GT(a.likelihoodRatio, 0.9);
+    EXPECT_EQ(a.burstPeakBin, 20u);
+    EXPECT_GT(a.burstMean, 1.0);
+    EXPECT_LT(a.nonBurstMean, 1.0);
+}
+
+TEST(BurstDetectorTest, BenignHistogramNotSignificant)
+{
+    BurstDetector d;
+    BurstAnalysis a = d.analyze(benignHistogram());
+    EXPECT_LT(a.likelihoodRatio, 0.5);
+    EXPECT_FALSE(a.significant);
+}
+
+TEST(BurstDetectorTest, EmptyHistogramIsClean)
+{
+    BurstDetector d;
+    Histogram h(128);
+    BurstAnalysis a = d.analyze(h);
+    EXPECT_FALSE(a.hasSecondDistribution);
+    EXPECT_FALSE(a.significant);
+    EXPECT_EQ(a.nonZeroSamples, 0u);
+}
+
+TEST(BurstDetectorTest, AllIdleHistogramIsClean)
+{
+    BurstDetector d;
+    Histogram h(128);
+    h.addSample(0, 5000);
+    BurstAnalysis a = d.analyze(h);
+    EXPECT_FALSE(a.significant);
+    EXPECT_EQ(a.nonZeroSamples, 0u);
+}
+
+TEST(BurstDetectorTest, ThresholdDensityValleyRule)
+{
+    BurstDetector d;
+    Histogram h(16);
+    h.addSample(0, 1000);
+    h.addSample(1, 50);
+    h.addSample(2, 2);
+    // bins 3-4 empty: the valley of the fitted curve
+    h.addSample(5, 300);
+    h.addSample(6, 400);
+    h.addSample(7, 200);
+    auto t = d.thresholdDensity(h);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(*t, 3u);
+}
+
+TEST(BurstDetectorTest, SawtoothDecayIsNotAValley)
+{
+    // A monotonically decaying contention histogram with an even/odd
+    // sawtooth (as produced by paired contention episodes) must not be
+    // split at an early artefact minimum: benign divider contention
+    // would otherwise be flagged (false alarm).
+    BurstDetector d;
+    Histogram h(64);
+    h.addSample(0, 1000000);
+    const std::uint64_t evens[] = {9000, 8500, 8000, 7200, 6600,
+                                   6200, 5500, 5100, 4400, 3900};
+    const std::uint64_t odds[] = {2000, 1900, 1700, 1650, 1400,
+                                  1100, 990, 870, 790, 710};
+    for (int i = 0; i < 10; ++i) {
+        h.addSample(2 + 2 * i, evens[i]);
+        h.addSample(1 + 2 * i, odds[i]);
+    }
+    BurstAnalysis a = d.analyze(h);
+    EXPECT_LT(a.likelihoodRatio, 0.5);
+    EXPECT_FALSE(a.significant);
+}
+
+TEST(BurstDetectorTest, ThresholdFallsBackOnGentleSlope)
+{
+    BurstDetector d;
+    // Strictly decreasing histogram (no interior local minimum).
+    Histogram h(32);
+    h.addSample(0, 1000);
+    h.addSample(1, 300);
+    h.addSample(2, 90);
+    h.addSample(3, 27);
+    h.addSample(4, 8);
+    h.addSample(5, 2);
+    auto t = d.thresholdDensity(h);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_GT(*t, 1u);
+    EXPECT_LT(*t, 12u);
+}
+
+TEST(BurstDetectorTest, ThresholdNulloptWhenOnlyBinZero)
+{
+    BurstDetector d;
+    Histogram h(8);
+    h.addSample(0, 10);
+    EXPECT_FALSE(d.thresholdDensity(h).has_value());
+}
+
+TEST(BurstDetectorTest, WallToWallContentionIsAllBurst)
+{
+    // A quantum in which every delta-t window holds ~20 events (the
+    // trojan signalled continuously): no non-burst distribution
+    // exists and the whole histogram is the burst distribution.
+    BurstDetector d;
+    Histogram h(128);
+    h.addSample(19, 30);
+    h.addSample(20, 200);
+    h.addSample(21, 20);
+    BurstAnalysis a = d.analyze(h);
+    EXPECT_EQ(a.thresholdBin, 19u);
+    EXPECT_TRUE(a.significant);
+    EXPECT_DOUBLE_EQ(a.likelihoodRatio, 1.0);
+    EXPECT_EQ(a.burstPeakBin, 20u);
+}
+
+TEST(BurstDetectorTest, LikelihoodRatioExcludesBinZero)
+{
+    BurstDetector d;
+    Histogram h(64);
+    // Huge idle mass must not dilute the ratio.
+    h.addSample(0, 1000000);
+    h.addSample(1, 5);
+    h.addSample(30, 95);
+    BurstAnalysis a = d.analyze(h);
+    EXPECT_TRUE(a.significant);
+    EXPECT_NEAR(a.likelihoodRatio, 0.95, 0.01);
+}
+
+TEST(BurstDetectorTest, CustomThresholdApplied)
+{
+    BurstDetectorParams p;
+    p.likelihoodThreshold = 0.99;
+    BurstDetector d(p);
+    BurstAnalysis a = d.analyze(channelLikeHistogram());
+    // LR ~0.985 < 0.99.
+    EXPECT_FALSE(a.significant);
+}
+
+TEST(BurstDetectorTest, InvalidParamsThrow)
+{
+    BurstDetectorParams p;
+    p.likelihoodThreshold = 1.5;
+    EXPECT_ANY_THROW(BurstDetector{p});
+    BurstDetectorParams q;
+    q.gentleSlopeFraction = 0.0;
+    EXPECT_ANY_THROW(BurstDetector{q});
+}
+
+TEST(BurstDetectorTest, BurstExtentReported)
+{
+    BurstDetector d;
+    BurstAnalysis a = d.analyze(channelLikeHistogram());
+    EXPECT_LE(a.burstFirstBin, 18u);
+    EXPECT_EQ(a.burstLastBin, 22u);
+    EXPECT_EQ(a.burstSamples, 40u + 120 + 200 + 110 + 30);
+}
+
+/** Property sweep: burstiness detected across burst densities. */
+class BurstSweepTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BurstSweepTest, DetectsBurstAtDensity)
+{
+    const int density = GetParam();
+    Rng rng(1000 + density);
+    EventTrain t(0, 1000000);
+    // 40 bursts of `density` events, idle elsewhere; small noise.
+    Tick now = 0;
+    for (int b = 0; b < 40; ++b) {
+        now = b * 25000;
+        for (int i = 0; i < density; ++i)
+            t.addEvent(now + static_cast<Tick>(i) * 3);
+    }
+    Histogram h = buildEventDensityHistogram(t, 1000, 128);
+    BurstDetector d;
+    BurstAnalysis a = d.analyze(h);
+    EXPECT_TRUE(a.significant) << "density=" << density;
+    EXPECT_GT(a.likelihoodRatio, 0.9) << "density=" << density;
+    EXPECT_NEAR(static_cast<double>(a.burstPeakBin), density, 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, BurstSweepTest,
+                         ::testing::Values(5, 10, 20, 40, 80, 120));
+
+} // namespace
+} // namespace cchunter

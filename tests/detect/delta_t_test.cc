@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "detect/delta_t.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+TEST(DeltaTTest, InverseRateScaling)
+{
+    // 1000 events uniformly over 1e6 ticks -> rate 1e-3; alpha=2 ->
+    // delta_t = 2000.
+    EventTrain t(0, 1000000);
+    for (Tick tick = 0; tick < 1000000; tick += 1000)
+        t.addEvent(tick);
+    EXPECT_EQ(determineDeltaT(t, 2.0), 2000u);
+}
+
+TEST(DeltaTTest, ClampsToBounds)
+{
+    EventTrain t(0, 1000);
+    for (Tick tick = 0; tick < 1000; tick += 10)
+        t.addEvent(tick);
+    // Unclamped value would be 10 * alpha.
+    EXPECT_EQ(determineDeltaT(t, 1.0, 50, 100), 50u);
+    EXPECT_EQ(determineDeltaT(t, 100.0, 1, 200), 200u);
+}
+
+TEST(DeltaTTest, EmptyTrainGivesMinimum)
+{
+    EventTrain t(0, 1000);
+    EXPECT_EQ(determineDeltaT(t, 1.0, 7, 100), 7u);
+}
+
+TEST(DeltaTTest, InvalidAlphaThrows)
+{
+    EventTrain t(0, 10);
+    t.addEvent(1);
+    EXPECT_ANY_THROW(determineDeltaT(t, 0.0));
+    EXPECT_ANY_THROW(determineDeltaT(t, -1.0));
+}
+
+TEST(DeltaTTest, NeverReturnsZero)
+{
+    EventTrain t(0, 10);
+    for (Tick tick = 0; tick < 10; ++tick)
+        t.addEvent(tick);
+    EXPECT_GE(determineDeltaT(t, 1e-9), 1u);
+}
+
+TEST(AlphaTest, PositiveForValidTiming)
+{
+    ResourceTiming timing;
+    EXPECT_GT(alphaForResource(timing), 0.0);
+}
+
+TEST(AlphaTest, WiderBandwidthRangeRaisesAlpha)
+{
+    ResourceTiming narrow;
+    narrow.maxBandwidthBps = 100.0;
+    narrow.minBandwidthBps = 10.0;
+    ResourceTiming wide = narrow;
+    wide.minBandwidthBps = 0.1;
+    EXPECT_GT(alphaForResource(wide), alphaForResource(narrow));
+}
+
+TEST(AlphaTest, MoreConflictsPerBitLowersAlpha)
+{
+    ResourceTiming few;
+    few.conflictsPerBit = 5.0;
+    ResourceTiming many = few;
+    many.conflictsPerBit = 50.0;
+    EXPECT_GT(alphaForResource(few), alphaForResource(many));
+}
+
+TEST(AlphaTest, InvalidTimingThrows)
+{
+    ResourceTiming t;
+    t.maxBandwidthBps = 0.0;
+    EXPECT_ANY_THROW(alphaForResource(t));
+    t = ResourceTiming{};
+    t.minBandwidthBps = 2000.0; // above max
+    EXPECT_ANY_THROW(alphaForResource(t));
+    t = ResourceTiming{};
+    t.conflictsPerBit = 0.0;
+    EXPECT_ANY_THROW(alphaForResource(t));
+}
+
+TEST(DeltaTTest, PaperScaleBusChannel)
+{
+    // A bus channel that locks the bus ~25 times per bit at 10 bps
+    // produces ~250 events/second; with the default alpha the derived
+    // delta-t should land within the broad usable range the paper
+    // describes (neither ~1 cycle nor ~the whole quantum).
+    EventTrain t(0, secondsToTicks(1.0));
+    const Tick step = secondsToTicks(1.0) / 250;
+    for (Tick tick = 0; tick < secondsToTicks(1.0); tick += step)
+        t.addEvent(tick);
+    const Tick dt = determineDeltaT(t, alphaForResource(ResourceTiming{}));
+    EXPECT_GT(dt, 1000u);
+    EXPECT_LT(dt, secondsToTicks(0.1));
+}
+
+} // namespace
+} // namespace cchunter

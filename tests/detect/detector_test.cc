@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "detect/detector.hh"
+#include "util/rng.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+Histogram
+burstyQuantum(Rng& rng)
+{
+    Histogram h(128);
+    h.addSample(0, 1600 + rng.nextBelow(100));
+    h.addSample(1, rng.nextBelow(4));
+    h.addSample(20, 200 + rng.nextBelow(50));
+    h.addSample(21, 100 + rng.nextBelow(20));
+    return h;
+}
+
+Histogram
+benignQuantum(Rng& rng)
+{
+    Histogram h(128);
+    h.addSample(0, 2300 + rng.nextBelow(100));
+    h.addSample(1, 50 + rng.nextBelow(20));
+    h.addSample(2, 12 + rng.nextBelow(8));
+    h.addSample(3, rng.nextBelow(5));
+    return h;
+}
+
+std::vector<double>
+squareWave(std::size_t period, std::size_t cycles)
+{
+    std::vector<double> s;
+    for (std::size_t c = 0; c < cycles; ++c)
+        for (std::size_t i = 0; i < period; ++i)
+            s.push_back(i < period / 2 ? 1.0 : 0.0);
+    return s;
+}
+
+TEST(CCHunterTest, ContentionChannelDetected)
+{
+    CCHunter hunter;
+    Rng rng(1);
+    std::vector<Histogram> quanta;
+    for (int i = 0; i < 24; ++i)
+        quanta.push_back(burstyQuantum(rng));
+    auto v = hunter.analyzeContention(quanta);
+    EXPECT_TRUE(v.detected);
+    EXPECT_GT(v.combined.likelihoodRatio, 0.9);
+    EXPECT_EQ(v.significantQuanta, 24u);
+}
+
+TEST(CCHunterTest, BenignQuantaClean)
+{
+    CCHunter hunter;
+    Rng rng(2);
+    std::vector<Histogram> quanta;
+    for (int i = 0; i < 24; ++i)
+        quanta.push_back(benignQuantum(rng));
+    auto v = hunter.analyzeContention(quanta);
+    EXPECT_FALSE(v.detected);
+}
+
+TEST(CCHunterTest, EmptyContentionInputClean)
+{
+    CCHunter hunter;
+    auto v = hunter.analyzeContention({});
+    EXPECT_FALSE(v.detected);
+}
+
+TEST(CCHunterTest, SingleQuantumUsesCombinedSignificance)
+{
+    CCHunter hunter;
+    Rng rng(3);
+    auto v = hunter.analyzeContention({burstyQuantum(rng)});
+    EXPECT_TRUE(v.detected);
+    auto clean = hunter.analyzeContention({benignQuantum(rng)});
+    EXPECT_FALSE(clean.detected);
+}
+
+TEST(CCHunterTest, OscillationChannelDetected)
+{
+    CCHunter hunter;
+    auto v = hunter.analyzeOscillation(squareWave(128, 40));
+    EXPECT_TRUE(v.detected);
+    EXPECT_NEAR(static_cast<double>(v.analysis.dominantLag), 128.0, 4.0);
+}
+
+TEST(CCHunterTest, RandomSeriesClean)
+{
+    CCHunter hunter;
+    Rng rng(4);
+    std::vector<double> s;
+    for (int i = 0; i < 6000; ++i)
+        s.push_back(rng.nextBool() ? 1.0 : 0.0);
+    auto v = hunter.analyzeOscillation(s);
+    EXPECT_FALSE(v.detected);
+}
+
+TEST(CCHunterTest, WindowedAnalysisFindsSparseChannel)
+{
+    // A brief channel episode inside a long quiet train; whole-train
+    // analysis dilutes it, finer windows recover it (paper figure 11).
+    std::vector<double> s(2000, 0.0);
+    auto wave = squareWave(64, 30);
+    s.insert(s.end(), wave.begin(), wave.end());
+    s.insert(s.end(), 2000, 0.0);
+
+    CCHunter hunter;
+    auto windowed = hunter.analyzeOscillationWindowed(s, 3);
+    EXPECT_TRUE(windowed.detected);
+}
+
+TEST(CCHunterTest, WindowedZeroWindowsThrows)
+{
+    CCHunter hunter;
+    EXPECT_ANY_THROW(hunter.analyzeOscillationWindowed({1.0, 0.0}, 0));
+}
+
+TEST(CCHunterTest, SummariesMentionVerdict)
+{
+    CCHunter hunter;
+    Rng rng(5);
+    std::vector<Histogram> quanta;
+    for (int i = 0; i < 8; ++i)
+        quanta.push_back(burstyQuantum(rng));
+    auto v = hunter.analyzeContention(quanta);
+    EXPECT_NE(v.summary().find("DETECTED"), std::string::npos);
+
+    auto o = hunter.analyzeOscillation(squareWave(64, 64));
+    EXPECT_NE(o.summary().find("DETECTED"), std::string::npos);
+}
+
+TEST(CCHunterTest, PerQuantumAnalysesReturned)
+{
+    CCHunter hunter;
+    Rng rng(6);
+    std::vector<Histogram> quanta;
+    for (int i = 0; i < 10; ++i)
+        quanta.push_back(burstyQuantum(rng));
+    auto v = hunter.analyzeContention(quanta);
+    EXPECT_EQ(v.perQuantum.size(), 10u);
+}
+
+} // namespace
+} // namespace cchunter

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "detect/discretizer.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+TEST(DiscretizerTest, LevelOfLogScale)
+{
+    HistogramDiscretizer d;
+    EXPECT_EQ(d.levelOf(0), 0u);
+    EXPECT_EQ(d.levelOf(1), 1u);
+    EXPECT_EQ(d.levelOf(2), 1u);
+    EXPECT_EQ(d.levelOf(3), 2u);
+    EXPECT_EQ(d.levelOf(7), 3u);
+    EXPECT_EQ(d.levelOf(8), 3u);
+    EXPECT_EQ(d.levelOf(15), 4u);
+}
+
+TEST(DiscretizerTest, LevelSaturatesAtAlphabet)
+{
+    DiscretizerParams p;
+    p.alphabetSize = 4;
+    HistogramDiscretizer d(p);
+    EXPECT_EQ(d.levelOf(1000000), 3u);
+}
+
+TEST(DiscretizerTest, StringHasOneSymbolPerBin)
+{
+    HistogramDiscretizer d;
+    Histogram h(16);
+    h.addSample(3, 7);
+    const std::string s = d.toString(h);
+    EXPECT_EQ(s.size(), 16u);
+    EXPECT_EQ(s[3], '3'); // level of 7 is 3
+    EXPECT_EQ(s[0], '0');
+}
+
+TEST(DiscretizerTest, FeaturesMatchString)
+{
+    HistogramDiscretizer d;
+    Histogram h(8);
+    h.addSample(1, 1);
+    h.addSample(5, 100);
+    const std::string s = d.toString(h);
+    const auto f = d.toFeatures(h);
+    ASSERT_EQ(f.size(), 8u);
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_DOUBLE_EQ(f[i], static_cast<double>(s[i] - '0'));
+}
+
+TEST(DiscretizerTest, SimilarHistogramsSameString)
+{
+    // Counts within the same log bucket map to the same symbol.
+    HistogramDiscretizer d;
+    Histogram a(8), b(8);
+    a.addSample(2, 40);
+    b.addSample(2, 50);
+    EXPECT_EQ(d.toString(a), d.toString(b));
+}
+
+TEST(DiscretizerTest, HammingDistance)
+{
+    EXPECT_EQ(HistogramDiscretizer::hammingDistance("abc", "abc"), 0u);
+    EXPECT_EQ(HistogramDiscretizer::hammingDistance("abc", "axc"), 1u);
+    EXPECT_ANY_THROW(HistogramDiscretizer::hammingDistance("a", "ab"));
+}
+
+TEST(DiscretizerTest, InvalidAlphabetThrows)
+{
+    DiscretizerParams p;
+    p.alphabetSize = 1;
+    EXPECT_ANY_THROW(HistogramDiscretizer{p});
+    p.alphabetSize = 100;
+    EXPECT_ANY_THROW(HistogramDiscretizer{p});
+}
+
+} // namespace
+} // namespace cchunter

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "detect/event_density.hh"
+#include "util/rng.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+TEST(EventDensityTest, UniformTrainGivesSingleDensity)
+{
+    EventTrain t(0, 1000);
+    for (Tick tick = 0; tick < 1000; tick += 10)
+        t.addEvent(tick);
+    // 100 events, delta_t = 100 -> 10 windows of density 10.
+    auto series = eventDensitySeries(t, 100);
+    ASSERT_EQ(series.size(), 10u);
+    for (auto d : series)
+        EXPECT_EQ(d, 10u);
+    Histogram h = buildEventDensityHistogram(t, 100, 32);
+    EXPECT_EQ(h.bin(10), 10u);
+    EXPECT_EQ(h.totalSamples(), 10u);
+}
+
+TEST(EventDensityTest, PartialLastWindowIncluded)
+{
+    EventTrain t(0, 250);
+    t.addEvent(10);
+    t.addEvent(220);
+    auto series = eventDensitySeries(t, 100);
+    // ceil(250/100) = 3 windows.
+    ASSERT_EQ(series.size(), 3u);
+    EXPECT_EQ(series[0], 1u);
+    EXPECT_EQ(series[1], 0u);
+    EXPECT_EQ(series[2], 1u);
+}
+
+TEST(EventDensityTest, EmptyTrainAllZeroWindows)
+{
+    EventTrain t(0, 500);
+    Histogram h = buildEventDensityHistogram(t, 100, 16);
+    EXPECT_EQ(h.bin(0), 5u);
+    EXPECT_EQ(h.totalSamples(), 5u);
+}
+
+TEST(EventDensityTest, EventsOutsideWindowIgnored)
+{
+    EventTrain t;
+    t.addEvent(10);
+    t.addEvent(50);
+    t.addEvent(500);
+    t.setWindow(0, 100);
+    auto series = eventDensitySeries(t, 50);
+    ASSERT_EQ(series.size(), 2u);
+    EXPECT_EQ(series[0], 1u);
+    EXPECT_EQ(series[1], 1u);
+}
+
+TEST(EventDensityTest, ZeroDeltaTThrows)
+{
+    EventTrain t(0, 10);
+    EXPECT_ANY_THROW(eventDensitySeries(t, 0));
+}
+
+TEST(EventDensityTest, BurstyTrainIsBimodal)
+{
+    // Alternating idle and burst windows: bursts of 20 events in every
+    // other 100-tick interval.
+    EventTrain t(0, 10000);
+    for (Tick base = 0; base < 10000; base += 200)
+        for (Tick i = 0; i < 20; ++i)
+            t.addEvent(base + i * 5);
+    Histogram h = buildEventDensityHistogram(t, 100, 64);
+    // 50 windows with 20 events and 50 empty windows.
+    EXPECT_EQ(h.bin(20), 50u);
+    EXPECT_EQ(h.bin(0), 50u);
+}
+
+TEST(EventDensityTest, DensityOverflowClampsToLastBin)
+{
+    EventTrain t(0, 100);
+    for (Tick tick = 0; tick < 100; ++tick)
+        t.addEvent(tick);
+    Histogram h = buildEventDensityHistogram(t, 100, 8);
+    EXPECT_EQ(h.bin(7), 1u);
+}
+
+TEST(EventDensityTest, PoissonTrainMatchesPoissonShape)
+{
+    // Poisson arrivals: density histogram should be unimodal with the
+    // peak near the rate * delta_t.
+    Rng rng(99);
+    EventTrain t(0, 1000000);
+    Tick now = 0;
+    while (true) {
+        now += static_cast<Tick>(rng.nextExponential(100.0)) + 1;
+        if (now >= 1000000)
+            break;
+        t.addEvent(now);
+    }
+    Histogram h = buildEventDensityHistogram(t, 500, 64);
+    // Mean density should be near 5 (rate ~1/100 per tick * 500).
+    EXPECT_NEAR(h.mean(), 5.0, 0.8);
+    // Unimodal: peak within [3, 7].
+    EXPECT_GE(h.peakBin(), 3u);
+    EXPECT_LE(h.peakBin(), 7u);
+}
+
+} // namespace
+} // namespace cchunter

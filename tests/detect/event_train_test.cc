@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "detect/event_train.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+TEST(EventTrainTest, StartsEmpty)
+{
+    EventTrain t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(EventTrainTest, ImplicitWindowTracksEvents)
+{
+    EventTrain t;
+    t.addEvent(100);
+    t.addEvent(200);
+    t.addEvent(250);
+    EXPECT_EQ(t.windowBegin(), 100u);
+    EXPECT_EQ(t.windowEnd(), 251u);
+    EXPECT_EQ(t.duration(), 151u);
+}
+
+TEST(EventTrainTest, ExplicitWindowRespected)
+{
+    EventTrain t(0, 1000);
+    t.addEvent(10);
+    EXPECT_EQ(t.windowBegin(), 0u);
+    EXPECT_EQ(t.windowEnd(), 1000u);
+}
+
+TEST(EventTrainTest, OutOfOrderEventsPanic)
+{
+    EventTrain t;
+    t.addEvent(100);
+    EXPECT_ANY_THROW(t.addEvent(50));
+}
+
+TEST(EventTrainTest, InvalidWindowThrows)
+{
+    EXPECT_ANY_THROW(EventTrain(10, 5));
+    EventTrain t;
+    EXPECT_ANY_THROW(t.setWindow(10, 5));
+}
+
+TEST(EventTrainTest, MeanRate)
+{
+    EventTrain t(0, 1000);
+    for (Tick tick = 0; tick < 1000; tick += 100)
+        t.addEvent(tick);
+    EXPECT_DOUBLE_EQ(t.meanRate(), 0.01);
+}
+
+TEST(EventTrainTest, CountInRange)
+{
+    EventTrain t(0, 100);
+    t.addEvent(10);
+    t.addEvent(20);
+    t.addEvent(30);
+    t.addEvent(90);
+    EXPECT_EQ(t.countInRange(0, 100), 4u);
+    EXPECT_EQ(t.countInRange(15, 35), 2u);
+    EXPECT_EQ(t.countInRange(30, 31), 1u);
+    EXPECT_EQ(t.countInRange(31, 89), 0u);
+}
+
+TEST(EventTrainTest, SliceKeepsWindowAndEvents)
+{
+    EventTrain t(0, 100);
+    for (Tick tick = 5; tick < 100; tick += 10)
+        t.addEvent(tick, static_cast<std::uint8_t>(tick % 2));
+    EventTrain s = t.slice(20, 60);
+    EXPECT_EQ(s.windowBegin(), 20u);
+    EXPECT_EQ(s.windowEnd(), 60u);
+    EXPECT_EQ(s.size(), 4u);
+    EXPECT_EQ(s[0].time, 25u);
+}
+
+TEST(EventTrainTest, LabelSeries)
+{
+    EventTrain t;
+    t.addEvent(1, 1);
+    t.addEvent(2, 0);
+    t.addEvent(3, 1);
+    auto labels = t.labelSeries();
+    ASSERT_EQ(labels.size(), 3u);
+    EXPECT_DOUBLE_EQ(labels[0], 1.0);
+    EXPECT_DOUBLE_EQ(labels[1], 0.0);
+    EXPECT_DOUBLE_EQ(labels[2], 1.0);
+}
+
+TEST(EventTrainTest, InterEventIntervals)
+{
+    EventTrain t;
+    t.addEvent(10);
+    t.addEvent(30);
+    t.addEvent(35);
+    auto gaps = t.interEventIntervals();
+    ASSERT_EQ(gaps.size(), 2u);
+    EXPECT_DOUBLE_EQ(gaps[0], 20.0);
+    EXPECT_DOUBLE_EQ(gaps[1], 5.0);
+}
+
+TEST(EventTrainTest, ClearResets)
+{
+    EventTrain t(0, 50);
+    t.addEvent(10);
+    t.clear();
+    EXPECT_TRUE(t.empty());
+    // After clear the window is implicit again.
+    t.addEvent(500);
+    EXPECT_EQ(t.windowBegin(), 500u);
+}
+
+TEST(EventTrainTest, DuplicateTimesAllowed)
+{
+    EventTrain t;
+    t.addEvent(5);
+    EXPECT_NO_THROW(t.addEvent(5));
+    EXPECT_EQ(t.size(), 2u);
+}
+
+} // namespace
+} // namespace cchunter

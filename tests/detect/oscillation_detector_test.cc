@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "detect/oscillation_detector.hh"
+#include "util/rng.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+std::vector<double>
+squareWave(std::size_t period, std::size_t cycles, double noise = 0.0,
+           std::uint64_t seed = 1)
+{
+    Rng rng(seed);
+    std::vector<double> s;
+    s.reserve(period * cycles);
+    for (std::size_t c = 0; c < cycles; ++c)
+        for (std::size_t i = 0; i < period; ++i) {
+            double v = i < period / 2 ? 1.0 : 0.0;
+            if (noise > 0.0 && rng.nextBool(noise))
+                v = 1.0 - v; // flip label (random interfering conflict)
+            s.push_back(v);
+        }
+    return s;
+}
+
+TEST(OscillationDetectorTest, DetectsCleanSquareWave)
+{
+    OscillationDetector d;
+    auto a = d.analyze(squareWave(128, 40));
+    EXPECT_TRUE(a.oscillating);
+    EXPECT_NEAR(static_cast<double>(a.dominantLag), 128.0, 4.0);
+    EXPECT_GT(a.dominantValue, 0.9);
+}
+
+TEST(OscillationDetectorTest, DetectsSinglePeakLongPeriod)
+{
+    // Period 512 with maxLag 1000: only one peak fits; the deep trough
+    // near lag 256 confirms the square-wave signature (paper figure 8).
+    OscillationDetector d;
+    auto a = d.analyze(squareWave(512, 12));
+    EXPECT_TRUE(a.oscillating);
+    EXPECT_NEAR(static_cast<double>(a.dominantLag), 512.0, 8.0);
+    EXPECT_LT(a.deepestTrough, -0.5);
+}
+
+TEST(OscillationDetectorTest, ToleratesLabelNoise)
+{
+    OscillationDetector d;
+    auto a = d.analyze(squareWave(128, 40, 0.05, 7));
+    EXPECT_TRUE(a.oscillating);
+    EXPECT_NEAR(static_cast<double>(a.dominantLag), 128.0, 8.0);
+}
+
+TEST(OscillationDetectorTest, RandomLabelsNotOscillating)
+{
+    Rng rng(3);
+    std::vector<double> s;
+    for (int i = 0; i < 8000; ++i)
+        s.push_back(rng.nextBool() ? 1.0 : 0.0);
+    OscillationDetector d;
+    auto a = d.analyze(s);
+    EXPECT_FALSE(a.oscillating);
+}
+
+TEST(OscillationDetectorTest, ConstantLabelsNotOscillating)
+{
+    std::vector<double> s(4000, 1.0);
+    OscillationDetector d;
+    auto a = d.analyze(s);
+    EXPECT_FALSE(a.oscillating);
+    EXPECT_TRUE(a.peaks.empty());
+}
+
+TEST(OscillationDetectorTest, ShortSeriesRejected)
+{
+    OscillationDetector d;
+    auto a = d.analyze(squareWave(8, 4)); // 32 events < minSeriesLength
+    EXPECT_FALSE(a.oscillating);
+}
+
+TEST(OscillationDetectorTest, BriefLocalPeriodicityRejected)
+{
+    // Mimics the webserver false-alarm case: a short periodic episode
+    // inside an otherwise aperiodic train (paper section VI-D).
+    Rng rng(9);
+    std::vector<double> s;
+    for (int i = 0; i < 600; ++i)
+        s.push_back(rng.nextBool(0.3) ? 1.0 : 0.0);
+    for (int rep = 0; rep < 3; ++rep)
+        for (int i = 0; i < 60; ++i)
+            s.push_back(i < 30 ? 1.0 : 0.0);
+    for (int i = 0; i < 3000; ++i)
+        s.push_back(rng.nextBool(0.3) ? 1.0 : 0.0);
+    OscillationDetector d;
+    auto a = d.analyze(s);
+    EXPECT_FALSE(a.oscillating);
+}
+
+TEST(OscillationDetectorTest, ReportsR1)
+{
+    OscillationDetector d;
+    auto a = d.analyze(squareWave(100, 40));
+    // Square wave: adjacent samples nearly always equal -> r1 high.
+    EXPECT_GT(a.r1, 0.9);
+}
+
+TEST(OscillationDetectorTest, InvalidParamsThrow)
+{
+    OscillationParams p;
+    p.maxLag = 1;
+    EXPECT_ANY_THROW(OscillationDetector{p});
+}
+
+TEST(OscillationDetectorTest, CorrelogramSizeIsMaxLagPlusOne)
+{
+    OscillationParams p;
+    p.maxLag = 100;
+    OscillationDetector d(p);
+    auto a = d.analyze(squareWave(20, 30));
+    EXPECT_EQ(a.correlogram.size(), 101u);
+}
+
+/** Sweep mirroring figure 13: the dominant lag tracks the set count. */
+class SetCountSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(SetCountSweep, DominantLagTracksSets)
+{
+    const std::size_t sets = GetParam();
+    OscillationDetector d;
+    auto a = d.analyze(squareWave(sets, 6000 / sets + 4, 0.02, sets));
+    EXPECT_TRUE(a.oscillating) << "sets=" << sets;
+    EXPECT_NEAR(static_cast<double>(a.dominantLag),
+                static_cast<double>(sets),
+                static_cast<double>(sets) * 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(SetCounts, SetCountSweep,
+                         ::testing::Values(64, 128, 256, 512));
+
+} // namespace
+} // namespace cchunter

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "detect/pattern_clustering.hh"
+#include "util/rng.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+/** A quantum histogram with a covert-channel burst signature. */
+Histogram
+burstyQuantum(Rng& rng)
+{
+    Histogram h(128);
+    h.addSample(0, 1600 + rng.nextBelow(100));
+    h.addSample(1, rng.nextBelow(5));
+    h.addSample(19, 80 + rng.nextBelow(30));
+    h.addSample(20, 180 + rng.nextBelow(40));
+    h.addSample(21, 90 + rng.nextBelow(30));
+    return h;
+}
+
+/** A quantum histogram with benign decaying densities. */
+Histogram
+benignQuantum(Rng& rng)
+{
+    Histogram h(128);
+    h.addSample(0, 2300 + rng.nextBelow(200));
+    h.addSample(1, 40 + rng.nextBelow(30));
+    h.addSample(2, 10 + rng.nextBelow(10));
+    h.addSample(3, rng.nextBelow(6));
+    return h;
+}
+
+/** A fully idle quantum. */
+Histogram
+idleQuantum()
+{
+    Histogram h(128);
+    h.addSample(0, 2500);
+    return h;
+}
+
+TEST(PatternClusteringTest, RecurrentBurstsDetected)
+{
+    Rng rng(1);
+    std::vector<Histogram> quanta;
+    for (int i = 0; i < 32; ++i)
+        quanta.push_back(burstyQuantum(rng));
+    PatternClusteringAnalyzer a;
+    auto r = a.analyze(quanta);
+    EXPECT_TRUE(r.recurrent);
+    EXPECT_GT(r.maxLikelihoodRatio, 0.9);
+    EXPECT_EQ(r.burstyQuanta, 32u);
+}
+
+TEST(PatternClusteringTest, BenignQuantaNotRecurrent)
+{
+    Rng rng(2);
+    std::vector<Histogram> quanta;
+    for (int i = 0; i < 32; ++i)
+        quanta.push_back(benignQuantum(rng));
+    PatternClusteringAnalyzer a;
+    auto r = a.analyze(quanta);
+    EXPECT_FALSE(r.recurrent);
+}
+
+TEST(PatternClusteringTest, MixedQuantaStillDetected)
+{
+    // A low-duty-cycle channel: bursts in 25% of quanta, idle otherwise.
+    Rng rng(3);
+    std::vector<Histogram> quanta;
+    for (int i = 0; i < 64; ++i) {
+        if (i % 4 == 0)
+            quanta.push_back(burstyQuantum(rng));
+        else
+            quanta.push_back(idleQuantum());
+    }
+    PatternClusteringAnalyzer a;
+    auto r = a.analyze(quanta);
+    EXPECT_TRUE(r.recurrent);
+    EXPECT_GE(r.burstyQuanta, 16u);
+}
+
+TEST(PatternClusteringTest, SingleBurstIsNotRecurrent)
+{
+    Rng rng(4);
+    std::vector<Histogram> quanta;
+    quanta.push_back(burstyQuantum(rng));
+    for (int i = 0; i < 63; ++i)
+        quanta.push_back(idleQuantum());
+    PatternClusteringAnalyzer a;
+    auto r = a.analyze(quanta);
+    // One bursty quantum out of 64 fails the minimum-quanta rule.
+    EXPECT_FALSE(r.recurrent);
+}
+
+TEST(PatternClusteringTest, EmptyInputIsClean)
+{
+    PatternClusteringAnalyzer a;
+    auto r = a.analyze({});
+    EXPECT_FALSE(r.recurrent);
+    EXPECT_EQ(r.burstyQuanta, 0u);
+}
+
+TEST(PatternClusteringTest, WindowLimitsToMostRecentQuanta)
+{
+    PatternClusteringParams p;
+    p.windowQuanta = 16;
+    PatternClusteringAnalyzer a(p);
+    Rng rng(5);
+    // Old bursty quanta followed by > windowQuanta idle ones: the bursts
+    // fall outside the analysis window.
+    std::vector<Histogram> quanta;
+    for (int i = 0; i < 8; ++i)
+        quanta.push_back(burstyQuantum(rng));
+    for (int i = 0; i < 32; ++i)
+        quanta.push_back(idleQuantum());
+    auto r = a.analyze(quanta);
+    EXPECT_FALSE(r.recurrent);
+    EXPECT_EQ(r.strings.size(), 16u);
+}
+
+TEST(PatternClusteringTest, StringsHaveBinLength)
+{
+    Rng rng(6);
+    std::vector<Histogram> quanta{burstyQuantum(rng), idleQuantum()};
+    PatternClusteringAnalyzer a;
+    auto r = a.analyze(quanta);
+    ASSERT_EQ(r.strings.size(), 2u);
+    EXPECT_EQ(r.strings[0].size(), 128u);
+}
+
+TEST(PatternClusteringTest, ClusterAnalysesAlignWithClusters)
+{
+    Rng rng(7);
+    std::vector<Histogram> quanta;
+    for (int i = 0; i < 16; ++i)
+        quanta.push_back(i % 2 ? burstyQuantum(rng) : benignQuantum(rng));
+    PatternClusteringAnalyzer a;
+    auto r = a.analyze(quanta);
+    EXPECT_EQ(r.clusterAnalyses.size(), r.clustering.centroids.size());
+    EXPECT_EQ(r.clusterBursty.size(), r.clustering.centroids.size());
+}
+
+TEST(PatternClusteringTest, InvalidParamsThrow)
+{
+    PatternClusteringParams p;
+    p.windowQuanta = 0;
+    EXPECT_ANY_THROW(PatternClusteringAnalyzer{p});
+    PatternClusteringParams q;
+    q.maxClusters = 1;
+    EXPECT_ANY_THROW(PatternClusteringAnalyzer{q});
+}
+
+TEST(PatternClusteringTest, FeatureReductionPreservesVerdicts)
+{
+    Rng rng(8);
+    std::vector<Histogram> quanta;
+    for (int i = 0; i < 48; ++i)
+        quanta.push_back(i % 3 ? idleQuantum() : burstyQuantum(rng));
+
+    PatternClusteringParams full;
+    full.maxFeatureDims = 0; // disabled
+    PatternClusteringParams reduced;
+    reduced.maxFeatureDims = 8;
+
+    auto rf = PatternClusteringAnalyzer(full).analyze(quanta);
+    auto rr = PatternClusteringAnalyzer(reduced).analyze(quanta);
+    EXPECT_TRUE(rf.featureDims.empty());
+    EXPECT_FALSE(rr.featureDims.empty());
+    EXPECT_LE(rr.featureDims.size(), 8u);
+    EXPECT_EQ(rf.recurrent, rr.recurrent);
+    EXPECT_EQ(rf.burstyQuanta, rr.burstyQuanta);
+}
+
+TEST(PatternClusteringTest, ReducedDimsAreTheVaryingBins)
+{
+    Rng rng(9);
+    std::vector<Histogram> quanta;
+    for (int i = 0; i < 32; ++i)
+        quanta.push_back(i % 2 ? idleQuantum() : burstyQuantum(rng));
+    PatternClusteringParams p;
+    p.maxFeatureDims = 6;
+    auto r = PatternClusteringAnalyzer(p).analyze(quanta);
+    // The burst bins (19-21) must be among the selected features.
+    bool has_burst_bin = false;
+    for (std::size_t d : r.featureDims)
+        has_burst_bin |= (d >= 19 && d <= 21);
+    EXPECT_TRUE(has_burst_bin);
+}
+
+TEST(PatternClusteringTest, IdenticalQuantaSurviveReduction)
+{
+    std::vector<Histogram> quanta(16, idleQuantum());
+    PatternClusteringParams p;
+    p.maxFeatureDims = 8;
+    auto r = PatternClusteringAnalyzer(p).analyze(quanta);
+    EXPECT_FALSE(r.recurrent);
+}
+
+/** Parameterized duty-cycle sweep: recurrence holds as the fraction of
+ *  bursty quanta varies (irregular, low-bandwidth channels). */
+class DutyCycleTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DutyCycleTest, RecurrenceAcrossDutyCycles)
+{
+    const int one_in = GetParam();
+    Rng rng(100 + one_in);
+    std::vector<Histogram> quanta;
+    for (int i = 0; i < 128; ++i) {
+        if (i % one_in == 0)
+            quanta.push_back(burstyQuantum(rng));
+        else
+            quanta.push_back(idleQuantum());
+    }
+    PatternClusteringAnalyzer a;
+    auto r = a.analyze(quanta);
+    EXPECT_TRUE(r.recurrent) << "duty cycle 1/" << one_in;
+}
+
+INSTANTIATE_TEST_SUITE_P(DutyCycles, DutyCycleTest,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+} // namespace
+} // namespace cchunter

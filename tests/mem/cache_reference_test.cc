@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Property tests: the Cache model fuzz-checked against an independent
+ * reference implementation (per-set recency lists), and the
+ * HistogramBuffer fuzz-checked against the offline event-density
+ * computation over random event streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "auditor/histogram_buffer.hh"
+#include "detect/event_density.hh"
+#include "mem/cache.hh"
+#include "util/rng.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+/** Straightforward per-set LRU cache model built on std::list. */
+class ReferenceCache
+{
+  public:
+    ReferenceCache(std::size_t sets, std::size_t ways,
+                   std::size_t line)
+        : sets_(sets), ways_(ways), line_(line), lru_(sets)
+    {
+    }
+
+    /** @return true on hit. */
+    bool
+    access(Addr addr)
+    {
+        const Addr la = addr & ~static_cast<Addr>(line_ - 1);
+        const std::size_t set = (la / line_) % sets_;
+        auto& list = lru_[set];
+        for (auto it = list.begin(); it != list.end(); ++it) {
+            if (*it == la) {
+                list.erase(it);
+                list.push_front(la);
+                return true;
+            }
+        }
+        list.push_front(la);
+        if (list.size() > ways_)
+            list.pop_back();
+        return false;
+    }
+
+  private:
+    std::size_t sets_, ways_, line_;
+    std::vector<std::list<Addr>> lru_;
+};
+
+class CacheFuzzTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CacheFuzzTest, MatchesReferenceOnRandomStreams)
+{
+    const CacheGeometry geom{8192, 4, 64}; // 32 sets x 4 ways
+    Cache cache("fuzz", geom);
+    ReferenceCache ref(geom.numSets(), geom.associativity,
+                       geom.lineSize);
+    Rng rng(GetParam());
+    for (int i = 0; i < 50000; ++i) {
+        // 256 lines over 32 sets: plenty of conflicts.
+        const Addr addr = rng.nextBelow(256) * 64 + rng.nextBelow(64);
+        const bool model_hit = cache.access(addr, 0, i).hit;
+        const bool ref_hit = ref.access(addr);
+        ASSERT_EQ(model_hit, ref_hit)
+            << "divergence at access " << i << " addr " << addr;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheFuzzTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+class HistogramBufferFuzzTest
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(HistogramBufferFuzzTest, MatchesOfflineDensityComputation)
+{
+    Rng rng(GetParam());
+    const Tick dt = 1 + rng.nextBelow(5000);
+    const Tick span = 200000 + rng.nextBelow(300000);
+
+    HistogramBuffer hw(dt, 0);
+    EventTrain train(0, span);
+    Tick now = 0;
+    while (true) {
+        now += 1 + static_cast<Tick>(rng.nextExponential(
+                   static_cast<double>(1 + rng.nextBelow(2000))));
+        if (now >= span)
+            break;
+        hw.recordEvent(now);
+        train.addEvent(now);
+    }
+    // Snapshot at a multiple of dt so both sides see the same windows.
+    const Tick snap = (span / dt) * dt;
+    train.setWindow(0, snap);
+    const Histogram hardware = hw.snapshotAndReset(snap);
+    const Histogram offline =
+        buildEventDensityHistogram(train, dt, 128);
+    ASSERT_EQ(hardware.totalSamples(), offline.totalSamples());
+    for (std::size_t b = 0; b < 128; ++b)
+        ASSERT_EQ(hardware.bin(b), offline.bin(b)) << "bin " << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramBufferFuzzTest,
+                         ::testing::Values(3, 5, 8, 13, 21, 34));
+
+} // namespace
+} // namespace cchunter

@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+TEST(DramTest, FirstAccessIsRowMiss)
+{
+    Dram d;
+    EXPECT_EQ(d.access(0x0), d.params().rowMissCycles);
+    EXPECT_EQ(d.rowMisses(), 1u);
+}
+
+TEST(DramTest, SameRowHits)
+{
+    Dram d;
+    d.access(0x0);
+    EXPECT_EQ(d.access(0x40), d.params().rowHitCycles);
+    EXPECT_EQ(d.access(0x1000), d.params().rowHitCycles);
+    EXPECT_EQ(d.rowHits(), 2u);
+}
+
+TEST(DramTest, DifferentRowSameBankMisses)
+{
+    DramParams p;
+    Dram d(p);
+    d.access(0x0);
+    // Row 0 and row numBanks map to bank 0 but different rows.
+    const Addr other_row = static_cast<Addr>(p.rowBytes) * p.numBanks;
+    EXPECT_EQ(d.access(other_row), p.rowMissCycles);
+}
+
+TEST(DramTest, BanksAreIndependent)
+{
+    DramParams p;
+    Dram d(p);
+    d.access(0x0);                                   // bank 0
+    d.access(static_cast<Addr>(p.rowBytes));         // bank 1
+    // Returning to bank 0's open row still hits.
+    EXPECT_EQ(d.access(0x80), p.rowHitCycles);
+}
+
+TEST(DramTest, InvalidParamsThrow)
+{
+    DramParams p;
+    p.numBanks = 0;
+    EXPECT_ANY_THROW(Dram{p});
+}
+
+} // namespace
+} // namespace cchunter

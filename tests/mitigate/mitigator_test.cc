@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "channels/divider_channel.hh"
+#include "mitigate/mitigator.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+MachineParams
+smallMachine()
+{
+    MachineParams p;
+    p.scheduler.quantum = 2500000;
+    return p;
+}
+
+TEST(MitigationPolicyTest, RecommendationsPerTarget)
+{
+    EXPECT_EQ(recommendMitigation(MonitorTarget::MemoryBus),
+              MitigationKind::RateLimitBusLocks);
+    EXPECT_EQ(recommendMitigation(MonitorTarget::IntegerDivider),
+              MitigationKind::UnshareCore);
+    EXPECT_EQ(recommendMitigation(MonitorTarget::IntegerMultiplier),
+              MitigationKind::UnshareCore);
+    EXPECT_EQ(recommendMitigation(MonitorTarget::L2Cache),
+              MitigationKind::UnshareCore);
+    EXPECT_EQ(recommendMitigation(MonitorTarget::None),
+              MitigationKind::None);
+}
+
+TEST(MitigationPolicyTest, Names)
+{
+    EXPECT_EQ(mitigationName(MitigationKind::UnshareCore),
+              "unshare-core");
+    EXPECT_EQ(mitigationName(MitigationKind::RateLimitBusLocks),
+              "rate-limit-bus-locks");
+    EXPECT_EQ(mitigationName(MitigationKind::None), "none");
+}
+
+TEST(BusRateLimitTest, ThrottlesLockFrequency)
+{
+    MemoryBus bus(BusParams{30, 1000});
+    bus.setLockRateLimit(50000);
+    const Tick first = bus.lockedTransfer(0, 0);
+    // Second lock immediately after: pushed to 50k.
+    const Tick second = bus.lockedTransfer(0, first);
+    EXPECT_GE(second, 50000u + 1000u);
+    EXPECT_EQ(bus.throttledLocks(), 1u);
+    // A lock after the interval passes unthrottled.
+    const Tick third = bus.lockedTransfer(0, 200000);
+    EXPECT_EQ(third, 201000u);
+    EXPECT_EQ(bus.throttledLocks(), 1u);
+}
+
+TEST(BusRateLimitTest, OrdinaryTransfersUnaffected)
+{
+    MemoryBus bus(BusParams{30, 1000});
+    bus.setLockRateLimit(50000);
+    EXPECT_EQ(bus.transfer(0, 0), 30u);
+    EXPECT_EQ(bus.transfer(0, 100), 130u);
+}
+
+TEST(MitigatorTest, UnshareMovesProcessToAnotherCore)
+{
+    Machine machine(smallMachine());
+    ChannelTiming timing;
+    timing.start = 1000;
+    timing.bandwidthBps = 10000.0;
+    Rng rng(1);
+    DividerTrojanParams tp;
+    tp.timing = timing;
+    tp.message = Message::random64(rng);
+    machine.addProcess(std::make_unique<DividerTrojan>(tp), 0);
+    DividerSpyParams sp;
+    sp.timing = timing;
+    auto spy = std::make_unique<DividerSpy>(sp);
+    Process& spy_proc = machine.addProcess(std::move(spy), 1);
+
+    CCAuditor auditor(machine);
+    const AuditKey key = requestAuditKey(true);
+    auditor.monitorDivider(key, 0, 0);
+    AuditDaemon daemon(machine, auditor);
+    machine.runQuanta(2);
+    ASSERT_TRUE(daemon.analyzeContention(0).detected);
+    const auto before = machine.divider(0).totalConflicts();
+
+    Mitigator mitigator(machine, daemon);
+    const auto residents = mitigator.coreResidents(0);
+    ASSERT_EQ(residents.size(), 2u);
+    const MitigationReport report = mitigator.unshare(spy_proc.pid());
+    EXPECT_TRUE(report.applied);
+    EXPECT_EQ(report.migratedPid, spy_proc.pid());
+    // The new context is on a different core.
+    EXPECT_GE(report.newContext, 2);
+
+    // After migration takes effect, the divider conflict stream dies.
+    machine.runQuanta(1); // boundary applies the new pinning
+    const auto at_switch = machine.divider(0).totalConflicts();
+    machine.runQuanta(2);
+    const auto after = machine.divider(0).totalConflicts();
+    EXPECT_GT(before, 0u);
+    EXPECT_EQ(after, at_switch);
+}
+
+TEST(MitigatorTest, UnshareUnknownPidIsSafe)
+{
+    Machine machine(smallMachine());
+    CCAuditor auditor(machine);
+    AuditDaemon daemon(machine, auditor);
+    Mitigator mitigator(machine, daemon);
+    const MitigationReport report = mitigator.unshare(99999);
+    EXPECT_FALSE(report.applied);
+}
+
+TEST(MitigatorTest, RespondToBusAppliesRateLimit)
+{
+    Machine machine(smallMachine());
+    CCAuditor auditor(machine);
+    AuditDaemon daemon(machine, auditor);
+    Mitigator mitigator(machine, daemon);
+    const MitigationReport report =
+        mitigator.respond(MonitorTarget::MemoryBus, 0);
+    EXPECT_TRUE(report.applied);
+    EXPECT_EQ(machine.mem().bus().lockRateLimit(), report.lockInterval);
+    EXPECT_NE(report.summary().find("rate-limit"), std::string::npos);
+}
+
+} // namespace
+} // namespace cchunter

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "scenario/experiment.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+/** Small quanta keep integration tests fast while preserving the
+ *  delta-t window structure. */
+ScenarioOptions
+fastOptions()
+{
+    ScenarioOptions opts;
+    opts.quantum = 2500000; // 1 ms
+    opts.quanta = 8;
+    opts.bandwidthBps = 10000.0;
+    opts.noiseProcesses = 3;
+    return opts;
+}
+
+TEST(ExpectedBitsTest, CyclicExpansion)
+{
+    Message m = Message::fromBits({true, false});
+    Message e = expectedBits(m, 5);
+    EXPECT_EQ(e.toString(), "10101");
+}
+
+TEST(SlotBitErrorRateTest, CountsMismatchedSlots)
+{
+    Message m = Message::fromBits({true, false});
+    std::vector<std::pair<std::size_t, bool>> decoded{
+        {0, true}, {1, false}, {2, false}, {3, false}};
+    // Slot 2 should be '1' (cyclic): one error in four.
+    EXPECT_DOUBLE_EQ(slotBitErrorRate(m, decoded), 0.25);
+    EXPECT_DOUBLE_EQ(slotBitErrorRate(m, {}), 1.0);
+}
+
+TEST(ScenarioOptionsTest, SignalCapDefaults)
+{
+    ScenarioOptions opts;
+    EXPECT_EQ(opts.effectiveSignalTicks(), 25000000u);
+    opts.maxSignalTicks = 123;
+    EXPECT_EQ(opts.effectiveSignalTicks(), 123u);
+}
+
+TEST(BusScenarioTest, DetectsAndDecodes)
+{
+    auto r = runBusScenario(fastOptions());
+    EXPECT_TRUE(r.verdict.detected);
+    EXPECT_GT(r.verdict.recurrence.maxLikelihoodRatio, 0.9);
+    EXPECT_LT(r.bitErrorRate, 0.05);
+    EXPECT_GT(r.lockEvents, 100u);
+    EXPECT_EQ(r.quantaHistograms.size(), 8u);
+    EXPECT_FALSE(r.spySamples.empty());
+}
+
+TEST(BusScenarioTest, BurstPeakNearTwentyLocksPerWindow)
+{
+    auto r = runBusScenario(fastOptions());
+    // Locks are paced every 5000 cycles; delta-t = 100k -> bursts of
+    // ~20 (paper figure 6a).
+    EXPECT_NEAR(static_cast<double>(r.verdict.combined.burstPeakBin),
+                20.0, 3.0);
+}
+
+TEST(DividerScenarioTest, DetectsAndDecodes)
+{
+    auto r = runDividerScenario(fastOptions());
+    EXPECT_TRUE(r.verdict.detected);
+    EXPECT_GT(r.verdict.recurrence.maxLikelihoodRatio, 0.9);
+    EXPECT_LT(r.bitErrorRate, 0.05);
+    EXPECT_GT(r.conflictEvents, 1000u);
+    // Burst cluster near 96 wait-conflicts per 500-cycle window
+    // (paper figure 6b: bins 84-105).
+    EXPECT_GE(r.verdict.combined.burstPeakBin, 84u);
+    EXPECT_LE(r.verdict.combined.burstPeakBin, 105u);
+}
+
+TEST(CacheScenarioTest, DetectsOscillationNearSetCount)
+{
+    ScenarioOptions opts = fastOptions();
+    opts.bandwidthBps = 1000.0; // one bit per ms quantum
+    opts.quanta = 16;
+    opts.channelSets = 512;
+    auto r = runCacheScenario(opts);
+    EXPECT_TRUE(r.verdict.detected);
+    // Dominant lag tracks the set count, slightly inflated by noise
+    // (paper: 533 for 512 sets).
+    EXPECT_GE(r.verdict.analysis.dominantLag, 500u);
+    EXPECT_LE(r.verdict.analysis.dominantLag, 600u);
+    EXPECT_LT(r.bitErrorRate, 0.2);
+    EXPECT_FALSE(r.records.empty());
+}
+
+TEST(CacheScenarioTest, FewerSetsShorterPeriod)
+{
+    ScenarioOptions opts = fastOptions();
+    opts.bandwidthBps = 1000.0;
+    opts.quanta = 12;
+    opts.channelSets = 128;
+    auto r = runCacheScenario(opts);
+    EXPECT_TRUE(r.verdict.detected);
+    EXPECT_GE(r.verdict.analysis.dominantLag, 120u);
+    EXPECT_LE(r.verdict.analysis.dominantLag, 180u);
+}
+
+TEST(MultiplierScenarioTest, DetectsAndDecodes)
+{
+    auto r = runMultiplierScenario(fastOptions());
+    EXPECT_TRUE(r.verdict.detected);
+    EXPECT_GT(r.verdict.recurrence.maxLikelihoodRatio, 0.9);
+    EXPECT_LT(r.bitErrorRate, 0.05);
+    EXPECT_GT(r.conflictEvents, 1000u);
+}
+
+TEST(BusScenarioTest, EvasionKeepsDetectionKillsChannel)
+{
+    ScenarioOptions opts = fastOptions();
+    opts.bandwidthBps = 1000.0;
+    opts.quanta = 6;
+    // Decoys at the signalling rate: every window looks contended.
+    opts.busEvasionPeriod = 5000;
+    auto r = runBusScenario(opts);
+    EXPECT_TRUE(r.verdict.detected);
+    // The spy can no longer tell '1' slots from decoyed '0' slots.
+    EXPECT_GT(r.bitErrorRate, 0.2);
+}
+
+TEST(BenignScenarioTest, NoFalseAlarms)
+{
+    ScenarioOptions opts = fastOptions();
+    opts.quanta = 4;
+    for (const char* name : {"gobmk", "mailserver"}) {
+        auto r = runBenignPair(name, name, opts);
+        EXPECT_FALSE(r.busVerdict.detected) << name;
+        EXPECT_FALSE(r.dividerVerdict.detected) << name;
+        EXPECT_FALSE(r.cacheVerdict.detected) << name;
+    }
+}
+
+TEST(CacheScenarioTest, IdealTrackerAlsoDetects)
+{
+    ScenarioOptions opts = fastOptions();
+    opts.bandwidthBps = 1000.0;
+    opts.quanta = 12;
+    opts.channelSets = 128;
+    opts.idealTracker = true;
+    auto r = runCacheScenario(opts);
+    EXPECT_TRUE(r.verdict.detected);
+    EXPECT_GT(r.trackedConflicts, 0u);
+}
+
+TEST(CacheScenarioTest, StarvedBloomStillDetects)
+{
+    ScenarioOptions opts = fastOptions();
+    opts.bandwidthBps = 1000.0;
+    opts.quanta = 12;
+    opts.channelSets = 128;
+    opts.trackerParams.bloomBitsPerGeneration = 256; // N/16
+    auto r = runCacheScenario(opts);
+    EXPECT_TRUE(r.verdict.detected);
+}
+
+TEST(ScenarioTest, DeterministicForSeed)
+{
+    ScenarioOptions opts = fastOptions();
+    opts.quanta = 3;
+    auto a = runBusScenario(opts);
+    auto b = runBusScenario(opts);
+    EXPECT_EQ(a.lockEvents, b.lockEvents);
+    EXPECT_EQ(a.decoded.toString(), b.decoded.toString());
+    EXPECT_DOUBLE_EQ(a.verdict.combined.likelihoodRatio,
+                     b.verdict.combined.likelihoodRatio);
+}
+
+TEST(ScenarioTest, MessagePropagates)
+{
+    ScenarioOptions opts = fastOptions();
+    opts.quanta = 3;
+    opts.message = Message::fromBits({true, true, false, true});
+    auto r = runBusScenario(opts);
+    EXPECT_EQ(r.sent.toString(), "1101");
+}
+
+} // namespace
+} // namespace cchunter

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+TEST(EventQueueTest, StartsEmptyAtTickZero)
+{
+    EventQueue eq;
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now(), 0u);
+}
+
+TEST(EventQueueTest, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.runUntil(100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueueTest, SameTickOrderedByPriorityThenSequence)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] { order.push_back(2); },
+                EventPriority::Default);
+    eq.schedule(10, [&] { order.push_back(3); }, EventPriority::Late);
+    eq.schedule(10, [&] { order.push_back(1); },
+                EventPriority::Scheduler);
+    eq.schedule(10, [&] { order.push_back(4); }, EventPriority::Late);
+    eq.runUntil(11);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, RunUntilIsExclusive)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.runUntil(10);
+    EXPECT_EQ(fired, 0);
+    eq.runUntil(11);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void()> tick = [&] {
+        ++count;
+        if (count < 5)
+            eq.schedule(eq.now() + 10, tick);
+    };
+    eq.schedule(0, tick);
+    const auto executed = eq.runUntil(1000);
+    EXPECT_EQ(executed, 5u);
+    EXPECT_EQ(count, 5);
+}
+
+TEST(EventQueueTest, SchedulingIntoPastPanics)
+{
+    EventQueue eq;
+    eq.schedule(50, [] {});
+    eq.runUntil(100);
+    EXPECT_ANY_THROW(eq.schedule(10, [] {}));
+}
+
+TEST(EventQueueTest, StepExecutesOne)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(5, [&] { ++fired; });
+    eq.schedule(6, [&] { ++fired; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 5u);
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueueTest, ReturnsExecutedCount)
+{
+    EventQueue eq;
+    for (Tick t = 0; t < 10; ++t)
+        eq.schedule(t, [] {});
+    EXPECT_EQ(eq.runUntil(5), 5u);
+    EXPECT_EQ(eq.runUntil(100), 5u);
+}
+
+} // namespace
+} // namespace cchunter

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "sim/machine.hh"
+#include "sim/stats_report.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+class MixWorkload : public Workload
+{
+  public:
+    Action
+    nextAction(const ExecView&) override
+    {
+        switch (i_++ % 4) {
+          case 0:
+            return Action::read(0x1000 + (i_ % 64) * 64);
+          case 1:
+            return Action::divideBatch(4);
+          case 2:
+            return Action::multiplyBatch(4);
+          default:
+            return Action::compute(100);
+        }
+    }
+
+    std::string name() const override { return "mix"; }
+
+  private:
+    std::uint64_t i_ = 0;
+};
+
+MachineParams
+smallMachine()
+{
+    MachineParams p;
+    p.mem.l1 = CacheGeometry{1024, 2, 64};
+    p.mem.l2 = CacheGeometry{4096, 2, 64};
+    p.scheduler.quantum = 100000;
+    return p;
+}
+
+TEST(StatsReportTest, CollectsAllComponentCounters)
+{
+    Machine m(smallMachine());
+    m.addProcess(std::make_unique<MixWorkload>(), 0);
+    m.runQuanta(2);
+
+    const auto stats = collectMachineStats(m);
+    auto find = [&](const std::string& name) -> double {
+        for (const auto& e : stats)
+            if (e.name == name)
+                return e.value;
+        ADD_FAILURE() << "missing stat " << name;
+        return -1.0;
+    };
+    EXPECT_GT(find("sim.ticks"), 0.0);
+    EXPECT_DOUBLE_EQ(find("sched.quanta"), 2.0);
+    EXPECT_GT(find("core0.divider.ops"), 0.0);
+    EXPECT_GT(find("core0.multiplier.ops"), 0.0);
+    EXPECT_GT(find("ctx0.l1.hits") + find("ctx0.l1.misses"), 0.0);
+    EXPECT_GE(find("bus.transfers"), 1.0);
+    EXPECT_DOUBLE_EQ(find("bus.throttled_locks"), 0.0);
+}
+
+TEST(StatsReportTest, DumpRendersEveryEntry)
+{
+    Machine m(smallMachine());
+    m.addProcess(std::make_unique<MixWorkload>(), 0);
+    m.runQuanta(1);
+    std::ostringstream os;
+    dumpMachineStats(m, os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("sim.ticks"), std::string::npos);
+    EXPECT_NE(s.find("core3.l2.misses"), std::string::npos);
+    EXPECT_NE(s.find("# L2 misses"), std::string::npos);
+}
+
+TEST(StatsReportTest, ProcessTableListsProcesses)
+{
+    Machine m(smallMachine());
+    m.addProcess(std::make_unique<MixWorkload>(), 0);
+    m.addProcess(std::make_unique<MixWorkload>(), 1);
+    m.runQuanta(1);
+    std::ostringstream os;
+    dumpProcessStats(m, os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("mix"), std::string::npos);
+    EXPECT_NE(s.find("busy cycles"), std::string::npos);
+}
+
+TEST(StatsReportTest, EmptyMachineStillReports)
+{
+    Machine m(smallMachine());
+    std::ostringstream os;
+    EXPECT_NO_THROW(dumpMachineStats(m, os));
+    EXPECT_NO_THROW(dumpProcessStats(m, os));
+}
+
+} // namespace
+} // namespace cchunter

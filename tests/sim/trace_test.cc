@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "sim/machine.hh"
+#include "sim/trace.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+/** RAII guard restoring trace state after each test. */
+struct TraceGuard
+{
+    TraceGuard() { Trace::reset(); }
+
+    ~TraceGuard()
+    {
+        Trace::reset();
+        Trace::setSink(nullptr);
+    }
+};
+
+TEST(TraceTest, DisabledByDefault)
+{
+    TraceGuard guard;
+    EXPECT_FALSE(Trace::enabled(TraceCategory::Sched));
+    EXPECT_FALSE(Trace::enabled(TraceCategory::Auditor));
+}
+
+TEST(TraceTest, EnableDisableRoundTrip)
+{
+    TraceGuard guard;
+    Trace::enable(TraceCategory::Bus);
+    EXPECT_TRUE(Trace::enabled(TraceCategory::Bus));
+    EXPECT_FALSE(Trace::enabled(TraceCategory::Cache));
+    Trace::disable(TraceCategory::Bus);
+    EXPECT_FALSE(Trace::enabled(TraceCategory::Bus));
+}
+
+TEST(TraceTest, EnableFromStringParsesList)
+{
+    TraceGuard guard;
+    Trace::enableFromString("sched,auditor");
+    EXPECT_TRUE(Trace::enabled(TraceCategory::Sched));
+    EXPECT_TRUE(Trace::enabled(TraceCategory::Auditor));
+    EXPECT_FALSE(Trace::enabled(TraceCategory::Channel));
+}
+
+TEST(TraceTest, EnableAll)
+{
+    TraceGuard guard;
+    Trace::enableFromString("all");
+    EXPECT_TRUE(Trace::enabled(TraceCategory::Detect));
+    EXPECT_TRUE(Trace::enabled(TraceCategory::Exec));
+}
+
+TEST(TraceTest, UnknownCategoryIgnored)
+{
+    TraceGuard guard;
+    EXPECT_NO_THROW(Trace::enableFromString("sched,bogus"));
+    EXPECT_TRUE(Trace::enabled(TraceCategory::Sched));
+}
+
+TEST(TraceTest, EmitFormatsTickCategoryMessage)
+{
+    TraceGuard guard;
+    std::ostringstream os;
+    Trace::setSink(&os);
+    Trace::enable(TraceCategory::Bus);
+    trace(TraceCategory::Bus, 1234, "lock by ctx ", 3);
+    EXPECT_EQ(os.str(), "1234: [bus] lock by ctx 3\n");
+}
+
+TEST(TraceTest, DisabledCategoryEmitsNothing)
+{
+    TraceGuard guard;
+    std::ostringstream os;
+    Trace::setSink(&os);
+    trace(TraceCategory::Cache, 1, "should not appear");
+    EXPECT_TRUE(os.str().empty());
+}
+
+TEST(TraceTest, SchedulerEmitsQuantumRecords)
+{
+    TraceGuard guard;
+    std::ostringstream os;
+    Trace::setSink(&os);
+    Trace::enable(TraceCategory::Sched);
+
+    MachineParams mp;
+    mp.scheduler.quantum = 100000;
+    Machine m(mp);
+    m.runQuanta(2);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("[sched] quantum 0 ends"), std::string::npos);
+    EXPECT_NE(s.find("[sched] quantum 1 ends"), std::string::npos);
+}
+
+TEST(TraceTest, CategoryNames)
+{
+    EXPECT_EQ(Trace::categoryName(TraceCategory::Sched), "sched");
+    EXPECT_EQ(Trace::categoryName(TraceCategory::Detect), "detect");
+    EXPECT_EQ(Trace::categoryName(TraceCategory::All), "all");
+}
+
+} // namespace
+} // namespace cchunter

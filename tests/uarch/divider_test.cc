@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "uarch/divider.hh"
+#include "uarch/multiplier.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+TEST(DividerTest, UncontendedBatchFullThroughput)
+{
+    DividerUnit d(0, DividerParams{5});
+    EXPECT_EQ(d.executeBatch(0, 10, 100), 150u);
+    EXPECT_EQ(d.totalConflicts(), 0u);
+    EXPECT_EQ(d.totalOps(), 10u);
+}
+
+TEST(DividerTest, SequentialBatchesNoConflict)
+{
+    DividerUnit d(0, DividerParams{5});
+    d.executeBatch(0, 10, 0);        // busy [0, 50)
+    EXPECT_EQ(d.executeBatch(1, 10, 60), 110u);
+    EXPECT_EQ(d.totalConflicts(), 0u);
+}
+
+TEST(DividerTest, OverlappingBatchesHalfThroughput)
+{
+    DividerUnit d(0, DividerParams{5});
+    d.executeBatch(0, 100, 0);       // busy [0, 500)
+    // Fully contended batch: 10 ops at 2*5 = 100 cycles.
+    EXPECT_EQ(d.executeBatch(1, 10, 0), 100u);
+}
+
+TEST(DividerTest, PartialOverlapMixedThroughput)
+{
+    DividerUnit d(0, DividerParams{5});
+    d.executeBatch(0, 10, 0);        // busy [0, 50)
+    // Batch of 10 at t=0: 5 ops contended (50/10), then 5 free:
+    // 5*10 + 5*5 = 75.
+    EXPECT_EQ(d.executeBatch(1, 10, 0), 75u);
+}
+
+TEST(DividerTest, ConflictBurstsBothDirections)
+{
+    DividerUnit d(0, DividerParams{5});
+    std::vector<WaitConflictBurst> bursts;
+    d.addWaitListener([&](const WaitConflictBurst& b) {
+        bursts.push_back(b);
+    });
+    d.executeBatch(0, 100, 0);       // busy [0, 500)
+    d.executeBatch(1, 10, 0);        // contended for 100 cycles
+    ASSERT_EQ(bursts.size(), 2u);
+    // Our waits: 10 ops at spacing 10.
+    EXPECT_EQ(bursts[0].waiter, 1);
+    EXPECT_EQ(bursts[0].occupant, 0);
+    EXPECT_EQ(bursts[0].count, 10u);
+    EXPECT_EQ(bursts[0].spacing, 10u);
+    // Peer waits during the overlap [0, 100): 10 waits.
+    EXPECT_EQ(bursts[1].waiter, 0);
+    EXPECT_EQ(bursts[1].occupant, 1);
+    EXPECT_EQ(bursts[1].count, 10u);
+    EXPECT_EQ(d.totalConflicts(), 20u);
+}
+
+TEST(DividerTest, ConflictDensityMatchesPaperScale)
+{
+    // Sustained two-sided contention must produce ~1 wait event per
+    // opLatency cycles, i.e. ~100 events per 500-cycle delta-t: the
+    // paper's figure 6b burst bins (84-105).
+    DividerUnit d(0, DividerParams{5});
+    std::uint64_t events = 0;
+    d.addWaitListener([&](const WaitConflictBurst& b) {
+        events += b.count;
+    });
+    // Trojan holds the unit for 50k cycles; spy issues batches of 20.
+    d.executeBatch(0, 10000, 0); // busy [0, 50000)
+    Tick t = 0;
+    while (t < 50000)
+        t = d.executeBatch(1, 20, t);
+    const double per_500 =
+        static_cast<double>(events) / (50000.0 / 500.0);
+    EXPECT_GT(per_500, 84.0);
+    EXPECT_LT(per_500, 115.0);
+}
+
+TEST(DividerTest, ZeroCountIsNoOp)
+{
+    DividerUnit d(0);
+    EXPECT_EQ(d.executeBatch(0, 0, 42), 42u);
+    EXPECT_EQ(d.totalOps(), 0u);
+}
+
+TEST(DividerTest, ForeignContextPanics)
+{
+    DividerUnit d(4); // serves contexts 4 and 5
+    EXPECT_NO_THROW(d.executeBatch(4, 1, 0));
+    EXPECT_NO_THROW(d.executeBatch(5, 1, 10));
+    EXPECT_ANY_THROW(d.executeBatch(0, 1, 20));
+}
+
+TEST(DividerTest, InvalidParamsThrow)
+{
+    EXPECT_ANY_THROW(DividerUnit(0, DividerParams{0}));
+}
+
+TEST(ExecUnitTest, MultiplierHasShorterOpLatency)
+{
+    MultiplierUnit mul(0);
+    DividerUnit div(0);
+    EXPECT_LT(mul.params().opLatency, div.params().opLatency);
+    EXPECT_EQ(mul.name(), "multiplier");
+    EXPECT_EQ(div.name(), "divider");
+}
+
+TEST(ExecUnitTest, MultiplierContentionModelMatchesDivider)
+{
+    // Same mechanics, different latency: 10 ops at 3 cycles = 30.
+    MultiplierUnit mul(0);
+    EXPECT_EQ(mul.executeBatch(0, 10, 100), 130u);
+    // Fully contended batch runs at half throughput.
+    MultiplierUnit mul2(0);
+    mul2.executeBatch(0, 100, 0); // busy [0, 300)
+    EXPECT_EQ(mul2.executeBatch(1, 10, 0), 60u);
+    EXPECT_GT(mul2.totalConflicts(), 0u);
+}
+
+TEST(ExecUnitTest, UnitsAreIndependent)
+{
+    DividerUnit div(0);
+    MultiplierUnit mul(0);
+    div.executeBatch(0, 100, 0);
+    EXPECT_EQ(mul.totalOps(), 0u);
+    mul.executeBatch(1, 50, 0);
+    EXPECT_EQ(div.totalOps(), 100u);
+    EXPECT_EQ(mul.totalOps(), 50u);
+    // Each unit only tracks its own contention.
+    EXPECT_EQ(div.totalConflicts(), 0u);
+    EXPECT_EQ(mul.totalConflicts(), 0u);
+}
+
+TEST(DividerTest, BurstEventTimesWithinOverlap)
+{
+    DividerUnit d(0, DividerParams{5});
+    std::vector<WaitConflictBurst> bursts;
+    d.addWaitListener([&](const WaitConflictBurst& b) {
+        bursts.push_back(b);
+    });
+    d.executeBatch(0, 40, 1000);     // busy [1000, 1200)
+    d.executeBatch(1, 50, 1100);     // overlap [1100, 1200)
+    for (const auto& b : bursts) {
+        EXPECT_GE(b.start, 1100u);
+        const Tick last = b.start + (b.count - 1) * b.spacing;
+        EXPECT_LE(last, 1000u + 200u + 2 * 5);
+    }
+}
+
+} // namespace
+} // namespace cchunter

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/ascii_plot.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+TEST(AsciiPlotTest, PlotsNonEmptyGrid)
+{
+    std::vector<double> ys;
+    for (int i = 0; i < 100; ++i)
+        ys.push_back(std::sin(i * 0.1));
+    std::ostringstream os;
+    PlotOptions opts;
+    opts.title = "sine";
+    asciiPlot(os, ys, opts);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("sine"), std::string::npos);
+    EXPECT_NE(s.find('*'), std::string::npos);
+    EXPECT_NE(s.find('+'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, EmptySeriesStillRenders)
+{
+    std::ostringstream os;
+    asciiPlot(os, {}, {});
+    EXPECT_FALSE(os.str().empty());
+}
+
+TEST(AsciiPlotTest, ConstantSeriesDoesNotCrash)
+{
+    std::vector<double> ys(50, 3.0);
+    std::ostringstream os;
+    asciiPlot(os, ys, {});
+    EXPECT_NE(os.str().find('*'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, XYPlotRespectsXRange)
+{
+    std::vector<double> xs{0, 10, 20, 30};
+    std::vector<double> ys{0, 1, 0, 1};
+    std::ostringstream os;
+    asciiPlotXY(os, xs, ys, {});
+    EXPECT_NE(os.str().find('*'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, BarsRenderHashes)
+{
+    std::vector<double> bins{0, 5, 20, 3, 0, 0, 15};
+    std::ostringstream os;
+    asciiBars(os, bins, {});
+    const std::string s = os.str();
+    EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, BarsEmptyDoesNotCrash)
+{
+    std::ostringstream os;
+    asciiBars(os, {}, {});
+    EXPECT_FALSE(os.str().empty());
+}
+
+TEST(AsciiPlotTest, NanValuesAreSkipped)
+{
+    std::vector<double> ys{1.0, std::nan(""), 2.0, 3.0};
+    std::ostringstream os;
+    asciiPlot(os, ys, {});
+    EXPECT_NE(os.str().find('*'), std::string::npos);
+}
+
+} // namespace
+} // namespace cchunter

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "util/config.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+TEST(ConfigTest, FromArgsParsesKeyValues)
+{
+    const char* argv[] = {"prog", "alpha=1.5", "name=test", "count=42"};
+    Config cfg = Config::fromArgs(4, argv);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("alpha"), 1.5);
+    EXPECT_EQ(cfg.getString("name"), "test");
+    EXPECT_EQ(cfg.getInt("count"), 42);
+}
+
+TEST(ConfigTest, FromArgsRejectsMalformed)
+{
+    const char* argv[] = {"prog", "noequals"};
+    EXPECT_ANY_THROW(Config::fromArgs(2, argv));
+    const char* argv2[] = {"prog", "=value"};
+    EXPECT_ANY_THROW(Config::fromArgs(2, argv2));
+}
+
+TEST(ConfigTest, DefaultsReturnedWhenMissing)
+{
+    Config cfg;
+    EXPECT_EQ(cfg.getInt("absent", 7), 7);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("absent", 2.5), 2.5);
+    EXPECT_EQ(cfg.getString("absent", "dflt"), "dflt");
+    EXPECT_TRUE(cfg.getBool("absent", true));
+}
+
+TEST(ConfigTest, SettersAndHas)
+{
+    Config cfg;
+    EXPECT_FALSE(cfg.has("k"));
+    cfg.set("k", std::int64_t{5});
+    EXPECT_TRUE(cfg.has("k"));
+    EXPECT_EQ(cfg.getInt("k"), 5);
+    cfg.set("d", 1.25);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("d"), 1.25);
+    cfg.set("b", true);
+    EXPECT_TRUE(cfg.getBool("b"));
+}
+
+TEST(ConfigTest, BoolParsesCommonSpellings)
+{
+    Config cfg;
+    cfg.set("a", std::string("yes"));
+    cfg.set("b", std::string("0"));
+    cfg.set("c", std::string("on"));
+    EXPECT_TRUE(cfg.getBool("a"));
+    EXPECT_FALSE(cfg.getBool("b"));
+    EXPECT_TRUE(cfg.getBool("c"));
+}
+
+TEST(ConfigTest, MalformedNumbersThrow)
+{
+    Config cfg;
+    cfg.set("x", std::string("12abc"));
+    EXPECT_ANY_THROW(cfg.getInt("x"));
+    EXPECT_ANY_THROW(cfg.getDouble("x"));
+    cfg.set("y", std::string("maybe"));
+    EXPECT_ANY_THROW(cfg.getBool("y"));
+}
+
+TEST(ConfigTest, UintParses)
+{
+    Config cfg;
+    cfg.set("big", std::string("18446744073709551615"));
+    EXPECT_EQ(cfg.getUint("big"), 18446744073709551615ull);
+}
+
+TEST(ConfigTest, KeysSorted)
+{
+    Config cfg;
+    cfg.set("b", std::int64_t{1});
+    cfg.set("a", std::int64_t{2});
+    auto keys = cfg.keys();
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(keys[0], "a");
+    EXPECT_EQ(keys[1], "b");
+}
+
+TEST(ConfigTest, HexIntegerParses)
+{
+    Config cfg;
+    cfg.set("addr", std::string("0x40"));
+    EXPECT_EQ(cfg.getInt("addr"), 64);
+}
+
+} // namespace
+} // namespace cchunter

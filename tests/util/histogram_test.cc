@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "util/histogram.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+TEST(HistogramTest, StartsEmpty)
+{
+    Histogram h(16);
+    EXPECT_EQ(h.totalSamples(), 0u);
+    EXPECT_EQ(h.numBins(), 16u);
+    for (std::size_t i = 0; i < 16; ++i)
+        EXPECT_EQ(h.bin(i), 0u);
+}
+
+TEST(HistogramTest, AddSampleCountsCorrectBin)
+{
+    Histogram h(8);
+    h.addSample(0);
+    h.addSample(3);
+    h.addSample(3);
+    EXPECT_EQ(h.bin(0), 1u);
+    EXPECT_EQ(h.bin(3), 2u);
+    EXPECT_EQ(h.totalSamples(), 3u);
+}
+
+TEST(HistogramTest, OverflowLandsInLastBin)
+{
+    Histogram h(4);
+    h.addSample(100);
+    h.addSample(3);
+    EXPECT_EQ(h.bin(3), 2u);
+}
+
+TEST(HistogramTest, WeightedSamples)
+{
+    Histogram h(8);
+    h.addSample(2, 10);
+    EXPECT_EQ(h.bin(2), 10u);
+    EXPECT_EQ(h.totalSamples(), 10u);
+}
+
+TEST(HistogramTest, CountInRange)
+{
+    Histogram h(8);
+    for (std::uint64_t v = 0; v < 8; ++v)
+        h.addSample(v, v + 1);
+    EXPECT_EQ(h.countInRange(0, 7), 36u);
+    EXPECT_EQ(h.countInRange(2, 4), 3 + 4 + 5u);
+    EXPECT_EQ(h.countInRange(5, 100), 6 + 7 + 8u);
+    EXPECT_EQ(h.countInRange(7, 2), 0u);
+}
+
+TEST(HistogramTest, MaxNonZeroBin)
+{
+    Histogram h(16);
+    EXPECT_EQ(h.maxNonZeroBin(), 0u);
+    h.addSample(5);
+    h.addSample(11);
+    EXPECT_EQ(h.maxNonZeroBin(), 11u);
+}
+
+TEST(HistogramTest, PeakBin)
+{
+    Histogram h(16);
+    h.addSample(2, 5);
+    h.addSample(9, 50);
+    h.addSample(12, 7);
+    EXPECT_EQ(h.peakBin(), 9u);
+    EXPECT_EQ(h.peakBin(10, 15), 12u);
+}
+
+TEST(HistogramTest, MeanComputations)
+{
+    Histogram h(16);
+    h.addSample(0, 3);
+    h.addSample(10, 3);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(h.meanInRange(1, 15), 10.0);
+    EXPECT_DOUBLE_EQ(h.meanInRange(0, 0), 0.0);
+}
+
+TEST(HistogramTest, MeanOfEmptyIsZero)
+{
+    Histogram h(8);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, MergeAddsBinWise)
+{
+    Histogram a(8), b(8);
+    a.addSample(1, 2);
+    b.addSample(1, 3);
+    b.addSample(4, 1);
+    a.merge(b);
+    EXPECT_EQ(a.bin(1), 5u);
+    EXPECT_EQ(a.bin(4), 1u);
+    EXPECT_EQ(a.totalSamples(), 6u);
+}
+
+TEST(HistogramTest, MergeSizeMismatchThrows)
+{
+    Histogram a(8), b(16);
+    EXPECT_ANY_THROW(a.merge(b));
+}
+
+TEST(HistogramTest, ClearResets)
+{
+    Histogram h(8);
+    h.addSample(3, 4);
+    h.clear();
+    EXPECT_EQ(h.totalSamples(), 0u);
+    EXPECT_EQ(h.bin(3), 0u);
+}
+
+TEST(HistogramTest, NormalizedSumsToOne)
+{
+    Histogram h(8);
+    h.addSample(1, 1);
+    h.addSample(2, 3);
+    auto n = h.normalized();
+    double sum = 0.0;
+    for (double v : n)
+        sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    EXPECT_NEAR(n[2], 0.75, 1e-12);
+}
+
+TEST(HistogramTest, NormalizedEmptyIsAllZero)
+{
+    Histogram h(4);
+    for (double v : h.normalized())
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(HistogramTest, ToStringListsNonZeroBins)
+{
+    Histogram h(8);
+    h.addSample(0, 2);
+    h.addSample(5, 7);
+    EXPECT_EQ(h.toString(), "0:2 5:7");
+}
+
+TEST(HistogramTest, BinOutOfRangeThrows)
+{
+    Histogram h(4);
+    EXPECT_ANY_THROW(h.bin(4));
+}
+
+TEST(HistogramTest, ZeroBinsThrows)
+{
+    EXPECT_ANY_THROW(Histogram(0));
+}
+
+} // namespace
+} // namespace cchunter

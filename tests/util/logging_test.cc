@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+TEST(LoggingTest, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(fatal("bad config: ", 42), std::runtime_error);
+}
+
+TEST(LoggingTest, PanicThrowsLogicError)
+{
+    EXPECT_THROW(panic("invariant broken"), std::logic_error);
+}
+
+TEST(LoggingTest, FatalMessageIncludesArguments)
+{
+    try {
+        fatal("value=", 7, " name=", "x");
+        FAIL() << "fatal did not throw";
+    } catch (const std::runtime_error& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("value=7"), std::string::npos);
+        EXPECT_NE(msg.find("name=x"), std::string::npos);
+    }
+}
+
+TEST(LoggingTest, LogLevelRoundTrips)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    setLogLevel(before);
+}
+
+TEST(LoggingTest, WarnAndInformDoNotThrow)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Silent);
+    EXPECT_NO_THROW(warn("quiet warning"));
+    EXPECT_NO_THROW(inform("quiet info"));
+    EXPECT_NO_THROW(debugLog("quiet debug"));
+    setLogLevel(before);
+}
+
+} // namespace
+} // namespace cchunter

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBelow(13), 13u);
+}
+
+TEST(RngTest, NextBelowCoversRange)
+{
+    Rng rng(11);
+    std::vector<bool> seen(8, false);
+    for (int i = 0; i < 500; ++i)
+        seen[rng.nextBelow(8)] = true;
+    EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                            [](bool b) { return b; }));
+}
+
+TEST(RngTest, NextRangeInclusive)
+{
+    Rng rng(3);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.nextRange(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo |= (v == -2);
+        saw_hi |= (v == 2);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(RngTest, NextBoolRespectsProbability)
+{
+    Rng rng(17);
+    int trues = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        trues += rng.nextBool(0.25);
+    const double frac = static_cast<double>(trues) / n;
+    EXPECT_NEAR(frac, 0.25, 0.02);
+}
+
+TEST(RngTest, ExponentialMeanApproximates)
+{
+    Rng rng(19);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextExponential(100.0);
+    EXPECT_NEAR(sum / n, 100.0, 5.0);
+}
+
+TEST(RngTest, GaussianMomentsApproximate)
+{
+    Rng rng(23);
+    double sum = 0.0, sq = 0.0;
+    const int n = 30000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.nextGaussian(10.0, 2.0);
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.1);
+    EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, PoissonMeanSmallAndLarge)
+{
+    Rng rng(29);
+    for (double mean : {0.5, 4.0, 80.0}) {
+        double sum = 0.0;
+        const int n = 20000;
+        for (int i = 0; i < n; ++i)
+            sum += static_cast<double>(rng.nextPoisson(mean));
+        EXPECT_NEAR(sum / n, mean, std::max(0.1, mean * 0.05))
+            << "mean=" << mean;
+    }
+}
+
+TEST(RngTest, PoissonZeroMeanIsZero)
+{
+    Rng rng(1);
+    EXPECT_EQ(rng.nextPoisson(0.0), 0u);
+    EXPECT_EQ(rng.nextPoisson(-1.0), 0u);
+}
+
+TEST(RngTest, GeometricMeanApproximates)
+{
+    Rng rng(31);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.nextGeometric(0.25));
+    EXPECT_NEAR(sum / n, 4.0, 0.2);
+}
+
+TEST(RngTest, GeometricOneIsAlwaysOne)
+{
+    Rng rng(37);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.nextGeometric(1.0), 1u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream)
+{
+    Rng a(41);
+    Rng b = a.fork();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ShufflePreservesElements)
+{
+    Rng rng(43);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, InvalidArgumentsThrow)
+{
+    Rng rng(47);
+    EXPECT_ANY_THROW(rng.nextBelow(0));
+    EXPECT_ANY_THROW(rng.nextRange(3, 1));
+    EXPECT_ANY_THROW(rng.nextGeometric(0.0));
+}
+
+} // namespace
+} // namespace cchunter

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+TEST(RunningStatsTest, EmptyDefaults)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MeanAndVariance)
+{
+    RunningStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance of this classic data set is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStatsTest, MinMaxTracked)
+{
+    RunningStats s;
+    s.add(3.0);
+    s.add(-1.0);
+    s.add(10.0);
+    EXPECT_DOUBLE_EQ(s.min(), -1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 10.0);
+}
+
+TEST(RunningStatsTest, SumMatches)
+{
+    RunningStats s;
+    s.add(1.5);
+    s.add(2.5);
+    EXPECT_NEAR(s.sum(), 4.0, 1e-12);
+}
+
+TEST(RunningStatsTest, ClearResets)
+{
+    RunningStats s;
+    s.add(5.0);
+    s.clear();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(StatsTest, MeanOfVector)
+{
+    EXPECT_DOUBLE_EQ(meanOf({}), 0.0);
+    EXPECT_DOUBLE_EQ(meanOf({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(StatsTest, VarianceOfVector)
+{
+    EXPECT_DOUBLE_EQ(varianceOf({}), 0.0);
+    EXPECT_DOUBLE_EQ(varianceOf({5.0, 5.0, 5.0}), 0.0);
+    // Population variance of {1,2,3} is 2/3.
+    EXPECT_NEAR(varianceOf({1.0, 2.0, 3.0}), 2.0 / 3.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation)
+{
+    std::vector<double> a{1, 2, 3, 4};
+    std::vector<double> b{2, 4, 6, 8};
+    EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+    std::vector<double> c{8, 6, 4, 2};
+    EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonZeroForConstant)
+{
+    std::vector<double> a{1, 2, 3, 4};
+    std::vector<double> b{5, 5, 5, 5};
+    EXPECT_DOUBLE_EQ(pearson(a, b), 0.0);
+}
+
+TEST(StatsTest, PearsonMismatchedLengthsThrow)
+{
+    std::vector<double> a{1, 2};
+    std::vector<double> b{1};
+    EXPECT_ANY_THROW(pearson(a, b));
+}
+
+TEST(StatsTest, QuantileInterpolates)
+{
+    std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+    EXPECT_DOUBLE_EQ(quantileOf(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantileOf(v, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(quantileOf(v, 0.5), 2.5);
+}
+
+TEST(StatsTest, QuantileEmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(quantileOf({}, 0.5), 0.0);
+}
+
+} // namespace
+} // namespace cchunter

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table_writer.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+TEST(TableWriterTest, RendersAlignedTable)
+{
+    TableWriter t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::ostringstream os;
+    t.render(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("22"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(s.find("|-"), std::string::npos);
+}
+
+TEST(TableWriterTest, RendersCsv)
+{
+    TableWriter t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.renderCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TableWriterTest, RowWidthMismatchThrows)
+{
+    TableWriter t({"a", "b"});
+    EXPECT_ANY_THROW(t.addRow({"only-one"}));
+}
+
+TEST(TableWriterTest, EmptyHeaderThrows)
+{
+    EXPECT_ANY_THROW(TableWriter({}));
+}
+
+TEST(TableWriterTest, NumRowsCounts)
+{
+    TableWriter t({"x"});
+    EXPECT_EQ(t.numRows(), 0u);
+    t.addRow({"1"});
+    t.addRow({"2"});
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(FmtTest, FmtDouble)
+{
+    EXPECT_EQ(fmtDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(fmtDouble(-0.5, 1), "-0.5");
+}
+
+TEST(FmtTest, FmtInt)
+{
+    EXPECT_EQ(fmtInt(1234567), "1234567");
+    EXPECT_EQ(fmtInt(-42), "-42");
+}
+
+} // namespace
+} // namespace cchunter

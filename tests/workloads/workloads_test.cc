@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workloads/suites.hh"
+#include "workloads/synthetic.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+std::map<ActionKind, int>
+sampleActions(Workload& w, int n = 20000)
+{
+    std::map<ActionKind, int> counts;
+    ExecView view;
+    for (int i = 0; i < n; ++i)
+        ++counts[w.nextAction(view).kind];
+    return counts;
+}
+
+TEST(SyntheticWorkloadTest, RespectsMemFraction)
+{
+    SyntheticParams p;
+    p.memFraction = 0.5;
+    SyntheticWorkload w(p);
+    auto counts = sampleActions(w);
+    const double frac = counts[ActionKind::MemRead] / 20000.0;
+    EXPECT_NEAR(frac, 0.5, 0.03);
+}
+
+TEST(SyntheticWorkloadTest, NoLocksWhenDisabled)
+{
+    SyntheticParams p;
+    SyntheticWorkload w(p);
+    auto counts = sampleActions(w);
+    EXPECT_EQ(counts[ActionKind::LockedAccess], 0);
+    EXPECT_EQ(counts[ActionKind::DivideBatch], 0);
+}
+
+TEST(SyntheticWorkloadTest, LockBurstsAreConsecutive)
+{
+    SyntheticParams p;
+    p.memFraction = 0.0;
+    p.lockBurstFraction = 0.05;
+    p.lockBurstMin = 3;
+    p.lockBurstMax = 3;
+    SyntheticWorkload w(p);
+    ExecView view;
+    int consecutive = 0;
+    int max_run = 0;
+    for (int i = 0; i < 5000; ++i) {
+        if (w.nextAction(view).kind == ActionKind::LockedAccess) {
+            ++consecutive;
+            max_run = std::max(max_run, consecutive);
+        } else {
+            consecutive = 0;
+        }
+    }
+    // Bursts are the trigger plus 3 more = 4 locks; abutting bursts
+    // concatenate into multiples of 4.
+    EXPECT_GE(max_run, 4);
+    EXPECT_EQ(max_run % 4, 0);
+}
+
+TEST(SyntheticWorkloadTest, ComputeWithinRange)
+{
+    SyntheticParams p;
+    p.memFraction = 0.0;
+    p.computeMin = 100;
+    p.computeMax = 200;
+    SyntheticWorkload w(p);
+    ExecView view;
+    for (int i = 0; i < 1000; ++i) {
+        Action a = w.nextAction(view);
+        ASSERT_EQ(a.kind, ActionKind::Compute);
+        EXPECT_GE(a.cycles, 100u);
+        EXPECT_LE(a.cycles, 200u);
+    }
+}
+
+TEST(SyntheticWorkloadTest, AddressesStayInWorkingSet)
+{
+    SyntheticParams p;
+    p.memFraction = 1.0;
+    p.workingSetLines = 100;
+    p.addrBase = 0x1000000;
+    SyntheticWorkload w(p);
+    ExecView view;
+    for (int i = 0; i < 1000; ++i) {
+        Action a = w.nextAction(view);
+        ASSERT_EQ(a.kind, ActionKind::MemRead);
+        EXPECT_GE(a.addr, 0x1000000u);
+        EXPECT_LT(a.addr, 0x1000000u + 100 * 64);
+    }
+}
+
+TEST(SyntheticWorkloadTest, InvalidParamsThrow)
+{
+    SyntheticParams p;
+    p.workingSetLines = 0;
+    EXPECT_ANY_THROW(SyntheticWorkload{p});
+    p = SyntheticParams{};
+    p.memFraction = 0.9;
+    p.divideFraction = 0.5;
+    EXPECT_ANY_THROW(SyntheticWorkload{p});
+    p = SyntheticParams{};
+    p.computeMax = 1;
+    p.computeMin = 10;
+    EXPECT_ANY_THROW(SyntheticWorkload{p});
+}
+
+TEST(SyntheticWorkloadTest, QuietPhaseEmitsOnlyCompute)
+{
+    SyntheticParams p;
+    p.memFraction = 0.8;
+    p.phaseOnTicks = 1000;
+    p.phaseOffTicks = 1000;
+    SyntheticWorkload w(p);
+    ExecView view;
+    // Inside the quiet phase every action must be compute.
+    for (Tick now : {1000u, 1500u, 1999u, 3001u}) {
+        view.now = now;
+        EXPECT_EQ(w.nextAction(view).kind, ActionKind::Compute)
+            << "now=" << now;
+    }
+    // Inside the active phase memory actions flow again.
+    bool saw_mem = false;
+    view.now = 100;
+    for (int i = 0; i < 50; ++i)
+        saw_mem |= w.nextAction(view).kind == ActionKind::MemRead;
+    EXPECT_TRUE(saw_mem);
+}
+
+TEST(SyntheticWorkloadTest, QuietPhaseComputeBounded)
+{
+    SyntheticParams p;
+    p.phaseOnTicks = 1000;
+    p.phaseOffTicks = 100000;
+    SyntheticWorkload w(p);
+    ExecView view;
+    view.now = 1500; // quiet phase
+    const Action a = w.nextAction(view);
+    ASSERT_EQ(a.kind, ActionKind::Compute);
+    // Never sleeps past the phase boundary nor unbounded.
+    EXPECT_LE(a.cycles, 100000u);
+    EXPECT_GE(a.cycles, 1u);
+}
+
+TEST(SuitesTest, AllNamedProxiesConstruct)
+{
+    for (const auto& name : benchmarkNames()) {
+        auto w = makeBenchmark(name, 1);
+        EXPECT_EQ(w->name(), name);
+    }
+}
+
+TEST(SuitesTest, UnknownNameThrows)
+{
+    EXPECT_ANY_THROW(makeBenchmark("doom3", 1));
+}
+
+TEST(SuitesTest, DividerProxiesIssueDivisions)
+{
+    auto w = makeBenchmark("bzip2", 3);
+    auto counts = sampleActions(*w);
+    EXPECT_GT(counts[ActionKind::DivideBatch], 1000);
+}
+
+TEST(SuitesTest, StreamNeverLocksOrDivides)
+{
+    auto w = makeBenchmark("stream", 4);
+    auto counts = sampleActions(*w);
+    EXPECT_EQ(counts[ActionKind::LockedAccess], 0);
+    EXPECT_EQ(counts[ActionKind::DivideBatch], 0);
+    EXPECT_GT(counts[ActionKind::MemRead], 15000);
+}
+
+TEST(SuitesTest, MailserverLocksMoreThanWebserver)
+{
+    auto mail = makeBenchmark("mailserver", 5);
+    auto web = makeBenchmark("webserver", 5);
+    auto mc = sampleActions(*mail, 200000);
+    auto wc = sampleActions(*web, 200000);
+    EXPECT_GT(mc[ActionKind::LockedAccess],
+              wc[ActionKind::LockedAccess]);
+}
+
+TEST(SuitesTest, IntensityStretchesCompute)
+{
+    auto full = makeBenchmark("gobmk", 6, 1.0);
+    auto light = makeBenchmark("gobmk", 6, 0.1);
+    ExecView view;
+    Cycles full_sum = 0, light_sum = 0;
+    for (int i = 0; i < 2000; ++i) {
+        Action a = full->nextAction(view);
+        if (a.kind == ActionKind::Compute)
+            full_sum += a.cycles;
+        Action b = light->nextAction(view);
+        if (b.kind == ActionKind::Compute)
+            light_sum += b.cycles;
+    }
+    EXPECT_GT(light_sum, 5 * full_sum);
+}
+
+TEST(SuitesTest, InvalidIntensityThrows)
+{
+    EXPECT_ANY_THROW(makeBenchmark("gobmk", 1, 0.0));
+    EXPECT_ANY_THROW(makeBenchmark("gobmk", 1, 2.0));
+}
+
+TEST(SuitesTest, FalseAlarmPairsAreKnownNames)
+{
+    auto names = benchmarkNames();
+    for (const auto& [a, b] : falseAlarmPairs()) {
+        EXPECT_NE(std::find(names.begin(), names.end(), a), names.end());
+        EXPECT_NE(std::find(names.begin(), names.end(), b), names.end());
+    }
+    EXPECT_GE(falseAlarmPairs().size(), 5u);
+}
+
+} // namespace
+} // namespace cchunter
