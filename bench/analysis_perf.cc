@@ -17,6 +17,7 @@
 #include "detect/kmeans.hh"
 #include "detect/pattern_clustering.hh"
 #include "util/rng.hh"
+#include "util/thread_pool.hh"
 
 namespace cchunter
 {
@@ -69,7 +70,73 @@ BM_AutocorrelogramQuantum(benchmark::State& state)
     }
     state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_AutocorrelogramQuantum)->Arg(2048)->Arg(8192)->Arg(32768);
+BENCHMARK(BM_AutocorrelogramQuantum)
+    ->Arg(2048)
+    ->Arg(8192)
+    ->Arg(32768)
+    ->Arg(1 << 16)
+    ->Arg(1 << 20);
+
+std::vector<double>
+makeNoisyLabelSeries(std::size_t n)
+{
+    Rng rng(17);
+    std::vector<double> s;
+    s.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double v = (i / 256) % 2 ? 1.0 : 0.0;
+        if (rng.nextBool(0.05))
+            v = 1.0 - v;
+        s.push_back(v);
+    }
+    return s;
+}
+
+/**
+ * Full correlogram at max_lag = N/2: the direct evaluation is
+ * O(N^2/2) here, which is the regime the FFT path exists for.  One
+ * iteration keeps the N = 2^18 case (~30 s of O(N^2) work) bounded;
+ * compare against BM_AutocorrelogramFftFull at the same N for the
+ * speedup (>= 10x required at 2^18).
+ */
+void
+BM_AutocorrelogramNaiveFull(benchmark::State& state)
+{
+    const auto series =
+        makeNoisyLabelSeries(static_cast<std::size_t>(state.range(0)));
+    const std::size_t max_lag = series.size() / 2;
+    for (auto _ : state) {
+        auto gram = autocorrelogramNaive(series, max_lag);
+        benchmark::DoNotOptimize(gram);
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AutocorrelogramNaiveFull)
+    ->Arg(1 << 14)
+    ->Arg(1 << 16)
+    ->Arg(1 << 18)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+/** FFT path at the same shapes, plus 2^20 (naive is intractable). */
+void
+BM_AutocorrelogramFftFull(benchmark::State& state)
+{
+    const auto series =
+        makeNoisyLabelSeries(static_cast<std::size_t>(state.range(0)));
+    const std::size_t max_lag = series.size() / 2;
+    for (auto _ : state) {
+        auto gram = autocorrelogramFft(series, max_lag);
+        benchmark::DoNotOptimize(gram);
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AutocorrelogramFftFull)
+    ->Arg(1 << 14)
+    ->Arg(1 << 16)
+    ->Arg(1 << 18)
+    ->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
 
 /**
  * Full pattern-clustering pass over a 512-quantum window.  Paper
@@ -147,6 +214,99 @@ BM_KMeans512(benchmark::State& state)
     }
 }
 BENCHMARK(BM_KMeans512);
+
+/** k-means with 8 restarts, fanned across a pool of range(0) threads. */
+void
+BM_KMeansRestartsThreaded(benchmark::State& state)
+{
+    Rng rng(5);
+    std::vector<std::vector<double>> points;
+    for (int i = 0; i < 512; ++i) {
+        std::vector<double> p(128, 0.0);
+        p[0] = 10.0;
+        p[20] = (i % 2) ? 8.0 + rng.nextDouble() : 0.0;
+        p[1] = rng.nextDouble();
+        points.push_back(std::move(p));
+    }
+    KMeansParams params;
+    params.k = 4;
+    params.restarts = 8;
+    // Arg(1) measures the true serial path (no pool at all); the
+    // caller participates in parallelFor, so a 1-worker pool would
+    // really be two threads.
+    const auto threads = static_cast<std::size_t>(state.range(0));
+    ThreadPool pool(threads);
+    ThreadPool* used = threads > 1 ? &pool : nullptr;
+    for (auto _ : state) {
+        auto r = kmeans(points, params, used);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_KMeansRestartsThreaded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+/**
+ * Daemon fan-out: the per-quantum analysis pass over 16 monitored
+ * units (each an oscillation analysis of an 8192-event labelled train
+ * plus a burst scan), spread across a pool of range(0) threads.  This
+ * is the per-slot work AuditDaemon::runOnlineAnalyses performs; wall
+ * time should drop as the pool grows (>= 2x from 1 to 4 threads on a
+ * 4-core host).
+ */
+void
+BM_DaemonFanOut(benchmark::State& state)
+{
+    constexpr std::size_t kUnits = 16;
+    std::vector<std::vector<double>> series;
+    std::vector<Histogram> hists;
+    Rng rng(23);
+    for (std::size_t u = 0; u < kUnits; ++u) {
+        std::vector<double> s;
+        const std::size_t period = 64 << (u % 4);
+        for (std::size_t i = 0; i < 8192; ++i) {
+            double v = (i / (period / 2)) % 2 ? 1.0 : 0.0;
+            if (rng.nextBool(0.05))
+                v = 1.0 - v;
+            s.push_back(v);
+        }
+        series.push_back(std::move(s));
+        Histogram h(128);
+        h.addSample(0, 2000 + rng.nextBelow(500));
+        h.addSample(19 + rng.nextBelow(3), 100 + rng.nextBelow(50));
+        hists.push_back(std::move(h));
+    }
+    const auto threads = static_cast<std::size_t>(state.range(0));
+    ThreadPool pool(threads);
+    OscillationDetector osc;
+    BurstDetector burst;
+    for (auto _ : state) {
+        std::vector<OscillationAnalysis> verdicts(kUnits);
+        std::vector<BurstAnalysis> bursts(kUnits);
+        auto analyzeUnit = [&](std::size_t u) {
+            verdicts[u] = osc.analyze(series[u]);
+            bursts[u] = burst.analyze(hists[u]);
+        };
+        if (threads > 1) {
+            pool.parallelFor(kUnits, analyzeUnit);
+        } else {
+            for (std::size_t u = 0; u < kUnits; ++u)
+                analyzeUnit(u);
+        }
+        benchmark::DoNotOptimize(verdicts);
+        benchmark::DoNotOptimize(bursts);
+    }
+}
+BENCHMARK(BM_DaemonFanOut)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 /** End-to-end contention verdict over a 512-quantum window. */
 void

@@ -74,43 +74,79 @@ AuditDaemon::enableOnlineAnalysis(OnlineAnalysisParams params,
     online_ = true;
     onlineParams_ = params;
     alarmCallback_ = std::move(callback);
+    if (onlineParams_.analysisThreads != 1)
+        pool_ = std::make_unique<ThreadPool>(
+            onlineParams_.analysisThreads);
+    else
+        pool_.reset();
 }
 
 void
 AuditDaemon::runOnlineAnalyses(std::uint64_t quantum_index, Tick now)
 {
-    CCHunter hunter(onlineParams_.hunter);
+    const bool clusteringDue =
+        (quantum_index + 1) % onlineParams_.clusteringIntervalQuanta ==
+        0;
+
+    // Gather the active slots, then fan their analyses out: the
+    // recorded series are immutable during this pass (draining happened
+    // earlier in onQuantum), so the workers only read shared state and
+    // write their own verdict cell.
+    struct SlotVerdicts
+    {
+        unsigned slot = 0;
+        bool hasContention = false;
+        ContentionVerdict contention;
+        bool hasOscillation = false;
+        OscillationVerdict oscillation;
+    };
+    std::vector<SlotVerdicts> work;
+    for (unsigned s = 0; s < auditor_.numSlots(); ++s) {
+        if (!auditor_.slotActive(s))
+            continue;
+        SlotVerdicts sv;
+        sv.slot = s;
+        sv.hasContention =
+            auditor_.histogramBuffer(s) != nullptr && clusteringDue;
+        sv.hasOscillation = auditor_.vectorRegisters(s) != nullptr &&
+                            onlineParams_.autocorrEveryQuantum;
+        if (sv.hasContention || sv.hasOscillation)
+            work.push_back(sv);
+    }
+
+    auto analyzeSlot = [&](std::size_t i) {
+        SlotVerdicts& sv = work[i];
+        // Each task gets its own hunter; the shared pool only fans out
+        // across slots, not within one (the per-slot kernels are the
+        // unit of parallelism here).
+        CCHunter hunter(onlineParams_.hunter);
+        if (sv.hasContention)
+            sv.contention =
+                hunter.analyzeContention(contention_[sv.slot]);
+        if (sv.hasOscillation)
+            sv.oscillation = hunter.analyzeOscillation(
+                labelSeriesForQuantum(sv.slot, quantum_index));
+    };
+    if (pool_ && work.size() > 1) {
+        pool_->parallelFor(work.size(), analyzeSlot);
+    } else {
+        for (std::size_t i = 0; i < work.size(); ++i)
+            analyzeSlot(i);
+    }
+
+    // Apply verdicts in slot order, contention before oscillation —
+    // the exact alarm stream the serial path produces.
     auto raise = [&](unsigned slot, std::string summary) {
         Alarm alarm{slot, now, quantum_index, std::move(summary)};
         alarms_.push_back(alarm);
         if (alarmCallback_)
             alarmCallback_(alarms_.back());
     };
-
-    for (unsigned s = 0; s < auditor_.numSlots(); ++s) {
-        if (!auditor_.slotActive(s))
-            continue;
-
-        // Contention path: clustering once per interval, over the most
-        // recent window of quanta.
-        if (auditor_.histogramBuffer(s) &&
-            (quantum_index + 1) %
-                    onlineParams_.clusteringIntervalQuanta ==
-                0) {
-            const auto verdict =
-                hunter.analyzeContention(contention_[s]);
-            if (verdict.detected)
-                raise(s, verdict.summary());
-        }
-
-        // Oscillation path: this quantum's labelled conflicts.
-        if (auditor_.vectorRegisters(s) &&
-            onlineParams_.autocorrEveryQuantum) {
-            const auto verdict = hunter.analyzeOscillation(
-                labelSeriesForQuantum(s, quantum_index));
-            if (verdict.detected)
-                raise(s, verdict.summary());
-        }
+    for (const auto& sv : work) {
+        if (sv.hasContention && sv.contention.detected)
+            raise(sv.slot, sv.contention.summary());
+        if (sv.hasOscillation && sv.oscillation.detected)
+            raise(sv.slot, sv.oscillation.summary());
     }
 }
 

@@ -14,11 +14,13 @@
 #define CCHUNTER_AUDITOR_DAEMON_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "auditor/cc_auditor.hh"
 #include "detect/detector.hh"
 #include "util/histogram.hh"
+#include "util/thread_pool.hh"
 #include "util/types.hh"
 
 namespace cchunter
@@ -44,6 +46,15 @@ struct OnlineAnalysisParams
 
     /** Autocorrelation runs at the end of every OS time quantum. */
     bool autocorrEveryQuantum = true;
+
+    /**
+     * Worker threads for the per-quantum analysis fan-out.  1 keeps
+     * the serial path; larger values analyse the monitored units
+     * concurrently on a fixed pool, applying verdicts in slot order so
+     * the alarm stream is identical to the serial path.  0 sizes the
+     * pool to the hardware concurrency.
+     */
+    std::size_t analysisThreads = 1;
 
     /** Analysis parameters. */
     CCHunterParams hunter;
@@ -135,6 +146,7 @@ class AuditDaemon
     OnlineAnalysisParams onlineParams_;
     AlarmCallback alarmCallback_;
     std::vector<Alarm> alarms_;
+    std::unique_ptr<ThreadPool> pool_;
 };
 
 } // namespace cchunter

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/fft.hh"
 #include "util/stats.hh"
 
 namespace cchunter
@@ -45,7 +46,8 @@ autocorrelationAt(const std::vector<double>& series, std::size_t lag)
 }
 
 std::vector<double>
-autocorrelogram(const std::vector<double>& series, std::size_t max_lag)
+autocorrelogramNaive(const std::vector<double>& series,
+                     std::size_t max_lag)
 {
     std::vector<double> out;
     out.reserve(max_lag + 1);
@@ -67,6 +69,44 @@ autocorrelogram(const std::vector<double>& series, std::size_t max_lag)
         out.push_back(numeratorAt(series, mean, lag) / denom);
     }
     return out;
+}
+
+std::vector<double>
+autocorrelogramFft(const std::vector<double>& series, std::size_t max_lag)
+{
+    const std::size_t n = series.size();
+    if (n < 2)
+        return std::vector<double>(max_lag + 1, 0.0);
+    const double mean = meanOf(series);
+    // The exact degeneracy test (a constant series must yield all
+    // zeros, not roundoff noise) uses the direct denominator.
+    if (sumSquaredDeviations(series, mean) == 0.0)
+        return std::vector<double>(max_lag + 1, 0.0);
+
+    std::vector<double> centered;
+    centered.reserve(n);
+    for (double x : series)
+        centered.push_back(x - mean);
+    std::vector<double> out =
+        autocorrelationSumsFft(centered, max_lag);
+    // out[0] is the sum of squared deviations computed by the same
+    // transform, so r_0 normalises to exactly 1.
+    const double denom = out[0];
+    if (denom <= 0.0)
+        return std::vector<double>(max_lag + 1, 0.0);
+    for (double& v : out)
+        v /= denom;
+    return out;
+}
+
+std::vector<double>
+autocorrelogram(const std::vector<double>& series, std::size_t max_lag)
+{
+    const std::size_t n = series.size();
+    if (n >= kFftAutocorrMinSeries &&
+        n * (max_lag + 1) >= kFftAutocorrOpsThreshold)
+        return autocorrelogramFft(series, max_lag);
+    return autocorrelogramNaive(series, max_lag);
 }
 
 std::vector<AutocorrPeak>

@@ -33,9 +33,31 @@ double autocorrelationAt(const std::vector<double>& series,
 /**
  * An autocorrelogram: coefficients for lags 0..maxLag (inclusive).
  * r_0 is 1 by definition for a non-degenerate series.
+ *
+ * Dispatches between the direct O(N·L) evaluation and the FFT-based
+ * O(N log N) Wiener-Khinchin evaluation: the FFT path is taken when
+ * the series has at least kFftAutocorrMinSeries samples and the
+ * direct op count n·(max_lag+1) reaches kFftAutocorrOpsThreshold.
+ * Both paths agree within ~1e-12 per coefficient.
  */
 std::vector<double> autocorrelogram(const std::vector<double>& series,
                                     std::size_t max_lag);
+
+/** Direct O(N·L) correlogram (the dispatch fallback; also the
+ *  reference implementation for verification). */
+std::vector<double> autocorrelogramNaive(
+    const std::vector<double>& series, std::size_t max_lag);
+
+/** FFT-based O(N log N) correlogram via Wiener-Khinchin. */
+std::vector<double> autocorrelogramFft(
+    const std::vector<double>& series, std::size_t max_lag);
+
+/** Minimum series length before the FFT path is considered. */
+constexpr std::size_t kFftAutocorrMinSeries = 256;
+
+/** Direct-path op count n·(max_lag+1) above which FFT wins.  Below
+ *  this the padded transforms cost more than the double loop. */
+constexpr std::size_t kFftAutocorrOpsThreshold = std::size_t{1} << 18;
 
 /** A detected autocorrelogram peak. */
 struct AutocorrPeak

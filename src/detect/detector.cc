@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace cchunter
 {
@@ -33,8 +34,8 @@ OscillationVerdict::summary() const
     return os.str();
 }
 
-CCHunter::CCHunter(CCHunterParams params)
-    : params_(params)
+CCHunter::CCHunter(CCHunterParams params, ThreadPool* pool)
+    : params_(params), pool_(pool)
 {
 }
 
@@ -46,19 +47,29 @@ CCHunter::analyzeContention(const std::vector<Histogram>& quanta) const
         return out;
 
     BurstDetector detector(params_.clustering.burst);
-    out.perQuantum.reserve(quanta.size());
     Histogram merged(quanta.front().numBins());
-    for (const auto& h : quanta) {
+    for (const auto& h : quanta)
         merged.merge(h);
-        BurstAnalysis ba = detector.analyze(h);
+
+    // Per-quantum burst scans are independent; fan them out and write
+    // results by index so the output matches the serial order.
+    out.perQuantum.resize(quanta.size());
+    auto scanQuantum = [&](std::size_t i) {
+        out.perQuantum[i] = detector.analyze(quanta[i]);
+    };
+    if (pool_ && quanta.size() > 1) {
+        pool_->parallelFor(quanta.size(), scanQuantum);
+    } else {
+        for (std::size_t i = 0; i < quanta.size(); ++i)
+            scanQuantum(i);
+    }
+    for (const auto& ba : out.perQuantum)
         if (ba.significant)
             ++out.significantQuanta;
-        out.perQuantum.push_back(std::move(ba));
-    }
     out.combined = detector.analyze(merged);
 
     PatternClusteringAnalyzer clusterer(params_.clustering);
-    out.recurrence = clusterer.analyze(quanta);
+    out.recurrence = clusterer.analyze(quanta, pool_);
 
     // A channel is flagged when significant bursts exist and recur.
     // With a single quantum of data, the per-quantum significance alone
@@ -89,17 +100,32 @@ CCHunter::analyzeOscillationWindowed(
 {
     if (num_windows == 0)
         fatal("analyzeOscillationWindowed: need at least one window");
-    OscillationVerdict best;
     const std::size_t n = label_series.size();
     const std::size_t win = std::max<std::size_t>(1, n / num_windows);
-    for (std::size_t w = 0; w < num_windows; ++w) {
+    std::size_t windows = 0;
+    while (windows < num_windows && windows * win < n)
+        ++windows;
+    if (windows == 0)
+        return OscillationVerdict{};
+
+    std::vector<OscillationVerdict> verdicts(windows);
+    auto analyzeWindow = [&](std::size_t w) {
         const std::size_t lo = w * win;
-        if (lo >= n)
-            break;
         const std::size_t hi = std::min(n, lo + win);
         std::vector<double> sub(label_series.begin() + lo,
                                 label_series.begin() + hi);
-        OscillationVerdict v = analyzeOscillation(sub);
+        verdicts[w] = analyzeOscillation(sub);
+    };
+    if (pool_ && windows > 1) {
+        pool_->parallelFor(windows, analyzeWindow);
+    } else {
+        for (std::size_t w = 0; w < windows; ++w)
+            analyzeWindow(w);
+    }
+
+    // Reduce in window order: identical selection to the serial scan.
+    OscillationVerdict best;
+    for (auto& v : verdicts) {
         const bool better =
             (v.detected && !best.detected) ||
             (v.detected == best.detected &&

@@ -75,7 +75,14 @@ struct CCHunterParams
 class CCHunter
 {
   public:
-    explicit CCHunter(CCHunterParams params = {});
+    /**
+     * An optional thread pool fans out the independent pieces of each
+     * analysis (per-quantum burst scans, k-means candidate counts,
+     * oscillation sub-windows).  Results are identical to the serial
+     * path; the pool must outlive the hunter.
+     */
+    explicit CCHunter(CCHunterParams params = {},
+                      ThreadPool* pool = nullptr);
 
     /** Run the recurrent-burst pipeline over a window of quanta. */
     ContentionVerdict analyzeContention(
@@ -101,6 +108,7 @@ class CCHunter
 
   private:
     CCHunterParams params_;
+    ThreadPool* pool_ = nullptr;
 };
 
 } // namespace cchunter

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace cchunter
 {
@@ -62,28 +63,18 @@ seedCentroids(const std::vector<std::vector<double>>& points,
     return centroids;
 }
 
-} // namespace
-
+/** One complete k-means run from a single seed. */
 KMeansResult
-kmeans(const std::vector<std::vector<double>>& points,
-       const KMeansParams& params)
+runFromSeed(const std::vector<std::vector<double>>& points,
+            std::size_t k, std::size_t dim, unsigned max_iterations,
+            std::uint64_t seed)
 {
     KMeansResult result;
-    if (points.empty())
-        return result;
-    const std::size_t dim = points[0].size();
-    for (const auto& p : points)
-        if (p.size() != dim)
-            fatal("kmeans: inconsistent point dimensions");
-    const std::size_t k = std::min(params.k, points.size());
-    if (k == 0)
-        fatal("kmeans: k must be positive");
-
-    Rng rng(params.seed);
+    Rng rng(seed);
     result.centroids = seedCentroids(points, k, rng);
     result.assignments.assign(points.size(), 0);
 
-    for (unsigned iter = 0; iter < params.maxIterations; ++iter) {
+    for (unsigned iter = 0; iter < max_iterations; ++iter) {
         result.iterations = iter + 1;
         bool changed = false;
         // Assignment step.
@@ -135,8 +126,10 @@ kmeans(const std::vector<std::vector<double>>& points,
                 result.centroids[c][d] =
                     sums[c][d] / static_cast<double>(counts[c]);
         }
-        if (!changed)
+        if (!changed) {
+            result.converged = true;
             break;
+        }
     }
 
     result.clusterSizes.assign(k, 0);
@@ -148,6 +141,44 @@ kmeans(const std::vector<std::vector<double>>& points,
             squaredDistance(points[i], result.centroids[c]);
     }
     return result;
+}
+
+} // namespace
+
+KMeansResult
+kmeans(const std::vector<std::vector<double>>& points,
+       const KMeansParams& params, ThreadPool* pool)
+{
+    if (points.empty())
+        return KMeansResult{};
+    const std::size_t dim = points[0].size();
+    for (const auto& p : points)
+        if (p.size() != dim)
+            fatal("kmeans: inconsistent point dimensions");
+    const std::size_t k = std::min(params.k, points.size());
+    if (k == 0)
+        fatal("kmeans: k must be positive");
+
+    const unsigned restarts = std::max(1u, params.restarts);
+    std::vector<KMeansResult> runs(restarts);
+    auto oneRestart = [&](std::size_t r) {
+        runs[r] = runFromSeed(points, k, dim, params.maxIterations,
+                              params.seed + r);
+    };
+    if (pool && restarts > 1) {
+        pool->parallelFor(restarts, oneRestart);
+    } else {
+        for (std::size_t r = 0; r < restarts; ++r)
+            oneRestart(r);
+    }
+
+    // Lowest inertia wins; ties break towards the earliest restart so
+    // the winner does not depend on completion order.
+    std::size_t best = 0;
+    for (std::size_t r = 1; r < restarts; ++r)
+        if (runs[r].inertia < runs[best].inertia)
+            best = r;
+    return std::move(runs[best]);
 }
 
 double
@@ -200,7 +231,8 @@ silhouetteScore(const std::vector<std::vector<double>>& points,
 
 KMeansResult
 kmeansAuto(const std::vector<std::vector<double>>& points,
-           std::size_t max_k, std::uint64_t seed)
+           std::size_t max_k, std::uint64_t seed, ThreadPool* pool,
+           unsigned restarts)
 {
     KMeansResult best;
     if (points.empty())
@@ -213,19 +245,35 @@ kmeansAuto(const std::vector<std::vector<double>>& points,
         KMeansParams p;
         p.k = 1;
         p.seed = seed;
-        return kmeans(points, p);
+        p.restarts = restarts;
+        return kmeans(points, p, pool);
+    }
+
+    // Each candidate k is independent; fan them out, then select in
+    // ascending-k order exactly as the serial scan would.
+    const std::size_t candidates = limit - 1;
+    std::vector<KMeansResult> runs(candidates);
+    std::vector<double> scores(candidates, -2.0);
+    auto oneCandidate = [&](std::size_t idx) {
+        KMeansParams p;
+        p.k = idx + 2;
+        p.seed = seed + p.k;
+        p.restarts = restarts;
+        runs[idx] = kmeans(points, p); // serial inside: no nested fan-out
+        scores[idx] = silhouetteScore(points, runs[idx]);
+    };
+    if (pool && candidates > 1) {
+        pool->parallelFor(candidates, oneCandidate);
+    } else {
+        for (std::size_t idx = 0; idx < candidates; ++idx)
+            oneCandidate(idx);
     }
 
     double best_score = -2.0;
-    for (std::size_t k = 2; k <= limit; ++k) {
-        KMeansParams p;
-        p.k = k;
-        p.seed = seed + k;
-        KMeansResult r = kmeans(points, p);
-        const double score = silhouetteScore(points, r);
-        if (score > best_score) {
-            best_score = score;
-            best = std::move(r);
+    for (std::size_t idx = 0; idx < candidates; ++idx) {
+        if (scores[idx] > best_score) {
+            best_score = scores[idx];
+            best = std::move(runs[idx]);
         }
     }
     return best;

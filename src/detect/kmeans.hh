@@ -15,6 +15,8 @@
 namespace cchunter
 {
 
+class ThreadPool;
+
 /** Result of one k-means run. */
 struct KMeansResult
 {
@@ -32,6 +34,9 @@ struct KMeansResult
 
     /** Iterations executed before convergence (or the iteration cap). */
     unsigned iterations = 0;
+
+    /** Assignments went stable before the iteration cap (early exit). */
+    bool converged = false;
 };
 
 /** Parameters for k-means. */
@@ -40,22 +45,39 @@ struct KMeansParams
     std::size_t k = 4;           //!< number of clusters
     unsigned maxIterations = 64; //!< convergence cap
     std::uint64_t seed = 42;     //!< k-means++ seeding RNG
+
+    /**
+     * Independent k-means++ restarts; restart r seeds its own
+     * Rng(seed + r) and the run with the lowest inertia wins (ties
+     * break towards the lowest r).  Each restart's stream is
+     * self-contained, so serial and pool-parallel execution produce
+     * bit-identical results.
+     */
+    unsigned restarts = 1;
 };
 
 /**
  * Run k-means with k-means++ initialisation on row-major points.
- * Empty clusters are re-seeded from the farthest point.
+ * Empty clusters are re-seeded from the farthest point.  Iteration
+ * stops early once assignments are stable.  When a pool is given and
+ * params.restarts > 1, restarts run concurrently.
  */
 KMeansResult kmeans(const std::vector<std::vector<double>>& points,
-                    const KMeansParams& params);
+                    const KMeansParams& params,
+                    ThreadPool* pool = nullptr);
 
 /**
  * Select a cluster count in [2, max_k] by maximising the mean silhouette
  * score, and return the corresponding clustering.  Falls back to k = 1
- * when there are fewer than two distinct points.
+ * when there are fewer than two distinct points.  When a pool is given,
+ * the candidate cluster counts are evaluated concurrently (the inner
+ * kmeans runs stay serial); the selection is identical to the serial
+ * scan.
  */
 KMeansResult kmeansAuto(const std::vector<std::vector<double>>& points,
-                        std::size_t max_k, std::uint64_t seed = 42);
+                        std::size_t max_k, std::uint64_t seed = 42,
+                        ThreadPool* pool = nullptr,
+                        unsigned restarts = 1);
 
 /** Mean silhouette score of a clustering in [-1, 1]. */
 double silhouetteScore(const std::vector<std::vector<double>>& points,

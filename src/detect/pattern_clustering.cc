@@ -19,7 +19,7 @@ PatternClusteringAnalyzer::PatternClusteringAnalyzer(
 
 PatternClusteringResult
 PatternClusteringAnalyzer::analyze(
-        const std::vector<Histogram>& quanta) const
+        const std::vector<Histogram>& quanta, ThreadPool* pool) const
 {
     PatternClusteringResult out;
     if (quanta.empty())
@@ -90,7 +90,8 @@ PatternClusteringAnalyzer::analyze(
 
     // Step 2: aggregate similar strings with k-means.
     out.clustering = kmeansAuto(features, params_.maxClusters,
-                                params_.seed);
+                                params_.seed, pool,
+                                params_.kmeansRestarts);
     const std::size_t k = out.clustering.centroids.size();
     if (k == 0)
         return out;

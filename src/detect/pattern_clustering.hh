@@ -59,6 +59,10 @@ struct PatternClusteringParams
      * reduction (cluster on all 128 bins).
      */
     std::size_t maxFeatureDims = 16;
+
+    /** Independent k-means++ restarts per candidate cluster count
+     *  (see KMeansParams::restarts). */
+    unsigned kmeansRestarts = 1;
 };
 
 /** Outcome of recurrence analysis over a window of quanta. */
@@ -104,10 +108,13 @@ class PatternClusteringAnalyzer
 
     /**
      * Analyse one window of per-quantum histograms.  Only the most
-     * recent windowQuanta histograms are considered.
+     * recent windowQuanta histograms are considered.  A pool, when
+     * given, fans out the candidate cluster counts of the k-means
+     * search; the result is identical to the serial path.
      */
     PatternClusteringResult analyze(
-        const std::vector<Histogram>& quanta) const;
+        const std::vector<Histogram>& quanta,
+        ThreadPool* pool = nullptr) const;
 
     const PatternClusteringParams& params() const { return params_; }
 

@@ -1,0 +1,144 @@
+#include "util/fft.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+std::size_t
+nextPowerOfTwo(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+namespace
+{
+
+bool
+isPowerOfTwo(std::size_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+} // namespace
+
+void
+fftInPlace(std::vector<std::complex<double>>& a, bool inverse)
+{
+    const std::size_t n = a.size();
+    if (!isPowerOfTwo(n))
+        fatal("fftInPlace: size must be a power of two");
+    if (n == 1)
+        return;
+
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(a[i], a[j]);
+    }
+
+    // Butterflies, doubling the transform length each stage.
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double angle = (inverse ? 2.0 : -2.0) * M_PI /
+                             static_cast<double>(len);
+        const std::complex<double> wlen(std::cos(angle),
+                                        std::sin(angle));
+        for (std::size_t i = 0; i < n; i += len) {
+            std::complex<double> w(1.0, 0.0);
+            for (std::size_t j = 0; j < len / 2; ++j) {
+                const std::complex<double> u = a[i + j];
+                const std::complex<double> v = a[i + j + len / 2] * w;
+                a[i + j] = u + v;
+                a[i + j + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+
+    if (inverse) {
+        const double scale = 1.0 / static_cast<double>(n);
+        for (auto& v : a)
+            v *= scale;
+    }
+}
+
+std::vector<std::complex<double>>
+realFft(const std::vector<double>& x)
+{
+    const std::size_t n = x.size();
+    if (n < 2 || !isPowerOfTwo(n))
+        fatal("realFft: size must be a power of two >= 2");
+    const std::size_t m = n / 2;
+
+    // Pack even samples into the real lane, odd into the imaginary.
+    std::vector<std::complex<double>> z(m);
+    for (std::size_t j = 0; j < m; ++j)
+        z[j] = std::complex<double>(x[2 * j], x[2 * j + 1]);
+    fftInPlace(z);
+
+    // Untangle the two interleaved half-length spectra:
+    //   X[k] = E[k] + e^{-2πik/N} O[k],  k = 0..N/2
+    // with E/O recovered from Z[k] and conj(Z[M-k]).
+    std::vector<std::complex<double>> out(m + 1);
+    const std::complex<double> half(0.5, 0.0);
+    const std::complex<double> minusHalfI(0.0, -0.5);
+    for (std::size_t k = 0; k <= m; ++k) {
+        const std::complex<double> zk = z[k % m];
+        const std::complex<double> zmk = std::conj(z[(m - k) % m]);
+        const std::complex<double> even = (zk + zmk) * half;
+        const std::complex<double> odd = (zk - zmk) * minusHalfI;
+        const double angle =
+            -2.0 * M_PI * static_cast<double>(k) /
+            static_cast<double>(n);
+        const std::complex<double> w(std::cos(angle),
+                                     std::sin(angle));
+        out[k] = even + w * odd;
+    }
+    return out;
+}
+
+std::vector<double>
+autocorrelationSumsFft(const std::vector<double>& x, std::size_t max_lag)
+{
+    std::vector<double> out(max_lag + 1, 0.0);
+    const std::size_t n = x.size();
+    if (n == 0)
+        return out;
+    // Lags >= n contribute nothing; only these need the transform.
+    const std::size_t top = std::min(max_lag, n - 1);
+
+    std::size_t padded = nextPowerOfTwo(n + top);
+    if (padded < 2)
+        padded = 2;
+    std::vector<double> buf(padded, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        buf[i] = x[i];
+
+    const auto spectrum = realFft(buf);
+
+    // Power spectrum, expanded to full length by conjugate symmetry.
+    // It is real and even, so its inverse DFT is Re(forward DFT)/N.
+    std::vector<double> power(padded, 0.0);
+    for (std::size_t k = 0; k < spectrum.size(); ++k) {
+        const double p = std::norm(spectrum[k]);
+        power[k] = p;
+        if (k != 0 && k != padded - k)
+            power[padded - k] = p;
+    }
+    const auto corr = realFft(power);
+    const double scale = 1.0 / static_cast<double>(padded);
+    for (std::size_t lag = 0; lag <= top; ++lag)
+        out[lag] = corr[lag].real() * scale;
+    return out;
+}
+
+} // namespace cchunter

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Dependency-free radix-2 FFT kernels.
+ *
+ * The detection analyses need full autocorrelograms of event trains
+ * that can reach 2^18+ samples per analysis window; the direct O(N·L)
+ * evaluation collapses at that scale.  These kernels provide the
+ * O(N log N) building blocks: an iterative in-place complex FFT, a
+ * real-input transform that packs the series into a half-length
+ * complex FFT, and a Wiener-Khinchin raw-autocorrelation helper that
+ * zero-pads to avoid circular wrap-around.
+ */
+
+#ifndef CCHUNTER_UTIL_FFT_HH
+#define CCHUNTER_UTIL_FFT_HH
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace cchunter
+{
+
+/** Smallest power of two >= n (returns 1 for n <= 1). */
+std::size_t nextPowerOfTwo(std::size_t n);
+
+/**
+ * In-place iterative radix-2 FFT.  The size must be a power of two
+ * (1 is allowed).  The inverse transform applies the 1/N scale, so
+ * fftInPlace(a); fftInPlace(a, true); is the identity up to roundoff.
+ */
+void fftInPlace(std::vector<std::complex<double>>& a,
+                bool inverse = false);
+
+/**
+ * Forward DFT of a real series of power-of-two length N >= 2, computed
+ * with one complex FFT of length N/2 (even samples packed into the
+ * real lane, odd samples into the imaginary lane).  Returns the
+ * non-redundant bins 0..N/2 inclusive; the remaining bins follow from
+ * conjugate symmetry X[N-k] = conj(X[k]).
+ */
+std::vector<std::complex<double>> realFft(const std::vector<double>& x);
+
+/**
+ * Raw (unnormalised) autocorrelation sums via Wiener-Khinchin:
+ *
+ *   out[lag] = sum_{i=0}^{n-1-lag} x[i] * x[i+lag],  lag = 0..max_lag
+ *
+ * The series is zero-padded to the next power of two >= n + max_lag
+ * so the circular correlation of the padded series equals the linear
+ * correlation of the original.  Lags >= n are exactly zero.  Cost is
+ * O(N log N) in the padded length, independent of max_lag.
+ */
+std::vector<double> autocorrelationSumsFft(const std::vector<double>& x,
+                                           std::size_t max_lag);
+
+} // namespace cchunter
+
+#endif // CCHUNTER_UTIL_FFT_HH

@@ -130,6 +130,51 @@ TEST(OnlineAnalysisTest, BenignPairNeverAlarms)
     EXPECT_EQ(daemon.firstAlarmQuantum(0), SIZE_MAX);
 }
 
+/** Run the divider trojan/spy scenario and return the alarm stream. */
+std::vector<Alarm>
+runDividerScenario(std::size_t analysis_threads)
+{
+    Machine m(smallMachine());
+    Rng rng(1);
+    DividerTrojanParams tp;
+    tp.timing = fastTiming();
+    tp.message = Message::random64(rng);
+    m.addProcess(std::make_unique<DividerTrojan>(tp), 0);
+    DividerSpyParams sp;
+    sp.timing = fastTiming();
+    m.addProcess(std::make_unique<DividerSpy>(sp), 1);
+    m.addProcess(makeBenchmark("mcf", 5));
+
+    CCAuditor auditor(m);
+    const AuditKey key = requestAuditKey(true);
+    auditor.monitorDivider(key, 0, 0);
+    auditor.monitorBus(key, 1);
+    AuditDaemon daemon(m, auditor);
+
+    OnlineAnalysisParams params;
+    params.clusteringIntervalQuanta = 4;
+    params.analysisThreads = analysis_threads;
+    daemon.enableOnlineAnalysis(params);
+    m.runQuanta(8);
+    return daemon.alarms();
+}
+
+TEST(OnlineAnalysisTest, ParallelFanOutMatchesSerialAlarms)
+{
+    // The fan-out across monitored units must leave the alarm stream
+    // bit-identical to the serial path: same alarms, same order.
+    const auto serial = runDividerScenario(1);
+    const auto parallel = runDividerScenario(4);
+    ASSERT_FALSE(serial.empty());
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(parallel[i].slot, serial[i].slot);
+        EXPECT_EQ(parallel[i].when, serial[i].when);
+        EXPECT_EQ(parallel[i].quantum, serial[i].quantum);
+        EXPECT_EQ(parallel[i].summary, serial[i].summary);
+    }
+}
+
 TEST(OnlineAnalysisTest, InvalidIntervalThrows)
 {
     Machine m(smallMachine());

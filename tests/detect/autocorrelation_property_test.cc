@@ -93,6 +93,81 @@ TEST_P(AutocorrPropertyTest, PeriodicSeriesPeaksAtMultiples)
 INSTANTIATE_TEST_SUITE_P(Seeds, AutocorrPropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5));
 
+TEST_P(AutocorrPropertyTest, FftMatchesNaiveOnRandomSeries)
+{
+    // Non-power-of-two length exercises the transform padding.
+    const auto s = randomSeries(GetParam() + 500, 3001);
+    const std::size_t max_lag = 777;
+    const auto naive = autocorrelogramNaive(s, max_lag);
+    const auto fft = autocorrelogramFft(s, max_lag);
+    ASSERT_EQ(fft.size(), naive.size());
+    for (std::size_t lag = 0; lag <= max_lag; ++lag)
+        EXPECT_NEAR(fft[lag], naive[lag], 1e-9) << "lag=" << lag;
+}
+
+TEST_P(AutocorrPropertyTest, FftMatchesNaiveOnPeriodicSeries)
+{
+    Rng rng(GetParam() + 600);
+    const std::size_t period = 16 + rng.nextBelow(200);
+    std::vector<double> s;
+    for (std::size_t i = 0; i < 4096; ++i)
+        s.push_back((i % period) < period / 2 ? 1.0 : 0.0);
+    const auto naive = autocorrelogramNaive(s, 1000);
+    const auto fft = autocorrelogramFft(s, 1000);
+    for (std::size_t lag = 0; lag < naive.size(); ++lag)
+        EXPECT_NEAR(fft[lag], naive[lag], 1e-9) << "lag=" << lag;
+}
+
+TEST(AutocorrFftEquivalenceTest, ConstantSeriesBothAllZero)
+{
+    const std::vector<double> s(2048, 3.25);
+    const auto naive = autocorrelogramNaive(s, 400);
+    const auto fft = autocorrelogramFft(s, 400);
+    ASSERT_EQ(fft.size(), naive.size());
+    for (std::size_t lag = 0; lag < naive.size(); ++lag) {
+        EXPECT_DOUBLE_EQ(naive[lag], 0.0);
+        EXPECT_DOUBLE_EQ(fft[lag], 0.0);
+    }
+}
+
+TEST(AutocorrFftEquivalenceTest, LagZeroIsExactlyOneOnFftPath)
+{
+    const auto s = randomSeries(901, 5000);
+    const auto fft = autocorrelogramFft(s, 100);
+    EXPECT_DOUBLE_EQ(fft[0], 1.0);
+}
+
+TEST(AutocorrFftEquivalenceTest, MaxLagBeyondSeriesLength)
+{
+    const auto s = randomSeries(902, 500);
+    const auto naive = autocorrelogramNaive(s, 600);
+    const auto fft = autocorrelogramFft(s, 600);
+    ASSERT_EQ(fft.size(), 601u);
+    for (std::size_t lag = 0; lag <= 600; ++lag)
+        EXPECT_NEAR(fft[lag], naive[lag], 1e-9) << "lag=" << lag;
+    // Lags past the series length are exactly zero on both paths.
+    for (std::size_t lag = 500; lag <= 600; ++lag)
+        EXPECT_DOUBLE_EQ(fft[lag], 0.0);
+}
+
+TEST(AutocorrFftEquivalenceTest, DispatcherUsesFftAboveThreshold)
+{
+    // Above the op-count threshold the public entry point must return
+    // the FFT result bit-for-bit.
+    const auto s = randomSeries(903, 40000);
+    const auto dispatched = autocorrelogram(s, 1000);
+    const auto fft = autocorrelogramFft(s, 1000);
+    EXPECT_EQ(dispatched, fft);
+}
+
+TEST(AutocorrFftEquivalenceTest, DispatcherUsesNaiveBelowThreshold)
+{
+    const auto s = randomSeries(904, 100);
+    const auto dispatched = autocorrelogram(s, 50);
+    const auto naive = autocorrelogramNaive(s, 50);
+    EXPECT_EQ(dispatched, naive);
+}
+
 TEST(AutocorrPropertyTest2, WhiteNoiseStaysNearZeroEverywhere)
 {
     const auto s = randomSeries(777, 20000);

@@ -126,6 +126,85 @@ TEST(FindPeaksTest, EmptyCorrelogram)
     EXPECT_TRUE(findPeaks({}, 0.1).empty());
 }
 
+TEST(FindPeaksTest, AllZeroCorrelogramHasNoPeaks)
+{
+    // A degenerate (constant) series yields an all-zero correlogram;
+    // even a floor of 0.0 must not manufacture peaks from the flat line.
+    std::vector<double> gram(200, 0.0);
+    EXPECT_TRUE(findPeaks(gram, 0.0).empty());
+    EXPECT_TRUE(findPeaks(gram, 0.5).empty());
+}
+
+TEST(FindPeaksTest, InteriorPlateauReportsFirstSampleOnly)
+{
+    std::vector<double> gram{0.0, 0.2, 0.9, 0.9, 0.9, 0.2, 0.0};
+    auto peaks = findPeaks(gram, 0.5, 1);
+    ASSERT_EQ(peaks.size(), 1u);
+    EXPECT_EQ(peaks[0].lag, 2u);
+    EXPECT_DOUBLE_EQ(peaks[0].value, 0.9);
+}
+
+TEST(FindPeaksTest, PlateauTouchingUpperBoundaryCounts)
+{
+    // The flat top runs into the last sample; its first sample is
+    // still an interior local maximum and must be reported.
+    std::vector<double> gram{0.0, 0.1, 0.8, 0.8};
+    auto peaks = findPeaks(gram, 0.5, 1);
+    ASSERT_EQ(peaks.size(), 1u);
+    EXPECT_EQ(peaks[0].lag, 2u);
+}
+
+TEST(FindPeaksTest, PlateauStartingAtLagZeroExcluded)
+{
+    // Lag 0 is excluded by definition, and lag 1 continues a plateau
+    // that started there, so no peak may be reported.
+    std::vector<double> gram{0.9, 0.9, 0.1, 0.0};
+    EXPECT_TRUE(findPeaks(gram, 0.5, 1).empty());
+}
+
+TEST(FindPeaksTest, PeakAtLastInteriorLag)
+{
+    std::vector<double> gram{0.0, 0.1, 0.2, 0.9, 0.3};
+    auto peaks = findPeaks(gram, 0.5, 1);
+    ASSERT_EQ(peaks.size(), 1u);
+    EXPECT_EQ(peaks[0].lag, 3u);
+}
+
+TEST(FindPeaksTest, MinSeparationTieKeepsEarlierPeak)
+{
+    // Two equal-valued maxima 3 lags apart with min_separation 8: the
+    // replacement rule is strictly-greater, so the earlier lag wins.
+    std::vector<double> gram{0.0, 0.2, 0.9, 0.3, 0.9, 0.1, 0.0};
+    auto peaks = findPeaks(gram, 0.5, 8);
+    ASSERT_EQ(peaks.size(), 1u);
+    EXPECT_EQ(peaks[0].lag, 2u);
+    EXPECT_DOUBLE_EQ(peaks[0].value, 0.9);
+}
+
+TEST(FindPeaksTest, ExactlyMinSeparationApartKeepsBoth)
+{
+    // Peaks at lags 2 and 10 with min_separation 8: the gap equals the
+    // minimum, which the rule (gap < min) allows.
+    std::vector<double> gram{0.0, 0.1, 0.9, 0.1, 0.0, 0.0,
+                             0.0, 0.0, 0.1, 0.2, 0.8, 0.1, 0.0};
+    auto peaks = findPeaks(gram, 0.5, 8);
+    ASSERT_EQ(peaks.size(), 2u);
+    EXPECT_EQ(peaks[0].lag, 2u);
+    EXPECT_EQ(peaks[1].lag, 10u);
+}
+
+TEST(FindPeaksTest, ChainOfClosePeaksKeepsRunningMaximum)
+{
+    // Successive near peaks within min_separation collapse onto the
+    // strongest seen so far.
+    std::vector<double> gram{0.0, 0.6, 0.1, 0.7, 0.1, 0.95,
+                             0.1, 0.65, 0.0};
+    auto peaks = findPeaks(gram, 0.5, 8);
+    ASSERT_EQ(peaks.size(), 1u);
+    EXPECT_EQ(peaks[0].lag, 5u);
+    EXPECT_DOUBLE_EQ(peaks[0].value, 0.95);
+}
+
 /** Period sweep mirroring the paper's cache-set sensitivity study. */
 class PeriodSweepTest : public ::testing::TestWithParam<std::size_t>
 {

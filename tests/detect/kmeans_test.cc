@@ -4,6 +4,7 @@
 
 #include "detect/kmeans.hh"
 #include "util/rng.hh"
+#include "util/thread_pool.hh"
 
 namespace cchunter
 {
@@ -126,6 +127,77 @@ TEST(KMeansAutoTest, AllIdenticalFallsBackToOne)
     std::vector<std::vector<double>> pts(10, {2.0});
     auto r = kmeansAuto(pts, 6);
     EXPECT_EQ(r.centroids.size(), 1u);
+}
+
+TEST(KMeansTest, EarlyExitConvergesBeforeIterationCap)
+{
+    auto pts = twoBlobs(50, 20.0, 8);
+    KMeansParams p;
+    p.k = 2;
+    p.maxIterations = 64;
+    auto r = kmeans(pts, p);
+    EXPECT_TRUE(r.converged);
+    EXPECT_LT(r.iterations, p.maxIterations);
+}
+
+TEST(KMeansTest, RestartsNeverWorsenInertia)
+{
+    auto pts = twoBlobs(60, 4.0, 9);
+    KMeansParams one;
+    one.k = 4;
+    one.seed = 5;
+    KMeansParams many = one;
+    many.restarts = 8;
+    const auto single = kmeans(pts, one);
+    const auto multi = kmeans(pts, many);
+    // Restart 0 replays the single run, so the best of 8 restarts can
+    // only match or beat it.
+    EXPECT_LE(multi.inertia, single.inertia);
+}
+
+TEST(KMeansTest, SingleRestartUnchangedByRestartsField)
+{
+    // restarts = 1 must reproduce the historical single-run behaviour.
+    auto pts = twoBlobs(30, 6.0, 10);
+    KMeansParams p;
+    p.k = 3;
+    p.seed = 21;
+    KMeansParams q = p;
+    q.restarts = 1;
+    const auto a = kmeans(pts, p);
+    const auto b = kmeans(pts, q);
+    EXPECT_EQ(a.assignments, b.assignments);
+    EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeansTest, ParallelRestartsBitIdenticalToSerial)
+{
+    auto pts = twoBlobs(80, 3.0, 11);
+    KMeansParams p;
+    p.k = 5;
+    p.seed = 33;
+    p.restarts = 8;
+    const auto serial = kmeans(pts, p);
+    ThreadPool pool(4);
+    for (int rep = 0; rep < 3; ++rep) {
+        const auto parallel = kmeans(pts, p, &pool);
+        EXPECT_EQ(parallel.assignments, serial.assignments);
+        EXPECT_EQ(parallel.centroids, serial.centroids);
+        EXPECT_EQ(parallel.clusterSizes, serial.clusterSizes);
+        EXPECT_DOUBLE_EQ(parallel.inertia, serial.inertia);
+        EXPECT_EQ(parallel.iterations, serial.iterations);
+    }
+}
+
+TEST(KMeansAutoTest, ParallelSearchBitIdenticalToSerial)
+{
+    auto pts = twoBlobs(40, 8.0, 12);
+    const auto serial = kmeansAuto(pts, 6, 17);
+    ThreadPool pool(4);
+    const auto parallel = kmeansAuto(pts, 6, 17, &pool);
+    EXPECT_EQ(parallel.assignments, serial.assignments);
+    EXPECT_EQ(parallel.centroids, serial.centroids);
+    EXPECT_DOUBLE_EQ(parallel.inertia, serial.inertia);
 }
 
 TEST(SilhouetteTest, WellSeparatedBlobsScoreHigh)

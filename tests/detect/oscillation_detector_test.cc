@@ -122,6 +122,34 @@ TEST(OscillationDetectorTest, CorrelogramSizeIsMaxLagPlusOne)
     EXPECT_EQ(a.correlogram.size(), 101u);
 }
 
+TEST(OscillationDetectorTest, PeaksMatchPerLagReference)
+{
+    // Regression for the single-pass correlogram wiring: the peaks the
+    // detector reports must equal those found on a correlogram built
+    // lag by lag with autocorrelationAt (the old per-lag evaluation),
+    // including at FFT-path series lengths.
+    for (std::size_t cycles : {40u, 200u}) {
+        const auto s = squareWave(96, cycles, 0.03, 5);
+        OscillationDetector d;
+        const auto a = d.analyze(s);
+
+        std::vector<double> reference;
+        reference.reserve(d.params().maxLag + 1);
+        for (std::size_t lag = 0; lag <= d.params().maxLag; ++lag)
+            reference.push_back(autocorrelationAt(s, lag));
+        const auto expected =
+            findPeaks(reference, d.params().peakThreshold,
+                      d.params().minPeakSeparation);
+
+        ASSERT_EQ(a.peaks.size(), expected.size())
+            << "cycles=" << cycles;
+        for (std::size_t i = 0; i < expected.size(); ++i) {
+            EXPECT_EQ(a.peaks[i].lag, expected[i].lag);
+            EXPECT_NEAR(a.peaks[i].value, expected[i].value, 1e-9);
+        }
+    }
+}
+
 /** Sweep mirroring figure 13: the dominant lag tracks the set count. */
 class SetCountSweep : public ::testing::TestWithParam<std::size_t>
 {

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "util/fft.hh"
+#include "util/rng.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+std::vector<double>
+randomSeries(std::uint64_t seed, std::size_t n)
+{
+    Rng rng(seed);
+    std::vector<double> s;
+    s.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        s.push_back(rng.nextGaussian(0.0, 1.0));
+    return s;
+}
+
+/** O(N^2) reference DFT. */
+std::vector<std::complex<double>>
+naiveDft(const std::vector<std::complex<double>>& a)
+{
+    const std::size_t n = a.size();
+    std::vector<std::complex<double>> out(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        std::complex<double> s(0.0, 0.0);
+        for (std::size_t j = 0; j < n; ++j) {
+            const double angle = -2.0 * M_PI *
+                                 static_cast<double>(k * j) /
+                                 static_cast<double>(n);
+            s += a[j] * std::complex<double>(std::cos(angle),
+                                             std::sin(angle));
+        }
+        out[k] = s;
+    }
+    return out;
+}
+
+TEST(NextPowerOfTwoTest, Basics)
+{
+    EXPECT_EQ(nextPowerOfTwo(0), 1u);
+    EXPECT_EQ(nextPowerOfTwo(1), 1u);
+    EXPECT_EQ(nextPowerOfTwo(2), 2u);
+    EXPECT_EQ(nextPowerOfTwo(3), 4u);
+    EXPECT_EQ(nextPowerOfTwo(1024), 1024u);
+    EXPECT_EQ(nextPowerOfTwo(1025), 2048u);
+}
+
+TEST(FftTest, MatchesNaiveDft)
+{
+    Rng rng(11);
+    std::vector<std::complex<double>> a;
+    for (int i = 0; i < 64; ++i)
+        a.emplace_back(rng.nextGaussian(0.0, 1.0),
+                       rng.nextGaussian(0.0, 1.0));
+    auto expected = naiveDft(a);
+    auto actual = a;
+    fftInPlace(actual);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t k = 0; k < actual.size(); ++k) {
+        EXPECT_NEAR(actual[k].real(), expected[k].real(), 1e-9);
+        EXPECT_NEAR(actual[k].imag(), expected[k].imag(), 1e-9);
+    }
+}
+
+TEST(FftTest, RoundTripIsIdentity)
+{
+    Rng rng(12);
+    std::vector<std::complex<double>> a;
+    for (int i = 0; i < 256; ++i)
+        a.emplace_back(rng.nextDouble(), rng.nextDouble());
+    auto b = a;
+    fftInPlace(b);
+    fftInPlace(b, true);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_NEAR(b[i].real(), a[i].real(), 1e-10);
+        EXPECT_NEAR(b[i].imag(), a[i].imag(), 1e-10);
+    }
+}
+
+TEST(FftTest, SizeOneIsNoop)
+{
+    std::vector<std::complex<double>> a{{3.0, -1.0}};
+    fftInPlace(a);
+    EXPECT_DOUBLE_EQ(a[0].real(), 3.0);
+    EXPECT_DOUBLE_EQ(a[0].imag(), -1.0);
+}
+
+TEST(FftTest, NonPowerOfTwoThrows)
+{
+    std::vector<std::complex<double>> a(3);
+    EXPECT_ANY_THROW(fftInPlace(a));
+}
+
+TEST(RealFftTest, MatchesComplexFft)
+{
+    const auto x = randomSeries(21, 128);
+    std::vector<std::complex<double>> full(x.begin(), x.end());
+    fftInPlace(full);
+    const auto half = realFft(x);
+    ASSERT_EQ(half.size(), 65u);
+    for (std::size_t k = 0; k < half.size(); ++k) {
+        EXPECT_NEAR(half[k].real(), full[k].real(), 1e-9) << "k=" << k;
+        EXPECT_NEAR(half[k].imag(), full[k].imag(), 1e-9) << "k=" << k;
+    }
+}
+
+TEST(RealFftTest, SmallestSize)
+{
+    const auto out = realFft({1.0, -1.0});
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_NEAR(out[0].real(), 0.0, 1e-12);
+    EXPECT_NEAR(out[1].real(), 2.0, 1e-12);
+}
+
+TEST(RealFftTest, OddSizeThrows)
+{
+    EXPECT_ANY_THROW(realFft({1.0, 2.0, 3.0}));
+}
+
+TEST(AutocorrelationSumsFftTest, MatchesDirectSums)
+{
+    // Deliberately not a power of two to exercise the padding.
+    const auto x = randomSeries(31, 300);
+    const std::size_t max_lag = 80;
+    const auto fft_sums = autocorrelationSumsFft(x, max_lag);
+    ASSERT_EQ(fft_sums.size(), max_lag + 1);
+    for (std::size_t lag = 0; lag <= max_lag; ++lag) {
+        double direct = 0.0;
+        for (std::size_t i = 0; i + lag < x.size(); ++i)
+            direct += x[i] * x[i + lag];
+        EXPECT_NEAR(fft_sums[lag], direct, 1e-8) << "lag=" << lag;
+    }
+}
+
+TEST(AutocorrelationSumsFftTest, LagsBeyondLengthAreZero)
+{
+    const auto sums = autocorrelationSumsFft({1.0, 2.0, 3.0}, 10);
+    ASSERT_EQ(sums.size(), 11u);
+    for (std::size_t lag = 3; lag <= 10; ++lag)
+        EXPECT_DOUBLE_EQ(sums[lag], 0.0);
+    EXPECT_NEAR(sums[0], 14.0, 1e-10);
+    EXPECT_NEAR(sums[1], 8.0, 1e-10);
+    EXPECT_NEAR(sums[2], 3.0, 1e-10);
+}
+
+TEST(AutocorrelationSumsFftTest, EmptyInputAllZero)
+{
+    const auto sums = autocorrelationSumsFft({}, 5);
+    ASSERT_EQ(sums.size(), 6u);
+    for (double v : sums)
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+} // namespace
+} // namespace cchunter
