@@ -32,6 +32,7 @@ main(int argc, char** argv)
                        "cache peak", "alarms"});
     unsigned total_alarms = 0;
     std::size_t count = 0;
+    PipelineStats pipeline;
 
     for (const auto& [a, b] : falseAlarmPairs()) {
         if (count++ >= max_pairs)
@@ -41,6 +42,7 @@ main(int argc, char** argv)
                                 r.dividerVerdict.detected +
                                 r.cacheVerdict.detected;
         total_alarms += alarms;
+        pipeline.accumulate(r.pipeline);
         table.addRow(
             {a + "+" + b,
              fmtDouble(r.busVerdict.combined.likelihoodRatio, 3),
@@ -57,5 +59,7 @@ main(int argc, char** argv)
                 "ratios below the 0.5 threshold\nand no sustained "
                 "autocorrelation periodicity)\n",
                 total_alarms);
+    std::printf("pipeline (all pairs): %s\n",
+                pipeline.summary().c_str());
     return total_alarms == 0 ? 0 : 1;
 }

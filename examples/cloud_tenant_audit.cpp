@@ -37,9 +37,10 @@ main(int argc, char** argv)
 
     std::printf("cloud tenant audit: prime+probe channel over %zu L2 "
                 "sets at %.0f bps,\nwith %u noisy-neighbour "
-                "processes\n\n",
+                "processes\n\neffective configuration:\n%s\n",
                 opts.channelSets, opts.bandwidthBps,
-                opts.noiseProcesses);
+                opts.noiseProcesses,
+                scenarioConfig(opts).dump().c_str());
 
     const CacheScenarioResult r = runCacheScenario(opts);
 
@@ -57,7 +58,8 @@ main(int argc, char** argv)
     plot.yFromZero = true;
     asciiPlot(std::cout, r.verdict.analysis.correlogram, plot);
 
-    std::printf("\nverdict: %s\n", r.verdict.summary().c_str());
+    std::printf("\nverdict:  %s\n", r.verdict.summary().c_str());
+    std::printf("pipeline: %s\n", r.pipeline.summary().c_str());
     std::printf("the dominant lag (%zu) tracks the number of channel "
                 "sets (%zu): the spy and trojan\nalternate evicting "
                 "each other once per set per bit.\n",

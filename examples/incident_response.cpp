@@ -129,6 +129,8 @@ main(int argc, char** argv)
     dumpProcessStats(machine, std::cout);
     std::printf("\n");
     dumpMachineStats(machine, std::cout);
+    dumpStatEntries(pipelineStatEntries(daemon.pipelineStats()),
+                    std::cout, "audit pipeline");
 
     const bool severed = !after.detected;
     std::printf("\nchannel severed: %s\n", severed ? "yes" : "no");

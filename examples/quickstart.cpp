@@ -72,6 +72,8 @@ main()
                 static_cast<unsigned long long>(
                     machine.divider(0).totalConflicts()));
     std::printf("verdict:        %s\n", verdict.summary().c_str());
+    std::printf("pipeline:       %s\n",
+                daemon.pipelineStats().summary().c_str());
     std::printf("\nCC-Hunter %s the covert timing channel "
                 "(likelihood ratio %.3f, threshold 0.5).\n",
                 verdict.detected ? "DETECTED" : "missed",

@@ -1,178 +1,120 @@
 #include "auditor/daemon.hh"
 
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
 #include "util/logging.hh"
 
 namespace cchunter
 {
 
-AuditDaemon::AuditDaemon(Machine& machine, CCAuditor& auditor)
-    : machine_(machine), auditor_(auditor)
+double
+PipelineStats::latencyMeanUs() const
 {
-    contention_.resize(auditor_.numSlots());
-    conflicts_.resize(auditor_.numSlots());
+    return analysesRun == 0
+               ? 0.0
+               : latencyTotalUs / static_cast<double>(analysesRun);
+}
+
+void
+PipelineStats::accumulate(const PipelineStats& other)
+{
+    drainedHistograms += other.drainedHistograms;
+    drainedConflicts += other.drainedConflicts;
+    evictedQuanta += other.evictedQuanta;
+    evictedConflicts += other.evictedConflicts;
+    batchesEnqueued += other.batchesEnqueued;
+    batchesDropped += other.batchesDropped;
+    queueDepthHighWater =
+        std::max(queueDepthHighWater, other.queueDepthHighWater);
+    if (other.analysesRun != 0) {
+        latencyMinUs = analysesRun == 0
+                           ? other.latencyMinUs
+                           : std::min(latencyMinUs, other.latencyMinUs);
+        latencyMaxUs = std::max(latencyMaxUs, other.latencyMaxUs);
+    }
+    analysesRun += other.analysesRun;
+    latencyTotalUs += other.latencyTotalUs;
+}
+
+std::string
+PipelineStats::summary() const
+{
+    std::ostringstream os;
+    os << "drained " << drainedHistograms << " hist / "
+       << drainedConflicts << " conflicts, evicted " << evictedQuanta
+       << " quanta / " << evictedConflicts << " conflicts, batches "
+       << batchesEnqueued << " (" << batchesDropped
+       << " dropped, queue hwm " << queueDepthHighWater
+       << "), analyses " << analysesRun;
+    if (analysesRun != 0) {
+        os.precision(1);
+        os << std::fixed << ", latency us min/mean/max "
+           << latencyMinUs << '/' << latencyMeanUs() << '/'
+           << latencyMaxUs;
+    }
+    return os.str();
+}
+
+std::vector<StatEntry>
+pipelineStatEntries(const PipelineStats& s, const std::string& prefix)
+{
+    std::vector<StatEntry> out;
+    auto add = [&](const char* name, double value, const char* desc) {
+        out.push_back(StatEntry{prefix + name, value, desc});
+    };
+    add("drained_histograms",
+        static_cast<double>(s.drainedHistograms),
+        "quantum histogram snapshots drained");
+    add("drained_conflicts", static_cast<double>(s.drainedConflicts),
+        "conflict records drained from vector registers");
+    add("evicted_quanta", static_cast<double>(s.evictedQuanta),
+        "histograms aged out of retention windows");
+    add("evicted_conflicts", static_cast<double>(s.evictedConflicts),
+        "conflict records aged out of retention windows");
+    add("batches_enqueued", static_cast<double>(s.batchesEnqueued),
+        "analysis batches handed to the consumer");
+    add("batches_dropped", static_cast<double>(s.batchesDropped),
+        "analysis batches shed under DropOldest overflow");
+    add("queue_depth_hwm", static_cast<double>(s.queueDepthHighWater),
+        "hand-off queue depth high-water mark");
+    add("analyses_run", static_cast<double>(s.analysesRun),
+        "online analysis passes completed");
+    add("latency_min_us", s.latencyMinUs,
+        "fastest analysis pass");
+    add("latency_mean_us", s.latencyMeanUs(),
+        "mean analysis pass");
+    add("latency_max_us", s.latencyMaxUs,
+        "slowest analysis pass");
+    return out;
+}
+
+AuditDaemon::AuditDaemon(Machine& machine, CCAuditor& auditor,
+                         DaemonRetention retention)
+    : machine_(machine), auditor_(auditor), retention_(retention)
+{
+    if (retention_.contentionQuanta == 0)
+        fatal("AuditDaemon: contention retention must be > 0");
+    if (retention_.conflictRecords == 0)
+        fatal("AuditDaemon: conflict-record retention must be > 0");
+    slots_.resize(auditor_.numSlots());
+    for (auto& st : slots_) {
+        st.window.setCapacity(retention_.contentionQuanta);
+        st.records.setCapacity(retention_.conflictRecords);
+    }
     machine_.scheduler().addQuantumObserver(
         [this](std::uint64_t q, Tick now) { onQuantum(q, now); });
     for (unsigned s = 0; s < auditor_.numSlots(); ++s)
         wireCacheSlot(s);
 }
 
-void
-AuditDaemon::wireCacheSlot(unsigned slot)
+AuditDaemon::~AuditDaemon()
 {
-    auto* vr = auditor_.vectorRegisters(slot);
-    if (!vr)
-        return;
-    vr->setDrainCallback(
-        [this, slot](const std::vector<ConflictMissEvent>& evs) {
-            for (const auto& ev : evs) {
-                ConflictRecord rec;
-                rec.time = ev.time;
-                rec.replacerContext = ev.replacer;
-                rec.victimContext = ev.victim;
-                rec.quantum = currentQuantum_;
-                if (ev.replacer != invalidContext &&
-                    ev.replacer < machine_.numContexts()) {
-                    if (Process* p = machine_.runningOn(ev.replacer))
-                        rec.replacerPid = p->pid();
-                }
-                if (ev.victim != invalidContext &&
-                    ev.victim < machine_.numContexts()) {
-                    if (Process* p = machine_.runningOn(ev.victim))
-                        rec.victimPid = p->pid();
-                }
-                conflicts_[slot].push_back(rec);
-            }
-        });
-}
-
-void
-AuditDaemon::onQuantum(std::uint64_t quantum_index, Tick now)
-{
-    for (unsigned s = 0; s < auditor_.numSlots(); ++s) {
-        if (!auditor_.slotActive(s))
-            continue;
-        // Slots may have been (re)programmed since construction; keep
-        // the drain callback wired (idempotent).
-        wireCacheSlot(s);
-        if (auto* hb = auditor_.histogramBuffer(s))
-            contention_[s].push_back(hb->snapshotAndReset(now));
-        if (auto* vr = auditor_.vectorRegisters(s))
-            vr->flush();
-    }
-    if (online_)
-        runOnlineAnalyses(quantum_index, now);
-    currentQuantum_ = quantum_index + 1;
-    ++quanta_;
-}
-
-void
-AuditDaemon::enableOnlineAnalysis(OnlineAnalysisParams params,
-                                  AlarmCallback callback)
-{
-    if (params.clusteringIntervalQuanta == 0)
-        fatal("enableOnlineAnalysis: clustering interval must be > 0");
-    online_ = true;
-    onlineParams_ = params;
-    alarmCallback_ = std::move(callback);
-    if (onlineParams_.analysisThreads != 1)
-        pool_ = std::make_unique<ThreadPool>(
-            onlineParams_.analysisThreads);
-    else
-        pool_.reset();
-}
-
-void
-AuditDaemon::runOnlineAnalyses(std::uint64_t quantum_index, Tick now)
-{
-    const bool clusteringDue =
-        (quantum_index + 1) % onlineParams_.clusteringIntervalQuanta ==
-        0;
-
-    // Gather the active slots, then fan their analyses out: the
-    // recorded series are immutable during this pass (draining happened
-    // earlier in onQuantum), so the workers only read shared state and
-    // write their own verdict cell.
-    struct SlotVerdicts
-    {
-        unsigned slot = 0;
-        bool hasContention = false;
-        ContentionVerdict contention;
-        bool hasOscillation = false;
-        OscillationVerdict oscillation;
-    };
-    std::vector<SlotVerdicts> work;
-    for (unsigned s = 0; s < auditor_.numSlots(); ++s) {
-        if (!auditor_.slotActive(s))
-            continue;
-        SlotVerdicts sv;
-        sv.slot = s;
-        sv.hasContention =
-            auditor_.histogramBuffer(s) != nullptr && clusteringDue;
-        sv.hasOscillation = auditor_.vectorRegisters(s) != nullptr &&
-                            onlineParams_.autocorrEveryQuantum;
-        if (sv.hasContention || sv.hasOscillation)
-            work.push_back(sv);
-    }
-
-    auto analyzeSlot = [&](std::size_t i) {
-        SlotVerdicts& sv = work[i];
-        // Each task gets its own hunter; the shared pool only fans out
-        // across slots, not within one (the per-slot kernels are the
-        // unit of parallelism here).
-        CCHunter hunter(onlineParams_.hunter);
-        if (sv.hasContention)
-            sv.contention =
-                hunter.analyzeContention(contention_[sv.slot]);
-        if (sv.hasOscillation)
-            sv.oscillation = hunter.analyzeOscillation(
-                labelSeriesForQuantum(sv.slot, quantum_index));
-    };
-    if (pool_ && work.size() > 1) {
-        pool_->parallelFor(work.size(), analyzeSlot);
-    } else {
-        for (std::size_t i = 0; i < work.size(); ++i)
-            analyzeSlot(i);
-    }
-
-    // Apply verdicts in slot order, contention before oscillation —
-    // the exact alarm stream the serial path produces.
-    auto raise = [&](unsigned slot, std::string summary) {
-        Alarm alarm{slot, now, quantum_index, std::move(summary)};
-        alarms_.push_back(alarm);
-        if (alarmCallback_)
-            alarmCallback_(alarms_.back());
-    };
-    for (const auto& sv : work) {
-        if (sv.hasContention && sv.contention.detected)
-            raise(sv.slot, sv.contention.summary());
-        if (sv.hasOscillation && sv.oscillation.detected)
-            raise(sv.slot, sv.oscillation.summary());
-    }
-}
-
-std::uint64_t
-AuditDaemon::firstAlarmQuantum(unsigned slot) const
-{
-    for (const auto& a : alarms_)
-        if (a.slot == slot)
-            return a.quantum;
-    return SIZE_MAX;
-}
-
-const std::vector<Histogram>&
-AuditDaemon::contentionQuanta(unsigned slot) const
-{
-    if (slot >= contention_.size())
-        fatal("AuditDaemon: bad slot");
-    return contention_[slot];
-}
-
-const std::vector<ConflictRecord>&
-AuditDaemon::conflictRecords(unsigned slot) const
-{
-    if (slot >= conflicts_.size())
-        fatal("AuditDaemon: bad slot");
-    return conflicts_[slot];
+    if (queue_)
+        queue_->close();
+    if (analysisThread_.joinable())
+        analysisThread_.join();
 }
 
 namespace
@@ -190,10 +132,381 @@ labelOf(const ConflictRecord& r)
 
 } // namespace
 
+void
+AuditDaemon::wireCacheSlot(unsigned slot)
+{
+    auto* vr = auditor_.vectorRegisters(slot);
+    if (!vr)
+        return;
+    vr->setDrainCallback(
+        [this, slot](const std::vector<ConflictMissEvent>& evs) {
+            SlotState& st = slots_[slot];
+            for (const auto& ev : evs) {
+                ConflictRecord rec;
+                rec.time = ev.time;
+                rec.replacerContext = ev.replacer;
+                rec.victimContext = ev.victim;
+                rec.quantum = currentQuantum_;
+                if (ev.replacer != invalidContext &&
+                    ev.replacer < machine_.numContexts()) {
+                    if (Process* p = machine_.runningOn(ev.replacer))
+                        rec.replacerPid = p->pid();
+                }
+                if (ev.victim != invalidContext &&
+                    ev.victim < machine_.numContexts()) {
+                    if (Process* p = machine_.runningOn(ev.victim))
+                        rec.victimPid = p->pid();
+                }
+                // Maintain the label series as records arrive so the
+                // per-quantum analysis never rescans the full log.
+                st.quantumLabels.push_back(labelOf(rec));
+                st.records.push(rec);
+            }
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            stats_.drainedConflicts += evs.size();
+        });
+}
+
+void
+AuditDaemon::onQuantum(std::uint64_t quantum_index, Tick now)
+{
+    for (unsigned s = 0; s < auditor_.numSlots(); ++s) {
+        if (!auditor_.slotActive(s))
+            continue;
+        // Slots may have been (re)programmed since construction; keep
+        // the drain callback wired (idempotent).
+        wireCacheSlot(s);
+        if (auto* hb = auditor_.histogramBuffer(s)) {
+            Histogram h = hb->snapshotAndReset(now);
+            SlotState& st = slots_[s];
+            if (!st.mergedInit) {
+                st.merged = Histogram(h.numBins());
+                st.mergedInit = true;
+            }
+            st.merged.merge(h);
+            if (auto evicted = st.window.push(std::move(h)))
+                st.merged.unmerge(*evicted);
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++stats_.drainedHistograms;
+        }
+        if (auto* vr = auditor_.vectorRegisters(s))
+            vr->flush();
+    }
+    if (online_)
+        dispatchAnalyses(quantum_index, now);
+    // The per-quantum label buffers only live for the quantum they
+    // were drained in (async batches take them by move).
+    for (auto& st : slots_)
+        st.quantumLabels.clear();
+    currentQuantum_ = quantum_index + 1;
+    ++quanta_;
+}
+
+void
+AuditDaemon::enableOnlineAnalysis(OnlineAnalysisParams params,
+                                  AlarmCallback callback)
+{
+    if (params.clusteringIntervalQuanta == 0)
+        fatal("enableOnlineAnalysis: clustering interval must be > 0");
+    if (analysisThread_.joinable())
+        fatal("enableOnlineAnalysis: async analysis already running");
+    online_ = true;
+    onlineParams_ = params;
+    alarmCallback_ = std::move(callback);
+    debugRecompute_ = params.debugRecomputeMerged;
+    if (onlineParams_.analysisThreads != 1)
+        pool_ = std::make_unique<ThreadPool>(
+            onlineParams_.analysisThreads);
+    else
+        pool_.reset();
+    setContentionRetention(params.retentionQuanta != 0
+                               ? params.retentionQuanta
+                               : params.clusteringIntervalQuanta);
+    if (params.asyncAnalysis) {
+        queue_ = std::make_unique<BoundedQueue<AnalysisBatch>>(
+            params.queueCapacity, params.queueOverflow);
+        analysisThread_ = std::thread([this] { analysisLoop(); });
+    }
+}
+
+void
+AuditDaemon::setContentionRetention(std::size_t quanta)
+{
+    retention_.contentionQuanta = quanta;
+    for (auto& st : slots_) {
+        // Shrinking evicts the oldest histograms; keep the merged sum
+        // consistent by subtracting them out before they go.
+        while (st.window.size() > quanta) {
+            auto evicted = st.window.popFront();
+            if (st.mergedInit)
+                st.merged.unmerge(*evicted);
+        }
+        st.window.setCapacity(quanta);
+    }
+}
+
+void
+AuditDaemon::setDebugRecomputeMerged(bool recompute)
+{
+    debugRecompute_ = recompute;
+}
+
+void
+AuditDaemon::dispatchAnalyses(std::uint64_t quantum_index, Tick now)
+{
+    const bool clusteringDue =
+        (quantum_index + 1) % onlineParams_.clusteringIntervalQuanta ==
+        0;
+    const bool async = queue_ != nullptr;
+
+    AnalysisBatch batch;
+    batch.quantum = quantum_index;
+    batch.now = now;
+    for (unsigned s = 0; s < auditor_.numSlots(); ++s) {
+        if (!auditor_.slotActive(s))
+            continue;
+        SlotWork sv;
+        sv.slot = s;
+        sv.hasContention =
+            auditor_.histogramBuffer(s) != nullptr && clusteringDue;
+        sv.hasOscillation = auditor_.vectorRegisters(s) != nullptr &&
+                            onlineParams_.autocorrEveryQuantum;
+        if (!sv.hasContention && !sv.hasOscillation)
+            continue;
+        if (async) {
+            // The simulation keeps mutating the live windows, so the
+            // hand-off carries snapshots: the histogram window only
+            // when clustering is due, the labels always (by move —
+            // they are per-quantum anyway).
+            SlotState& st = slots_[s];
+            if (sv.hasContention) {
+                sv.windowCopy = st.window.toVector();
+                if (st.mergedInit)
+                    sv.mergedCopy = st.merged;
+            }
+            if (sv.hasOscillation)
+                sv.labels = std::move(st.quantumLabels);
+        }
+        batch.work.push_back(std::move(sv));
+    }
+    if (batch.work.empty())
+        return;
+
+    if (async) {
+        {
+            std::lock_guard<std::mutex> lock(idleMutex_);
+            ++submitted_;
+        }
+        auto displaced = queue_->push(std::move(batch));
+        if (displaced) {
+            std::lock_guard<std::mutex> lock(idleMutex_);
+            ++completed_;
+            idleCv_.notify_all();
+        }
+        return;
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    analyzeBatch(batch, /*from_snapshots=*/false);
+    applyVerdicts(batch);
+    const auto t1 = std::chrono::steady_clock::now();
+    recordAnalysisLatency(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+}
+
+void
+AuditDaemon::analyzeBatch(AnalysisBatch& batch, bool from_snapshots)
+{
+    auto analyzeOne = [&](std::size_t i) {
+        SlotWork& sv = batch.work[i];
+        // Each task gets its own hunter; the shared pool only fans out
+        // across slots, not within one (the per-slot kernels are the
+        // unit of parallelism here).
+        CCHunter hunter(onlineParams_.hunter);
+        if (sv.hasContention) {
+            std::vector<const Histogram*> view;
+            const Histogram* premerged = nullptr;
+            if (from_snapshots) {
+                view.reserve(sv.windowCopy.size());
+                for (const Histogram& h : sv.windowCopy)
+                    view.push_back(&h);
+                if (!debugRecompute_ && !sv.windowCopy.empty())
+                    premerged = &sv.mergedCopy;
+            } else {
+                const SlotState& st = slots_[sv.slot];
+                view.reserve(st.window.size());
+                for (const Histogram& h : st.window)
+                    view.push_back(&h);
+                if (!debugRecompute_ && st.mergedInit)
+                    premerged = &st.merged;
+            }
+            sv.contention = hunter.analyzeContention(view, premerged);
+        }
+        if (sv.hasOscillation) {
+            const std::vector<double>& labels =
+                from_snapshots ? sv.labels
+                               : slots_[sv.slot].quantumLabels;
+            sv.oscillation = hunter.analyzeOscillation(labels);
+        }
+    };
+    if (pool_ && batch.work.size() > 1) {
+        pool_->parallelFor(batch.work.size(), analyzeOne);
+    } else {
+        for (std::size_t i = 0; i < batch.work.size(); ++i)
+            analyzeOne(i);
+    }
+}
+
+void
+AuditDaemon::applyVerdicts(AnalysisBatch& batch)
+{
+    // Apply verdicts in slot order, contention before oscillation —
+    // the exact alarm stream the serial inline path produces.
+    std::lock_guard<std::mutex> lock(alarmsMutex_);
+    auto raise = [&](unsigned slot, std::string summary) {
+        Alarm alarm{slot, batch.now, batch.quantum, std::move(summary)};
+        alarms_.push_back(alarm);
+        if (alarmCallback_)
+            alarmCallback_(alarms_.back());
+    };
+    for (const auto& sv : batch.work) {
+        if (sv.hasContention && sv.contention.detected)
+            raise(sv.slot, sv.contention.summary());
+        if (sv.hasOscillation && sv.oscillation.detected)
+            raise(sv.slot, sv.oscillation.summary());
+    }
+}
+
+void
+AuditDaemon::recordAnalysisLatency(double micros)
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    stats_.latencyMinUs = stats_.analysesRun == 0
+                              ? micros
+                              : std::min(stats_.latencyMinUs, micros);
+    stats_.latencyMaxUs = std::max(stats_.latencyMaxUs, micros);
+    stats_.latencyTotalUs += micros;
+    ++stats_.analysesRun;
+}
+
+void
+AuditDaemon::analysisLoop()
+{
+    while (auto batch = queue_->pop()) {
+        const auto t0 = std::chrono::steady_clock::now();
+        try {
+            analyzeBatch(*batch, /*from_snapshots=*/true);
+            applyVerdicts(*batch);
+        } catch (const std::exception& e) {
+            warn("online analysis batch failed: ", e.what());
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        recordAnalysisLatency(
+            std::chrono::duration<double, std::micro>(t1 - t0)
+                .count());
+        {
+            std::lock_guard<std::mutex> lock(idleMutex_);
+            ++completed_;
+        }
+        idleCv_.notify_all();
+    }
+}
+
+void
+AuditDaemon::flushAnalyses() const
+{
+    if (!queue_)
+        return;
+    std::unique_lock<std::mutex> lock(idleMutex_);
+    idleCv_.wait(lock, [this] { return completed_ == submitted_; });
+}
+
+PipelineStats
+AuditDaemon::pipelineStats() const
+{
+    flushAnalyses();
+    PipelineStats out;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        out = stats_;
+    }
+    for (const auto& st : slots_) {
+        out.evictedQuanta += st.window.evictions();
+        out.evictedConflicts += st.records.evictions();
+    }
+    if (queue_) {
+        out.batchesEnqueued = queue_->pushed();
+        out.batchesDropped = queue_->dropped();
+        out.queueDepthHighWater = queue_->highWaterMark();
+    }
+    return out;
+}
+
+const std::vector<Alarm>&
+AuditDaemon::alarms() const
+{
+    flushAnalyses();
+    return alarms_;
+}
+
+std::uint64_t
+AuditDaemon::firstAlarmQuantum(unsigned slot) const
+{
+    flushAnalyses();
+    for (const auto& a : alarms_)
+        if (a.slot == slot)
+            return a.quantum;
+    return SIZE_MAX;
+}
+
+const AuditDaemon::SlotState&
+AuditDaemon::slotState(unsigned slot) const
+{
+    if (slot >= slots_.size())
+        fatal("AuditDaemon: bad slot");
+    return slots_[slot];
+}
+
+std::vector<Histogram>
+AuditDaemon::contentionQuanta(unsigned slot) const
+{
+    return slotState(slot).window.toVector();
+}
+
+const RingBuffer<Histogram>&
+AuditDaemon::contentionWindow(unsigned slot) const
+{
+    return slotState(slot).window;
+}
+
+std::vector<ConflictRecord>
+AuditDaemon::conflictRecords(unsigned slot) const
+{
+    return slotState(slot).records.toVector();
+}
+
+const RingBuffer<ConflictRecord>&
+AuditDaemon::conflictWindow(unsigned slot) const
+{
+    return slotState(slot).records;
+}
+
+std::uint64_t
+AuditDaemon::evictedQuanta(unsigned slot) const
+{
+    return slotState(slot).window.evictions();
+}
+
+std::uint64_t
+AuditDaemon::evictedConflicts(unsigned slot) const
+{
+    return slotState(slot).records.evictions();
+}
+
 std::vector<double>
 AuditDaemon::labelSeries(unsigned slot) const
 {
-    const auto& recs = conflictRecords(slot);
+    const auto& recs = slotState(slot).records;
     std::vector<double> out;
     out.reserve(recs.size());
     for (const auto& r : recs)
@@ -205,7 +518,7 @@ std::vector<double>
 AuditDaemon::labelSeriesForQuantum(unsigned slot,
                                    std::uint64_t quantum) const
 {
-    const auto& recs = conflictRecords(slot);
+    const auto& recs = slotState(slot).records;
     std::vector<double> out;
     for (const auto& r : recs) {
         if (r.quantum == quantum)
@@ -218,8 +531,15 @@ ContentionVerdict
 AuditDaemon::analyzeContention(unsigned slot, CCHunterParams params)
     const
 {
+    const SlotState& st = slotState(slot);
+    std::vector<const Histogram*> view;
+    view.reserve(st.window.size());
+    for (const Histogram& h : st.window)
+        view.push_back(&h);
     CCHunter hunter(params);
-    return hunter.analyzeContention(contentionQuanta(slot));
+    const Histogram* premerged =
+        !debugRecompute_ && st.mergedInit ? &st.merged : nullptr;
+    return hunter.analyzeContention(view, premerged);
 }
 
 OscillationVerdict

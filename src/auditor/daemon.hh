@@ -7,19 +7,36 @@
  * registers (cache channels), translating hardware context IDs into
  * process IDs using the OS's knowledge of the schedule — this is how
  * trojan/spy pairs are identified correctly despite migration across
- * contexts.  The recorded series feed the CCHunter analysis engine.
+ * contexts.
+ *
+ * Recording is *streaming*: each slot keeps a retention-bounded
+ * sliding window (a RingBuffer) of quantum histograms and conflict
+ * records instead of an ever-growing log, with explicit eviction
+ * counters.  The merged contention histogram and the per-quantum
+ * label series are maintained incrementally (add-on-drain /
+ * subtract-on-evict), so both daemon memory and per-quantum analysis
+ * cost are flat in the total run length.  Online analyses can run
+ * inline with the simulation loop or be handed to a dedicated
+ * consumer thread through a bounded queue with backpressure (Block)
+ * or lossy (DropOldest) overflow handling.
  */
 
 #ifndef CCHUNTER_AUDITOR_DAEMON_HH
 #define CCHUNTER_AUDITOR_DAEMON_HH
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "auditor/cc_auditor.hh"
 #include "detect/detector.hh"
+#include "sim/stats_report.hh"
+#include "util/bounded_queue.hh"
 #include "util/histogram.hh"
+#include "util/ring_buffer.hh"
 #include "util/thread_pool.hh"
 #include "util/types.hh"
 
@@ -35,6 +52,17 @@ struct ConflictRecord
     ProcessId replacerPid = invalidProcess;
     ProcessId victimPid = invalidProcess;
     std::uint64_t quantum = 0;
+};
+
+/** Retention policy for the daemon's per-slot sliding windows. */
+struct DaemonRetention
+{
+    /** Quantum histograms retained per contention slot (default: the
+     *  paper's 512-quantum clustering window). */
+    std::size_t contentionQuanta = 512;
+
+    /** Conflict records retained per cache slot. */
+    std::size_t conflictRecords = std::size_t{1} << 20;
 };
 
 /** Online analysis cadence (paper section V-B). */
@@ -56,9 +84,68 @@ struct OnlineAnalysisParams
      */
     std::size_t analysisThreads = 1;
 
+    /**
+     * Contention-histogram retention while online; 0 selects the
+     * clustering interval (the window each clustering pass consumes).
+     */
+    std::size_t retentionQuanta = 0;
+
+    /**
+     * Run analyses on a dedicated consumer thread fed through a
+     * bounded hand-off queue instead of inline with the simulation
+     * loop.  The alarm stream is identical to the inline path as long
+     * as no batches are dropped.
+     */
+    bool asyncAnalysis = false;
+
+    /** Capacity of the hand-off queue (asyncAnalysis only). */
+    std::size_t queueCapacity = 8;
+
+    /** Full-queue behaviour: Block applies backpressure to the
+     *  simulation loop; DropOldest sheds the stalest batch and counts
+     *  the loss. */
+    OverflowPolicy queueOverflow = OverflowPolicy::Block;
+
+    /**
+     * Debug: recompute the merged contention histogram from the
+     * retained window on every analysis instead of using the
+     * incrementally maintained copy.  Pinned equal to the incremental
+     * path by tests.
+     */
+    bool debugRecomputeMerged = false;
+
     /** Analysis parameters. */
     CCHunterParams hunter;
 };
+
+/** Per-stage observability counters for the observation pipeline. */
+struct PipelineStats
+{
+    std::uint64_t drainedHistograms = 0; //!< quantum snapshots drained
+    std::uint64_t drainedConflicts = 0;  //!< conflict records drained
+    std::uint64_t evictedQuanta = 0;     //!< histograms aged out
+    std::uint64_t evictedConflicts = 0;  //!< conflict records aged out
+    std::uint64_t batchesEnqueued = 0;   //!< async batches handed off
+    std::uint64_t batchesDropped = 0;    //!< batches shed (DropOldest)
+    std::size_t queueDepthHighWater = 0; //!< deepest hand-off backlog
+    std::uint64_t analysesRun = 0;       //!< analysis passes completed
+    double latencyMinUs = 0.0;           //!< fastest analysis pass
+    double latencyMaxUs = 0.0;           //!< slowest analysis pass
+    double latencyTotalUs = 0.0;         //!< summed analysis time
+
+    /** Mean per-pass analysis latency in microseconds. */
+    double latencyMeanUs() const;
+
+    /** Fold another stats block in (counter sums, min/max combines). */
+    void accumulate(const PipelineStats& other);
+
+    /** Human-readable one-line pipeline health summary. */
+    std::string summary() const;
+};
+
+/** PipelineStats as flat stat entries for sim/stats_report dumps. */
+std::vector<StatEntry> pipelineStatEntries(
+    const PipelineStats& stats, const std::string& prefix = "daemon.");
 
 /** One raised alarm. */
 struct Alarm
@@ -81,72 +168,178 @@ class AuditDaemon
     /**
      * Constructing the daemon registers it as a quantum observer on the
      * machine's scheduler; it then records every active auditor slot at
-     * every quantum boundary.
+     * every quantum boundary into retention-bounded sliding windows.
      */
-    AuditDaemon(Machine& machine, CCAuditor& auditor);
+    AuditDaemon(Machine& machine, CCAuditor& auditor,
+                DaemonRetention retention = {});
 
-    /** Per-quantum density histograms collected from a contention
-     *  slot. */
-    const std::vector<Histogram>& contentionQuanta(unsigned slot) const;
+    /** Stops the async analysis consumer, draining queued batches. */
+    ~AuditDaemon();
 
-    /** All conflict records collected from a cache slot. */
-    const std::vector<ConflictRecord>& conflictRecords(
+    AuditDaemon(const AuditDaemon&) = delete;
+    AuditDaemon& operator=(const AuditDaemon&) = delete;
+
+    /** Retained per-quantum density histograms for a contention slot,
+     *  oldest first (a copy of the sliding window). */
+    std::vector<Histogram> contentionQuanta(unsigned slot) const;
+
+    /** The retained histogram window itself (no copy). */
+    const RingBuffer<Histogram>& contentionWindow(unsigned slot) const;
+
+    /** Retained conflict records for a cache slot, oldest first (a
+     *  copy of the sliding window). */
+    std::vector<ConflictRecord> conflictRecords(unsigned slot) const;
+
+    /** The retained conflict-record window itself (no copy). */
+    const RingBuffer<ConflictRecord>& conflictWindow(
         unsigned slot) const;
 
     /**
-     * Label series for oscillation analysis: one value per conflict
-     * record, 1.0 when the replacer pid is the smaller of the pair and
-     * 0.0 otherwise (every ordered pair maps to a stable label).
+     * Label series for oscillation analysis over the retained window:
+     * one value per conflict record, 1.0 when the replacer pid is the
+     * smaller of the pair and 0.0 otherwise (every ordered pair maps
+     * to a stable label).
      */
     std::vector<double> labelSeries(unsigned slot) const;
 
-    /** Label series restricted to records from one quantum. */
+    /** Label series restricted to retained records from one quantum. */
     std::vector<double> labelSeriesForQuantum(
         unsigned slot, std::uint64_t quantum) const;
 
-    /** Run the recurrent-burst pipeline on a contention slot. */
+    /** Run the recurrent-burst pipeline on a contention slot's
+     *  retained window. */
     ContentionVerdict analyzeContention(unsigned slot,
                                         CCHunterParams params = {}) const;
 
-    /** Run the oscillation pipeline on a cache slot. */
+    /** Run the oscillation pipeline on a cache slot's retained
+     *  window. */
     OscillationVerdict analyzeOscillation(
         unsigned slot, CCHunterParams params = {}) const;
 
-    /** Quanta recorded so far. */
+    /** Quanta recorded so far (including quanta since evicted). */
     std::uint64_t quantaRecorded() const { return quanta_; }
+
+    /** Effective retention policy. */
+    const DaemonRetention& retention() const { return retention_; }
+
+    /** Histograms aged out of a slot's window so far. */
+    std::uint64_t evictedQuanta(unsigned slot) const;
+
+    /** Conflict records aged out of a slot's window so far. */
+    std::uint64_t evictedConflicts(unsigned slot) const;
+
+    /** Pipeline observability snapshot (flushes pending analyses). */
+    PipelineStats pipelineStats() const;
+
+    /** Wait until every queued analysis batch has been processed.
+     *  No-op in the inline (synchronous) mode. */
+    void flushAnalyses() const;
+
+    /**
+     * Debug: force merged-histogram recomputation (the legacy path)
+     * in subsequent analyses instead of the incremental copy.
+     */
+    void setDebugRecomputeMerged(bool recompute);
 
     /**
      * Switch on live analysis at the paper's cadence: recurrent-burst
      * clustering every clusteringIntervalQuanta, oscillation analysis
      * on each quantum's conflict labels.  The callback fires for every
-     * positive verdict; raised alarms are also retained.
+     * positive verdict (on the consumer thread when asyncAnalysis is
+     * set); raised alarms are also retained.  Adjusts the contention
+     * retention to params.retentionQuanta (or the clustering interval
+     * when 0).
      */
     void enableOnlineAnalysis(OnlineAnalysisParams params,
                               AlarmCallback callback = {});
 
-    /** Alarms raised by online analysis so far. */
-    const std::vector<Alarm>& alarms() const { return alarms_; }
+    /** Alarms raised by online analysis so far (flushes pending
+     *  analyses first). */
+    const std::vector<Alarm>& alarms() const;
 
     /** Quantum index of the first alarm on a slot (detection latency);
      *  returns SIZE_MAX when the slot never alarmed. */
     std::uint64_t firstAlarmQuantum(unsigned slot) const;
 
   private:
+    /** Per-slot streaming state. */
+    struct SlotState
+    {
+        /** Sliding window of per-quantum density histograms. */
+        RingBuffer<Histogram> window{512};
+
+        /** Sliding window of translated conflict records. */
+        RingBuffer<ConflictRecord> records{std::size_t{1} << 20};
+
+        /** Bin-wise sum of `window`, maintained incrementally. */
+        Histogram merged{1};
+        bool mergedInit = false;
+
+        /** Labels drained during the current quantum (reused each
+         *  quantum; feeds the oscillation analysis without a fresh
+         *  series materialisation). */
+        std::vector<double> quantumLabels;
+    };
+
+    /** One slot's share of an analysis pass. */
+    struct SlotWork
+    {
+        unsigned slot = 0;
+        bool hasContention = false;
+        bool hasOscillation = false;
+        // Owned snapshots, filled only for the async hand-off; the
+        // inline path analyses the live windows in place.
+        std::vector<Histogram> windowCopy;
+        Histogram mergedCopy{1};
+        std::vector<double> labels;
+        ContentionVerdict contention;
+        OscillationVerdict oscillation;
+    };
+
+    /** One quantum's hand-off unit. */
+    struct AnalysisBatch
+    {
+        std::uint64_t quantum = 0;
+        Tick now = 0;
+        std::vector<SlotWork> work;
+    };
+
     void onQuantum(std::uint64_t quantum_index, Tick now);
     void wireCacheSlot(unsigned slot);
-    void runOnlineAnalyses(std::uint64_t quantum_index, Tick now);
+    void dispatchAnalyses(std::uint64_t quantum_index, Tick now);
+    void analyzeBatch(AnalysisBatch& batch, bool from_snapshots);
+    void applyVerdicts(AnalysisBatch& batch);
+    void recordAnalysisLatency(double micros);
+    void analysisLoop();
+    void setContentionRetention(std::size_t quanta);
+    const SlotState& slotState(unsigned slot) const;
 
     Machine& machine_;
     CCAuditor& auditor_;
-    std::vector<std::vector<Histogram>> contention_;
-    std::vector<std::vector<ConflictRecord>> conflicts_;
+    DaemonRetention retention_;
+    std::vector<SlotState> slots_;
     std::uint64_t currentQuantum_ = 0;
     std::uint64_t quanta_ = 0;
     bool online_ = false;
+    bool debugRecompute_ = false;
     OnlineAnalysisParams onlineParams_;
     AlarmCallback alarmCallback_;
     std::vector<Alarm> alarms_;
     std::unique_ptr<ThreadPool> pool_;
+
+    // Pipeline observability (drain-side counters live here; eviction
+    // counters are read off the rings; queue counters off the queue).
+    PipelineStats stats_;
+    mutable std::mutex statsMutex_;
+
+    // Async hand-off machinery.
+    std::unique_ptr<BoundedQueue<AnalysisBatch>> queue_;
+    std::thread analysisThread_;
+    mutable std::mutex alarmsMutex_;
+    mutable std::mutex idleMutex_;
+    mutable std::condition_variable idleCv_;
+    std::uint64_t submitted_ = 0;
+    std::uint64_t completed_ = 0;
 };
 
 } // namespace cchunter

@@ -42,20 +42,28 @@ CCHunter::CCHunter(CCHunterParams params, ThreadPool* pool)
 ContentionVerdict
 CCHunter::analyzeContention(const std::vector<Histogram>& quanta) const
 {
+    std::vector<const Histogram*> view;
+    view.reserve(quanta.size());
+    for (const Histogram& h : quanta)
+        view.push_back(&h);
+    return analyzeContention(view, nullptr);
+}
+
+ContentionVerdict
+CCHunter::analyzeContention(const std::vector<const Histogram*>& quanta,
+                            const Histogram* premerged) const
+{
     ContentionVerdict out;
     if (quanta.empty())
         return out;
 
     BurstDetector detector(params_.clustering.burst);
-    Histogram merged(quanta.front().numBins());
-    for (const auto& h : quanta)
-        merged.merge(h);
 
     // Per-quantum burst scans are independent; fan them out and write
     // results by index so the output matches the serial order.
     out.perQuantum.resize(quanta.size());
     auto scanQuantum = [&](std::size_t i) {
-        out.perQuantum[i] = detector.analyze(quanta[i]);
+        out.perQuantum[i] = detector.analyze(*quanta[i]);
     };
     if (pool_ && quanta.size() > 1) {
         pool_->parallelFor(quanta.size(), scanQuantum);
@@ -66,7 +74,15 @@ CCHunter::analyzeContention(const std::vector<Histogram>& quanta) const
     for (const auto& ba : out.perQuantum)
         if (ba.significant)
             ++out.significantQuanta;
-    out.combined = detector.analyze(merged);
+
+    if (premerged) {
+        out.combined = detector.analyze(*premerged);
+    } else {
+        Histogram merged(quanta.front()->numBins());
+        for (const Histogram* h : quanta)
+            merged.merge(*h);
+        out.combined = detector.analyze(merged);
+    }
 
     PatternClusteringAnalyzer clusterer(params_.clustering);
     out.recurrence = clusterer.analyze(quanta, pool_);

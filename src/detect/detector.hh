@@ -88,6 +88,19 @@ class CCHunter
     ContentionVerdict analyzeContention(
         const std::vector<Histogram>& quanta) const;
 
+    /**
+     * Pointer-view overload for streaming callers whose window lives
+     * in a ring buffer.  When @p premerged is given it is taken as the
+     * already-maintained bin-wise sum of the window (the daemon keeps
+     * it incrementally, add-on-drain / subtract-on-evict) and the
+     * O(window) re-merge is skipped; passing nullptr recomputes the
+     * merged histogram from scratch (the legacy path, kept for
+     * equivalence checks).
+     */
+    ContentionVerdict analyzeContention(
+        const std::vector<const Histogram*>& quanta,
+        const Histogram* premerged = nullptr) const;
+
     /** Run the oscillation pipeline over a labelled event series. */
     OscillationVerdict analyzeOscillation(
         const std::vector<double>& label_series) const;

@@ -21,6 +21,18 @@ PatternClusteringResult
 PatternClusteringAnalyzer::analyze(
         const std::vector<Histogram>& quanta, ThreadPool* pool) const
 {
+    std::vector<const Histogram*> view;
+    view.reserve(quanta.size());
+    for (const Histogram& h : quanta)
+        view.push_back(&h);
+    return analyze(view, pool);
+}
+
+PatternClusteringResult
+PatternClusteringAnalyzer::analyze(
+        const std::vector<const Histogram*>& quanta,
+        ThreadPool* pool) const
+{
     PatternClusteringResult out;
     if (quanta.empty())
         return out;
@@ -31,10 +43,9 @@ PatternClusteringAnalyzer::analyze(
     const std::size_t first =
         quanta.size() > params_.windowQuanta ?
         quanta.size() - params_.windowQuanta : 0;
-    std::vector<const Histogram*> window;
-    window.reserve(quanta.size() - first);
-    for (std::size_t i = first; i < quanta.size(); ++i)
-        window.push_back(&quanta[i]);
+    std::vector<const Histogram*> window(
+        quanta.begin() + static_cast<std::ptrdiff_t>(first),
+        quanta.end());
 
     // Step 1: discretize histograms into strings / feature vectors.
     HistogramDiscretizer disc(params_.discretizer);

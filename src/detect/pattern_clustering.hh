@@ -116,6 +116,16 @@ class PatternClusteringAnalyzer
         const std::vector<Histogram>& quanta,
         ThreadPool* pool = nullptr) const;
 
+    /**
+     * Pointer-view overload: analyse a window referenced in place.
+     * The streaming daemon keeps its quanta in a ring buffer and hands
+     * the analyzer a view instead of materialising a fresh vector of
+     * histograms each pass.
+     */
+    PatternClusteringResult analyze(
+        const std::vector<const Histogram*>& quanta,
+        ThreadPool* pool = nullptr) const;
+
     const PatternClusteringParams& params() const { return params_; }
 
   private:

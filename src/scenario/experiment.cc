@@ -86,6 +86,27 @@ ScenarioOptions::effectiveCacheRounds() const
         static_cast<std::size_t>(signal / 800000), 1, 64);
 }
 
+Config
+scenarioConfig(const ScenarioOptions& opts)
+{
+    Config cfg;
+    cfg.set("bandwidth", opts.bandwidthBps);
+    cfg.set("quanta", static_cast<std::int64_t>(opts.quanta));
+    cfg.set("quantum", static_cast<std::int64_t>(opts.quantum));
+    cfg.set("seed", static_cast<std::int64_t>(opts.seed));
+    cfg.set("noise", static_cast<std::int64_t>(opts.noiseProcesses));
+    cfg.set("noise_intensity", opts.noiseIntensity);
+    cfg.set("signal_ticks",
+            static_cast<std::int64_t>(opts.effectiveSignalTicks()));
+    cfg.set("sets", static_cast<std::int64_t>(opts.channelSets));
+    cfg.set("lines_per_set",
+            static_cast<std::int64_t>(opts.linesPerSet));
+    cfg.set("cache_rounds",
+            static_cast<std::int64_t>(opts.effectiveCacheRounds()));
+    cfg.set("ideal_tracker", opts.idealTracker);
+    return cfg;
+}
+
 Message
 expectedBits(const Message& sent, std::size_t n)
 {
@@ -163,6 +184,7 @@ runBusScenario(const ScenarioOptions& opts)
         slotBitErrorRate(result.sent, spy->decodedSlots());
     result.lockEvents = machine.mem().bus().locks();
     result.slotMeans = spy->slotMeans();
+    result.pipeline = daemon.pipelineStats();
     return result;
 }
 
@@ -223,6 +245,7 @@ runDividerScenario(const ScenarioOptions& opts)
         slotBitErrorRate(result.sent, spy->decodedSlots());
     result.conflictEvents = machine.divider(0).totalConflicts();
     result.slotMeans = spy->slotMeans();
+    result.pipeline = daemon.pipelineStats();
     return result;
 }
 
@@ -269,6 +292,7 @@ runMultiplierScenario(const ScenarioOptions& opts)
         slotBitErrorRate(result.sent, spy->decodedSlots());
     result.conflictEvents = machine.multiplier(0).totalConflicts();
     result.slotMeans = spy->slotMeans();
+    result.pipeline = daemon.pipelineStats();
     return result;
 }
 
@@ -336,6 +360,7 @@ runCacheScenario(const ScenarioOptions& opts)
         result.trackedConflicts = tracker->conflictMisses();
     if (auto* oracle = auditor.idealTracker(0))
         result.trackedConflicts = oracle->conflictMisses();
+    result.pipeline = daemon.pipelineStats();
     return result;
 }
 
@@ -363,6 +388,7 @@ runBenignPair(const std::string& a, const std::string& b,
         result.dividerQuanta = daemon.contentionQuanta(1);
         result.busVerdict = daemon.analyzeContention(0);
         result.dividerVerdict = daemon.analyzeContention(1);
+        result.pipeline.accumulate(daemon.pipelineStats());
     }
 
     // Pass 2: identical run auditing core 0's L2 cache instead (the
@@ -381,6 +407,7 @@ runBenignPair(const std::string& a, const std::string& b,
 
         result.cacheLabelSeries = daemon.labelSeries(0);
         result.cacheVerdict = daemon.analyzeOscillation(0);
+        result.pipeline.accumulate(daemon.pipelineStats());
     }
     return result;
 }

@@ -17,6 +17,7 @@
 #include "channels/message.hh"
 #include "detect/detector.hh"
 #include "detect/event_train.hh"
+#include "util/config.hh"
 #include "util/histogram.hh"
 #include "util/types.hh"
 
@@ -78,6 +79,13 @@ struct ScenarioOptions
     Tick effectiveSignalTicks() const;
 };
 
+/**
+ * The effective configuration of a scenario as a Config, for echoing
+ * into logs (Config::dump()) so any run is reproducible from its
+ * output alone.
+ */
+Config scenarioConfig(const ScenarioOptions& options);
+
 /** Expected bit values for the first n transmitted slots. */
 Message expectedBits(const Message& sent, std::size_t n);
 
@@ -101,6 +109,8 @@ struct BusScenarioResult
     EventTrain eventTrain;
     /** (bit slot, spy's mean access latency) per decoded slot. */
     std::vector<std::pair<std::size_t, double>> slotMeans;
+    /** Observation-pipeline health counters from the daemon. */
+    PipelineStats pipeline;
 };
 
 /** Result of an integer-divider channel scenario. */
@@ -118,6 +128,8 @@ struct DividerScenarioResult
     EventTrain eventTrain;
     /** (bit slot, spy's mean loop latency) per decoded slot. */
     std::vector<std::pair<std::size_t, double>> slotMeans;
+    /** Observation-pipeline health counters from the daemon. */
+    PipelineStats pipeline;
 };
 
 /** Result of a shared-cache channel scenario. */
@@ -131,6 +143,8 @@ struct CacheScenarioResult
     Message decoded;
     double bitErrorRate = 1.0;
     std::uint64_t trackedConflicts = 0;
+    /** Observation-pipeline health counters from the daemon. */
+    PipelineStats pipeline;
 };
 
 /** Result of a benign pair run (false-alarm study). */
@@ -142,6 +156,8 @@ struct BenignScenarioResult
     ContentionVerdict busVerdict;
     ContentionVerdict dividerVerdict;
     OscillationVerdict cacheVerdict;
+    /** Pipeline health accumulated across both audit passes. */
+    PipelineStats pipeline;
 };
 
 /** Run the memory-bus covert channel under audit. */

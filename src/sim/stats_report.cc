@@ -86,15 +86,29 @@ collectMachineStats(Machine& machine)
 }
 
 void
-dumpMachineStats(Machine& machine, std::ostream& os)
+dumpStatEntries(const std::vector<StatEntry>& entries,
+                std::ostream& os, const std::string& title)
 {
-    os << "---------- machine statistics ----------\n";
-    for (const auto& e : collectMachineStats(machine)) {
+    if (!title.empty())
+        os << "---------- " << title << " ----------\n";
+    for (const auto& e : entries) {
+        // Integral values render without decimals (counter style);
+        // fractional ones keep enough precision to be useful.
+        const bool integral =
+            e.value == static_cast<double>(
+                           static_cast<long long>(e.value));
         os << std::left << std::setw(28) << e.name << ' '
            << std::right << std::setw(16) << std::fixed
-           << std::setprecision(0) << e.value << "  # "
-           << e.description << '\n';
+           << std::setprecision(integral ? 0 : 3) << e.value
+           << "  # " << e.description << '\n';
     }
+}
+
+void
+dumpMachineStats(Machine& machine, std::ostream& os)
+{
+    dumpStatEntries(collectMachineStats(machine), os,
+                    "machine statistics");
 }
 
 void

@@ -32,6 +32,13 @@ struct StatEntry
 /** Collect every machine statistic as flat entries. */
 std::vector<StatEntry> collectMachineStats(Machine& machine);
 
+/** Render arbitrary entries in the stats.txt style (name, value,
+ *  description columns) under an optional section title.  Components
+ *  outside the machine (e.g. the audit daemon's pipeline counters)
+ *  reuse this to join the same report. */
+void dumpStatEntries(const std::vector<StatEntry>& entries,
+                     std::ostream& os, const std::string& title = "");
+
 /** Render the flat listing (name, value, description columns). */
 void dumpMachineStats(Machine& machine, std::ostream& os);
 

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * A bounded multi-producer/consumer hand-off queue.
+ *
+ * Decouples the simulation loop from the analysis engine: the daemon
+ * enqueues per-quantum analysis batches and a consumer thread drains
+ * them.  When the queue is full the producer either blocks
+ * (backpressure: the simulation waits for the analyses to catch up) or
+ * drops the *oldest* queued item, counting the loss, so the freshest
+ * observations always get through.
+ */
+
+#ifndef CCHUNTER_UTIL_BOUNDED_QUEUE_HH
+#define CCHUNTER_UTIL_BOUNDED_QUEUE_HH
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+/** What a full queue does to a new push. */
+enum class OverflowPolicy
+{
+    Block,     //!< producer waits for space (backpressure)
+    DropOldest //!< evict the oldest queued item, count the drop
+};
+
+/**
+ * Fixed-capacity FIFO queue with blocking pop and configurable
+ * overflow behaviour.  close() wakes all waiters; pushes after close
+ * are ignored and pops drain the remaining items before returning
+ * nullopt.
+ */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(std::size_t capacity,
+                          OverflowPolicy policy = OverflowPolicy::Block)
+        : cap_(capacity), policy_(policy)
+    {
+        if (cap_ == 0)
+            fatal("BoundedQueue requires capacity >= 1");
+    }
+
+    /**
+     * Enqueue an item.  Under Block, waits for space; under
+     * DropOldest, a full queue evicts its oldest item and returns it
+     * so the caller can account for the loss.  Returns nullopt when
+     * the item was enqueued without displacing anything (including
+     * pushes discarded after close()).
+     */
+    std::optional<T>
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (closed_)
+            return std::nullopt;
+        std::optional<T> displaced;
+        if (policy_ == OverflowPolicy::Block) {
+            notFull_.wait(lock, [this] {
+                return queue_.size() < cap_ || closed_;
+            });
+            if (closed_)
+                return std::nullopt;
+        } else if (queue_.size() >= cap_) {
+            displaced = std::move(queue_.front());
+            queue_.pop_front();
+            ++dropped_;
+        }
+        queue_.push_back(std::move(item));
+        ++pushed_;
+        highWater_ = std::max(highWater_, queue_.size());
+        notEmpty_.notify_one();
+        return displaced;
+    }
+
+    /**
+     * Dequeue the oldest item, waiting until one is available.
+     * Returns nullopt once the queue is closed and drained.
+     */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        notEmpty_.wait(lock,
+                       [this] { return !queue_.empty() || closed_; });
+        if (queue_.empty())
+            return std::nullopt;
+        T out = std::move(queue_.front());
+        queue_.pop_front();
+        notFull_.notify_one();
+        return out;
+    }
+
+    /** Non-blocking dequeue. */
+    bool
+    tryPop(T& out)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (queue_.empty())
+            return false;
+        out = std::move(queue_.front());
+        queue_.pop_front();
+        notFull_.notify_one();
+        return true;
+    }
+
+    /** Reject further pushes and wake all waiters. */
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+        notEmpty_.notify_all();
+        notFull_.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+    /** Items currently queued. */
+    std::size_t
+    depth() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return queue_.size();
+    }
+
+    std::size_t capacity() const { return cap_; }
+
+    /** Deepest the queue has ever been. */
+    std::size_t
+    highWaterMark() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return highWater_;
+    }
+
+    /** Successful pushes so far. */
+    std::uint64_t
+    pushed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return pushed_;
+    }
+
+    /** Items displaced by DropOldest overflow. */
+    std::uint64_t
+    dropped() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return dropped_;
+    }
+
+  private:
+    const std::size_t cap_;
+    const OverflowPolicy policy_;
+    mutable std::mutex mutex_;
+    std::condition_variable notEmpty_;
+    std::condition_variable notFull_;
+    std::deque<T> queue_;
+    bool closed_ = false;
+    std::size_t highWater_ = 0;
+    std::uint64_t pushed_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_UTIL_BOUNDED_QUEUE_HH

@@ -16,7 +16,12 @@ Config::fromArgs(int argc, const char* const* argv)
         const auto eq = tok.find('=');
         if (eq == std::string::npos || eq == 0)
             fatal("expected key=value argument, got '", tok, "'");
-        cfg.set(tok.substr(0, eq), tok.substr(eq + 1));
+        const std::string key = tok.substr(0, eq);
+        if (cfg.has(key))
+            fatal("duplicate config key '", key,
+                  "': given as '", key, "=", cfg.getString(key),
+                  "' and again as '", tok, "'");
+        cfg.set(key, tok.substr(eq + 1));
     }
     return cfg;
 }
@@ -113,6 +118,19 @@ Config::getBool(const std::string& key, bool def) const
     if (s == "false" || s == "0" || s == "no" || s == "off")
         return false;
     fatal("config key '", key, "' is not a boolean: '", s, "'");
+}
+
+std::string
+Config::dump() const
+{
+    std::string out;
+    for (const auto& [k, v] : values_) {
+        out += k;
+        out += '=';
+        out += v;
+        out += '\n';
+    }
+    return out;
 }
 
 std::vector<std::string>

@@ -26,7 +26,8 @@ class Config
   public:
     Config() = default;
 
-    /** Parse argv-style "key=value" tokens (non-matching tokens fatal). */
+    /** Parse argv-style "key=value" tokens (non-matching tokens and
+     *  duplicate keys are fatal). */
     static Config fromArgs(int argc, const char* const* argv);
 
     /** Set a value (stringified). */
@@ -49,6 +50,11 @@ class Config
 
     /** All keys in sorted order. */
     std::vector<std::string> keys() const;
+
+    /** Render every entry as one "key=value" line (sorted by key);
+     *  experiment harnesses echo this so runs are reproducible from
+     *  their logs. */
+    std::string dump() const;
 
   private:
     std::map<std::string, std::string> values_;

@@ -96,6 +96,22 @@ Histogram::merge(const Histogram& other)
 }
 
 void
+Histogram::unmerge(const Histogram& other)
+{
+    if (other.bins_.size() != bins_.size())
+        fatal("Histogram::unmerge: bin-count mismatch");
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        if (other.bins_[i] > bins_[i])
+            fatal("Histogram::unmerge: bin ", i,
+                  " would go negative (have ", bins_[i],
+                  ", subtracting ", other.bins_[i], ")");
+    }
+    for (std::size_t i = 0; i < bins_.size(); ++i)
+        bins_[i] -= other.bins_[i];
+    total_ -= other.total_;
+}
+
+void
 Histogram::clear()
 {
     std::fill(bins_.begin(), bins_.end(), 0);

@@ -61,6 +61,15 @@ class Histogram
     /** Merge another histogram (bin-wise add; sizes must match). */
     void merge(const Histogram& other);
 
+    /**
+     * Exact inverse of merge(): bin-wise subtract a previously merged
+     * histogram.  Sizes must match and every bin must stay
+     * non-negative — the streaming pipeline relies on
+     * merge()/unmerge() round-tripping bit-exactly as quanta slide
+     * out of the retention window.
+     */
+    void unmerge(const Histogram& other);
+
     /** Reset all bins to zero. */
     void clear();
 

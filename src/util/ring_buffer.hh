@@ -1,0 +1,223 @@
+/**
+ * @file
+ * A fixed-capacity ring buffer with explicit eviction accounting.
+ *
+ * The streaming observation pipeline keeps per-slot sliding windows of
+ * quantum histograms and conflict records instead of unbounded logs:
+ * once a window is full, pushing a new element evicts the oldest one
+ * and the eviction is counted rather than silently lost.  Evicted
+ * elements are returned to the caller so incremental analysis state
+ * (e.g. the merged contention histogram) can be updated by
+ * subtraction.
+ */
+
+#ifndef CCHUNTER_UTIL_RING_BUFFER_HH
+#define CCHUNTER_UTIL_RING_BUFFER_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+/**
+ * Fixed-capacity FIFO window over the most recent elements.  Index 0
+ * is the oldest retained element, size()-1 the newest.
+ */
+template <typename T>
+class RingBuffer
+{
+  public:
+    explicit RingBuffer(std::size_t capacity = 1) : cap_(capacity)
+    {
+        if (cap_ == 0)
+            fatal("RingBuffer requires capacity >= 1");
+        // Storage grows with use (up to the capacity) rather than
+        // being reserved eagerly: windows are often sized for the
+        // worst case but filled far below it.
+    }
+
+    /** Maximum number of retained elements. */
+    std::size_t capacity() const { return cap_; }
+
+    /** Number of currently retained elements. */
+    std::size_t size() const { return size_; }
+
+    bool empty() const { return size_ == 0; }
+    bool full() const { return size_ == cap_; }
+
+    /** Total elements evicted (overwritten or dropped) so far. */
+    std::uint64_t evictions() const { return evictions_; }
+
+    /**
+     * Append a value.  When full, the oldest element is evicted,
+     * counted, and returned so the caller can unwind incremental
+     * state; otherwise returns nullopt.
+     */
+    std::optional<T>
+    push(T value)
+    {
+        if (size_ < cap_) {
+            if (buf_.size() < cap_) {
+                buf_.push_back(std::move(value));
+            } else {
+                buf_[(head_ + size_) % cap_] = std::move(value);
+            }
+            ++size_;
+            return std::nullopt;
+        }
+        T evicted = std::exchange(buf_[head_], std::move(value));
+        head_ = (head_ + 1) % cap_;
+        ++evictions_;
+        return evicted;
+    }
+
+    /** Remove and return the oldest element (counts as an eviction). */
+    std::optional<T>
+    popFront()
+    {
+        if (size_ == 0)
+            return std::nullopt;
+        T out = std::move(buf_[head_]);
+        head_ = (head_ + 1) % cap_;
+        --size_;
+        ++evictions_;
+        return out;
+    }
+
+    /** Element at logical index i (0 = oldest). */
+    const T&
+    operator[](std::size_t i) const
+    {
+        if (i >= size_)
+            panic("RingBuffer index out of range");
+        return buf_[(head_ + i) % cap_];
+    }
+
+    const T&
+    front() const
+    {
+        return (*this)[0];
+    }
+
+    const T&
+    back() const
+    {
+        return (*this)[size_ - 1];
+    }
+
+    /** Drop all retained elements (retained count goes to evictions). */
+    void
+    clear()
+    {
+        evictions_ += size_;
+        buf_.clear();
+        head_ = 0;
+        size_ = 0;
+    }
+
+    /**
+     * Change the capacity, keeping the newest min(size, capacity)
+     * elements; anything older is evicted and counted.
+     */
+    void
+    setCapacity(std::size_t capacity)
+    {
+        if (capacity == 0)
+            fatal("RingBuffer requires capacity >= 1");
+        if (capacity == cap_)
+            return;
+        std::vector<T> kept;
+        const std::size_t keep = std::min(size_, capacity);
+        evictions_ += size_ - keep;
+        kept.reserve(keep);
+        for (std::size_t i = size_ - keep; i < size_; ++i)
+            kept.push_back(std::move(buf_[(head_ + i) % cap_]));
+        buf_ = std::move(kept);
+        cap_ = capacity;
+        head_ = 0;
+        size_ = keep;
+    }
+
+    /** Materialise the window, oldest first. */
+    std::vector<T>
+    toVector() const
+    {
+        std::vector<T> out;
+        out.reserve(size_);
+        for (std::size_t i = 0; i < size_; ++i)
+            out.push_back((*this)[i]);
+        return out;
+    }
+
+    /** Read-only forward iteration, oldest to newest. */
+    class const_iterator
+    {
+      public:
+        using iterator_category = std::forward_iterator_tag;
+        using value_type = T;
+        using difference_type = std::ptrdiff_t;
+        using pointer = const T*;
+        using reference = const T&;
+
+        const_iterator(const RingBuffer* ring, std::size_t index)
+            : ring_(ring), index_(index)
+        {
+        }
+
+        reference operator*() const { return (*ring_)[index_]; }
+        pointer operator->() const { return &(*ring_)[index_]; }
+
+        const_iterator&
+        operator++()
+        {
+            ++index_;
+            return *this;
+        }
+
+        const_iterator
+        operator++(int)
+        {
+            const_iterator old = *this;
+            ++index_;
+            return old;
+        }
+
+        bool
+        operator==(const const_iterator& other) const
+        {
+            return ring_ == other.ring_ && index_ == other.index_;
+        }
+
+        bool
+        operator!=(const const_iterator& other) const
+        {
+            return !(*this == other);
+        }
+
+      private:
+        const RingBuffer* ring_;
+        std::size_t index_;
+    };
+
+    const_iterator begin() const { return const_iterator(this, 0); }
+    const_iterator end() const { return const_iterator(this, size_); }
+
+  private:
+    std::vector<T> buf_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+    std::size_t cap_;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_UTIL_RING_BUFFER_HH

@@ -67,7 +67,7 @@ TEST(CCHunterTest, BenignQuantaClean)
 TEST(CCHunterTest, EmptyContentionInputClean)
 {
     CCHunter hunter;
-    auto v = hunter.analyzeContention({});
+    auto v = hunter.analyzeContention(std::vector<Histogram>{});
     EXPECT_FALSE(v.detected);
 }
 

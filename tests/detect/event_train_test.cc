@@ -116,6 +116,44 @@ TEST(EventTrainTest, ClearResets)
     EXPECT_EQ(t.windowBegin(), 500u);
 }
 
+TEST(EventTrainTest, EventExactlyAtWindowEndIsExcluded)
+{
+    // The observation window is [begin, end): an event landing exactly
+    // on end sits outside every range query and slice ending there.
+    EventTrain t(0, 100);
+    t.addEvent(50);
+    t.addEvent(100);
+    EXPECT_EQ(t.countInRange(0, 100), 1u);
+    EXPECT_EQ(t.countInRange(100, 101), 1u);
+    const EventTrain s = t.slice(0, 100);
+    EXPECT_EQ(s.size(), 1u);
+    EXPECT_EQ(s[0].time, 50u);
+}
+
+TEST(EventTrainTest, EmptyWindowHasUnitDurationAndZeroRate)
+{
+    // A zero-length window reports duration 1 (never 0) so meanRate
+    // and density divisions stay well-defined.
+    EventTrain t(40, 40);
+    EXPECT_EQ(t.duration(), 1u);
+    EXPECT_DOUBLE_EQ(t.meanRate(), 0.0);
+    EXPECT_EQ(t.countInRange(0, 1000), 0u);
+    const EventTrain s = t.slice(40, 40);
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.duration(), 1u);
+}
+
+TEST(EventTrainTest, OutOfOrderAppendRejectedAfterEqualTimes)
+{
+    EventTrain t;
+    t.addEvent(10);
+    t.addEvent(10); // equal is fine (non-decreasing)
+    EXPECT_ANY_THROW(t.addEvent(9));
+    // The rejected append must not have corrupted the train.
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_NO_THROW(t.addEvent(11));
+}
+
 TEST(EventTrainTest, DuplicateTimesAllowed)
 {
     EventTrain t;

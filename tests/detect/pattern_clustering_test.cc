@@ -99,7 +99,7 @@ TEST(PatternClusteringTest, SingleBurstIsNotRecurrent)
 TEST(PatternClusteringTest, EmptyInputIsClean)
 {
     PatternClusteringAnalyzer a;
-    auto r = a.analyze({});
+    auto r = a.analyze(std::vector<Histogram>{});
     EXPECT_FALSE(r.recurrent);
     EXPECT_EQ(r.burstyQuanta, 0u);
 }

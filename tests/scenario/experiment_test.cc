@@ -184,5 +184,32 @@ TEST(ScenarioTest, MessagePropagates)
     EXPECT_EQ(r.sent.toString(), "1101");
 }
 
+TEST(ScenarioTest, PipelineStatsPopulated)
+{
+    ScenarioOptions opts = fastOptions();
+    opts.quanta = 3;
+    auto r = runBusScenario(opts);
+    // One monitored slot, three quanta drained, nothing evicted (the
+    // run is far below the 512-quantum retention default).
+    EXPECT_EQ(r.pipeline.drainedHistograms, 3u);
+    EXPECT_EQ(r.pipeline.evictedQuanta, 0u);
+    EXPECT_FALSE(r.pipeline.summary().empty());
+}
+
+TEST(ScenarioTest, ScenarioConfigEchoesEffectiveOptions)
+{
+    ScenarioOptions opts = fastOptions();
+    const Config cfg = scenarioConfig(opts);
+    EXPECT_EQ(cfg.getUint("quanta"), opts.quanta);
+    EXPECT_EQ(cfg.getUint("quantum"), opts.quantum);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("bandwidth"), opts.bandwidthBps);
+    EXPECT_EQ(cfg.getUint("sets"), opts.channelSets);
+    EXPECT_FALSE(cfg.getBool("ideal_tracker"));
+    // The dump is the reproducibility record: every key must appear.
+    const std::string dumped = cfg.dump();
+    for (const auto& key : cfg.keys())
+        EXPECT_NE(dumped.find(key + "="), std::string::npos);
+}
+
 } // namespace
 } // namespace cchunter

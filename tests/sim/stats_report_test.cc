@@ -102,5 +102,27 @@ TEST(StatsReportTest, EmptyMachineStillReports)
     EXPECT_NO_THROW(dumpProcessStats(m, os));
 }
 
+TEST(StatsReportTest, DumpStatEntriesRendersTitleAndValues)
+{
+    std::ostringstream os;
+    dumpStatEntries({{"pipe.count", 42.0, "an integral counter"},
+                     {"pipe.mean", 1.5, "a fractional value"}},
+                    os, "pipeline");
+    const std::string s = os.str();
+    EXPECT_NE(s.find("---------- pipeline ----------"),
+              std::string::npos);
+    EXPECT_NE(s.find("pipe.count"), std::string::npos);
+    EXPECT_NE(s.find("42"), std::string::npos);
+    EXPECT_NE(s.find("1.500"), std::string::npos);
+    EXPECT_NE(s.find("# an integral counter"), std::string::npos);
+}
+
+TEST(StatsReportTest, DumpStatEntriesOmitsEmptyTitle)
+{
+    std::ostringstream os;
+    dumpStatEntries({{"x", 1.0, "d"}}, os);
+    EXPECT_EQ(os.str().find("----------"), std::string::npos);
+}
+
 } // namespace
 } // namespace cchunter

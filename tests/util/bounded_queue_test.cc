@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/bounded_queue.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+TEST(BoundedQueueTest, ZeroCapacityThrows)
+{
+    EXPECT_ANY_THROW(BoundedQueue<int>(0));
+}
+
+TEST(BoundedQueueTest, FifoOrder)
+{
+    BoundedQueue<int> q(4);
+    q.push(1);
+    q.push(2);
+    q.push(3);
+    EXPECT_EQ(q.depth(), 3u);
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.pop(), 2);
+    EXPECT_EQ(q.pop(), 3);
+    EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(BoundedQueueTest, TryPopOnEmptyFails)
+{
+    BoundedQueue<int> q(2);
+    int out = 0;
+    EXPECT_FALSE(q.tryPop(out));
+    q.push(7);
+    EXPECT_TRUE(q.tryPop(out));
+    EXPECT_EQ(out, 7);
+}
+
+TEST(BoundedQueueTest, DropOldestDisplacesAndCounts)
+{
+    BoundedQueue<int> q(2, OverflowPolicy::DropOldest);
+    EXPECT_FALSE(q.push(1).has_value());
+    EXPECT_FALSE(q.push(2).has_value());
+    auto displaced = q.push(3);
+    ASSERT_TRUE(displaced.has_value());
+    EXPECT_EQ(*displaced, 1); // oldest goes, freshest stays
+    EXPECT_EQ(q.dropped(), 1u);
+    EXPECT_EQ(q.pushed(), 3u);
+    EXPECT_EQ(q.pop(), 2);
+    EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(BoundedQueueTest, HighWaterMarkTracksDeepestDepth)
+{
+    BoundedQueue<int> q(4);
+    q.push(1);
+    q.push(2);
+    q.push(3);
+    q.pop();
+    q.pop();
+    q.push(4);
+    EXPECT_EQ(q.highWaterMark(), 3u);
+    EXPECT_EQ(q.depth(), 2u);
+}
+
+TEST(BoundedQueueTest, BlockPolicyAppliesBackpressure)
+{
+    BoundedQueue<int> q(1, OverflowPolicy::Block);
+    q.push(1);
+    std::atomic<bool> second_pushed{false};
+    std::thread producer([&] {
+        q.push(2); // blocks until the consumer makes room
+        second_pushed = true;
+    });
+    // The producer must be stuck behind the full queue.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(second_pushed.load());
+    EXPECT_EQ(q.pop(), 1);
+    producer.join();
+    EXPECT_TRUE(second_pushed.load());
+    EXPECT_EQ(q.pop(), 2);
+    EXPECT_EQ(q.dropped(), 0u);
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedProducer)
+{
+    BoundedQueue<int> q(1, OverflowPolicy::Block);
+    q.push(1);
+    std::thread producer([&] {
+        // Blocked on the full queue until close(); the push is then
+        // discarded.
+        EXPECT_FALSE(q.push(2).has_value());
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+    producer.join();
+    EXPECT_TRUE(q.closed());
+    // The queued item survives the close; pops drain then end.
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumer)
+{
+    BoundedQueue<int> q(1);
+    std::thread consumer([&] {
+        // Blocked on the empty queue until close().
+        EXPECT_FALSE(q.pop().has_value());
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+    consumer.join();
+}
+
+TEST(BoundedQueueTest, PushAfterCloseIgnored)
+{
+    BoundedQueue<int> q(2);
+    q.push(1);
+    q.close();
+    EXPECT_FALSE(q.push(2).has_value());
+    EXPECT_EQ(q.pushed(), 1u);
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueueTest, ManyProducersOneConsumerDeliversEverything)
+{
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 250;
+    BoundedQueue<int> q(8, OverflowPolicy::Block);
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&q, p] {
+            for (int i = 0; i < kPerProducer; ++i)
+                q.push(p * kPerProducer + i);
+        });
+    }
+    std::vector<bool> seen(kProducers * kPerProducer, false);
+    for (int i = 0; i < kProducers * kPerProducer; ++i) {
+        auto v = q.pop();
+        ASSERT_TRUE(v.has_value());
+        ASSERT_GE(*v, 0);
+        ASSERT_LT(*v, kProducers * kPerProducer);
+        EXPECT_FALSE(seen[static_cast<std::size_t>(*v)]);
+        seen[static_cast<std::size_t>(*v)] = true;
+    }
+    for (auto& t : producers)
+        t.join();
+    EXPECT_EQ(q.depth(), 0u);
+    EXPECT_EQ(q.pushed(),
+              static_cast<std::uint64_t>(kProducers * kPerProducer));
+    EXPECT_LE(q.highWaterMark(), q.capacity());
+}
+
+} // namespace
+} // namespace cchunter

@@ -85,6 +85,25 @@ TEST(ConfigTest, KeysSorted)
     EXPECT_EQ(keys[1], "b");
 }
 
+TEST(ConfigTest, FromArgsRejectsDuplicateKeys)
+{
+    const char* argv[] = {"prog", "quanta=4", "seed=1", "quanta=8"};
+    EXPECT_ANY_THROW(Config::fromArgs(4, argv));
+}
+
+TEST(ConfigTest, DumpRendersSortedKeyValueLines)
+{
+    Config cfg;
+    cfg.set("beta", std::string("two"));
+    cfg.set("alpha", std::int64_t{1});
+    EXPECT_EQ(cfg.dump(), "alpha=1\nbeta=two\n");
+}
+
+TEST(ConfigTest, DumpOfEmptyConfigIsEmpty)
+{
+    EXPECT_EQ(Config().dump(), "");
+}
+
 TEST(ConfigTest, HexIntegerParses)
 {
     Config cfg;

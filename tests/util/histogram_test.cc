@@ -107,6 +107,40 @@ TEST(HistogramTest, MergeSizeMismatchThrows)
     EXPECT_ANY_THROW(a.merge(b));
 }
 
+TEST(HistogramTest, UnmergeInvertsMergeExactly)
+{
+    Histogram acc(8), a(8), b(8);
+    a.addSample(1, 2);
+    a.addSample(7, 4);
+    b.addSample(1, 3);
+    b.addSample(4, 1);
+    acc.merge(a);
+    acc.merge(b);
+    acc.unmerge(a);
+    EXPECT_EQ(acc.bin(1), 3u);
+    EXPECT_EQ(acc.bin(4), 1u);
+    EXPECT_EQ(acc.bin(7), 0u);
+    EXPECT_EQ(acc.totalSamples(), 4u);
+    acc.unmerge(b);
+    EXPECT_EQ(acc.totalSamples(), 0u);
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(acc.bin(i), 0u);
+}
+
+TEST(HistogramTest, UnmergeUnderflowThrows)
+{
+    Histogram acc(8), b(8);
+    acc.addSample(1, 1);
+    b.addSample(1, 2);
+    EXPECT_ANY_THROW(acc.unmerge(b));
+}
+
+TEST(HistogramTest, UnmergeSizeMismatchThrows)
+{
+    Histogram a(8), b(16);
+    EXPECT_ANY_THROW(a.unmerge(b));
+}
+
 TEST(HistogramTest, ClearResets)
 {
     Histogram h(8);

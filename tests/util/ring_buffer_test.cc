@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <string>
+
+#include "util/ring_buffer.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+TEST(RingBufferTest, StartsEmpty)
+{
+    RingBuffer<int> r(4);
+    EXPECT_TRUE(r.empty());
+    EXPECT_FALSE(r.full());
+    EXPECT_EQ(r.size(), 0u);
+    EXPECT_EQ(r.capacity(), 4u);
+    EXPECT_EQ(r.evictions(), 0u);
+}
+
+TEST(RingBufferTest, ZeroCapacityThrows)
+{
+    EXPECT_ANY_THROW(RingBuffer<int>(0));
+}
+
+TEST(RingBufferTest, PushBelowCapacityReturnsNothing)
+{
+    RingBuffer<int> r(3);
+    EXPECT_FALSE(r.push(1).has_value());
+    EXPECT_FALSE(r.push(2).has_value());
+    EXPECT_FALSE(r.push(3).has_value());
+    EXPECT_TRUE(r.full());
+    EXPECT_EQ(r.front(), 1);
+    EXPECT_EQ(r.back(), 3);
+    EXPECT_EQ(r.evictions(), 0u);
+}
+
+TEST(RingBufferTest, PushWhenFullEvictsOldest)
+{
+    RingBuffer<int> r(3);
+    r.push(1);
+    r.push(2);
+    r.push(3);
+    auto evicted = r.push(4);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(*evicted, 1);
+    EXPECT_EQ(r.size(), 3u);
+    EXPECT_EQ(r.front(), 2);
+    EXPECT_EQ(r.back(), 4);
+    EXPECT_EQ(r.evictions(), 1u);
+}
+
+TEST(RingBufferTest, WrapPreservesFifoOrder)
+{
+    RingBuffer<int> r(4);
+    for (int i = 0; i < 11; ++i)
+        r.push(i);
+    // Retained: 7 8 9 10, in that order.
+    ASSERT_EQ(r.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(r[i], static_cast<int>(7 + i));
+    EXPECT_EQ(r.evictions(), 7u);
+}
+
+TEST(RingBufferTest, IndexOutOfRangeThrows)
+{
+    RingBuffer<int> r(4);
+    r.push(1);
+    EXPECT_ANY_THROW(r[1]);
+}
+
+TEST(RingBufferTest, PopFrontDrainsOldestFirstAndCounts)
+{
+    RingBuffer<int> r(3);
+    r.push(10);
+    r.push(20);
+    auto a = r.popFront();
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(*a, 10);
+    EXPECT_EQ(r.size(), 1u);
+    EXPECT_EQ(r.evictions(), 1u);
+    auto b = r.popFront();
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(*b, 20);
+    EXPECT_FALSE(r.popFront().has_value());
+    EXPECT_EQ(r.evictions(), 2u);
+}
+
+TEST(RingBufferTest, PushAfterPopReusesSlots)
+{
+    RingBuffer<int> r(3);
+    r.push(1);
+    r.push(2);
+    r.push(3);
+    r.popFront();
+    EXPECT_FALSE(r.push(4).has_value()); // space was freed
+    ASSERT_EQ(r.size(), 3u);
+    EXPECT_EQ(r[0], 2);
+    EXPECT_EQ(r[1], 3);
+    EXPECT_EQ(r[2], 4);
+}
+
+TEST(RingBufferTest, IterationMatchesLogicalOrder)
+{
+    RingBuffer<int> r(4);
+    for (int i = 0; i < 7; ++i)
+        r.push(i);
+    const int sum = std::accumulate(r.begin(), r.end(), 0);
+    EXPECT_EQ(sum, 3 + 4 + 5 + 6);
+    std::size_t i = 0;
+    for (int v : r)
+        EXPECT_EQ(v, r[i++]);
+}
+
+TEST(RingBufferTest, ToVectorOldestFirst)
+{
+    RingBuffer<std::string> r(2);
+    r.push("a");
+    r.push("b");
+    r.push("c");
+    const auto v = r.toVector();
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_EQ(v[0], "b");
+    EXPECT_EQ(v[1], "c");
+}
+
+TEST(RingBufferTest, ClearCountsRetainedAsEvictions)
+{
+    RingBuffer<int> r(4);
+    r.push(1);
+    r.push(2);
+    r.clear();
+    EXPECT_TRUE(r.empty());
+    EXPECT_EQ(r.evictions(), 2u);
+    EXPECT_FALSE(r.push(3).has_value());
+    EXPECT_EQ(r.front(), 3);
+}
+
+TEST(RingBufferTest, ShrinkCapacityKeepsNewest)
+{
+    RingBuffer<int> r(5);
+    for (int i = 0; i < 5; ++i)
+        r.push(i);
+    r.setCapacity(2);
+    ASSERT_EQ(r.size(), 2u);
+    EXPECT_EQ(r.capacity(), 2u);
+    EXPECT_EQ(r[0], 3);
+    EXPECT_EQ(r[1], 4);
+    EXPECT_EQ(r.evictions(), 3u);
+    // And the ring still works at the new capacity.
+    auto evicted = r.push(5);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(*evicted, 3);
+}
+
+TEST(RingBufferTest, GrowCapacityKeepsAllElements)
+{
+    RingBuffer<int> r(2);
+    r.push(1);
+    r.push(2);
+    r.push(3); // evicts 1
+    r.setCapacity(4);
+    ASSERT_EQ(r.size(), 2u);
+    EXPECT_EQ(r[0], 2);
+    EXPECT_EQ(r[1], 3);
+    EXPECT_EQ(r.evictions(), 1u); // only the push eviction
+    EXPECT_FALSE(r.push(4).has_value());
+    EXPECT_FALSE(r.push(5).has_value());
+    EXPECT_TRUE(r.full());
+}
+
+TEST(RingBufferTest, SetCapacityZeroThrows)
+{
+    RingBuffer<int> r(2);
+    EXPECT_ANY_THROW(r.setCapacity(0));
+}
+
+TEST(RingBufferTest, MoveOnlyElementsSupported)
+{
+    RingBuffer<std::unique_ptr<int>> r(2);
+    r.push(std::make_unique<int>(1));
+    r.push(std::make_unique<int>(2));
+    auto evicted = r.push(std::make_unique<int>(3));
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(**evicted, 1);
+    auto popped = r.popFront();
+    ASSERT_TRUE(popped.has_value());
+    EXPECT_EQ(**popped, 2);
+}
+
+} // namespace
+} // namespace cchunter
