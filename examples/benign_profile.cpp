@@ -26,6 +26,7 @@ main(int argc, char** argv)
     opts.quanta = cfg.getUint("quanta", 3);
     opts.quantum = cfg.getUint("quantum", 125000000);
     opts.seed = cfg.getUint("seed", 1);
+    opts.faults = FaultPlan::fromConfig(cfg);
     const std::size_t max_pairs = cfg.getUint("pairs", 10);
 
     TableWriter table({"pair", "bus locks LR", "divider LR",
@@ -33,6 +34,7 @@ main(int argc, char** argv)
     unsigned total_alarms = 0;
     std::size_t count = 0;
     PipelineStats pipeline;
+    DegradedStats degraded;
 
     for (const auto& [a, b] : falseAlarmPairs()) {
         if (count++ >= max_pairs)
@@ -43,6 +45,7 @@ main(int argc, char** argv)
                                 r.cacheVerdict.detected;
         total_alarms += alarms;
         pipeline.accumulate(r.pipeline);
+        degraded.accumulate(r.degraded);
         table.addRow(
             {a + "+" + b,
              fmtDouble(r.busVerdict.combined.likelihoodRatio, 3),
@@ -61,5 +64,8 @@ main(int argc, char** argv)
                 total_alarms);
     std::printf("pipeline (all pairs): %s\n",
                 pipeline.summary().c_str());
+    if (opts.faults.enabled())
+        std::printf("degraded (all pairs): %s\n",
+                    degraded.summary().c_str());
     return total_alarms == 0 ? 0 : 1;
 }

@@ -23,10 +23,13 @@ main(int argc, char** argv)
 {
     const Config cfg = Config::fromArgs(argc, argv);
 
+    const FaultPlan fault_plan = FaultPlan::fromConfig(cfg);
+
     TableWriter table({"bandwidth (bps)", "locks", "burst peak bin",
                        "likelihood", "BER", "verdict"});
     bool all_detected = true;
     PipelineStats pipeline;
+    DegradedStats degraded;
 
     for (double bandwidth : {100.0, 500.0, 2000.0}) {
         ScenarioOptions opts;
@@ -34,10 +37,12 @@ main(int argc, char** argv)
         opts.quantum = 25000000;
         opts.quanta = cfg.getUint("quanta", 6);
         opts.seed = cfg.getUint("seed", 1);
+        opts.faults = fault_plan;
 
         const BusScenarioResult r = runBusScenario(opts);
         all_detected &= r.verdict.detected;
         pipeline.accumulate(r.pipeline);
+        degraded.accumulate(r.degraded);
         table.addRow({fmtDouble(bandwidth, 0),
                       fmtInt(static_cast<long long>(r.lockEvents)),
                       fmtInt(static_cast<long long>(
@@ -55,5 +60,8 @@ main(int argc, char** argv)
                 "ratio remains decisive.\n");
     std::printf("pipeline (all sweeps): %s\n",
                 pipeline.summary().c_str());
+    if (fault_plan.enabled())
+        std::printf("degraded (all sweeps): %s\n",
+                    degraded.summary().c_str());
     return all_detected ? 0 : 1;
 }

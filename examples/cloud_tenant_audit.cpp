@@ -34,6 +34,7 @@ main(int argc, char** argv)
     opts.noiseProcesses =
         static_cast<unsigned>(cfg.getUint("noise", 3));
     opts.seed = cfg.getUint("seed", 7);
+    opts.faults = FaultPlan::fromConfig(cfg);
 
     std::printf("cloud tenant audit: prime+probe channel over %zu L2 "
                 "sets at %.0f bps,\nwith %u noisy-neighbour "
@@ -60,6 +61,9 @@ main(int argc, char** argv)
 
     std::printf("\nverdict:  %s\n", r.verdict.summary().c_str());
     std::printf("pipeline: %s\n", r.pipeline.summary().c_str());
+    if (opts.faults.enabled())
+        std::printf("degraded: %s\nconfidence: %.3f\n",
+                    r.degraded.summary().c_str(), r.confidence);
     std::printf("the dominant lag (%zu) tracks the number of channel "
                 "sets (%zu): the spy and trojan\nalternate evicting "
                 "each other once per set per bit.\n",

@@ -16,11 +16,13 @@
 #include <cstdio>
 #include <iostream>
 #include <memory>
+#include <optional>
 
 #include "auditor/cc_auditor.hh"
 #include "auditor/daemon.hh"
 #include "channels/cache_channel.hh"
 #include "detect/detector.hh"
+#include "faults/fault_injector.hh"
 #include "mitigate/mitigator.hh"
 #include "sim/machine.hh"
 #include "sim/stats_report.hh"
@@ -78,9 +80,22 @@ main(int argc, char** argv)
     auditor.monitorCache(key, 0, /*core=*/0);
     AuditDaemon daemon(machine, auditor);
 
+    const FaultPlan fault_plan = FaultPlan::fromConfig(cfg);
+    std::optional<FaultInjector> injector;
+    if (fault_plan.enabled()) {
+        injector.emplace(fault_plan);
+        daemon.attachFaultInjector(&*injector);
+        std::printf("[faults]  %s\n", fault_plan.summary().c_str());
+    }
+
     machine.runQuanta(quanta);
     const OscillationVerdict verdict = daemon.analyzeOscillation(0);
     std::printf("[audit]   %s\n", verdict.summary().c_str());
+    if (injector)
+        std::printf("[audit]   confidence %.3f under injected faults "
+                    "(%s)\n",
+                    daemon.oscillationConfidence(0),
+                    daemon.degradedStats().summary().c_str());
     if (!verdict.detected) {
         std::printf("no channel found; nothing to do.\n");
         return 1;
@@ -131,6 +146,9 @@ main(int argc, char** argv)
     dumpMachineStats(machine, std::cout);
     dumpStatEntries(pipelineStatEntries(daemon.pipelineStats()),
                     std::cout, "audit pipeline");
+    if (injector)
+        dumpStatEntries(degradedStatEntries(daemon.degradedStats()),
+                        std::cout, "degraded operation");
 
     const bool severed = !after.detected;
     std::printf("\nchannel severed: %s\n", severed ? "yes" : "no");

@@ -10,21 +10,29 @@
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
  *   ./build/examples/quickstart
+ *
+ * Pass faults.* keys (e.g. faults.drop_quantum=0.1) to watch the
+ * audit degrade gracefully instead of failing.
  */
 
 #include <cstdio>
 #include <memory>
+#include <optional>
 
 #include "auditor/cc_auditor.hh"
 #include "auditor/daemon.hh"
 #include "channels/divider_channel.hh"
+#include "faults/fault_injector.hh"
 #include "sim/machine.hh"
+#include "util/config.hh"
 
 using namespace cchunter;
 
 int
-main()
+main(int argc, char** argv)
 {
+    const Config cfg = Config::fromArgs(argc, argv);
+    const FaultPlan fault_plan = FaultPlan::fromConfig(cfg);
     // 1. The machine: a quad-core SMT processor at 2.5 GHz (the
     //    paper's evaluation platform).  Default parameters throughout.
     Machine machine;
@@ -58,6 +66,14 @@ main()
     auditor.monitorDivider(key, /*slot=*/0, /*core=*/0);
     AuditDaemon daemon(machine, auditor);
 
+    std::optional<FaultInjector> injector;
+    if (fault_plan.enabled()) {
+        injector.emplace(fault_plan);
+        daemon.attachFaultInjector(&*injector);
+        std::printf("fault injection: %s\n",
+                    fault_plan.summary().c_str());
+    }
+
     // 4. Run four OS time quanta (0.4 s of machine time).
     machine.runQuanta(4);
 
@@ -74,6 +90,12 @@ main()
     std::printf("verdict:        %s\n", verdict.summary().c_str());
     std::printf("pipeline:       %s\n",
                 daemon.pipelineStats().summary().c_str());
+    if (injector) {
+        std::printf("degraded:       %s\n",
+                    daemon.degradedStats().summary().c_str());
+        std::printf("confidence:     %.3f\n",
+                    daemon.contentionConfidence(0, verdict));
+    }
     std::printf("\nCC-Hunter %s the covert timing channel "
                 "(likelihood ratio %.3f, threshold 0.5).\n",
                 verdict.detected ? "DETECTED" : "missed",

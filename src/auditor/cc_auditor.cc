@@ -37,6 +37,14 @@ CCAuditor::~CCAuditor()
 }
 
 void
+CCAuditor::setHistogramParams(HistogramBufferParams params)
+{
+    if (params.numBins == 0)
+        fatal("CCAuditor: histogram buffers need at least one bin");
+    histogramParams_ = params;
+}
+
+void
 CCAuditor::checkKey(const AuditKey& key) const
 {
     if (!key.valid())
@@ -77,7 +85,7 @@ CCAuditor::monitorBus(const AuditKey& key, unsigned slot, Tick delta_t)
     trace(TraceCategory::Auditor, machine_.now(), "slot ", slot,
           " monitors memory bus, dt=", delta_t);
     st->histogram = std::make_unique<HistogramBuffer>(
-        delta_t, machine_.now());
+        delta_t, machine_.now(), histogramParams_);
     machine_.mem().bus().addLockListener(
         [st](Tick when, ContextId) {
             if (st->active)
@@ -101,7 +109,7 @@ CCAuditor::monitorDivider(const AuditKey& key, unsigned slot,
           " monitors divider core ", core, ", dt=", delta_t);
     st->core = core;
     st->histogram = std::make_unique<HistogramBuffer>(
-        delta_t, machine_.now());
+        delta_t, machine_.now(), histogramParams_);
     machine_.divider(core).addWaitListener(
         [st](const WaitConflictBurst& burst) {
             if (st->active)
@@ -126,7 +134,7 @@ CCAuditor::monitorMultiplier(const AuditKey& key, unsigned slot,
           " monitors multiplier core ", core, ", dt=", delta_t);
     st->core = core;
     st->histogram = std::make_unique<HistogramBuffer>(
-        delta_t, machine_.now());
+        delta_t, machine_.now(), histogramParams_);
     machine_.multiplier(core).addWaitListener(
         [st](const WaitConflictBurst& burst) {
             if (st->active)

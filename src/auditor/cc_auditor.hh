@@ -98,6 +98,20 @@ class CCAuditor
     CCAuditor(const CCAuditor&) = delete;
     CCAuditor& operator=(const CCAuditor&) = delete;
 
+    /**
+     * Hardware sizing applied to histogram buffers programmed by
+     * subsequent monitor* calls.  The default models ideal (unbounded)
+     * counters; `{128, true}` selects the paper's 16-bit saturating
+     * entries and accumulators.
+     */
+    void setHistogramParams(HistogramBufferParams params);
+
+    /** Sizing applied to newly programmed histogram buffers. */
+    const HistogramBufferParams& histogramParams() const
+    {
+        return histogramParams_;
+    }
+
     /** Program `slot` to count memory-bus lock events. */
     void monitorBus(const AuditKey& key, unsigned slot,
                     Tick delta_t = busDeltaT);
@@ -167,6 +181,7 @@ class CCAuditor
 
     Machine& machine_;
     unsigned numSlots_;
+    HistogramBufferParams histogramParams_;
     std::vector<std::shared_ptr<SlotState>> slots_;
 };
 

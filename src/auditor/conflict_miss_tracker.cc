@@ -103,6 +103,12 @@ ConflictMissTracker::onMiss(Addr line_addr, ContextId requester,
             break;
         }
     }
+    if (!conflict && aliasHook_ && aliasHook_()) {
+        // A forced Bloom alias: the filters aliased a never-inserted
+        // tag, so the miss is misclassified as a conflict miss.
+        conflict = true;
+        ++forcedAliases_;
+    }
     if (!conflict)
         return;
     ++conflictMisses_;
@@ -116,6 +122,12 @@ void
 ConflictMissTracker::addListener(ConflictMissListener listener)
 {
     listeners_.push_back(std::move(listener));
+}
+
+void
+ConflictMissTracker::setAliasHook(BloomAliasHook hook)
+{
+    aliasHook_ = std::move(hook);
 }
 
 } // namespace cchunter

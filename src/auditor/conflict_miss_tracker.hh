@@ -23,6 +23,7 @@
 #define CCHUNTER_AUDITOR_CONFLICT_MISS_TRACKER_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "auditor/conflict_event.hh"
@@ -56,6 +57,14 @@ struct ConflictTrackerParams
 };
 
 /**
+ * Asked on a miss whose tag missed every live Bloom filter; returning
+ * true forces the aliased (false-positive) outcome.  Fault-injection
+ * hook: exercises the pipeline's tolerance to the filters' inherent
+ * aliasing beyond their natural false-positive rate.
+ */
+using BloomAliasHook = std::function<bool()>;
+
+/**
  * CacheMonitor implementation approximating LRU-stack recency with
  * generation bits and bloom filters.
  */
@@ -78,6 +87,13 @@ class ConflictMissTracker : public CacheMonitor
 
     /** Register a conflict-miss listener. */
     void addListener(ConflictMissListener listener);
+
+    /** Install (or clear, with an empty hook) the forced-alias
+     *  fault-injection hook. */
+    void setAliasHook(BloomAliasHook hook);
+
+    /** Conflict misses manufactured by the alias hook so far. */
+    std::uint64_t forcedAliases() const { return forcedAliases_; }
 
     /** Identified conflict misses so far. */
     std::uint64_t conflictMisses() const { return conflictMisses_; }
@@ -106,9 +122,11 @@ class ConflictMissTracker : public CacheMonitor
     /** Blocks newly marked in the current generation. */
     std::size_t currentGenCount_ = 0;
     std::vector<ConflictMissListener> listeners_;
+    BloomAliasHook aliasHook_;
     std::uint64_t conflictMisses_ = 0;
     std::uint64_t totalMisses_ = 0;
     std::uint64_t rotations_ = 0;
+    std::uint64_t forcedAliases_ = 0;
 };
 
 } // namespace cchunter

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <sstream>
 
 #include "util/logging.hh"
@@ -90,6 +91,107 @@ pipelineStatEntries(const PipelineStats& s, const std::string& prefix)
     return out;
 }
 
+void
+DegradedStats::accumulate(const DegradedStats& other)
+{
+    missedQuanta += other.missedQuanta;
+    duplicatedQuanta += other.duplicatedQuanta;
+    truncatedBatches += other.truncatedBatches;
+    truncatedEvents += other.truncatedEvents;
+    reorderedBatches += other.reorderedBatches;
+    corruptedContexts += other.corruptedContexts;
+    bloomAliases += other.bloomAliases;
+    saturatedBinEvents += other.saturatedBinEvents;
+    accumulatorSaturations += other.accumulatorSaturations;
+    unmergeUnderflows += other.unmergeUnderflows;
+    quarantinedBatches += other.quarantinedBatches;
+    quarantineBadLabel += other.quarantineBadLabel;
+    quarantineBinMismatch += other.quarantineBinMismatch;
+    quarantineSlotRange += other.quarantineSlotRange;
+    degradedAlarms += other.degradedAlarms;
+    minAlarmConfidence =
+        std::min(minAlarmConfidence, other.minAlarmConfidence);
+    windowCoverage = std::min(windowCoverage, other.windowCoverage);
+}
+
+std::uint64_t
+DegradedStats::totalFaults() const
+{
+    return missedQuanta + duplicatedQuanta + truncatedBatches +
+           reorderedBatches + corruptedContexts + bloomAliases +
+           saturatedBinEvents + accumulatorSaturations +
+           unmergeUnderflows;
+}
+
+std::string
+DegradedStats::summary() const
+{
+    std::ostringstream os;
+    os << "missed " << missedQuanta << " quanta (coverage ";
+    os.precision(3);
+    os << std::fixed << windowCoverage << "), duplicated "
+       << duplicatedQuanta << ", truncated " << truncatedBatches
+       << " batches (" << truncatedEvents << " events), reordered "
+       << reorderedBatches << ", corrupt contexts "
+       << corruptedContexts << ", bloom aliases " << bloomAliases
+       << ", saturated bins " << saturatedBinEvents
+       << ", quarantined " << quarantinedBatches << ", degraded alarms "
+       << degradedAlarms << " (min confidence " << minAlarmConfidence
+       << ')';
+    return os.str();
+}
+
+std::vector<StatEntry>
+degradedStatEntries(const DegradedStats& s, const std::string& prefix)
+{
+    std::vector<StatEntry> out;
+    auto add = [&](const char* name, double value, const char* desc) {
+        out.push_back(StatEntry{prefix + name, value, desc});
+    };
+    add("missed_quanta", static_cast<double>(s.missedQuanta),
+        "quantum boundaries the daemon never attended");
+    add("duplicated_quanta", static_cast<double>(s.duplicatedQuanta),
+        "quantum snapshots recorded twice");
+    add("truncated_batches", static_cast<double>(s.truncatedBatches),
+        "conflict-event batches that lost their tail");
+    add("truncated_events", static_cast<double>(s.truncatedEvents),
+        "conflict events lost to batch truncation");
+    add("reordered_batches", static_cast<double>(s.reorderedBatches),
+        "conflict-event batches delivered out of order");
+    add("corrupted_contexts", static_cast<double>(s.corruptedContexts),
+        "conflict events with corrupted context IDs");
+    add("bloom_aliases", static_cast<double>(s.bloomAliases),
+        "forced Bloom-filter false positives");
+    add("saturated_bin_events",
+        static_cast<double>(s.saturatedBinEvents),
+        "histogram bins clamped at the 16-bit entry width");
+    add("accumulator_saturations",
+        static_cast<double>(s.accumulatorSaturations),
+        "event increments lost to 16-bit accumulator ceilings");
+    add("unmerge_underflows",
+        static_cast<double>(s.unmergeUnderflows),
+        "merged-window bins clamped at zero on eviction");
+    add("quarantined_batches",
+        static_cast<double>(s.quarantinedBatches),
+        "malformed analysis batches refused");
+    add("quarantine_bad_label",
+        static_cast<double>(s.quarantineBadLabel),
+        "quarantines: non-binary oscillation label");
+    add("quarantine_bin_mismatch",
+        static_cast<double>(s.quarantineBinMismatch),
+        "quarantines: histogram bin-count mismatch");
+    add("quarantine_slot_range",
+        static_cast<double>(s.quarantineSlotRange),
+        "quarantines: slot index out of range");
+    add("degraded_alarms", static_cast<double>(s.degradedAlarms),
+        "alarms raised with confidence below 1");
+    add("min_alarm_confidence", s.minAlarmConfidence,
+        "weakest confidence among raised alarms");
+    add("window_coverage", s.windowCoverage,
+        "attended fraction of the retained quanta");
+    return out;
+}
+
 AuditDaemon::AuditDaemon(Machine& machine, CCAuditor& auditor,
                          DaemonRetention retention)
     : machine_(machine), auditor_(auditor), retention_(retention)
@@ -103,6 +205,7 @@ AuditDaemon::AuditDaemon(Machine& machine, CCAuditor& auditor,
         st.window.setCapacity(retention_.contentionQuanta);
         st.records.setCapacity(retention_.conflictRecords);
     }
+    presence_.setCapacity(retention_.contentionQuanta);
     machine_.scheduler().addQuantumObserver(
         [this](std::uint64_t q, Tick now) { onQuantum(q, now); });
     for (unsigned s = 0; s < auditor_.numSlots(); ++s)
@@ -140,36 +243,99 @@ AuditDaemon::wireCacheSlot(unsigned slot)
         return;
     vr->setDrainCallback(
         [this, slot](const std::vector<ConflictMissEvent>& evs) {
-            SlotState& st = slots_[slot];
-            for (const auto& ev : evs) {
-                ConflictRecord rec;
-                rec.time = ev.time;
-                rec.replacerContext = ev.replacer;
-                rec.victimContext = ev.victim;
-                rec.quantum = currentQuantum_;
-                if (ev.replacer != invalidContext &&
-                    ev.replacer < machine_.numContexts()) {
-                    if (Process* p = machine_.runningOn(ev.replacer))
-                        rec.replacerPid = p->pid();
+            if (injector_ && injector_->conflictPathActive()) {
+                // Mutate a copy at the hardware/daemon boundary — the
+                // vector registers themselves are not ours to edit.
+                std::vector<ConflictMissEvent> mutated(evs);
+                const ConflictBatchMutation m =
+                    injector_->mutateConflictBatch(mutated);
+                SlotState& st = slots_[slot];
+                st.conflictsTruncated += m.truncatedEvents;
+                st.conflictsCorrupted += m.corruptedContexts;
+                if (m.any()) {
+                    std::lock_guard<std::mutex> lock(statsMutex_);
+                    if (m.truncated)
+                        ++degraded_.truncatedBatches;
+                    degraded_.truncatedEvents += m.truncatedEvents;
+                    if (m.reordered)
+                        ++degraded_.reorderedBatches;
+                    degraded_.corruptedContexts += m.corruptedContexts;
                 }
-                if (ev.victim != invalidContext &&
-                    ev.victim < machine_.numContexts()) {
-                    if (Process* p = machine_.runningOn(ev.victim))
-                        rec.victimPid = p->pid();
-                }
-                // Maintain the label series as records arrive so the
-                // per-quantum analysis never rescans the full log.
-                st.quantumLabels.push_back(labelOf(rec));
-                st.records.push(rec);
+                ingestConflicts(slot, mutated);
+            } else {
+                ingestConflicts(slot, evs);
             }
-            std::lock_guard<std::mutex> lock(statsMutex_);
-            stats_.drainedConflicts += evs.size();
         });
+    if (injector_ && injector_->plan().bloomAliasRate > 0.0) {
+        if (auto* tracker = auditor_.tracker(slot))
+            tracker->setAliasHook(
+                [this] { return injector_->aliasBloom(); });
+    }
+}
+
+void
+AuditDaemon::ingestConflicts(unsigned slot,
+                             const std::vector<ConflictMissEvent>& evs)
+{
+    SlotState& st = slots_[slot];
+    st.conflictsIngested += evs.size();
+    for (const auto& ev : evs) {
+        ConflictRecord rec;
+        rec.time = ev.time;
+        rec.replacerContext = ev.replacer;
+        rec.victimContext = ev.victim;
+        rec.quantum = currentQuantum_;
+        if (ev.replacer != invalidContext &&
+            ev.replacer < machine_.numContexts()) {
+            if (Process* p = machine_.runningOn(ev.replacer))
+                rec.replacerPid = p->pid();
+        }
+        if (ev.victim != invalidContext &&
+            ev.victim < machine_.numContexts()) {
+            if (Process* p = machine_.runningOn(ev.victim))
+                rec.victimPid = p->pid();
+        }
+        // Maintain the label series as records arrive so the
+        // per-quantum analysis never rescans the full log.
+        st.quantumLabels.push_back(labelOf(rec));
+        st.records.push(rec);
+    }
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    stats_.drainedConflicts += evs.size();
+}
+
+void
+AuditDaemon::attachFaultInjector(FaultInjector* injector)
+{
+    injector_ = injector;
+    // Re-wire every cache slot so the drain callbacks and alias hooks
+    // see the injector (idempotent; onQuantum re-wires too).
+    for (unsigned s = 0; s < auditor_.numSlots(); ++s)
+        wireCacheSlot(s);
 }
 
 void
 AuditDaemon::onQuantum(std::uint64_t quantum_index, Tick now)
 {
+    if (injector_ && injector_->dropQuantum()) {
+        // The daemon was preempted past this quantum boundary:
+        // nothing is drained or analysed.  The hardware keeps
+        // accumulating, so the next attended snapshot covers the gap;
+        // drained-but-unconsumed labels likewise carry over.  The
+        // presence ring records the hole so analyses can report
+        // effective (not nominal) coverage.
+        presence_.push(0);
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++degraded_.missedQuanta;
+        }
+        currentQuantum_ = quantum_index + 1;
+        ++quanta_;
+        return;
+    }
+    presence_.push(1);
+    const bool duplicate =
+        injector_ && injector_->duplicateQuantum();
     for (unsigned s = 0; s < auditor_.numSlots(); ++s) {
         if (!auditor_.slotActive(s))
             continue;
@@ -179,18 +345,32 @@ AuditDaemon::onQuantum(std::uint64_t quantum_index, Tick now)
         if (auto* hb = auditor_.histogramBuffer(s)) {
             Histogram h = hb->snapshotAndReset(now);
             SlotState& st = slots_[s];
+            const std::size_t saturated = h.saturatedBins();
             if (!st.mergedInit) {
                 st.merged = Histogram(h.numBins());
                 st.mergedInit = true;
             }
             st.merged.merge(h);
+            if (duplicate) {
+                // A double wakeup replays the drain: the same
+                // snapshot enters the window (and the merged sum)
+                // twice.
+                st.merged.merge(h);
+                if (auto evicted = st.window.push(Histogram(h)))
+                    st.merged.unmerge(*evicted);
+            }
             if (auto evicted = st.window.push(std::move(h)))
                 st.merged.unmerge(*evicted);
             std::lock_guard<std::mutex> lock(statsMutex_);
             ++stats_.drainedHistograms;
+            degraded_.saturatedBinEvents += saturated;
         }
         if (auto* vr = auditor_.vectorRegisters(s))
             vr->flush();
+    }
+    if (duplicate) {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++degraded_.duplicatedQuanta;
     }
     if (online_)
         dispatchAnalyses(quantum_index, now);
@@ -243,6 +423,12 @@ AuditDaemon::setContentionRetention(std::size_t quanta)
         }
         st.window.setCapacity(quanta);
     }
+    // The presence ring measures scheduler attendance over the run's
+    // recent history for coverage reporting; it only ever grows so a
+    // tight clustering interval cannot blind windowCoverage() to drops
+    // that happened a few quanta ago.
+    if (quanta > presence_.capacity())
+        presence_.setCapacity(quanta);
 }
 
 void
@@ -258,6 +444,7 @@ AuditDaemon::dispatchAnalyses(std::uint64_t quantum_index, Tick now)
         (quantum_index + 1) % onlineParams_.clusteringIntervalQuanta ==
         0;
     const bool async = queue_ != nullptr;
+    const double coverage = windowCoverage();
 
     AnalysisBatch batch;
     batch.quantum = quantum_index;
@@ -273,6 +460,10 @@ AuditDaemon::dispatchAnalyses(std::uint64_t quantum_index, Tick now)
                             onlineParams_.autocorrEveryQuantum;
         if (!sv.hasContention && !sv.hasOscillation)
             continue;
+        // Degradation context travels with the work so the consumer
+        // thread never reads live (sim-thread-owned) state.
+        sv.coverage = coverage;
+        sv.integrity = conflictIntegrity(s);
         if (async) {
             // The simulation keeps mutating the live windows, so the
             // hand-off carries snapshots: the histogram window only
@@ -281,8 +472,10 @@ AuditDaemon::dispatchAnalyses(std::uint64_t quantum_index, Tick now)
             SlotState& st = slots_[s];
             if (sv.hasContention) {
                 sv.windowCopy = st.window.toVector();
-                if (st.mergedInit)
+                if (st.mergedInit) {
                     sv.mergedCopy = st.merged;
+                    sv.mergedValid = true;
+                }
             }
             if (sv.hasOscillation)
                 sv.labels = std::move(st.quantumLabels);
@@ -292,13 +485,36 @@ AuditDaemon::dispatchAnalyses(std::uint64_t quantum_index, Tick now)
     if (batch.work.empty())
         return;
 
+    // Batch corruption happens *after* assembly — it models the
+    // hand-off itself going wrong, which is exactly what the
+    // validation stage on the consuming side must catch.
+    bool corrupted = false;
+    if (injector_) {
+        const FaultInjector::BatchCorruption kind =
+            injector_->nextBatchCorruption();
+        if (kind != FaultInjector::BatchCorruption::None) {
+            if (!async)
+                materializeSnapshots(batch);
+            corrupted = applyBatchCorruption(batch, kind);
+            if (corrupted)
+                injector_->recordBatchCorruption();
+        }
+    }
+    // An inline batch that was corrupted analyses its (mangled)
+    // snapshots rather than the pristine live windows.
+    const bool from_snapshots = async || corrupted;
+
     if (async) {
         {
             std::lock_guard<std::mutex> lock(idleMutex_);
             ++submitted_;
         }
-        auto displaced = queue_->push(std::move(batch));
-        if (displaced) {
+        const auto outcome = queue_->push(std::move(batch));
+        if (!outcome.accepted || outcome.displaced) {
+            // Rejected by a closing queue, or an older batch was shed:
+            // either way one submission will never be analysed, and
+            // the idle accounting must reflect that or flushAnalyses()
+            // blocks forever.
             std::lock_guard<std::mutex> lock(idleMutex_);
             ++completed_;
             idleCv_.notify_all();
@@ -307,11 +523,134 @@ AuditDaemon::dispatchAnalyses(std::uint64_t quantum_index, Tick now)
     }
 
     const auto t0 = std::chrono::steady_clock::now();
-    analyzeBatch(batch, /*from_snapshots=*/false);
-    applyVerdicts(batch);
+    const QuarantineReason reason =
+        validateBatch(batch, from_snapshots);
+    if (reason != QuarantineReason::None) {
+        quarantineBatch(reason);
+    } else {
+        analyzeBatch(batch, from_snapshots);
+        applyVerdicts(batch);
+    }
     const auto t1 = std::chrono::steady_clock::now();
     recordAnalysisLatency(
         std::chrono::duration<double, std::micro>(t1 - t0).count());
+}
+
+void
+AuditDaemon::materializeSnapshots(AnalysisBatch& batch)
+{
+    for (auto& sv : batch.work) {
+        SlotState& st = slots_[sv.slot];
+        if (sv.hasContention && sv.windowCopy.empty()) {
+            sv.windowCopy = st.window.toVector();
+            if (st.mergedInit) {
+                sv.mergedCopy = st.merged;
+                sv.mergedValid = true;
+            }
+        }
+        if (sv.hasOscillation && sv.labels.empty())
+            sv.labels = st.quantumLabels;
+    }
+}
+
+bool
+AuditDaemon::applyBatchCorruption(AnalysisBatch& batch,
+                                  FaultInjector::BatchCorruption kind)
+{
+    auto corruptLabel = [&batch]() {
+        for (auto& sv : batch.work) {
+            if (sv.hasOscillation && !sv.labels.empty()) {
+                sv.labels[0] =
+                    std::numeric_limits<double>::quiet_NaN();
+                return true;
+            }
+        }
+        return false;
+    };
+    auto corruptBins = [&batch]() {
+        for (auto& sv : batch.work) {
+            if (sv.hasContention && !sv.windowCopy.empty()) {
+                sv.windowCopy[0] =
+                    Histogram(sv.windowCopy[0].numBins() + 1);
+                return true;
+            }
+        }
+        return false;
+    };
+    // Fall through to the other corruption when the drawn one has no
+    // substrate in this batch, so a scheduled corruption lands
+    // whenever anything is corruptible at all.
+    if (kind == FaultInjector::BatchCorruption::BadLabel)
+        return corruptLabel() || corruptBins();
+    return corruptBins() || corruptLabel();
+}
+
+QuarantineReason
+AuditDaemon::validateBatch(const AnalysisBatch& batch,
+                           bool from_snapshots) const
+{
+    for (const auto& sv : batch.work) {
+        if (sv.slot >= slots_.size())
+            return QuarantineReason::SlotOutOfRange;
+        if (sv.hasContention) {
+            if (from_snapshots) {
+                if (!sv.windowCopy.empty()) {
+                    const std::size_t bins =
+                        sv.windowCopy.front().numBins();
+                    for (const Histogram& h : sv.windowCopy)
+                        if (h.numBins() != bins)
+                            return QuarantineReason::BinMismatch;
+                    if (sv.mergedValid &&
+                        sv.mergedCopy.numBins() != bins)
+                        return QuarantineReason::BinMismatch;
+                }
+            } else {
+                const SlotState& st = slots_[sv.slot];
+                if (st.window.size() != 0) {
+                    const std::size_t bins =
+                        st.window[0].numBins();
+                    for (const Histogram& h : st.window)
+                        if (h.numBins() != bins)
+                            return QuarantineReason::BinMismatch;
+                    if (st.mergedInit &&
+                        st.merged.numBins() != bins)
+                        return QuarantineReason::BinMismatch;
+                }
+            }
+        }
+        if (sv.hasOscillation) {
+            const std::vector<double>& labels =
+                from_snapshots ? sv.labels
+                               : slots_[sv.slot].quantumLabels;
+            for (const double l : labels) {
+                // A NaN fails both comparisons, so this rejects NaN,
+                // infinities and every non-binary value in one shot.
+                if (!(l == 0.0 || l == 1.0))
+                    return QuarantineReason::BadLabel;
+            }
+        }
+    }
+    return QuarantineReason::None;
+}
+
+void
+AuditDaemon::quarantineBatch(QuarantineReason reason)
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    ++degraded_.quarantinedBatches;
+    switch (reason) {
+    case QuarantineReason::BadLabel:
+        ++degraded_.quarantineBadLabel;
+        break;
+    case QuarantineReason::BinMismatch:
+        ++degraded_.quarantineBinMismatch;
+        break;
+    case QuarantineReason::SlotOutOfRange:
+        ++degraded_.quarantineSlotRange;
+        break;
+    case QuarantineReason::None:
+        break;
+    }
 }
 
 void
@@ -341,6 +680,11 @@ AuditDaemon::analyzeBatch(AnalysisBatch& batch, bool from_snapshots)
                     premerged = &st.merged;
             }
             sv.contention = hunter.analyzeContention(view, premerged);
+            if (!view.empty() && view.front()->numBins() != 0)
+                sv.satFraction =
+                    static_cast<double>(
+                        sv.contention.combined.saturatedBins) /
+                    static_cast<double>(view.front()->numBins());
         }
         if (sv.hasOscillation) {
             const std::vector<double>& labels =
@@ -362,18 +706,33 @@ AuditDaemon::applyVerdicts(AnalysisBatch& batch)
 {
     // Apply verdicts in slot order, contention before oscillation —
     // the exact alarm stream the serial inline path produces.
+    auto clamp01 = [](double v) {
+        return std::max(0.0, std::min(1.0, v));
+    };
     std::lock_guard<std::mutex> lock(alarmsMutex_);
-    auto raise = [&](unsigned slot, std::string summary) {
-        Alarm alarm{slot, batch.now, batch.quantum, std::move(summary)};
+    auto raise = [&](unsigned slot, std::string summary,
+                     double confidence) {
+        Alarm alarm{slot, batch.now, batch.quantum, std::move(summary),
+                    confidence};
         alarms_.push_back(alarm);
+        if (confidence < 1.0) {
+            // Lock order alarmsMutex_ -> statsMutex_ appears only
+            // here; no path takes them in the opposite order.
+            std::lock_guard<std::mutex> slock(statsMutex_);
+            ++degraded_.degradedAlarms;
+            degraded_.minAlarmConfidence =
+                std::min(degraded_.minAlarmConfidence, confidence);
+        }
         if (alarmCallback_)
             alarmCallback_(alarms_.back());
     };
     for (const auto& sv : batch.work) {
         if (sv.hasContention && sv.contention.detected)
-            raise(sv.slot, sv.contention.summary());
+            raise(sv.slot, sv.contention.summary(),
+                  clamp01(sv.coverage * (1.0 - sv.satFraction)));
         if (sv.hasOscillation && sv.oscillation.detected)
-            raise(sv.slot, sv.oscillation.summary());
+            raise(sv.slot, sv.oscillation.summary(),
+                  clamp01(sv.coverage * sv.integrity));
     }
 }
 
@@ -395,8 +754,14 @@ AuditDaemon::analysisLoop()
     while (auto batch = queue_->pop()) {
         const auto t0 = std::chrono::steady_clock::now();
         try {
-            analyzeBatch(*batch, /*from_snapshots=*/true);
-            applyVerdicts(*batch);
+            const QuarantineReason reason =
+                validateBatch(*batch, /*from_snapshots=*/true);
+            if (reason != QuarantineReason::None) {
+                quarantineBatch(reason);
+            } else {
+                analyzeBatch(*batch, /*from_snapshots=*/true);
+                applyVerdicts(*batch);
+            }
         } catch (const std::exception& e) {
             warn("online analysis batch failed: ", e.what());
         }
@@ -439,6 +804,89 @@ AuditDaemon::pipelineStats() const
         out.batchesDropped = queue_->dropped();
         out.queueDepthHighWater = queue_->highWaterMark();
     }
+    return out;
+}
+
+double
+AuditDaemon::windowCoverage() const
+{
+    if (presence_.size() == 0)
+        return 1.0;
+    std::uint64_t attended = 0;
+    for (const std::uint8_t p : presence_)
+        attended += p;
+    return static_cast<double>(attended) /
+           static_cast<double>(presence_.size());
+}
+
+double
+AuditDaemon::conflictIntegrity(unsigned slot) const
+{
+    if (slot >= slots_.size())
+        fatal("AuditDaemon: bad slot");
+    const SlotState& st = slots_[slot];
+    std::uint64_t aliases = 0;
+    if (const ConflictMissTracker* t = auditor_.tracker(slot))
+        aliases = t->forcedAliases();
+    const std::uint64_t lost =
+        st.conflictsTruncated + st.conflictsCorrupted + aliases;
+    const std::uint64_t basis =
+        st.conflictsIngested + st.conflictsTruncated;
+    if (basis == 0 || lost == 0)
+        return 1.0;
+    const double integrity =
+        1.0 - static_cast<double>(lost) / static_cast<double>(basis);
+    return std::max(0.0, std::min(1.0, integrity));
+}
+
+double
+AuditDaemon::contentionConfidence(unsigned slot,
+                                  const ContentionVerdict& verdict)
+    const
+{
+    const SlotState& st = slotState(slot);
+    double satFraction = 0.0;
+    if (st.window.size() != 0) {
+        const std::size_t bins = st.window[0].numBins();
+        if (bins != 0)
+            satFraction =
+                static_cast<double>(verdict.combined.saturatedBins) /
+                static_cast<double>(bins);
+    }
+    const double c = windowCoverage() * (1.0 - satFraction);
+    return std::max(0.0, std::min(1.0, c));
+}
+
+double
+AuditDaemon::oscillationConfidence(unsigned slot) const
+{
+    const double c = windowCoverage() * conflictIntegrity(slot);
+    return std::max(0.0, std::min(1.0, c));
+}
+
+DegradedStats
+AuditDaemon::degradedStats() const
+{
+    flushAnalyses();
+    DegradedStats out;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        out = degraded_;
+    }
+    // Component-held counters are read live rather than mirrored on
+    // every event; the daemon's own ledger only carries what the
+    // components cannot see (quanta, batches, quarantines).
+    for (unsigned s = 0; s < auditor_.numSlots(); ++s) {
+        if (s < slots_.size())
+            out.unmergeUnderflows +=
+                slots_[s].merged.unmergeUnderflows();
+        if (const ConflictMissTracker* t = auditor_.tracker(s))
+            out.bloomAliases += t->forcedAliases();
+        if (const HistogramBuffer* hb = auditor_.histogramBuffer(s))
+            out.accumulatorSaturations +=
+                hb->accumulatorSaturations();
+    }
+    out.windowCoverage = windowCoverage();
     return out;
 }
 

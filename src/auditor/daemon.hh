@@ -33,6 +33,7 @@
 
 #include "auditor/cc_auditor.hh"
 #include "detect/detector.hh"
+#include "faults/fault_injector.hh"
 #include "sim/stats_report.hh"
 #include "util/bounded_queue.hh"
 #include "util/histogram.hh"
@@ -147,6 +148,58 @@ struct PipelineStats
 std::vector<StatEntry> pipelineStatEntries(
     const PipelineStats& stats, const std::string& prefix = "daemon.");
 
+/** Why a malformed analysis batch was quarantined. */
+enum class QuarantineReason : std::uint8_t
+{
+    None,
+    BadLabel,      //!< an oscillation label was not a binary 0/1
+    BinMismatch,   //!< window histograms disagree on bin count
+    SlotOutOfRange //!< batch names a slot the daemon does not have
+};
+
+/**
+ * Degraded-operation counters: everything the pipeline observed going
+ * wrong with its own sensors, kept alongside (not inside) the
+ * throughput-oriented PipelineStats so a clean run reads all-zeros.
+ */
+struct DegradedStats
+{
+    std::uint64_t missedQuanta = 0;     //!< daemon wakeups that never ran
+    std::uint64_t duplicatedQuanta = 0; //!< snapshots recorded twice
+    std::uint64_t truncatedBatches = 0; //!< conflict batches cut short
+    std::uint64_t truncatedEvents = 0;  //!< conflict events lost to cuts
+    std::uint64_t reorderedBatches = 0; //!< conflict batches shuffled
+    std::uint64_t corruptedContexts = 0; //!< bogus context IDs ingested
+    std::uint64_t bloomAliases = 0;     //!< forced Bloom false positives
+    std::uint64_t saturatedBinEvents = 0; //!< histogram bins clamped at 16 bit
+    std::uint64_t accumulatorSaturations = 0; //!< event increments lost at 16 bit
+    std::uint64_t unmergeUnderflows = 0; //!< merged-window bins clamped at 0
+
+    std::uint64_t quarantinedBatches = 0; //!< malformed batches refused
+    std::uint64_t quarantineBadLabel = 0;
+    std::uint64_t quarantineBinMismatch = 0;
+    std::uint64_t quarantineSlotRange = 0;
+
+    std::uint64_t degradedAlarms = 0;  //!< alarms with confidence < 1
+    double minAlarmConfidence = 1.0;   //!< weakest alarm raised
+    double windowCoverage = 1.0;       //!< attended / scheduled quanta
+
+    /** Fold another block in (sums; min-combines the qualities). */
+    void accumulate(const DegradedStats& other);
+
+    /** Total faults observed (quarantines excluded — they are the
+     *  response, not the injury). */
+    std::uint64_t totalFaults() const;
+
+    /** Human-readable one-line summary. */
+    std::string summary() const;
+};
+
+/** DegradedStats as flat stat entries for sim/stats_report dumps. */
+std::vector<StatEntry> degradedStatEntries(
+    const DegradedStats& stats,
+    const std::string& prefix = "daemon.degraded.");
+
 /** One raised alarm. */
 struct Alarm
 {
@@ -154,6 +207,15 @@ struct Alarm
     Tick when = 0;
     std::uint64_t quantum = 0;
     std::string summary;
+
+    /**
+     * How much of the nominal observation actually backed this
+     * verdict, in [0, 1]: window coverage times the fraction of the
+     * evidence untouched by saturation (contention) or conflict-path
+     * corruption (oscillation).  1.0 on a clean sensor; "detected
+     * despite 30% sensor loss" reads as ~0.7.
+     */
+    double confidence = 1.0;
 };
 
 /** Invoked whenever an online analysis pass flags a channel. */
@@ -231,6 +293,43 @@ class AuditDaemon
     /** Pipeline observability snapshot (flushes pending analyses). */
     PipelineStats pipelineStats() const;
 
+    /**
+     * Degraded-operation snapshot (flushes pending analyses): the
+     * daemon's own fault ledger plus the sensor-side counters read off
+     * the auditor hardware (bin saturations, forced Bloom aliases,
+     * merged-window underflow clamps).
+     */
+    DegradedStats degradedStats() const;
+
+    /**
+     * Attach a fault injector: quantum drops/duplications, conflict-
+     * batch mutations, Bloom aliasing and analysis-batch corruption
+     * all start flowing through it.  The injector must outlive the
+     * daemon (or a detach with nullptr).  The daemon stays on its
+     * graceful-degradation path either way; a null injector simply
+     * means no faults fire.
+     */
+    void attachFaultInjector(FaultInjector* injector);
+
+    /** Fraction of scheduled quanta the daemon actually attended over
+     *  the retained window (1.0 before any quantum elapses). */
+    double windowCoverage() const;
+
+    /**
+     * Fraction of a cache slot's conflict evidence that arrived
+     * unmangled: 1 - (corrupted + truncated + aliased) / observed.
+     */
+    double conflictIntegrity(unsigned slot) const;
+
+    /** Confidence of a contention verdict computed offline on `slot`:
+     *  window coverage degraded by the saturated-bin fraction. */
+    double contentionConfidence(unsigned slot,
+                                const ContentionVerdict& verdict) const;
+
+    /** Confidence of an oscillation verdict computed offline on
+     *  `slot`: window coverage times conflict-path integrity. */
+    double oscillationConfidence(unsigned slot) const;
+
     /** Wait until every queued analysis batch has been processed.
      *  No-op in the inline (synchronous) mode. */
     void flushAnalyses() const;
@@ -279,6 +378,11 @@ class AuditDaemon
          *  quantum; feeds the oscillation analysis without a fresh
          *  series materialisation). */
         std::vector<double> quantumLabels;
+
+        // Conflict-path integrity accounting (sim thread only).
+        std::uint64_t conflictsIngested = 0;
+        std::uint64_t conflictsTruncated = 0;
+        std::uint64_t conflictsCorrupted = 0;
     };
 
     /** One slot's share of an analysis pass. */
@@ -287,13 +391,21 @@ class AuditDaemon
         unsigned slot = 0;
         bool hasContention = false;
         bool hasOscillation = false;
-        // Owned snapshots, filled only for the async hand-off; the
-        // inline path analyses the live windows in place.
+        // Owned snapshots, filled for the async hand-off (and for an
+        // inline batch about to be corrupted); the clean inline path
+        // analyses the live windows in place.
         std::vector<Histogram> windowCopy;
         Histogram mergedCopy{1};
+        bool mergedValid = false;
         std::vector<double> labels;
         ContentionVerdict contention;
         OscillationVerdict oscillation;
+
+        // Degradation context captured at dispatch (sim thread) so the
+        // consumer can stamp confidences without touching live state.
+        double coverage = 1.0;
+        double integrity = 1.0;
+        double satFraction = 0.0; //!< filled by analyzeBatch
     };
 
     /** One quantum's hand-off unit. */
@@ -306,7 +418,15 @@ class AuditDaemon
 
     void onQuantum(std::uint64_t quantum_index, Tick now);
     void wireCacheSlot(unsigned slot);
+    void ingestConflicts(unsigned slot,
+                         const std::vector<ConflictMissEvent>& evs);
     void dispatchAnalyses(std::uint64_t quantum_index, Tick now);
+    void materializeSnapshots(AnalysisBatch& batch);
+    bool applyBatchCorruption(AnalysisBatch& batch,
+                              FaultInjector::BatchCorruption kind);
+    QuarantineReason validateBatch(const AnalysisBatch& batch,
+                                   bool from_snapshots) const;
+    void quarantineBatch(QuarantineReason reason);
     void analyzeBatch(AnalysisBatch& batch, bool from_snapshots);
     void applyVerdicts(AnalysisBatch& batch);
     void recordAnalysisLatency(double micros);
@@ -318,6 +438,11 @@ class AuditDaemon
     CCAuditor& auditor_;
     DaemonRetention retention_;
     std::vector<SlotState> slots_;
+    FaultInjector* injector_ = nullptr;
+    /** 1 per attended quantum, 0 per missed one, over the contention
+     *  retention window (sim thread only). */
+    RingBuffer<std::uint8_t> presence_{512};
+    DegradedStats degraded_;
     std::uint64_t currentQuantum_ = 0;
     std::uint64_t quanta_ = 0;
     bool online_ = false;

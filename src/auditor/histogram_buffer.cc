@@ -42,6 +42,8 @@ HistogramBuffer::recordEvent(Tick when)
     auto& w = windows_[windowIndex(when)];
     if (!params_.saturate16 || w < max16)
         ++w;
+    else
+        ++accumulatorSaturations_;
     ++totalEvents_;
 }
 
@@ -72,10 +74,12 @@ HistogramBuffer::recordBurst(Tick start, std::uint64_t count,
         const std::uint64_t n = i_hi - i_lo;
         auto& cell = windows_[w];
         const std::uint64_t updated = cell + n;
-        cell = params_.saturate16
-                   ? static_cast<std::uint32_t>(
-                         std::min<std::uint64_t>(updated, max16))
-                   : static_cast<std::uint32_t>(updated);
+        if (params_.saturate16 && updated > max16) {
+            accumulatorSaturations_ += updated - max16;
+            cell = max16;
+        } else {
+            cell = static_cast<std::uint32_t>(updated);
+        }
     }
 }
 
@@ -92,11 +96,19 @@ HistogramBuffer::snapshotAndReset(Tick now)
     for (std::size_t w = 0; w < complete; ++w)
         hist.addSample(windows_[w]);
     if (params_.saturate16) {
-        // Clamp bin counts to the 16-bit entry width.
+        // Clamp bin counts to the 16-bit entry width; a clamped bin is
+        // flagged so downstream analyses can exclude the undercounted
+        // entry from the second-distribution fit.
         Histogram clamped(params_.numBins);
-        for (std::size_t b = 0; b < hist.numBins(); ++b)
-            clamped.addSample(
-                b, std::min<std::uint64_t>(hist.bin(b), max16));
+        for (std::size_t b = 0; b < hist.numBins(); ++b) {
+            const std::uint64_t count = hist.bin(b);
+            if (count > max16) {
+                clamped.addSample(b, max16);
+                clamped.markSaturated(b);
+            } else {
+                clamped.addSample(b, count);
+            }
+        }
         hist = clamped;
     }
     windows_.clear();

@@ -66,6 +66,13 @@ class HistogramBuffer
     /** Events recorded since construction. */
     std::uint64_t totalEvents() const { return totalEvents_; }
 
+    /** Event increments suppressed because a window's 16-bit
+     *  accumulator had already topped out (saturate16 only). */
+    std::uint64_t accumulatorSaturations() const
+    {
+        return accumulatorSaturations_;
+    }
+
   private:
     /** Ensure the window containing `when` exists; returns its index. */
     std::size_t windowIndex(Tick when);
@@ -76,6 +83,7 @@ class HistogramBuffer
     /** Event count per Δt window since the last snapshot. */
     std::vector<std::uint32_t> windows_;
     std::uint64_t totalEvents_ = 0;
+    std::uint64_t accumulatorSaturations_ = 0;
 };
 
 } // namespace cchunter

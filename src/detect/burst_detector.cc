@@ -88,31 +88,124 @@ BurstDetector::analyze(const Histogram& hist) const
 {
     BurstAnalysis out;
     const std::size_t n = hist.numBins();
-    out.nonZeroSamples = hist.countInRange(1, n - 1);
+    out.saturatedBins = hist.saturatedBins();
 
-    const auto threshold = thresholdDensity(hist);
-    if (!threshold) {
-        // All samples (if any) sit in bin 0: no contention at all.
+    if (out.saturatedBins == 0) {
+        // Clean (unsaturated) histogram: the exact published pipeline.
+        out.nonZeroSamples = hist.countInRange(1, n - 1);
+
+        const auto threshold = thresholdDensity(hist);
+        if (!threshold) {
+            // All samples (if any) sit in bin 0: no contention at all.
+            return out;
+        }
+        out.thresholdBin = *threshold;
+        out.nonBurstMean =
+            out.thresholdBin > 0 ?
+            hist.meanInRange(0, out.thresholdBin - 1) : 0.0;
+        out.burstSamples = hist.countInRange(out.thresholdBin, n - 1);
+
+        if (out.burstSamples == 0)
+            return out;
+
+        out.burstMean = hist.meanInRange(out.thresholdBin, n - 1);
+        out.burstPeakBin = hist.peakBin(out.thresholdBin, n - 1);
+
+        // Extent of the burst distribution (first/last populated bin
+        // at or beyond the threshold).
+        out.burstFirstBin = out.thresholdBin;
+        while (out.burstFirstBin < n - 1 &&
+               hist.bin(out.burstFirstBin) == 0)
+            ++out.burstFirstBin;
+        out.burstLastBin = hist.maxNonZeroBin();
+
+        out.hasSecondDistribution = out.burstMean > params_.minBurstMean;
+        if (!out.hasSecondDistribution)
+            return out;
+
+        out.likelihoodRatio =
+            out.nonZeroSamples == 0 ? 0.0 :
+            static_cast<double>(out.burstSamples) /
+            static_cast<double>(out.nonZeroSamples);
+        out.significant =
+            out.likelihoodRatio >= params_.likelihoodThreshold &&
+            out.nonZeroSamples >= params_.minNonZeroSamples;
         return out;
     }
+
+    // Degraded path: same pipeline, but bins whose 16-bit hardware
+    // entry clamped are excluded from the distribution statistics —
+    // their recorded counts are floors, not measurements, and folding
+    // them into the likelihood ratio (either side) would let sensor
+    // saturation masquerade as evidence.
+    auto usable = [&hist](std::size_t i) {
+        return !hist.binSaturated(i);
+    };
+    auto countRange = [&](std::size_t first, std::size_t last) {
+        last = std::min(last, n - 1);
+        std::uint64_t c = 0;
+        for (std::size_t i = first; i <= last && i < n; ++i)
+            if (usable(i))
+                c += hist.bin(i);
+        return c;
+    };
+    auto meanRange = [&](std::size_t first, std::size_t last) {
+        last = std::min(last, n - 1);
+        double weighted = 0.0;
+        double count = 0.0;
+        for (std::size_t i = first; i <= last && i < n; ++i) {
+            if (!usable(i))
+                continue;
+            weighted += static_cast<double>(i) *
+                        static_cast<double>(hist.bin(i));
+            count += static_cast<double>(hist.bin(i));
+        }
+        return count == 0.0 ? 0.0 : weighted / count;
+    };
+    auto peakRange = [&](std::size_t first, std::size_t last) {
+        last = std::min(last, n - 1);
+        std::size_t best = first;
+        std::uint64_t best_count = 0;
+        for (std::size_t i = first; i <= last && i < n; ++i) {
+            if (usable(i) && hist.bin(i) > best_count) {
+                best_count = hist.bin(i);
+                best = i;
+            }
+        }
+        return best;
+    };
+
+    out.nonZeroSamples = countRange(1, n - 1);
+
+    // The threshold density comes off the smoothed raw curve — a
+    // clamped bin still marks where the valley sits.
+    const auto threshold = thresholdDensity(hist);
+    if (!threshold)
+        return out;
     out.thresholdBin = *threshold;
     out.nonBurstMean =
         out.thresholdBin > 0 ?
-        hist.meanInRange(0, out.thresholdBin - 1) : 0.0;
-    out.burstSamples = hist.countInRange(out.thresholdBin, n - 1);
+        meanRange(0, out.thresholdBin - 1) : 0.0;
+    out.burstSamples = countRange(out.thresholdBin, n - 1);
 
     if (out.burstSamples == 0)
         return out;
 
-    out.burstMean = hist.meanInRange(out.thresholdBin, n - 1);
-    out.burstPeakBin = hist.peakBin(out.thresholdBin, n - 1);
+    out.burstMean = meanRange(out.thresholdBin, n - 1);
+    out.burstPeakBin = peakRange(out.thresholdBin, n - 1);
 
-    // Extent of the burst distribution (first/last populated bin at or
-    // beyond the threshold).
     out.burstFirstBin = out.thresholdBin;
-    while (out.burstFirstBin < n - 1 && hist.bin(out.burstFirstBin) == 0)
+    while (out.burstFirstBin < n - 1 &&
+           (hist.bin(out.burstFirstBin) == 0 ||
+            !usable(out.burstFirstBin)))
         ++out.burstFirstBin;
-    out.burstLastBin = hist.maxNonZeroBin();
+    out.burstLastBin = 0;
+    for (std::size_t i = n; i-- > 0;) {
+        if (usable(i) && hist.bin(i) != 0) {
+            out.burstLastBin = i;
+            break;
+        }
+    }
 
     out.hasSecondDistribution = out.burstMean > params_.minBurstMean;
     if (!out.hasSecondDistribution)

@@ -94,6 +94,14 @@ struct BurstAnalysis
 
     /** True when the burst distribution passes the likelihood test. */
     bool significant = false;
+
+    /**
+     * Bins excluded from the second-distribution fit because their
+     * 16-bit hardware entry saturated (the recorded count is only a
+     * floor).  0 on a clean histogram; when non-zero the burst/non-
+     * burst statistics above were computed over the trusted bins only.
+     */
+    std::size_t saturatedBins = 0;
 };
 
 /**

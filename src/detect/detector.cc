@@ -76,7 +76,28 @@ CCHunter::analyzeContention(const std::vector<const Histogram*>& quanta,
             ++out.significantQuanta;
 
     if (premerged) {
-        out.combined = detector.analyze(*premerged);
+        // The incrementally maintained merged histogram accumulates
+        // saturation flags from every quantum it ever absorbed; the
+        // fit must only exclude bins saturated within the *current*
+        // window, so rebuild the mask from the window when saturation
+        // is in play.  Clean windows take the zero-copy path.
+        bool saturation = premerged->saturatedBins() != 0;
+        for (const Histogram* h : quanta) {
+            if (saturation)
+                break;
+            saturation = h->saturatedBins() != 0;
+        }
+        if (saturation) {
+            Histogram merged = *premerged;
+            merged.clearSaturation();
+            for (const Histogram* h : quanta)
+                for (std::size_t b = 0; b < h->numBins(); ++b)
+                    if (h->binSaturated(b))
+                        merged.markSaturated(b);
+            out.combined = detector.analyze(merged);
+        } else {
+            out.combined = detector.analyze(*premerged);
+        }
     } else {
         Histogram merged(quanta.front()->numBins());
         for (const Histogram* h : quanta)

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 
 #include "channels/bus_channel.hh"
 #include "channels/cache_channel.hh"
 #include "channels/divider_channel.hh"
+#include "faults/fault_injector.hh"
 #include "sim/machine.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -63,6 +65,35 @@ addNoise(Machine& machine, const ScenarioOptions& opts)
     }
 }
 
+/**
+ * Optional fault-injection harness for a scenario run.  When the plan
+ * is all-zero nothing is constructed or attached, so a clean run
+ * executes exactly the pre-fault-injection code paths.
+ */
+struct FaultHarness
+{
+    std::optional<FaultInjector> injector;
+
+    FaultHarness(const ScenarioOptions& opts, CCAuditor& auditor)
+    {
+        if (!opts.faults.enabled())
+            return;
+        opts.faults.validate();
+        if (opts.faults.saturatePaperWidths) {
+            HistogramBufferParams hp = auditor.histogramParams();
+            hp.saturate16 = true;
+            auditor.setHistogramParams(hp);
+        }
+        injector.emplace(opts.faults);
+    }
+
+    void attach(AuditDaemon& daemon)
+    {
+        if (injector)
+            daemon.attachFaultInjector(&*injector);
+    }
+};
+
 } // namespace
 
 Tick
@@ -104,6 +135,10 @@ scenarioConfig(const ScenarioOptions& opts)
     cfg.set("cache_rounds",
             static_cast<std::int64_t>(opts.effectiveCacheRounds()));
     cfg.set("ideal_tracker", opts.idealTracker);
+    // Fault keys are echoed only when a plan is active, keeping clean
+    // runs' config dumps byte-identical to pre-fault-injection output.
+    if (opts.faults.enabled())
+        opts.faults.toConfig(cfg);
     return cfg;
 }
 
@@ -166,10 +201,12 @@ runBusScenario(const ScenarioOptions& opts)
     }
 
     CCAuditor auditor(machine);
+    FaultHarness faults(opts, auditor);
     const AuditKey key = requestAuditKey(true);
     auditor.monitorBus(key, 0);
     result.deltaT = busDeltaT;
     AuditDaemon daemon(machine, auditor);
+    faults.attach(daemon);
 
     machine.runQuanta(opts.quanta);
 
@@ -185,6 +222,8 @@ runBusScenario(const ScenarioOptions& opts)
     result.lockEvents = machine.mem().bus().locks();
     result.slotMeans = spy->slotMeans();
     result.pipeline = daemon.pipelineStats();
+    result.degraded = daemon.degradedStats();
+    result.confidence = daemon.contentionConfidence(0, result.verdict);
     return result;
 }
 
@@ -227,10 +266,12 @@ runDividerScenario(const ScenarioOptions& opts)
     }
 
     CCAuditor auditor(machine);
+    FaultHarness faults(opts, auditor);
     const AuditKey key = requestAuditKey(true);
     auditor.monitorDivider(key, 0, /*core=*/0);
     result.deltaT = dividerDeltaT;
     AuditDaemon daemon(machine, auditor);
+    faults.attach(daemon);
 
     machine.runQuanta(opts.quanta);
 
@@ -246,6 +287,8 @@ runDividerScenario(const ScenarioOptions& opts)
     result.conflictEvents = machine.divider(0).totalConflicts();
     result.slotMeans = spy->slotMeans();
     result.pipeline = daemon.pipelineStats();
+    result.degraded = daemon.degradedStats();
+    result.confidence = daemon.contentionConfidence(0, result.verdict);
     return result;
 }
 
@@ -277,10 +320,12 @@ runMultiplierScenario(const ScenarioOptions& opts)
     addNoise(machine, opts);
 
     CCAuditor auditor(machine);
+    FaultHarness faults(opts, auditor);
     const AuditKey key = requestAuditKey(true);
     auditor.monitorMultiplier(key, 0, /*core=*/0);
     result.deltaT = multiplierDeltaT;
     AuditDaemon daemon(machine, auditor);
+    faults.attach(daemon);
 
     machine.runQuanta(opts.quanta);
 
@@ -293,6 +338,8 @@ runMultiplierScenario(const ScenarioOptions& opts)
     result.conflictEvents = machine.multiplier(0).totalConflicts();
     result.slotMeans = spy->slotMeans();
     result.pipeline = daemon.pipelineStats();
+    result.degraded = daemon.degradedStats();
+    result.confidence = daemon.contentionConfidence(0, result.verdict);
     return result;
 }
 
@@ -340,12 +387,14 @@ runCacheScenario(const ScenarioOptions& opts)
     addNoise(machine, opts);
 
     CCAuditor auditor(machine);
+    FaultHarness faults(opts, auditor);
     const AuditKey key = requestAuditKey(true);
     if (opts.idealTracker)
         auditor.monitorCacheIdeal(key, 0, /*core=*/0);
     else
         auditor.monitorCache(key, 0, /*core=*/0, opts.trackerParams);
     AuditDaemon daemon(machine, auditor);
+    faults.attach(daemon);
 
     machine.runQuanta(opts.quanta);
 
@@ -361,6 +410,8 @@ runCacheScenario(const ScenarioOptions& opts)
     if (auto* oracle = auditor.idealTracker(0))
         result.trackedConflicts = oracle->conflictMisses();
     result.pipeline = daemon.pipelineStats();
+    result.degraded = daemon.degradedStats();
+    result.confidence = daemon.oscillationConfidence(0);
     return result;
 }
 
@@ -378,10 +429,12 @@ runBenignPair(const std::string& a, const std::string& b,
         addNoise(machine, opts);
 
         CCAuditor auditor(machine);
+        FaultHarness faults(opts, auditor);
         const AuditKey key = requestAuditKey(true);
         auditor.monitorBus(key, 0);
         auditor.monitorDivider(key, 1, 0);
         AuditDaemon daemon(machine, auditor);
+        faults.attach(daemon);
         machine.runQuanta(opts.quanta);
 
         result.busQuanta = daemon.contentionQuanta(0);
@@ -389,6 +442,11 @@ runBenignPair(const std::string& a, const std::string& b,
         result.busVerdict = daemon.analyzeContention(0);
         result.dividerVerdict = daemon.analyzeContention(1);
         result.pipeline.accumulate(daemon.pipelineStats());
+        result.degraded.accumulate(daemon.degradedStats());
+        result.confidence = std::min(
+            {result.confidence,
+             daemon.contentionConfidence(0, result.busVerdict),
+             daemon.contentionConfidence(1, result.dividerVerdict)});
     }
 
     // Pass 2: identical run auditing core 0's L2 cache instead (the
@@ -400,14 +458,19 @@ runBenignPair(const std::string& a, const std::string& b,
         addNoise(machine, opts);
 
         CCAuditor auditor(machine);
+        FaultHarness faults(opts, auditor);
         const AuditKey key = requestAuditKey(true);
         auditor.monitorCache(key, 0, 0);
         AuditDaemon daemon(machine, auditor);
+        faults.attach(daemon);
         machine.runQuanta(opts.quanta);
 
         result.cacheLabelSeries = daemon.labelSeries(0);
         result.cacheVerdict = daemon.analyzeOscillation(0);
         result.pipeline.accumulate(daemon.pipelineStats());
+        result.degraded.accumulate(daemon.degradedStats());
+        result.confidence = std::min(result.confidence,
+                                     daemon.oscillationConfidence(0));
     }
     return result;
 }

@@ -17,6 +17,7 @@
 #include "channels/message.hh"
 #include "detect/detector.hh"
 #include "detect/event_train.hh"
+#include "faults/fault_plan.hh"
 #include "util/config.hh"
 #include "util/histogram.hh"
 #include "util/types.hh"
@@ -75,6 +76,13 @@ struct ScenarioOptions
      */
     Tick trainWindowTicks = 0;
 
+    /**
+     * Deterministic fault-injection plan (robustness studies).  All
+     * rates default to zero, which leaves the run bit-identical to an
+     * uninstrumented one — no injector is even constructed.
+     */
+    FaultPlan faults;
+
     /** Effective signal window for the configured bandwidth. */
     Tick effectiveSignalTicks() const;
 };
@@ -111,6 +119,11 @@ struct BusScenarioResult
     std::vector<std::pair<std::size_t, double>> slotMeans;
     /** Observation-pipeline health counters from the daemon. */
     PipelineStats pipeline;
+    /** Degraded-operation ledger from the daemon (all zero when no
+     *  faults were injected). */
+    DegradedStats degraded;
+    /** Weakest alarm confidence observed (1.0 on a clean run). */
+    double confidence = 1.0;
 };
 
 /** Result of an integer-divider channel scenario. */
@@ -130,6 +143,11 @@ struct DividerScenarioResult
     std::vector<std::pair<std::size_t, double>> slotMeans;
     /** Observation-pipeline health counters from the daemon. */
     PipelineStats pipeline;
+    /** Degraded-operation ledger from the daemon (all zero when no
+     *  faults were injected). */
+    DegradedStats degraded;
+    /** Weakest alarm confidence observed (1.0 on a clean run). */
+    double confidence = 1.0;
 };
 
 /** Result of a shared-cache channel scenario. */
@@ -145,6 +163,11 @@ struct CacheScenarioResult
     std::uint64_t trackedConflicts = 0;
     /** Observation-pipeline health counters from the daemon. */
     PipelineStats pipeline;
+    /** Degraded-operation ledger from the daemon (all zero when no
+     *  faults were injected). */
+    DegradedStats degraded;
+    /** Weakest alarm confidence observed (1.0 on a clean run). */
+    double confidence = 1.0;
 };
 
 /** Result of a benign pair run (false-alarm study). */
@@ -158,6 +181,11 @@ struct BenignScenarioResult
     OscillationVerdict cacheVerdict;
     /** Pipeline health accumulated across both audit passes. */
     PipelineStats pipeline;
+    /** Degraded-operation ledger from the daemon (all zero when no
+     *  faults were injected). */
+    DegradedStats degraded;
+    /** Weakest alarm confidence observed (1.0 on a clean run). */
+    double confidence = 1.0;
 };
 
 /** Run the memory-bus covert channel under audit. */

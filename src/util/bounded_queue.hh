@@ -35,10 +35,26 @@ enum class OverflowPolicy
 };
 
 /**
+ * Result of one push.  The rejected/accepted distinction is explicit
+ * so a producer racing close() gets a definite answer — a rejected
+ * item was NOT enqueued and its side-effects (completion accounting,
+ * retries) are the producer's to handle.
+ */
+template <typename T>
+struct PushOutcome
+{
+    /** False when the queue was closed and the item discarded. */
+    bool accepted = false;
+
+    /** The oldest item evicted to make room (DropOldest only). */
+    std::optional<T> displaced;
+};
+
+/**
  * Fixed-capacity FIFO queue with blocking pop and configurable
- * overflow behaviour.  close() wakes all waiters; pushes after close
- * are ignored and pops drain the remaining items before returning
- * nullopt.
+ * overflow behaviour.  close() wakes all waiters; pushes after (or
+ * racing) close() return a definite rejection and never block, and
+ * pops drain the remaining items before returning nullopt.
  */
 template <typename T>
 class BoundedQueue
@@ -53,35 +69,37 @@ class BoundedQueue
     }
 
     /**
-     * Enqueue an item.  Under Block, waits for space; under
-     * DropOldest, a full queue evicts its oldest item and returns it
-     * so the caller can account for the loss.  Returns nullopt when
-     * the item was enqueued without displacing anything (including
-     * pushes discarded after close()).
+     * Enqueue an item.  Under Block, waits for space — but a close()
+     * arriving while the producer waits (or before it) wakes the wait
+     * and yields a definite rejection (`accepted == false`) rather
+     * than blocking forever or silently dropping.  Under DropOldest,
+     * a full queue evicts its oldest item and returns it in
+     * `displaced` so the caller can account for the loss.
      */
-    std::optional<T>
+    PushOutcome<T>
     push(T item)
     {
         std::unique_lock<std::mutex> lock(mutex_);
+        PushOutcome<T> outcome;
         if (closed_)
-            return std::nullopt;
-        std::optional<T> displaced;
+            return outcome;
         if (policy_ == OverflowPolicy::Block) {
             notFull_.wait(lock, [this] {
                 return queue_.size() < cap_ || closed_;
             });
             if (closed_)
-                return std::nullopt;
+                return outcome;
         } else if (queue_.size() >= cap_) {
-            displaced = std::move(queue_.front());
+            outcome.displaced = std::move(queue_.front());
             queue_.pop_front();
             ++dropped_;
         }
         queue_.push_back(std::move(item));
         ++pushed_;
+        outcome.accepted = true;
         highWater_ = std::max(highWater_, queue_.size());
         notEmpty_.notify_one();
-        return displaced;
+        return outcome;
     }
 
     /**

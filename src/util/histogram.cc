@@ -93,6 +93,13 @@ Histogram::merge(const Histogram& other)
     for (std::size_t i = 0; i < bins_.size(); ++i)
         bins_[i] += other.bins_[i];
     total_ += other.total_;
+    if (!other.saturated_.empty()) {
+        if (saturated_.empty())
+            saturated_.assign(bins_.size(), false);
+        for (std::size_t i = 0; i < bins_.size(); ++i)
+            if (other.saturated_[i])
+                saturated_[i] = true;
+    }
 }
 
 void
@@ -101,14 +108,53 @@ Histogram::unmerge(const Histogram& other)
     if (other.bins_.size() != bins_.size())
         fatal("Histogram::unmerge: bin-count mismatch");
     for (std::size_t i = 0; i < bins_.size(); ++i) {
-        if (other.bins_[i] > bins_[i])
-            fatal("Histogram::unmerge: bin ", i,
-                  " would go negative (have ", bins_[i],
-                  ", subtracting ", other.bins_[i], ")");
+        if (other.bins_[i] > bins_[i]) {
+            // Inconsistent history (e.g. a saturated snapshot merged
+            // under a different clamp than the one being retired):
+            // clamp at zero and count it rather than wrapping the
+            // whole window.
+            ++unmergeUnderflows_;
+            total_ -= bins_[i];
+            bins_[i] = 0;
+        } else {
+            total_ -= other.bins_[i];
+            bins_[i] -= other.bins_[i];
+        }
     }
-    for (std::size_t i = 0; i < bins_.size(); ++i)
-        bins_[i] -= other.bins_[i];
-    total_ -= other.total_;
+}
+
+void
+Histogram::markSaturated(std::size_t i)
+{
+    if (i >= bins_.size())
+        panic("Histogram::markSaturated index out of range");
+    if (saturated_.empty())
+        saturated_.assign(bins_.size(), false);
+    saturated_[i] = true;
+}
+
+bool
+Histogram::binSaturated(std::size_t i) const
+{
+    if (i >= bins_.size())
+        panic("Histogram::binSaturated index out of range");
+    return !saturated_.empty() && saturated_[i];
+}
+
+std::size_t
+Histogram::saturatedBins() const
+{
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < saturated_.size(); ++i)
+        if (saturated_[i])
+            ++n;
+    return n;
+}
+
+void
+Histogram::clearSaturation()
+{
+    saturated_.clear();
 }
 
 void
@@ -116,6 +162,7 @@ Histogram::clear()
 {
     std::fill(bins_.begin(), bins_.end(), 0);
     total_ = 0;
+    saturated_.clear();
 }
 
 std::vector<double>

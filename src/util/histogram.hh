@@ -62,13 +62,38 @@ class Histogram
     void merge(const Histogram& other);
 
     /**
-     * Exact inverse of merge(): bin-wise subtract a previously merged
-     * histogram.  Sizes must match and every bin must stay
-     * non-negative — the streaming pipeline relies on
+     * Inverse of merge(): bin-wise subtract a previously merged
+     * histogram.  Sizes must match; the streaming pipeline relies on
      * merge()/unmerge() round-tripping bit-exactly as quanta slide
-     * out of the retention window.
+     * out of the retention window.  A subtraction that would drive a
+     * bin negative (inconsistent merge history — a degraded-sensor
+     * condition, not a programming error) clamps the bin at zero and
+     * counts the underflow instead of wrapping.
      */
     void unmerge(const Histogram& other);
+
+    /** Clamped-at-zero unmerge subtractions so far. */
+    std::uint64_t unmergeUnderflows() const
+    {
+        return unmergeUnderflows_;
+    }
+
+    /**
+     * Flag a bin as saturated: its hardware counter hit the 16-bit
+     * ceiling, so the recorded count is a floor of the truth.  The
+     * mask is lazily allocated (clean histograms carry no overhead),
+     * survives merge() (bit-wise OR) and is dropped by clear().
+     */
+    void markSaturated(std::size_t i);
+
+    /** True when bin i carries the saturation flag. */
+    bool binSaturated(std::size_t i) const;
+
+    /** Number of saturated bins. */
+    std::size_t saturatedBins() const;
+
+    /** Drop every saturation flag (counts are untouched). */
+    void clearSaturation();
 
     /** Reset all bins to zero. */
     void clear();
@@ -85,6 +110,9 @@ class Histogram
   private:
     std::vector<std::uint64_t> bins_;
     std::uint64_t total_ = 0;
+    std::uint64_t unmergeUnderflows_ = 0;
+    /** Empty unless some bin saturated (lazily sized to bins_). */
+    std::vector<bool> saturated_;
 };
 
 } // namespace cchunter

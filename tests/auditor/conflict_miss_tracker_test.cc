@@ -5,6 +5,7 @@
 #include "auditor/conflict_miss_tracker.hh"
 #include "auditor/lru_stack_tracker.hh"
 #include "mem/cache.hh"
+#include "util/bloom_filter.hh"
 #include "util/rng.hh"
 
 namespace cchunter
@@ -185,6 +186,74 @@ TEST_P(TrackerAgreementTest, PracticalApproximatesOracle)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TrackerAgreementTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(ConflictMissTrackerTest, BloomFalsePositivesNearTheoreticalBound)
+{
+    // The tracker's design occupancy: each generation filter holds N
+    // bits and absorbs one generation's worth of distinct blocks
+    // (N / numGenerations = N/4 keys) before rotating.  The measured
+    // false-positive rate at that occupancy must sit within 2x of the
+    // theoretical 3-hash bound (1 - e^{-kn/m})^k.
+    constexpr std::size_t kBits = 4096;
+    constexpr std::size_t kKeys = kBits / 4;
+    BloomFilter filter(kBits, 3);
+    Rng rng(1234);
+
+    std::vector<std::uint64_t> inserted;
+    inserted.reserve(kKeys);
+    while (inserted.size() < kKeys) {
+        const std::uint64_t key = rng.next();
+        if (!filter.mayContain(key)) {
+            filter.insert(key);
+            inserted.push_back(key);
+        }
+    }
+
+    const double theoretical =
+        filter.estimatedFalsePositiveRate(kKeys);
+    ASSERT_GT(theoretical, 0.0);
+
+    std::uint64_t false_positives = 0;
+    constexpr std::uint64_t kProbes = 200000;
+    for (std::uint64_t i = 0; i < kProbes; ++i) {
+        // Probe keys disjoint from the inserted stream: a fresh Rng
+        // stream offset far beyond the insert draws.
+        const std::uint64_t key = rng.next();
+        false_positives += filter.mayContain(key);
+    }
+    const double measured =
+        static_cast<double>(false_positives) /
+        static_cast<double>(kProbes);
+    EXPECT_LE(measured, 2.0 * theoretical)
+        << "measured " << measured << " vs theoretical "
+        << theoretical;
+    EXPECT_GT(measured, 0.0); // kBits/4 keys: FPs must exist
+}
+
+TEST(ConflictMissTrackerTest, AliasHookForcesConflictAndCounts)
+{
+    // The fault-injection alias hook flips would-be clean misses into
+    // conflict reports, modelling Bloom-filter aliasing; every forced
+    // alias is counted for the integrity ledger.
+    Cache cache("t", tinyGeom());
+    ConflictMissTracker tracker(cache.geometry().numBlocks());
+    cache.setMonitor(&tracker);
+    tracker.setAliasHook([] { return true; });
+
+    std::uint64_t events = 0;
+    tracker.addListener([&](const ConflictMissEvent&) { ++events; });
+
+    // A cold-miss-only stream: without the hook no conflicts at all
+    // (ColdMissesAreNotConflicts above); with it, re-fetches of aged-
+    // out lines alias into conflicts.
+    for (Addr a = 0; a < 16 * 64; a += 64)
+        cache.access(a, 0, 0);
+    for (Addr a = 0; a < 16 * 64; a += 64)
+        cache.access(a, 1, 1);
+    EXPECT_GT(tracker.forcedAliases(), 0u);
+    EXPECT_EQ(tracker.conflictMisses(), tracker.forcedAliases());
+    EXPECT_EQ(events, tracker.forcedAliases());
+}
 
 } // namespace
 } // namespace cchunter

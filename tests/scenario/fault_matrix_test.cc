@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Fault-matrix scenario tests: the canned trojan/spy scenarios driven
+ * through seeded fault plans.  Detection must survive moderate fault
+ * rates with honestly degraded confidence, fault-free plans must leave
+ * scenario results bit-identical to pre-fault-injection runs, and any
+ * seeded plan must reproduce exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scenario/experiment.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+ScenarioOptions
+fastOptions()
+{
+    ScenarioOptions opts;
+    opts.bandwidthBps = 10000.0;
+    opts.quanta = 8;
+    opts.quantum = 2500000;
+    opts.seed = 1;
+    opts.noiseProcesses = 0;
+    return opts;
+}
+
+TEST(FaultMatrixTest, CleanPlanLeavesDividerRunUntouched)
+{
+    const ScenarioOptions clean = fastOptions();
+    ScenarioOptions with_plan = fastOptions();
+    with_plan.faults = FaultPlan{}; // explicit all-zero plan
+
+    const DividerScenarioResult a = runDividerScenario(clean);
+    const DividerScenarioResult b = runDividerScenario(with_plan);
+
+    EXPECT_EQ(a.verdict.summary(), b.verdict.summary());
+    EXPECT_EQ(a.decoded.toString(), b.decoded.toString());
+    EXPECT_DOUBLE_EQ(a.bitErrorRate, b.bitErrorRate);
+    EXPECT_EQ(a.conflictEvents, b.conflictEvents);
+    EXPECT_EQ(a.degraded.totalFaults(), 0u);
+    EXPECT_EQ(b.degraded.totalFaults(), 0u);
+    EXPECT_DOUBLE_EQ(a.confidence, 1.0);
+    EXPECT_DOUBLE_EQ(b.confidence, 1.0);
+    // Clean config dumps carry no faults.* keys.
+    EXPECT_EQ(scenarioConfig(clean).dump(),
+              scenarioConfig(with_plan).dump());
+}
+
+TEST(FaultMatrixTest, DividerDetectsAtTenPercentLoss)
+{
+    // The acceptance bar: <= 10% injected quantum loss keeps the
+    // likelihood-ratio decision (>= 0.9) while confidence degrades.
+    ScenarioOptions opts = fastOptions();
+    opts.quanta = 16;
+    opts.faults.seed = 4;
+    opts.faults.dropQuantumRate = 0.10;
+
+    const DividerScenarioResult r = runDividerScenario(opts);
+    EXPECT_TRUE(r.verdict.detected);
+    EXPECT_GE(r.verdict.combined.likelihoodRatio, 0.9);
+    if (r.degraded.missedQuanta > 0) {
+        EXPECT_LT(r.degraded.windowCoverage, 1.0);
+        EXPECT_LT(r.confidence, 1.0);
+    }
+    EXPECT_GT(r.confidence, 0.0);
+}
+
+TEST(FaultMatrixTest, SeededScenarioRunsAreDeterministic)
+{
+    ScenarioOptions opts = fastOptions();
+    opts.faults.seed = 23;
+    opts.faults.dropQuantumRate = 0.15;
+    opts.faults.duplicateQuantumRate = 0.05;
+    opts.faults.saturatePaperWidths = true;
+
+    const DividerScenarioResult a = runDividerScenario(opts);
+    const DividerScenarioResult b = runDividerScenario(opts);
+
+    EXPECT_EQ(a.verdict.summary(), b.verdict.summary());
+    EXPECT_DOUBLE_EQ(a.confidence, b.confidence);
+    EXPECT_EQ(a.degraded.missedQuanta, b.degraded.missedQuanta);
+    EXPECT_EQ(a.degraded.duplicatedQuanta, b.degraded.duplicatedQuanta);
+    EXPECT_EQ(a.degraded.saturatedBinEvents,
+              b.degraded.saturatedBinEvents);
+    EXPECT_EQ(a.degraded.accumulatorSaturations,
+              b.degraded.accumulatorSaturations);
+    // The faults echo into the reproducibility config dump.
+    const std::string dump = scenarioConfig(opts).dump();
+    EXPECT_NE(dump.find("faults.drop_quantum"), std::string::npos);
+    EXPECT_NE(dump.find("faults.saturate"), std::string::npos);
+}
+
+TEST(FaultMatrixTest, CacheScenarioDegradesGracefully)
+{
+    ScenarioOptions opts = fastOptions();
+    opts.bandwidthBps = 1000.0;
+    opts.quanta = 6;
+    opts.channelSets = 256;
+    opts.faults.seed = 6;
+    opts.faults.truncateBatchRate = 0.1;
+    opts.faults.bloomAliasRate = 0.001;
+
+    const CacheScenarioResult r = runCacheScenario(opts);
+    EXPECT_TRUE(r.verdict.detected);
+    EXPECT_GT(r.degraded.totalFaults(), 0u);
+    EXPECT_LT(r.confidence, 1.0);
+    EXPECT_GT(r.confidence, 0.0);
+}
+
+TEST(FaultMatrixTest, BenignPairStaysQuietUnderFaults)
+{
+    // Fault injection must not conjure channels out of benign noise:
+    // dropped quanta and saturated entries degrade confidence, not
+    // discrimination.
+    ScenarioOptions opts;
+    opts.quanta = 4;
+    opts.quantum = 2500000;
+    opts.seed = 2;
+    opts.faults.seed = 12;
+    opts.faults.dropQuantumRate = 0.1;
+    opts.faults.saturatePaperWidths = true;
+
+    const BenignScenarioResult r =
+        runBenignPair("gobmk", "sjeng", opts);
+    EXPECT_FALSE(r.busVerdict.detected);
+    EXPECT_FALSE(r.dividerVerdict.detected);
+    EXPECT_FALSE(r.cacheVerdict.detected);
+    EXPECT_LE(r.confidence, 1.0);
+    EXPECT_GT(r.confidence, 0.0);
+}
+
+} // namespace
+} // namespace cchunter

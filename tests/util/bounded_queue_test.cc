@@ -42,11 +42,12 @@ TEST(BoundedQueueTest, TryPopOnEmptyFails)
 TEST(BoundedQueueTest, DropOldestDisplacesAndCounts)
 {
     BoundedQueue<int> q(2, OverflowPolicy::DropOldest);
-    EXPECT_FALSE(q.push(1).has_value());
-    EXPECT_FALSE(q.push(2).has_value());
-    auto displaced = q.push(3);
-    ASSERT_TRUE(displaced.has_value());
-    EXPECT_EQ(*displaced, 1); // oldest goes, freshest stays
+    EXPECT_TRUE(q.push(1).accepted);
+    EXPECT_FALSE(q.push(2).displaced.has_value());
+    auto outcome = q.push(3);
+    EXPECT_TRUE(outcome.accepted);
+    ASSERT_TRUE(outcome.displaced.has_value());
+    EXPECT_EQ(*outcome.displaced, 1); // oldest goes, freshest stays
     EXPECT_EQ(q.dropped(), 1u);
     EXPECT_EQ(q.pushed(), 3u);
     EXPECT_EQ(q.pop(), 2);
@@ -91,8 +92,10 @@ TEST(BoundedQueueTest, CloseWakesBlockedProducer)
     q.push(1);
     std::thread producer([&] {
         // Blocked on the full queue until close(); the push is then
-        // discarded.
-        EXPECT_FALSE(q.push(2).has_value());
+        // definitively rejected.
+        const auto outcome = q.push(2);
+        EXPECT_FALSE(outcome.accepted);
+        EXPECT_FALSE(outcome.displaced.has_value());
     });
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
     q.close();
@@ -115,15 +118,44 @@ TEST(BoundedQueueTest, CloseWakesBlockedConsumer)
     consumer.join();
 }
 
-TEST(BoundedQueueTest, PushAfterCloseIgnored)
+TEST(BoundedQueueTest, PushAfterCloseRejected)
 {
     BoundedQueue<int> q(2);
     q.push(1);
     q.close();
-    EXPECT_FALSE(q.push(2).has_value());
+    const auto outcome = q.push(2);
+    EXPECT_FALSE(outcome.accepted);
+    EXPECT_FALSE(outcome.displaced.has_value());
     EXPECT_EQ(q.pushed(), 1u);
     EXPECT_EQ(q.pop(), 1);
     EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueueTest, PushRacingCloseNeverBlocksForever)
+{
+    // A producer blocked on a full Block-policy queue and a closer
+    // racing it: the push must return promptly with a definite
+    // verdict (accepted before close, rejected after), never hang.
+    for (int round = 0; round < 50; ++round) {
+        BoundedQueue<int> q(1, OverflowPolicy::Block);
+        q.push(0);
+        std::atomic<bool> returned{false};
+        std::thread producer([&] {
+            const auto outcome = q.push(1);
+            // Rejected pushes must not have displaced anything.
+            if (!outcome.accepted)
+                EXPECT_FALSE(outcome.displaced.has_value());
+            returned = true;
+        });
+        std::thread closer([&q] { q.close(); });
+        closer.join();
+        producer.join();
+        EXPECT_TRUE(returned.load());
+        // Drain whatever made it in; pop() must terminate too.
+        while (q.pop().has_value()) {
+        }
+        EXPECT_TRUE(q.closed());
+    }
 }
 
 TEST(BoundedQueueTest, ManyProducersOneConsumerDeliversEverything)

@@ -127,12 +127,44 @@ TEST(HistogramTest, UnmergeInvertsMergeExactly)
         EXPECT_EQ(acc.bin(i), 0u);
 }
 
-TEST(HistogramTest, UnmergeUnderflowThrows)
+TEST(HistogramTest, UnmergeUnderflowClampsAndCounts)
 {
+    // An eviction racing a fault-corrupted merge can try to subtract
+    // more than a bin holds; the bin clamps at zero and the underflow
+    // is counted rather than aborting the audit pipeline.
     Histogram acc(8), b(8);
     acc.addSample(1, 1);
+    acc.addSample(3, 5);
     b.addSample(1, 2);
-    EXPECT_ANY_THROW(acc.unmerge(b));
+    b.addSample(3, 2);
+    acc.unmerge(b);
+    EXPECT_EQ(acc.bin(1), 0u);
+    EXPECT_EQ(acc.bin(3), 3u);
+    EXPECT_EQ(acc.totalSamples(), 3u);
+    EXPECT_EQ(acc.unmergeUnderflows(), 1u);
+    // A clean unmerge afterwards leaves the counter untouched.
+    Histogram c(8);
+    c.addSample(3, 3);
+    acc.unmerge(c);
+    EXPECT_EQ(acc.totalSamples(), 0u);
+    EXPECT_EQ(acc.unmergeUnderflows(), 1u);
+}
+
+TEST(HistogramTest, SaturationMaskMergesAndClears)
+{
+    Histogram a(8), b(8);
+    EXPECT_EQ(a.saturatedBins(), 0u);
+    a.markSaturated(2);
+    b.markSaturated(5);
+    EXPECT_TRUE(a.binSaturated(2));
+    EXPECT_FALSE(a.binSaturated(5));
+    a.merge(b);
+    EXPECT_EQ(a.saturatedBins(), 2u);
+    EXPECT_TRUE(a.binSaturated(5));
+    a.clearSaturation();
+    EXPECT_EQ(a.saturatedBins(), 0u);
+    EXPECT_ANY_THROW(a.markSaturated(8));
+    EXPECT_ANY_THROW(a.binSaturated(8));
 }
 
 TEST(HistogramTest, UnmergeSizeMismatchThrows)
