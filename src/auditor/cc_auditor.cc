@@ -215,6 +215,24 @@ CCAuditor::slotTarget(unsigned slot) const
     return slots_[slot]->target;
 }
 
+const char*
+monitorTargetName(MonitorTarget target)
+{
+    switch (target) {
+    case MonitorTarget::None:
+        return "none";
+    case MonitorTarget::MemoryBus:
+        return "bus";
+    case MonitorTarget::IntegerDivider:
+        return "divider";
+    case MonitorTarget::IntegerMultiplier:
+        return "multiplier";
+    case MonitorTarget::L2Cache:
+        return "cache";
+    }
+    return "?";
+}
+
 HistogramBuffer*
 CCAuditor::histogramBuffer(unsigned slot)
 {

@@ -41,6 +41,9 @@ enum class MonitorTarget : std::uint8_t
     L2Cache,
 };
 
+/** Short lower-case name of a monitor target. */
+const char* monitorTargetName(MonitorTarget target);
+
 /**
  * Capability proving the caller passed the OS authorization check for
  * the privileged audit instruction.

@@ -192,6 +192,31 @@ degradedStatEntries(const DegradedStats& s, const std::string& prefix)
     return out;
 }
 
+const char*
+alarmKindName(AlarmKind kind)
+{
+    switch (kind) {
+    case AlarmKind::Contention:
+        return "contention";
+    case AlarmKind::Oscillation:
+        return "oscillation";
+    }
+    return "?";
+}
+
+std::uint64_t
+Alarm::channelSignature() const
+{
+    // Layout (high to low): unit kind byte, analysis-path byte, then
+    // the dominant feature in the low 48 bits.  Burst-peak bins are
+    // bounded by the 128-entry histogram and autocorrelation lags by
+    // OscillationParams::maxLag, so 48 bits never truncate in
+    // practice; masking keeps the packing well-defined regardless.
+    return (static_cast<std::uint64_t>(unit) << 56) |
+           (static_cast<std::uint64_t>(kind) << 48) |
+           (dominantFeature & ((std::uint64_t{1} << 48) - 1));
+}
+
 AuditDaemon::AuditDaemon(Machine& machine, CCAuditor& auditor,
                          DaemonRetention retention)
     : machine_(machine), auditor_(auditor), retention_(retention)
@@ -454,6 +479,7 @@ AuditDaemon::dispatchAnalyses(std::uint64_t quantum_index, Tick now)
             continue;
         SlotWork sv;
         sv.slot = s;
+        sv.target = auditor_.slotTarget(s);
         sv.hasContention =
             auditor_.histogramBuffer(s) != nullptr && clusteringDue;
         sv.hasOscillation = auditor_.vectorRegisters(s) != nullptr &&
@@ -710,10 +736,12 @@ AuditDaemon::applyVerdicts(AnalysisBatch& batch)
         return std::max(0.0, std::min(1.0, v));
     };
     std::lock_guard<std::mutex> lock(alarmsMutex_);
-    auto raise = [&](unsigned slot, std::string summary,
-                     double confidence) {
-        Alarm alarm{slot, batch.now, batch.quantum, std::move(summary),
-                    confidence};
+    auto raise = [&](const SlotWork& sv, AlarmKind kind,
+                     std::string summary, double confidence,
+                     std::uint64_t dominant) {
+        Alarm alarm{sv.slot,     batch.now, batch.quantum,
+                    std::move(summary),     confidence,
+                    sv.target,   kind,      dominant};
         alarms_.push_back(alarm);
         if (confidence < 1.0) {
             // Lock order alarmsMutex_ -> statsMutex_ appears only
@@ -728,11 +756,14 @@ AuditDaemon::applyVerdicts(AnalysisBatch& batch)
     };
     for (const auto& sv : batch.work) {
         if (sv.hasContention && sv.contention.detected)
-            raise(sv.slot, sv.contention.summary(),
-                  clamp01(sv.coverage * (1.0 - sv.satFraction)));
+            raise(sv, AlarmKind::Contention, sv.contention.summary(),
+                  clamp01(sv.coverage * (1.0 - sv.satFraction)),
+                  sv.contention.combined.burstPeakBin);
         if (sv.hasOscillation && sv.oscillation.detected)
-            raise(sv.slot, sv.oscillation.summary(),
-                  clamp01(sv.coverage * sv.integrity));
+            raise(sv, AlarmKind::Oscillation,
+                  sv.oscillation.summary(),
+                  clamp01(sv.coverage * sv.integrity),
+                  sv.oscillation.analysis.dominantLag);
     }
 }
 

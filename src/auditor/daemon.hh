@@ -200,6 +200,16 @@ std::vector<StatEntry> degradedStatEntries(
     const DegradedStats& stats,
     const std::string& prefix = "daemon.degraded.");
 
+/** Which analysis path raised an alarm. */
+enum class AlarmKind : std::uint8_t
+{
+    Contention,  //!< recurrent-burst verdict on a combinational unit
+    Oscillation, //!< autocorrelation verdict on a cache conflict train
+};
+
+/** Short lower-case name of an alarm kind. */
+const char* alarmKindName(AlarmKind kind);
+
 /** One raised alarm. */
 struct Alarm
 {
@@ -216,6 +226,31 @@ struct Alarm
      * despite 30% sensor loss" reads as ~0.7.
      */
     double confidence = 1.0;
+
+    /** Hardware unit kind the alarmed slot was programmed on. */
+    MonitorTarget unit = MonitorTarget::None;
+
+    /** Analysis path that produced the verdict. */
+    AlarmKind kind = AlarmKind::Contention;
+
+    /**
+     * Dominant spectral feature of the detected pattern: the burst
+     * distribution's peak histogram bin (contention) or the dominant
+     * autocorrelation lag (oscillation).  Deterministic for a given
+     * observation window, so two hosts carrying the same channel
+     * report the same value.
+     */
+    std::uint64_t dominantFeature = 0;
+
+    /**
+     * Stable identity of the detected channel for cross-host
+     * correlation: unit kind, analysis path and dominant feature
+     * packed into one comparable word (no string parsing).  Equal
+     * signatures mean "the same kind of channel on the same kind of
+     * hardware with the same dominant period/bin"; the packing is
+     * byte-stable across runs, shard layouts and thread counts.
+     */
+    std::uint64_t channelSignature() const;
 };
 
 /** Invoked whenever an online analysis pass flags a channel. */
@@ -389,6 +424,10 @@ class AuditDaemon
     struct SlotWork
     {
         unsigned slot = 0;
+        /** Unit kind captured at dispatch (sim thread) so alarms can
+         *  carry it without the consumer touching live auditor
+         *  state. */
+        MonitorTarget target = MonitorTarget::None;
         bool hasContention = false;
         bool hasOscillation = false;
         // Owned snapshots, filled for the async hand-off (and for an

@@ -1,0 +1,174 @@
+#include "fleet/fleet_auditor.hh"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "scenario/experiment.hh"
+#include "util/thread_pool.hh"
+
+namespace cchunter
+{
+
+FleetAuditor::FleetAuditor(const TenantRegistry& registry,
+                           FleetAuditParams params)
+    : registry_(registry), params_(params)
+{
+}
+
+std::size_t
+FleetAuditor::effectiveShards() const
+{
+    std::size_t shards = params_.shards != 0
+                             ? params_.shards
+                             : ThreadPool::hardwareConcurrency();
+    shards = std::max<std::size_t>(1, shards);
+    if (!registry_.empty())
+        shards = std::min(shards, registry_.size());
+    return shards;
+}
+
+FleetAuditReport
+FleetAuditor::run()
+{
+    FleetAuditReport report;
+    report.incidents = IncidentStore(params_.rateLimit);
+
+    const std::size_t shards = effectiveShards();
+    report.shardsUsed = shards;
+    const auto plan = registry_.shardPlan(shards);
+
+    AlarmAggregator aggregator(params_.aggregator);
+
+    using Queue = BoundedQueue<TenantAlarmBatch>;
+    std::vector<std::unique_ptr<Queue>> queues;
+    queues.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s)
+        queues.push_back(std::make_unique<Queue>(
+            params_.batchQueueCapacity, params_.batchQueueOverflow));
+
+    // One collector per shard drains that shard's hand-off queue into
+    // the (order-insensitive) aggregator and keeps shard-local tallies
+    // — no cross-thread sharing beyond the queue and the aggregator's
+    // own lock.
+    report.shards.resize(shards);
+    std::vector<std::uint64_t> shardQuanta(shards, 0);
+    std::vector<std::thread> collectors;
+    collectors.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+        report.shards[s].shard = s;
+        report.shards[s].tenants = plan[s].size();
+        collectors.emplace_back([&, s]() {
+            while (auto batch = queues[s]->pop()) {
+                report.shards[s].alarms += batch->alarms.size();
+                shardQuanta[s] += batch->quantaRecorded;
+                aggregator.ingest(std::move(*batch));
+            }
+        });
+    }
+
+    const auto closeAndJoin = [&]() {
+        for (auto& queue : queues)
+            queue->close();
+        for (std::thread& collector : collectors)
+            if (collector.joinable())
+                collector.join();
+    };
+
+    ThreadPool pool(params_.workerThreads);
+    try {
+        pool.parallelFor(shards, [&](std::size_t s) {
+            for (const TenantId id : plan[s]) {
+                OnlineAuditOptions options = registry_.at(id).audit;
+                if (params_.analysisThreads != 0)
+                    options.online.analysisThreads =
+                        params_.analysisThreads;
+                OnlineAuditResult result = runOnlineAudit(options);
+                TenantAlarmBatch batch;
+                batch.tenant = id;
+                batch.shard = s;
+                batch.alarms = std::move(result.alarms);
+                batch.pipeline = result.pipeline;
+                batch.degraded = result.degraded;
+                batch.quantaRecorded = result.quantaRecorded;
+                queues[s]->push(std::move(batch));
+            }
+        });
+    } catch (...) {
+        closeAndJoin();
+        throw;
+    }
+    closeAndJoin();
+
+    aggregator.finalize(report.incidents);
+
+    report.tenantsAudited = aggregator.batchesIngested();
+    report.alarmsTotal = aggregator.alarmsSeen();
+    report.alarmsFiltered = aggregator.alarmsFiltered();
+    report.pipeline = aggregator.pipeline();
+    report.degraded = aggregator.degraded();
+    for (std::size_t s = 0; s < shards; ++s) {
+        report.shards[s].batchesPushed = queues[s]->pushed();
+        report.shards[s].batchesDropped = queues[s]->dropped();
+        report.shards[s].queueHighWater = queues[s]->highWaterMark();
+        report.quantaTotal += shardQuanta[s];
+    }
+    return report;
+}
+
+std::vector<StatEntry>
+FleetAuditReport::statEntries() const
+{
+    std::vector<StatEntry> entries;
+    std::size_t tenantsPlanned = 0;
+    for (const ShardStats& shard : shards)
+        tenantsPlanned += shard.tenants;
+    entries.push_back({"fleet.tenants",
+                       static_cast<double>(tenantsPlanned),
+                       "tenant machines in the shard plan"});
+    entries.push_back({"fleet.audited",
+                       static_cast<double>(tenantsAudited),
+                       "tenant batches aggregated"});
+    entries.push_back({"fleet.shards", static_cast<double>(shardsUsed),
+                       "shards the fleet ran on"});
+    entries.push_back({"fleet.alarms.total",
+                       static_cast<double>(alarmsTotal),
+                       "raw alarms across the fleet"});
+    entries.push_back({"fleet.alarms.filtered",
+                       static_cast<double>(alarmsFiltered),
+                       "alarms below the confidence floor"});
+    entries.push_back({"fleet.quanta",
+                       static_cast<double>(quantaTotal),
+                       "OS time quanta simulated fleet-wide"});
+    for (const ShardStats& shard : shards) {
+        const std::string prefix =
+            "fleet.shard" + std::to_string(shard.shard) + '.';
+        entries.push_back({prefix + "tenants",
+                           static_cast<double>(shard.tenants),
+                           "tenants assigned to this shard"});
+        entries.push_back({prefix + "alarms",
+                           static_cast<double>(shard.alarms),
+                           "raw alarms collected on this shard"});
+        entries.push_back({prefix + "batches",
+                           static_cast<double>(shard.batchesPushed),
+                           "batches through the hand-off queue"});
+        entries.push_back({prefix + "dropped",
+                           static_cast<double>(shard.batchesDropped),
+                           "batches shed by DropOldest overflow"});
+        entries.push_back({prefix + "queueHighWater",
+                           static_cast<double>(shard.queueHighWater),
+                           "deepest hand-off backlog"});
+    }
+    const auto append = [&entries](std::vector<StatEntry> more) {
+        entries.insert(entries.end(),
+                       std::make_move_iterator(more.begin()),
+                       std::make_move_iterator(more.end()));
+    };
+    append(incidents.statEntries("fleet.incidents."));
+    append(pipelineStatEntries(pipeline, "fleet.pipeline."));
+    append(degradedStatEntries(degraded, "fleet.degraded."));
+    return entries;
+}
+
+} // namespace cchunter

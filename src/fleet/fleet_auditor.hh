@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The fleet auditor: sharded multi-tenant audit orchestration.
+ *
+ * Every tenant in the registry is one independent simulated machine
+ * under live audit (scenario/runOnlineAudit).  The auditor partitions
+ * the fleet into shards with the registry's deterministic assignment
+ * rule, runs the shards concurrently on a ThreadPool (the calling
+ * thread participates), and hands each tenant's alarm batch to a
+ * per-shard BoundedQueue drained by a collector thread into the
+ * AlarmAggregator.  Because each tenant run is deterministic, ingest
+ * is order-insensitive and finalization is canonical, the resulting
+ * incident stream is bit-identical for any shard count, worker count
+ * or per-tenant analysis thread count — parallelism buys wall-clock
+ * time, never different answers.
+ */
+
+#ifndef CCHUNTER_FLEET_FLEET_AUDITOR_HH
+#define CCHUNTER_FLEET_FLEET_AUDITOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fleet/alarm_aggregator.hh"
+#include "fleet/incident_store.hh"
+#include "fleet/tenant_registry.hh"
+#include "util/bounded_queue.hh"
+
+namespace cchunter
+{
+
+/** Fleet-run knobs. */
+struct FleetAuditParams
+{
+    /** Shard count; 0 sizes to the hardware concurrency.  Always
+     *  clamped to the fleet size (an empty shard does no work). */
+    std::size_t shards = 0;
+
+    /** ThreadPool workers running the shards; 0 sizes to the hardware
+     *  concurrency.  The calling thread participates either way. */
+    std::size_t workerThreads = 0;
+
+    /**
+     * Override of every tenant's online.analysisThreads (the
+     * per-tenant analysis fan-out); 0 keeps each tenant's own
+     * setting.  Any value yields the same incident stream.
+     */
+    std::size_t analysisThreads = 0;
+
+    /** Capacity of each shard's batch hand-off queue. */
+    std::size_t batchQueueCapacity = 4;
+
+    /**
+     * Full-queue behaviour for the batch hand-off.  Block (the
+     * default) preserves every batch and hence the determinism
+     * contract; DropOldest sheds under pressure and is counted per
+     * shard, at the cost of a timing-dependent incident stream.
+     */
+    OverflowPolicy batchQueueOverflow = OverflowPolicy::Block;
+
+    AggregatorParams aggregator;
+    IncidentRateLimit rateLimit;
+};
+
+/** One shard's hand-off accounting. */
+struct ShardStats
+{
+    std::size_t shard = 0;
+    std::size_t tenants = 0;         //!< tenants assigned by the plan
+    std::uint64_t alarms = 0;        //!< raw alarms collected
+    std::uint64_t batchesPushed = 0; //!< batches through the queue
+    std::uint64_t batchesDropped = 0; //!< batches shed (DropOldest)
+    std::size_t queueHighWater = 0;  //!< deepest hand-off backlog
+};
+
+/** Everything one fleet run produced. */
+struct FleetAuditReport
+{
+    /** The scored, rate-limited, canonically ordered incident log. */
+    IncidentStore incidents;
+
+    std::size_t shardsUsed = 0;
+    std::vector<ShardStats> shards;
+
+    /** Tenant batches that reached the aggregator. */
+    std::size_t tenantsAudited = 0;
+
+    std::uint64_t alarmsTotal = 0;
+    std::uint64_t alarmsFiltered = 0;
+
+    /** Quanta simulated across the whole fleet. */
+    std::uint64_t quantaTotal = 0;
+
+    /** Pipeline health accumulated across every tenant daemon. */
+    PipelineStats pipeline;
+
+    /** Degradation ledger accumulated across every tenant daemon. */
+    DegradedStats degraded;
+
+    /**
+     * The whole report as flat stat entries with two-level prefixes
+     * (fleet.alarms.*, fleet.shardN.*, fleet.incidents.*, ...), ready
+     * for dumpStatEntries.
+     */
+    std::vector<StatEntry> statEntries() const;
+};
+
+/**
+ * Runs a tenant registry as one sharded fleet audit.
+ */
+class FleetAuditor
+{
+  public:
+    explicit FleetAuditor(const TenantRegistry& registry,
+                          FleetAuditParams params = {});
+
+    /** Effective shard count for the configured registry. */
+    std::size_t effectiveShards() const;
+
+    /**
+     * Audit the whole fleet and aggregate the result.  Deterministic
+     * for a fixed registry: the incident stream (and its hash) is
+     * independent of shards, workerThreads and analysisThreads as long
+     * as the hand-off policy preserves every batch (Block).
+     */
+    FleetAuditReport run();
+
+  private:
+    const TenantRegistry& registry_;
+    FleetAuditParams params_;
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_FLEET_FLEET_AUDITOR_HH

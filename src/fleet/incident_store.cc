@@ -1,0 +1,159 @@
+#include "fleet/incident_store.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace cchunter
+{
+
+const char*
+incidentSeverityName(IncidentSeverity severity)
+{
+    switch (severity) {
+    case IncidentSeverity::Info:
+        return "info";
+    case IncidentSeverity::Warning:
+        return "warning";
+    case IncidentSeverity::Critical:
+        return "critical";
+    }
+    return "?";
+}
+
+std::string
+Incident::streamLine() const
+{
+    // Byte-stable: fixed field order, fixed float precision, no
+    // locale-dependent formatting.  The fleet determinism contract is
+    // stated over the concatenation of these lines.
+    std::ostringstream os;
+    os << "incident " << id;
+    if (fleetWide) {
+        os << " fleet-wide";
+    } else {
+        os << " tenant=" << tenant << " slot=" << slot;
+    }
+    os << " unit=" << monitorTargetName(unit)
+       << " kind=" << alarmKindName(kind)
+       << " sig=0x" << std::hex << std::setw(16) << std::setfill('0')
+       << signature << std::dec << std::setfill(' ')
+       << " quanta=[" << firstQuantum << ',' << lastQuantum << ']'
+       << " occ=" << occurrences
+       << std::fixed << std::setprecision(4)
+       << " conf=" << meanConfidence << '/' << minConfidence
+       << " score=" << score
+       << " sev=" << incidentSeverityName(severity);
+    if (fleetWide) {
+        os << " tenants=[";
+        for (std::size_t i = 0; i < correlatedTenants.size(); ++i) {
+            if (i)
+                os << ',';
+            os << correlatedTenants[i];
+        }
+        os << ']';
+    } else {
+        os << " corr=" << (correlated ? 1 : 0);
+    }
+    return os.str();
+}
+
+IncidentStore::IncidentStore(IncidentRateLimit limit) : limit_(limit)
+{
+}
+
+bool
+IncidentStore::emit(Incident incident)
+{
+    if (limit_.maxTotal != 0 && incidents_.size() >= limit_.maxTotal) {
+        ++suppressed_;
+        return false;
+    }
+    if (!incident.fleetWide && limit_.maxPerTenant != 0) {
+        auto pos = std::find_if(
+            perTenant_.begin(), perTenant_.end(),
+            [&](const auto& p) { return p.first == incident.tenant; });
+        if (pos == perTenant_.end())
+            pos = perTenant_.insert(perTenant_.end(),
+                                    {incident.tenant, 0});
+        if (pos->second >= limit_.maxPerTenant) {
+            ++suppressed_;
+            return false;
+        }
+        ++pos->second;
+    }
+    incident.id = nextId_++;
+    incidents_.push_back(std::move(incident));
+    return true;
+}
+
+std::size_t
+IncidentStore::countBySeverity(IncidentSeverity severity) const
+{
+    return static_cast<std::size_t>(std::count_if(
+        incidents_.begin(), incidents_.end(),
+        [&](const Incident& i) { return i.severity == severity; }));
+}
+
+std::size_t
+IncidentStore::fleetWideCount() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(incidents_.begin(), incidents_.end(),
+                      [](const Incident& i) { return i.fleetWide; }));
+}
+
+std::vector<StatEntry>
+IncidentStore::statEntries(const std::string& prefix) const
+{
+    std::vector<StatEntry> entries;
+    entries.push_back({prefix + "total",
+                       static_cast<double>(incidents_.size()),
+                       "incidents admitted to the store"});
+    entries.push_back(
+        {prefix + "info",
+         static_cast<double>(countBySeverity(IncidentSeverity::Info)),
+         "incidents at info severity"});
+    entries.push_back(
+        {prefix + "warning",
+         static_cast<double>(
+             countBySeverity(IncidentSeverity::Warning)),
+         "incidents at warning severity"});
+    entries.push_back(
+        {prefix + "critical",
+         static_cast<double>(
+             countBySeverity(IncidentSeverity::Critical)),
+         "incidents at critical severity"});
+    entries.push_back({prefix + "fleetWide",
+                       static_cast<double>(fleetWideCount()),
+                       "cross-tenant correlation incidents"});
+    entries.push_back({prefix + "suppressed",
+                       static_cast<double>(suppressed_),
+                       "incidents dropped by rate limits"});
+    return entries;
+}
+
+std::string
+IncidentStore::streamText() const
+{
+    std::string text;
+    for (const Incident& incident : incidents_) {
+        text += incident.streamLine();
+        text += '\n';
+    }
+    return text;
+}
+
+std::uint64_t
+IncidentStore::streamHash() const
+{
+    // FNV-1a, 64 bit.
+    std::uint64_t hash = 1469598103934665603ull;
+    for (const char c : streamText()) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+} // namespace cchunter

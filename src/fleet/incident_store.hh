@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Fleet-level incident records.
+ *
+ * The aggregator turns raw per-unit alarms into incidents: one record
+ * per sustained detection on one tenant's unit, plus fleet-wide
+ * records when the same channel signature shows up on several tenants
+ * at once.  The store scores severity, rate-limits emission (a noisy
+ * tenant cannot drown the triage queue) and renders the stream in a
+ * canonical byte-stable text form — the form the fleet equivalence
+ * tests compare across shard and thread layouts.
+ */
+
+#ifndef CCHUNTER_FLEET_INCIDENT_STORE_HH
+#define CCHUNTER_FLEET_INCIDENT_STORE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "auditor/daemon.hh"
+#include "fleet/tenant_registry.hh"
+#include "sim/stats_report.hh"
+
+namespace cchunter
+{
+
+/** Triage bands for incidents. */
+enum class IncidentSeverity : std::uint8_t
+{
+    Info,
+    Warning,
+    Critical,
+};
+
+/** Short lower-case name of a severity band. */
+const char* incidentSeverityName(IncidentSeverity severity);
+
+/** One fleet incident. */
+struct Incident
+{
+    /** Emission-order id, assigned by the store (canonical order:
+     *  tenants ascending, then fleet-wide records). */
+    std::uint64_t id = 0;
+
+    /** True for a cross-tenant correlation record; `tenant` and
+     *  `slot` are meaningless then. */
+    bool fleetWide = false;
+
+    TenantId tenant = 0;
+    unsigned slot = 0;
+
+    MonitorTarget unit = MonitorTarget::None;
+    AlarmKind kind = AlarmKind::Contention;
+
+    /** Alarm::channelSignature() shared by every merged alarm. */
+    std::uint64_t signature = 0;
+
+    /** Quantum range the detection spanned. */
+    std::uint64_t firstQuantum = 0;
+    std::uint64_t lastQuantum = 0;
+
+    /** Alarms merged into this record. */
+    std::uint64_t occurrences = 0;
+
+    double meanConfidence = 1.0;
+    double minConfidence = 1.0;
+
+    /** Severity score in [0, 1] (see AlarmAggregator scoring). */
+    double score = 0.0;
+    IncidentSeverity severity = IncidentSeverity::Info;
+
+    /** Member of a cross-tenant correlation (severity elevated). */
+    bool correlated = false;
+
+    /** Tenants sharing the signature (fleet-wide records only,
+     *  ascending). */
+    std::vector<TenantId> correlatedTenants;
+
+    /** Canonical one-line rendering (byte-stable). */
+    std::string streamLine() const;
+};
+
+/** Emission caps; 0 disables the respective cap. */
+struct IncidentRateLimit
+{
+    /** Per-tenant incident cap (fleet-wide records are exempt). */
+    std::size_t maxPerTenant = 16;
+
+    /** Whole-store cap, fleet-wide records included. */
+    std::size_t maxTotal = 256;
+};
+
+/**
+ * Ordered incident log with rate-limited admission.
+ */
+class IncidentStore
+{
+  public:
+    explicit IncidentStore(IncidentRateLimit limit = {});
+
+    /**
+     * Admit an incident: assigns the next id and appends it, unless a
+     * rate limit suppresses it (the suppression is counted, and the
+     * id sequence does not advance).  Returns whether it was admitted.
+     */
+    bool emit(Incident incident);
+
+    const std::vector<Incident>& incidents() const
+    {
+        return incidents_;
+    }
+
+    /** Incidents suppressed by either cap. */
+    std::uint64_t suppressed() const { return suppressed_; }
+
+    std::size_t countBySeverity(IncidentSeverity severity) const;
+
+    /** Cross-tenant (fleet-wide) records admitted. */
+    std::size_t fleetWideCount() const;
+
+    /** Store counters as stat entries (two-level names under
+     *  `prefix`, e.g. fleet.incidents.critical). */
+    std::vector<StatEntry> statEntries(
+        const std::string& prefix = "fleet.incidents.") const;
+
+    /**
+     * Canonical text rendering of the whole stream, one line per
+     * incident.  Byte-identical for identical incident sequences —
+     * the fleet determinism contract is stated over this string.
+     */
+    std::string streamText() const;
+
+    /** FNV-1a 64-bit hash of streamText(). */
+    std::uint64_t streamHash() const;
+
+  private:
+    IncidentRateLimit limit_;
+    std::vector<Incident> incidents_;
+    std::vector<std::pair<TenantId, std::size_t>> perTenant_;
+    std::uint64_t suppressed_ = 0;
+    std::uint64_t nextId_ = 0;
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_FLEET_INCIDENT_STORE_HH

@@ -1,0 +1,91 @@
+#include "fleet/tenant_registry.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+void
+TenantRegistry::add(TenantConfig config)
+{
+    if (config.name.empty())
+        config.name = "tenant" + std::to_string(config.id);
+    const auto pos = std::lower_bound(
+        tenants_.begin(), tenants_.end(), config.id,
+        [](const TenantConfig& t, TenantId id) { return t.id < id; });
+    if (pos != tenants_.end() && pos->id == config.id)
+        fatal("TenantRegistry: duplicate tenant id ", config.id);
+    tenants_.insert(pos, std::move(config));
+}
+
+bool
+TenantRegistry::contains(TenantId id) const
+{
+    const auto pos = std::lower_bound(
+        tenants_.begin(), tenants_.end(), id,
+        [](const TenantConfig& t, TenantId i) { return t.id < i; });
+    return pos != tenants_.end() && pos->id == id;
+}
+
+const TenantConfig&
+TenantRegistry::at(TenantId id) const
+{
+    const auto pos = std::lower_bound(
+        tenants_.begin(), tenants_.end(), id,
+        [](const TenantConfig& t, TenantId i) { return t.id < i; });
+    if (pos == tenants_.end() || pos->id != id)
+        fatal("TenantRegistry: unknown tenant id ", id);
+    return *pos;
+}
+
+std::size_t
+TenantRegistry::shardOf(TenantId id, std::size_t shards)
+{
+    if (shards == 0)
+        shards = 1;
+    return static_cast<std::size_t>(id) % shards;
+}
+
+std::vector<std::vector<TenantId>>
+TenantRegistry::shardPlan(std::size_t shards) const
+{
+    if (shards == 0)
+        shards = 1;
+    std::vector<std::vector<TenantId>> plan(shards);
+    // tenants_ is ascending, so each shard's list comes out ascending
+    // too — the order the shard worker runs them in.
+    for (const TenantConfig& t : tenants_)
+        plan[shardOf(t.id, shards)].push_back(t.id);
+    return plan;
+}
+
+TenantRegistry
+TenantRegistry::synthetic(const SyntheticFleetOptions& options)
+{
+    TenantRegistry registry;
+    if (options.mix.empty())
+        fatal("synthetic fleet: workload mix must not be empty");
+    for (std::size_t i = 0; i < options.tenants; ++i) {
+        TenantConfig t;
+        t.id = static_cast<TenantId>(i);
+        t.audit.workload = options.mix[i % options.mix.size()];
+        ScenarioOptions& sc = t.audit.scenario;
+        sc.quanta = options.quanta;
+        sc.quantum = options.quantum;
+        sc.noiseProcesses = options.noiseProcesses;
+        sc.seed = options.distinctSeeds ? options.seed + i
+                                        : options.seed;
+        sc.bandwidthBps =
+            t.audit.workload == AuditedWorkload::Cache
+                ? options.cacheBandwidthBps
+                : options.contentionBandwidthBps;
+        t.audit.online.clusteringIntervalQuanta =
+            options.clusteringIntervalQuanta;
+        registry.add(std::move(t));
+    }
+    return registry;
+}
+
+} // namespace cchunter

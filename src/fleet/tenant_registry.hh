@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The fleet's tenant catalogue.
+ *
+ * A tenant is one simulated machine under audit: an id, a display
+ * name, and the full OnlineAuditOptions describing its workload
+ * (channel or benign pair), scenario parameters and analysis cadence
+ * — including an optional FaultPlan, so a fleet can mix healthy and
+ * degraded hosts.  The registry keeps tenants in ascending-id order
+ * (the canonical order every downstream fleet stage processes them
+ * in) and owns the deterministic shard-assignment rule.
+ */
+
+#ifndef CCHUNTER_FLEET_TENANT_REGISTRY_HH
+#define CCHUNTER_FLEET_TENANT_REGISTRY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/experiment.hh"
+#include "util/types.hh"
+
+namespace cchunter
+{
+
+/** Identifies one tenant machine across the fleet subsystem. */
+using TenantId = std::uint32_t;
+
+/** One tenant machine's audit configuration. */
+struct TenantConfig
+{
+    TenantId id = 0;
+
+    /** Display name; add() defaults it to "tenant<id>". */
+    std::string name;
+
+    /** Workload, scenario parameters and online-analysis cadence. */
+    OnlineAuditOptions audit;
+};
+
+/** Parameters of a seeded synthetic fleet (benches, examples). */
+struct SyntheticFleetOptions
+{
+    std::size_t tenants = 8;
+    std::uint64_t seed = 1;
+
+    /** Workloads assigned round-robin over the tenant ids. */
+    std::vector<AuditedWorkload> mix = {AuditedWorkload::Divider,
+                                        AuditedWorkload::Cache};
+
+    std::size_t quanta = 8;
+    Tick quantum = 2500000;
+    std::size_t clusteringIntervalQuanta = 4;
+    unsigned noiseProcesses = 0;
+
+    /** Contention-channel bandwidth (bus/divider/multiplier). */
+    double contentionBandwidthBps = 10000.0;
+
+    /** Cache-channel bandwidth (one bit per quantum by default). */
+    double cacheBandwidthBps = 1000.0;
+
+    /**
+     * Give every tenant its own derived seed (seed + id).  Disabling
+     * this makes same-workload tenants carry *identical* channels —
+     * the cross-tenant correlation case.
+     */
+    bool distinctSeeds = true;
+};
+
+/**
+ * Ascending-id tenant catalogue with deterministic shard assignment.
+ */
+class TenantRegistry
+{
+  public:
+    /** Register a tenant (fatal on a duplicate id). */
+    void add(TenantConfig config);
+
+    std::size_t size() const { return tenants_.size(); }
+    bool empty() const { return tenants_.empty(); }
+
+    bool contains(TenantId id) const;
+
+    /** Config of one tenant (fatal when absent). */
+    const TenantConfig& at(TenantId id) const;
+
+    /** All tenants in ascending-id order. */
+    const std::vector<TenantConfig>& tenants() const
+    {
+        return tenants_;
+    }
+
+    /**
+     * Deterministic shard assignment: id % shards.  Stable for a given
+     * tenant id regardless of what else is registered, so adding a
+     * tenant never migrates existing ones, and balanced by count for
+     * dense id ranges.
+     */
+    static std::size_t shardOf(TenantId id, std::size_t shards);
+
+    /**
+     * The full shard plan: plan[s] lists shard s's tenant ids in
+     * ascending order.  `shards` is clamped to at least 1.
+     */
+    std::vector<std::vector<TenantId>> shardPlan(
+        std::size_t shards) const;
+
+    /**
+     * Seeded synthetic fleet for benches and examples: `tenants`
+     * machines with workloads drawn round-robin from the mix and
+     * per-tenant seeds derived from the base seed.  Identical options
+     * produce an identical registry.
+     */
+    static TenantRegistry synthetic(const SyntheticFleetOptions& options);
+
+  private:
+    std::vector<TenantConfig> tenants_; //!< ascending id order
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_FLEET_TENANT_REGISTRY_HH

@@ -166,6 +166,160 @@ slotBitErrorRate(
            static_cast<double>(decoded.size());
 }
 
+const char*
+auditedWorkloadName(AuditedWorkload workload)
+{
+    switch (workload) {
+    case AuditedWorkload::Bus:
+        return "bus";
+    case AuditedWorkload::Divider:
+        return "divider";
+    case AuditedWorkload::Multiplier:
+        return "multiplier";
+    case AuditedWorkload::Cache:
+        return "cache";
+    case AuditedWorkload::BenignPair:
+        return "benign";
+    }
+    return "?";
+}
+
+AuditedWorkload
+auditedWorkloadFromName(const std::string& name)
+{
+    for (const AuditedWorkload w :
+         {AuditedWorkload::Bus, AuditedWorkload::Divider,
+          AuditedWorkload::Multiplier, AuditedWorkload::Cache,
+          AuditedWorkload::BenignPair}) {
+        if (name == auditedWorkloadName(w))
+            return w;
+    }
+    fatal("unknown audited workload: ", name);
+}
+
+OnlineAuditResult
+runOnlineAudit(const OnlineAuditOptions& options)
+{
+    const ScenarioOptions& opts = options.scenario;
+    const Message message = resolveMessage(opts);
+    const ChannelTiming timing = makeTiming(opts);
+
+    MachineParams mp = makeMachine(opts);
+    if (options.workload == AuditedWorkload::Cache) {
+        // Same direct-mapped L2 substitution as runCacheScenario.
+        mp.mem.l2 = CacheGeometry{256 * 1024, 1, 64};
+    }
+    Machine machine(mp);
+
+    CacheChannelLayout layout;
+    switch (options.workload) {
+    case AuditedWorkload::Bus: {
+        BusTrojanParams tp;
+        tp.timing = timing;
+        tp.message = message;
+        tp.evasionLockPeriod = opts.busEvasionPeriod;
+        machine.addProcess(std::make_unique<BusTrojan>(tp), 0);
+        BusSpyParams sp;
+        sp.timing = timing;
+        machine.addProcess(std::make_unique<BusSpy>(sp), 2);
+        break;
+    }
+    case AuditedWorkload::Divider:
+    case AuditedWorkload::Multiplier: {
+        const bool mul =
+            options.workload == AuditedWorkload::Multiplier;
+        DividerTrojanParams tp;
+        tp.timing = timing;
+        tp.message = message;
+        tp.useMultiplier = mul;
+        machine.addProcess(std::make_unique<DividerTrojan>(tp), 0);
+        DividerSpyParams sp;
+        sp.timing = timing;
+        sp.useMultiplier = mul;
+        if (mul)
+            sp.decodeThreshold = 90;
+        machine.addProcess(std::make_unique<DividerSpy>(sp), 1);
+        break;
+    }
+    case AuditedWorkload::Cache: {
+        layout.l2NumSets = mp.mem.l2.numSets();
+        layout.lineSize = mp.mem.l2.lineSize;
+        layout.channelSets = opts.channelSets;
+        layout.linesPerSet = opts.linesPerSet;
+        const std::size_t rounds = opts.effectiveCacheRounds();
+        CacheTrojanParams tp;
+        tp.timing = timing;
+        tp.message = message;
+        tp.layout = layout;
+        tp.roundsPerBit = rounds;
+        machine.addProcess(std::make_unique<CacheTrojan>(tp), 0);
+        CacheSpyParams sp;
+        sp.timing = timing;
+        sp.layout = layout;
+        sp.noiseEvery = opts.cacheNoiseEvery;
+        sp.dormantNoiseGap = opts.cacheDormantNoiseGap;
+        sp.roundsPerBit = rounds;
+        sp.seed = opts.seed + 7;
+        machine.addProcess(std::make_unique<CacheSpy>(sp), 1);
+        break;
+    }
+    case AuditedWorkload::BenignPair:
+        machine.addProcess(
+            makeBenchmark(options.benignA, opts.seed + 1), 0);
+        machine.addProcess(
+            makeBenchmark(options.benignB, opts.seed + 2), 1);
+        break;
+    }
+    addNoise(machine, opts);
+
+    CCAuditor auditor(machine);
+    FaultHarness faults(opts, auditor);
+    const AuditKey key = requestAuditKey(true);
+    switch (options.workload) {
+    case AuditedWorkload::Bus:
+        auditor.monitorBus(key, 0);
+        break;
+    case AuditedWorkload::Divider:
+        auditor.monitorDivider(key, 0, /*core=*/0);
+        break;
+    case AuditedWorkload::Multiplier:
+        auditor.monitorMultiplier(key, 0, /*core=*/0);
+        break;
+    case AuditedWorkload::Cache:
+        if (opts.idealTracker)
+            auditor.monitorCacheIdeal(key, 0, /*core=*/0);
+        else
+            auditor.monitorCache(key, 0, /*core=*/0,
+                                 opts.trackerParams);
+        break;
+    case AuditedWorkload::BenignPair:
+        // No channel to pin down: watch the two contention units the
+        // pair actually shares (the two-slot auditor limit).
+        auditor.monitorBus(key, 0);
+        auditor.monitorDivider(key, 1, /*core=*/0);
+        break;
+    }
+    AuditDaemon daemon(machine, auditor);
+    faults.attach(daemon);
+
+    OnlineAnalysisParams online = options.online;
+    if (opts.quanta != 0 &&
+        online.clusteringIntervalQuanta > opts.quanta)
+        online.clusteringIntervalQuanta = opts.quanta;
+    daemon.enableOnlineAnalysis(online);
+
+    machine.runQuanta(opts.quanta);
+
+    OnlineAuditResult result;
+    result.alarms = daemon.alarms();
+    result.pipeline = daemon.pipelineStats();
+    result.degraded = daemon.degradedStats();
+    result.quantaRecorded = daemon.quantaRecorded();
+    for (unsigned s = 0; s < auditor.numSlots(); ++s)
+        result.monitoredSlots += auditor.slotActive(s);
+    return result;
+}
+
 BusScenarioResult
 runBusScenario(const ScenarioOptions& opts)
 {

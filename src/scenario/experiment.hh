@@ -188,6 +188,64 @@ struct BenignScenarioResult
     double confidence = 1.0;
 };
 
+/**
+ * Workload a live-audited machine runs (the per-tenant unit of the
+ * fleet subsystem, also usable standalone).  The channel workloads
+ * place a trojan/spy pair on the named resource; BenignPair runs two
+ * benchmark proxies with no channel at all (false-alarm baseline).
+ */
+enum class AuditedWorkload : std::uint8_t
+{
+    Bus,
+    Divider,
+    Multiplier,
+    Cache,
+    BenignPair,
+};
+
+/** Short lower-case name of an audited workload. */
+const char* auditedWorkloadName(AuditedWorkload workload);
+
+/** Parse a workload name (fatal on an unknown one). */
+AuditedWorkload auditedWorkloadFromName(const std::string& name);
+
+/** Options of one live-audited (online-analysis) run. */
+struct OnlineAuditOptions
+{
+    AuditedWorkload workload = AuditedWorkload::Divider;
+    ScenarioOptions scenario;
+
+    /**
+     * Online-analysis cadence.  A clustering interval longer than the
+     * run is clamped to scenario.quanta so a short run still gets one
+     * end-of-run clustering pass.
+     */
+    OnlineAnalysisParams online;
+
+    /** Benchmark pair for AuditedWorkload::BenignPair. */
+    std::string benignA = "mcf";
+    std::string benignB = "gobmk";
+};
+
+/**
+ * Result of one live-audited run: the online alarm stream (each alarm
+ * carrying its channel signature and confidence) plus the pipeline and
+ * degradation ledgers.  For a fixed option set this is deterministic —
+ * including across analysisThreads values and the async hand-off under
+ * Block — which is what lets the fleet auditor shard tenants freely.
+ */
+struct OnlineAuditResult
+{
+    std::vector<Alarm> alarms;
+    PipelineStats pipeline;
+    DegradedStats degraded;
+    std::uint64_t quantaRecorded = 0;
+    unsigned monitoredSlots = 0;
+};
+
+/** Run one machine under live audit (the online-analysis cadence). */
+OnlineAuditResult runOnlineAudit(const OnlineAuditOptions& options);
+
 /** Run the memory-bus covert channel under audit. */
 BusScenarioResult runBusScenario(const ScenarioOptions& options);
 

@@ -1,6 +1,7 @@
 #include "sim/stats_report.hh"
 
 #include <iomanip>
+#include <sstream>
 
 #include "util/table_writer.hh"
 
@@ -102,6 +103,38 @@ dumpStatEntries(const std::vector<StatEntry>& entries,
            << std::setprecision(integral ? 0 : 3) << e.value
            << "  # " << e.description << '\n';
     }
+}
+
+std::vector<StatEntry>
+parseStatEntries(std::istream& is)
+{
+    std::vector<StatEntry> entries;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line.rfind("----------", 0) == 0)
+            continue;
+        // Layout: <name> <padding><value>  # <description>.  The name
+        // never contains whitespace and the value is the last token
+        // before the comment marker, so both survive any padding
+        // width (names longer than the column simply push the value
+        // right).
+        std::string left = line;
+        std::string description;
+        const std::size_t marker = line.find("  # ");
+        if (marker != std::string::npos) {
+            left = line.substr(0, marker);
+            description = line.substr(marker + 4);
+        }
+        std::istringstream fields(left);
+        StatEntry entry;
+        std::string value;
+        if (!(fields >> entry.name >> value))
+            continue;
+        entry.value = std::stod(value);
+        entry.description = std::move(description);
+        entries.push_back(std::move(entry));
+    }
+    return entries;
 }
 
 void

@@ -12,6 +12,7 @@
 #ifndef CCHUNTER_SIM_STATS_REPORT_HH
 #define CCHUNTER_SIM_STATS_REPORT_HH
 
+#include <istream>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -38,6 +39,15 @@ std::vector<StatEntry> collectMachineStats(Machine& machine);
  *  reuse this to join the same report. */
 void dumpStatEntries(const std::vector<StatEntry>& entries,
                      std::ostream& os, const std::string& title = "");
+
+/**
+ * Parse a dumpStatEntries rendering back into entries.  Section-title
+ * lines and blank lines are skipped; names of any length round-trip
+ * (including ones wider than the name column), as do arbitrarily
+ * nested dotted prefixes.  Lets tooling consume a saved stats dump
+ * without a second format.
+ */
+std::vector<StatEntry> parseStatEntries(std::istream& is);
 
 /** Render the flat listing (name, value, description columns). */
 void dumpMachineStats(Machine& machine, std::ostream& os);

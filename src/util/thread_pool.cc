@@ -1,7 +1,5 @@
 #include "util/thread_pool.hh"
 
-#include <atomic>
-
 #include "util/logging.hh"
 
 namespace cchunter
@@ -73,6 +71,15 @@ namespace
  * Shared progress of one parallelFor call.  Owns a copy of the body so
  * helper tasks that start after the caller has already drained the
  * counter never touch a dead frame.
+ *
+ * Claims happen under the mutex (work items here are coarse — slot
+ * analyses, k-means restarts, fleet shards — so claim cost is noise)
+ * which makes the termination invariant simple: once `error` is set or
+ * `next` reaches `count`, no new item can ever start, and the caller
+ * only needs `inFlight` to drain to zero before returning.  Both
+ * conditions are monotone, so a helper task scheduled long after the
+ * caller has returned observes them and exits without touching the
+ * body.
  */
 struct ForState
 {
@@ -83,32 +90,42 @@ struct ForState
 
     const std::size_t count;
     const std::function<void(std::size_t)> body;
-    std::atomic<std::size_t> next{0};
     std::mutex mutex;
     std::condition_variable done;
-    std::size_t completed = 0;
+    std::size_t next = 0;     //!< first unclaimed index
+    std::size_t inFlight = 0; //!< items currently executing
     std::exception_ptr error;
 };
 
-/** Claim and run indices until the range is exhausted. */
+/** Claim and run indices until the range is exhausted or poisoned. */
 void
 drainIndices(ForState& state)
 {
     for (;;) {
-        const std::size_t i =
-            state.next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= state.count)
-            return;
+        std::size_t i;
+        {
+            std::lock_guard<std::mutex> lock(state.mutex);
+            // A recorded failure poisons the range: indices never
+            // claimed are abandoned rather than executed for a result
+            // the caller will discard on rethrow.
+            if (state.error || state.next >= state.count)
+                return;
+            i = state.next++;
+            ++state.inFlight;
+        }
+        bool failed = false;
         try {
             state.body(i);
         } catch (...) {
+            failed = true;
             std::lock_guard<std::mutex> lock(state.mutex);
             if (!state.error)
                 state.error = std::current_exception();
+            --state.inFlight;
         }
-        {
+        if (!failed) {
             std::lock_guard<std::mutex> lock(state.mutex);
-            ++state.completed;
+            --state.inFlight;
         }
         state.done.notify_all();
     }
@@ -139,9 +156,15 @@ ThreadPool::parallelFor(std::size_t count,
     // all workers are blocked inside nested parallelFor calls.
     drainIndices(*state);
 
+    // The caller's own drain only returns once the range is exhausted
+    // or poisoned (both monotone), so waiting for the in-flight count
+    // to reach zero is sufficient: helper tasks that have not yet run
+    // will find the same condition and claim nothing.
     std::unique_lock<std::mutex> lock(state->mutex);
-    state->done.wait(lock,
-                     [&]() { return state->completed == count; });
+    state->done.wait(lock, [&]() {
+        return state->inFlight == 0 &&
+               (state->error || state->next >= state->count);
+    });
     if (state->error)
         std::rethrow_exception(state->error);
 }

@@ -71,8 +71,14 @@ class ThreadPool
      * workers *and* the calling thread, returning once all calls have
      * completed.  Work items are claimed from a shared counter, so the
      * partition is dynamic but writing results by index keeps output
-     * deterministic.  The first exception thrown by any body call is
-     * rethrown on the caller after all items finish.
+     * deterministic.
+     *
+     * A body call that throws poisons the range: indices not yet
+     * claimed are abandoned, already-running calls are allowed to
+     * finish, and the first exception is rethrown on the caller — it
+     * never deadlocks the caller's participation, and no body call can
+     * still be executing (or start executing) once parallelFor has
+     * returned.
      */
     void parallelFor(std::size_t count,
                      const std::function<void(std::size_t)>& body);

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "fleet/alarm_aggregator.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+Alarm
+makeAlarm(unsigned slot, std::uint64_t quantum,
+          std::uint64_t feature = 7, double confidence = 1.0,
+          MonitorTarget unit = MonitorTarget::IntegerDivider,
+          AlarmKind kind = AlarmKind::Contention)
+{
+    Alarm alarm;
+    alarm.slot = slot;
+    alarm.quantum = quantum;
+    alarm.confidence = confidence;
+    alarm.unit = unit;
+    alarm.kind = kind;
+    alarm.dominantFeature = feature;
+    return alarm;
+}
+
+TenantAlarmBatch
+makeBatch(TenantId tenant, std::vector<Alarm> alarms)
+{
+    TenantAlarmBatch batch;
+    batch.tenant = tenant;
+    batch.alarms = std::move(alarms);
+    return batch;
+}
+
+TEST(AlarmAggregatorTest, MergesRepeatedAlarmsWithinGap)
+{
+    AlarmAggregator aggregator;
+    aggregator.ingest(makeBatch(
+        0, {makeAlarm(0, 4), makeAlarm(0, 8), makeAlarm(0, 12)}));
+    IncidentStore store;
+    aggregator.finalize(store);
+    ASSERT_EQ(store.incidents().size(), 1u);
+    const Incident& incident = store.incidents()[0];
+    EXPECT_EQ(incident.occurrences, 3u);
+    EXPECT_EQ(incident.firstQuantum, 4u);
+    EXPECT_EQ(incident.lastQuantum, 12u);
+    EXPECT_FALSE(incident.correlated);
+}
+
+TEST(AlarmAggregatorTest, GapBeyondDedupWindowStartsFreshIncident)
+{
+    AggregatorParams params;
+    params.dedupGapQuanta = 4;
+    AlarmAggregator aggregator(params);
+    aggregator.ingest(
+        makeBatch(0, {makeAlarm(0, 4), makeAlarm(0, 20)}));
+    IncidentStore store;
+    aggregator.finalize(store);
+    ASSERT_EQ(store.incidents().size(), 2u);
+    EXPECT_EQ(store.incidents()[0].lastQuantum, 4u);
+    EXPECT_EQ(store.incidents()[1].firstQuantum, 20u);
+}
+
+TEST(AlarmAggregatorTest, DistinctSignaturesStayDistinct)
+{
+    AlarmAggregator aggregator;
+    aggregator.ingest(makeBatch(
+        0, {makeAlarm(0, 4, 7), makeAlarm(0, 4, 9)}));
+    IncidentStore store;
+    aggregator.finalize(store);
+    EXPECT_EQ(store.incidents().size(), 2u);
+}
+
+TEST(AlarmAggregatorTest, ConfidenceFloorFiltersAndCounts)
+{
+    AggregatorParams params;
+    params.minConfidence = 0.5;
+    AlarmAggregator aggregator(params);
+    aggregator.ingest(makeBatch(0, {makeAlarm(0, 4, 7, 0.3),
+                                    makeAlarm(0, 8, 7, 0.9)}));
+    IncidentStore store;
+    aggregator.finalize(store);
+    ASSERT_EQ(store.incidents().size(), 1u);
+    EXPECT_EQ(store.incidents()[0].occurrences, 1u);
+    EXPECT_EQ(aggregator.alarmsFiltered(), 1u);
+    EXPECT_EQ(aggregator.alarmsSeen(), 2u);
+}
+
+TEST(AlarmAggregatorTest, SustainedDetectionScoresHigher)
+{
+    AlarmAggregator aggregator;
+    aggregator.ingest(makeBatch(0, {makeAlarm(0, 4, 7)}));
+    aggregator.ingest(makeBatch(
+        1, {makeAlarm(0, 4, 9), makeAlarm(0, 8, 9), makeAlarm(0, 12, 9),
+            makeAlarm(0, 16, 9), makeAlarm(0, 20, 9),
+            makeAlarm(0, 24, 9), makeAlarm(0, 28, 9),
+            makeAlarm(0, 32, 9)}));
+    IncidentStore store;
+    aggregator.finalize(store);
+    ASSERT_EQ(store.incidents().size(), 2u);
+    const Incident& oneOff = store.incidents()[0];
+    const Incident& sustained = store.incidents()[1];
+    EXPECT_LT(oneOff.score, sustained.score);
+    // Eight merged full-confidence alarms saturate the score at 1.0.
+    EXPECT_DOUBLE_EQ(sustained.score, 1.0);
+    EXPECT_EQ(sustained.severity, IncidentSeverity::Critical);
+}
+
+TEST(AlarmAggregatorTest, CrossTenantSignatureEarnsFleetWideRecord)
+{
+    AlarmAggregator aggregator;
+    aggregator.ingest(makeBatch(0, {makeAlarm(0, 4, 7)}));
+    aggregator.ingest(makeBatch(2, {makeAlarm(1, 6, 7)}));
+    aggregator.ingest(makeBatch(1, {makeAlarm(0, 5, 9)}));
+    IncidentStore store;
+    aggregator.finalize(store);
+
+    // Tenant incidents in ascending-tenant order, then the fleet-wide
+    // record for the shared signature.
+    ASSERT_EQ(store.incidents().size(), 4u);
+    EXPECT_EQ(store.incidents()[0].tenant, 0u);
+    EXPECT_EQ(store.incidents()[1].tenant, 1u);
+    EXPECT_EQ(store.incidents()[2].tenant, 2u);
+    EXPECT_TRUE(store.incidents()[0].correlated);
+    EXPECT_FALSE(store.incidents()[1].correlated);
+    EXPECT_TRUE(store.incidents()[2].correlated);
+
+    const Incident& fleet = store.incidents()[3];
+    EXPECT_TRUE(fleet.fleetWide);
+    EXPECT_EQ(fleet.signature,
+              makeAlarm(0, 0, 7).channelSignature());
+    ASSERT_EQ(fleet.correlatedTenants.size(), 2u);
+    EXPECT_EQ(fleet.correlatedTenants[0], 0u);
+    EXPECT_EQ(fleet.correlatedTenants[1], 2u);
+    EXPECT_EQ(fleet.occurrences, 2u);
+    // Correlated members outrank an equally-confident lone detection.
+    EXPECT_GT(store.incidents()[0].score,
+              store.incidents()[1].score);
+}
+
+TEST(AlarmAggregatorTest, SameTenantRecurrenceIsNotFleetWide)
+{
+    // Two incidents with the same signature on ONE tenant (a gap
+    // split) must not fabricate a cross-tenant correlation.
+    AggregatorParams params;
+    params.dedupGapQuanta = 2;
+    AlarmAggregator aggregator(params);
+    aggregator.ingest(
+        makeBatch(0, {makeAlarm(0, 4), makeAlarm(0, 20)}));
+    IncidentStore store;
+    aggregator.finalize(store);
+    ASSERT_EQ(store.incidents().size(), 2u);
+    EXPECT_EQ(store.fleetWideCount(), 0u);
+    EXPECT_FALSE(store.incidents()[0].correlated);
+}
+
+TEST(AlarmAggregatorTest, IngestOrderDoesNotChangeTheStream)
+{
+    const auto batches = [] {
+        return std::vector<TenantAlarmBatch>{
+            makeBatch(0, {makeAlarm(0, 4, 7), makeAlarm(0, 8, 7)}),
+            makeBatch(1, {makeAlarm(0, 5, 7)}),
+            makeBatch(2, {makeAlarm(1, 6, 11, 0.8,
+                                    MonitorTarget::L2Cache,
+                                    AlarmKind::Oscillation)}),
+        };
+    };
+
+    AlarmAggregator forward;
+    for (auto& batch : batches())
+        forward.ingest(std::move(batch));
+    IncidentStore forwardStore;
+    forward.finalize(forwardStore);
+
+    AlarmAggregator reverse;
+    auto reversed = batches();
+    for (auto it = reversed.rbegin(); it != reversed.rend(); ++it)
+        reverse.ingest(std::move(*it));
+    IncidentStore reverseStore;
+    reverse.finalize(reverseStore);
+
+    EXPECT_EQ(forwardStore.streamText(), reverseStore.streamText());
+    EXPECT_EQ(forwardStore.streamHash(), reverseStore.streamHash());
+}
+
+TEST(AlarmAggregatorTest, ConcurrentIngestIsSafeAndComplete)
+{
+    AlarmAggregator aggregator;
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < 8; ++t)
+        threads.emplace_back([&aggregator, t]() {
+            aggregator.ingest(makeBatch(
+                t, {makeAlarm(0, 4, 100 + t)}));
+        });
+    for (std::thread& thread : threads)
+        thread.join();
+    EXPECT_EQ(aggregator.batchesIngested(), 8u);
+    EXPECT_EQ(aggregator.alarmsSeen(), 8u);
+    IncidentStore store;
+    aggregator.finalize(store);
+    EXPECT_EQ(store.incidents().size(), 8u);
+}
+
+TEST(AlarmAggregatorTest, AccumulatesPipelineAndDegradedLedgers)
+{
+    AlarmAggregator aggregator;
+    TenantAlarmBatch a = makeBatch(0, {});
+    a.pipeline.drainedHistograms = 10;
+    a.degraded.missedQuanta = 1;
+    TenantAlarmBatch b = makeBatch(1, {});
+    b.pipeline.drainedHistograms = 5;
+    b.degraded.missedQuanta = 2;
+    aggregator.ingest(std::move(a));
+    aggregator.ingest(std::move(b));
+    EXPECT_EQ(aggregator.pipeline().drainedHistograms, 15u);
+    EXPECT_EQ(aggregator.degraded().missedQuanta, 3u);
+}
+
+} // namespace
+} // namespace cchunter

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "auditor/daemon.hh"
+#include "scenario/experiment.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+TEST(ChannelSignatureTest, PacksUnitKindAndFeatureWithoutStrings)
+{
+    Alarm alarm;
+    alarm.unit = MonitorTarget::L2Cache;
+    alarm.kind = AlarmKind::Oscillation;
+    alarm.dominantFeature = 0x123456789ABCull;
+    const std::uint64_t expected =
+        (std::uint64_t{4} << 56) | (std::uint64_t{1} << 48) |
+        0x123456789ABCull;
+    EXPECT_EQ(alarm.channelSignature(), expected);
+}
+
+TEST(ChannelSignatureTest, FeatureIsMaskedTo48Bits)
+{
+    Alarm alarm;
+    alarm.unit = MonitorTarget::IntegerDivider;
+    alarm.kind = AlarmKind::Contention;
+    alarm.dominantFeature = ~std::uint64_t{0};
+    const std::uint64_t signature = alarm.channelSignature();
+    EXPECT_EQ(signature >> 56, 2u);
+    EXPECT_EQ((signature >> 48) & 0xff, 0u);
+    EXPECT_EQ(signature & ((std::uint64_t{1} << 48) - 1),
+              (std::uint64_t{1} << 48) - 1);
+}
+
+TEST(ChannelSignatureTest, DiffersAcrossUnitsKindsAndFeatures)
+{
+    Alarm a;
+    a.unit = MonitorTarget::MemoryBus;
+    a.dominantFeature = 7;
+    Alarm b = a;
+    b.unit = MonitorTarget::IntegerDivider;
+    Alarm c = a;
+    c.kind = AlarmKind::Oscillation;
+    Alarm d = a;
+    d.dominantFeature = 8;
+    EXPECT_NE(a.channelSignature(), b.channelSignature());
+    EXPECT_NE(a.channelSignature(), c.channelSignature());
+    EXPECT_NE(a.channelSignature(), d.channelSignature());
+}
+
+OnlineAuditOptions
+dividerAudit()
+{
+    OnlineAuditOptions options;
+    options.workload = AuditedWorkload::Divider;
+    options.scenario.bandwidthBps = 10000.0;
+    options.scenario.quanta = 8;
+    options.scenario.quantum = 2500000;
+    options.scenario.seed = 11;
+    options.scenario.noiseProcesses = 0;
+    options.online.clusteringIntervalQuanta = 4;
+    return options;
+}
+
+TEST(ChannelSignatureTest, StableAcrossIdenticalRuns)
+{
+    const OnlineAuditResult first = runOnlineAudit(dividerAudit());
+    const OnlineAuditResult second = runOnlineAudit(dividerAudit());
+    ASSERT_FALSE(first.alarms.empty());
+    ASSERT_EQ(first.alarms.size(), second.alarms.size());
+    for (std::size_t i = 0; i < first.alarms.size(); ++i) {
+        EXPECT_EQ(first.alarms[i].channelSignature(),
+                  second.alarms[i].channelSignature());
+        EXPECT_EQ(first.alarms[i].quantum, second.alarms[i].quantum);
+        EXPECT_EQ(first.alarms[i].slot, second.alarms[i].slot);
+        EXPECT_EQ(first.alarms[i].dominantFeature,
+                  second.alarms[i].dominantFeature);
+    }
+}
+
+TEST(ChannelSignatureTest, CarriesTheAuditedUnit)
+{
+    const OnlineAuditResult result = runOnlineAudit(dividerAudit());
+    ASSERT_FALSE(result.alarms.empty());
+    for (const Alarm& alarm : result.alarms) {
+        EXPECT_EQ(alarm.unit, MonitorTarget::IntegerDivider);
+        EXPECT_EQ(alarm.kind, AlarmKind::Contention);
+        EXPECT_EQ(alarm.channelSignature() >> 56,
+                  static_cast<std::uint64_t>(alarm.unit));
+    }
+}
+
+} // namespace
+} // namespace cchunter

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fleet/incident_store.hh"
+#include "sim/stats_report.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+Incident
+tenantIncident(TenantId tenant, std::uint64_t signature,
+               double score = 0.5)
+{
+    Incident incident;
+    incident.tenant = tenant;
+    incident.slot = 0;
+    incident.unit = MonitorTarget::IntegerDivider;
+    incident.kind = AlarmKind::Contention;
+    incident.signature = signature;
+    incident.occurrences = 2;
+    incident.meanConfidence = 0.9;
+    incident.minConfidence = 0.8;
+    incident.score = score;
+    incident.severity = IncidentSeverity::Warning;
+    return incident;
+}
+
+TEST(IncidentStoreTest, AssignsSequentialIdsInEmissionOrder)
+{
+    IncidentStore store;
+    EXPECT_TRUE(store.emit(tenantIncident(0, 1)));
+    EXPECT_TRUE(store.emit(tenantIncident(1, 2)));
+    EXPECT_TRUE(store.emit(tenantIncident(2, 3)));
+    ASSERT_EQ(store.incidents().size(), 3u);
+    EXPECT_EQ(store.incidents()[0].id, 0u);
+    EXPECT_EQ(store.incidents()[1].id, 1u);
+    EXPECT_EQ(store.incidents()[2].id, 2u);
+    EXPECT_EQ(store.suppressed(), 0u);
+}
+
+TEST(IncidentStoreTest, PerTenantCapSuppressesNoisyTenantOnly)
+{
+    IncidentStore store(IncidentRateLimit{2, 0});
+    EXPECT_TRUE(store.emit(tenantIncident(0, 1)));
+    EXPECT_TRUE(store.emit(tenantIncident(0, 2)));
+    EXPECT_FALSE(store.emit(tenantIncident(0, 3))); // over tenant cap
+    EXPECT_TRUE(store.emit(tenantIncident(1, 4)));  // other tenant ok
+    EXPECT_EQ(store.incidents().size(), 3u);
+    EXPECT_EQ(store.suppressed(), 1u);
+    // Ids stay dense despite the suppression.
+    EXPECT_EQ(store.incidents().back().id, 2u);
+}
+
+TEST(IncidentStoreTest, FleetWideRecordsAreExemptFromTenantCap)
+{
+    IncidentStore store(IncidentRateLimit{1, 0});
+    EXPECT_TRUE(store.emit(tenantIncident(0, 1)));
+    EXPECT_FALSE(store.emit(tenantIncident(0, 2)));
+    Incident fleet = tenantIncident(0, 3);
+    fleet.fleetWide = true;
+    fleet.correlatedTenants = {0, 1};
+    EXPECT_TRUE(store.emit(fleet));
+    EXPECT_EQ(store.fleetWideCount(), 1u);
+}
+
+TEST(IncidentStoreTest, TotalCapBoundsTheWholeStore)
+{
+    IncidentStore store(IncidentRateLimit{0, 2});
+    EXPECT_TRUE(store.emit(tenantIncident(0, 1)));
+    EXPECT_TRUE(store.emit(tenantIncident(1, 2)));
+    EXPECT_FALSE(store.emit(tenantIncident(2, 3)));
+    EXPECT_EQ(store.suppressed(), 1u);
+}
+
+TEST(IncidentStoreTest, CountsBySeverity)
+{
+    IncidentStore store;
+    Incident info = tenantIncident(0, 1);
+    info.severity = IncidentSeverity::Info;
+    Incident critical = tenantIncident(1, 2);
+    critical.severity = IncidentSeverity::Critical;
+    store.emit(info);
+    store.emit(critical);
+    store.emit(tenantIncident(2, 3)); // warning
+    EXPECT_EQ(store.countBySeverity(IncidentSeverity::Info), 1u);
+    EXPECT_EQ(store.countBySeverity(IncidentSeverity::Warning), 1u);
+    EXPECT_EQ(store.countBySeverity(IncidentSeverity::Critical), 1u);
+}
+
+TEST(IncidentStoreTest, StreamLineIsByteStable)
+{
+    Incident incident = tenantIncident(3, 0x0200aa0000000007ull);
+    incident.id = 5;
+    incident.firstQuantum = 4;
+    incident.lastQuantum = 12;
+    incident.correlated = true;
+    EXPECT_EQ(incident.streamLine(),
+              "incident 5 tenant=3 slot=0 unit=divider"
+              " kind=contention sig=0x0200aa0000000007"
+              " quanta=[4,12] occ=2 conf=0.9000/0.8000"
+              " score=0.5000 sev=warning corr=1");
+
+    Incident fleet;
+    fleet.id = 6;
+    fleet.fleetWide = true;
+    fleet.unit = MonitorTarget::L2Cache;
+    fleet.kind = AlarmKind::Oscillation;
+    fleet.signature = 0x0401000000000008ull;
+    fleet.firstQuantum = 1;
+    fleet.lastQuantum = 7;
+    fleet.occurrences = 6;
+    fleet.meanConfidence = 1.0;
+    fleet.minConfidence = 1.0;
+    fleet.score = 0.75;
+    fleet.severity = IncidentSeverity::Critical;
+    fleet.correlatedTenants = {0, 2, 5};
+    EXPECT_EQ(fleet.streamLine(),
+              "incident 6 fleet-wide unit=cache kind=oscillation"
+              " sig=0x0401000000000008 quanta=[1,7] occ=6"
+              " conf=1.0000/1.0000 score=0.7500 sev=critical"
+              " tenants=[0,2,5]");
+}
+
+TEST(IncidentStoreTest, StreamHashMatchesOnlyIdenticalStreams)
+{
+    IncidentStore a;
+    IncidentStore b;
+    a.emit(tenantIncident(0, 1));
+    a.emit(tenantIncident(1, 2));
+    b.emit(tenantIncident(0, 1));
+    b.emit(tenantIncident(1, 2));
+    EXPECT_EQ(a.streamText(), b.streamText());
+    EXPECT_EQ(a.streamHash(), b.streamHash());
+
+    IncidentStore c;
+    c.emit(tenantIncident(0, 1));
+    c.emit(tenantIncident(1, 3)); // one signature differs
+    EXPECT_NE(a.streamHash(), c.streamHash());
+}
+
+TEST(IncidentStoreTest, StatEntriesRoundTripThroughDump)
+{
+    IncidentStore store;
+    store.emit(tenantIncident(0, 1));
+    Incident fleet = tenantIncident(0, 2);
+    fleet.fleetWide = true;
+    store.emit(fleet);
+
+    const auto entries = store.statEntries();
+    std::ostringstream os;
+    dumpStatEntries(entries, os, "fleet incidents");
+    std::istringstream is(os.str());
+    const auto parsed = parseStatEntries(is);
+    ASSERT_EQ(parsed.size(), entries.size());
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        EXPECT_EQ(parsed[i].name, entries[i].name);
+        EXPECT_DOUBLE_EQ(parsed[i].value, entries[i].value);
+    }
+}
+
+} // namespace
+} // namespace cchunter

@@ -124,5 +124,72 @@ TEST(StatsReportTest, DumpStatEntriesOmitsEmptyTitle)
     EXPECT_EQ(os.str().find("----------"), std::string::npos);
 }
 
+TEST(StatsReportTest, ParseRoundTripsNestedPrefixHierarchy)
+{
+    // Two-level prefix groups (fleet.shardN.*) alongside flat names,
+    // an integral counter, a fractional value, and a name wider than
+    // the 28-character name column.
+    const std::vector<StatEntry> entries = {
+        {"fleet.tenants", 16.0, "tenant machines in the plan"},
+        {"fleet.shard0.tenants", 8.0, "tenants on shard 0"},
+        {"fleet.shard0.queueHighWater", 3.0, "deepest backlog"},
+        {"fleet.shard1.tenants", 8.0, "tenants on shard 1"},
+        {"fleet.shard1.latencyMeanUs.analysis", 12.625,
+         "mean analysis latency"},
+        {"fleet.incidents.critical", 2.0, "critical incidents"},
+    };
+    std::ostringstream os;
+    dumpStatEntries(entries, os, "fleet audit");
+
+    std::istringstream is(os.str());
+    const auto parsed = parseStatEntries(is);
+    ASSERT_EQ(parsed.size(), entries.size());
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        EXPECT_EQ(parsed[i].name, entries[i].name);
+        EXPECT_DOUBLE_EQ(parsed[i].value, entries[i].value);
+        EXPECT_EQ(parsed[i].description, entries[i].description);
+    }
+}
+
+TEST(StatsReportTest, ParseSkipsTitlesAndBlankLines)
+{
+    std::istringstream is(
+        "---------- section one ----------\n"
+        "a.b                                         1  # first\n"
+        "\n"
+        "---------- section two ----------\n"
+        "a.c                                     2.500  # second\n");
+    const auto parsed = parseStatEntries(is);
+    ASSERT_EQ(parsed.size(), 2u);
+    EXPECT_EQ(parsed[0].name, "a.b");
+    EXPECT_DOUBLE_EQ(parsed[0].value, 1.0);
+    EXPECT_EQ(parsed[0].description, "first");
+    EXPECT_EQ(parsed[1].name, "a.c");
+    EXPECT_DOUBLE_EQ(parsed[1].value, 2.5);
+    EXPECT_EQ(parsed[1].description, "second");
+}
+
+TEST(StatsReportTest, ParseOfMachineDumpMatchesCollected)
+{
+    Machine m(smallMachine());
+    m.addProcess(std::make_unique<MixWorkload>(), 0);
+    m.runQuanta(1);
+
+    const auto collected = collectMachineStats(m);
+    std::ostringstream os;
+    dumpStatEntries(collected, os, "machine statistics");
+    std::istringstream is(os.str());
+    const auto parsed = parseStatEntries(is);
+
+    ASSERT_EQ(parsed.size(), collected.size());
+    for (std::size_t i = 0; i < collected.size(); ++i) {
+        EXPECT_EQ(parsed[i].name, collected[i].name);
+        // The dump renders fractional values at three decimals, so
+        // the round trip is exact for counters and 1e-3-close
+        // otherwise.
+        EXPECT_NEAR(parsed[i].value, collected[i].value, 5e-4);
+    }
+}
+
 } // namespace
 } // namespace cchunter

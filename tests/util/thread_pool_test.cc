@@ -115,6 +115,103 @@ TEST(ThreadPoolTest, NestedParallelForCompletes)
                       static_cast<int>(outer * 100 + i));
 }
 
+TEST(ThreadPoolTest, ParallelForExceptionDoesNotDeadlockCaller)
+{
+    // Regression: a body throwing on a worker (or on the caller's own
+    // participation) must leave the caller's wait satisfiable — the
+    // fleet shards fan tenants through parallelFor, and a single bad
+    // tenant must not hang the whole audit.  The test completing at
+    // all is the assertion; the poisoned range must also stop claiming
+    // new work rather than grind through every remaining index.
+    ThreadPool pool(4);
+    const std::size_t count = 16 * (pool.size() + 1);
+    std::atomic<std::size_t> executed{0};
+    EXPECT_THROW(
+        pool.parallelFor(count,
+                         [&](std::size_t i) {
+                             if (i == 0)
+                                 throw std::runtime_error("tenant 0");
+                             ++executed;
+                             std::this_thread::sleep_for(
+                                 std::chrono::milliseconds(1));
+                         }),
+        std::runtime_error);
+    // Every drainer finishes at most the item it was running when the
+    // failure was recorded, then abandons the range.
+    EXPECT_LT(executed.load(), count);
+}
+
+TEST(ThreadPoolTest, ParallelForAllBodiesThrowingStillReturns)
+{
+    ThreadPool pool(4);
+    std::atomic<int> attempts{0};
+    EXPECT_THROW(pool.parallelFor(64,
+                                  [&](std::size_t) {
+                                      ++attempts;
+                                      throw std::runtime_error("all");
+                                  }),
+                 std::runtime_error);
+    EXPECT_GE(attempts.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForNestedInnerThrowPropagates)
+{
+    // An exception escaping an inner parallel section must unwind
+    // through the outer one without deadlocking either level.
+    ThreadPool pool(2);
+    EXPECT_THROW(
+        pool.parallelFor(8,
+                         [&](std::size_t outer) {
+                             pool.parallelFor(
+                                 8, [&, outer](std::size_t i) {
+                                     if (outer == 3 && i == 5)
+                                         throw std::runtime_error(
+                                             "inner");
+                                 });
+                         }),
+        std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForUsableAfterException)
+{
+    // A poisoned range must not wedge the pool: subsequent parallel
+    // sections run to completion with every index covered.
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(32,
+                                  [](std::size_t i) {
+                                      if (i % 2 == 0)
+                                          throw std::runtime_error("x");
+                                  }),
+                 std::runtime_error);
+    std::vector<int> hits(512, 0);
+    pool.parallelFor(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (int h : hits)
+        EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForNoBodyRunsAfterReturn)
+{
+    // Helper tasks may be scheduled long after the caller returned
+    // from a poisoned range; they must find the range closed and never
+    // touch the body again.  Destroying the pool drains any stragglers
+    // before `live` leaves scope.
+    std::atomic<bool> live{true};
+    {
+        ThreadPool pool(4);
+        for (int round = 0; round < 16; ++round) {
+            try {
+                pool.parallelFor(64, [&](std::size_t i) {
+                    ASSERT_TRUE(live.load());
+                    if (i == 1)
+                        throw std::runtime_error("poison");
+                });
+            } catch (const std::runtime_error&) {
+            }
+        }
+    }
+    live = false;
+}
+
 TEST(ThreadPoolTest, ParallelForDeterministicByIndex)
 {
     // Scheduling is dynamic but results written by index must be
