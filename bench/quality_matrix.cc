@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Detection-quality matrix: the ground-truth-labelled corpus scored
+ * end to end, with per-unit confusion matrices at the paper's 0.5
+ * decision threshold, full ROC curves with AUC, and a
+ * confidence-calibration table.  Emits BENCH_quality.json and exits
+ * non-zero when the accuracy regression gate fails, so CI tracks
+ * detection quality the same way it tracks correctness.
+ *
+ * Arguments (key=value): seed, quanta, quantum, threads
+ * (analysis fan-out; the JSON must not depend on it), buckets
+ * (calibration buckets), out=<path>.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hh"
+#include "eval/quality_gate.hh"
+
+using namespace cchunter;
+using namespace cchunter::bench;
+
+namespace
+{
+
+/**
+ * Checked-in AUC baseline the gate regresses against (measured on the
+ * default corpus at seed 1; see EXPERIMENTS.md).  Every unit separates
+ * its positives from its negatives perfectly across the whole grid.
+ */
+const std::vector<std::pair<MonitorTarget, double>> kBaselineAuc = {
+    {MonitorTarget::MemoryBus, 1.0},
+    {MonitorTarget::IntegerDivider, 1.0},
+    {MonitorTarget::IntegerMultiplier, 1.0},
+    {MonitorTarget::L2Cache, 1.0},
+};
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const Config cfg = Config::fromArgs(argc, argv);
+
+    CorpusOptions corpusOptions;
+    corpusOptions.seed = cfg.getUint("seed", 1);
+    corpusOptions.quanta = cfg.getUint("quanta", corpusOptions.quanta);
+    corpusOptions.quantum =
+        cfg.getUint("quantum", corpusOptions.quantum);
+
+    QualityScorerOptions scorer;
+    scorer.analysisThreads = cfg.getUint("threads", 1);
+    scorer.calibrationBuckets = cfg.getUint("buckets", 5);
+    const std::string out = cfg.getString("out", "BENCH_quality.json");
+
+    banner("Detection quality: labelled corpus, ROC/AUC, gate",
+           "Every clean channel must be caught at the paper's 0.5 "
+           "threshold, no benign pair may alarm, and per-unit AUC "
+           "must hold the checked-in baseline.");
+
+    const std::vector<LabelledScenario> corpus =
+        buildLabelledCorpus(corpusOptions);
+    std::printf("corpus: %zu labelled runs\n", corpus.size());
+    const QualityReport report = scoreCorpus(corpus, scorer);
+
+    TableWriter units({"unit", "clean tp/fn", "degraded tp/fn",
+                       "fp/tn", "clean TPR", "FPR", "AUC"});
+    for (const UnitQuality& q : report.units) {
+        units.addRow({monitorTargetName(q.unit),
+                      std::to_string(q.cleanTp) + "/" +
+                          std::to_string(q.cleanFn),
+                      std::to_string(q.degradedTp) + "/" +
+                          std::to_string(q.degradedFn),
+                      std::to_string(q.fp) + "/" +
+                          std::to_string(q.tn),
+                      fmtDouble(q.cleanTpr()),
+                      fmtDouble(q.falsePositiveRate()),
+                      fmtDouble(q.auc)});
+    }
+    units.render(std::cout);
+
+    TableWriter calib({"confidence", "alarms", "true alarms",
+                       "mean conf", "precision"});
+    for (const CalibrationBucket& b : report.calibration) {
+        if (!b.alarms)
+            continue;
+        calib.addRow({"[" + fmtDouble(b.lo, 2) + ", " +
+                          fmtDouble(b.hi, 2) + ")",
+                      std::to_string(b.alarms),
+                      std::to_string(b.trueAlarms),
+                      fmtDouble(b.meanConfidence()),
+                      fmtDouble(b.precision())});
+    }
+    std::printf("\nconfidence calibration (non-empty buckets):\n");
+    calib.render(std::cout);
+
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", out.c_str());
+        return 1;
+    }
+    const std::string json = report.toJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out.c_str());
+
+    QualityGateParams gate;
+    gate.baselineAuc = kBaselineAuc;
+    const QualityGateResult verdict =
+        evaluateQualityGate(report, gate);
+    if (!verdict.pass) {
+        std::fprintf(stderr, "\nQUALITY GATE FAILED:\n");
+        for (const std::string& failure : verdict.failures)
+            std::fprintf(stderr, "  - %s\n", failure.c_str());
+        return 1;
+    }
+    std::printf("\nquality gate: PASS\n");
+    return 0;
+}

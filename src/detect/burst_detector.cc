@@ -9,6 +9,15 @@
 namespace cchunter
 {
 
+bool
+BurstAnalysis::significantAt(double likelihood_threshold,
+                             const BurstDetectorParams& params) const
+{
+    return hasSecondDistribution &&
+           likelihoodRatio >= likelihood_threshold &&
+           nonZeroSamples >= params.minNonZeroSamples;
+}
+
 BurstDetector::BurstDetector(BurstDetectorParams params)
     : params_(params)
 {

@@ -96,6 +96,17 @@ struct BurstAnalysis
     bool significant = false;
 
     /**
+     * Re-evaluate significance at a different likelihood-ratio cut-off
+     * without re-analysing the histogram: the stored evidence (second
+     * distribution, sample floor) is threshold-independent, only the
+     * ratio test moves.  `significantAt(params.likelihoodThreshold)`
+     * equals `significant` for the params the analysis ran under.
+     * ROC sweeps use this to score one analysis at many thresholds.
+     */
+    bool significantAt(double likelihood_threshold,
+                       const BurstDetectorParams& params = {}) const;
+
+    /**
      * Bins excluded from the second-distribution fit because their
      * 16-bit hardware entry saturated (the recorded count is only a
      * floor).  0 on a clean histogram; when non-zero the burst/non-

@@ -34,6 +34,47 @@ OscillationVerdict::summary() const
     return os.str();
 }
 
+bool
+ContentionVerdict::detectedAt(double likelihood_threshold,
+                              const PatternClusteringParams& params)
+    const
+{
+    if (perQuantum.empty())
+        return false;
+    // Mirror analyzeContention's decision rule: one quantum decides on
+    // its own significance, multiple quanta on recurrence.
+    if (perQuantum.size() == 1)
+        return combined.significantAt(likelihood_threshold,
+                                      params.burst);
+    return recurrence.recurrentAt(likelihood_threshold, params);
+}
+
+bool
+OscillationVerdict::detectedAt(const OscillationParams& params) const
+{
+    return analysis.oscillatingAt(params);
+}
+
+void
+DetectionThresholds::validate() const
+{
+    for (const double t :
+         {contentionLikelihood, oscillationPeak, oscillationStrongPeak})
+        if (t < 0.0 || t > 1.0)
+            fatal("DetectionThresholds: cut-off ", t,
+                  " outside [0, 1]");
+}
+
+CCHunterParams
+DetectionThresholds::apply(CCHunterParams base) const
+{
+    validate();
+    base.clustering.burst.likelihoodThreshold = contentionLikelihood;
+    base.oscillation.peakThreshold = oscillationPeak;
+    base.oscillation.strongPeakThreshold = oscillationStrongPeak;
+    return base;
+}
+
 CCHunter::CCHunter(CCHunterParams params, ThreadPool* pool)
     : params_(params), pool_(pool)
 {

@@ -42,6 +42,16 @@ struct ContentionVerdict
     /** Covert timing channel likely present on this resource. */
     bool detected = false;
 
+    /**
+     * Re-evaluate the verdict at a different likelihood-ratio cut-off
+     * from the stored analyses (no re-clustering, no histogram
+     * re-scan).  `detectedAt(params.burst.likelihoodThreshold, params)`
+     * equals `detected` for the params the analysis ran under; ROC
+     * sweeps call this across a threshold grid.
+     */
+    bool detectedAt(double likelihood_threshold,
+                    const PatternClusteringParams& params = {}) const;
+
     /** Human-readable one-line summary. */
     std::string summary() const;
 };
@@ -54,6 +64,10 @@ struct OscillationVerdict
     /** Covert timing channel likely present on this resource. */
     bool detected = false;
 
+    /** Re-evaluate the verdict under different oscillation thresholds
+     *  from the stored correlogram (see OscillationAnalysis). */
+    bool detectedAt(const OscillationParams& params) const;
+
     /** Human-readable one-line summary. */
     std::string summary() const;
 };
@@ -63,6 +77,33 @@ struct CCHunterParams
 {
     PatternClusteringParams clustering;
     OscillationParams oscillation;
+};
+
+/**
+ * The decision cut-offs of both analysis paths in one plumbable
+ * struct, defaulted to the paper's values: likelihood ratio >= 0.5
+ * flags a contention channel (real channels score >= 0.9, benign
+ * programs < 0.5), and the oscillation path keeps its published peak
+ * thresholds.  Scenario harnesses carry one of these instead of
+ * hard-coding 0.5, which is what lets the detection-quality subsystem
+ * sweep full ROC curves through otherwise-identical runs.
+ */
+struct DetectionThresholds
+{
+    /** Likelihood-ratio cut-off of the recurrent-burst path. */
+    double contentionLikelihood = 0.5;
+
+    /** Minimum autocorrelogram peak of the oscillation path. */
+    double oscillationPeak = 0.35;
+
+    /** Single-strong-peak cut-off of the oscillation path. */
+    double oscillationStrongPeak = 0.6;
+
+    /** Fatal when any threshold lies outside [0, 1]. */
+    void validate() const;
+
+    /** Copy of `base` with every cut-off replaced by this struct's. */
+    CCHunterParams apply(CCHunterParams base = {}) const;
 };
 
 /**

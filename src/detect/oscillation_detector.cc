@@ -22,18 +22,36 @@ OscillationDetector::analyze(const std::vector<double>& series) const
     OscillationAnalysis out;
     out.seriesLength = series.size();
     out.correlogram = autocorrelogram(series, params_.maxLag);
-    if (series.size() < params_.minSeriesLength)
-        return out;
+    decideOscillation(out, params_);
+    return out;
+}
+
+void
+decideOscillation(OscillationAnalysis& out,
+                  const OscillationParams& params)
+{
+    // Reset every derived field so a stored analysis can be re-decided
+    // under new thresholds.
+    out.peaks.clear();
+    out.r1 = 0.0;
+    out.dominantLag = 0;
+    out.dominantValue = 0.0;
+    out.deepestTrough = 0.0;
+    out.periodScore = 0.0;
+    out.spanFraction = 0.0;
+    out.oscillating = false;
+    if (out.seriesLength < params.minSeriesLength)
+        return;
 
     out.r1 = out.correlogram.size() > 1 ? out.correlogram[1] : 0.0;
     for (std::size_t lag = 1; lag < out.correlogram.size(); ++lag)
         out.deepestTrough =
             std::min(out.deepestTrough, out.correlogram[lag]);
 
-    out.peaks = findPeaks(out.correlogram, params_.peakThreshold,
-                          params_.minPeakSeparation);
+    out.peaks = findPeaks(out.correlogram, params.peakThreshold,
+                          params.minPeakSeparation);
     if (out.peaks.empty())
-        return out;
+        return;
 
     const auto strongest = std::max_element(
         out.peaks.begin(), out.peaks.end(),
@@ -59,9 +77,9 @@ OscillationDetector::analyze(const std::vector<double>& series) const
         // train has peaks from ~period through ~maxLag.
         out.spanFraction =
             static_cast<double>(out.peaks.back().lag) /
-            static_cast<double>(params_.maxLag);
-        if (out.periodScore >= params_.minPeriodScore &&
-            out.spanFraction >= params_.minSpanFraction) {
+            static_cast<double>(params.maxLag);
+        if (out.periodScore >= params.minPeriodScore &&
+            out.spanFraction >= params.minSpanFraction) {
             out.oscillating = true;
         }
     }
@@ -70,13 +88,20 @@ OscillationDetector::analyze(const std::vector<double>& series) const
         // Single-strong-peak signature: one high peak plus a deep
         // negative trough near the half period (square-wave train whose
         // period fits the correlogram only once).
-        if (out.dominantValue >= params_.strongPeakThreshold &&
-            out.deepestTrough <= -params_.troughThreshold) {
+        if (out.dominantValue >= params.strongPeakThreshold &&
+            out.deepestTrough <= -params.troughThreshold) {
             out.oscillating = true;
             // The dominant period estimate remains the strongest peak.
         }
     }
-    return out;
+}
+
+bool
+OscillationAnalysis::oscillatingAt(const OscillationParams& params) const
+{
+    OscillationAnalysis copy = *this;
+    decideOscillation(copy, params);
+    return copy.oscillating;
 }
 
 } // namespace cchunter

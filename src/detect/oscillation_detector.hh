@@ -87,7 +87,26 @@ struct OscillationAnalysis
 
     /** Final verdict: the train oscillates. */
     bool oscillating = false;
+
+    /**
+     * Re-evaluate the verdict under different thresholds from the
+     * stored correlogram (peaks are re-found; no series re-scan).
+     * `oscillatingAt(params)` equals `oscillating` for the params the
+     * analysis ran under; ROC sweeps call this across a peak-threshold
+     * grid.
+     */
+    bool oscillatingAt(const OscillationParams& params) const;
 };
+
+/**
+ * Fill every decision field of an analysis (peaks, dominant lag/value,
+ * trough, period/span scores, verdict) from its correlogram and
+ * seriesLength — the second half of OscillationDetector::analyze,
+ * exposed so stored correlograms can be re-decided under different
+ * thresholds.
+ */
+void decideOscillation(OscillationAnalysis& analysis,
+                       const OscillationParams& params);
 
 /**
  * Detects oscillatory patterns in labelled event trains.

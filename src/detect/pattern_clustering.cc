@@ -7,6 +7,36 @@
 namespace cchunter
 {
 
+std::size_t
+PatternClusteringResult::burstyQuantaAt(
+        double likelihood_threshold,
+        const BurstDetectorParams& burst) const
+{
+    std::size_t quanta = 0;
+    for (std::size_t c = 0; c < clusterAnalyses.size(); ++c) {
+        if (clusterAnalyses[c].significantAt(likelihood_threshold,
+                                             burst))
+            quanta += clustering.clusterSizes[c];
+    }
+    return quanta;
+}
+
+bool
+PatternClusteringResult::recurrentAt(
+        double likelihood_threshold,
+        const PatternClusteringParams& params) const
+{
+    const std::size_t total = clustering.assignments.size();
+    if (total == 0)
+        return false;
+    const std::size_t bursty =
+        burstyQuantaAt(likelihood_threshold, params.burst);
+    const double fraction =
+        static_cast<double>(bursty) / static_cast<double>(total);
+    return bursty >= params.minRecurrentQuanta &&
+           fraction >= params.minRecurrentFraction;
+}
+
 PatternClusteringAnalyzer::PatternClusteringAnalyzer(
         PatternClusteringParams params)
     : params_(params)

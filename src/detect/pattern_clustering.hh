@@ -95,6 +95,24 @@ struct PatternClusteringResult
 
     /** Final verdict: burst patterns recur across the window. */
     bool recurrent = false;
+
+    /**
+     * Quanta that land in clusters significant at a different
+     * likelihood cut-off, recomputed from the stored per-cluster
+     * analyses (no re-clustering).
+     */
+    std::size_t burstyQuantaAt(double likelihood_threshold,
+                               const BurstDetectorParams& burst = {})
+        const;
+
+    /**
+     * Re-evaluate the recurrence verdict at a different likelihood
+     * cut-off.  `recurrentAt(params.burst.likelihoodThreshold, params)`
+     * equals `recurrent` for the params the analysis ran under; ROC
+     * sweeps call this across a threshold grid.
+     */
+    bool recurrentAt(double likelihood_threshold,
+                     const PatternClusteringParams& params = {}) const;
 };
 
 /**

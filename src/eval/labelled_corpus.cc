@@ -1,0 +1,228 @@
+#include "eval/labelled_corpus.hh"
+
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+namespace
+{
+
+std::string
+bandwidthTag(double bps)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "bw%.0f", bps);
+    return buf;
+}
+
+std::string
+percentTag(const char* prefix, double rate)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%s%.0f", prefix, rate * 100.0);
+    return buf;
+}
+
+/** Shared builder state: derives one seed per appended entry. */
+struct CorpusBuilder
+{
+    const CorpusOptions& options;
+    std::vector<LabelledScenario> corpus;
+
+    ScenarioOptions baseScenario() const
+    {
+        ScenarioOptions sc;
+        sc.quanta = options.quanta;
+        sc.quantum = options.quantum;
+        sc.noiseProcesses = options.noiseProcesses;
+        return sc;
+    }
+
+    void add(std::string name, CorpusCategory category,
+             AuditedWorkload workload, ScenarioOptions scenario)
+    {
+        LabelledScenario entry;
+        entry.name = std::move(name);
+        entry.category = category;
+        entry.covert = category == CorpusCategory::CleanChannel ||
+                       category == CorpusCategory::DegradedChannel;
+        entry.audit.workload = workload;
+        // Position-derived seed: entries stay decorrelated, and the
+        // corpus is reproducible from the base seed alone.
+        scenario.seed =
+            options.seed + 1000 * (corpus.size() + 1);
+        entry.audit.scenario = scenario;
+        entry.audit.online.clusteringIntervalQuanta =
+            options.clusteringIntervalQuanta;
+        corpus.push_back(std::move(entry));
+    }
+
+    void addBenign(std::string name, CorpusCategory category,
+                   const std::string& a, const std::string& b,
+                   BenignAuditUnits units)
+    {
+        add(std::move(name), category, AuditedWorkload::BenignPair,
+            baseScenario());
+        LabelledScenario& entry = corpus.back();
+        entry.audit.benignA = a;
+        entry.audit.benignB = b;
+        entry.audit.benignUnits = units;
+    }
+};
+
+} // namespace
+
+const char*
+corpusCategoryName(CorpusCategory category)
+{
+    switch (category) {
+    case CorpusCategory::CleanChannel:
+        return "clean";
+    case CorpusCategory::DegradedChannel:
+        return "degraded";
+    case CorpusCategory::Benign:
+        return "benign";
+    case CorpusCategory::AdversarialBenign:
+        return "adversarial";
+    }
+    return "?";
+}
+
+Config
+LabelledScenario::label() const
+{
+    Config cfg;
+    cfg.set("corpus.name", name);
+    cfg.set("corpus.category",
+            std::string(corpusCategoryName(category)));
+    cfg.set("corpus.covert", covert);
+    cfg.set("corpus.workload",
+            std::string(auditedWorkloadName(audit.workload)));
+    cfg.set("corpus.seed",
+            static_cast<std::int64_t>(audit.scenario.seed));
+    return cfg;
+}
+
+std::vector<LabelledScenario>
+buildLabelledCorpus(const CorpusOptions& options)
+{
+    if (options.contentionBandwidths.empty() ||
+        options.cacheBandwidths.empty())
+        fatal("labelled corpus: bandwidth axes must not be empty");
+
+    CorpusBuilder b{options, {}};
+
+    // --- Clean positives: bandwidth axis. ---
+    for (const double bps : options.contentionBandwidths) {
+        ScenarioOptions sc = b.baseScenario();
+        sc.bandwidthBps = bps;
+        b.add("clean/bus/" + bandwidthTag(bps),
+              CorpusCategory::CleanChannel, AuditedWorkload::Bus, sc);
+        b.add("clean/divider/" + bandwidthTag(bps),
+              CorpusCategory::CleanChannel, AuditedWorkload::Divider,
+              sc);
+    }
+
+    // --- Clean positives: message-pattern axis (divider channel at
+    // the fastest bandwidth; the pattern shapes burst spacing). ---
+    {
+        ScenarioOptions sc = b.baseScenario();
+        sc.bandwidthBps = options.contentionBandwidths.front();
+        sc.message =
+            Message::fromUint64(0xAAAAAAAAAAAAAAAAull); // 1010...
+        b.add("clean/divider/alternating",
+              CorpusCategory::CleanChannel, AuditedWorkload::Divider,
+              sc);
+        sc.message = Message::fromUint64(~0ull); // always signalling
+        b.add("clean/divider/all-ones", CorpusCategory::CleanChannel,
+              AuditedWorkload::Divider, sc);
+    }
+
+    // --- Clean positives: the SMT multiplier channel. ---
+    {
+        ScenarioOptions sc = b.baseScenario();
+        sc.bandwidthBps = options.contentionBandwidths.front();
+        b.add("clean/multiplier/" + bandwidthTag(sc.bandwidthBps),
+              CorpusCategory::CleanChannel,
+              AuditedWorkload::Multiplier, sc);
+    }
+
+    // --- Clean positives: cache channel bandwidth axis. ---
+    for (const double bps : options.cacheBandwidths) {
+        ScenarioOptions sc = b.baseScenario();
+        sc.bandwidthBps = bps;
+        b.add("clean/cache/" + bandwidthTag(bps),
+              CorpusCategory::CleanChannel, AuditedWorkload::Cache,
+              sc);
+    }
+
+    // --- Degraded positives: channels under the fault plans the
+    // robustness studies exercise. ---
+    if (options.includeDegraded) {
+        for (const double rate : options.degradedDropRates) {
+            ScenarioOptions sc = b.baseScenario();
+            sc.bandwidthBps = options.contentionBandwidths.front();
+            sc.faults.seed = options.seed + 17;
+            sc.faults.dropQuantumRate = rate;
+            b.add("degraded/divider/" + percentTag("drop", rate),
+                  CorpusCategory::DegradedChannel,
+                  AuditedWorkload::Divider, sc);
+        }
+        {
+            ScenarioOptions sc = b.baseScenario();
+            sc.bandwidthBps = options.contentionBandwidths.front();
+            sc.faults.seed = options.seed + 17;
+            sc.faults.dropQuantumRate =
+                options.degradedDropRates.front();
+            b.add("degraded/bus/" +
+                      percentTag("drop",
+                                 options.degradedDropRates.front()),
+                  CorpusCategory::DegradedChannel,
+                  AuditedWorkload::Bus, sc);
+        }
+        {
+            ScenarioOptions sc = b.baseScenario();
+            sc.bandwidthBps = options.cacheBandwidths.front();
+            sc.faults.seed = options.seed + 17;
+            sc.faults.truncateBatchRate = 0.20;
+            b.add("degraded/cache/truncate20",
+                  CorpusCategory::DegradedChannel,
+                  AuditedWorkload::Cache, sc);
+        }
+    }
+
+    // --- Benign negatives: ordinary benchmark pairs, spread so every
+    // monitored unit kind accumulates true negatives. ---
+    b.addBenign("benign/mcf+gobmk", CorpusCategory::Benign, "mcf",
+                "gobmk", BenignAuditUnits::BusDivider);
+    b.addBenign("benign/bzip2+h264ref", CorpusCategory::Benign,
+                "bzip2", "h264ref", BenignAuditUnits::BusDivider);
+    b.addBenign("benign/sjeng+mailserver", CorpusCategory::Benign,
+                "sjeng", "mailserver",
+                BenignAuditUnits::MultiplierBus);
+    b.addBenign("benign/gobmk+mcf/cache", CorpusCategory::Benign,
+                "gobmk", "mcf", BenignAuditUnits::CacheBus);
+
+    // --- Adversarial negatives: benign but channel-shaped.  A pair of
+    // cache-thrashing streamers hammers the L2 conflict tracker, and
+    // server pairs run periodic-but-innocent request loops; none of
+    // them transmits anything, so none may be flagged. ---
+    if (options.includeAdversarial) {
+        b.addBenign("adversarial/stream+stream/cache",
+                    CorpusCategory::AdversarialBenign, "stream",
+                    "stream", BenignAuditUnits::CacheBus);
+        b.addBenign("adversarial/webserver+webserver",
+                    CorpusCategory::AdversarialBenign, "webserver",
+                    "webserver", BenignAuditUnits::BusDivider);
+        b.addBenign("adversarial/stream+mailserver/mult",
+                    CorpusCategory::AdversarialBenign, "stream",
+                    "mailserver", BenignAuditUnits::MultiplierBus);
+    }
+
+    return b.corpus;
+}
+
+} // namespace cchunter

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Ground-truth-labelled scenario corpus for detection-quality scoring.
+ *
+ * The corpus is built programmatically: positives span the bus /
+ * divider / multiplier / cache channels across bandwidth, message
+ * pattern, and `faults.*` degradation axes; negatives come from the
+ * benign benchmark pool plus adversarial near-miss pairs
+ * (periodic-but-innocent request loops, cache-thrashing streamers)
+ * that the detector must NOT flag.  Every entry carries a
+ * deterministic derived seed and a machine-readable label, so the
+ * whole corpus reproduces bit-identically from one base seed.
+ */
+
+#ifndef CCHUNTER_EVAL_LABELLED_CORPUS_HH
+#define CCHUNTER_EVAL_LABELLED_CORPUS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/experiment.hh"
+#include "util/config.hh"
+
+namespace cchunter
+{
+
+/** Ground-truth class of one corpus entry. */
+enum class CorpusCategory : std::uint8_t
+{
+    CleanChannel,     //!< covert channel, no injected faults
+    DegradedChannel,  //!< covert channel under a fault plan
+    Benign,           //!< ordinary benchmark pair, no channel
+    AdversarialBenign //!< benign but channel-shaped (near miss)
+};
+
+/** Short lower-case name of a corpus category. */
+const char* corpusCategoryName(CorpusCategory category);
+
+/** One ground-truth-labelled run description. */
+struct LabelledScenario
+{
+    /** Unique machine-readable name, e.g. "clean/bus/bw10000". */
+    std::string name;
+
+    CorpusCategory category = CorpusCategory::Benign;
+
+    /** Ground truth: a covert channel is present in this run. */
+    bool covert = false;
+
+    /** The full run description (workload, scenario, cadence). */
+    OnlineAuditOptions audit;
+
+    /** The label as a Config (name, category, covert, seed) for
+     *  echoing into reports and logs. */
+    Config label() const;
+};
+
+/** Axes of the generated corpus. */
+struct CorpusOptions
+{
+    std::uint64_t seed = 1;
+
+    /** Scenario shape shared by every entry. */
+    std::size_t quanta = 8;
+    Tick quantum = 2500000;
+    std::size_t clusteringIntervalQuanta = 4;
+    unsigned noiseProcesses = 0;
+
+    /** Bandwidth axis of the contention channels (bus / divider /
+     *  multiplier), bits per second. */
+    std::vector<double> contentionBandwidths = {10000.0, 2000.0};
+
+    /** Bandwidth axis of the cache channel. */
+    std::vector<double> cacheBandwidths = {1000.0, 500.0};
+
+    /** Quantum-loss axis of the degraded positives. */
+    std::vector<double> degradedDropRates = {0.10, 0.30};
+
+    /** Include the degraded-channel positives. */
+    bool includeDegraded = true;
+
+    /** Include the adversarial near-miss negatives. */
+    bool includeAdversarial = true;
+};
+
+/**
+ * Build the labelled corpus.  Deterministic: identical options yield
+ * an identical corpus (names, seeds, and run descriptions), and every
+ * entry's seed is derived from `options.seed` plus its position, so
+ * entries stay decorrelated without any global randomness.
+ */
+std::vector<LabelledScenario> buildLabelledCorpus(
+    const CorpusOptions& options = {});
+
+} // namespace cchunter
+
+#endif // CCHUNTER_EVAL_LABELLED_CORPUS_HH

@@ -1,0 +1,70 @@
+#include "eval/quality_gate.hh"
+
+#include <cstdio>
+
+namespace cchunter
+{
+
+namespace
+{
+
+std::string
+fmt(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.4f", v);
+    return buf;
+}
+
+} // namespace
+
+QualityGateResult
+evaluateQualityGate(const QualityReport& report,
+                    const QualityGateParams& params)
+{
+    QualityGateResult result;
+    auto fail = [&](std::string message) {
+        result.pass = false;
+        result.failures.push_back(std::move(message));
+    };
+
+    if (report.units.empty())
+        fail("no units were scored (empty corpus?)");
+
+    for (const UnitQuality& unit : report.units) {
+        const std::string name = monitorTargetName(unit.unit);
+        if (unit.cleanTp + unit.cleanFn > 0 &&
+            unit.cleanTpr() < params.minCleanTpr) {
+            fail(name + ": clean TPR " + fmt(unit.cleanTpr()) +
+                 " below " + fmt(params.minCleanTpr) + " (" +
+                 std::to_string(unit.cleanFn) +
+                 " clean positives missed)");
+        }
+        if (unit.tn + unit.fp > 0 &&
+            unit.falsePositiveRate() > params.maxBenignFpr) {
+            fail(name + ": FPR " + fmt(unit.falsePositiveRate()) +
+                 " above " + fmt(params.maxBenignFpr) + " (" +
+                 std::to_string(unit.fp) + " benign false alarms)");
+        }
+    }
+
+    for (const auto& [target, baseline] : params.baselineAuc) {
+        const UnitQuality* unit = nullptr;
+        for (const UnitQuality& q : report.units)
+            if (q.unit == target)
+                unit = &q;
+        const std::string name = monitorTargetName(target);
+        if (!unit) {
+            fail(name + ": baselined unit missing from the report");
+            continue;
+        }
+        if (unit->auc < baseline - params.aucEpsilon) {
+            fail(name + ": AUC " + fmt(unit->auc) +
+                 " regressed beyond " + fmt(params.aucEpsilon) +
+                 " below baseline " + fmt(baseline));
+        }
+    }
+    return result;
+}
+
+} // namespace cchunter

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Accuracy regression gate over a QualityReport.
+ *
+ * CI runs the labelled corpus on every commit; this gate turns the
+ * resulting report into a pass/fail verdict with named failures: a
+ * missed clean positive, any benign false alarm, or an AUC regression
+ * beyond epsilon against the checked-in baseline all fail the build.
+ */
+
+#ifndef CCHUNTER_EVAL_QUALITY_GATE_HH
+#define CCHUNTER_EVAL_QUALITY_GATE_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "eval/quality_scorer.hh"
+
+namespace cchunter
+{
+
+/** Thresholds of the accuracy regression gate. */
+struct QualityGateParams
+{
+    /** Every clean (un-degraded) channel must be caught. */
+    double minCleanTpr = 1.0;
+
+    /** No benign run may raise a verdict. */
+    double maxBenignFpr = 0.0;
+
+    /** Allowed AUC slack below the checked-in baseline. */
+    double aucEpsilon = 0.02;
+
+    /**
+     * Checked-in baseline AUC per unit; units absent from the list
+     * are not AUC-gated (but still TPR/FPR-gated).
+     */
+    std::vector<std::pair<MonitorTarget, double>> baselineAuc;
+};
+
+/** Gate verdict plus the named reason for every failed check. */
+struct QualityGateResult
+{
+    bool pass = true;
+    std::vector<std::string> failures;
+};
+
+/** Evaluate the gate; never throws on a failing report (the named
+ *  failures are the product). */
+QualityGateResult evaluateQualityGate(const QualityReport& report,
+                                      const QualityGateParams& params);
+
+} // namespace cchunter
+
+#endif // CCHUNTER_EVAL_QUALITY_GATE_HH

@@ -1,0 +1,320 @@
+#include "eval/quality_scorer.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+namespace
+{
+
+double
+safeRatio(std::size_t num, std::size_t den)
+{
+    return den ? static_cast<double>(num) / static_cast<double>(den)
+               : 0.0;
+}
+
+/** Fixed-format float for the deterministic JSON rendering. */
+std::string
+fmt(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6f", v);
+    return buf;
+}
+
+UnitQuality&
+unitSlot(std::vector<UnitQuality>& units, MonitorTarget unit)
+{
+    const auto pos = std::lower_bound(
+        units.begin(), units.end(), unit,
+        [](const UnitQuality& q, MonitorTarget u) {
+            return static_cast<int>(q.unit) < static_cast<int>(u);
+        });
+    if (pos != units.end() && pos->unit == unit)
+        return *pos;
+    UnitQuality fresh;
+    fresh.unit = unit;
+    return *units.insert(pos, fresh);
+}
+
+/** Trapezoid AUC over (fpr, tpr) points anchored at (0,0), (1,1). */
+double
+areaUnderCurve(const std::vector<RocPoint>& roc)
+{
+    std::vector<std::pair<double, double>> pts;
+    pts.reserve(roc.size() + 2);
+    pts.emplace_back(0.0, 0.0);
+    for (const RocPoint& p : roc)
+        pts.emplace_back(p.fpr(), p.tpr());
+    pts.emplace_back(1.0, 1.0);
+    std::sort(pts.begin(), pts.end());
+    double area = 0.0;
+    for (std::size_t i = 1; i < pts.size(); ++i)
+        area += (pts[i].first - pts[i - 1].first) *
+                (pts[i].second + pts[i - 1].second) * 0.5;
+    return area;
+}
+
+} // namespace
+
+double
+RocPoint::tpr() const
+{
+    return safeRatio(tp, tp + fn);
+}
+
+double
+RocPoint::fpr() const
+{
+    return safeRatio(fp, fp + tn);
+}
+
+double
+UnitQuality::cleanTpr() const
+{
+    return safeRatio(cleanTp, cleanTp + cleanFn);
+}
+
+double
+UnitQuality::degradedTpr() const
+{
+    return safeRatio(degradedTp, degradedTp + degradedFn);
+}
+
+double
+UnitQuality::falsePositiveRate() const
+{
+    return safeRatio(fp, fp + tn);
+}
+
+double
+CalibrationBucket::meanConfidence() const
+{
+    return alarms ? sumConfidence / static_cast<double>(alarms) : 0.0;
+}
+
+double
+CalibrationBucket::precision() const
+{
+    return safeRatio(trueAlarms, alarms);
+}
+
+const UnitQuality&
+QualityReport::unitQuality(MonitorTarget unit) const
+{
+    for (const UnitQuality& q : units)
+        if (q.unit == unit)
+            return q;
+    fatal("QualityReport: no scores for unit ",
+          monitorTargetName(unit));
+}
+
+std::vector<double>
+defaultRocThresholds()
+{
+    std::vector<double> grid;
+    grid.reserve(19);
+    for (int i = 1; i <= 19; ++i)
+        grid.push_back(static_cast<double>(i) * 0.05);
+    return grid;
+}
+
+QualityReport
+scoreCorpus(const std::vector<LabelledScenario>& corpus,
+            const QualityScorerOptions& options)
+{
+    QualityReport report;
+    report.thresholds = options.thresholds;
+    report.rocThresholds = options.rocThresholds.empty()
+                               ? defaultRocThresholds()
+                               : options.rocThresholds;
+    for (std::size_t i = 0; i < report.rocThresholds.size(); ++i) {
+        const double t = report.rocThresholds[i];
+        if (t < 0.0 || t > 1.0)
+            fatal("quality scorer: ROC threshold ", t,
+                  " outside [0, 1]");
+        if (i > 0 && t <= report.rocThresholds[i - 1])
+            fatal("quality scorer: ROC thresholds must ascend");
+    }
+
+    // The exact analysis parameters every run decides under; grid
+    // re-decisions swap only the cut-offs, never the evidence.
+    const CCHunterParams hunter =
+        options.thresholds.apply(options.baseHunter);
+    const double strongGap = hunter.oscillation.strongPeakThreshold -
+                             hunter.oscillation.peakThreshold;
+
+    const std::size_t buckets =
+        std::max<std::size_t>(1, options.calibrationBuckets);
+    report.calibration.resize(buckets);
+    for (std::size_t i = 0; i < buckets; ++i) {
+        report.calibration[i].lo =
+            static_cast<double>(i) / static_cast<double>(buckets);
+        report.calibration[i].hi = static_cast<double>(i + 1) /
+                                   static_cast<double>(buckets);
+    }
+
+    for (const LabelledScenario& entry : corpus) {
+        OnlineAuditOptions audit = entry.audit;
+        audit.scenario.thresholds = options.thresholds;
+        audit.online.analysisThreads = options.analysisThreads;
+        audit.online.hunter = options.baseHunter;
+        const OnlineAuditResult run = runOnlineAudit(audit);
+        ++report.runs;
+
+        for (const Alarm& alarm : run.alarms) {
+            const std::size_t idx = std::min(
+                buckets - 1,
+                static_cast<std::size_t>(
+                    alarm.confidence * static_cast<double>(buckets)));
+            CalibrationBucket& bucket = report.calibration[idx];
+            ++bucket.alarms;
+            bucket.trueAlarms += entry.covert ? 1 : 0;
+            bucket.sumConfidence += alarm.confidence;
+        }
+
+        for (const UnitOutcome& outcome : run.finalVerdicts) {
+            ScenarioScore score;
+            score.name = entry.name;
+            score.category = entry.category;
+            score.covert = entry.covert;
+            score.slot = outcome.slot;
+            score.unit = outcome.unit;
+            score.kind = outcome.kind;
+            score.detected = outcome.detected;
+            score.confidence = outcome.confidence;
+            score.decisionAt.reserve(report.rocThresholds.size());
+            for (const double t : report.rocThresholds) {
+                bool decided = false;
+                if (outcome.kind == AlarmKind::Oscillation) {
+                    OscillationParams p = hunter.oscillation;
+                    p.peakThreshold = t;
+                    p.strongPeakThreshold =
+                        std::min(1.0, t + strongGap);
+                    decided = outcome.oscillation.detectedAt(p);
+                } else {
+                    decided = outcome.contention.detectedAt(
+                        t, hunter.clustering);
+                }
+                score.decisionAt.push_back(decided);
+            }
+
+            UnitQuality& unit = unitSlot(report.units, outcome.unit);
+            if (entry.covert) {
+                const bool clean =
+                    entry.category == CorpusCategory::CleanChannel;
+                (outcome.detected
+                     ? (clean ? unit.cleanTp : unit.degradedTp)
+                     : (clean ? unit.cleanFn : unit.degradedFn)) += 1;
+            } else {
+                (outcome.detected ? unit.fp : unit.tn) += 1;
+            }
+            report.scores.push_back(std::move(score));
+        }
+    }
+
+    // ROC curves per unit from the stored grid decisions.
+    for (UnitQuality& unit : report.units) {
+        unit.roc.resize(report.rocThresholds.size());
+        for (std::size_t i = 0; i < unit.roc.size(); ++i) {
+            RocPoint& p = unit.roc[i];
+            p.threshold = report.rocThresholds[i];
+            for (const ScenarioScore& s : report.scores) {
+                if (s.unit != unit.unit)
+                    continue;
+                const bool decided = s.decisionAt[i];
+                if (s.covert)
+                    (decided ? p.tp : p.fn) += 1;
+                else
+                    (decided ? p.fp : p.tn) += 1;
+            }
+        }
+        unit.auc = areaUnderCurve(unit.roc);
+    }
+    return report;
+}
+
+std::string
+QualityReport::toJson() const
+{
+    std::string os;
+    os += "{\n";
+    os += "  \"report\": \"detection_quality\",\n";
+    os += "  \"runs\": " + std::to_string(runs) + ",\n";
+    os += "  \"thresholds\": {\"contention_likelihood\": " +
+          fmt(thresholds.contentionLikelihood) +
+          ", \"oscillation_peak\": " + fmt(thresholds.oscillationPeak) +
+          ", \"oscillation_strong_peak\": " +
+          fmt(thresholds.oscillationStrongPeak) + "},\n";
+    os += "  \"roc_thresholds\": [";
+    for (std::size_t i = 0; i < rocThresholds.size(); ++i)
+        os += (i ? ", " : "") + fmt(rocThresholds[i]);
+    os += "],\n";
+
+    os += "  \"units\": [\n";
+    for (std::size_t u = 0; u < units.size(); ++u) {
+        const UnitQuality& q = units[u];
+        os += std::string("    {\"unit\": \"") +
+              monitorTargetName(q.unit) + "\",";
+        os += " \"clean_tp\": " + std::to_string(q.cleanTp) + ",";
+        os += " \"clean_fn\": " + std::to_string(q.cleanFn) + ",";
+        os += " \"degraded_tp\": " + std::to_string(q.degradedTp) + ",";
+        os += " \"degraded_fn\": " + std::to_string(q.degradedFn) + ",";
+        os += " \"tn\": " + std::to_string(q.tn) + ",";
+        os += " \"fp\": " + std::to_string(q.fp) + ",\n";
+        os += "     \"clean_tpr\": " + fmt(q.cleanTpr()) + ",";
+        os += " \"degraded_tpr\": " + fmt(q.degradedTpr()) + ",";
+        os += " \"fpr\": " + fmt(q.falsePositiveRate()) + ",";
+        os += " \"auc\": " + fmt(q.auc) + ",\n";
+        os += "     \"roc\": [\n";
+        for (std::size_t i = 0; i < q.roc.size(); ++i) {
+            const RocPoint& p = q.roc[i];
+            os += "       {\"threshold\": " + fmt(p.threshold) +
+                  ", \"tp\": " + std::to_string(p.tp) +
+                  ", \"fp\": " + std::to_string(p.fp) +
+                  ", \"tn\": " + std::to_string(p.tn) +
+                  ", \"fn\": " + std::to_string(p.fn) +
+                  ", \"tpr\": " + fmt(p.tpr()) +
+                  ", \"fpr\": " + fmt(p.fpr()) + "}";
+            os += i + 1 < q.roc.size() ? ",\n" : "\n";
+        }
+        os += "     ]}";
+        os += u + 1 < units.size() ? ",\n" : "\n";
+    }
+    os += "  ],\n";
+
+    os += "  \"calibration\": [\n";
+    for (std::size_t i = 0; i < calibration.size(); ++i) {
+        const CalibrationBucket& b = calibration[i];
+        os += "    {\"lo\": " + fmt(b.lo) + ", \"hi\": " + fmt(b.hi) +
+              ", \"alarms\": " + std::to_string(b.alarms) +
+              ", \"true_alarms\": " + std::to_string(b.trueAlarms) +
+              ", \"mean_confidence\": " + fmt(b.meanConfidence()) +
+              ", \"precision\": " + fmt(b.precision()) + "}";
+        os += i + 1 < calibration.size() ? ",\n" : "\n";
+    }
+    os += "  ],\n";
+
+    os += "  \"scores\": [\n";
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+        const ScenarioScore& s = scores[i];
+        os += "    {\"name\": \"" + s.name + "\", \"category\": \"" +
+              corpusCategoryName(s.category) + "\", \"covert\": " +
+              (s.covert ? "true" : "false") +
+              ", \"slot\": " + std::to_string(s.slot) +
+              ", \"unit\": \"" + monitorTargetName(s.unit) +
+              "\", \"kind\": \"" + alarmKindName(s.kind) +
+              "\", \"detected\": " + (s.detected ? "true" : "false") +
+              ", \"confidence\": " + fmt(s.confidence) + "}";
+        os += i + 1 < scores.size() ? ",\n" : "\n";
+    }
+    os += "  ]\n}\n";
+    return os;
+}
+
+} // namespace cchunter

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Detection-quality scoring over a ground-truth-labelled corpus.
+ *
+ * The scorer drives each corpus entry through the production
+ * runOnlineAudit() path once, then re-decides every monitored unit's
+ * stored analysis across a threshold grid (detectedAt(), no
+ * re-simulation) to build per-unit confusion matrices at the paper's
+ * 0.5 cut-off, full ROC curves, AUC, and a confidence-calibration
+ * table checking that Alarm::confidence tracks empirical precision.
+ * The report is deterministic: identical options produce a
+ * byte-identical toJson() across runs and analysis thread counts.
+ */
+
+#ifndef CCHUNTER_EVAL_QUALITY_SCORER_HH
+#define CCHUNTER_EVAL_QUALITY_SCORER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/labelled_corpus.hh"
+
+namespace cchunter
+{
+
+/** One operating point of a unit's ROC curve. */
+struct RocPoint
+{
+    double threshold = 0.0;
+    std::size_t tp = 0;
+    std::size_t fp = 0;
+    std::size_t tn = 0;
+    std::size_t fn = 0;
+
+    double tpr() const;
+    double fpr() const;
+};
+
+/** Quality of one monitored hardware-unit kind over the corpus. */
+struct UnitQuality
+{
+    MonitorTarget unit = MonitorTarget::None;
+
+    // Confusion counts at the headline decision thresholds, with the
+    // positives split by corpus category (clean vs fault-degraded).
+    std::size_t cleanTp = 0;
+    std::size_t cleanFn = 0;
+    std::size_t degradedTp = 0;
+    std::size_t degradedFn = 0;
+    std::size_t tn = 0; //!< over all negatives (benign + adversarial)
+    std::size_t fp = 0;
+
+    /** ROC curve over the threshold grid (ascending threshold). */
+    std::vector<RocPoint> roc;
+
+    /** Area under the ROC curve (trapezoid, anchored at (0,0) and
+     *  (1,1)). */
+    double auc = 0.0;
+
+    double cleanTpr() const;
+    double degradedTpr() const;
+    double falsePositiveRate() const;
+};
+
+/** One confidence-calibration bucket: do alarms with confidence in
+ *  [lo, hi) come from real channels at a matching rate? */
+struct CalibrationBucket
+{
+    double lo = 0.0;
+    double hi = 1.0;
+    std::size_t alarms = 0;        //!< alarms whose confidence lands here
+    std::size_t trueAlarms = 0;    //!< of those, raised on a covert run
+    double sumConfidence = 0.0;
+
+    double meanConfidence() const;
+    double precision() const;
+};
+
+/** Score of one (corpus entry, monitored slot) pair. */
+struct ScenarioScore
+{
+    std::string name;
+    CorpusCategory category = CorpusCategory::Benign;
+    bool covert = false;
+    unsigned slot = 0;
+    MonitorTarget unit = MonitorTarget::None;
+    AlarmKind kind = AlarmKind::Contention;
+
+    /** Decision and confidence at the headline thresholds. */
+    bool detected = false;
+    double confidence = 1.0;
+
+    /** Decision at each grid threshold (parallel to the report's
+     *  rocThresholds). */
+    std::vector<bool> decisionAt;
+};
+
+/** Everything the quality gate and the bench report consume. */
+struct QualityReport
+{
+    /** Headline decision cut-offs the corpus ran under. */
+    DetectionThresholds thresholds;
+
+    /** The grid the ROC curves were swept over (ascending). */
+    std::vector<double> rocThresholds;
+
+    std::vector<ScenarioScore> scores;
+
+    /** Per-unit aggregates, ascending MonitorTarget order, only for
+     *  units the corpus actually monitored. */
+    std::vector<UnitQuality> units;
+
+    std::vector<CalibrationBucket> calibration;
+
+    std::size_t runs = 0;
+
+    /** Aggregate quality of one unit (fatal when absent). */
+    const UnitQuality& unitQuality(MonitorTarget unit) const;
+
+    /**
+     * Deterministic JSON rendering: fixed key order, fixed float
+     * formatting, and no timing or host fields, so two identical
+     * sweeps produce byte-identical files.
+     */
+    std::string toJson() const;
+};
+
+/** Options of a corpus scoring sweep. */
+struct QualityScorerOptions
+{
+    /** Headline decision cut-offs (the paper's values). */
+    DetectionThresholds thresholds;
+
+    /**
+     * ROC threshold grid; empty selects the default 19-point grid
+     * 0.05, 0.10, ..., 0.95.  For contention units a grid value is
+     * the likelihood-ratio cut-off; for cache units it is the
+     * autocorrelogram peak cut-off (the strong-peak cut-off keeps its
+     * configured offset above it, clamped to 1).
+     */
+    std::vector<double> rocThresholds;
+
+    /** Online-analysis fan-out; the report must not depend on it. */
+    std::size_t analysisThreads = 1;
+
+    /** Number of equal-width confidence-calibration buckets. */
+    std::size_t calibrationBuckets = 5;
+
+    /**
+     * Analysis parameters under the swept cut-offs.  The default is
+     * the production configuration; tests weaken it (e.g. an absurd
+     * minimum sample count) to prove the regression gate trips.
+     */
+    CCHunterParams baseHunter;
+};
+
+/** The default 19-point ROC threshold grid. */
+std::vector<double> defaultRocThresholds();
+
+/** Run every corpus entry and aggregate the quality report. */
+QualityReport scoreCorpus(const std::vector<LabelledScenario>& corpus,
+                          const QualityScorerOptions& options = {});
+
+} // namespace cchunter
+
+#endif // CCHUNTER_EVAL_QUALITY_SCORER_HH

@@ -135,6 +135,12 @@ scenarioConfig(const ScenarioOptions& opts)
     cfg.set("cache_rounds",
             static_cast<std::int64_t>(opts.effectiveCacheRounds()));
     cfg.set("ideal_tracker", opts.idealTracker);
+    // The decision cut-offs are part of the reproducibility record:
+    // a ROC sweep's runs differ in nothing else.
+    cfg.set("detect.likelihood", opts.thresholds.contentionLikelihood);
+    cfg.set("detect.osc_peak", opts.thresholds.oscillationPeak);
+    cfg.set("detect.osc_strong_peak",
+            opts.thresholds.oscillationStrongPeak);
     // Fault keys are echoed only when a plan is active, keeping clean
     // runs' config dumps byte-identical to pre-fault-injection output.
     if (opts.faults.enabled())
@@ -293,10 +299,26 @@ runOnlineAudit(const OnlineAuditOptions& options)
                                  opts.trackerParams);
         break;
     case AuditedWorkload::BenignPair:
-        // No channel to pin down: watch the two contention units the
-        // pair actually shares (the two-slot auditor limit).
-        auditor.monitorBus(key, 0);
-        auditor.monitorDivider(key, 1, /*core=*/0);
+        // No channel to pin down: watch two of the units the pair
+        // actually shares (the two-slot auditor limit).  The default
+        // covers both contention units; the other pairings let benign
+        // runs feed the oscillation path and the SMT multiplier, so
+        // every unit kind accumulates negatives.
+        switch (options.benignUnits) {
+        case BenignAuditUnits::BusDivider:
+            auditor.monitorBus(key, 0);
+            auditor.monitorDivider(key, 1, /*core=*/0);
+            break;
+        case BenignAuditUnits::CacheBus:
+            auditor.monitorCache(key, 0, /*core=*/0,
+                                 opts.trackerParams);
+            auditor.monitorBus(key, 1);
+            break;
+        case BenignAuditUnits::MultiplierBus:
+            auditor.monitorMultiplier(key, 0, /*core=*/0);
+            auditor.monitorBus(key, 1);
+            break;
+        }
         break;
     }
     AuditDaemon daemon(machine, auditor);
@@ -306,6 +328,7 @@ runOnlineAudit(const OnlineAuditOptions& options)
     if (opts.quanta != 0 &&
         online.clusteringIntervalQuanta > opts.quanta)
         online.clusteringIntervalQuanta = opts.quanta;
+    online.hunter = opts.thresholds.apply(online.hunter);
     daemon.enableOnlineAnalysis(online);
 
     machine.runQuanta(opts.quanta);
@@ -315,8 +338,29 @@ runOnlineAudit(const OnlineAuditOptions& options)
     result.pipeline = daemon.pipelineStats();
     result.degraded = daemon.degradedStats();
     result.quantaRecorded = daemon.quantaRecorded();
-    for (unsigned s = 0; s < auditor.numSlots(); ++s)
-        result.monitoredSlots += auditor.slotActive(s);
+    for (unsigned s = 0; s < auditor.numSlots(); ++s) {
+        if (!auditor.slotActive(s))
+            continue;
+        ++result.monitoredSlots;
+        UnitOutcome outcome;
+        outcome.slot = s;
+        outcome.unit = auditor.slotTarget(s);
+        if (outcome.unit == MonitorTarget::L2Cache) {
+            outcome.kind = AlarmKind::Oscillation;
+            outcome.oscillation =
+                daemon.analyzeOscillation(s, online.hunter);
+            outcome.detected = outcome.oscillation.detected;
+            outcome.confidence = daemon.oscillationConfidence(s);
+        } else {
+            outcome.kind = AlarmKind::Contention;
+            outcome.contention =
+                daemon.analyzeContention(s, online.hunter);
+            outcome.detected = outcome.contention.detected;
+            outcome.confidence =
+                daemon.contentionConfidence(s, outcome.contention);
+        }
+        result.finalVerdicts.push_back(std::move(outcome));
+    }
     return result;
 }
 
@@ -368,7 +412,8 @@ runBusScenario(const ScenarioOptions& opts)
     for (Tick t : raw_events)
         result.eventTrain.addEvent(t);
     result.quantaHistograms = daemon.contentionQuanta(0);
-    result.verdict = daemon.analyzeContention(0);
+    result.verdict =
+        daemon.analyzeContention(0, opts.thresholds.apply());
     result.spySamples = spy->samples();
     result.decoded = spy->decoded();
     result.bitErrorRate =
@@ -433,7 +478,8 @@ runDividerScenario(const ScenarioOptions& opts)
     for (Tick t : raw_events)
         result.eventTrain.addEvent(t);
     result.quantaHistograms = daemon.contentionQuanta(0);
-    result.verdict = daemon.analyzeContention(0);
+    result.verdict =
+        daemon.analyzeContention(0, opts.thresholds.apply());
     result.spySamples = spy->samples();
     result.decoded = spy->decoded();
     result.bitErrorRate =
@@ -484,7 +530,8 @@ runMultiplierScenario(const ScenarioOptions& opts)
     machine.runQuanta(opts.quanta);
 
     result.quantaHistograms = daemon.contentionQuanta(0);
-    result.verdict = daemon.analyzeContention(0);
+    result.verdict =
+        daemon.analyzeContention(0, opts.thresholds.apply());
     result.spySamples = spy->samples();
     result.decoded = spy->decoded();
     result.bitErrorRate =
@@ -554,7 +601,8 @@ runCacheScenario(const ScenarioOptions& opts)
 
     result.records = daemon.conflictRecords(0);
     result.labelSeries = daemon.labelSeries(0);
-    result.verdict = daemon.analyzeOscillation(0);
+    result.verdict =
+        daemon.analyzeOscillation(0, opts.thresholds.apply());
     result.spyRatios = spy->ratios();
     result.decoded = spy->decoded();
     result.bitErrorRate =
@@ -593,8 +641,10 @@ runBenignPair(const std::string& a, const std::string& b,
 
         result.busQuanta = daemon.contentionQuanta(0);
         result.dividerQuanta = daemon.contentionQuanta(1);
-        result.busVerdict = daemon.analyzeContention(0);
-        result.dividerVerdict = daemon.analyzeContention(1);
+        result.busVerdict =
+            daemon.analyzeContention(0, opts.thresholds.apply());
+        result.dividerVerdict =
+            daemon.analyzeContention(1, opts.thresholds.apply());
         result.pipeline.accumulate(daemon.pipelineStats());
         result.degraded.accumulate(daemon.degradedStats());
         result.confidence = std::min(
@@ -620,7 +670,8 @@ runBenignPair(const std::string& a, const std::string& b,
         machine.runQuanta(opts.quanta);
 
         result.cacheLabelSeries = daemon.labelSeries(0);
-        result.cacheVerdict = daemon.analyzeOscillation(0);
+        result.cacheVerdict =
+            daemon.analyzeOscillation(0, opts.thresholds.apply());
         result.pipeline.accumulate(daemon.pipelineStats());
         result.degraded.accumulate(daemon.degradedStats());
         result.confidence = std::min(result.confidence,

@@ -83,6 +83,15 @@ struct ScenarioOptions
      */
     FaultPlan faults;
 
+    /**
+     * Decision cut-offs for both analysis paths, defaulted to the
+     * paper's values (0.5 likelihood ratio; published oscillation
+     * peaks).  Default thresholds leave runs bit-identical to the
+     * pre-parameterisation harness; the detection-quality subsystem
+     * sweeps them for ROC curves.
+     */
+    DetectionThresholds thresholds;
+
     /** Effective signal window for the configured bandwidth. */
     Tick effectiveSignalTicks() const;
 };
@@ -209,6 +218,19 @@ const char* auditedWorkloadName(AuditedWorkload workload);
 /** Parse a workload name (fatal on an unknown one). */
 AuditedWorkload auditedWorkloadFromName(const std::string& name);
 
+/**
+ * Which two hardware units a BenignPair run audits (the two-slot
+ * auditor limit).  Channel workloads always audit the attacked unit;
+ * benign pairs pick a pairing so every unit kind can accumulate
+ * negatives for the detection-quality corpus.
+ */
+enum class BenignAuditUnits : std::uint8_t
+{
+    BusDivider,    //!< default: both contention units of the pair
+    CacheBus,      //!< shared L2 + bus: feeds the oscillation path
+    MultiplierBus, //!< SMT multiplier + bus
+};
+
 /** Options of one live-audited (online-analysis) run. */
 struct OnlineAuditOptions
 {
@@ -225,6 +247,39 @@ struct OnlineAuditOptions
     /** Benchmark pair for AuditedWorkload::BenignPair. */
     std::string benignA = "mcf";
     std::string benignB = "gobmk";
+
+    /**
+     * For AuditedWorkload::BenignPair: which pair of units to watch.
+     * CacheBus puts the shared L2 on slot 0 so benign workloads also
+     * exercise the oscillation path (cache-unit negatives for the
+     * detection-quality corpus — e.g. cache-thrashing streamer pairs
+     * that must NOT read as channels).
+     */
+    BenignAuditUnits benignUnits = BenignAuditUnits::BusDivider;
+};
+
+/** Final verdict of one monitored slot after a live-audited run. */
+struct UnitOutcome
+{
+    unsigned slot = 0;
+
+    /** Hardware unit kind the slot was programmed on. */
+    MonitorTarget unit = MonitorTarget::None;
+
+    /** Analysis path the unit is judged by (caches oscillate,
+     *  combinational units show contention bursts). */
+    AlarmKind kind = AlarmKind::Contention;
+
+    /** End-of-run verdict over the retained window (the matching one
+     *  of the two is filled in, per `kind`). */
+    ContentionVerdict contention;
+    OscillationVerdict oscillation;
+
+    /** The filled verdict's detected flag. */
+    bool detected = false;
+
+    /** Daemon confidence for this verdict (coverage x integrity). */
+    double confidence = 1.0;
 };
 
 /**
@@ -241,6 +296,16 @@ struct OnlineAuditResult
     DegradedStats degraded;
     std::uint64_t quantaRecorded = 0;
     unsigned monitoredSlots = 0;
+
+    /**
+     * End-of-run offline verdict per monitored slot (ascending slot
+     * order), computed over the daemon's retained window with the same
+     * hunter params the online cadence used.  Carries the full
+     * analysis structures, so detection-quality scoring can re-decide
+     * each unit across a threshold grid without re-running the
+     * simulation.
+     */
+    std::vector<UnitOutcome> finalVerdicts;
 };
 
 /** Run one machine under live audit (the online-analysis cadence). */

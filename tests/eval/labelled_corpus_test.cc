@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "eval/labelled_corpus.hh"
+
+using namespace cchunter;
+
+TEST(LabelledCorpusTest, BuildIsDeterministic)
+{
+    const auto a = buildLabelledCorpus();
+    const auto b = buildLabelledCorpus();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].name, b[i].name);
+        EXPECT_EQ(a[i].category, b[i].category);
+        EXPECT_EQ(a[i].covert, b[i].covert);
+        EXPECT_EQ(a[i].audit.scenario.seed, b[i].audit.scenario.seed);
+        EXPECT_EQ(a[i].audit.workload, b[i].audit.workload);
+    }
+}
+
+TEST(LabelledCorpusTest, NamesUniqueAndSeedsDistinct)
+{
+    const auto corpus = buildLabelledCorpus();
+    std::set<std::string> names;
+    std::set<std::uint64_t> seeds;
+    for (const LabelledScenario& entry : corpus) {
+        EXPECT_TRUE(names.insert(entry.name).second)
+            << "duplicate name " << entry.name;
+        EXPECT_TRUE(seeds.insert(entry.audit.scenario.seed).second)
+            << "duplicate seed in " << entry.name;
+    }
+}
+
+TEST(LabelledCorpusTest, CovertFlagFollowsCategory)
+{
+    for (const LabelledScenario& entry : buildLabelledCorpus()) {
+        const bool channel =
+            entry.category == CorpusCategory::CleanChannel ||
+            entry.category == CorpusCategory::DegradedChannel;
+        EXPECT_EQ(entry.covert, channel) << entry.name;
+        // Channel entries carry a channel workload; negatives always
+        // run the benign pair.
+        EXPECT_EQ(entry.audit.workload != AuditedWorkload::BenignPair,
+                  channel)
+            << entry.name;
+        // Only degraded positives carry a fault plan.
+        EXPECT_EQ(entry.audit.scenario.faults.enabled(),
+                  entry.category == CorpusCategory::DegradedChannel)
+            << entry.name;
+    }
+}
+
+TEST(LabelledCorpusTest, CoversAllFourUnitsAndAllCategories)
+{
+    std::set<CorpusCategory> categories;
+    std::set<AuditedWorkload> positives;
+    std::set<BenignAuditUnits> negatives;
+    for (const LabelledScenario& entry : buildLabelledCorpus()) {
+        categories.insert(entry.category);
+        if (entry.covert)
+            positives.insert(entry.audit.workload);
+        else
+            negatives.insert(entry.audit.benignUnits);
+    }
+    EXPECT_EQ(categories.size(), 4u);
+    EXPECT_TRUE(positives.count(AuditedWorkload::Bus));
+    EXPECT_TRUE(positives.count(AuditedWorkload::Divider));
+    EXPECT_TRUE(positives.count(AuditedWorkload::Multiplier));
+    EXPECT_TRUE(positives.count(AuditedWorkload::Cache));
+    // Negatives spread over every audit pairing so all four unit
+    // kinds accumulate true negatives.
+    EXPECT_EQ(negatives.size(), 3u);
+}
+
+TEST(LabelledCorpusTest, AxesShapeTheCorpus)
+{
+    CorpusOptions options;
+    options.contentionBandwidths = {5000.0};
+    options.cacheBandwidths = {800.0};
+    options.includeDegraded = false;
+    options.includeAdversarial = false;
+    const auto corpus = buildLabelledCorpus(options);
+    for (const LabelledScenario& entry : corpus) {
+        EXPECT_NE(entry.category, CorpusCategory::DegradedChannel);
+        EXPECT_NE(entry.category, CorpusCategory::AdversarialBenign);
+        if (entry.audit.workload == AuditedWorkload::Cache)
+            EXPECT_EQ(entry.audit.scenario.bandwidthBps, 800.0);
+        else if (entry.covert)
+            EXPECT_EQ(entry.audit.scenario.bandwidthBps, 5000.0);
+    }
+    // Shrinking both bandwidth axes to one point shrinks the corpus.
+    EXPECT_LT(corpus.size(), buildLabelledCorpus().size());
+}
+
+TEST(LabelledCorpusTest, LabelIsMachineReadable)
+{
+    const auto corpus = buildLabelledCorpus();
+    ASSERT_FALSE(corpus.empty());
+    const LabelledScenario& entry = corpus.front();
+    const Config label = entry.label();
+    EXPECT_EQ(label.getString("corpus.name"), entry.name);
+    EXPECT_EQ(label.getString("corpus.category"),
+              corpusCategoryName(entry.category));
+    EXPECT_EQ(label.getBool("corpus.covert"), entry.covert);
+    EXPECT_EQ(label.getUint("corpus.seed"),
+              entry.audit.scenario.seed);
+    EXPECT_EQ(label.getString("corpus.workload"),
+              auditedWorkloadName(entry.audit.workload));
+}
+
+TEST(LabelledCorpusTest, EmptyBandwidthAxisIsFatal)
+{
+    CorpusOptions options;
+    options.contentionBandwidths.clear();
+    EXPECT_ANY_THROW(buildLabelledCorpus(options));
+    options = {};
+    options.cacheBandwidths.clear();
+    EXPECT_ANY_THROW(buildLabelledCorpus(options));
+}

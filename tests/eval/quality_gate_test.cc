@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "eval/quality_gate.hh"
+
+using namespace cchunter;
+
+namespace
+{
+
+/** Tiny corpus exercising both decision paths (contention + cache). */
+CorpusOptions
+tinyCorpus()
+{
+    CorpusOptions options;
+    options.contentionBandwidths = {10000.0};
+    options.cacheBandwidths = {1000.0};
+    options.includeDegraded = false;
+    options.includeAdversarial = false;
+    return options;
+}
+
+/** A hand-built report with one perfect unit. */
+QualityReport
+perfectReport()
+{
+    QualityReport report;
+    report.runs = 4;
+    UnitQuality unit;
+    unit.unit = MonitorTarget::MemoryBus;
+    unit.cleanTp = 2;
+    unit.tn = 2;
+    unit.auc = 1.0;
+    report.units.push_back(unit);
+    return report;
+}
+
+bool
+mentions(const QualityGateResult& result, const std::string& needle)
+{
+    for (const std::string& failure : result.failures)
+        if (failure.find(needle) != std::string::npos)
+            return true;
+    return false;
+}
+
+} // namespace
+
+TEST(QualityGateTest, PerfectReportPasses)
+{
+    const QualityGateResult verdict =
+        evaluateQualityGate(perfectReport(), {});
+    EXPECT_TRUE(verdict.pass);
+    EXPECT_TRUE(verdict.failures.empty());
+}
+
+TEST(QualityGateTest, MissedCleanPositiveFails)
+{
+    QualityReport report = perfectReport();
+    report.units[0].cleanTp = 1;
+    report.units[0].cleanFn = 1;
+    const QualityGateResult verdict =
+        evaluateQualityGate(report, {});
+    EXPECT_FALSE(verdict.pass);
+    EXPECT_TRUE(mentions(verdict, "clean TPR"));
+    EXPECT_TRUE(mentions(verdict, "bus"));
+}
+
+TEST(QualityGateTest, BenignFalseAlarmFails)
+{
+    QualityReport report = perfectReport();
+    report.units[0].fp = 1;
+    const QualityGateResult verdict =
+        evaluateQualityGate(report, {});
+    EXPECT_FALSE(verdict.pass);
+    EXPECT_TRUE(mentions(verdict, "FPR"));
+}
+
+TEST(QualityGateTest, AucRegressionBeyondEpsilonFails)
+{
+    QualityReport report = perfectReport();
+    report.units[0].auc = 0.95;
+    QualityGateParams params;
+    params.baselineAuc = {{MonitorTarget::MemoryBus, 1.0}};
+    params.aucEpsilon = 0.02;
+    const QualityGateResult verdict =
+        evaluateQualityGate(report, params);
+    EXPECT_FALSE(verdict.pass);
+    EXPECT_TRUE(mentions(verdict, "AUC"));
+    // Within epsilon passes.
+    report.units[0].auc = 0.99;
+    EXPECT_TRUE(evaluateQualityGate(report, params).pass);
+}
+
+TEST(QualityGateTest, MissingBaselinedUnitFails)
+{
+    QualityGateParams params;
+    params.baselineAuc = {{MonitorTarget::L2Cache, 1.0}};
+    const QualityGateResult verdict =
+        evaluateQualityGate(perfectReport(), params);
+    EXPECT_FALSE(verdict.pass);
+    EXPECT_TRUE(mentions(verdict, "missing"));
+}
+
+TEST(QualityGateTest, EmptyReportFails)
+{
+    const QualityGateResult verdict =
+        evaluateQualityGate(QualityReport{}, {});
+    EXPECT_FALSE(verdict.pass);
+}
+
+TEST(QualityGateTest, EndToEndCleanCorpusPassesTheGate)
+{
+    const QualityReport report =
+        scoreCorpus(buildLabelledCorpus(tinyCorpus()));
+    QualityGateParams params;
+    for (const UnitQuality& unit : report.units)
+        params.baselineAuc.emplace_back(unit.unit, 1.0);
+    const QualityGateResult verdict =
+        evaluateQualityGate(report, params);
+    EXPECT_TRUE(verdict.pass) << [&] {
+        std::string all;
+        for (const std::string& f : verdict.failures)
+            all += f + "; ";
+        return all;
+    }();
+}
+
+TEST(QualityGateTest, DeliberatelyWeakenedDetectorTripsTheGate)
+{
+    // The regression gate has to notice a detector that stops
+    // detecting: cripple both analysis paths (an unreachable sample
+    // floor starves the likelihood test, an unreachable series floor
+    // starves the correlogram) and the clean positives go missing.
+    QualityScorerOptions weakened;
+    weakened.baseHunter.clustering.burst.minNonZeroSamples =
+        1000000000;
+    weakened.baseHunter.oscillation.minSeriesLength = 1000000000;
+    const QualityReport report =
+        scoreCorpus(buildLabelledCorpus(tinyCorpus()), weakened);
+    const QualityGateResult verdict =
+        evaluateQualityGate(report, {});
+    EXPECT_FALSE(verdict.pass);
+    EXPECT_TRUE(mentions(verdict, "clean TPR"));
+    // Every unit lost its positives, none gained false alarms.
+    for (const UnitQuality& unit : report.units) {
+        EXPECT_EQ(unit.cleanTp, 0u) << monitorTargetName(unit.unit);
+        EXPECT_EQ(unit.fp, 0u) << monitorTargetName(unit.unit);
+    }
+}

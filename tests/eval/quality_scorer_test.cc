@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "eval/quality_scorer.hh"
+
+using namespace cchunter;
+
+namespace
+{
+
+/** Trimmed corpus: one bandwidth per axis, no degraded positives,
+ *  keeping the scorer tests fast while still covering all four units
+ *  and both decision paths. */
+CorpusOptions
+trimmedCorpus()
+{
+    CorpusOptions options;
+    options.contentionBandwidths = {10000.0};
+    options.cacheBandwidths = {1000.0};
+    options.includeDegraded = false;
+    options.includeAdversarial = false;
+    return options;
+}
+
+} // namespace
+
+TEST(QualityScorerTest, CleanCorpusScoresPerfectlyAtPaperThreshold)
+{
+    const auto corpus = buildLabelledCorpus(trimmedCorpus());
+    const QualityReport report = scoreCorpus(corpus);
+    EXPECT_EQ(report.runs, corpus.size());
+    ASSERT_FALSE(report.units.empty());
+    for (const UnitQuality& unit : report.units) {
+        EXPECT_EQ(unit.cleanFn, 0u)
+            << monitorTargetName(unit.unit) << " missed positives";
+        EXPECT_EQ(unit.fp, 0u)
+            << monitorTargetName(unit.unit) << " false alarms";
+        EXPECT_GT(unit.cleanTp + unit.cleanFn, 0u);
+        EXPECT_GT(unit.tn + unit.fp, 0u);
+        EXPECT_EQ(unit.cleanTpr(), 1.0);
+        EXPECT_EQ(unit.falsePositiveRate(), 0.0);
+    }
+}
+
+TEST(QualityScorerTest, RocCurvesHaveEnoughPointsAndPerfectAuc)
+{
+    const QualityReport report =
+        scoreCorpus(buildLabelledCorpus(trimmedCorpus()));
+    EXPECT_GE(report.rocThresholds.size(), 10u);
+    for (const UnitQuality& unit : report.units) {
+        ASSERT_EQ(unit.roc.size(), report.rocThresholds.size());
+        EXPECT_GE(unit.auc, 0.0);
+        EXPECT_LE(unit.auc, 1.0);
+        // The clean corpus separates perfectly somewhere on the grid.
+        EXPECT_EQ(unit.auc, 1.0) << monitorTargetName(unit.unit);
+        // Raising the cut-off can only lose detections: TPR and FPR
+        // are monotone non-increasing along the ascending grid.
+        for (std::size_t i = 1; i < unit.roc.size(); ++i) {
+            EXPECT_LE(unit.roc[i].tpr(), unit.roc[i - 1].tpr());
+            EXPECT_LE(unit.roc[i].fpr(), unit.roc[i - 1].fpr());
+        }
+    }
+}
+
+TEST(QualityScorerTest, GridDecisionMatchesHeadlineAtSameThreshold)
+{
+    // detectedAt(t) re-decides the stored analyses; at the exact
+    // cut-offs the run used it must reproduce `detected` bit for bit.
+    QualityScorerOptions options;
+    options.rocThresholds = {0.25, 0.35, 0.5, 0.75};
+    const QualityReport report =
+        scoreCorpus(buildLabelledCorpus(trimmedCorpus()), options);
+    for (const ScenarioScore& score : report.scores) {
+        ASSERT_EQ(score.decisionAt.size(), 4u);
+        const std::size_t headline =
+            score.kind == AlarmKind::Oscillation ? 1 : 2;
+        EXPECT_EQ(score.decisionAt[headline], score.detected)
+            << score.name << " slot " << score.slot;
+    }
+}
+
+TEST(QualityScorerTest, ReportIsDeterministicAcrossRunsAndThreads)
+{
+    CorpusOptions corpus = trimmedCorpus();
+    const auto entries = buildLabelledCorpus(corpus);
+    QualityScorerOptions serial;
+    serial.analysisThreads = 1;
+    QualityScorerOptions parallel;
+    parallel.analysisThreads = std::max(
+        2u, std::thread::hardware_concurrency());
+    const std::string first = scoreCorpus(entries, serial).toJson();
+    const std::string second = scoreCorpus(entries, serial).toJson();
+    const std::string threaded =
+        scoreCorpus(entries, parallel).toJson();
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(first, threaded);
+}
+
+TEST(QualityScorerTest, CalibrationBucketsPartitionTheAlarms)
+{
+    QualityScorerOptions options;
+    options.calibrationBuckets = 4;
+    const QualityReport report =
+        scoreCorpus(buildLabelledCorpus(trimmedCorpus()), options);
+    ASSERT_EQ(report.calibration.size(), 4u);
+    std::size_t alarms = 0;
+    for (const CalibrationBucket& bucket : report.calibration) {
+        EXPECT_LT(bucket.lo, bucket.hi);
+        EXPECT_LE(bucket.trueAlarms, bucket.alarms);
+        if (bucket.alarms) {
+            EXPECT_GE(bucket.meanConfidence(), 0.0);
+            EXPECT_LE(bucket.meanConfidence(), 1.0);
+        }
+        alarms += bucket.alarms;
+    }
+    // The clean corpus raises online alarms (that is what makes the
+    // calibration table meaningful), and on clean channels they must
+    // be confident-and-correct.
+    EXPECT_GT(alarms, 0u);
+}
+
+TEST(QualityScorerTest, UnitQualityLookupAndJsonShape)
+{
+    const QualityReport report =
+        scoreCorpus(buildLabelledCorpus(trimmedCorpus()));
+    EXPECT_EQ(report.unitQuality(MonitorTarget::MemoryBus).unit,
+              MonitorTarget::MemoryBus);
+    EXPECT_ANY_THROW(report.unitQuality(MonitorTarget::None));
+    const std::string json = report.toJson();
+    EXPECT_NE(json.find("\"report\": \"detection_quality\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"units\""), std::string::npos);
+    EXPECT_NE(json.find("\"calibration\""), std::string::npos);
+    EXPECT_NE(json.find("\"roc\""), std::string::npos);
+    // Units are reported in ascending MonitorTarget order.
+    for (std::size_t i = 1; i < report.units.size(); ++i)
+        EXPECT_LT(static_cast<int>(report.units[i - 1].unit),
+                  static_cast<int>(report.units[i].unit));
+}
+
+TEST(QualityScorerTest, MalformedGridIsRejected)
+{
+    const auto corpus = buildLabelledCorpus(trimmedCorpus());
+    QualityScorerOptions options;
+    options.rocThresholds = {0.5, 0.4};
+    EXPECT_ANY_THROW(scoreCorpus(corpus, options));
+    options.rocThresholds = {-0.1, 0.5};
+    EXPECT_ANY_THROW(scoreCorpus(corpus, options));
+    options.rocThresholds = {0.5, 1.5};
+    EXPECT_ANY_THROW(scoreCorpus(corpus, options));
+}

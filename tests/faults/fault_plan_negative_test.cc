@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Negative tests for `faults.*` configuration: every malformed or
+ * out-of-range value must land in the documented error taxonomy — the
+ * fatal() message names the offending key and value — rather than a
+ * generic throw or a silently clamped plan.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "faults/fault_plan.hh"
+#include "util/config.hh"
+
+using namespace cchunter;
+
+namespace
+{
+
+template <typename Fn>
+std::string
+fatalMessageOf(Fn&& fn)
+{
+    try {
+        fn();
+    } catch (const std::runtime_error& e) {
+        return e.what();
+    }
+    return "";
+}
+
+} // namespace
+
+TEST(FaultPlanNegativeTest, EveryRateKeyRejectsOutOfRangeValues)
+{
+    const char* keys[] = {
+        "faults.drop_quantum",  "faults.dup_quantum",
+        "faults.truncate_batch", "faults.reorder_batch",
+        "faults.corrupt_context", "faults.bloom_alias",
+        "faults.corrupt_batch",
+    };
+    for (const char* key : keys) {
+        for (const double bad : {-0.01, 1.01, 7.0}) {
+            Config cfg;
+            cfg.set(key, bad);
+            const std::string msg = fatalMessageOf(
+                [&] { FaultPlan::fromConfig(cfg); });
+            EXPECT_NE(msg.find("outside [0, 1]"), std::string::npos)
+                << key << " = " << bad << " got: " << msg;
+            // The message names the short key so the operator can
+            // find the bad entry (the "faults." prefix is implied).
+            const std::string shortName =
+                std::string(key).substr(std::string("faults.").size());
+            EXPECT_NE(msg.find(shortName), std::string::npos)
+                << key << " got: " << msg;
+        }
+    }
+}
+
+TEST(FaultPlanNegativeTest, NonNumericRateIsATypeError)
+{
+    Config cfg;
+    cfg.set("faults.drop_quantum", std::string("lots"));
+    const std::string msg =
+        fatalMessageOf([&] { FaultPlan::fromConfig(cfg); });
+    EXPECT_NE(msg.find("is not a number"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("faults.drop_quantum"), std::string::npos)
+        << msg;
+}
+
+TEST(FaultPlanNegativeTest, NonBooleanSaturateIsATypeError)
+{
+    Config cfg;
+    cfg.set("faults.saturate", std::string("kinda"));
+    const std::string msg =
+        fatalMessageOf([&] { FaultPlan::fromConfig(cfg); });
+    EXPECT_NE(msg.find("is not a boolean"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("faults.saturate"), std::string::npos) << msg;
+}
+
+TEST(FaultPlanNegativeTest, BoundaryRatesAreAccepted)
+{
+    // 0 and 1 are valid probabilities; the taxonomy must not
+    // over-reject the closed interval's endpoints.
+    Config cfg;
+    cfg.set("faults.drop_quantum", 0.0);
+    cfg.set("faults.corrupt_batch", 1.0);
+    const FaultPlan plan = FaultPlan::fromConfig(cfg);
+    EXPECT_EQ(plan.dropQuantumRate, 0.0);
+    EXPECT_EQ(plan.corruptBatchRate, 1.0);
+    EXPECT_TRUE(plan.enabled());
+}
+
+TEST(FaultPlanNegativeTest, RoundTripThroughConfigIsLossless)
+{
+    FaultPlan plan;
+    plan.seed = 42;
+    plan.dropQuantumRate = 0.25;
+    plan.bloomAliasRate = 0.125;
+    plan.saturatePaperWidths = true;
+    Config cfg;
+    plan.toConfig(cfg);
+    const FaultPlan back = FaultPlan::fromConfig(cfg);
+    EXPECT_EQ(back.seed, 42u);
+    EXPECT_EQ(back.dropQuantumRate, 0.25);
+    EXPECT_EQ(back.bloomAliasRate, 0.125);
+    EXPECT_TRUE(back.saturatePaperWidths);
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Golden-file regression test for the fleet incident stream.
+ *
+ * The canonical streamText() of the default 8-tenant synthetic
+ * registry is checked in below, byte for byte.  Any change to alarm
+ * ordering, scoring, correlation, rate limiting, or rendering shows
+ * up as a diff against this fixture — and the stream (plus its FNV-1a
+ * hash) must be identical across shard layouts and analysis thread
+ * counts, which is the fleet determinism contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "fleet/fleet_auditor.hh"
+
+using namespace cchunter;
+
+namespace
+{
+
+/** Canonical stream of TenantRegistry::synthetic({}) (8 tenants,
+ *  divider+cache mix, seed 1, 8 quanta).  Regenerate by printing
+ *  report.incidents.streamText() after an intentional change. */
+const char* const kGoldenStream =
+    "incident 0 tenant=0 slot=0 unit=divider kind=contention sig=0x0200000000000060 quanta=[3,7] occ=2 conf=1.0000/1.0000 score=0.8750 sev=critical corr=1\n"
+    "incident 1 tenant=1 slot=0 unit=cache kind=oscillation sig=0x0401000000000205 quanta=[2,6] occ=2 conf=1.0000/1.0000 score=0.6250 sev=warning corr=0\n"
+    "incident 2 tenant=1 slot=0 unit=cache kind=oscillation sig=0x0401000000000204 quanta=[3,4] occ=2 conf=1.0000/1.0000 score=0.8750 sev=critical corr=1\n"
+    "incident 3 tenant=1 slot=0 unit=cache kind=oscillation sig=0x0401000000000203 quanta=[5,7] occ=2 conf=1.0000/1.0000 score=0.8750 sev=critical corr=1\n"
+    "incident 4 tenant=2 slot=0 unit=divider kind=contention sig=0x0200000000000060 quanta=[3,7] occ=2 conf=1.0000/1.0000 score=0.8750 sev=critical corr=1\n"
+    "incident 5 tenant=3 slot=0 unit=cache kind=oscillation sig=0x0401000000000203 quanta=[1,3] occ=2 conf=1.0000/1.0000 score=0.8750 sev=critical corr=1\n"
+    "incident 6 tenant=3 slot=0 unit=cache kind=oscillation sig=0x0401000000000201 quanta=[5,5] occ=1 conf=1.0000/1.0000 score=0.8125 sev=critical corr=1\n"
+    "incident 7 tenant=3 slot=0 unit=cache kind=oscillation sig=0x0401000000000202 quanta=[6,6] occ=1 conf=1.0000/1.0000 score=0.8125 sev=critical corr=1\n"
+    "incident 8 tenant=4 slot=0 unit=divider kind=contention sig=0x0200000000000060 quanta=[3,7] occ=2 conf=1.0000/1.0000 score=0.8750 sev=critical corr=1\n"
+    "incident 9 tenant=5 slot=0 unit=cache kind=oscillation sig=0x0401000000000204 quanta=[2,3] occ=2 conf=1.0000/1.0000 score=0.8750 sev=critical corr=1\n"
+    "incident 10 tenant=5 slot=0 unit=cache kind=oscillation sig=0x0401000000000202 quanta=[4,4] occ=1 conf=1.0000/1.0000 score=0.8125 sev=critical corr=1\n"
+    "incident 11 tenant=5 slot=0 unit=cache kind=oscillation sig=0x0401000000000201 quanta=[5,5] occ=1 conf=1.0000/1.0000 score=0.8125 sev=critical corr=1\n"
+    "incident 12 tenant=5 slot=0 unit=cache kind=oscillation sig=0x0401000000000203 quanta=[7,7] occ=1 conf=1.0000/1.0000 score=0.8125 sev=critical corr=1\n"
+    "incident 13 tenant=6 slot=0 unit=divider kind=contention sig=0x0200000000000060 quanta=[3,7] occ=2 conf=1.0000/1.0000 score=0.8750 sev=critical corr=1\n"
+    "incident 14 tenant=7 slot=0 unit=cache kind=oscillation sig=0x0401000000000202 quanta=[1,7] occ=2 conf=1.0000/1.0000 score=0.8750 sev=critical corr=1\n"
+    "incident 15 tenant=7 slot=0 unit=cache kind=oscillation sig=0x0401000000000206 quanta=[3,6] occ=2 conf=1.0000/1.0000 score=0.6250 sev=warning corr=0\n"
+    "incident 16 tenant=7 slot=0 unit=cache kind=oscillation sig=0x0401000000000204 quanta=[4,4] occ=1 conf=1.0000/1.0000 score=0.8125 sev=critical corr=1\n"
+    "incident 17 fleet-wide unit=divider kind=contention sig=0x0200000000000060 quanta=[3,7] occ=8 conf=1.0000/1.0000 score=0.8750 sev=critical tenants=[0,2,4,6]\n"
+    "incident 18 fleet-wide unit=cache kind=oscillation sig=0x0401000000000201 quanta=[5,5] occ=2 conf=1.0000/1.0000 score=0.8125 sev=critical tenants=[3,5]\n"
+    "incident 19 fleet-wide unit=cache kind=oscillation sig=0x0401000000000202 quanta=[1,7] occ=4 conf=1.0000/1.0000 score=0.8750 sev=critical tenants=[3,5,7]\n"
+    "incident 20 fleet-wide unit=cache kind=oscillation sig=0x0401000000000203 quanta=[1,7] occ=5 conf=1.0000/1.0000 score=0.8750 sev=critical tenants=[1,3,5]\n"
+    "incident 21 fleet-wide unit=cache kind=oscillation sig=0x0401000000000204 quanta=[2,4] occ=5 conf=1.0000/1.0000 score=0.8750 sev=critical tenants=[1,5,7]\n";
+
+constexpr std::uint64_t kGoldenHash = 11842952238281650353ull;
+
+FleetAuditReport
+runDefaultFleet(std::size_t shards, std::size_t analysis_threads)
+{
+    const TenantRegistry registry = TenantRegistry::synthetic({});
+    FleetAuditParams params;
+    params.shards = shards;
+    params.workerThreads = 2;
+    params.analysisThreads = analysis_threads;
+    FleetAuditor auditor(registry, params);
+    return auditor.run();
+}
+
+} // namespace
+
+TEST(IncidentStreamGoldenTest, MatchesCheckedInStreamByteForByte)
+{
+    const FleetAuditReport report = runDefaultFleet(4, 1);
+    EXPECT_EQ(report.incidents.streamText(), kGoldenStream);
+    EXPECT_EQ(report.incidents.streamHash(), kGoldenHash);
+}
+
+TEST(IncidentStreamGoldenTest, HashStableAcrossAnalysisThreads)
+{
+    const std::size_t hw = std::max(
+        2u, std::thread::hardware_concurrency());
+    const FleetAuditReport serial = runDefaultFleet(4, 1);
+    const FleetAuditReport parallel = runDefaultFleet(4, hw);
+    EXPECT_EQ(serial.incidents.streamHash(), kGoldenHash);
+    EXPECT_EQ(parallel.incidents.streamHash(), kGoldenHash);
+    EXPECT_EQ(parallel.incidents.streamText(), kGoldenStream);
+}
+
+TEST(IncidentStreamGoldenTest, HashStableAcrossShardCounts)
+{
+    for (const std::size_t shards : {1u, 3u, 8u}) {
+        const FleetAuditReport report = runDefaultFleet(shards, 1);
+        EXPECT_EQ(report.incidents.streamHash(), kGoldenHash)
+            << "shards=" << shards;
+    }
+}
+
+TEST(IncidentStreamGoldenTest, ShardCountEdgeCasesClampSafely)
+{
+    const TenantRegistry registry = TenantRegistry::synthetic({});
+    // More shards than tenants: clamped to the fleet size.
+    FleetAuditParams params;
+    params.shards = 64;
+    params.workerThreads = 2;
+    FleetAuditor wide(registry, params);
+    EXPECT_EQ(wide.effectiveShards(), registry.size());
+    EXPECT_EQ(wide.run().incidents.streamHash(), kGoldenHash);
+    // Zero asks for the hardware concurrency; still clamped and
+    // still canonical.
+    params.shards = 0;
+    FleetAuditor automatic(registry, params);
+    EXPECT_GE(automatic.effectiveShards(), 1u);
+    EXPECT_LE(automatic.effectiveShards(), registry.size());
+    EXPECT_EQ(automatic.run().incidents.streamHash(), kGoldenHash);
+    // The shard-plan rule itself clamps a zero request.
+    EXPECT_EQ(registry.shardPlan(0).size(), 1u);
+}
