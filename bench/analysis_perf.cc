@@ -17,10 +17,13 @@
 #include "detect/burst_detector.hh"
 #include "detect/detector.hh"
 #include "detect/event_density.hh"
+#include "detect/incremental_autocorr.hh"
 #include "detect/kmeans.hh"
 #include "detect/pattern_clustering.hh"
+#include "util/fft.hh"
 #include "util/ring_buffer.hh"
 #include "util/rng.hh"
+#include "util/simd.hh"
 #include "util/thread_pool.hh"
 
 namespace cchunter
@@ -376,6 +379,217 @@ BENCHMARK(BM_LegacyUnboundedRemerge)
     ->Arg(8192)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
+
+/**
+ * Kernel microbench: butterfly throughput of one whole planned
+ * complex FFT (the plan is warm, so only the vectorised stages are
+ * measured).  range(1) toggles the SIMD backend — the delta isolates
+ * what the butterfly vectorisation buys.
+ */
+void
+BM_PlannedFft(benchmark::State& state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    setSimdEnabled(state.range(1) != 0);
+    Rng rng(41);
+    std::vector<std::complex<double>> base;
+    base.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        base.emplace_back(rng.nextGaussian(0.0, 1.0),
+                          rng.nextGaussian(0.0, 1.0));
+    const FftPlan plan(n);
+    auto work = base;
+    for (auto _ : state) {
+        work = base;
+        fftInPlace(work.data(), n, plan);
+        benchmark::DoNotOptimize(work.data());
+    }
+    setSimdEnabled(true);
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PlannedFft)
+    ->Args({1 << 12, 1})
+    ->Args({1 << 12, 0})
+    ->Args({1 << 16, 1})
+    ->Args({1 << 16, 0});
+
+/** Kernel microbench: the correlogram normalisation pass (divide by
+ *  r_0) over a full lag range, SIMD on/off. */
+void
+BM_NormalizationPass(benchmark::State& state)
+{
+    setSimdEnabled(state.range(0) != 0);
+    Rng rng(43);
+    std::vector<double> base;
+    base.reserve(1 << 16);
+    for (std::size_t i = 0; i < (std::size_t{1} << 16); ++i)
+        base.push_back(rng.nextDouble() + 1.0);
+    auto work = base;
+    for (auto _ : state) {
+        work = base;
+        simd::divideInPlace(work.data(), work.size(), 3.7);
+        benchmark::DoNotOptimize(work.data());
+    }
+    setSimdEnabled(true);
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(base.size()));
+}
+BENCHMARK(BM_NormalizationPass)->Arg(1)->Arg(0);
+
+/** Kernel microbench: the k-means distance kernel over the clustering
+ *  feature dimensionality (128), SIMD on/off. */
+void
+BM_DistanceKernel(benchmark::State& state)
+{
+    setSimdEnabled(state.range(0) != 0);
+    Rng rng(47);
+    std::vector<double> a(128), b(128);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        a[i] = rng.nextGaussian(0.0, 1.0);
+        b[i] = rng.nextGaussian(0.0, 1.0);
+    }
+    for (auto _ : state) {
+        double d = simd::squaredDistance(a.data(), b.data(), a.size());
+        benchmark::DoNotOptimize(d);
+    }
+    setSimdEnabled(true);
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(a.size()));
+}
+BENCHMARK(BM_DistanceKernel)->Arg(1)->Arg(0);
+
+/**
+ * Sliding-window refresh, incremental: stream 4096 labels through a
+ * 4096-capacity maintainer that is already full (every push evicts),
+ * querying the full correlogram once per 256 pushes — the per-quantum
+ * audit cadence.  Compare with BM_SlidingWindowRecompute: same
+ * schedule, but each query recomputes from the window contents.
+ */
+void
+BM_SlidingWindowIncremental(benchmark::State& state)
+{
+    constexpr std::size_t kWindow = 4096;
+    constexpr std::size_t kLag = 1000;
+    const auto feed = makeNoisyLabelSeries(2 * kWindow);
+    IncrementalAutocorrelation inc(kLag, kWindow);
+    for (std::size_t i = 0; i < kWindow; ++i)
+        inc.push(feed[i]);
+    std::vector<double> gram;
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < kWindow; ++i) {
+            inc.push(feed[kWindow + i]);
+            if (i % 256 == 255) {
+                inc.correlogram(kLag, gram);
+                benchmark::DoNotOptimize(gram.data());
+            }
+        }
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kWindow));
+}
+BENCHMARK(BM_SlidingWindowIncremental)->Unit(benchmark::kMillisecond);
+
+/** The full-recompute reference for BM_SlidingWindowIncremental. */
+void
+BM_SlidingWindowRecompute(benchmark::State& state)
+{
+    constexpr std::size_t kWindow = 4096;
+    constexpr std::size_t kLag = 1000;
+    const auto feed = makeNoisyLabelSeries(2 * kWindow);
+    std::vector<double> window(feed.begin(), feed.begin() + kWindow);
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < kWindow; ++i) {
+            window.erase(window.begin());
+            window.push_back(feed[kWindow + i]);
+            if (i % 256 == 255) {
+                auto gram = autocorrelogram(window, kLag);
+                benchmark::DoNotOptimize(gram);
+            }
+        }
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kWindow));
+}
+BENCHMARK(BM_SlidingWindowRecompute)->Unit(benchmark::kMillisecond);
+
+std::vector<std::vector<double>>
+makeBatchSeries(std::size_t count)
+{
+    Rng rng(53);
+    std::vector<std::vector<double>> series;
+    series.reserve(count);
+    for (std::size_t s = 0; s < count; ++s) {
+        std::vector<double> v;
+        v.reserve(4096);
+        const std::size_t period = 64 << (s % 4);
+        for (std::size_t i = 0; i < 4096; ++i) {
+            double x = (i / (period / 2)) % 2 ? 1.0 : 0.0;
+            if (rng.nextBool(0.05))
+                x = 1.0 - x;
+            v.push_back(x);
+        }
+        series.push_back(std::move(v));
+    }
+    return series;
+}
+
+/**
+ * Batched end-of-run transforms: range(0) same-shape series through
+ * one shared plan and scratch arena (the fleet's per-shard pass).
+ */
+void
+BM_BatchedCorrelograms(benchmark::State& state)
+{
+    const auto series =
+        makeBatchSeries(static_cast<std::size_t>(state.range(0)));
+    std::vector<const std::vector<double>*> pointers;
+    for (const auto& s : series)
+        pointers.push_back(&s);
+    for (auto _ : state) {
+        auto grams = autocorrelogramsBatched(pointers, 1000);
+        benchmark::DoNotOptimize(grams);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(series.size()));
+}
+BENCHMARK(BM_BatchedCorrelograms)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * The unbatched reference: each series grows its own cold scratch
+ * buffers (the thread-local plan cache stays warm either way, so the
+ * delta against BM_BatchedCorrelograms isolates what the shared
+ * arena buys).
+ */
+void
+BM_IndependentCorrelograms(benchmark::State& state)
+{
+    const auto series =
+        makeBatchSeries(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        std::vector<std::vector<double>> grams;
+        grams.reserve(series.size());
+        for (const auto& s : series) {
+            FftScratch scratch;
+            std::vector<double> gram;
+            autocorrelogramFft(s, 1000, scratch, gram);
+            benchmark::DoNotOptimize(gram.data());
+            grams.push_back(std::move(gram));
+        }
+        benchmark::DoNotOptimize(grams);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(series.size()));
+}
+BENCHMARK(BM_IndependentCorrelograms)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
 
 /** End-to-end contention verdict over a 512-quantum window. */
 void

@@ -18,6 +18,11 @@
  *
  * Arguments (key=value): tenants=16, quanta=8, quantum=2500000,
  * seed=1, max_shards=8, workers=0 (0 = hardware), out=BENCH_fleet.json.
+ * Kernel knobs: analysis.simd=1 (vectorised analysis kernels),
+ * analysis.incrementalAutocorr=1 (per-quantum sliding-window
+ * maintainer), fleet.batchedFft=1 (batched end-of-run transforms) —
+ * flip any of them off to measure its contribution; the incident
+ * stream must stay identical either way.
  */
 
 #include <chrono>
@@ -27,6 +32,7 @@
 
 #include "bench/common.hh"
 #include "fleet/fleet_auditor.hh"
+#include "util/simd.hh"
 #include "util/thread_pool.hh"
 
 using namespace cchunter;
@@ -101,6 +107,10 @@ main(int argc, char** argv)
     const auto workers =
         static_cast<std::size_t>(cfg.getUint("workers", 0));
     const std::string out = cfg.getString("out", "BENCH_fleet.json");
+    setSimdEnabled(cfg.getBool("analysis.simd", true));
+    const bool incremental =
+        cfg.getBool("analysis.incrementalAutocorr", true);
+    const bool batchedFft = cfg.getBool("fleet.batchedFft", true);
 
     const std::size_t hardware = ThreadPool::hardwareConcurrency();
 
@@ -112,7 +122,12 @@ main(int argc, char** argv)
                 fleet.tenants, fleet.quanta,
                 static_cast<unsigned long long>(fleet.seed), hardware);
 
-    const TenantRegistry registry = TenantRegistry::synthetic(fleet);
+    const TenantRegistry synthetic = TenantRegistry::synthetic(fleet);
+    TenantRegistry registry;
+    for (TenantConfig tenant : synthetic.tenants()) {
+        tenant.audit.online.incrementalAutocorr = incremental;
+        registry.add(std::move(tenant));
+    }
 
     std::vector<ScalePoint> points;
     TableWriter t({"shards", "wall ms", "tenants/s", "speedup",
@@ -121,6 +136,7 @@ main(int argc, char** argv)
         FleetAuditParams params;
         params.shards = shards;
         params.workerThreads = workers;
+        params.batchedFft = batchedFft;
         FleetAuditor auditor(registry, params);
 
         const auto start = std::chrono::steady_clock::now();

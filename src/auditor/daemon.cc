@@ -321,8 +321,13 @@ AuditDaemon::ingestConflicts(unsigned slot,
                 rec.victimPid = p->pid();
         }
         // Maintain the label series as records arrive so the
-        // per-quantum analysis never rescans the full log.
-        st.quantumLabels.push_back(labelOf(rec));
+        // per-quantum analysis never rescans the full log, and the
+        // sliding-window autocorrelation sums so the end-of-run
+        // analysis never re-transforms it.
+        const double label = labelOf(rec);
+        st.quantumLabels.push_back(label);
+        if (st.autocorr)
+            st.autocorr->push(label);
         st.records.push(rec);
     }
     std::lock_guard<std::mutex> lock(statsMutex_);
@@ -419,6 +424,25 @@ AuditDaemon::enableOnlineAnalysis(OnlineAnalysisParams params,
     onlineParams_ = params;
     alarmCallback_ = std::move(callback);
     debugRecompute_ = params.debugRecomputeMerged;
+    debugRecomputeAutocorr_ = params.debugRecomputeAutocorr;
+    if (params.incrementalAutocorr) {
+        // One maintainer per cache slot, spanning the same window as
+        // the conflict-record ring; records already retained are
+        // replayed so both views agree from the first analysis.
+        const std::size_t lag =
+            std::max<std::size_t>(2,
+                                  params.hunter.oscillation.maxLag);
+        for (unsigned s = 0; s < auditor_.numSlots(); ++s) {
+            if (!auditor_.vectorRegisters(s))
+                continue;
+            SlotState& st = slots_[s];
+            st.autocorr =
+                std::make_unique<IncrementalAutocorrelation>(
+                    lag, retention_.conflictRecords);
+            for (const ConflictRecord& r : st.records)
+                st.autocorr->push(labelOf(r));
+        }
+    }
     if (onlineParams_.analysisThreads != 1)
         pool_ = std::make_unique<ThreadPool>(
             onlineParams_.analysisThreads);
@@ -460,6 +484,12 @@ void
 AuditDaemon::setDebugRecomputeMerged(bool recompute)
 {
     debugRecompute_ = recompute;
+}
+
+void
+AuditDaemon::setDebugRecomputeAutocorr(bool recompute)
+{
+    debugRecomputeAutocorr_ = recompute;
 }
 
 void
@@ -1025,6 +1055,22 @@ OscillationVerdict
 AuditDaemon::analyzeOscillation(unsigned slot, CCHunterParams params)
     const
 {
+    const SlotState& st = slotState(slot);
+    const std::size_t lag = params.oscillation.maxLag;
+    // Serve from the incrementally maintained sums when they cover
+    // the request; the maintainer and the record ring ingest the same
+    // stream with the same capacity, so the size check only guards a
+    // maintainer created after records had already been dropped.
+    if (st.autocorr && !debugRecomputeAutocorr_ && lag >= 2 &&
+        lag <= st.autocorr->maxLag() &&
+        st.autocorr->size() == st.records.size()) {
+        OscillationVerdict verdict;
+        verdict.analysis.seriesLength = st.autocorr->size();
+        st.autocorr->correlogram(lag, verdict.analysis.correlogram);
+        decideOscillation(verdict.analysis, params.oscillation);
+        verdict.detected = verdict.analysis.oscillating;
+        return verdict;
+    }
     CCHunter hunter(params);
     return hunter.analyzeOscillation(labelSeries(slot));
 }

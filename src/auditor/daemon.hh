@@ -33,6 +33,7 @@
 
 #include "auditor/cc_auditor.hh"
 #include "detect/detector.hh"
+#include "detect/incremental_autocorr.hh"
 #include "faults/fault_injector.hh"
 #include "sim/stats_report.hh"
 #include "util/bounded_queue.hh"
@@ -114,6 +115,24 @@ struct OnlineAnalysisParams
      * path by tests.
      */
     bool debugRecomputeMerged = false;
+
+    /**
+     * Maintain per-slot sliding-window autocorrelation sums
+     * incrementally (update-on-append / downdate-on-evict) so the
+     * end-of-run analyzeOscillation() serves its correlogram in
+     * O(maxLag) instead of recomputing O(N log N) over the retained
+     * window.  Equal to the full recompute within 1e-9 and pinned to
+     * produce identical alarms/verdicts by tests.  Config key:
+     * `analysis.incrementalAutocorr`.
+     */
+    bool incrementalAutocorr = true;
+
+    /**
+     * Debug: ignore the incremental maintainer and recompute the
+     * full-window correlogram on every analyzeOscillation() (the
+     * legacy path; equivalence-test hook).
+     */
+    bool debugRecomputeAutocorr = false;
 
     /** Analysis parameters. */
     CCHunterParams hunter;
@@ -376,6 +395,13 @@ class AuditDaemon
     void setDebugRecomputeMerged(bool recompute);
 
     /**
+     * Debug: force full-window correlogram recomputation (the legacy
+     * path) in subsequent analyzeOscillation() calls instead of the
+     * incremental sliding-window sums.
+     */
+    void setDebugRecomputeAutocorr(bool recompute);
+
+    /**
      * Switch on live analysis at the paper's cadence: recurrent-burst
      * clustering every clusteringIntervalQuanta, oscillation analysis
      * on each quantum's conflict labels.  The callback fires for every
@@ -413,6 +439,11 @@ class AuditDaemon
          *  quantum; feeds the oscillation analysis without a fresh
          *  series materialisation). */
         std::vector<double> quantumLabels;
+
+        /** Sliding-window autocorrelation sums over the same span as
+         *  `records`, maintained per ingested label (online analysis
+         *  with incrementalAutocorr only). */
+        std::unique_ptr<IncrementalAutocorrelation> autocorr;
 
         // Conflict-path integrity accounting (sim thread only).
         std::uint64_t conflictsIngested = 0;
@@ -486,6 +517,7 @@ class AuditDaemon
     std::uint64_t quanta_ = 0;
     bool online_ = false;
     bool debugRecompute_ = false;
+    bool debugRecomputeAutocorr_ = false;
     OnlineAnalysisParams onlineParams_;
     AlarmCallback alarmCallback_;
     std::vector<Alarm> alarms_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/fft.hh"
+#include "util/simd.hh"
 #include "util/stats.hh"
 
 namespace cchunter
@@ -71,42 +72,84 @@ autocorrelogramNaive(const std::vector<double>& series,
     return out;
 }
 
-std::vector<double>
-autocorrelogramFft(const std::vector<double>& series, std::size_t max_lag)
+void
+autocorrelogramFft(const std::vector<double>& series,
+                   std::size_t max_lag, FftScratch& scratch,
+                   std::vector<double>& out)
 {
     const std::size_t n = series.size();
-    if (n < 2)
-        return std::vector<double>(max_lag + 1, 0.0);
+    if (n < 2) {
+        out.assign(max_lag + 1, 0.0);
+        return;
+    }
     const double mean = meanOf(series);
     // The exact degeneracy test (a constant series must yield all
     // zeros, not roundoff noise) uses the direct denominator.
-    if (sumSquaredDeviations(series, mean) == 0.0)
-        return std::vector<double>(max_lag + 1, 0.0);
+    if (sumSquaredDeviations(series, mean) == 0.0) {
+        out.assign(max_lag + 1, 0.0);
+        return;
+    }
 
-    std::vector<double> centered;
-    centered.reserve(n);
-    for (double x : series)
-        centered.push_back(x - mean);
-    std::vector<double> out =
-        autocorrelationSumsFft(centered, max_lag);
+    scratch.centered.resize(n);
+    simd::subtractScalar(series.data(), n, mean,
+                         scratch.centered.data());
+    autocorrelationSumsFft(scratch.centered.data(), n, max_lag,
+                           scratch, out);
     // out[0] is the sum of squared deviations computed by the same
     // transform, so r_0 normalises to exactly 1.
     const double denom = out[0];
-    if (denom <= 0.0)
-        return std::vector<double>(max_lag + 1, 0.0);
-    for (double& v : out)
-        v /= denom;
+    if (denom <= 0.0) {
+        out.assign(max_lag + 1, 0.0);
+        return;
+    }
+    simd::divideInPlace(out.data(), out.size(), denom);
+}
+
+std::vector<double>
+autocorrelogramFft(const std::vector<double>& series, std::size_t max_lag)
+{
+    thread_local FftScratch scratch;
+    std::vector<double> out;
+    autocorrelogramFft(series, max_lag, scratch, out);
     return out;
 }
+
+namespace
+{
+
+bool
+fftDispatch(std::size_t n, std::size_t max_lag)
+{
+    return n >= kFftAutocorrMinSeries &&
+           n * (max_lag + 1) >= kFftAutocorrOpsThreshold;
+}
+
+} // namespace
 
 std::vector<double>
 autocorrelogram(const std::vector<double>& series, std::size_t max_lag)
 {
-    const std::size_t n = series.size();
-    if (n >= kFftAutocorrMinSeries &&
-        n * (max_lag + 1) >= kFftAutocorrOpsThreshold)
+    if (fftDispatch(series.size(), max_lag))
         return autocorrelogramFft(series, max_lag);
     return autocorrelogramNaive(series, max_lag);
+}
+
+std::vector<std::vector<double>>
+autocorrelogramsBatched(
+    const std::vector<const std::vector<double>*>& series,
+    std::size_t max_lag)
+{
+    // One arena for the whole batch; the thread-local plan cache
+    // means every same-padded-size series reuses one twiddle table.
+    FftScratch scratch;
+    std::vector<std::vector<double>> out(series.size());
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        if (fftDispatch(series[i]->size(), max_lag))
+            autocorrelogramFft(*series[i], max_lag, scratch, out[i]);
+        else
+            out[i] = autocorrelogramNaive(*series[i], max_lag);
+    }
+    return out;
 }
 
 std::vector<AutocorrPeak>

@@ -16,6 +16,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/fft.hh"
+
 namespace cchunter
 {
 
@@ -48,9 +50,28 @@ std::vector<double> autocorrelogram(const std::vector<double>& series,
 std::vector<double> autocorrelogramNaive(
     const std::vector<double>& series, std::size_t max_lag);
 
-/** FFT-based O(N log N) correlogram via Wiener-Khinchin. */
+/** FFT-based O(N log N) correlogram via Wiener-Khinchin.  The
+ *  scratch overload writes into `out` (resized to max_lag+1) reusing
+ *  the caller's buffers, so repeated windows allocate nothing once
+ *  the buffers reach capacity; the vector overload delegates to a
+ *  thread-local scratch. */
 std::vector<double> autocorrelogramFft(
     const std::vector<double>& series, std::size_t max_lag);
+void autocorrelogramFft(const std::vector<double>& series,
+                        std::size_t max_lag, FftScratch& scratch,
+                        std::vector<double>& out);
+
+/**
+ * Correlograms of many series through one shared plan and scratch
+ * arena (the fleet's per-shard batched pass).  Each series is
+ * dispatched exactly as autocorrelogram() would dispatch it (naive
+ * below the FFT thresholds), and each result is bit-identical to the
+ * corresponding independent call — batching shares the twiddle
+ * tables and buffers, never the dataflow of one series.
+ */
+std::vector<std::vector<double>> autocorrelogramsBatched(
+    const std::vector<const std::vector<double>*>& series,
+    std::size_t max_lag);
 
 /** Minimum series length before the FFT path is considered. */
 constexpr std::size_t kFftAutocorrMinSeries = 256;

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "util/logging.hh"
+#include "util/simd.hh"
 #include "util/thread_pool.hh"
 
 namespace cchunter
@@ -16,12 +17,10 @@ squaredDistance(const std::vector<double>& a, const std::vector<double>& b)
 {
     if (a.size() != b.size())
         fatal("squaredDistance: dimension mismatch");
-    double d = 0.0;
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        const double diff = a[i] - b[i];
-        d += diff * diff;
-    }
-    return d;
+    // The shim's fixed 4-lane reduction tree: identical result on the
+    // vector and scalar backends (this feeds every assignment sweep,
+    // the k-means++ seeding and silhouetteScore).
+    return simd::squaredDistance(a.data(), b.data(), a.size());
 }
 
 namespace

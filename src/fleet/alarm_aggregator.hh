@@ -36,6 +36,11 @@ struct TenantAlarmBatch
     PipelineStats pipeline;
     DegradedStats degraded;
     std::uint64_t quantaRecorded = 0;
+
+    /** Monitored units whose end-of-run (offline) verdict detected a
+     *  channel — observability for the batched-FFT finalization; not
+     *  part of the incident stream. */
+    std::uint64_t offlineDetectedUnits = 0;
 };
 
 /** Aggregation policy. */

@@ -62,6 +62,8 @@ FleetAuditor::run()
         collectors.emplace_back([&, s]() {
             while (auto batch = queues[s]->pop()) {
                 report.shards[s].alarms += batch->alarms.size();
+                report.shards[s].offlineDetected +=
+                    batch->offlineDetectedUnits;
                 shardQuanta[s] += batch->quantaRecorded;
                 aggregator.ingest(std::move(*batch));
             }
@@ -76,14 +78,36 @@ FleetAuditor::run()
                 collector.join();
     };
 
+    std::vector<std::uint64_t> shardBatchedSeries(shards, 0);
     ThreadPool pool(params_.workerThreads);
     try {
         pool.parallelFor(shards, [&](std::size_t s) {
+            const auto detectedOf =
+                [](const std::vector<UnitOutcome>& verdicts) {
+                    std::uint64_t detected = 0;
+                    for (const UnitOutcome& unit : verdicts)
+                        detected += unit.detected ? 1 : 0;
+                    return detected;
+                };
+
+            // With batching on, tenants defer their end-of-run cache
+            // transforms; the shard resolves all of them in one
+            // planned FFT pass after its last tenant, then hands the
+            // staged batches off.  Alarms — and hence incidents — are
+            // identical either way.
+            std::vector<TenantAlarmBatch> staged;
+            std::vector<std::vector<UnitOutcome>> stagedVerdicts;
+            if (params_.batchedFft) {
+                staged.reserve(plan[s].size());
+                stagedVerdicts.reserve(plan[s].size());
+            }
+
             for (const TenantId id : plan[s]) {
                 OnlineAuditOptions options = registry_.at(id).audit;
                 if (params_.analysisThreads != 0)
                     options.online.analysisThreads =
                         params_.analysisThreads;
+                options.deferOscillationVerdicts = params_.batchedFft;
                 OnlineAuditResult result = runOnlineAudit(options);
                 TenantAlarmBatch batch;
                 batch.tenant = id;
@@ -92,7 +116,31 @@ FleetAuditor::run()
                 batch.pipeline = result.pipeline;
                 batch.degraded = result.degraded;
                 batch.quantaRecorded = result.quantaRecorded;
-                queues[s]->push(std::move(batch));
+                if (params_.batchedFft) {
+                    staged.push_back(std::move(batch));
+                    stagedVerdicts.push_back(
+                        std::move(result.finalVerdicts));
+                } else {
+                    batch.offlineDetectedUnits =
+                        detectedOf(result.finalVerdicts);
+                    queues[s]->push(std::move(batch));
+                }
+            }
+
+            if (params_.batchedFft) {
+                std::vector<UnitOutcome*> pending;
+                for (std::vector<UnitOutcome>& verdicts :
+                     stagedVerdicts)
+                    for (UnitOutcome& unit : verdicts)
+                        if (unit.deferredOscillation)
+                            pending.push_back(&unit);
+                shardBatchedSeries[s] =
+                    finalizeDeferredOscillations(pending);
+                for (std::size_t i = 0; i < staged.size(); ++i) {
+                    staged[i].offlineDetectedUnits =
+                        detectedOf(stagedVerdicts[i]);
+                    queues[s]->push(std::move(staged[i]));
+                }
             }
         });
     } catch (...) {
@@ -112,6 +160,7 @@ FleetAuditor::run()
         report.shards[s].batchesPushed = queues[s]->pushed();
         report.shards[s].batchesDropped = queues[s]->dropped();
         report.shards[s].queueHighWater = queues[s]->highWaterMark();
+        report.shards[s].batchedSeries = shardBatchedSeries[s];
         report.quantaTotal += shardQuanta[s];
     }
     return report;
@@ -159,6 +208,12 @@ FleetAuditReport::statEntries() const
         entries.push_back({prefix + "queueHighWater",
                            static_cast<double>(shard.queueHighWater),
                            "deepest hand-off backlog"});
+        entries.push_back({prefix + "offlineDetected",
+                           static_cast<double>(shard.offlineDetected),
+                           "end-of-run unit detections"});
+        entries.push_back({prefix + "batchedSeries",
+                           static_cast<double>(shard.batchedSeries),
+                           "series through the batched FFT pass"});
     }
     const auto append = [&entries](std::vector<StatEntry> more) {
         entries.insert(entries.end(),

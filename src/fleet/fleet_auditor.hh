@@ -58,6 +58,18 @@ struct FleetAuditParams
      */
     OverflowPolicy batchQueueOverflow = OverflowPolicy::Block;
 
+    /**
+     * Batch each shard's end-of-run oscillation transforms: tenants
+     * run with deferred cache verdicts, and the shard worker resolves
+     * every deferred series in one planned FFT pass (shared twiddle
+     * tables, one scratch arena) after its last tenant finishes.
+     * Outcomes are identical to independent transforms — incidents
+     * derive from the (unaffected) alarm stream either way, so the
+     * cross-shard bit-identity contract is preserved.  Config key:
+     * `fleet.batchedFft`.
+     */
+    bool batchedFft = true;
+
     AggregatorParams aggregator;
     IncidentRateLimit rateLimit;
 };
@@ -71,6 +83,8 @@ struct ShardStats
     std::uint64_t batchesPushed = 0; //!< batches through the queue
     std::uint64_t batchesDropped = 0; //!< batches shed (DropOldest)
     std::size_t queueHighWater = 0;  //!< deepest hand-off backlog
+    std::uint64_t offlineDetected = 0; //!< end-of-run unit detections
+    std::uint64_t batchedSeries = 0; //!< series through the batched FFT
 };
 
 /** Everything one fleet run produced. */

@@ -4,9 +4,12 @@
 #include <memory>
 #include <optional>
 
+#include <map>
+
 #include "channels/bus_channel.hh"
 #include "channels/cache_channel.hh"
 #include "channels/divider_channel.hh"
+#include "detect/autocorrelation.hh"
 #include "faults/fault_injector.hh"
 #include "sim/machine.hh"
 #include "util/logging.hh"
@@ -347,10 +350,16 @@ runOnlineAudit(const OnlineAuditOptions& options)
         outcome.unit = auditor.slotTarget(s);
         if (outcome.unit == MonitorTarget::L2Cache) {
             outcome.kind = AlarmKind::Oscillation;
-            outcome.oscillation =
-                daemon.analyzeOscillation(s, online.hunter);
-            outcome.detected = outcome.oscillation.detected;
             outcome.confidence = daemon.oscillationConfidence(s);
+            if (options.deferOscillationVerdicts) {
+                outcome.deferredOscillation = true;
+                outcome.pendingSeries = daemon.labelSeries(s);
+                outcome.pendingParams = online.hunter.oscillation;
+            } else {
+                outcome.oscillation =
+                    daemon.analyzeOscillation(s, online.hunter);
+                outcome.detected = outcome.oscillation.detected;
+            }
         } else {
             outcome.kind = AlarmKind::Contention;
             outcome.contention =
@@ -362,6 +371,54 @@ runOnlineAudit(const OnlineAuditOptions& options)
         result.finalVerdicts.push_back(std::move(outcome));
     }
     return result;
+}
+
+std::size_t
+finalizeDeferredOscillations(std::vector<UnitOutcome*>& pending)
+{
+    // Split by the dispatch rule the undeferred path applies, so a
+    // deferred outcome is bit-identical to its inline counterpart.
+    std::map<std::size_t, std::vector<UnitOutcome*>> fftGroups;
+    auto resolve = [](UnitOutcome& outcome,
+                      std::vector<double>&& correlogram) {
+        outcome.oscillation.analysis.seriesLength =
+            outcome.pendingSeries.size();
+        outcome.oscillation.analysis.correlogram =
+            std::move(correlogram);
+        decideOscillation(outcome.oscillation.analysis,
+                          outcome.pendingParams);
+        outcome.oscillation.detected =
+            outcome.oscillation.analysis.oscillating;
+        outcome.detected = outcome.oscillation.detected;
+        outcome.deferredOscillation = false;
+        outcome.pendingSeries.clear();
+        outcome.pendingSeries.shrink_to_fit();
+    };
+    for (UnitOutcome* outcome : pending) {
+        if (!outcome || !outcome->deferredOscillation)
+            continue;
+        const std::size_t n = outcome->pendingSeries.size();
+        const std::size_t lag = outcome->pendingParams.maxLag;
+        if (n >= kFftAutocorrMinSeries &&
+            n * (lag + 1) >= kFftAutocorrOpsThreshold)
+            fftGroups[lag].push_back(outcome);
+        else
+            resolve(*outcome,
+                    autocorrelogramNaive(outcome->pendingSeries,
+                                         lag));
+    }
+    std::size_t batched = 0;
+    for (auto& [lag, group] : fftGroups) {
+        std::vector<const std::vector<double>*> series;
+        series.reserve(group.size());
+        for (const UnitOutcome* outcome : group)
+            series.push_back(&outcome->pendingSeries);
+        auto correlograms = autocorrelogramsBatched(series, lag);
+        for (std::size_t i = 0; i < group.size(); ++i)
+            resolve(*group[i], std::move(correlograms[i]));
+        batched += group.size();
+    }
+    return batched;
 }
 
 BusScenarioResult

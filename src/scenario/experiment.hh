@@ -256,6 +256,18 @@ struct OnlineAuditOptions
      * that must NOT read as channels).
      */
     BenignAuditUnits benignUnits = BenignAuditUnits::BusDivider;
+
+    /**
+     * Defer the end-of-run oscillation verdicts: instead of running
+     * the final full-window transform per cache slot inside the run,
+     * carry the retained label series (and the oscillation params the
+     * run would have used) in the UnitOutcome for a later
+     * finalizeDeferredOscillations() pass.  This is what lets the
+     * fleet auditor batch the final transforms of a whole shard
+     * through one shared FFT plan; outcomes are identical to the
+     * undeferred path.  Alarms are unaffected either way.
+     */
+    bool deferOscillationVerdicts = false;
 };
 
 /** Final verdict of one monitored slot after a live-audited run. */
@@ -280,7 +292,26 @@ struct UnitOutcome
 
     /** Daemon confidence for this verdict (coverage x integrity). */
     double confidence = 1.0;
+
+    /** Oscillation verdict not yet computed: `pendingSeries` holds
+     *  the retained label window awaiting a (batched)
+     *  finalizeDeferredOscillations() pass under `pendingParams`. */
+    bool deferredOscillation = false;
+    std::vector<double> pendingSeries;
+    OscillationParams pendingParams;
 };
+
+/**
+ * Resolve deferred oscillation outcomes in one batched pass: series
+ * above the FFT dispatch thresholds are grouped by their oscillation
+ * max-lag and transformed through one shared plan and scratch arena
+ * (autocorrelogramsBatched); the rest take the naive path, exactly as
+ * the undeferred dispatch would.  Each outcome's verdict fields are
+ * filled and its pending series released.  Returns the number of
+ * series that went through the batched FFT pass.
+ */
+std::size_t finalizeDeferredOscillations(
+    std::vector<UnitOutcome*>& pending);
 
 /**
  * Result of one live-audited run: the online alarm stream (each alarm

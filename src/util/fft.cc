@@ -1,8 +1,11 @@
 #include "util/fft.hh"
 
 #include <cmath>
+#include <map>
+#include <memory>
 
 #include "util/logging.hh"
+#include "util/simd.hh"
 
 namespace cchunter
 {
@@ -27,12 +30,59 @@ isPowerOfTwo(std::size_t n)
 
 } // namespace
 
-void
-fftInPlace(std::vector<std::complex<double>>& a, bool inverse)
+FftPlan::FftPlan(std::size_t n) : n_(n)
 {
-    const std::size_t n = a.size();
+    if (!isPowerOfTwo(n))
+        fatal("FftPlan: size must be a power of two");
+    // Per-stage butterfly twiddles, built with the same incremental
+    // recurrence (w *= wlen) the unplanned kernel used so planned
+    // transforms are bit-identical to the historical output.  Stage
+    // `len` owns len/2 values at offset len/2 - 1; the offsets sum to
+    // n-1 across all stages.
+    twiddles_.resize(n_ > 1 ? n_ - 1 : 0);
+    for (std::size_t len = 2; len <= n_; len <<= 1) {
+        const double angle = -2.0 * M_PI / static_cast<double>(len);
+        const std::complex<double> wlen(std::cos(angle),
+                                        std::sin(angle));
+        std::complex<double> w(1.0, 0.0);
+        std::complex<double>* dst = twiddles_.data() + (len / 2 - 1);
+        for (std::size_t j = 0; j < len / 2; ++j) {
+            dst[j] = w;
+            w *= wlen;
+        }
+    }
+    // Untangle factors for a real transform of length 2n, evaluated
+    // exactly as the unplanned realFft evaluated them.
+    untangle_.resize(n_ + 1);
+    for (std::size_t k = 0; k <= n_; ++k) {
+        const double angle = -2.0 * M_PI * static_cast<double>(k) /
+                             static_cast<double>(2 * n_);
+        untangle_[k] = std::complex<double>(std::cos(angle),
+                                            std::sin(angle));
+    }
+}
+
+const FftPlan&
+fftPlanFor(std::size_t n)
+{
+    // Per-thread cache: analysis threads never contend, and the plans
+    // a thread builds live as long as the thread does.  unique_ptr
+    // keeps references stable across map rehashing.
+    thread_local std::map<std::size_t, std::unique_ptr<FftPlan>> cache;
+    auto it = cache.find(n);
+    if (it == cache.end())
+        it = cache.emplace(n, std::make_unique<FftPlan>(n)).first;
+    return *it->second;
+}
+
+void
+fftInPlace(std::complex<double>* a, std::size_t n, const FftPlan& plan,
+           bool inverse)
+{
     if (!isPowerOfTwo(n))
         fatal("fftInPlace: size must be a power of two");
+    if (plan.size() != n)
+        fatal("fftInPlace: plan size mismatch");
     if (n == 1)
         return;
 
@@ -46,28 +96,61 @@ fftInPlace(std::vector<std::complex<double>>& a, bool inverse)
             std::swap(a[i], a[j]);
     }
 
-    // Butterflies, doubling the transform length each stage.
+    // Butterflies, doubling the transform length each stage.  The
+    // planned forward twiddles serve the inverse too (conjugated
+    // inside the kernel).
     for (std::size_t len = 2; len <= n; len <<= 1) {
-        const double angle = (inverse ? 2.0 : -2.0) * M_PI /
-                             static_cast<double>(len);
-        const std::complex<double> wlen(std::cos(angle),
-                                        std::sin(angle));
-        for (std::size_t i = 0; i < n; i += len) {
-            std::complex<double> w(1.0, 0.0);
-            for (std::size_t j = 0; j < len / 2; ++j) {
-                const std::complex<double> u = a[i + j];
-                const std::complex<double> v = a[i + j + len / 2] * w;
-                a[i + j] = u + v;
-                a[i + j + len / 2] = u - v;
-                w *= wlen;
-            }
-        }
+        const std::complex<double>* tw = plan.stageTwiddles(len);
+        for (std::size_t i = 0; i < n; i += len)
+            simd::butterflyBlock(a + i, tw, len / 2, inverse);
     }
 
     if (inverse) {
         const double scale = 1.0 / static_cast<double>(n);
-        for (auto& v : a)
-            v *= scale;
+        simd::scaleInPlace(reinterpret_cast<double*>(a), 2 * n,
+                           scale);
+    }
+}
+
+void
+fftInPlace(std::vector<std::complex<double>>& a, bool inverse)
+{
+    if (!isPowerOfTwo(a.size()))
+        fatal("fftInPlace: size must be a power of two");
+    fftInPlace(a.data(), a.size(), fftPlanFor(a.size()), inverse);
+}
+
+void
+realFft(const double* x, std::size_t n, const FftPlan& plan,
+        std::vector<std::complex<double>>& packed,
+        std::vector<std::complex<double>>& out)
+{
+    if (n < 2 || !isPowerOfTwo(n))
+        fatal("realFft: size must be a power of two >= 2");
+    const std::size_t m = n / 2;
+    if (plan.size() != m)
+        fatal("realFft: plan must cover the half size");
+
+    // Pack even samples into the real lane, odd into the imaginary.
+    packed.resize(m);
+    for (std::size_t j = 0; j < m; ++j)
+        packed[j] = std::complex<double>(x[2 * j], x[2 * j + 1]);
+    fftInPlace(packed.data(), m, plan);
+
+    // Untangle the two interleaved half-length spectra:
+    //   X[k] = E[k] + e^{-2πik/N} O[k],  k = 0..N/2
+    // with E/O recovered from Z[k] and conj(Z[M-k]).
+    out.resize(m + 1);
+    const std::complex<double> half(0.5, 0.0);
+    const std::complex<double> minusHalfI(0.0, -0.5);
+    const std::complex<double>* w = plan.untangleTwiddles();
+    for (std::size_t k = 0; k <= m; ++k) {
+        const std::complex<double> zk = packed[k % m];
+        const std::complex<double> zmk =
+            std::conj(packed[(m - k) % m]);
+        const std::complex<double> even = (zk + zmk) * half;
+        const std::complex<double> odd = (zk - zmk) * minusHalfI;
+        out[k] = even + w[k] * odd;
     }
 }
 
@@ -77,67 +160,63 @@ realFft(const std::vector<double>& x)
     const std::size_t n = x.size();
     if (n < 2 || !isPowerOfTwo(n))
         fatal("realFft: size must be a power of two >= 2");
-    const std::size_t m = n / 2;
-
-    // Pack even samples into the real lane, odd into the imaginary.
-    std::vector<std::complex<double>> z(m);
-    for (std::size_t j = 0; j < m; ++j)
-        z[j] = std::complex<double>(x[2 * j], x[2 * j + 1]);
-    fftInPlace(z);
-
-    // Untangle the two interleaved half-length spectra:
-    //   X[k] = E[k] + e^{-2πik/N} O[k],  k = 0..N/2
-    // with E/O recovered from Z[k] and conj(Z[M-k]).
-    std::vector<std::complex<double>> out(m + 1);
-    const std::complex<double> half(0.5, 0.0);
-    const std::complex<double> minusHalfI(0.0, -0.5);
-    for (std::size_t k = 0; k <= m; ++k) {
-        const std::complex<double> zk = z[k % m];
-        const std::complex<double> zmk = std::conj(z[(m - k) % m]);
-        const std::complex<double> even = (zk + zmk) * half;
-        const std::complex<double> odd = (zk - zmk) * minusHalfI;
-        const double angle =
-            -2.0 * M_PI * static_cast<double>(k) /
-            static_cast<double>(n);
-        const std::complex<double> w(std::cos(angle),
-                                     std::sin(angle));
-        out[k] = even + w * odd;
-    }
+    std::vector<std::complex<double>> packed;
+    std::vector<std::complex<double>> out;
+    realFft(x.data(), n, fftPlanFor(n / 2), packed, out);
     return out;
+}
+
+std::size_t
+autocorrPaddedSize(std::size_t n, std::size_t max_lag)
+{
+    if (n == 0)
+        return 0;
+    const std::size_t top = std::min(max_lag, n - 1);
+    std::size_t padded = nextPowerOfTwo(n + top);
+    if (padded < 2)
+        padded = 2;
+    return padded;
+}
+
+void
+autocorrelationSumsFft(const double* x, std::size_t n,
+                       std::size_t max_lag, FftScratch& scratch,
+                       std::vector<double>& out)
+{
+    out.assign(max_lag + 1, 0.0);
+    if (n == 0)
+        return;
+    // Lags >= n contribute nothing; only these need the transform.
+    const std::size_t top = std::min(max_lag, n - 1);
+    const std::size_t padded = autocorrPaddedSize(n, max_lag);
+    const FftPlan& plan = fftPlanFor(padded / 2);
+
+    scratch.real.assign(padded, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        scratch.real[i] = x[i];
+
+    realFft(scratch.real.data(), padded, plan, scratch.packed,
+            scratch.spectrum);
+
+    // Power spectrum, expanded to full length by conjugate symmetry,
+    // overwriting the no-longer-needed padded input.  It is real and
+    // even, so its inverse DFT is Re(forward DFT)/N.
+    simd::powerSpectrumExpand(scratch.spectrum.data(),
+                              scratch.spectrum.size(),
+                              scratch.real.data(), padded);
+    realFft(scratch.real.data(), padded, plan, scratch.packed,
+            scratch.corr);
+    const double scale = 1.0 / static_cast<double>(padded);
+    for (std::size_t lag = 0; lag <= top; ++lag)
+        out[lag] = scratch.corr[lag].real() * scale;
 }
 
 std::vector<double>
 autocorrelationSumsFft(const std::vector<double>& x, std::size_t max_lag)
 {
-    std::vector<double> out(max_lag + 1, 0.0);
-    const std::size_t n = x.size();
-    if (n == 0)
-        return out;
-    // Lags >= n contribute nothing; only these need the transform.
-    const std::size_t top = std::min(max_lag, n - 1);
-
-    std::size_t padded = nextPowerOfTwo(n + top);
-    if (padded < 2)
-        padded = 2;
-    std::vector<double> buf(padded, 0.0);
-    for (std::size_t i = 0; i < n; ++i)
-        buf[i] = x[i];
-
-    const auto spectrum = realFft(buf);
-
-    // Power spectrum, expanded to full length by conjugate symmetry.
-    // It is real and even, so its inverse DFT is Re(forward DFT)/N.
-    std::vector<double> power(padded, 0.0);
-    for (std::size_t k = 0; k < spectrum.size(); ++k) {
-        const double p = std::norm(spectrum[k]);
-        power[k] = p;
-        if (k != 0 && k != padded - k)
-            power[padded - k] = p;
-    }
-    const auto corr = realFft(power);
-    const double scale = 1.0 / static_cast<double>(padded);
-    for (std::size_t lag = 0; lag <= top; ++lag)
-        out[lag] = corr[lag].real() * scale;
+    thread_local FftScratch scratch;
+    std::vector<double> out;
+    autocorrelationSumsFft(x.data(), x.size(), max_lag, scratch, out);
     return out;
 }
 

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Equivalence tests for the analysis fast paths of a live-audited run.
+ *
+ * Two independent optimisations must never change what a run reports:
+ *
+ *  - the incremental sliding-window autocorrelation maintainer (config
+ *    key `analysis.incrementalAutocorr`, with the full-recompute
+ *    debug flag as the reference), and
+ *  - deferred end-of-run oscillation verdicts resolved through the
+ *    batched FFT pass (finalizeDeferredOscillations), versus the
+ *    inline per-run transforms.
+ *
+ * The alarm stream is compared field by field and the final verdicts
+ * by decision and analysis content.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "scenario/experiment.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+OnlineAuditOptions
+cacheAudit(std::uint64_t seed)
+{
+    OnlineAuditOptions options;
+    options.workload = AuditedWorkload::Cache;
+    options.scenario.bandwidthBps = 1000.0;
+    options.scenario.quanta = 8;
+    options.scenario.quantum = 2500000;
+    options.scenario.seed = seed;
+    options.scenario.noiseProcesses = 0;
+    options.online.clusteringIntervalQuanta = 4;
+    return options;
+}
+
+void
+expectSameAlarms(const OnlineAuditResult& a, const OnlineAuditResult& b)
+{
+    ASSERT_EQ(a.alarms.size(), b.alarms.size());
+    for (std::size_t i = 0; i < a.alarms.size(); ++i) {
+        EXPECT_EQ(a.alarms[i].quantum, b.alarms[i].quantum) << i;
+        EXPECT_EQ(a.alarms[i].slot, b.alarms[i].slot) << i;
+        EXPECT_EQ(a.alarms[i].unit, b.alarms[i].unit) << i;
+        EXPECT_EQ(a.alarms[i].kind, b.alarms[i].kind) << i;
+        EXPECT_EQ(a.alarms[i].dominantFeature,
+                  b.alarms[i].dominantFeature)
+            << i;
+        EXPECT_EQ(a.alarms[i].confidence, b.alarms[i].confidence) << i;
+    }
+}
+
+TEST(IncrementalOnlineTest, AlarmsIdenticalToFullRecompute)
+{
+    for (const std::uint64_t seed : {2ull, 5ull, 9ull}) {
+        OnlineAuditOptions incremental = cacheAudit(seed);
+        incremental.online.incrementalAutocorr = true;
+
+        OnlineAuditOptions recompute = cacheAudit(seed);
+        recompute.online.incrementalAutocorr = true;
+        recompute.online.debugRecomputeAutocorr = true;
+
+        OnlineAuditOptions disabled = cacheAudit(seed);
+        disabled.online.incrementalAutocorr = false;
+
+        const OnlineAuditResult fast = runOnlineAudit(incremental);
+        const OnlineAuditResult reference = runOnlineAudit(recompute);
+        const OnlineAuditResult off = runOnlineAudit(disabled);
+
+        expectSameAlarms(fast, reference);
+        expectSameAlarms(fast, off);
+        EXPECT_EQ(fast.quantaRecorded, reference.quantaRecorded);
+
+        ASSERT_EQ(fast.finalVerdicts.size(),
+                  reference.finalVerdicts.size());
+        for (std::size_t i = 0; i < fast.finalVerdicts.size(); ++i) {
+            const UnitOutcome& f = fast.finalVerdicts[i];
+            const UnitOutcome& r = reference.finalVerdicts[i];
+            EXPECT_EQ(f.detected, r.detected) << "unit " << i;
+            EXPECT_EQ(f.kind, r.kind) << "unit " << i;
+            EXPECT_EQ(f.confidence, r.confidence) << "unit " << i;
+        }
+    }
+}
+
+TEST(IncrementalOnlineTest, CorrelogramAgreesWithinTolerance)
+{
+    // The per-quantum verdicts behind the alarms must carry the same
+    // oscillation analysis: incremental sums drift from the direct
+    // evaluation by no more than 1e-9 per coefficient.
+    OnlineAuditOptions incremental = cacheAudit(3);
+    OnlineAuditOptions recompute = cacheAudit(3);
+    recompute.online.debugRecomputeAutocorr = true;
+
+    const OnlineAuditResult fast = runOnlineAudit(incremental);
+    const OnlineAuditResult reference = runOnlineAudit(recompute);
+
+    ASSERT_EQ(fast.finalVerdicts.size(),
+              reference.finalVerdicts.size());
+    for (std::size_t i = 0; i < fast.finalVerdicts.size(); ++i) {
+        const auto& f = fast.finalVerdicts[i].oscillation.analysis;
+        const auto& r =
+            reference.finalVerdicts[i].oscillation.analysis;
+        ASSERT_EQ(f.correlogram.size(), r.correlogram.size());
+        for (std::size_t lag = 0; lag < f.correlogram.size(); ++lag)
+            EXPECT_NEAR(f.correlogram[lag], r.correlogram[lag], 1e-9)
+                << "unit " << i << " lag " << lag;
+    }
+}
+
+TEST(DeferredOscillationTest, BatchedFinalizeMatchesInlineVerdicts)
+{
+    for (const std::uint64_t seed : {2ull, 7ull}) {
+        // The inline reference disables the incremental maintainer so
+        // its end-of-run verdicts come from the same full transform
+        // the deferred pass performs — those must then be
+        // bit-identical.  (Incremental-vs-full agreement is pinned
+        // separately, with a tolerance, by IncrementalOnlineTest.)
+        OnlineAuditOptions inlineOptions = cacheAudit(seed);
+        inlineOptions.online.incrementalAutocorr = false;
+        const OnlineAuditResult inlineRun =
+            runOnlineAudit(inlineOptions);
+
+        OnlineAuditOptions deferredOptions = cacheAudit(seed);
+        deferredOptions.deferOscillationVerdicts = true;
+        OnlineAuditResult deferredRun = runOnlineAudit(deferredOptions);
+
+        expectSameAlarms(inlineRun, deferredRun);
+
+        std::vector<UnitOutcome*> pending;
+        for (UnitOutcome& unit : deferredRun.finalVerdicts)
+            if (unit.deferredOscillation)
+                pending.push_back(&unit);
+        finalizeDeferredOscillations(pending);
+
+        ASSERT_EQ(deferredRun.finalVerdicts.size(),
+                  inlineRun.finalVerdicts.size());
+        for (std::size_t i = 0; i < inlineRun.finalVerdicts.size();
+             ++i) {
+            const UnitOutcome& d = deferredRun.finalVerdicts[i];
+            const UnitOutcome& r = inlineRun.finalVerdicts[i];
+            EXPECT_FALSE(d.deferredOscillation) << "unit " << i;
+            EXPECT_TRUE(d.pendingSeries.empty()) << "unit " << i;
+            EXPECT_EQ(d.detected, r.detected) << "unit " << i;
+            EXPECT_EQ(d.kind, r.kind) << "unit " << i;
+            if (d.kind != AlarmKind::Oscillation)
+                continue;
+            // Same dispatch, shared plan: bit-identical analysis.
+            EXPECT_EQ(d.oscillation.detected, r.oscillation.detected);
+            EXPECT_EQ(d.oscillation.analysis.correlogram,
+                      r.oscillation.analysis.correlogram)
+                << "unit " << i;
+            EXPECT_EQ(d.oscillation.analysis.dominantLag,
+                      r.oscillation.analysis.dominantLag);
+            EXPECT_EQ(d.oscillation.analysis.dominantValue,
+                      r.oscillation.analysis.dominantValue);
+        }
+    }
+}
+
+TEST(DeferredOscillationTest, FinalizeOnEmptyPendingIsANoop)
+{
+    std::vector<UnitOutcome*> none;
+    EXPECT_EQ(finalizeDeferredOscillations(none), 0u);
+}
+
+} // namespace
+} // namespace cchunter

@@ -158,5 +158,81 @@ TEST(AutocorrelationSumsFftTest, EmptyInputAllZero)
         EXPECT_DOUBLE_EQ(v, 0.0);
 }
 
+TEST(FftPlanTest, ThreadLocalCacheReusesOnePlanPerSize)
+{
+    const FftPlan& a = fftPlanFor(256);
+    const FftPlan& b = fftPlanFor(256);
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(a.size(), 256u);
+    const FftPlan& c = fftPlanFor(512);
+    EXPECT_NE(&a, &c);
+    EXPECT_EQ(c.size(), 512u);
+}
+
+TEST(FftPlanTest, FreshPlanBitIdenticalToCachedPlan)
+{
+    Rng rng(51);
+    std::vector<std::complex<double>> base;
+    for (int i = 0; i < 128; ++i)
+        base.emplace_back(rng.nextGaussian(0.0, 1.0),
+                          rng.nextGaussian(0.0, 1.0));
+
+    auto cached = base;
+    fftInPlace(cached); // vector overload: thread-local cache
+
+    const FftPlan fresh(base.size());
+    auto planned = base;
+    fftInPlace(planned.data(), planned.size(), fresh);
+
+    for (std::size_t k = 0; k < base.size(); ++k) {
+        EXPECT_EQ(planned[k].real(), cached[k].real()) << "k=" << k;
+        EXPECT_EQ(planned[k].imag(), cached[k].imag()) << "k=" << k;
+    }
+}
+
+TEST(FftPlanTest, PlannedRealFftBitIdenticalToVectorOverload)
+{
+    const auto x = randomSeries(52, 256);
+    const auto expected = realFft(x);
+
+    const FftPlan plan(x.size() / 2);
+    std::vector<std::complex<double>> packed;
+    std::vector<std::complex<double>> out;
+    realFft(x.data(), x.size(), plan, packed, out);
+
+    ASSERT_EQ(out.size(), expected.size());
+    for (std::size_t k = 0; k < out.size(); ++k) {
+        EXPECT_EQ(out[k].real(), expected[k].real()) << "k=" << k;
+        EXPECT_EQ(out[k].imag(), expected[k].imag()) << "k=" << k;
+    }
+}
+
+TEST(FftScratchTest, ScratchOverloadBitIdenticalToVectorOverload)
+{
+    const auto x = randomSeries(53, 300);
+    const std::size_t max_lag = 80;
+    const auto expected = autocorrelationSumsFft(x, max_lag);
+
+    FftScratch scratch;
+    std::vector<double> out;
+    // Twice through the same scratch: reused buffers must not change
+    // the result.
+    for (int round = 0; round < 2; ++round) {
+        autocorrelationSumsFft(x.data(), x.size(), max_lag, scratch,
+                               out);
+        ASSERT_EQ(out.size(), expected.size()) << "round=" << round;
+        for (std::size_t lag = 0; lag <= max_lag; ++lag)
+            EXPECT_EQ(out[lag], expected[lag])
+                << "round=" << round << " lag=" << lag;
+    }
+}
+
+TEST(FftScratchTest, PaddedSizeMatchesTheDocumentedRule)
+{
+    EXPECT_EQ(autocorrPaddedSize(300, 80), nextPowerOfTwo(380));
+    EXPECT_EQ(autocorrPaddedSize(1024, 0), 1024u);
+    EXPECT_EQ(autocorrPaddedSize(1024, 1), 2048u);
+}
+
 } // namespace
 } // namespace cchunter

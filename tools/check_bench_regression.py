@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_analysis.json against the checked-in baseline.
+
+Google-benchmark JSON in, pass/fail out.  Every gated kernel bench may
+regress at most --threshold (default 10%) relative to the baseline.
+
+Raw wall times are useless across machines, so both runs are
+normalised by a reference bench first: BM_AutocorrelogramNaiveFull/16384
+is a plain scalar O(n·k) loop that none of the optimised kernels
+touch, making its ratio between the two files a clean estimate of the
+machine-speed difference.  A gated bench fails only if it got slower
+by more than the threshold *after* that correction.
+
+Usage:
+    check_bench_regression.py CURRENT BASELINE [--threshold 0.10]
+"""
+
+import argparse
+import json
+import sys
+
+# Machine-speed reference: untouched by the SIMD / plan-cache /
+# incremental work, so its drift measures the runner, not the code.
+REFERENCE = "BM_AutocorrelogramNaiveFull/16384"
+
+# Kernels under the regression gate.  These cover every optimisation
+# the analysis-perf work introduced: planned SIMD FFT, the
+# FFT-autocorrelation full path, the k-means distance kernel, the
+# incremental sliding-window maintainer and the batched fleet pass.
+GATED = [
+    "BM_AutocorrelogramFftFull/16384",
+    "BM_AutocorrelogramFftFull/65536",
+    "BM_AutocorrelogramFftFull/262144",
+    "BM_KMeans512",
+    "BM_PlannedFft/4096/1",
+    "BM_PlannedFft/65536/1",
+    "BM_SlidingWindowIncremental",
+    "BM_BatchedCorrelograms/8",
+    "BM_BatchedCorrelograms/64",
+    "BM_BatchedCorrelograms/512",
+]
+
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def normalize(name):
+    """Drop run-modifier components like `/iterations:1` so names
+    compare cleanly across invocations."""
+    return "/".join(p for p in name.split("/") if ":" not in p)
+
+
+def load_times(path):
+    """Return {bench name: cpu time in ns} for a benchmark JSON file."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    times = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        unit = _UNIT_NS[bench.get("time_unit", "ns")]
+        times[normalize(bench["name"])] = \
+            float(bench["cpu_time"]) * unit
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="fresh BENCH_analysis.json")
+    parser.add_argument("baseline", help="checked-in baseline JSON")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="max allowed slowdown (fraction)")
+    args = parser.parse_args()
+
+    current = load_times(args.current)
+    baseline = load_times(args.baseline)
+
+    for name, times in (("current", current), ("baseline", baseline)):
+        if REFERENCE not in times:
+            print(f"error: reference bench {REFERENCE} missing from "
+                  f"{name} run", file=sys.stderr)
+            return 2
+
+    # >1 means this machine is slower than the baseline machine.
+    machine = current[REFERENCE] / baseline[REFERENCE]
+    print(f"machine-speed factor ({REFERENCE}): {machine:.3f}")
+    print(f"regression threshold: {args.threshold:.0%}\n")
+
+    header = f"{'benchmark':<40} {'baseline':>12} {'current':>12} " \
+             f"{'norm ratio':>10}  verdict"
+    print(header)
+    print("-" * len(header))
+
+    failures = []
+    for name in GATED:
+        if name not in baseline:
+            print(f"{name:<40} {'absent':>12} {'-':>12} {'-':>10}  "
+                  "skipped (not in baseline)")
+            continue
+        if name not in current:
+            failures.append(name)
+            print(f"{name:<40} {baseline[name]:>10.0f}ns {'missing':>12} "
+                  f"{'-':>10}  FAIL (bench disappeared)")
+            continue
+        ratio = current[name] / baseline[name] / machine
+        bad = ratio > 1.0 + args.threshold
+        if bad:
+            failures.append(name)
+        print(f"{name:<40} {baseline[name]:>10.0f}ns "
+              f"{current[name]:>10.0f}ns {ratio:>10.3f}  "
+              f"{'FAIL' if bad else 'ok'}")
+
+    if failures:
+        print(f"\n{len(failures)} gated bench(es) regressed more than "
+              f"{args.threshold:.0%}: {', '.join(failures)}")
+        return 1
+    print("\nall gated benches within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
