@@ -1,5 +1,7 @@
 #include "auditor/cc_auditor.hh"
 
+#include <iterator>
+
 #include "sim/trace.hh"
 #include "util/logging.hh"
 
@@ -194,6 +196,32 @@ CCAuditor::monitorCacheIdeal(const AuditKey& key, unsigned slot,
 }
 
 void
+CCAuditor::monitorTlb(const AuditKey& key, unsigned slot, unsigned core)
+{
+    checkKey(key);
+    checkSlot(slot);
+    if (core >= machine_.numCores())
+        fatal("CC-Auditor: no TLB on core ", core);
+    if (!machine_.mem().tlbEnabled())
+        fatal("CC-Auditor: machine was built without TLBs "
+              "(MemSystemParams::tlb.enabled)");
+    release(slot);
+    auto st = slots_[slot];
+    st->active = true;
+    st->target = MonitorTarget::Tlb;
+    st->core = core;
+    trace(TraceCategory::Auditor, machine_.now(), "slot ", slot,
+          " monitors TLB core ", core);
+    st->vectors = std::make_unique<ConflictVectorRegisters>();
+    machine_.mem().tlb(core).addConflictListener(
+        [st](const TlbConflict& conflict) {
+            if (st->active)
+                st->vectors->record(ConflictMissEvent{
+                    conflict.time, conflict.replacer, conflict.victim});
+        });
+}
+
+void
 CCAuditor::stopMonitor(const AuditKey& key, unsigned slot)
 {
     checkKey(key);
@@ -218,19 +246,13 @@ CCAuditor::slotTarget(unsigned slot) const
 const char*
 monitorTargetName(MonitorTarget target)
 {
-    switch (target) {
-    case MonitorTarget::None:
-        return "none";
-    case MonitorTarget::MemoryBus:
-        return "bus";
-    case MonitorTarget::IntegerDivider:
-        return "divider";
-    case MonitorTarget::IntegerMultiplier:
-        return "multiplier";
-    case MonitorTarget::L2Cache:
-        return "cache";
-    }
-    return "?";
+    // Indexed by enum value; the registry test pins each entry against
+    // the corresponding UnitDescriptor::name.
+    static constexpr const char* kNames[] = {
+        "none", "bus", "divider", "multiplier", "cache", "tlb",
+    };
+    const auto idx = static_cast<std::size_t>(target);
+    return idx < std::size(kNames) ? kNames[idx] : "?";
 }
 
 HistogramBuffer*

@@ -31,7 +31,9 @@
 namespace cchunter
 {
 
-/** What a slot is monitoring. */
+/** What a slot is monitoring.  New units append at the end: the value
+ *  feeds Alarm::channelSignature and the quality-report ordering, both
+ *  pinned by goldens. */
 enum class MonitorTarget : std::uint8_t
 {
     None,
@@ -39,9 +41,11 @@ enum class MonitorTarget : std::uint8_t
     IntegerDivider,
     IntegerMultiplier,
     L2Cache,
+    Tlb,
 };
 
-/** Short lower-case name of a monitor target. */
+/** Short lower-case name of a monitor target (the registry's stable
+ *  unit name; a table lookup, not a per-unit switch). */
 const char* monitorTargetName(MonitorTarget target);
 
 /**
@@ -140,6 +144,15 @@ class CCAuditor
      */
     void monitorCacheIdeal(const AuditKey& key, unsigned slot,
                            unsigned core);
+
+    /**
+     * Program `slot` to record cross-context displacements in `core`'s
+     * TLB.  The TLB identifies its own conflicts (owner metadata on
+     * every entry), so the slot owns only the vector-register pair —
+     * no tracker is needed.  Requires a machine built with TLBs
+     * enabled.
+     */
+    void monitorTlb(const AuditKey& key, unsigned slot, unsigned core);
 
     /** Stop monitoring on `slot` and release its hardware. */
     void stopMonitor(const AuditKey& key, unsigned slot);

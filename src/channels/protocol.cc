@@ -1,0 +1,187 @@
+#include "channels/protocol.hh"
+
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+namespace
+{
+
+bool
+preambleBit(std::size_t i)
+{
+    return (kProtocolPreamble >> (ProtocolParams::preambleBits - 1 - i)) &
+           1u;
+}
+
+} // namespace
+
+void
+ProtocolParams::validate() const
+{
+    if (!enabled)
+        return;
+    if (frameNibbles == 0)
+        fatal("protocol: frame_nibbles must be positive");
+    if (repeats == 0)
+        fatal("protocol: repeats must be positive");
+}
+
+std::uint8_t
+hammingEncodeNibble(std::uint8_t nibble)
+{
+    const unsigned d1 = (nibble >> 3) & 1u;
+    const unsigned d2 = (nibble >> 2) & 1u;
+    const unsigned d3 = (nibble >> 1) & 1u;
+    const unsigned d4 = nibble & 1u;
+    const unsigned p1 = d1 ^ d2 ^ d4;
+    const unsigned p2 = d1 ^ d3 ^ d4;
+    const unsigned p3 = d2 ^ d3 ^ d4;
+    // Bit i of the codeword is classic Hamming position i+1:
+    // p1 p2 d1 p3 d2 d3 d4.
+    return static_cast<std::uint8_t>(p1 | (p2 << 1) | (d1 << 2) |
+                                     (p3 << 3) | (d2 << 4) |
+                                     (d3 << 5) | (d4 << 6));
+}
+
+HammingDecodeResult
+hammingDecodeNibble(std::uint8_t codeword)
+{
+    codeword &= 0x7f;
+    const auto bit = [&](unsigned pos) -> unsigned {
+        return (codeword >> (pos - 1)) & 1u;
+    };
+    const unsigned s1 = bit(1) ^ bit(3) ^ bit(5) ^ bit(7);
+    const unsigned s2 = bit(2) ^ bit(3) ^ bit(6) ^ bit(7);
+    const unsigned s3 = bit(4) ^ bit(5) ^ bit(6) ^ bit(7);
+    const unsigned syndrome = s1 | (s2 << 1) | (s3 << 2);
+    HammingDecodeResult out;
+    if (syndrome != 0) {
+        codeword ^= static_cast<std::uint8_t>(1u << (syndrome - 1));
+        out.corrected = true;
+    }
+    const unsigned d1 = (codeword >> 2) & 1u;
+    const unsigned d2 = (codeword >> 4) & 1u;
+    const unsigned d3 = (codeword >> 5) & 1u;
+    const unsigned d4 = (codeword >> 6) & 1u;
+    out.nibble =
+        static_cast<std::uint8_t>((d1 << 3) | (d2 << 2) | (d3 << 1) | d4);
+    return out;
+}
+
+Message
+encodeProtocol(const Message& payload, const ProtocolParams& params)
+{
+    if (!params.enabled)
+        return payload;
+    params.validate();
+
+    // Chop the payload MSB-first into nibbles, zero-padding the tail
+    // so the last frame is full.
+    std::vector<std::uint8_t> nibbles;
+    for (std::size_t i = 0; i < payload.size(); i += 4) {
+        std::uint8_t n = 0;
+        for (std::size_t b = 0; b < 4; ++b) {
+            n = static_cast<std::uint8_t>(n << 1);
+            if (i + b < payload.size() && payload.bit(i + b))
+                n |= 1u;
+        }
+        nibbles.push_back(n);
+    }
+    while (nibbles.size() % params.frameNibbles != 0)
+        nibbles.push_back(0);
+
+    std::vector<bool> wire;
+    wire.reserve((nibbles.size() / params.frameNibbles) *
+                 params.burstBits());
+    for (std::size_t f = 0; f < nibbles.size();
+         f += params.frameNibbles) {
+        // Frame body: one 7-bit codeword per nibble, codeword position
+        // 1 first.
+        std::vector<bool> body;
+        body.reserve(params.frameNibbles * 7);
+        for (std::size_t k = 0; k < params.frameNibbles; ++k) {
+            const std::uint8_t cw = hammingEncodeNibble(nibbles[f + k]);
+            for (unsigned b = 0; b < 7; ++b)
+                body.push_back((cw >> b) & 1u);
+        }
+        for (std::size_t i = 0; i < ProtocolParams::preambleBits; ++i)
+            wire.push_back(preambleBit(i));
+        for (std::size_t r = 0; r < params.repeats; ++r)
+            wire.insert(wire.end(), body.begin(), body.end());
+        for (std::size_t i = 0; i < params.ackGapBits; ++i)
+            wire.push_back(false);
+    }
+    return Message::fromBits(std::move(wire));
+}
+
+Message
+decodeProtocol(const Message& wire, const ProtocolParams& params,
+               std::size_t payloadBits, ProtocolDecodeStats* stats)
+{
+    if (!params.enabled)
+        return wire;
+    params.validate();
+
+    ProtocolDecodeStats local;
+    ProtocolDecodeStats& st = stats ? *stats : local;
+
+    const std::size_t bodyBits = params.frameNibbles * 7;
+    std::vector<bool> payload;
+    std::size_t cursor = 0;
+    while (cursor + ProtocolParams::preambleBits +
+               params.repeats * bodyBits <=
+           wire.size()) {
+        // Synchronize: accept the preamble with at most one bit in
+        // error; otherwise slip one bit and retry (bounded so a
+        // garbage stream cannot loop forever).
+        std::size_t mismatches = 0;
+        for (std::size_t i = 0; i < ProtocolParams::preambleBits; ++i)
+            if (wire.bit(cursor + i) != preambleBit(i))
+                ++mismatches;
+        if (mismatches > 1) {
+            ++cursor;
+            ++st.resyncShifts;
+            continue;
+        }
+        cursor += ProtocolParams::preambleBits;
+
+        // Retransmission layer: majority-vote each body bit across the
+        // repeated copies.
+        std::vector<bool> body(bodyBits);
+        for (std::size_t i = 0; i < bodyBits; ++i) {
+            std::size_t ones = 0;
+            for (std::size_t r = 0; r < params.repeats; ++r)
+                if (wire.bit(cursor + r * bodyBits + i))
+                    ++ones;
+            body[i] = 2 * ones > params.repeats;
+            if (ones != 0 && ones != params.repeats)
+                ++st.votedBits;
+        }
+        cursor += params.repeats * bodyBits;
+        cursor += params.ackGapBits;
+
+        // ECC layer: Hamming-correct each codeword.
+        for (std::size_t k = 0; k < params.frameNibbles; ++k) {
+            std::uint8_t cw = 0;
+            for (unsigned b = 0; b < 7; ++b)
+                if (body[k * 7 + b])
+                    cw |= static_cast<std::uint8_t>(1u << b);
+            const HammingDecodeResult r = hammingDecodeNibble(cw);
+            if (r.corrected)
+                ++st.correctedCodewords;
+            for (unsigned b = 0; b < 4; ++b)
+                payload.push_back((r.nibble >> (3 - b)) & 1u);
+        }
+        ++st.frames;
+    }
+
+    if (payloadBits != 0 && payload.size() > payloadBits)
+        payload.resize(payloadBits);
+    return Message::fromBits(std::move(payload));
+}
+
+} // namespace cchunter

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * A two-layer protocol adversary usable by every channel sender.
+ *
+ * Realistic covert-channel implementations (TLBleed and the
+ * tlbchannels line of work) do not transmit raw payload bits: they wrap
+ * them in a link-layer protocol — a preamble for synchronization,
+ * frame retransmission with an ACK turnaround gap, and a Hamming(7,4)
+ * error-correcting code.  The coded wire stream is structured but
+ * aperiodic, which stresses autocorrelation detectors: CC-Hunter still
+ * sees the per-bit conflict bursts, but the bit *values* no longer
+ * repeat with the payload's period.
+ *
+ * The codec is channel-agnostic: `encodeProtocol` maps a payload
+ * Message to the wire Message any trojan transmits, and
+ * `decodeProtocol` inverts it on the spy's decoded wire bits.
+ */
+
+#ifndef CCHUNTER_CHANNELS_PROTOCOL_HH
+#define CCHUNTER_CHANNELS_PROTOCOL_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "channels/message.hh"
+
+namespace cchunter
+{
+
+/** Configuration of the link-layer protocol framing. */
+struct ProtocolParams
+{
+    /** Wrap payloads when true; false leaves messages untouched. */
+    bool enabled = false;
+
+    /** Payload nibbles (7-bit codewords) per frame. */
+    std::size_t frameNibbles = 4;
+
+    /** Times each frame is transmitted back-to-back; the receiver
+     *  majority-votes per wire bit (retransmission layer). */
+    std::size_t repeats = 3;
+
+    /** Idle (zero) bits after each frame burst modelling the ACK
+     *  turnaround of the reverse channel. */
+    std::size_t ackGapBits = 4;
+
+    /** Bits in the fixed synchronization preamble. */
+    static constexpr std::size_t preambleBits = 8;
+
+    /** Wire bits per frame burst: preamble + repeated body + ACK gap. */
+    std::size_t
+    burstBits() const
+    {
+        return preambleBits + repeats * frameNibbles * 7 + ackGapBits;
+    }
+
+    void validate() const;
+};
+
+/** Synchronization preamble, transmitted MSB first: 10101011.  The
+ *  alternating run locks the receiver's bit clock; the final 11 breaks
+ *  the alternation to mark the frame start. */
+constexpr std::uint8_t kProtocolPreamble = 0xab;
+
+/** Encode a data nibble (4 bits) into a Hamming(7,4) codeword.  Bit i
+ *  of the result is codeword position i+1 (p1 p2 d1 p3 d2 d3 d4). */
+std::uint8_t hammingEncodeNibble(std::uint8_t nibble);
+
+/** Result of decoding one 7-bit codeword. */
+struct HammingDecodeResult
+{
+    std::uint8_t nibble = 0;
+    /** A single-bit error was corrected.  Double-bit errors alias to a
+     *  wrong single-bit syndrome (Hamming(7,4) has distance 3), so
+     *  they also report corrected == true but may miscorrect. */
+    bool corrected = false;
+};
+
+HammingDecodeResult hammingDecodeNibble(std::uint8_t codeword);
+
+/** Decode-side observability counters. */
+struct ProtocolDecodeStats
+{
+    std::size_t frames = 0;       //!< frame bursts recovered
+    std::size_t resyncShifts = 0; //!< bit slips consumed finding preambles
+    std::size_t correctedCodewords = 0; //!< codewords Hamming-corrected
+    std::size_t votedBits = 0;    //!< wire bits where repeats disagreed
+};
+
+/** Wrap `payload` into the protocol wire format.  Returns `payload`
+ *  unchanged when the protocol is disabled. */
+Message encodeProtocol(const Message& payload,
+                       const ProtocolParams& params);
+
+/**
+ * Invert `encodeProtocol` on the received wire bits: resynchronize on
+ * each preamble, majority-vote the retransmissions, Hamming-correct
+ * each codeword.  `payloadBits` trims the zero padding the encoder
+ * appended (0 keeps every decoded bit).  Returns `wire` unchanged when
+ * the protocol is disabled.
+ */
+Message decodeProtocol(const Message& wire, const ProtocolParams& params,
+                       std::size_t payloadBits = 0,
+                       ProtocolDecodeStats* stats = nullptr);
+
+} // namespace cchunter
+
+#endif // CCHUNTER_CHANNELS_PROTOCOL_HH

@@ -1,0 +1,265 @@
+#include "channels/tlb_channel.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+void
+TlbChannelLayout::validate(const char* who) const
+{
+    if (channelSets < 2 || channelSets % 2 != 0)
+        fatal(who, ": channelSets must be even and >= 2");
+    if (firstSet + channelSets > tlbNumSets)
+        fatal(who, ": channel sets exceed the TLB");
+    if (tlbWays == 0)
+        fatal(who, ": tlbWays must be positive");
+    if (2 * channelSets * lineBytes > pageBytes)
+        fatal(who, ": too many channel sets for the in-page cache-line "
+                   "slots");
+}
+
+namespace
+{
+
+/**
+ * Compose an address owning TLB set `set` (via its page number) and a
+ * distinct cache-line slot inside the page.  Spy pages use slots
+ * [0, channelSets) and trojan pages slots [channelSets, 2*channelSets),
+ * so the two sides never collide in the (per-context) L1 or shared L2
+ * and the probe latency difference is purely TLB-induced.
+ */
+Addr
+composeAddr(const TlbChannelLayout& l, Addr base, std::size_t set,
+            std::size_t tagMultiple, std::size_t lineSlot)
+{
+    const Addr page = static_cast<Addr>(set) +
+                      static_cast<Addr>(tagMultiple) * l.tlbNumSets;
+    return base + page * l.pageBytes +
+           static_cast<Addr>(lineSlot) * l.lineBytes;
+}
+
+} // namespace
+
+Addr
+TlbChannelLayout::trojanAddr(Addr base, bool group1, std::size_t idx,
+                             std::size_t way) const
+{
+    if (idx >= setsPerGroup())
+        panic("TlbChannelLayout: set index out of range");
+    if (way >= tlbWays)
+        panic("TlbChannelLayout: way index out of range");
+    const std::size_t group_off = group1 ? 0 : setsPerGroup();
+    const std::size_t set = firstSet + group_off + idx;
+    const std::size_t slot = channelSets + (group_off + idx) % channelSets;
+    return composeAddr(*this, base, set, way, slot);
+}
+
+Addr
+TlbChannelLayout::spyAddr(Addr base, bool group1, std::size_t idx) const
+{
+    if (idx >= setsPerGroup())
+        panic("TlbChannelLayout: set index out of range");
+    const std::size_t group_off = group1 ? 0 : setsPerGroup();
+    const std::size_t set = firstSet + group_off + idx;
+    return composeAddr(*this, base, set, 0, group_off + idx);
+}
+
+TlbTrojan::TlbTrojan(TlbTrojanParams params) : params_(std::move(params))
+{
+    if (params_.message.empty())
+        fatal("TlbTrojan: empty message");
+    params_.layout.validate("TlbTrojan");
+}
+
+Action
+TlbTrojan::nextAction(const ExecView& view)
+{
+    const Tick now = view.now;
+    const ChannelTiming& t = params_.timing;
+    if (now < t.start)
+        return Action::sleepUntil(t.start);
+
+    const std::size_t bit = t.bitIndexAt(now);
+    if (!params_.repeat && bit >= params_.message.size())
+        return Action::halt();
+
+    // Rounds: the signal window splits into roundsPerBit prime/probe
+    // cycles; the trojan fills during the first half of each round.
+    const Tick bit_start = t.bitStart(bit);
+    const Tick signal = t.signalTicks();
+    const std::size_t rounds =
+        std::max<std::size_t>(1, params_.roundsPerBit);
+    const Tick round_ticks = std::max<Tick>(2, signal / rounds);
+    if (now >= bit_start + signal)
+        return Action::sleepUntil(t.bitStart(bit + 1));
+
+    const std::size_t round = std::min<std::size_t>(
+        rounds - 1,
+        static_cast<std::size_t>((now - bit_start) / round_ticks));
+    const std::uint64_t round_key =
+        static_cast<std::uint64_t>(bit) * rounds + round;
+    if (round_key != lastRoundKey_) {
+        lastRoundKey_ = round_key;
+        primeCursor_ = 0;
+    }
+
+    const bool value = params_.message.bitCyclic(bit);
+    const Tick round_start = bit_start + round * round_ticks;
+    const Tick prime_end = round_start + round_ticks / 2;
+    const std::size_t total = params_.layout.pagesPerGroup();
+    if (primeCursor_ >= total || now >= prime_end) {
+        const Tick next_round = round_start + round_ticks;
+        if (round + 1 < rounds && next_round < bit_start + signal)
+            return Action::sleepUntil(next_round);
+        return Action::sleepUntil(t.bitStart(bit + 1));
+    }
+
+    // Way-major: visit every set at way w before moving to way w+1, so
+    // the spy's (most recently used) entries are displaced in one
+    // contiguous burst by the final way pass.
+    const std::size_t idx = primeCursor_ % params_.layout.setsPerGroup();
+    const std::size_t way = primeCursor_ / params_.layout.setsPerGroup();
+    ++primeCursor_;
+    ++primesIssued_;
+    return Action::read(
+        params_.layout.trojanAddr(params_.addrBase, value, idx, way));
+}
+
+TlbSpy::TlbSpy(TlbSpyParams params)
+    : params_(std::move(params)), rng_(params.seed)
+{
+    params_.layout.validate("TlbSpy");
+}
+
+Message
+TlbSpy::decoded() const
+{
+    std::vector<bool> bits;
+    bits.reserve(decodedSlots_.size());
+    for (const auto& [slot, value] : decodedSlots_)
+        bits.push_back(value);
+    return Message::fromBits(std::move(bits));
+}
+
+void
+TlbSpy::finishBit()
+{
+    if (g1Count_ == 0 || g0Count_ == 0)
+        return;
+    const double g1 = g1Sum_ / static_cast<double>(g1Count_);
+    const double g0 = g0Sum_ / static_cast<double>(g0Count_);
+    const double ratio = g0 > 0.0 ? g1 / g0 : 0.0;
+    ratios_.push_back(ratio);
+    decodedSlots_.emplace_back(lastBit_, ratio > 1.0);
+    g1Sum_ = g0Sum_ = 0.0;
+    g1Count_ = g0Count_ = 0;
+}
+
+Action
+TlbSpy::nextAction(const ExecView& view)
+{
+    const Tick now = view.now;
+    const ChannelTiming& t = params_.timing;
+
+    if (pendingMeasure_) {
+        pendingMeasure_ = false;
+        const double lat = static_cast<double>(view.lastLatency);
+        if (measuringG1_) {
+            g1Sum_ += lat;
+            ++g1Count_;
+        } else {
+            g0Sum_ += lat;
+            ++g0Count_;
+        }
+    }
+
+    if (done_)
+        return Action::halt();
+    if (now < t.start)
+        return Action::sleepUntil(t.start);
+
+    const std::size_t bit = t.bitIndexAt(now);
+    if (bit != lastBit_) {
+        finishBit();
+        lastBit_ = bit;
+        probeCursor_ = 0;
+        if (params_.maxBits != 0 &&
+            decodedSlots_.size() >= params_.maxBits) {
+            done_ = true;
+            return Action::halt();
+        }
+    }
+
+    // While dormant (past the signal window), optionally behave like
+    // the embedding cover program: sparse random reads, not pure sleep.
+    const Tick bit_start = t.bitStart(bit);
+    const Tick signal = t.signalTicks();
+    auto dormant_until = [&](Tick until) -> Action {
+        if (params_.dormantNoiseGap == 0)
+            return Action::sleepUntil(until);
+        if (now >= nextDormantRead_) {
+            nextDormantRead_ = now + params_.dormantNoiseGap;
+            const Addr noise =
+                params_.noiseBase +
+                rng_.nextBelow(params_.layout.tlbNumSets * 2) *
+                    params_.layout.pageBytes;
+            return Action::read(noise);
+        }
+        return Action::sleepUntil(std::min(nextDormantRead_, until));
+    };
+    if (now >= bit_start + signal)
+        return dormant_until(t.bitStart(bit + 1));
+
+    // Rounds: probe during the second half of each prime/probe round.
+    const std::size_t rounds =
+        std::max<std::size_t>(1, params_.roundsPerBit);
+    const Tick round_ticks = std::max<Tick>(2, signal / rounds);
+    const std::size_t round = std::min<std::size_t>(
+        rounds - 1,
+        static_cast<std::size_t>((now - bit_start) / round_ticks));
+    const std::uint64_t round_key =
+        static_cast<std::uint64_t>(bit) * rounds + round;
+    if (round_key != lastRoundKey_) {
+        lastRoundKey_ = round_key;
+        probeCursor_ = 0;
+    }
+    const Tick round_start = bit_start + round * round_ticks;
+    const Tick probe_start = round_start + round_ticks / 2;
+    if (now < probe_start)
+        return Action::sleepUntil(probe_start);
+
+    const std::size_t per_group = params_.layout.setsPerGroup();
+    const std::size_t total = 2 * per_group;
+    if (probeCursor_ >= total) {
+        const Tick next_round = round_start + round_ticks;
+        if (round + 1 < rounds && next_round < bit_start + signal)
+            return Action::sleepUntil(next_round);
+        finishBit();
+        return dormant_until(t.bitStart(bit + 1));
+    }
+
+    // Occasional "surrounding code" accesses: random pages that may
+    // collide with channel sets and interleave noise conflicts.
+    if (params_.noiseEvery != 0 && ++sinceNoise_ >= params_.noiseEvery) {
+        sinceNoise_ = 0;
+        const Addr noise =
+            params_.noiseBase +
+            rng_.nextBelow(params_.layout.tlbNumSets * 4) *
+                params_.layout.pageBytes;
+        return Action::read(noise);
+    }
+
+    const bool in_g1 = probeCursor_ < per_group;
+    const std::size_t idx =
+        in_g1 ? probeCursor_ : probeCursor_ - per_group;
+    ++probeCursor_;
+    pendingMeasure_ = true;
+    measuringG1_ = in_g1;
+    return Action::read(
+        params_.layout.spyAddr(params_.addrBase, in_g1, idx));
+}
+
+} // namespace cchunter

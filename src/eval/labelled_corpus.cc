@@ -222,6 +222,26 @@ buildLabelledCorpus(const CorpusOptions& options)
                     "mailserver", BenignAuditUnits::MultiplierBus);
     }
 
+    // --- Fifth unit: the TLB prime/probe channel, raw and under the
+    // link-layer protocol adversary, plus a TLB-audited negative.
+    // Appended after every older entry so the position-derived seeds
+    // (and thus the four-unit baseline) stay bit-identical. ---
+    for (const double bps : options.cacheBandwidths) {
+        ScenarioOptions sc = b.baseScenario();
+        sc.bandwidthBps = bps;
+        b.add("clean/tlb/" + bandwidthTag(bps),
+              CorpusCategory::CleanChannel, AuditedWorkload::Tlb, sc);
+    }
+    {
+        ScenarioOptions sc = b.baseScenario();
+        sc.bandwidthBps = options.cacheBandwidths.front();
+        sc.protocol.enabled = true;
+        b.add("clean/tlb/protocol", CorpusCategory::CleanChannel,
+              AuditedWorkload::Tlb, sc);
+    }
+    b.addBenign("benign/mcf+gobmk/tlb", CorpusCategory::Benign, "mcf",
+                "gobmk", BenignAuditUnits::TlbBus);
+
     return b.corpus;
 }
 

@@ -3,8 +3,9 @@
  * Ground-truth-labelled scenario corpus for detection-quality scoring.
  *
  * The corpus is built programmatically: positives span the bus /
- * divider / multiplier / cache channels across bandwidth, message
- * pattern, and `faults.*` degradation axes; negatives come from the
+ * divider / multiplier / cache / TLB channels across bandwidth,
+ * message pattern, protocol-coding, and `faults.*` degradation axes;
+ * negatives come from the
  * benign benchmark pool plus adversarial near-miss pairs
  * (periodic-but-innocent request loops, cache-thrashing streamers)
  * that the detector must NOT flag.  Every entry carries a

@@ -48,12 +48,11 @@ evaluateQualityGate(const QualityReport& report,
         }
     }
 
-    for (const auto& [target, baseline] : params.baselineAuc) {
+    for (const auto& [name, baseline] : params.baselineAuc) {
         const UnitQuality* unit = nullptr;
         for (const UnitQuality& q : report.units)
-            if (q.unit == target)
+            if (name == monitorTargetName(q.unit))
                 unit = &q;
-        const std::string name = monitorTargetName(target);
         if (!unit) {
             fail(name + ": baselined unit missing from the report");
             continue;

@@ -33,10 +33,12 @@ struct QualityGateParams
     double aucEpsilon = 0.02;
 
     /**
-     * Checked-in baseline AUC per unit; units absent from the list
-     * are not AUC-gated (but still TPR/FPR-gated).
+     * Checked-in baseline AUC per unit, keyed by the unit's stable
+     * registry name ("bus", "cache", ...) so the baseline survives
+     * enum renumbering when units are added; units absent from the
+     * list are not AUC-gated (but still TPR/FPR-gated).
      */
-    std::vector<std::pair<MonitorTarget, double>> baselineAuc;
+    std::vector<std::pair<std::string, double>> baselineAuc;
 };
 
 /** Gate verdict plus the named reason for every failed check. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "units/unit_registry.hh"
 #include "util/logging.hh"
 
 namespace cchunter
@@ -77,8 +78,13 @@ TenantRegistry::synthetic(const SyntheticFleetOptions& options)
         sc.noiseProcesses = options.noiseProcesses;
         sc.seed = options.distinctSeeds ? options.seed + i
                                         : options.seed;
+        // Oscillation-policy units (prime/probe channels) need the
+        // higher signalling rate; contention units and benign pairs
+        // take the burst-channel rate.
+        const UnitDescriptor* unit =
+            UnitRegistry::instance().byWorkload(t.audit.workload);
         sc.bandwidthBps =
-            t.audit.workload == AuditedWorkload::Cache
+            unit && unit->policy == AlarmKind::Oscillation
                 ? options.cacheBandwidthBps
                 : options.contentionBandwidthBps;
         t.audit.online.clusteringIntervalQuanta =

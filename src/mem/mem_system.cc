@@ -22,6 +22,29 @@ MemSystem::MemSystem(MemSystemParams params)
     for (unsigned c = 0; c < params_.numCores; ++c)
         l2s_.push_back(std::make_unique<Cache>(
             "l2." + std::to_string(c), params_.l2));
+    if (params_.tlb.enabled)
+        for (unsigned c = 0; c < params_.numCores; ++c)
+            tlbs_.push_back(std::make_unique<Tlb>(
+                "tlb." + std::to_string(c), params_.tlb));
+}
+
+Tlb&
+MemSystem::tlb(unsigned core)
+{
+    if (core >= tlbs_.size())
+        panic("MemSystem::tlb: TLBs disabled or core out of range");
+    return *tlbs_[core];
+}
+
+void
+MemSystem::translate(MemAccessOutcome& out, unsigned core,
+                     ContextId ctx, Addr addr, Tick now)
+{
+    if (tlbs_.empty())
+        return;
+    const TlbOutcome t = tlbs_[core]->translate(addr, ctx, now);
+    out.tlbWalkCycles += t.latency;
+    out.latency += t.latency;
 }
 
 Cache&
@@ -54,10 +77,14 @@ MemSystem::access(ContextId ctx, Addr addr, bool write, Tick now)
     const unsigned core = coreOf(ctx);
     Cache& l2c = l2(core);
 
+    // Address translation precedes the cache lookup; a TLB miss adds
+    // the page-walk latency on top of whatever the hierarchy charges.
+    translate(out, core, ctx, addr, now);
+
     const CacheAccessResult r1 = l1c.access(addr, ctx, now);
     if (r1.hit) {
         out.l1Hit = true;
-        out.latency = params_.l1HitCycles;
+        out.latency += params_.l1HitCycles;
         return out;
     }
     // L1 miss: evicted L1 lines need no write-back handling in this
@@ -65,7 +92,7 @@ MemSystem::access(ContextId ctx, Addr addr, bool write, Tick now)
     const CacheAccessResult r2 = l2c.access(addr, ctx, now);
     if (r2.hit) {
         out.l2Hit = true;
-        out.latency = params_.l1HitCycles + params_.l2HitCycles;
+        out.latency += params_.l1HitCycles + params_.l2HitCycles;
         return out;
     }
     // L2 miss: the fill may have evicted another line from L2; enforce
@@ -80,8 +107,8 @@ MemSystem::access(ContextId ctx, Addr addr, bool write, Tick now)
     const Tick bus_done = bus_.transfer(ctx, now);
     const Cycles dram_lat = dram_.access(addr);
     const Tick done = bus_done + dram_lat;
-    out.latency = static_cast<Cycles>(done - now) + params_.l2HitCycles +
-                  params_.l1HitCycles;
+    out.latency += static_cast<Cycles>(done - now) +
+                   params_.l2HitCycles + params_.l1HitCycles;
     return out;
 }
 
@@ -94,6 +121,11 @@ MemSystem::lockedAccess(ContextId ctx, Addr addr, Tick now)
     Cache& l1c = l1(ctx);
     Cache& l2c = l2ForContext(ctx);
     const Addr second = addr + l1c.geometry().lineSize;
+    translate(out, coreOf(ctx), ctx, addr, now);
+    if (!tlbs_.empty() &&
+        tlbs_[coreOf(ctx)]->pageNumber(second) !=
+            tlbs_[coreOf(ctx)]->pageNumber(addr))
+        translate(out, coreOf(ctx), ctx, second, now);
     for (Addr a : {addr, second}) {
         l1c.access(a, ctx, now);
         const CacheAccessResult r2 = l2c.access(a, ctx, now);
@@ -108,7 +140,7 @@ MemSystem::lockedAccess(ContextId ctx, Addr addr, Tick now)
     // The locked transaction itself: exclusive bus ownership.
     const Tick done = bus_.lockedTransfer(ctx, now);
     const Cycles dram_lat = dram_.access(addr);
-    out.latency = static_cast<Cycles>(done - now) + dram_lat;
+    out.latency += static_cast<Cycles>(done - now) + dram_lat;
     return out;
 }
 

@@ -18,6 +18,7 @@
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 #include "mem/memory_bus.hh"
+#include "mem/tlb.hh"
 #include "util/types.hh"
 
 namespace cchunter
@@ -34,6 +35,10 @@ struct MemSystemParams
     Cycles l2HitCycles = 12;
     BusParams bus;
     DramParams dram;
+
+    /** Per-core TLB shared by the core's SMT contexts; disabled by
+     *  default so existing scenarios see no timing change. */
+    TlbParams tlb;
 };
 
 /** Outcome of one memory access through the hierarchy. */
@@ -42,6 +47,7 @@ struct MemAccessOutcome
     Cycles latency = 0;
     bool l1Hit = false;
     bool l2Hit = false;
+    Cycles tlbWalkCycles = 0; //!< walk latency included in `latency`
 
     bool
     missedAll() const
@@ -80,6 +86,12 @@ class MemSystem
     MemoryBus& bus() { return bus_; }
     Dram& dram() { return dram_; }
 
+    /** True when per-core TLBs are modelled. */
+    bool tlbEnabled() const { return !tlbs_.empty(); }
+
+    /** The TLB shared by a core's contexts (TLBs must be enabled). */
+    Tlb& tlb(unsigned core);
+
     unsigned numCores() const { return params_.numCores; }
     unsigned numContexts() const
     {
@@ -97,8 +109,13 @@ class MemSystem
 
   private:
     MemSystemParams params_;
+    /** Translate `addr` and charge walk cycles into `out`. */
+    void translate(MemAccessOutcome& out, unsigned core, ContextId ctx,
+                   Addr addr, Tick now);
+
     std::vector<std::unique_ptr<Cache>> l1s_; //!< one per context
     std::vector<std::unique_ptr<Cache>> l2s_; //!< one per core
+    std::vector<std::unique_ptr<Tlb>> tlbs_;  //!< per core, if enabled
     MemoryBus bus_;
     Dram dram_;
 };

@@ -26,17 +26,9 @@ mitigationName(MitigationKind kind)
 MitigationKind
 recommendMitigation(MonitorTarget target)
 {
-    switch (target) {
-      case MonitorTarget::MemoryBus:
-        return MitigationKind::RateLimitBusLocks;
-      case MonitorTarget::IntegerDivider:
-      case MonitorTarget::IntegerMultiplier:
-      case MonitorTarget::L2Cache:
-        return MitigationKind::UnshareCore;
-      case MonitorTarget::None:
-        return MitigationKind::None;
-    }
-    return MitigationKind::None;
+    const UnitDescriptor* unit =
+        UnitRegistry::instance().byId(target);
+    return unit ? unit->mitigation : MitigationKind::None;
 }
 
 std::string

@@ -25,22 +25,15 @@
 
 #include "auditor/daemon.hh"
 #include "sim/machine.hh"
+#include "units/unit_registry.hh"
 
 namespace cchunter
 {
 
-/** Available responses. */
-enum class MitigationKind : std::uint8_t
-{
-    None,
-    UnshareCore,      //!< migrate one suspect to another core
-    RateLimitBusLocks, //!< throttle atomic-unaligned transactions
-};
-
 /** Human-readable name of a response. */
 std::string mitigationName(MitigationKind kind);
 
-/** Policy: map the flagged monitor target to a response. */
+/** Policy: the flagged unit's registry-recommended response. */
 MitigationKind recommendMitigation(MonitorTarget target);
 
 /** The outcome of applying one mitigation. */

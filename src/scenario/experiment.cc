@@ -9,9 +9,11 @@
 #include "channels/bus_channel.hh"
 #include "channels/cache_channel.hh"
 #include "channels/divider_channel.hh"
+#include "channels/tlb_channel.hh"
 #include "detect/autocorrelation.hh"
 #include "faults/fault_injector.hh"
 #include "sim/machine.hh"
+#include "units/unit_registry.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 #include "workloads/suites.hh"
@@ -32,6 +34,35 @@ resolveMessage(const ScenarioOptions& opts)
         return opts.message;
     Rng rng(opts.seed ^ 0xabcdef);
     return Message::random64(rng);
+}
+
+/** The bits actually transmitted: the payload, protocol-coded when the
+ *  protocol adversary is enabled. */
+Message
+resolveWire(const ScenarioOptions& opts, const Message& payload)
+{
+    return encodeProtocol(payload, opts.protocol);
+}
+
+/** Translate scenario options into the unit-agnostic hook context. */
+UnitRunContext
+makeUnitContext(const ScenarioOptions& opts, Message wire,
+                ChannelTiming timing)
+{
+    UnitRunContext ctx;
+    ctx.message = std::move(wire);
+    ctx.timing = timing;
+    ctx.seed = opts.seed;
+    ctx.channelSets = opts.channelSets;
+    ctx.linesPerSet = opts.linesPerSet;
+    ctx.cacheNoiseEvery = opts.cacheNoiseEvery;
+    ctx.cacheDormantNoiseGap = opts.cacheDormantNoiseGap;
+    ctx.roundsPerBit = opts.effectiveCacheRounds();
+    ctx.tlbChannelSets = opts.tlbChannelSets;
+    ctx.busEvasionPeriod = opts.busEvasionPeriod;
+    ctx.idealTracker = opts.idealTracker;
+    ctx.trackerParams = opts.trackerParams;
+    return ctx;
 }
 
 ChannelTiming
@@ -137,6 +168,7 @@ scenarioConfig(const ScenarioOptions& opts)
             static_cast<std::int64_t>(opts.linesPerSet));
     cfg.set("cache_rounds",
             static_cast<std::int64_t>(opts.effectiveCacheRounds()));
+    cfg.set("tlb_sets", static_cast<std::int64_t>(opts.tlbChannelSets));
     cfg.set("ideal_tracker", opts.idealTracker);
     // The decision cut-offs are part of the reproducibility record:
     // a ROC sweep's runs differ in nothing else.
@@ -148,6 +180,16 @@ scenarioConfig(const ScenarioOptions& opts)
     // runs' config dumps byte-identical to pre-fault-injection output.
     if (opts.faults.enabled())
         opts.faults.toConfig(cfg);
+    // Same contract for the protocol adversary's keys.
+    if (opts.protocol.enabled) {
+        cfg.set("protocol.enabled", true);
+        cfg.set("protocol.frame_nibbles",
+                static_cast<std::int64_t>(opts.protocol.frameNibbles));
+        cfg.set("protocol.repeats",
+                static_cast<std::int64_t>(opts.protocol.repeats));
+        cfg.set("protocol.ack_gap_bits",
+                static_cast<std::int64_t>(opts.protocol.ackGapBits));
+    }
     return cfg;
 }
 
@@ -175,154 +217,69 @@ slotBitErrorRate(
            static_cast<double>(decoded.size());
 }
 
-const char*
-auditedWorkloadName(AuditedWorkload workload)
-{
-    switch (workload) {
-    case AuditedWorkload::Bus:
-        return "bus";
-    case AuditedWorkload::Divider:
-        return "divider";
-    case AuditedWorkload::Multiplier:
-        return "multiplier";
-    case AuditedWorkload::Cache:
-        return "cache";
-    case AuditedWorkload::BenignPair:
-        return "benign";
-    }
-    return "?";
-}
-
-AuditedWorkload
-auditedWorkloadFromName(const std::string& name)
-{
-    for (const AuditedWorkload w :
-         {AuditedWorkload::Bus, AuditedWorkload::Divider,
-          AuditedWorkload::Multiplier, AuditedWorkload::Cache,
-          AuditedWorkload::BenignPair}) {
-        if (name == auditedWorkloadName(w))
-            return w;
-    }
-    fatal("unknown audited workload: ", name);
-}
-
 OnlineAuditResult
 runOnlineAudit(const OnlineAuditOptions& options)
 {
     const ScenarioOptions& opts = options.scenario;
-    const Message message = resolveMessage(opts);
+    const UnitRegistry& registry = UnitRegistry::instance();
+    const Message payload = resolveMessage(opts);
     const ChannelTiming timing = makeTiming(opts);
+    const UnitRunContext ctx =
+        makeUnitContext(opts, resolveWire(opts, payload), timing);
+
+    // A channel workload maps to exactly one registered unit; the
+    // benign pair maps to none and instead audits the pairing's two
+    // unit slots.
+    const UnitDescriptor* unit = registry.byWorkload(options.workload);
+    if (!unit && options.workload != AuditedWorkload::BenignPair)
+        fatal("runOnlineAudit: workload ",
+              static_cast<int>(options.workload),
+              " has no registered unit");
+    const BenignPairing* pairing =
+        unit ? nullptr : &benignPairing(options.benignUnits);
 
     MachineParams mp = makeMachine(opts);
-    if (options.workload == AuditedWorkload::Cache) {
-        // Same direct-mapped L2 substitution as runCacheScenario.
-        mp.mem.l2 = CacheGeometry{256 * 1024, 1, 64};
+    if (unit) {
+        if (unit->configureMachine)
+            unit->configureMachine(mp, ctx);
+    } else {
+        // Benign audits of hardware that is off by default (the TLB)
+        // still need that hardware present.
+        for (const MonitorTarget target : pairing->slots) {
+            const UnitDescriptor& d = registry.require(target);
+            if (d.configureBenignMachine)
+                d.configureBenignMachine(mp, ctx);
+        }
     }
     Machine machine(mp);
 
-    CacheChannelLayout layout;
-    switch (options.workload) {
-    case AuditedWorkload::Bus: {
-        BusTrojanParams tp;
-        tp.timing = timing;
-        tp.message = message;
-        tp.evasionLockPeriod = opts.busEvasionPeriod;
-        machine.addProcess(std::make_unique<BusTrojan>(tp), 0);
-        BusSpyParams sp;
-        sp.timing = timing;
-        machine.addProcess(std::make_unique<BusSpy>(sp), 2);
-        break;
-    }
-    case AuditedWorkload::Divider:
-    case AuditedWorkload::Multiplier: {
-        const bool mul =
-            options.workload == AuditedWorkload::Multiplier;
-        DividerTrojanParams tp;
-        tp.timing = timing;
-        tp.message = message;
-        tp.useMultiplier = mul;
-        machine.addProcess(std::make_unique<DividerTrojan>(tp), 0);
-        DividerSpyParams sp;
-        sp.timing = timing;
-        sp.useMultiplier = mul;
-        if (mul)
-            sp.decodeThreshold = 90;
-        machine.addProcess(std::make_unique<DividerSpy>(sp), 1);
-        break;
-    }
-    case AuditedWorkload::Cache: {
-        layout.l2NumSets = mp.mem.l2.numSets();
-        layout.lineSize = mp.mem.l2.lineSize;
-        layout.channelSets = opts.channelSets;
-        layout.linesPerSet = opts.linesPerSet;
-        const std::size_t rounds = opts.effectiveCacheRounds();
-        CacheTrojanParams tp;
-        tp.timing = timing;
-        tp.message = message;
-        tp.layout = layout;
-        tp.roundsPerBit = rounds;
-        machine.addProcess(std::make_unique<CacheTrojan>(tp), 0);
-        CacheSpyParams sp;
-        sp.timing = timing;
-        sp.layout = layout;
-        sp.noiseEvery = opts.cacheNoiseEvery;
-        sp.dormantNoiseGap = opts.cacheDormantNoiseGap;
-        sp.roundsPerBit = rounds;
-        sp.seed = opts.seed + 7;
-        machine.addProcess(std::make_unique<CacheSpy>(sp), 1);
-        break;
-    }
-    case AuditedWorkload::BenignPair:
+    if (unit) {
+        unit->buildWorkload(machine, ctx);
+    } else {
         machine.addProcess(
             makeBenchmark(options.benignA, opts.seed + 1), 0);
         machine.addProcess(
             makeBenchmark(options.benignB, opts.seed + 2), 1);
-        break;
     }
     addNoise(machine, opts);
 
     CCAuditor auditor(machine);
     FaultHarness faults(opts, auditor);
     const AuditKey key = requestAuditKey(true);
-    switch (options.workload) {
-    case AuditedWorkload::Bus:
-        auditor.monitorBus(key, 0);
-        break;
-    case AuditedWorkload::Divider:
-        auditor.monitorDivider(key, 0, /*core=*/0);
-        break;
-    case AuditedWorkload::Multiplier:
-        auditor.monitorMultiplier(key, 0, /*core=*/0);
-        break;
-    case AuditedWorkload::Cache:
-        if (opts.idealTracker)
-            auditor.monitorCacheIdeal(key, 0, /*core=*/0);
-        else
-            auditor.monitorCache(key, 0, /*core=*/0,
-                                 opts.trackerParams);
-        break;
-    case AuditedWorkload::BenignPair:
+    if (unit) {
+        unit->program(auditor, key, 0, ctx);
+    } else {
         // No channel to pin down: watch two of the units the pair
         // actually shares (the two-slot auditor limit).  The default
         // covers both contention units; the other pairings let benign
         // runs feed the oscillation path and the SMT multiplier, so
-        // every unit kind accumulates negatives.
-        switch (options.benignUnits) {
-        case BenignAuditUnits::BusDivider:
-            auditor.monitorBus(key, 0);
-            auditor.monitorDivider(key, 1, /*core=*/0);
-            break;
-        case BenignAuditUnits::CacheBus:
-            auditor.monitorCache(key, 0, /*core=*/0,
-                                 opts.trackerParams);
-            auditor.monitorBus(key, 1);
-            break;
-        case BenignAuditUnits::MultiplierBus:
-            auditor.monitorMultiplier(key, 0, /*core=*/0);
-            auditor.monitorBus(key, 1);
-            break;
-        }
-        break;
+        // every unit kind accumulates negatives.  Benign runs always
+        // use the deployable tracker, never the oracle.
+        UnitRunContext benign_ctx = ctx;
+        benign_ctx.idealTracker = false;
+        for (unsigned slot = 0; slot < pairing->slots.size(); ++slot)
+            registry.require(pairing->slots[slot])
+                .program(auditor, key, slot, benign_ctx);
     }
     AuditDaemon daemon(machine, auditor);
     faults.attach(daemon);
@@ -348,7 +305,8 @@ runOnlineAudit(const OnlineAuditOptions& options)
         UnitOutcome outcome;
         outcome.slot = s;
         outcome.unit = auditor.slotTarget(s);
-        if (outcome.unit == MonitorTarget::L2Cache) {
+        if (registry.require(outcome.unit).policy ==
+            AlarmKind::Oscillation) {
             outcome.kind = AlarmKind::Oscillation;
             outcome.confidence = daemon.oscillationConfidence(s);
             if (options.deferOscillationVerdicts) {
@@ -668,6 +626,89 @@ runCacheScenario(const ScenarioOptions& opts)
         result.trackedConflicts = tracker->conflictMisses();
     if (auto* oracle = auditor.idealTracker(0))
         result.trackedConflicts = oracle->conflictMisses();
+    result.pipeline = daemon.pipelineStats();
+    result.degraded = daemon.degradedStats();
+    result.confidence = daemon.oscillationConfidence(0);
+    return result;
+}
+
+TlbScenarioResult
+runTlbScenario(const ScenarioOptions& opts)
+{
+    TlbScenarioResult result;
+    result.sent = resolveMessage(opts);
+    result.wire = resolveWire(opts, result.sent);
+    const ChannelTiming timing = makeTiming(opts);
+
+    MachineParams mp = makeMachine(opts);
+    // The TLB is off by default (keeping non-TLB runs bit-identical to
+    // the pre-TLB simulator); this scenario is what it exists for.
+    mp.mem.tlb.enabled = true;
+    Machine machine(mp);
+
+    const Tlb& tlb = machine.mem().tlb(0);
+    TlbChannelLayout layout;
+    layout.tlbNumSets = tlb.numSets();
+    layout.tlbWays = tlb.params().associativity;
+    layout.pageBytes = tlb.params().pageBytes;
+    layout.channelSets = opts.tlbChannelSets;
+
+    const std::size_t rounds = opts.effectiveCacheRounds();
+
+    TlbTrojanParams tp;
+    tp.timing = timing;
+    tp.message = result.wire;
+    tp.layout = layout;
+    tp.roundsPerBit = rounds;
+    machine.addProcess(std::make_unique<TlbTrojan>(tp), 0);
+
+    TlbSpyParams sp;
+    sp.timing = timing;
+    sp.layout = layout;
+    sp.roundsPerBit = rounds;
+    sp.seed = opts.seed + 7;
+    auto spy_owned = std::make_unique<TlbSpy>(sp);
+    TlbSpy* spy = spy_owned.get();
+    machine.addProcess(std::move(spy_owned), 1); // same core, HT 1
+
+    addNoise(machine, opts);
+
+    CCAuditor auditor(machine);
+    FaultHarness faults(opts, auditor);
+    const AuditKey key = requestAuditKey(true);
+    auditor.monitorTlb(key, 0, /*core=*/0);
+    AuditDaemon daemon(machine, auditor);
+    faults.attach(daemon);
+
+    machine.runQuanta(opts.quanta);
+
+    result.records = daemon.conflictRecords(0);
+    result.labelSeries = daemon.labelSeries(0);
+    result.verdict =
+        daemon.analyzeOscillation(0, opts.thresholds.apply());
+    result.spyRatios = spy->ratios();
+    result.decoded = spy->decoded();
+    result.bitErrorRate =
+        slotBitErrorRate(result.wire, spy->decodedSlots());
+    result.payloadBitErrorRate = result.bitErrorRate;
+    if (opts.protocol.enabled) {
+        // Receiver's link layer: the decoded slots, in order, are its
+        // view of one wire pass (the trojan repeats cyclically, so
+        // slots past the wire length are retransmissions and the frame
+        // repeats inside the wire already vote them down).
+        std::vector<bool> received;
+        const std::size_t limit = std::min(result.decoded.size(),
+                                           result.wire.size());
+        received.reserve(limit);
+        for (std::size_t i = 0; i < limit; ++i)
+            received.push_back(result.decoded.bit(i));
+        const Message recovered = decodeProtocol(
+            Message::fromBits(std::move(received)), opts.protocol,
+            result.sent.size(), &result.protocolStats);
+        result.payloadBitErrorRate =
+            result.sent.bitErrorRate(recovered);
+    }
+    result.tlbConflicts = machine.mem().tlb(0).conflicts();
     result.pipeline = daemon.pipelineStats();
     result.degraded = daemon.degradedStats();
     result.confidence = daemon.oscillationConfidence(0);

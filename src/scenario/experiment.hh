@@ -15,9 +15,11 @@
 
 #include "auditor/daemon.hh"
 #include "channels/message.hh"
+#include "channels/protocol.hh"
 #include "detect/detector.hh"
 #include "detect/event_train.hh"
 #include "faults/fault_plan.hh"
+#include "units/unit_registry.hh"
 #include "util/config.hh"
 #include "util/histogram.hh"
 #include "util/types.hh"
@@ -56,6 +58,18 @@ struct ScenarioOptions
 
     /** Rounds actually used for a given signal window. */
     std::size_t effectiveCacheRounds() const;
+
+    // TLB-channel specific.
+    std::size_t tlbChannelSets = 32; //!< TLB sets across G1 and G0
+
+    /**
+     * Link-layer protocol adversary (channels/protocol.hh): when
+     * enabled, the transmitted wire message is the protocol-coded
+     * payload — preamble synchronization, frame retransmission and
+     * Hamming(7,4) ECC — for *any* channel workload.  Disabled by
+     * default, leaving runs bit-identical to raw-payload output.
+     */
+    ProtocolParams protocol;
 
     /** Audit the L2 with the ideal LRU-stack tracker instead of the
      *  practical generation/bloom scheme (ablation studies). */
@@ -179,6 +193,31 @@ struct CacheScenarioResult
     double confidence = 1.0;
 };
 
+/** Result of a shared-TLB channel scenario. */
+struct TlbScenarioResult
+{
+    std::vector<ConflictRecord> records;
+    std::vector<double> labelSeries;
+    OscillationVerdict verdict;
+    std::vector<double> spyRatios;
+    Message sent;    //!< the payload
+    Message wire;    //!< transmitted bits (== sent without protocol)
+    Message decoded; //!< spy's wire-level decode
+    /** Raw wire-slot BER (before any protocol decoding). */
+    double bitErrorRate = 1.0;
+    /** Payload BER after protocol decoding (== bitErrorRate when the
+     *  protocol is disabled). */
+    double payloadBitErrorRate = 1.0;
+    ProtocolDecodeStats protocolStats;
+    std::uint64_t tlbConflicts = 0;
+    /** Observation-pipeline health counters from the daemon. */
+    PipelineStats pipeline;
+    /** Degraded-operation ledger from the daemon. */
+    DegradedStats degraded;
+    /** Weakest alarm confidence observed (1.0 on a clean run). */
+    double confidence = 1.0;
+};
+
 /** Result of a benign pair run (false-alarm study). */
 struct BenignScenarioResult
 {
@@ -197,39 +236,9 @@ struct BenignScenarioResult
     double confidence = 1.0;
 };
 
-/**
- * Workload a live-audited machine runs (the per-tenant unit of the
- * fleet subsystem, also usable standalone).  The channel workloads
- * place a trojan/spy pair on the named resource; BenignPair runs two
- * benchmark proxies with no channel at all (false-alarm baseline).
- */
-enum class AuditedWorkload : std::uint8_t
-{
-    Bus,
-    Divider,
-    Multiplier,
-    Cache,
-    BenignPair,
-};
-
-/** Short lower-case name of an audited workload. */
-const char* auditedWorkloadName(AuditedWorkload workload);
-
-/** Parse a workload name (fatal on an unknown one). */
-AuditedWorkload auditedWorkloadFromName(const std::string& name);
-
-/**
- * Which two hardware units a BenignPair run audits (the two-slot
- * auditor limit).  Channel workloads always audit the attacked unit;
- * benign pairs pick a pairing so every unit kind can accumulate
- * negatives for the detection-quality corpus.
- */
-enum class BenignAuditUnits : std::uint8_t
-{
-    BusDivider,    //!< default: both contention units of the pair
-    CacheBus,      //!< shared L2 + bus: feeds the oscillation path
-    MultiplierBus, //!< SMT multiplier + bus
-};
+// AuditedWorkload, BenignAuditUnits and the workload name maps now
+// live with the unit registry (units/unit_registry.hh): the scenario
+// layer looks descriptors up instead of switching on the enum.
 
 /** Options of one live-audited (online-analysis) run. */
 struct OnlineAuditOptions
@@ -360,6 +369,14 @@ DividerScenarioResult runMultiplierScenario(
 
 /** Run the shared-L2 covert channel under audit. */
 CacheScenarioResult runCacheScenario(const ScenarioOptions& options);
+
+/**
+ * Run the shared-TLB covert channel under audit (SMT siblings priming
+ * and probing the per-core TLB's sets).  With options.protocol.enabled
+ * the trojan transmits the protocol-coded payload and the result
+ * carries both wire-level and decoded-payload error rates.
+ */
+TlbScenarioResult runTlbScenario(const ScenarioOptions& options);
 
 /**
  * Run a benign benchmark pair as hyperthreads on core 0 and audit all

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "eval/labelled_corpus.hh"
+#include "units/unit_registry.hh"
 
 using namespace cchunter;
 
@@ -53,7 +54,7 @@ TEST(LabelledCorpusTest, CovertFlagFollowsCategory)
     }
 }
 
-TEST(LabelledCorpusTest, CoversAllFourUnitsAndAllCategories)
+TEST(LabelledCorpusTest, CoversAllRegisteredUnitsAndAllCategories)
 {
     std::set<CorpusCategory> categories;
     std::set<AuditedWorkload> positives;
@@ -66,13 +67,13 @@ TEST(LabelledCorpusTest, CoversAllFourUnitsAndAllCategories)
             negatives.insert(entry.audit.benignUnits);
     }
     EXPECT_EQ(categories.size(), 4u);
-    EXPECT_TRUE(positives.count(AuditedWorkload::Bus));
-    EXPECT_TRUE(positives.count(AuditedWorkload::Divider));
-    EXPECT_TRUE(positives.count(AuditedWorkload::Multiplier));
-    EXPECT_TRUE(positives.count(AuditedWorkload::Cache));
-    // Negatives spread over every audit pairing so all four unit
+    // Every registered unit has at least one clean positive.
+    for (const UnitDescriptor& unit :
+         UnitRegistry::instance().descriptors())
+        EXPECT_TRUE(positives.count(unit.workload)) << unit.name;
+    // Negatives spread over every audit pairing so all five unit
     // kinds accumulate true negatives.
-    EXPECT_EQ(negatives.size(), 3u);
+    EXPECT_EQ(negatives.size(), benignPairings().size());
 }
 
 TEST(LabelledCorpusTest, AxesShapeTheCorpus)
@@ -86,10 +87,17 @@ TEST(LabelledCorpusTest, AxesShapeTheCorpus)
     for (const LabelledScenario& entry : corpus) {
         EXPECT_NE(entry.category, CorpusCategory::DegradedChannel);
         EXPECT_NE(entry.category, CorpusCategory::AdversarialBenign);
-        if (entry.audit.workload == AuditedWorkload::Cache)
-            EXPECT_EQ(entry.audit.scenario.bandwidthBps, 800.0);
-        else if (entry.covert)
-            EXPECT_EQ(entry.audit.scenario.bandwidthBps, 5000.0);
+        if (!entry.covert)
+            continue;
+        // Oscillation-policy units (cache, TLB) take the cache
+        // bandwidth axis; contention units take the other.
+        const UnitDescriptor* unit =
+            UnitRegistry::instance().byWorkload(entry.audit.workload);
+        ASSERT_NE(unit, nullptr) << entry.name;
+        EXPECT_EQ(entry.audit.scenario.bandwidthBps,
+                  unit->policy == AlarmKind::Oscillation ? 800.0
+                                                         : 5000.0)
+            << entry.name;
     }
     // Shrinking both bandwidth axes to one point shrinks the corpus.
     EXPECT_LT(corpus.size(), buildLabelledCorpus().size());

@@ -82,7 +82,7 @@ TEST(QualityGateTest, AucRegressionBeyondEpsilonFails)
     QualityReport report = perfectReport();
     report.units[0].auc = 0.95;
     QualityGateParams params;
-    params.baselineAuc = {{MonitorTarget::MemoryBus, 1.0}};
+    params.baselineAuc = {{"bus", 1.0}};
     params.aucEpsilon = 0.02;
     const QualityGateResult verdict =
         evaluateQualityGate(report, params);
@@ -96,7 +96,7 @@ TEST(QualityGateTest, AucRegressionBeyondEpsilonFails)
 TEST(QualityGateTest, MissingBaselinedUnitFails)
 {
     QualityGateParams params;
-    params.baselineAuc = {{MonitorTarget::L2Cache, 1.0}};
+    params.baselineAuc = {{"cache", 1.0}};
     const QualityGateResult verdict =
         evaluateQualityGate(perfectReport(), params);
     EXPECT_FALSE(verdict.pass);
@@ -116,7 +116,8 @@ TEST(QualityGateTest, EndToEndCleanCorpusPassesTheGate)
         scoreCorpus(buildLabelledCorpus(tinyCorpus()));
     QualityGateParams params;
     for (const UnitQuality& unit : report.units)
-        params.baselineAuc.emplace_back(unit.unit, 1.0);
+        params.baselineAuc.emplace_back(monitorTargetName(unit.unit),
+                                        1.0);
     const QualityGateResult verdict =
         evaluateQualityGate(report, params);
     EXPECT_TRUE(verdict.pass) << [&] {
