@@ -1,5 +1,6 @@
 #include "faults/fault_injector.hh"
 
+#include <algorithm>
 #include <sstream>
 
 namespace cchunter
@@ -17,6 +18,9 @@ constexpr std::uint64_t batchSalt = 0x62617463'686d7574ull;
 constexpr std::uint64_t contextSalt = 0x63747864'63727074ull;
 constexpr std::uint64_t aliasSalt = 0x626c6f6f'6d616c73ull;
 constexpr std::uint64_t corruptSalt = 0x62617463'68636f72ull;
+constexpr std::uint64_t snapFlipSalt = 0x736e6170'666c6970ull;
+constexpr std::uint64_t snapTruncSalt = 0x736e6170'74727563ull;
+constexpr std::uint64_t snapMagicSalt = 0x736e6170'6d616763ull;
 
 /** The paper's 3-bit hardware context-ID space. */
 constexpr std::uint64_t contextIdSpace = 8;
@@ -28,7 +32,8 @@ FaultInjectionStats::total() const
 {
     return droppedQuanta + duplicatedQuanta + truncatedBatches +
            reorderedBatches + corruptedContexts + bloomAliases +
-           corruptedBatches;
+           corruptedBatches + snapshotBitFlips + snapshotTruncations +
+           snapshotMagicClobbers;
 }
 
 std::string
@@ -40,7 +45,11 @@ FaultInjectionStats::summary() const
        << " batches (" << truncatedEvents << " events), reordered "
        << reorderedBatches << ", corrupted " << corruptedContexts
        << " contexts, " << bloomAliases << " bloom aliases, "
-       << corruptedBatches << " corrupted batches";
+       << corruptedBatches << " corrupted batches, "
+       << snapshotBitFlips << " snapshot bit flips, "
+       << snapshotTruncations << " snapshot truncations ("
+       << snapshotBytesTorn << " bytes), " << snapshotMagicClobbers
+       << " magic clobbers";
     return os.str();
 }
 
@@ -51,7 +60,10 @@ FaultInjector::FaultInjector(FaultPlan plan)
       batchRng_(plan.seed ^ batchSalt),
       contextRng_(plan.seed ^ contextSalt),
       aliasRng_(plan.seed ^ aliasSalt),
-      corruptRng_(plan.seed ^ corruptSalt)
+      corruptRng_(plan.seed ^ corruptSalt),
+      snapFlipRng_(plan.seed ^ snapFlipSalt),
+      snapTruncRng_(plan.seed ^ snapTruncSalt),
+      snapMagicRng_(plan.seed ^ snapMagicSalt)
 {
     plan_.validate();
 }
@@ -153,6 +165,55 @@ void
 FaultInjector::recordBatchCorruption()
 {
     ++stats_.corruptedBatches;
+}
+
+bool
+FaultInjector::snapshotPathActive() const
+{
+    return plan_.snapshotBitFlipRate > 0.0 ||
+           plan_.snapshotTruncateRate > 0.0 ||
+           plan_.snapshotMagicClobberRate > 0.0;
+}
+
+SnapshotMutation
+FaultInjector::mutateSnapshotBytes(std::vector<std::uint8_t>& bytes)
+{
+    SnapshotMutation m;
+    if (bytes.empty())
+        return m;
+    if (plan_.snapshotBitFlipRate > 0.0 &&
+        snapFlipRng_.nextBool(plan_.snapshotBitFlipRate)) {
+        const std::size_t offset = static_cast<std::size_t>(
+            snapFlipRng_.nextBelow(bytes.size()));
+        const unsigned bit =
+            static_cast<unsigned>(snapFlipRng_.nextBelow(8));
+        bytes[offset] ^= static_cast<std::uint8_t>(1u << bit);
+        ++m.bitsFlipped;
+        ++stats_.snapshotBitFlips;
+    }
+    if (plan_.snapshotTruncateRate > 0.0 &&
+        snapTruncRng_.nextBool(plan_.snapshotTruncateRate)) {
+        // A torn write: only a prefix of the image made it to disk.
+        const std::size_t keep = static_cast<std::size_t>(
+            snapTruncRng_.nextBelow(bytes.size()));
+        m.truncated = true;
+        m.bytesTorn = bytes.size() - keep;
+        bytes.resize(keep);
+        ++stats_.snapshotTruncations;
+        stats_.snapshotBytesTorn += m.bytesTorn;
+    }
+    if (!bytes.empty() && plan_.snapshotMagicClobberRate > 0.0 &&
+        snapMagicRng_.nextBool(plan_.snapshotMagicClobberRate)) {
+        // Scribble over the header so the file no longer even claims
+        // to be a snapshot.
+        const std::size_t span = std::min<std::size_t>(8, bytes.size());
+        for (std::size_t i = 0; i < span; ++i)
+            bytes[i] = static_cast<std::uint8_t>(
+                snapMagicRng_.nextBelow(256));
+        m.magicClobbered = true;
+        ++stats_.snapshotMagicClobbers;
+    }
+    return m;
 }
 
 } // namespace cchunter

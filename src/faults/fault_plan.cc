@@ -13,7 +13,9 @@ FaultPlan::enabled() const
     return dropQuantumRate > 0.0 || duplicateQuantumRate > 0.0 ||
            truncateBatchRate > 0.0 || reorderBatchRate > 0.0 ||
            corruptContextRate > 0.0 || bloomAliasRate > 0.0 ||
-           corruptBatchRate > 0.0 || saturatePaperWidths;
+           corruptBatchRate > 0.0 || saturatePaperWidths ||
+           snapshotBitFlipRate > 0.0 || snapshotTruncateRate > 0.0 ||
+           snapshotMagicClobberRate > 0.0;
 }
 
 void
@@ -31,6 +33,9 @@ FaultPlan::validate() const
     check("corrupt_context", corruptContextRate);
     check("bloom_alias", bloomAliasRate);
     check("corrupt_batch", corruptBatchRate);
+    check("snap_bit_flip", snapshotBitFlipRate);
+    check("snap_truncate", snapshotTruncateRate);
+    check("snap_clobber_magic", snapshotMagicClobberRate);
 }
 
 FaultPlan
@@ -55,6 +60,12 @@ FaultPlan::fromConfig(const Config& cfg)
         cfg.getDouble("faults.corrupt_batch", plan.corruptBatchRate);
     plan.saturatePaperWidths =
         cfg.getBool("faults.saturate", plan.saturatePaperWidths);
+    plan.snapshotBitFlipRate =
+        cfg.getDouble("faults.snap_bit_flip", plan.snapshotBitFlipRate);
+    plan.snapshotTruncateRate = cfg.getDouble(
+        "faults.snap_truncate", plan.snapshotTruncateRate);
+    plan.snapshotMagicClobberRate = cfg.getDouble(
+        "faults.snap_clobber_magic", plan.snapshotMagicClobberRate);
     plan.validate();
     return plan;
 }
@@ -71,6 +82,9 @@ FaultPlan::toConfig(Config& cfg) const
     cfg.set("faults.bloom_alias", bloomAliasRate);
     cfg.set("faults.corrupt_batch", corruptBatchRate);
     cfg.set("faults.saturate", saturatePaperWidths);
+    cfg.set("faults.snap_bit_flip", snapshotBitFlipRate);
+    cfg.set("faults.snap_truncate", snapshotTruncateRate);
+    cfg.set("faults.snap_clobber_magic", snapshotMagicClobberRate);
 }
 
 std::string
@@ -91,6 +105,9 @@ FaultPlan::summary() const
     rate("corrupt_context", corruptContextRate);
     rate("bloom_alias", bloomAliasRate);
     rate("corrupt_batch", corruptBatchRate);
+    rate("snap_bit_flip", snapshotBitFlipRate);
+    rate("snap_truncate", snapshotTruncateRate);
+    rate("snap_clobber_magic", snapshotMagicClobberRate);
     if (saturatePaperWidths)
         os << " saturate=16bit";
     return os.str();

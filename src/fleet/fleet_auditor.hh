@@ -24,10 +24,64 @@
 #include "fleet/alarm_aggregator.hh"
 #include "fleet/incident_store.hh"
 #include "fleet/tenant_registry.hh"
+#include "persist/recovery.hh"
 #include "util/bounded_queue.hh"
 
 namespace cchunter
 {
+
+/**
+ * Shard-worker supervision.  The watchdog thread polls per-shard
+ * heartbeats; a shard whose worker died (or stopped beating) with
+ * unclaimed tenants is re-dispatched after an exponential backoff, at
+ * most maxRestartsPerShard times.  Exactly-once auditing is guaranteed
+ * by per-tenant claim flags, so a redispatch (or even a spurious one)
+ * can never double-audit: it only picks up what the dead worker left.
+ */
+struct WatchdogParams
+{
+    bool enabled = false;
+
+    /** A beating worker is declared stalled after this much silence. */
+    double stallTimeoutMs = 500.0;
+
+    /** Watchdog wake-up cadence (BoundedQueue::popFor, so shutdown
+     *  interrupts the wait immediately). */
+    double pollIntervalMs = 20.0;
+
+    /** Re-dispatch budget per shard; exhausted means the shard's
+     *  remaining tenants are abandoned (and counted). */
+    std::size_t maxRestartsPerShard = 2;
+
+    /** First backoff; doubles per restart of the same shard. */
+    double backoffBaseMs = 2.0;
+
+    /** simulateStallShard value meaning "no stall simulation". */
+    static constexpr std::size_t kNoStall =
+        static_cast<std::size_t>(-1);
+
+    /**
+     * Test hook: the first worker on this shard dies (returns without
+     * claiming further tenants) after auditing
+     * simulateStallAfterTenants of its plan.  Redispatched workers are
+     * immune, so the watchdog path is exercised deterministically.
+     * Stall simulation disables batchedFft for the run — a dead
+     * worker's staged batches would be lost — which does not change
+     * the incident stream.
+     */
+    std::size_t simulateStallShard = kNoStall;
+    std::size_t simulateStallAfterTenants = 0;
+};
+
+/** What the watchdog saw and did during one run. */
+struct WatchdogStats
+{
+    std::uint64_t polls = 0;            //!< watchdog wake-ups
+    std::uint64_t stallsDetected = 0;   //!< dead/silent shard workers
+    std::uint64_t restartsDispatched = 0; //!< redispatches (all shards)
+    std::uint64_t tenantsRedispatched = 0; //!< tenants picked back up
+    std::uint64_t abandonedTenants = 0; //!< left after budget ran out
+};
 
 /** Fleet-run knobs. */
 struct FleetAuditParams
@@ -72,6 +126,29 @@ struct FleetAuditParams
 
     AggregatorParams aggregator;
     IncidentRateLimit rateLimit;
+
+    /**
+     * Crash-safe persistence (persist/recovery.hh): with a directory
+     * configured, every collected batch is journaled before it can
+     * matter, the journal is compacted into an atomic snapshot every
+     * checkpointIntervalBatches, and `resume` replays whatever
+     * survived a previous kill — the resumed run's incident stream is
+     * byte-identical to an uninterrupted one.  Config keys:
+     * `persist.dir`, `persist.checkpoint_interval`, `persist.resume`,
+     * `persist.final_snapshot`.
+     */
+    persist::PersistPolicy persist;
+
+    /** Shard-worker supervision (off by default). */
+    WatchdogParams watchdog;
+
+    /**
+     * Test hook simulating a kill: the run "dies" immediately after
+     * the Nth batch of this run has been durably persisted — no
+     * finalize, no final snapshot, report.crashed set.  0 disables;
+     * meaningful only with persistence enabled (ignored otherwise).
+     */
+    std::uint64_t simulateCrashAfterBatches = 0;
 };
 
 /** One shard's hand-off accounting. */
@@ -85,6 +162,8 @@ struct ShardStats
     std::size_t queueHighWater = 0;  //!< deepest hand-off backlog
     std::uint64_t offlineDetected = 0; //!< end-of-run unit detections
     std::uint64_t batchedSeries = 0; //!< series through the batched FFT
+    std::uint64_t restarts = 0;      //!< watchdog redispatches
+    std::uint64_t recoveredTenants = 0; //!< tenants restored, not run
 };
 
 /** Everything one fleet run produced. */
@@ -110,6 +189,17 @@ struct FleetAuditReport
 
     /** Degradation ledger accumulated across every tenant daemon. */
     DegradedStats degraded;
+
+    /** True when simulateCrashAfterBatches killed the run: incidents
+     *  were NOT finalized; resume from the persistence directory. */
+    bool crashed = false;
+
+    /** Persistence-layer accounting (checkpoints, journal, recovery
+     *  defects). */
+    persist::PersistStats persist;
+
+    /** Watchdog accounting (zero when supervision was off). */
+    WatchdogStats watchdog;
 
     /**
      * The whole report as flat stat entries with two-level prefixes

@@ -4,6 +4,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "persist/codec.hh"
+
 namespace cchunter
 {
 
@@ -60,6 +62,32 @@ Incident::streamLine() const
 
 IncidentStore::IncidentStore(IncidentRateLimit limit) : limit_(limit)
 {
+}
+
+IncidentStore
+IncidentStore::restored(IncidentRateLimit limit,
+                        std::vector<Incident> incidents,
+                        std::uint64_t suppressed)
+{
+    IncidentStore store(limit);
+    store.suppressed_ = suppressed;
+    for (Incident& incident : incidents) {
+        if (!incident.fleetWide) {
+            auto pos = std::find_if(store.perTenant_.begin(),
+                                    store.perTenant_.end(),
+                                    [&](const auto& p) {
+                                        return p.first ==
+                                               incident.tenant;
+                                    });
+            if (pos == store.perTenant_.end())
+                pos = store.perTenant_.insert(store.perTenant_.end(),
+                                              {incident.tenant, 0});
+            ++pos->second;
+        }
+        store.nextId_ = std::max(store.nextId_, incident.id + 1);
+        store.incidents_.push_back(std::move(incident));
+    }
+    return store;
 }
 
 bool
@@ -147,13 +175,10 @@ IncidentStore::streamText() const
 std::uint64_t
 IncidentStore::streamHash() const
 {
-    // FNV-1a, 64 bit.
-    std::uint64_t hash = 1469598103934665603ull;
-    for (const char c : streamText()) {
-        hash ^= static_cast<unsigned char>(c);
-        hash *= 1099511628211ull;
-    }
-    return hash;
+    // The same FNV-1a 64 that checksums every persisted snapshot
+    // record (persist/codec) — one hash guards the live stream and
+    // the at-rest bytes.
+    return persist::fnv1a64(streamText());
 }
 
 } // namespace cchunter

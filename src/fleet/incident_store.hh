@@ -100,6 +100,18 @@ class IncidentStore
     explicit IncidentStore(IncidentRateLimit limit = {});
 
     /**
+     * Rebuild a store from persisted state (persist/fleet_snapshot):
+     * the incident log, the suppression count and the rate limits.
+     * Per-tenant admission counters and the id sequence are derived
+     * from the incidents themselves, so a restored store continues
+     * emitting (and rate-limiting) exactly where the snapshot left
+     * off.
+     */
+    static IncidentStore restored(IncidentRateLimit limit,
+                                  std::vector<Incident> incidents,
+                                  std::uint64_t suppressed);
+
+    /**
      * Admit an incident: assigns the next id and appends it, unless a
      * rate limit suppresses it (the suppression is counted, and the
      * id sequence does not advance).  Returns whether it was admitted.
@@ -113,6 +125,9 @@ class IncidentStore
 
     /** Incidents suppressed by either cap. */
     std::uint64_t suppressed() const { return suppressed_; }
+
+    /** The emission caps this store admits under. */
+    const IncidentRateLimit& limit() const { return limit_; }
 
     std::size_t countBySeverity(IncidentSeverity severity) const;
 

@@ -1,0 +1,128 @@
+#include "persist/codec.hh"
+
+#include <cstring>
+
+namespace cchunter::persist
+{
+
+std::uint64_t
+fnv1a64(const void* data, std::size_t size, std::uint64_t seed)
+{
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    std::uint64_t hash = seed;
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+std::uint64_t
+fnv1a64(const std::string& text, std::uint64_t seed)
+{
+    return fnv1a64(text.data(), text.size(), seed);
+}
+
+void
+ByteWriter::u8(std::uint8_t v)
+{
+    bytes_.push_back(v);
+}
+
+void
+ByteWriter::u32(std::uint32_t v)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        bytes_.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void
+ByteWriter::u64(std::uint64_t v)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        bytes_.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void
+ByteWriter::f64(double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+}
+
+void
+ByteWriter::str(const std::string& s)
+{
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+bool
+ByteReader::take(void* out, std::size_t n)
+{
+    if (bad_ || size_ - pos_ < n) {
+        bad_ = true;
+        return false;
+    }
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+}
+
+std::uint8_t
+ByteReader::u8()
+{
+    std::uint8_t v = 0;
+    take(&v, 1);
+    return v;
+}
+
+std::uint32_t
+ByteReader::u32()
+{
+    std::uint8_t raw[4] = {};
+    if (!take(raw, sizeof(raw)))
+        return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(raw[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+ByteReader::u64()
+{
+    std::uint8_t raw[8] = {};
+    if (!take(raw, sizeof(raw)))
+        return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(raw[i]) << (8 * i);
+    return v;
+}
+
+double
+ByteReader::f64()
+{
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string
+ByteReader::str()
+{
+    const std::uint32_t n = u32();
+    if (bad_ || size_ - pos_ < n) {
+        bad_ = true;
+        return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+}
+
+} // namespace cchunter::persist

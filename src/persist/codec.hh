@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Byte-level encoding primitives for the persistence subsystem.
+ *
+ * Every persisted structure is rendered through ByteWriter/ByteReader:
+ * fixed-width little-endian integers, bit-cast doubles and
+ * length-prefixed strings, independent of host endianness and struct
+ * layout.  The same FNV-1a 64-bit hash that fingerprints the fleet
+ * incident stream checksums every snapshot record, so one hash
+ * function guards both the live determinism contract and the at-rest
+ * bytes.
+ */
+
+#ifndef CCHUNTER_PERSIST_CODEC_HH
+#define CCHUNTER_PERSIST_CODEC_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cchunter::persist
+{
+
+/** FNV-1a 64-bit over a byte range (the PR-4 incident-stream hash). */
+std::uint64_t fnv1a64(const void* data, std::size_t size,
+                      std::uint64_t seed = 1469598103934665603ull);
+
+/** FNV-1a 64-bit over a string. */
+std::uint64_t fnv1a64(const std::string& text,
+                      std::uint64_t seed = 1469598103934665603ull);
+
+/**
+ * Append-only little-endian byte sink.
+ */
+class ByteWriter
+{
+  public:
+    void u8(std::uint8_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void f64(double v); //!< IEEE-754 bit pattern as u64
+    void str(const std::string& s); //!< u32 length + raw bytes
+
+    const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+    std::vector<std::uint8_t> take() { return std::move(bytes_); }
+    std::size_t size() const { return bytes_.size(); }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+};
+
+/**
+ * Bounds-checked reader over an encoded byte range.  Reads past the
+ * end never throw or crash: the reader goes bad (sticky) and returns
+ * zero values, so a truncated payload parses to a detectable failure
+ * instead of undefined behaviour.
+ */
+class ByteReader
+{
+  public:
+    ByteReader(const std::uint8_t* data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    explicit ByteReader(const std::vector<std::uint8_t>& bytes)
+        : ByteReader(bytes.data(), bytes.size())
+    {
+    }
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    double f64();
+    std::string str();
+
+    /** True once any read ran past the end of the buffer. */
+    bool bad() const { return bad_; }
+
+    /** True when every byte was consumed and no read overran. */
+    bool exhausted() const { return !bad_ && pos_ == size_; }
+
+    std::size_t remaining() const { return size_ - pos_; }
+
+  private:
+    bool take(void* out, std::size_t n);
+
+    const std::uint8_t* data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    bool bad_ = false;
+};
+
+} // namespace cchunter::persist
+
+#endif // CCHUNTER_PERSIST_CODEC_HH

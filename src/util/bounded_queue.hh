@@ -14,6 +14,7 @@
 #define CCHUNTER_UTIL_BOUNDED_QUEUE_HH
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -112,6 +113,30 @@ class BoundedQueue
         std::unique_lock<std::mutex> lock(mutex_);
         notEmpty_.wait(lock,
                        [this] { return !queue_.empty() || closed_; });
+        if (queue_.empty())
+            return std::nullopt;
+        T out = std::move(queue_.front());
+        queue_.pop_front();
+        notFull_.notify_one();
+        return out;
+    }
+
+    /**
+     * Dequeue the oldest item, waiting at most `timeout`.  Returns
+     * nullopt on timeout or once the queue is closed and drained —
+     * callers that must tell the cases apart check closed().  A
+     * close() arriving mid-wait wakes the waiter immediately, so a
+     * watchdog polling on popFor() shuts down without serving out its
+     * full interval.
+     */
+    template <typename Rep, typename Period>
+    std::optional<T>
+    popFor(std::chrono::duration<Rep, Period> timeout)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        notEmpty_.wait_for(lock, timeout, [this] {
+            return !queue_.empty() || closed_;
+        });
         if (queue_.empty())
             return std::nullopt;
         T out = std::move(queue_.front());

@@ -39,7 +39,8 @@ TEST(FaultPlanNegativeTest, EveryRateKeyRejectsOutOfRangeValues)
         "faults.drop_quantum",  "faults.dup_quantum",
         "faults.truncate_batch", "faults.reorder_batch",
         "faults.corrupt_context", "faults.bloom_alias",
-        "faults.corrupt_batch",
+        "faults.corrupt_batch",  "faults.snap_bit_flip",
+        "faults.snap_truncate",  "faults.snap_clobber_magic",
     };
     for (const char* key : keys) {
         for (const double bad : {-0.01, 1.01, 7.0}) {
@@ -100,6 +101,9 @@ TEST(FaultPlanNegativeTest, RoundTripThroughConfigIsLossless)
     plan.dropQuantumRate = 0.25;
     plan.bloomAliasRate = 0.125;
     plan.saturatePaperWidths = true;
+    plan.snapshotBitFlipRate = 0.5;
+    plan.snapshotTruncateRate = 0.0625;
+    plan.snapshotMagicClobberRate = 0.03125;
     Config cfg;
     plan.toConfig(cfg);
     const FaultPlan back = FaultPlan::fromConfig(cfg);
@@ -107,4 +111,22 @@ TEST(FaultPlanNegativeTest, RoundTripThroughConfigIsLossless)
     EXPECT_EQ(back.dropQuantumRate, 0.25);
     EXPECT_EQ(back.bloomAliasRate, 0.125);
     EXPECT_TRUE(back.saturatePaperWidths);
+    EXPECT_EQ(back.snapshotBitFlipRate, 0.5);
+    EXPECT_EQ(back.snapshotTruncateRate, 0.0625);
+    EXPECT_EQ(back.snapshotMagicClobberRate, 0.03125);
+}
+
+TEST(FaultPlanNegativeTest, SnapshotRatesAloneEnableThePlan)
+{
+    // A plan scheduling only persisted-bytes faults is still an
+    // enabled plan — enabled() must see the snapshot knobs.
+    FaultPlan plan;
+    EXPECT_FALSE(plan.enabled());
+    plan.snapshotBitFlipRate = 0.5;
+    EXPECT_TRUE(plan.enabled());
+    plan.snapshotBitFlipRate = 0.0;
+    plan.snapshotMagicClobberRate = 1.0;
+    EXPECT_TRUE(plan.enabled());
+    EXPECT_NE(plan.summary().find("snap_clobber_magic"),
+              std::string::npos);
 }

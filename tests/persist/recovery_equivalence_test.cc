@@ -1,0 +1,422 @@
+/**
+ * @file
+ * Crash-recovery equivalence tests: the heart of the persistence
+ * contract.  A fleet run killed after any number of durably persisted
+ * batches and then resumed must emit an incident stream byte-identical
+ * to an uninterrupted run — across shard layouts and analysis thread
+ * counts, and under every injected snapshot/journal corruption, where
+ * the graceful floor is a counted cold start that re-audits, never a
+ * crash or a wrong answer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "faults/fault_injector.hh"
+#include "fleet/fleet_auditor.hh"
+#include "persist/recovery.hh"
+#include "persist/snapshot_file.hh"
+
+using namespace cchunter;
+using namespace cchunter::persist;
+
+namespace
+{
+
+/** Canonical stream hash of TenantRegistry::synthetic({}) — same
+ *  fixture as tests/fleet/incident_stream_golden_test.cc. */
+constexpr std::uint64_t kGoldenHash = 11842952238281650353ull;
+
+constexpr std::size_t kFleetTenants = 8;
+
+class RecoveryEquivalenceTest : public testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = std::filesystem::path(testing::TempDir()) /
+               (std::string("cchunter_recovery_") +
+                testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name());
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+    }
+
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    FleetAuditParams
+    params(std::size_t shards, std::size_t analysisThreads) const
+    {
+        FleetAuditParams p;
+        p.shards = shards;
+        p.workerThreads = 2;
+        p.analysisThreads = analysisThreads;
+        p.persist.dir = dir_.string();
+        p.persist.checkpointIntervalBatches = 3;
+        return p;
+    }
+
+    FleetAuditReport
+    runFleet(const FleetAuditParams& p) const
+    {
+        const TenantRegistry registry = TenantRegistry::synthetic({});
+        FleetAuditor auditor(registry, p);
+        return auditor.run();
+    }
+
+    /** Run with persistence, dying after `killAfter` durable batches. */
+    FleetAuditReport
+    crashRun(std::size_t shards, std::uint64_t killAfter) const
+    {
+        FleetAuditParams p = params(shards, 1);
+        p.simulateCrashAfterBatches = killAfter;
+        return runFleet(p);
+    }
+
+    /** Resume from the persistence directory and finish the audit. */
+    FleetAuditReport
+    resumeRun(std::size_t shards, std::size_t analysisThreads = 1) const
+    {
+        FleetAuditParams p = params(shards, analysisThreads);
+        p.persist.resume = true;
+        return runFleet(p);
+    }
+
+    /** Apply one FaultInjector mutation pass to a persisted file. */
+    SnapshotMutation
+    corruptFile(const std::string& path, const FaultPlan& plan) const
+    {
+        bool ok = false;
+        std::vector<std::uint8_t> bytes = readFileBytes(path, ok);
+        EXPECT_TRUE(ok) << path;
+        FaultInjector injector(plan);
+        const SnapshotMutation m = injector.mutateSnapshotBytes(bytes);
+        EXPECT_TRUE(writeFileAtomic(path, bytes));
+        return m;
+    }
+
+    std::filesystem::path dir_;
+};
+
+bool
+hasStat(const std::vector<StatEntry>& entries, const std::string& name)
+{
+    for (const auto& e : entries)
+        if (e.name == name)
+            return true;
+    return false;
+}
+
+} // namespace
+
+TEST_F(RecoveryEquivalenceTest, PersistedRunMatchesBaseline)
+{
+    // Persistence on, no crash: same stream as ever, with the
+    // journal/checkpoint machinery visibly engaged.
+    const FleetAuditReport report = runFleet(params(2, 1));
+    EXPECT_FALSE(report.crashed);
+    EXPECT_EQ(report.incidents.streamHash(), kGoldenHash);
+    EXPECT_EQ(report.persist.journalAppends, kFleetTenants);
+    EXPECT_GT(report.persist.journalBytes, 0u);
+    // 8 batches at interval 3 → 2 mid-run checkpoints + the final one.
+    EXPECT_EQ(report.persist.checkpointsWritten, 3u);
+    EXPECT_GT(report.persist.lastSnapshotBytes, 0u);
+    EXPECT_EQ(report.persist.defects.total(), 0u);
+    EXPECT_EQ(report.persist.coldStarts, 0u);
+    EXPECT_TRUE(std::filesystem::exists(snapshotPath(
+        PersistPolicy{.dir = dir_.string()})));
+
+    const auto entries = report.statEntries();
+    EXPECT_TRUE(hasStat(entries, "persist.checkpoints"));
+    EXPECT_TRUE(hasStat(entries, "persist.journalAppends"));
+    EXPECT_TRUE(hasStat(entries, "fleet.crashed"));
+}
+
+TEST_F(RecoveryEquivalenceTest, FinalSnapshotRoundTripsTheIncidentLog)
+{
+    const FleetAuditReport report = runFleet(params(2, 1));
+    const RecordFileContents contents = readRecordFile(
+        snapshotPath(PersistPolicy{.dir = dir_.string()}),
+        ReadMode::Snapshot);
+    ASSERT_TRUE(contents.clean());
+    FleetCheckpoint checkpoint;
+    ASSERT_TRUE(decodeFleetCheckpoint(contents, checkpoint));
+    EXPECT_TRUE(checkpoint.finalized);
+    EXPECT_EQ(checkpoint.batches.size(), kFleetTenants);
+    ASSERT_TRUE(checkpoint.incidents.has_value());
+    EXPECT_EQ(checkpoint.incidents->streamText(),
+              report.incidents.streamText());
+    EXPECT_EQ(checkpoint.incidents->streamHash(), kGoldenHash);
+}
+
+TEST_F(RecoveryEquivalenceTest, KillAtEveryBoundaryResumesByteIdentical)
+{
+    // The acceptance sweep: die after the K-th durably persisted
+    // batch for every K, resume, and demand the uninterrupted stream
+    // byte for byte.
+    const std::string baseline =
+        [&] {
+            FleetAuditParams p;
+            p.shards = 2;
+            p.workerThreads = 2;
+            const TenantRegistry registry =
+                TenantRegistry::synthetic({});
+            return FleetAuditor(registry, p)
+                .run()
+                .incidents.streamText();
+        }();
+
+    for (std::uint64_t k = 1; k <= kFleetTenants; ++k) {
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+
+        const FleetAuditReport crashed = crashRun(2, k);
+        EXPECT_TRUE(crashed.crashed) << "k=" << k;
+        EXPECT_TRUE(crashed.incidents.incidents().empty())
+            << "k=" << k;
+
+        const FleetAuditReport resumed = resumeRun(2);
+        EXPECT_FALSE(resumed.crashed) << "k=" << k;
+        EXPECT_EQ(resumed.incidents.streamText(), baseline)
+            << "k=" << k;
+        EXPECT_EQ(resumed.incidents.streamHash(), kGoldenHash)
+            << "k=" << k;
+        EXPECT_EQ(resumed.persist.restoredTenants, k) << "k=" << k;
+        // A kill before the first checkpoint leaves no snapshot file
+        // — that read counts as `unreadable` and recovery proceeds
+        // from the journal.  No other defect class is acceptable.
+        EXPECT_EQ(resumed.persist.defects.total(),
+                  resumed.persist.defects.unreadable)
+            << "k=" << k;
+        EXPECT_LE(resumed.persist.defects.unreadable, 1u) << "k=" << k;
+        EXPECT_EQ(resumed.persist.coldStarts, 0u) << "k=" << k;
+
+        std::uint64_t recovered = 0;
+        for (const auto& shard : resumed.shards)
+            recovered += shard.recoveredTenants;
+        EXPECT_EQ(recovered, k) << "k=" << k;
+    }
+}
+
+TEST_F(RecoveryEquivalenceTest, ResumeEquivalenceAcrossLayouts)
+{
+    // One crash point, every layout: shard count and analysis fan-out
+    // must not matter on either side of the kill.
+    const std::size_t hw =
+        std::max(2u, std::thread::hardware_concurrency());
+    for (const std::size_t shards : {std::size_t(1), std::size_t(2),
+                                     std::size_t(8)}) {
+        for (const std::size_t threads : {std::size_t(1), hw}) {
+            std::filesystem::remove_all(dir_);
+            std::filesystem::create_directories(dir_);
+            const FleetAuditReport crashed = crashRun(shards, 3);
+            ASSERT_TRUE(crashed.crashed)
+                << "shards=" << shards << " threads=" << threads;
+            const FleetAuditReport resumed =
+                resumeRun(shards, threads);
+            EXPECT_EQ(resumed.incidents.streamHash(), kGoldenHash)
+                << "shards=" << shards << " threads=" << threads;
+        }
+    }
+}
+
+TEST_F(RecoveryEquivalenceTest, ResumeRehomesAcrossShardLayoutChange)
+{
+    // Crash under one shard layout, resume under another: recovered
+    // batches are re-homed by the current assignment rule.
+    const FleetAuditReport crashed = crashRun(2, 4);
+    ASSERT_TRUE(crashed.crashed);
+    const FleetAuditReport resumed = resumeRun(8);
+    EXPECT_EQ(resumed.incidents.streamHash(), kGoldenHash);
+    EXPECT_EQ(resumed.persist.restoredTenants, 4u);
+}
+
+TEST_F(RecoveryEquivalenceTest, BitFlippedSnapshotIsQuarantined)
+{
+    const FleetAuditReport crashed = crashRun(2, 5);
+    ASSERT_TRUE(crashed.crashed);
+
+    FaultPlan plan;
+    plan.snapshotBitFlipRate = 1.0;
+    const SnapshotMutation m = corruptFile(
+        snapshotPath(PersistPolicy{.dir = dir_.string()}), plan);
+    ASSERT_EQ(m.bitsFlipped, 1u);
+
+    const FleetAuditReport resumed = resumeRun(2);
+    // The flip lands somewhere in the image: whatever defect class it
+    // produces, the snapshot's contribution is quarantined (counted)
+    // and the stream is still the golden one — re-auditing covers
+    // whatever could not be restored.
+    EXPECT_GE(resumed.persist.defects.total() +
+                  resumed.persist.registryMismatches,
+              1u);
+    EXPECT_EQ(resumed.incidents.streamHash(), kGoldenHash);
+    EXPECT_FALSE(resumed.crashed);
+}
+
+TEST_F(RecoveryEquivalenceTest, TornSnapshotIsQuarantined)
+{
+    const FleetAuditReport crashed = crashRun(2, 5);
+    ASSERT_TRUE(crashed.crashed);
+
+    FaultPlan plan;
+    plan.snapshotTruncateRate = 1.0;
+    const SnapshotMutation m = corruptFile(
+        snapshotPath(PersistPolicy{.dir = dir_.string()}), plan);
+    ASSERT_TRUE(m.truncated);
+
+    const FleetAuditReport resumed = resumeRun(2);
+    EXPECT_GE(resumed.persist.defects.total(), 1u);
+    EXPECT_EQ(resumed.incidents.streamHash(), kGoldenHash);
+}
+
+TEST_F(RecoveryEquivalenceTest, ClobberedMagicIsQuarantined)
+{
+    const FleetAuditReport crashed = crashRun(2, 5);
+    ASSERT_TRUE(crashed.crashed);
+
+    FaultPlan plan;
+    plan.snapshotMagicClobberRate = 1.0;
+    const SnapshotMutation m = corruptFile(
+        snapshotPath(PersistPolicy{.dir = dir_.string()}), plan);
+    ASSERT_TRUE(m.magicClobbered);
+
+    const FleetAuditReport resumed = resumeRun(2);
+    // A clobbered header *could* still decode as the original magic by
+    // chance (it cannot, with 2^-64 probability); assert the expected
+    // reason directly.
+    EXPECT_GE(resumed.persist.defects.badMagic, 1u);
+    EXPECT_EQ(resumed.incidents.streamHash(), kGoldenHash);
+}
+
+TEST_F(RecoveryEquivalenceTest, TornJournalTailIsDiscardedNotFatal)
+{
+    const FleetAuditReport crashed = crashRun(2, 5);
+    ASSERT_TRUE(crashed.crashed);
+
+    FaultPlan plan;
+    plan.snapshotTruncateRate = 1.0;
+    corruptFile(journalPath(PersistPolicy{.dir = dir_.string()}),
+                plan);
+
+    const FleetAuditReport resumed = resumeRun(2);
+    // The journal's intact prefix (possibly empty) still counts; the
+    // snapshot is untouched, so at least the checkpointed batches are
+    // restored and the stream is golden either way.
+    EXPECT_EQ(resumed.incidents.streamHash(), kGoldenHash);
+    EXPECT_FALSE(resumed.crashed);
+}
+
+TEST_F(RecoveryEquivalenceTest, EverythingCorruptedFallsBackToColdStart)
+{
+    const FleetAuditReport crashed = crashRun(2, 6);
+    ASSERT_TRUE(crashed.crashed);
+
+    FaultPlan plan;
+    plan.snapshotMagicClobberRate = 1.0;
+    corruptFile(snapshotPath(PersistPolicy{.dir = dir_.string()}),
+                plan);
+    corruptFile(journalPath(PersistPolicy{.dir = dir_.string()}),
+                plan);
+
+    const FleetAuditReport resumed = resumeRun(2);
+    EXPECT_GE(resumed.persist.defects.badMagic, 2u);
+    EXPECT_EQ(resumed.persist.restoredTenants, 0u);
+    EXPECT_EQ(resumed.persist.coldStarts, 1u);
+    // The graceful floor: recover nothing, re-audit everything, same
+    // answer.
+    EXPECT_EQ(resumed.incidents.streamHash(), kGoldenHash);
+}
+
+TEST_F(RecoveryEquivalenceTest, MissingFilesResumeAsColdStart)
+{
+    // resume=true against an empty directory must behave like a
+    // first run, with the unreadable files counted.
+    const FleetAuditReport resumed = resumeRun(2);
+    EXPECT_EQ(resumed.persist.coldStarts, 1u);
+    EXPECT_EQ(resumed.persist.defects.unreadable, 2u);
+    EXPECT_EQ(resumed.incidents.streamHash(), kGoldenHash);
+}
+
+TEST_F(RecoveryEquivalenceTest, FutureVersionSnapshotColdStartsThatFile)
+{
+    const FleetAuditReport crashed = crashRun(2, 5);
+    ASSERT_TRUE(crashed.crashed);
+
+    // Hand-bump the snapshot's version field (u32 after the u64
+    // magic): a downgrade scenario — state written by a newer build.
+    const std::string snap =
+        snapshotPath(PersistPolicy{.dir = dir_.string()});
+    bool ok = false;
+    std::vector<std::uint8_t> bytes = readFileBytes(snap, ok);
+    ASSERT_TRUE(ok);
+    ASSERT_GE(bytes.size(), 12u);
+    bytes[8] = static_cast<std::uint8_t>(kSnapshotVersion + 1);
+    ASSERT_TRUE(writeFileAtomic(snap, bytes));
+
+    const FleetAuditReport resumed = resumeRun(2);
+    EXPECT_EQ(resumed.persist.defects.futureVersion, 1u);
+    EXPECT_EQ(resumed.incidents.streamHash(), kGoldenHash);
+}
+
+TEST_F(RecoveryEquivalenceTest, ForeignFleetSnapshotIsRefused)
+{
+    // Persist a *different* fleet into the directory, then resume the
+    // default one: the registry fingerprint must refuse the state and
+    // the default fleet re-audits from scratch.
+    SyntheticFleetOptions other;
+    other.seed = 99;
+    const TenantRegistry foreign = TenantRegistry::synthetic(other);
+    FleetAuditParams p;
+    p.shards = 2;
+    p.workerThreads = 2;
+    p.persist.dir = dir_.string();
+    p.simulateCrashAfterBatches = 4;
+    FleetAuditor foreignAuditor(foreign, p);
+    ASSERT_TRUE(foreignAuditor.run().crashed);
+
+    const FleetAuditReport resumed = resumeRun(2);
+    EXPECT_GE(resumed.persist.registryMismatches, 1u);
+    EXPECT_EQ(resumed.persist.restoredTenants, 0u);
+    EXPECT_EQ(resumed.persist.coldStarts, 1u);
+    EXPECT_EQ(resumed.incidents.streamHash(), kGoldenHash);
+}
+
+TEST_F(RecoveryEquivalenceTest, PersistPolicyConfigRoundTrip)
+{
+    PersistPolicy policy;
+    policy.dir = "/tmp/fleet-state";
+    policy.checkpointIntervalBatches = 9;
+    policy.resume = true;
+    policy.finalSnapshot = false;
+
+    Config cfg;
+    policy.toConfig(cfg);
+    const PersistPolicy back = PersistPolicy::fromConfig(cfg);
+    EXPECT_EQ(back.dir, policy.dir);
+    EXPECT_EQ(back.checkpointIntervalBatches,
+              policy.checkpointIntervalBatches);
+    EXPECT_EQ(back.resume, policy.resume);
+    EXPECT_EQ(back.finalSnapshot, policy.finalSnapshot);
+    EXPECT_TRUE(back.enabled());
+    EXPECT_FALSE(PersistPolicy{}.enabled());
+}
+
+TEST_F(RecoveryEquivalenceTest, CrashSwitchIgnoredWithoutPersistence)
+{
+    FleetAuditParams p;
+    p.shards = 2;
+    p.workerThreads = 2;
+    p.simulateCrashAfterBatches = 2; // no persist.dir → inert
+    const TenantRegistry registry = TenantRegistry::synthetic({});
+    const FleetAuditReport report =
+        FleetAuditor(registry, p).run();
+    EXPECT_FALSE(report.crashed);
+    EXPECT_EQ(report.incidents.streamHash(), kGoldenHash);
+}

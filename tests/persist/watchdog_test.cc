@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Watchdog supervision tests: a shard worker that dies mid-plan is
+ * detected, its unclaimed tenants are redispatched after backoff, and
+ * the incident stream still matches the golden fixture — exactly-once
+ * auditing under restart.  An exhausted restart budget degrades to
+ * counted abandonment, never a hang.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet_auditor.hh"
+
+using namespace cchunter;
+
+namespace
+{
+
+/** Canonical stream hash of TenantRegistry::synthetic({}) — same
+ *  fixture as tests/fleet/incident_stream_golden_test.cc. */
+constexpr std::uint64_t kGoldenHash = 11842952238281650353ull;
+
+FleetAuditParams
+watchdogParams()
+{
+    FleetAuditParams params;
+    params.shards = 2;
+    params.workerThreads = 2;
+    params.watchdog.enabled = true;
+    // Simulated deaths are detected via the died/vanished flags, not
+    // the heartbeat timeout — keep the timeout generous so a busy CI
+    // box slow-walking a healthy tenant audit never reads as a stall.
+    params.watchdog.stallTimeoutMs = 60000.0;
+    params.watchdog.pollIntervalMs = 5.0;
+    params.watchdog.backoffBaseMs = 1.0;
+    return params;
+}
+
+FleetAuditReport
+runFleet(const FleetAuditParams& params)
+{
+    const TenantRegistry registry = TenantRegistry::synthetic({});
+    FleetAuditor auditor(registry, params);
+    return auditor.run();
+}
+
+bool
+hasStat(const std::vector<StatEntry>& entries, const std::string& name)
+{
+    for (const auto& e : entries)
+        if (e.name == name)
+            return true;
+    return false;
+}
+
+} // namespace
+
+TEST(WatchdogTest, QuietOnHealthyRun)
+{
+    const FleetAuditReport report = runFleet(watchdogParams());
+    EXPECT_EQ(report.watchdog.stallsDetected, 0u);
+    EXPECT_EQ(report.watchdog.restartsDispatched, 0u);
+    EXPECT_EQ(report.watchdog.tenantsRedispatched, 0u);
+    EXPECT_EQ(report.watchdog.abandonedTenants, 0u);
+    for (const auto& shard : report.shards)
+        EXPECT_EQ(shard.restarts, 0u);
+    EXPECT_EQ(report.incidents.streamHash(), kGoldenHash);
+}
+
+TEST(WatchdogTest, DeadWorkerIsRedispatchedAndStreamIsUnchanged)
+{
+    // Shard 0 of 2 holds tenants {0,2,4,6}; its first worker dies
+    // after auditing one of them.  The watchdog must pick the other
+    // three back up and the stream must be the uninterrupted one.
+    FleetAuditParams params = watchdogParams();
+    params.watchdog.simulateStallShard = 0;
+    params.watchdog.simulateStallAfterTenants = 1;
+    const FleetAuditReport report = runFleet(params);
+
+    EXPECT_GE(report.watchdog.stallsDetected, 1u);
+    EXPECT_GE(report.watchdog.restartsDispatched, 1u);
+    EXPECT_EQ(report.watchdog.tenantsRedispatched, 3u);
+    EXPECT_EQ(report.watchdog.abandonedTenants, 0u);
+    ASSERT_GE(report.shards.size(), 1u);
+    EXPECT_GE(report.shards[0].restarts, 1u);
+    EXPECT_EQ(report.tenantsAudited, 8u);
+    EXPECT_EQ(report.incidents.streamHash(), kGoldenHash);
+
+    const auto entries = report.statEntries();
+    EXPECT_TRUE(hasStat(entries, "fleet.shard0.restarts"));
+    EXPECT_TRUE(hasStat(entries, "fleet.watchdog.restarts"));
+    EXPECT_TRUE(hasStat(entries, "fleet.watchdog.redispatchedTenants"));
+}
+
+TEST(WatchdogTest, ImmediateDeathRecoversTheWholeShard)
+{
+    // The worker dies before auditing anything: every tenant of the
+    // shard is redispatched.
+    FleetAuditParams params = watchdogParams();
+    params.watchdog.simulateStallShard = 1;
+    params.watchdog.simulateStallAfterTenants = 0;
+    const FleetAuditReport report = runFleet(params);
+
+    EXPECT_EQ(report.watchdog.tenantsRedispatched, 4u);
+    EXPECT_EQ(report.tenantsAudited, 8u);
+    EXPECT_EQ(report.incidents.streamHash(), kGoldenHash);
+}
+
+TEST(WatchdogTest, ExhaustedBudgetAbandonsRemainingTenants)
+{
+    // No restart budget: the dead shard's remaining tenants are
+    // abandoned — counted, reported, and the run still terminates
+    // with the healthy shard's incidents.
+    FleetAuditParams params = watchdogParams();
+    params.watchdog.simulateStallShard = 0;
+    params.watchdog.simulateStallAfterTenants = 1;
+    params.watchdog.maxRestartsPerShard = 0;
+    const FleetAuditReport report = runFleet(params);
+
+    EXPECT_GE(report.watchdog.stallsDetected, 1u);
+    EXPECT_EQ(report.watchdog.restartsDispatched, 0u);
+    EXPECT_EQ(report.watchdog.abandonedTenants, 3u);
+    EXPECT_EQ(report.tenantsAudited, 5u);
+    EXPECT_NE(report.incidents.streamHash(), kGoldenHash);
+    EXPECT_FALSE(report.crashed);
+}
+
+TEST(WatchdogTest, SupervisionComposesWithPersistence)
+{
+    // Watchdog restart and crash-safe persistence in one run: the
+    // redispatched tenants are journaled like any others and the
+    // stream stays golden.
+    const std::string dir =
+        testing::TempDir() + "cchunter_watchdog_persist";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    FleetAuditParams params = watchdogParams();
+    params.watchdog.simulateStallShard = 0;
+    params.watchdog.simulateStallAfterTenants = 2;
+    params.persist.dir = dir;
+    const FleetAuditReport report = runFleet(params);
+
+    EXPECT_GE(report.shards[0].restarts, 1u);
+    EXPECT_EQ(report.persist.journalAppends, 8u);
+    EXPECT_EQ(report.incidents.streamHash(), kGoldenHash);
+    std::filesystem::remove_all(dir);
+}

@@ -158,6 +158,85 @@ TEST(BoundedQueueTest, PushRacingCloseNeverBlocksForever)
     }
 }
 
+TEST(BoundedQueueTest, PopForTimesOutEmptyHanded)
+{
+    BoundedQueue<int> q(2);
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_FALSE(q.popFor(std::chrono::milliseconds(10)).has_value());
+    // The wait must actually have waited (roughly) — popFor is the
+    // watchdog's poll cadence, not a busy spin.
+    EXPECT_GE(std::chrono::steady_clock::now() - start,
+              std::chrono::milliseconds(5));
+    EXPECT_FALSE(q.closed());
+}
+
+TEST(BoundedQueueTest, PopForReturnsQueuedItemImmediately)
+{
+    BoundedQueue<int> q(2);
+    q.push(42);
+    const auto v = q.popFor(std::chrono::seconds(30));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 42);
+    EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(BoundedQueueTest, PushWakesWaitingPopFor)
+{
+    BoundedQueue<int> q(2);
+    std::thread consumer([&] {
+        // A long timeout that a concurrent push must cut short.
+        const auto v = q.popFor(std::chrono::seconds(30));
+        ASSERT_TRUE(v.has_value());
+        EXPECT_EQ(*v, 5);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.push(5);
+    consumer.join();
+}
+
+TEST(BoundedQueueTest, CloseWakesWaitingPopFor)
+{
+    // The watchdog shutdown path: close() must interrupt a popFor
+    // immediately instead of letting the full timeout elapse.
+    BoundedQueue<int> q(2);
+    const auto start = std::chrono::steady_clock::now();
+    std::thread consumer([&] {
+        EXPECT_FALSE(
+            q.popFor(std::chrono::seconds(30)).has_value());
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+    consumer.join();
+    EXPECT_LT(std::chrono::steady_clock::now() - start,
+              std::chrono::seconds(5));
+}
+
+TEST(BoundedQueueTest, PopForDrainsThenTimesOutAfterClose)
+{
+    // Items queued before close() still drain through popFor; only
+    // then does it report empty.
+    BoundedQueue<int> q(4);
+    q.push(1);
+    q.push(2);
+    q.close();
+    EXPECT_EQ(q.popFor(std::chrono::milliseconds(5)), 1);
+    EXPECT_EQ(q.popFor(std::chrono::milliseconds(5)), 2);
+    EXPECT_FALSE(q.popFor(std::chrono::milliseconds(5)).has_value());
+}
+
+TEST(BoundedQueueTest, PopForMakesRoomForBlockedProducer)
+{
+    BoundedQueue<int> q(1, OverflowPolicy::Block);
+    q.push(1);
+    std::thread producer([&] { EXPECT_TRUE(q.push(2).accepted); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    // popFor must notify notFull like pop() does, or the producer
+    // stays stuck.
+    EXPECT_EQ(q.popFor(std::chrono::seconds(30)), 1);
+    producer.join();
+    EXPECT_EQ(q.pop(), 2);
+}
+
 TEST(BoundedQueueTest, ManyProducersOneConsumerDeliversEverything)
 {
     constexpr int kProducers = 4;

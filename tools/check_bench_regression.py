@@ -49,17 +49,41 @@ def normalize(name):
     return "/".join(p for p in name.split("/") if ":" not in p)
 
 
+class BenchFileError(Exception):
+    """A bench file that cannot be compared (missing, unparseable,
+    or structurally not google-benchmark output)."""
+
+
 def load_times(path):
-    """Return {bench name: cpu time in ns} for a benchmark JSON file."""
-    with open(path) as fh:
-        doc = json.load(fh)
+    """Return {bench name: cpu time in ns} for a benchmark JSON file.
+
+    Raises BenchFileError (not a traceback) for a missing file,
+    malformed JSON, or entries without the expected fields, so CI logs
+    show a one-line diagnosis instead of a stack dump.
+    """
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except OSError as e:
+        raise BenchFileError(f"cannot read {path}: {e.strerror}")
+    except json.JSONDecodeError as e:
+        raise BenchFileError(f"{path} is not valid JSON: {e}")
+    if not isinstance(doc, dict):
+        raise BenchFileError(
+            f"{path}: top level is {type(doc).__name__}, expected a "
+            "google-benchmark JSON object")
     times = {}
     for bench in doc.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
             continue
-        unit = _UNIT_NS[bench.get("time_unit", "ns")]
-        times[normalize(bench["name"])] = \
-            float(bench["cpu_time"]) * unit
+        try:
+            unit = _UNIT_NS[bench.get("time_unit", "ns")]
+            times[normalize(bench["name"])] = \
+                float(bench["cpu_time"]) * unit
+        except (KeyError, TypeError, ValueError) as e:
+            raise BenchFileError(
+                f"{path}: malformed benchmark entry "
+                f"{bench.get('name', '<unnamed>')!r}: {e!r}")
     return times
 
 
@@ -71,8 +95,12 @@ def main():
                         help="max allowed slowdown (fraction)")
     args = parser.parse_args()
 
-    current = load_times(args.current)
-    baseline = load_times(args.baseline)
+    try:
+        current = load_times(args.current)
+        baseline = load_times(args.baseline)
+    except BenchFileError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
 
     for name, times in (("current", current), ("baseline", baseline)):
         if REFERENCE not in times:
