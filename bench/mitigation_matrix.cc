@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Mitigation matrix: residual channel bandwidth and benign performance
+ * tax for every monitor unit at every rung of the response ladder,
+ * emitted as BENCH_mitigation.json.
+ *
+ * For each registry unit the trojan/spy pair is re-run under observe,
+ * rate-limit, temporal-partition and quarantine, with the link-layer
+ * protocol decoder as ground truth for what the receiver still gets
+ * (residual bps, payload BER).  A benign pair prices each rung's
+ * collateral slowdown.  Everything runs on the simulated clock, so the
+ * numbers are deterministic for a seed — identical across machines.
+ *
+ * Gates (exit 1 on violation):
+ *  - quarantine must cut every unit's bandwidth by >= quarantine_gate
+ *    (default 0.90) relative to the unmitigated run;
+ *  - the benign tax must stay under ratelimit_tax_max (default 0.60)
+ *    at rate-limit and partition_tax_max (default 0.80) at
+ *    temporal-partition.  (Quarantine's tax is definitionally ~1 and
+ *    is reported, not gated.)
+ *
+ * The flat "metrics" object in the JSON (reduction.* higher-better,
+ * tax.* lower-better) is what tools/check_bench_regression.py
+ * --metrics compares against the checked-in baseline.
+ *
+ * Arguments (key=value): quanta=8, quantum=2500000, seed=1,
+ * contention_bps=10000, cache_bps=1000, quarantine_gate=0.90,
+ * ratelimit_tax_max=0.60, partition_tax_max=0.80,
+ * out=BENCH_mitigation.json.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hh"
+#include "respond/residual.hh"
+#include "units/unit_registry.hh"
+
+using namespace cchunter;
+using namespace cchunter::bench;
+
+namespace
+{
+
+constexpr ResponseLevel kLevels[] = {
+    ResponseLevel::Observe,
+    ResponseLevel::RateLimit,
+    ResponseLevel::TemporalPartition,
+    ResponseLevel::Quarantine,
+};
+
+struct UnitRow
+{
+    std::string unit;
+    ResidualProbe probes[4]; //!< indexed by ResponseLevel
+    double reduction[4] = {0.0, 0.0, 0.0, 0.0};
+};
+
+void
+writeJson(const std::string& path, std::size_t quanta,
+          std::uint64_t seed, const std::vector<UnitRow>& rows,
+          const TaxProbe (&taxes)[4], double quarantineGate,
+          double rateLimitTaxMax, double partitionTaxMax, bool pass)
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"benchmark\": \"mitigation_matrix\",\n");
+    std::fprintf(f, "  \"quanta\": %zu,\n", quanta);
+    std::fprintf(f, "  \"seed\": %llu,\n",
+                 static_cast<unsigned long long>(seed));
+    std::fprintf(f, "  \"units\": [\n");
+    for (std::size_t u = 0; u < rows.size(); ++u) {
+        const UnitRow& row = rows[u];
+        std::fprintf(f, "    {\n      \"unit\": \"%s\",\n",
+                     row.unit.c_str());
+        std::fprintf(f, "      \"levels\": [\n");
+        for (std::size_t l = 0; l < 4; ++l) {
+            const ResidualProbe& p = row.probes[l];
+            std::fprintf(
+                f,
+                "        {\"level\": \"%s\", \"residual_bps\": %.3f, "
+                "\"reduction\": %.4f, \"payload_ber\": %.4f, "
+                "\"wire_bits\": %llu, \"detected\": %s}%s\n",
+                responseLevelName(kLevels[l]), p.effectiveBandwidthBps,
+                row.reduction[l], p.payloadBitErrorRate,
+                static_cast<unsigned long long>(p.wireBitsDecoded),
+                p.detected ? "true" : "false", l + 1 < 4 ? "," : "");
+        }
+        std::fprintf(f, "      ]\n    }%s\n",
+                     u + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"tax\": [\n");
+    for (std::size_t l = 0; l < 4; ++l)
+        std::fprintf(f,
+                     "    {\"level\": \"%s\", \"tax\": %.4f, "
+                     "\"baseline_actions\": %llu, "
+                     "\"taxed_actions\": %llu}%s\n",
+                     responseLevelName(kLevels[l]), taxes[l].tax,
+                     static_cast<unsigned long long>(
+                         taxes[l].baselineActions),
+                     static_cast<unsigned long long>(
+                         taxes[l].taxedActions),
+                     l + 1 < 4 ? "," : "");
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"gates\": {\"quarantine_reduction_min\": %.2f, "
+                    "\"ratelimit_tax_max\": %.2f, "
+                    "\"partition_tax_max\": %.2f},\n",
+                 quarantineGate, rateLimitTaxMax, partitionTaxMax);
+    // Flat gated metrics for check_bench_regression.py --metrics:
+    // reduction.* must not fall, tax.* must not rise.
+    std::fprintf(f, "  \"metrics\": {\n");
+    for (const UnitRow& row : rows)
+        for (std::size_t l = 1; l < 4; ++l)
+            std::fprintf(f, "    \"reduction.%s.%s\": %.4f,\n",
+                         row.unit.c_str(),
+                         responseLevelName(kLevels[l]),
+                         row.reduction[l]);
+    std::fprintf(f, "    \"tax.rate-limit\": %.4f,\n", taxes[1].tax);
+    std::fprintf(f, "    \"tax.temporal-partition\": %.4f\n",
+                 taxes[2].tax);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"pass\": %s\n", pass ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const Config cfg = Config::fromArgs(argc, argv);
+    const std::size_t quanta = cfg.getUint("quanta", 8);
+    const Tick quantum = cfg.getUint("quantum", 2500000);
+    const std::uint64_t seed = cfg.getUint("seed", 1);
+    const double contentionBps =
+        cfg.getDouble("contention_bps", 10000.0);
+    const double cacheBps = cfg.getDouble("cache_bps", 1000.0);
+    const double quarantineGate =
+        cfg.getDouble("quarantine_gate", 0.90);
+    const double rateLimitTaxMax =
+        cfg.getDouble("ratelimit_tax_max", 0.60);
+    const double partitionTaxMax =
+        cfg.getDouble("partition_tax_max", 0.80);
+    const std::string out =
+        cfg.getString("out", "BENCH_mitigation.json");
+
+    banner("Mitigation matrix: residual bandwidth x response ladder",
+           "Every monitor unit's trojan/spy pair re-run under each "
+           "response level, protocol decode as ground truth, plus the "
+           "benign pair's performance tax per rung.");
+
+    const auto baseOptions = [&](const UnitDescriptor& unit) {
+        OnlineAuditOptions options;
+        options.scenario.quanta = quanta;
+        options.scenario.quantum = quantum;
+        options.scenario.seed = seed;
+        options.scenario.noiseProcesses = 0;
+        options.scenario.bandwidthBps =
+            unit.policy == AlarmKind::Oscillation ? cacheBps
+                                                  : contentionBps;
+        options.online.clusteringIntervalQuanta = 4;
+        return options;
+    };
+
+    const auto planAt = [](ResponseLevel level) {
+        ResponsePlan plan;
+        plan.level = level;
+        return plan;
+    };
+
+    std::vector<UnitRow> rows;
+    bool pass = true;
+    std::vector<std::string> violations;
+    for (const UnitDescriptor& unit :
+         UnitRegistry::instance().descriptors()) {
+        UnitRow row;
+        row.unit = unit.name;
+        for (std::size_t l = 0; l < 4; ++l)
+            row.probes[l] =
+                probeResidualBandwidth(unit.workload, baseOptions(unit),
+                                       planAt(kLevels[l]));
+        const double baseBps = row.probes[0].effectiveBandwidthBps;
+        for (std::size_t l = 0; l < 4; ++l)
+            row.reduction[l] = bandwidthReduction(
+                baseBps, row.probes[l].effectiveBandwidthBps);
+        if (row.reduction[3] < quarantineGate) {
+            pass = false;
+            violations.push_back(
+                row.unit + ": quarantine reduction " +
+                fmtDouble(row.reduction[3], 3) + " < gate " +
+                fmtDouble(quarantineGate, 2));
+        }
+        rows.push_back(std::move(row));
+    }
+
+    // The benign pair is unit-independent; one tax probe per rung.
+    OnlineAuditOptions benign;
+    benign.scenario.quanta = quanta;
+    benign.scenario.quantum = quantum;
+    benign.scenario.seed = seed;
+    benign.scenario.noiseProcesses = 0;
+    benign.scenario.bandwidthBps = contentionBps;
+    benign.online.clusteringIntervalQuanta = 4;
+    TaxProbe taxes[4];
+    for (std::size_t l = 0; l < 4; ++l)
+        taxes[l] = measureBenignTax(benign, planAt(kLevels[l]));
+    if (taxes[1].tax > rateLimitTaxMax) {
+        pass = false;
+        violations.push_back("rate-limit tax " +
+                             fmtDouble(taxes[1].tax, 3) + " > ceiling " +
+                             fmtDouble(rateLimitTaxMax, 2));
+    }
+    if (taxes[2].tax > partitionTaxMax) {
+        pass = false;
+        violations.push_back("temporal-partition tax " +
+                             fmtDouble(taxes[2].tax, 3) +
+                             " > ceiling " +
+                             fmtDouble(partitionTaxMax, 2));
+    }
+
+    TableWriter t({"unit", "level", "residual bps", "reduction",
+                   "payload BER", "detected"});
+    for (const UnitRow& row : rows)
+        for (std::size_t l = 0; l < 4; ++l)
+            t.addRow({row.unit, responseLevelName(kLevels[l]),
+                      fmtDouble(
+                          row.probes[l].effectiveBandwidthBps, 1),
+                      fmtDouble(row.reduction[l], 3),
+                      fmtDouble(row.probes[l].payloadBitErrorRate, 3),
+                      row.probes[l].detected ? "yes" : "no"});
+    t.render(std::cout);
+
+    TableWriter taxTable({"level", "benign tax", "baseline actions",
+                          "taxed actions"});
+    for (std::size_t l = 0; l < 4; ++l)
+        taxTable.addRow({responseLevelName(kLevels[l]),
+                         fmtDouble(taxes[l].tax, 3),
+                         std::to_string(taxes[l].baselineActions),
+                         std::to_string(taxes[l].taxedActions)});
+    taxTable.render(std::cout);
+
+    writeJson(out, quanta, seed, rows, taxes, quarantineGate,
+              rateLimitTaxMax, partitionTaxMax, pass);
+
+    if (!pass) {
+        for (const std::string& v : violations)
+            std::fprintf(stderr, "FAIL: %s\n", v.c_str());
+        return 1;
+    }
+    std::printf("all mitigation gates hold\n");
+    return 0;
+}

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "channels/channel_spy.hh"
 #include "channels/message.hh"
 #include "channels/timing.hh"
 #include "sim/workload.hh"
@@ -95,7 +96,7 @@ struct BusSpyParams
 /**
  * The receiving side: times memory accesses to sense bus contention.
  */
-class BusSpy : public Workload
+class BusSpy : public Workload, public ChannelSpy
 {
   public:
     explicit BusSpy(BusSpyParams params);
@@ -107,11 +108,11 @@ class BusSpy : public Workload
     const std::vector<double>& samples() const { return samples_; }
 
     /** Bits decoded so far. */
-    Message decoded() const;
+    Message decoded() const override;
 
     /** (bit-slot index, decoded value) pairs, in decode order. */
     const std::vector<std::pair<std::size_t, bool>>& decodedSlots()
-        const
+        const override
     {
         return decodedSlots_;
     }

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "channels/channel_spy.hh"
 #include "channels/message.hh"
 #include "channels/timing.hh"
 #include "sim/workload.hh"
@@ -131,7 +132,7 @@ struct CacheSpyParams
 /**
  * The receiving side of the cache channel (prime+probe timing).
  */
-class CacheSpy : public Workload
+class CacheSpy : public Workload, public ChannelSpy
 {
   public:
     explicit CacheSpy(CacheSpyParams params);
@@ -142,11 +143,11 @@ class CacheSpy : public Workload
     /** G1/G0 access-time ratios, one per bit (paper figure 7). */
     const std::vector<double>& ratios() const { return ratios_; }
 
-    Message decoded() const;
+    Message decoded() const override;
 
     /** (bit-slot index, decoded value) pairs, in decode order. */
     const std::vector<std::pair<std::size_t, bool>>& decodedSlots()
-        const
+        const override
     {
         return decodedSlots_;
     }

@@ -1,0 +1,24 @@
+#include "channels/capacity.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cchunter
+{
+
+double
+binaryEntropy(double p)
+{
+    p = std::clamp(p, 0.0, 1.0);
+    if (p == 0.0 || p == 1.0)
+        return 0.0;
+    return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+double
+bscCapacity(double errorRate)
+{
+    return std::clamp(1.0 - binaryEntropy(errorRate), 0.0, 1.0);
+}
+
+} // namespace cchunter

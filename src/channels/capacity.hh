@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Channel-capacity arithmetic for residual-bandwidth accounting: a
+ * covert channel whose receiver decodes with bit error rate p is a
+ * binary symmetric channel, so its usable fraction of the raw decode
+ * rate is the BSC capacity 1 - H2(p).  A mitigation that drives p
+ * toward 0.5 has destroyed the channel even if the receiver still
+ * "decodes" bits at full speed.
+ */
+
+#ifndef CCHUNTER_CHANNELS_CAPACITY_HH
+#define CCHUNTER_CHANNELS_CAPACITY_HH
+
+namespace cchunter
+{
+
+/** Binary entropy H2(p) in bits; 0 at p = 0 or 1, 1 at p = 0.5. */
+double binaryEntropy(double p);
+
+/** BSC capacity 1 - H2(p), clamped to [0, 1].  Error rates above 0.5
+ *  fold back (a systematically inverted channel still carries
+ *  information). */
+double bscCapacity(double errorRate);
+
+} // namespace cchunter
+
+#endif // CCHUNTER_CHANNELS_CAPACITY_HH

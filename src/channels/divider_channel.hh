@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "channels/channel_spy.hh"
 #include "channels/message.hh"
 #include "channels/timing.hh"
 #include "sim/workload.hh"
@@ -73,7 +74,7 @@ struct DividerSpyParams
 /**
  * The receiving side: times division loop iterations.
  */
-class DividerSpy : public Workload
+class DividerSpy : public Workload, public ChannelSpy
 {
   public:
     explicit DividerSpy(DividerSpyParams params);
@@ -84,11 +85,11 @@ class DividerSpy : public Workload
     /** Average loop-latency samples (the series of paper figure 3). */
     const std::vector<double>& samples() const { return samples_; }
 
-    Message decoded() const;
+    Message decoded() const override;
 
     /** (bit-slot index, decoded value) pairs, in decode order. */
     const std::vector<std::pair<std::size_t, bool>>& decodedSlots()
-        const
+        const override
     {
         return decodedSlots_;
     }

@@ -31,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "channels/channel_spy.hh"
 #include "channels/message.hh"
 #include "channels/timing.hh"
 #include "sim/workload.hh"
@@ -132,7 +133,7 @@ struct TlbSpyParams
 /**
  * The receiving side of the TLB channel (prime+probe timing).
  */
-class TlbSpy : public Workload
+class TlbSpy : public Workload, public ChannelSpy
 {
   public:
     explicit TlbSpy(TlbSpyParams params);
@@ -143,11 +144,11 @@ class TlbSpy : public Workload
     /** G1/G0 access-time ratios, one per bit. */
     const std::vector<double>& ratios() const { return ratios_; }
 
-    Message decoded() const;
+    Message decoded() const override;
 
     /** (bit-slot index, decoded value) pairs, in decode order. */
     const std::vector<std::pair<std::size_t, bool>>& decodedSlots()
-        const
+        const override
     {
         return decodedSlots_;
     }

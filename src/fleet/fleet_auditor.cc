@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "scenario/experiment.hh"
+#include "units/unit_registry.hh"
 #include "util/thread_pool.hh"
 
 namespace cchunter
@@ -111,14 +112,24 @@ FleetAuditor::run()
     std::uint64_t persistedThisRun = 0;
     std::atomic<bool> crashed{false};
 
+    // Response state carried in from a restored snapshot.  Mid-run
+    // checkpoints re-emit it verbatim (the orchestrator only runs
+    // after finalize), so an active quarantine survives any number of
+    // crash/restart cycles in between.
+    std::optional<ResponseOrchestratorState> restoredResponse;
+
     const auto writeSnapshot = [&](bool finalized,
-                                   const IncidentStore* incidents) {
+                                   const IncidentStore* incidents,
+                                   const ResponseOrchestratorState*
+                                       respond) {
         persist::FleetCheckpoint checkpoint;
         checkpoint.registryFingerprint = fingerprint;
         checkpoint.finalized = finalized;
         checkpoint.batches = completed;
         if (incidents)
             checkpoint.incidents = *incidents;
+        if (respond)
+            checkpoint.respond = *respond;
         const std::vector<std::uint8_t> bytes =
             persist::encodeFleetCheckpoint(checkpoint,
                                            params_.rateLimit);
@@ -133,10 +144,13 @@ FleetAuditor::run()
     std::vector<TenantAlarmBatch> recovered;
     if (persistOn && params_.persist.resume) {
         const auto start = std::chrono::steady_clock::now();
-        recovered = persist::recoverFleetState(params_.persist,
-                                               fingerprint,
-                                               report.persist)
-                        .batches;
+        persist::RecoveredFleetState rec = persist::recoverFleetState(
+            params_.persist, fingerprint, report.persist);
+        recovered = std::move(rec.batches);
+        restoredResponse = std::move(rec.respond);
+        if (restoredResponse)
+            report.respond.restoredActions =
+                restoredResponse->actions.size();
         report.persist.restoreMicros =
             std::chrono::duration<double, std::micro>(
                 std::chrono::steady_clock::now() - start)
@@ -166,7 +180,9 @@ FleetAuditor::run()
         // resume first compacts whatever it salvaged into a clean
         // snapshot, so the on-disk pair is consistent from here on.
         if (params_.persist.resume)
-            writeSnapshot(false, nullptr);
+            writeSnapshot(false, nullptr,
+                          restoredResponse ? &*restoredResponse
+                                           : nullptr);
         journal.open(persist::journalPath(params_.persist),
                      persist::encodeMeta(fingerprint, false, 0));
     }
@@ -209,7 +225,10 @@ FleetAuditor::run()
                     const std::size_t interval =
                         params_.persist.checkpointIntervalBatches;
                     if (interval != 0 && sinceCheckpoint >= interval) {
-                        writeSnapshot(false, nullptr);
+                        writeSnapshot(false, nullptr,
+                                      restoredResponse
+                                          ? &*restoredResponse
+                                          : nullptr);
                         journal.reset();
                         sinceCheckpoint = 0;
                     }
@@ -436,10 +455,77 @@ FleetAuditor::run()
 
     if (!crashed.load()) {
         aggregator.finalize(report.incidents);
+
+        // --- close the loop: incidents -> response actions ---
+        // Runs strictly after finalize, on the canonical incident
+        // stream, so the action log inherits the fleet's byte-identity
+        // contract for free.  A restored orchestrator picks up the
+        // ladder exactly where the previous run left it.
+        if (params_.respond.enabled) {
+            ResponseOrchestrator orchestrator =
+                restoredResponse
+                    ? ResponseOrchestrator::restored(
+                          params_.respond.policy,
+                          std::move(*restoredResponse))
+                    : ResponseOrchestrator(params_.respond.policy);
+            orchestrator.observeIncidents(
+                report.incidents.incidents());
+
+            if (params_.respond.measureResidual) {
+                const UnitRegistry& units = UnitRegistry::instance();
+                std::size_t probes = 0;
+                for (const ResponsePairState& pair :
+                     orchestrator.engagedPairs()) {
+                    if (probes >= params_.respond.maxResidualProbes)
+                        break;
+                    const TenantConfig* tenant = nullptr;
+                    for (const TenantConfig& t : registry_.tenants())
+                        if (t.id == pair.tenant) {
+                            tenant = &t;
+                            break;
+                        }
+                    if (tenant == nullptr)
+                        continue;
+                    // Only the unit the tenant's workload actually
+                    // exercises can be re-run as a probe.
+                    const UnitDescriptor* unit =
+                        units.byWorkload(tenant->audit.workload);
+                    if (unit == nullptr || unit->id != pair.unit)
+                        continue;
+                    ResidualMeasurement m;
+                    m.tenant = pair.tenant;
+                    m.unit = pair.unit;
+                    m.level = pair.level;
+                    m.unmitigated = probeResidualBandwidth(
+                        tenant->audit.workload, tenant->audit,
+                        params_.respond.policy.planFor(
+                            ResponseLevel::Observe));
+                    m.mitigated = probeResidualBandwidth(
+                        tenant->audit.workload, tenant->audit,
+                        params_.respond.policy.planFor(pair.level));
+                    m.reduction = bandwidthReduction(
+                        m.unmitigated.effectiveBandwidthBps,
+                        m.mitigated.effectiveBandwidthBps);
+                    m.tax = measureBenignTax(
+                        tenant->audit,
+                        params_.respond.policy.planFor(pair.level));
+                    report.respond.residuals.push_back(std::move(m));
+                    ++probes;
+                }
+            }
+
+            report.respond.enabled = true;
+            report.respond.orchestrator = std::move(orchestrator);
+            restoredResponse =
+                report.respond.orchestrator.snapshotState();
+        }
+
         if (persistOn) {
             std::lock_guard<std::mutex> lock(persistMutex);
             if (params_.persist.finalSnapshot)
-                writeSnapshot(true, &report.incidents);
+                writeSnapshot(true, &report.incidents,
+                              restoredResponse ? &*restoredResponse
+                                               : nullptr);
             journal.reset(); // the snapshot absorbed every batch
             journal.close();
         }
@@ -545,6 +631,41 @@ FleetAuditReport::statEntries() const
     append(pipelineStatEntries(pipeline, "fleet.pipeline."));
     append(degradedStatEntries(degraded, "fleet.degraded."));
     append(persistStatEntries(persist, "persist."));
+    if (respond.enabled)
+        append(respond.statEntries("fleet.respond."));
+    return entries;
+}
+
+std::vector<StatEntry>
+FleetResponseReport::statEntries(const std::string& prefix) const
+{
+    std::vector<StatEntry> entries =
+        orchestrator.statEntries(prefix);
+    entries.push_back({prefix + "restoredActions",
+                       static_cast<double>(restoredActions),
+                       "actions carried in from a restored snapshot"});
+    entries.push_back({prefix + "residual.measurements",
+                       static_cast<double>(residuals.size()),
+                       "engaged pairs re-run under their response"});
+    double worstResidualBps = 0.0;
+    double meanReduction = 0.0;
+    double worstTax = 0.0;
+    for (const ResidualMeasurement& m : residuals) {
+        worstResidualBps =
+            std::max(worstResidualBps,
+                     m.mitigated.effectiveBandwidthBps);
+        meanReduction += m.reduction;
+        worstTax = std::max(worstTax, m.tax.tax);
+    }
+    if (!residuals.empty())
+        meanReduction /= static_cast<double>(residuals.size());
+    entries.push_back({prefix + "residual.worstBps", worstResidualBps,
+                       "highest surviving channel bandwidth (bits/s)"});
+    entries.push_back({prefix + "residual.meanReduction",
+                       meanReduction,
+                       "mean bandwidth reduction across measurements"});
+    entries.push_back({prefix + "residual.worstTax", worstTax,
+                       "worst benign-pair slowdown fraction"});
     return entries;
 }
 

@@ -25,6 +25,8 @@
 #include "fleet/incident_store.hh"
 #include "fleet/tenant_registry.hh"
 #include "persist/recovery.hh"
+#include "respond/orchestrator.hh"
+#include "respond/residual.hh"
 #include "util/bounded_queue.hh"
 
 namespace cchunter
@@ -81,6 +83,76 @@ struct WatchdogStats
     std::uint64_t restartsDispatched = 0; //!< redispatches (all shards)
     std::uint64_t tenantsRedispatched = 0; //!< tenants picked back up
     std::uint64_t abandonedTenants = 0; //!< left after budget ran out
+};
+
+/**
+ * Incident-driven response orchestration for the fleet run.  When
+ * enabled, the finalized incident stream is fed through a
+ * ResponseOrchestrator (respond/orchestrator.hh) after aggregation:
+ * each (tenant, unit) pair climbs the policy's escalation ladder, the
+ * resulting action log inherits the incident stream's byte-identity
+ * contract, and — with persistence on — the orchestrator's state rides
+ * the snapshot so active quarantines survive a crash/restart.
+ */
+struct FleetResponseParams
+{
+    bool enabled = false;
+
+    /** Ladder thresholds, hysteresis, rate caps and plan knobs. */
+    ResponsePolicy policy;
+
+    /**
+     * After orchestration, re-run each engaged pair's trojan/spy
+     * scenario under its response level and price the mitigation:
+     * residual channel bandwidth (protocol decoder as ground truth)
+     * and benign-workload performance tax.  Deterministic but not
+     * free — each measurement is three extra scenario runs.
+     */
+    bool measureResidual = false;
+
+    /** Cap on residual measurements per run (engaged pairs beyond it
+     *  are skipped in canonical (tenant, unit) order). */
+    std::size_t maxResidualProbes = 4;
+};
+
+/** One engaged pair's measured mitigation outcome. */
+struct ResidualMeasurement
+{
+    TenantId tenant = 0;
+    MonitorTarget unit = MonitorTarget::None;
+    ResponseLevel level = ResponseLevel::Observe;
+
+    /** The channel re-run with no response engaged (the baseline). */
+    ResidualProbe unmitigated;
+
+    /** The channel re-run under `level`. */
+    ResidualProbe mitigated;
+
+    /** Bandwidth reduction fraction in [0, 1]. */
+    double reduction = 0.0;
+
+    /** Benign-pair slowdown under `level`. */
+    TaxProbe tax;
+};
+
+/** What the response loop did during one fleet run. */
+struct FleetResponseReport
+{
+    bool enabled = false;
+
+    /** The orchestrator after observing the finalized incidents;
+     *  exposes the action log, stream hash and pair levels. */
+    ResponseOrchestrator orchestrator;
+
+    /** Actions carried in from a restored snapshot (restart case). */
+    std::uint64_t restoredActions = 0;
+
+    /** Residual-bandwidth + tax measurements for engaged pairs. */
+    std::vector<ResidualMeasurement> residuals;
+
+    /** The report as flat stat entries under `prefix`. */
+    std::vector<StatEntry> statEntries(
+        const std::string& prefix = "fleet.respond.") const;
 };
 
 /** Fleet-run knobs. */
@@ -142,6 +214,9 @@ struct FleetAuditParams
     /** Shard-worker supervision (off by default). */
     WatchdogParams watchdog;
 
+    /** Incident-driven mitigation orchestration (off by default). */
+    FleetResponseParams respond;
+
     /**
      * Test hook simulating a kill: the run "dies" immediately after
      * the Nth batch of this run has been durably persisted — no
@@ -200,6 +275,10 @@ struct FleetAuditReport
 
     /** Watchdog accounting (zero when supervision was off). */
     WatchdogStats watchdog;
+
+    /** Response-loop outcome (enabled=false when the loop was off;
+     *  a crashed run never orchestrates — resume first). */
+    FleetResponseReport respond;
 
     /**
      * The whole report as flat stat entries with two-level prefixes

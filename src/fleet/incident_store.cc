@@ -158,6 +158,29 @@ IncidentStore::statEntries(const std::string& prefix) const
     entries.push_back({prefix + "suppressed",
                        static_cast<double>(suppressed_),
                        "incidents dropped by rate limits"});
+    // Alarm→incident latency: how many quanta of channel activity
+    // each incident spanned before it was complete enough to emit.
+    std::uint64_t latency_sum = 0;
+    std::uint64_t latency_max = 0;
+    std::size_t latency_count = 0;
+    for (const Incident& incident : incidents_) {
+        if (incident.fleetWide)
+            continue;
+        const std::uint64_t latency =
+            incident.detectionLatencyQuanta();
+        latency_sum += latency;
+        latency_max = std::max(latency_max, latency);
+        ++latency_count;
+    }
+    entries.push_back(
+        {prefix + "latencyMeanQuanta",
+         latency_count ? static_cast<double>(latency_sum) /
+                             static_cast<double>(latency_count)
+                       : 0.0,
+         "mean quanta from first offending quantum to emission"});
+    entries.push_back(
+        {prefix + "latencyMaxQuanta", static_cast<double>(latency_max),
+         "max quanta from first offending quantum to emission"});
     return entries;
 }
 

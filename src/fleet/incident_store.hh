@@ -73,6 +73,16 @@ struct Incident
     /** Member of a cross-tenant correlation (severity elevated). */
     bool correlated = false;
 
+    /** Quanta between the first offending quantum and the last alarm
+     *  merged before emission — the alarm→incident latency, i.e. how
+     *  long the channel ran before the record that triggers a
+     *  response was complete.  Time-to-mitigate = this + the response
+     *  ladder's escalation delay. */
+    std::uint64_t detectionLatencyQuanta() const
+    {
+        return lastQuantum - firstQuantum;
+    }
+
     /** Tenants sharing the signature (fleet-wide records only,
      *  ascending). */
     std::vector<TenantId> correlatedTenants;

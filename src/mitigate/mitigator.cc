@@ -115,10 +115,44 @@ Mitigator::unshare(ProcessId pid)
         (current_core + machine_.numCores() / 2) % machine_.numCores();
     const auto target_ctx =
         static_cast<ContextId>(target_core * threads);
+    // Remember where it came from so the response can be released;
+    // only the first unshare of a pid records the true origin.
+    bool known = false;
+    for (const auto& [opid, octx] : originalContext_)
+        known = known || opid == pid;
+    if (!known)
+        originalContext_.emplace_back(pid, p->pinnedContext());
     p->setPinnedContext(target_ctx);
+    ++ledger_.unshares;
     report.applied = true;
     report.migratedPid = pid;
     report.newContext = target_ctx;
+    return report;
+}
+
+MitigationReport
+Mitigator::releaseUnshare(ProcessId pid)
+{
+    MitigationReport report;
+    report.kind = MitigationKind::UnshareCore;
+    Process* p = findProcess(pid);
+    if (!p) {
+        warn("Mitigator: pid ", pid, " not found");
+        return report;
+    }
+    for (auto it = originalContext_.begin();
+         it != originalContext_.end(); ++it) {
+        if (it->first != pid)
+            continue;
+        p->setPinnedContext(it->second);
+        report.applied = true;
+        report.migratedPid = pid;
+        report.newContext = it->second;
+        originalContext_.erase(it);
+        ++ledger_.unshareReleases;
+        return report;
+    }
+    warn("Mitigator: pid ", pid, " was never unshared");
     return report;
 }
 
@@ -132,8 +166,24 @@ Mitigator::rateLimitBusLocks(Cycles min_interval)
         return report;
     }
     machine_.mem().bus().setLockRateLimit(min_interval);
+    ++ledger_.rateLimits;
     report.applied = true;
     report.lockInterval = min_interval;
+    return report;
+}
+
+MitigationReport
+Mitigator::releaseBusLockRateLimit()
+{
+    MitigationReport report;
+    report.kind = MitigationKind::RateLimitBusLocks;
+    if (machine_.mem().bus().lockRateLimit() == 0) {
+        warn("Mitigator: no bus lock rate limit engaged");
+        return report;
+    }
+    machine_.mem().bus().setLockRateLimit(0);
+    ++ledger_.rateLimitReleases;
+    report.applied = true;
     return report;
 }
 

@@ -36,6 +36,25 @@ std::string mitigationName(MitigationKind kind);
 /** Policy: the flagged unit's registry-recommended response. */
 MitigationKind recommendMitigation(MonitorTarget target);
 
+/**
+ * Counted engage/release transitions of the mitigator's actions, so
+ * de-escalation is observable and testable.  (The scheduler-level
+ * partition/throttle/quarantine transitions are counted separately in
+ * Scheduler::isolation().)
+ */
+struct MitigationLedger
+{
+    std::uint64_t unshares = 0;
+    std::uint64_t unshareReleases = 0;
+    std::uint64_t rateLimits = 0;
+    std::uint64_t rateLimitReleases = 0;
+    std::uint64_t engaged() const { return unshares + rateLimits; }
+    std::uint64_t released() const
+    {
+        return unshareReleases + rateLimitReleases;
+    }
+};
+
 /** The outcome of applying one mitigation. */
 struct MitigationReport
 {
@@ -75,17 +94,32 @@ class Mitigator
      */
     MitigationReport unshare(ProcessId pid);
 
+    /** Undo unshare: re-pin `pid` to the context it occupied before
+     *  its first unshare.  Not applied if the pid was never
+     *  unshared. */
+    MitigationReport releaseUnshare(ProcessId pid);
+
     /** Throttle bus locks to at most one per `min_interval` cycles. */
     MitigationReport rateLimitBusLocks(Cycles min_interval);
 
+    /** Undo rateLimitBusLocks.  Not applied when no limit is set. */
+    MitigationReport releaseBusLockRateLimit();
+
     /** Apply the recommended response for a flagged target. */
     MitigationReport respond(MonitorTarget target, unsigned slot);
+
+    /** Engage/release transition counts. */
+    const MitigationLedger& ledger() const { return ledger_; }
 
   private:
     Process* findProcess(ProcessId pid) const;
 
     Machine& machine_;
     AuditDaemon& daemon_;
+    MitigationLedger ledger_;
+    /** Pre-unshare pinned context per migrated pid (invalidContext for
+     *  a process that was floating). */
+    std::vector<std::pair<ProcessId, ContextId>> originalContext_;
 };
 
 } // namespace cchunter

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The response ladder: a ResponsePlan names one rung of the
+ * observe → rate-limit → temporal-partition → quarantine escalation
+ * ladder plus its tuning knobs, and apply/release helpers translate a
+ * plan into scheduler/bus actions on a machine.
+ *
+ * The ladder trades residual channel bandwidth against the performance
+ * tax on benign co-runners:
+ *
+ *  - **Observe** — no action; full bandwidth, zero tax.
+ *  - **RateLimit** — throttle the scarce operation: bus-lock rate
+ *    limiting for the memory bus, a duty-cycle throttle of the spy's
+ *    context for everything else.  Cuts bandwidth, modest tax.
+ *  - **TemporalPartition** — the implicated context pair alternates
+ *    quanta and is never co-scheduled (the RISC-V temporal-
+ *    partitioning approach).  Severs concurrent sharing; each party
+ *    keeps half its cycles.
+ *  - **Quarantine** — both contexts of the pair are forced idle; the
+ *    channel is dead and so is the pair's work.
+ *
+ * These types live in mitigate/ (not respond/) so the scenario layer
+ * can expose a response axis without depending on the orchestrator.
+ */
+
+#ifndef CCHUNTER_MITIGATE_RESPONSE_PLAN_HH
+#define CCHUNTER_MITIGATE_RESPONSE_PLAN_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/types.hh"
+
+namespace cchunter
+{
+
+class Machine;
+enum class MonitorTarget : std::uint8_t;
+
+/** One rung of the escalation ladder, weakest response first. */
+enum class ResponseLevel : std::uint8_t
+{
+    Observe = 0,
+    RateLimit = 1,
+    TemporalPartition = 2,
+    Quarantine = 3,
+};
+
+/** Stable lower-case name (config keys, action log, bench tables). */
+const char* responseLevelName(ResponseLevel level);
+
+/** Parse a level name; fatal on an unknown one. */
+ResponseLevel responseLevelFromName(const std::string& name);
+
+/** The rung one step up/down, saturating at the ladder ends. */
+ResponseLevel escalated(ResponseLevel level);
+ResponseLevel deescalated(ResponseLevel level);
+
+/** A response level plus its tuning knobs. */
+struct ResponsePlan
+{
+    ResponseLevel level = ResponseLevel::Observe;
+
+    /** RateLimit on the memory bus: minimum cycles between bus locks
+     *  (one conflict event per default observation window). */
+    Cycles busLockInterval = 100000;
+
+    /** RateLimit elsewhere: duty-cycle throttle of the spy context —
+     *  `throttleActive` quanta running out of every `throttlePeriod`. */
+    std::uint32_t throttlePeriod = 4;
+    std::uint32_t throttleActive = 1;
+
+    bool active() const { return level != ResponseLevel::Observe; }
+
+    /** Config round-trip (the scenario axis / corpus encoding). */
+    std::map<std::string, std::string> toConfig() const;
+    static ResponsePlan
+    fromConfig(const std::map<std::string, std::string>& config);
+};
+
+/**
+ * Engage `plan` on `machine` for a channel on `unit`, isolating the
+ * unit's registry-declared context pair.  Returns true if any action
+ * was taken (Observe plans take none).
+ */
+bool applyResponsePlan(Machine& machine, MonitorTarget unit,
+                       const ResponsePlan& plan);
+
+/** As above with an explicit context pair (benign runs, tests). */
+bool applyResponsePlan(Machine& machine,
+                       std::array<ContextId, 2> contexts,
+                       const ResponsePlan& plan);
+
+/** Undo applyResponsePlan (counted by the scheduler's IsolationStats
+ *  and the bus).  Returns true if any engaged action was released. */
+bool releaseResponsePlan(Machine& machine, MonitorTarget unit,
+                         const ResponsePlan& plan);
+bool releaseResponsePlan(Machine& machine,
+                         std::array<ContextId, 2> contexts,
+                         const ResponsePlan& plan);
+
+} // namespace cchunter
+
+#endif // CCHUNTER_MITIGATE_RESPONSE_PLAN_HH

@@ -160,7 +160,100 @@ getIncident(ByteReader& r, Incident& i)
         i.correlatedTenants.push_back(r.u32());
 }
 
+void
+putPairState(ByteWriter& w, const ResponsePairState& s)
+{
+    w.u32(s.tenant);
+    w.u8(static_cast<std::uint8_t>(s.unit));
+    w.u8(static_cast<std::uint8_t>(s.level));
+    w.u64(s.incidentsAtLevel);
+    w.u64(s.lastActivityEpoch);
+}
+
+void
+getPairState(ByteReader& r, ResponsePairState& s)
+{
+    s.tenant = r.u32();
+    s.unit = static_cast<MonitorTarget>(r.u8());
+    s.level = static_cast<ResponseLevel>(r.u8());
+    s.incidentsAtLevel = r.u64();
+    s.lastActivityEpoch = r.u64();
+}
+
+void
+putResponseAction(ByteWriter& w, const ResponseAction& a)
+{
+    w.u64(a.id);
+    w.u64(a.epoch);
+    w.u32(a.tenant);
+    w.u8(static_cast<std::uint8_t>(a.unit));
+    w.u8(static_cast<std::uint8_t>(a.kind));
+    w.u8(static_cast<std::uint8_t>(a.from));
+    w.u8(static_cast<std::uint8_t>(a.to));
+    w.u8(a.ttl ? 1 : 0);
+    w.u64(a.incidentId);
+}
+
+void
+getResponseAction(ByteReader& r, ResponseAction& a)
+{
+    a.id = r.u64();
+    a.epoch = r.u64();
+    a.tenant = r.u32();
+    a.unit = static_cast<MonitorTarget>(r.u8());
+    a.kind = static_cast<ResponseActionKind>(r.u8());
+    a.from = static_cast<ResponseLevel>(r.u8());
+    a.to = static_cast<ResponseLevel>(r.u8());
+    a.ttl = r.u8() != 0;
+    a.incidentId = r.u64();
+}
+
 } // namespace
+
+std::vector<std::uint8_t>
+encodeResponseState(const ResponseOrchestratorState& state)
+{
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(RecordKind::ResponseState));
+    w.u64(state.suppressed);
+    w.u64(state.epoch);
+    w.u64(state.nextActionId);
+    w.u64(state.states.size());
+    for (const ResponsePairState& s : state.states)
+        putPairState(w, s);
+    w.u64(state.actions.size());
+    for (const ResponseAction& a : state.actions)
+        putResponseAction(w, a);
+    return w.take();
+}
+
+bool
+decodeResponseState(const std::vector<std::uint8_t>& payload,
+                    ResponseOrchestratorState& out)
+{
+    ByteReader r(payload);
+    if (r.u8() != static_cast<std::uint8_t>(RecordKind::ResponseState))
+        return false;
+    out = ResponseOrchestratorState{};
+    out.suppressed = r.u64();
+    out.epoch = r.u64();
+    out.nextActionId = r.u64();
+    const std::uint64_t states = r.u64();
+    for (std::uint64_t s = 0; s < states && !r.bad(); ++s) {
+        ResponsePairState state;
+        getPairState(r, state);
+        out.states.push_back(state);
+    }
+    if (out.states.size() != states)
+        return false;
+    const std::uint64_t actions = r.u64();
+    for (std::uint64_t a = 0; a < actions && !r.bad(); ++a) {
+        ResponseAction action;
+        getResponseAction(r, action);
+        out.actions.push_back(action);
+    }
+    return r.exhausted() && out.actions.size() == actions;
+}
 
 std::vector<std::uint8_t>
 encodeTenantBatch(const TenantAlarmBatch& batch)
@@ -281,6 +374,8 @@ encodeFleetCheckpoint(const FleetCheckpoint& checkpoint,
     if (checkpoint.incidents)
         records.push_back(
             encodeIncidentStore(*checkpoint.incidents, limit));
+    if (checkpoint.respond)
+        records.push_back(encodeResponseState(*checkpoint.respond));
     return encodeRecordFile(records);
 }
 
@@ -312,6 +407,11 @@ decodeFleetCheckpoint(const RecordFileContents& contents,
             if (!decodeIncidentStore(payload, store))
                 return false;
             out.incidents = std::move(store);
+        } else if (kind == RecordKind::ResponseState) {
+            ResponseOrchestratorState respond;
+            if (!decodeResponseState(payload, respond))
+                return false;
+            out.respond = std::move(respond);
         } else {
             return false;
         }

@@ -29,6 +29,7 @@
 #include "fleet/incident_store.hh"
 #include "fleet/tenant_registry.hh"
 #include "persist/snapshot_file.hh"
+#include "respond/orchestrator.hh"
 
 namespace cchunter::persist
 {
@@ -39,6 +40,7 @@ enum class RecordKind : std::uint8_t
     Meta = 1,          //!< fingerprint + layout of the file
     TenantBatch = 2,   //!< one tenant's audit output
     IncidentStore = 3, //!< a finalized run's scored incident log
+    ResponseState = 4, //!< the response orchestrator's ladder state
 };
 
 /** The decoded form of a checkpoint file. */
@@ -56,6 +58,13 @@ struct FleetCheckpoint
 
     /** The scored incident log (finalized snapshots only). */
     std::optional<IncidentStore> incidents;
+
+    /** The response orchestrator's state (pair levels + action log),
+     *  when a response policy was active.  Carrying it in the
+     *  checkpoint is what makes quarantines survive a crash/restart:
+     *  a resumed auditor rebuilds the orchestrator from here before
+     *  observing any new incidents. */
+    std::optional<ResponseOrchestratorState> respond;
 };
 
 /** Encode/decode one tenant batch payload. */
@@ -70,6 +79,13 @@ std::vector<std::uint8_t> encodeIncidentStore(
     const IncidentStore& store, const IncidentRateLimit& limit);
 bool decodeIncidentStore(const std::vector<std::uint8_t>& payload,
                          IncidentStore& out);
+
+/** Encode/decode the response orchestrator's persistable state
+ *  (pair ladder positions, the full action log, counters). */
+std::vector<std::uint8_t> encodeResponseState(
+    const ResponseOrchestratorState& state);
+bool decodeResponseState(const std::vector<std::uint8_t>& payload,
+                         ResponseOrchestratorState& out);
 
 /** Meta payload: fingerprint, finalized flag, expected batch count. */
 std::vector<std::uint8_t> encodeMeta(std::uint64_t fingerprint,

@@ -81,6 +81,9 @@ persistStatEntries(const PersistStats& stats,
         "files refused for a foreign fleet fingerprint");
     add("coldStarts", static_cast<double>(stats.coldStarts),
         "resumes that recovered nothing");
+    add("restoredResponseActions",
+        static_cast<double>(stats.restoredResponseActions),
+        "response actions restored with the orchestrator");
     add("defects.badMagic",
         static_cast<double>(stats.defects.badMagic),
         "files with a wrong or missing magic");
@@ -156,6 +159,11 @@ recoverSnapshot(const std::string& path,
     }
     for (TenantAlarmBatch& batch : checkpoint.batches)
         mergeBatch(state, std::move(batch), stats, true);
+    if (checkpoint.respond) {
+        stats.restoredResponseActions +=
+            checkpoint.respond->actions.size();
+        state.respond = std::move(checkpoint.respond);
+    }
 }
 
 /** Recover batches from the journal's intact prefix. */

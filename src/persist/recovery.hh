@@ -89,6 +89,9 @@ struct PersistStats
     /** Resumes that recovered nothing and re-audited everything. */
     std::uint64_t coldStarts = 0;
 
+    /** Response actions restored with the orchestrator's state. */
+    std::uint64_t restoredResponseActions = 0;
+
     /** Per-reason defect tally across snapshot + journal reads. */
     DefectCounts defects;
 
@@ -106,6 +109,10 @@ struct RecoveredFleetState
     /** One batch per recovered tenant (first occurrence wins:
      *  snapshot before journal). */
     std::vector<TenantAlarmBatch> batches;
+
+    /** The response orchestrator's state, when the snapshot carried
+     *  one (active quarantines survive the restart through this). */
+    std::optional<ResponseOrchestratorState> respond;
 };
 
 /**

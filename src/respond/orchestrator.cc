@@ -1,0 +1,293 @@
+#include "respond/orchestrator.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "persist/codec.hh"
+
+namespace cchunter
+{
+
+const char*
+responseActionKindName(ResponseActionKind kind)
+{
+    switch (kind) {
+      case ResponseActionKind::Engage:
+        return "engage";
+      case ResponseActionKind::Escalate:
+        return "escalate";
+      case ResponseActionKind::Deescalate:
+        return "deescalate";
+      case ResponseActionKind::Release:
+        return "release";
+    }
+    return "?";
+}
+
+std::string
+ResponseAction::actionLine() const
+{
+    // Byte-stable: fixed field order, integers only, the same rules as
+    // Incident::streamLine.
+    std::ostringstream os;
+    os << "action " << id << " epoch=" << epoch
+       << " tenant=" << tenant
+       << " unit=" << monitorTargetName(unit) << ' '
+       << responseActionKindName(kind) << ' '
+       << responseLevelName(from) << "->" << responseLevelName(to)
+       << " trigger=";
+    if (ttl)
+        os << "ttl";
+    else
+        os << "incident:" << incidentId;
+    return os.str();
+}
+
+ResponseOrchestrator::ResponseOrchestrator(ResponsePolicy policy)
+    : policy_(std::move(policy))
+{
+}
+
+ResponseOrchestrator
+ResponseOrchestrator::restored(ResponsePolicy policy,
+                               ResponseOrchestratorState state)
+{
+    ResponseOrchestrator orch(std::move(policy));
+    orch.states_ = std::move(state.states);
+    orch.actions_ = std::move(state.actions);
+    orch.suppressed_ = state.suppressed;
+    orch.epoch_ = state.epoch;
+    orch.nextActionId_ = state.nextActionId;
+    return orch;
+}
+
+ResponsePairState&
+ResponseOrchestrator::stateFor(TenantId tenant, MonitorTarget unit)
+{
+    // Keep states_ sorted by (tenant, unit) so iteration order — and
+    // with it the TTL de-escalation action order — is canonical.
+    auto key_less = [](const ResponsePairState& s, TenantId t,
+                       MonitorTarget u) {
+        return s.tenant != t ? s.tenant < t : s.unit < u;
+    };
+    auto pos = std::lower_bound(states_.begin(), states_.end(),
+                                std::make_pair(tenant, unit),
+                                [&](const ResponsePairState& s,
+                                    const std::pair<TenantId,
+                                                    MonitorTarget>& k) {
+                                    return key_less(s, k.first,
+                                                    k.second);
+                                });
+    if (pos != states_.end() && pos->tenant == tenant &&
+        pos->unit == unit)
+        return *pos;
+    ResponsePairState fresh;
+    fresh.tenant = tenant;
+    fresh.unit = unit;
+    return *states_.insert(pos, fresh);
+}
+
+std::uint64_t
+ResponseOrchestrator::actionsForTenant(TenantId tenant) const
+{
+    return static_cast<std::uint64_t>(std::count_if(
+        actions_.begin(), actions_.end(),
+        [&](const ResponseAction& a) { return a.tenant == tenant; }));
+}
+
+bool
+ResponseOrchestrator::transition(ResponsePairState& state,
+                                 ResponseLevel to, bool ttl,
+                                 std::uint64_t incident_id)
+{
+    // Rate caps mirror IncidentStore: a suppressed action is counted
+    // and the state machine does not move (fail-safe for escalations,
+    // fail-secure for de-escalations — a capped tenant's quarantine
+    // stays put until the cap is lifted).
+    if (policy_.maxTotalActions != 0 &&
+        actions_.size() >= policy_.maxTotalActions) {
+        ++suppressed_;
+        return false;
+    }
+    if (policy_.maxActionsPerTenant != 0 &&
+        actionsForTenant(state.tenant) >= policy_.maxActionsPerTenant) {
+        ++suppressed_;
+        return false;
+    }
+
+    ResponseAction action;
+    action.id = nextActionId_++;
+    action.epoch = epoch_;
+    action.tenant = state.tenant;
+    action.unit = state.unit;
+    action.from = state.level;
+    action.to = to;
+    action.ttl = ttl;
+    action.incidentId = incident_id;
+    if (state.level == ResponseLevel::Observe)
+        action.kind = ResponseActionKind::Engage;
+    else if (to == ResponseLevel::Observe)
+        action.kind = ResponseActionKind::Release;
+    else if (to > state.level)
+        action.kind = ResponseActionKind::Escalate;
+    else
+        action.kind = ResponseActionKind::Deescalate;
+    actions_.push_back(action);
+
+    state.level = to;
+    state.incidentsAtLevel = 0;
+    return true;
+}
+
+void
+ResponseOrchestrator::pressure(TenantId tenant, MonitorTarget unit,
+                               const Incident& incident)
+{
+    ResponsePairState& state = stateFor(tenant, unit);
+    state.lastActivityEpoch = epoch_;
+    ++state.incidentsAtLevel;
+
+    const UnitResponsePolicy& unit_policy = policy_.forUnit(unit);
+    ResponseLevel desired = state.level;
+    if (policy_.criticalFastPath &&
+        incident.severity == IncidentSeverity::Critical &&
+        state.level < ResponseLevel::TemporalPartition)
+        desired = ResponseLevel::TemporalPartition;
+    else if (state.incidentsAtLevel >=
+             unit_policy.escalateAfterIncidents)
+        desired = escalated(state.level);
+    desired = std::min(desired, unit_policy.maxLevel);
+    if (desired > state.level)
+        transition(state, desired, /*ttl=*/false, incident.id);
+}
+
+void
+ResponseOrchestrator::observeIncidents(
+    const std::vector<Incident>& incidents)
+{
+    ++epoch_;
+    for (const Incident& incident : incidents) {
+        if (incident.fleetWide) {
+            // A cross-tenant correlation pressures every member pair
+            // (ascending tenant order — canonical in the record).
+            for (TenantId tenant : incident.correlatedTenants)
+                pressure(tenant, incident.unit, incident);
+        } else {
+            pressure(incident.tenant, incident.unit, incident);
+        }
+    }
+
+    // Cool-down: pairs with no activity for the TTL drop one rung per
+    // TTL interval.  An admitted de-escalation restarts the quiet
+    // clock, so a quarantined pair unwinds gradually, never all at
+    // once.
+    if (policy_.deescalateAfterQuietEpochs == 0)
+        return;
+    for (ResponsePairState& state : states_) {
+        if (state.level == ResponseLevel::Observe)
+            continue;
+        if (epoch_ - state.lastActivityEpoch <
+            policy_.deescalateAfterQuietEpochs)
+            continue;
+        if (transition(state, deescalated(state.level), /*ttl=*/true,
+                       0))
+            state.lastActivityEpoch = epoch_;
+    }
+}
+
+ResponseLevel
+ResponseOrchestrator::levelFor(TenantId tenant, MonitorTarget unit) const
+{
+    for (const ResponsePairState& state : states_)
+        if (state.tenant == tenant && state.unit == unit)
+            return state.level;
+    return ResponseLevel::Observe;
+}
+
+std::vector<ResponsePairState>
+ResponseOrchestrator::engagedPairs() const
+{
+    std::vector<ResponsePairState> engaged;
+    for (const ResponsePairState& state : states_)
+        if (state.level != ResponseLevel::Observe)
+            engaged.push_back(state);
+    return engaged;
+}
+
+ResponseOrchestratorState
+ResponseOrchestrator::snapshotState() const
+{
+    ResponseOrchestratorState state;
+    state.states = states_;
+    state.actions = actions_;
+    state.suppressed = suppressed_;
+    state.epoch = epoch_;
+    state.nextActionId = nextActionId_;
+    return state;
+}
+
+std::string
+ResponseOrchestrator::streamText() const
+{
+    std::string text;
+    for (const ResponseAction& action : actions_) {
+        text += action.actionLine();
+        text += '\n';
+    }
+    return text;
+}
+
+std::uint64_t
+ResponseOrchestrator::streamHash() const
+{
+    return persist::fnv1a64(streamText());
+}
+
+std::vector<StatEntry>
+ResponseOrchestrator::statEntries(const std::string& prefix) const
+{
+    auto count_kind = [this](ResponseActionKind kind) {
+        return static_cast<double>(std::count_if(
+            actions_.begin(), actions_.end(),
+            [&](const ResponseAction& a) { return a.kind == kind; }));
+    };
+    auto count_level = [this](ResponseLevel level) {
+        return static_cast<double>(std::count_if(
+            states_.begin(), states_.end(),
+            [&](const ResponsePairState& s) {
+                return s.level == level;
+            }));
+    };
+    std::vector<StatEntry> entries;
+    entries.push_back({prefix + "actions.total",
+                       static_cast<double>(actions_.size()),
+                       "admitted response actions"});
+    entries.push_back({prefix + "actions.engage",
+                       count_kind(ResponseActionKind::Engage),
+                       "Observe -> engaged transitions"});
+    entries.push_back({prefix + "actions.escalate",
+                       count_kind(ResponseActionKind::Escalate),
+                       "ladder escalations"});
+    entries.push_back({prefix + "actions.deescalate",
+                       count_kind(ResponseActionKind::Deescalate),
+                       "TTL cool-down de-escalations"});
+    entries.push_back({prefix + "actions.release",
+                       count_kind(ResponseActionKind::Release),
+                       "returns to Observe"});
+    entries.push_back({prefix + "actions.suppressed",
+                       static_cast<double>(suppressed_),
+                       "actions dropped by rate caps"});
+    entries.push_back({prefix + "epoch",
+                       static_cast<double>(epoch_),
+                       "incident rounds processed"});
+    for (auto level :
+         {ResponseLevel::RateLimit, ResponseLevel::TemporalPartition,
+          ResponseLevel::Quarantine})
+        entries.push_back(
+            {prefix + "level." + responseLevelName(level),
+             count_level(level),
+             "pairs currently at this response level"});
+    return entries;
+}
+
+} // namespace cchunter

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The response orchestrator: the subsystem that closes CC-Hunter's
+ * loop.  It consumes the finalized incident stream (fleet or
+ * standalone), drives each (tenant, unit) pair through the policy's
+ * escalation ladder with deterministic hysteresis, and renders a
+ * byte-stable action log with the same guarantees the incident stream
+ * itself carries: identical across shard/thread layouts, identical
+ * across crash/resume, hashable with the snapshot codec's FNV-1a.
+ *
+ * Time is counted in *epochs* — one observeIncidents() round equals
+ * one epoch — because incidents already collapse quantum time and the
+ * orchestrator must stay deterministic under replay.
+ */
+
+#ifndef CCHUNTER_RESPOND_ORCHESTRATOR_HH
+#define CCHUNTER_RESPOND_ORCHESTRATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/incident_store.hh"
+#include "respond/response_policy.hh"
+#include "sim/stats_report.hh"
+
+namespace cchunter
+{
+
+/** What one admitted action did. */
+enum class ResponseActionKind : std::uint8_t
+{
+    Engage,     //!< Observe -> something
+    Escalate,   //!< up the ladder, already engaged
+    Deescalate, //!< down the ladder, still engaged
+    Release,    //!< back to Observe
+};
+
+const char* responseActionKindName(ResponseActionKind kind);
+
+/** One admitted state transition (the action log record). */
+struct ResponseAction
+{
+    std::uint64_t id = 0;    //!< admission order
+    std::uint64_t epoch = 0; //!< observeIncidents round
+    TenantId tenant = 0;
+    MonitorTarget unit = MonitorTarget::None;
+    ResponseActionKind kind = ResponseActionKind::Engage;
+    ResponseLevel from = ResponseLevel::Observe;
+    ResponseLevel to = ResponseLevel::Observe;
+    /** TTL de-escalations have no triggering incident. */
+    bool ttl = false;
+    std::uint64_t incidentId = 0;
+
+    /** Canonical one-line rendering (byte-stable). */
+    std::string actionLine() const;
+};
+
+/** Escalation state of one (tenant, unit) pair. */
+struct ResponsePairState
+{
+    TenantId tenant = 0;
+    MonitorTarget unit = MonitorTarget::None;
+    ResponseLevel level = ResponseLevel::Observe;
+    /** Incidents seen since the last admitted transition. */
+    std::uint64_t incidentsAtLevel = 0;
+    /** Epoch of the last incident (or admitted de-escalation, which
+     *  restarts the quiet clock). */
+    std::uint64_t lastActivityEpoch = 0;
+};
+
+/** The orchestrator's complete persistable state. */
+struct ResponseOrchestratorState
+{
+    std::vector<ResponsePairState> states; //!< (tenant, unit) order
+    std::vector<ResponseAction> actions;
+    std::uint64_t suppressed = 0;
+    std::uint64_t epoch = 0;
+    std::uint64_t nextActionId = 0;
+};
+
+/**
+ * Deterministic incident→response state machine.
+ */
+class ResponseOrchestrator
+{
+  public:
+    explicit ResponseOrchestrator(ResponsePolicy policy = {});
+
+    /** Rebuild from persisted state (quarantines survive restart). */
+    static ResponseOrchestrator restored(ResponsePolicy policy,
+                                         ResponseOrchestratorState state);
+
+    /**
+     * Process one finalized incident round (store emission order) as
+     * one epoch: escalation pressure from each incident, then TTL
+     * de-escalation for pairs that stayed quiet.  Fleet-wide records
+     * pressure every correlated tenant.
+     */
+    void observeIncidents(const std::vector<Incident>& incidents);
+
+    /** Current level of a pair (Observe when never seen). */
+    ResponseLevel levelFor(TenantId tenant, MonitorTarget unit) const;
+
+    /** Pairs currently above Observe, in (tenant, unit) order. */
+    std::vector<ResponsePairState> engagedPairs() const;
+
+    const std::vector<ResponsePairState>& states() const
+    {
+        return states_;
+    }
+    const std::vector<ResponseAction>& actions() const
+    {
+        return actions_;
+    }
+    /** Actions dropped by the rate caps (state unchanged). */
+    std::uint64_t suppressed() const { return suppressed_; }
+    std::uint64_t epoch() const { return epoch_; }
+    const ResponsePolicy& policy() const { return policy_; }
+
+    /** Snapshot for persistence. */
+    ResponseOrchestratorState snapshotState() const;
+
+    /** Canonical text rendering of the action log, one line per
+     *  action; the determinism contract is stated over this string. */
+    std::string streamText() const;
+
+    /** FNV-1a 64-bit hash of streamText(). */
+    std::uint64_t streamHash() const;
+
+    /** Orchestrator counters as stat entries under `prefix`. */
+    std::vector<StatEntry> statEntries(
+        const std::string& prefix = "respond.") const;
+
+  private:
+    ResponsePairState& stateFor(TenantId tenant, MonitorTarget unit);
+    void pressure(TenantId tenant, MonitorTarget unit,
+                  const Incident& incident);
+    /** Admit a transition unless a rate cap suppresses it. */
+    bool transition(ResponsePairState& state, ResponseLevel to,
+                    bool ttl, std::uint64_t incident_id);
+    std::uint64_t actionsForTenant(TenantId tenant) const;
+
+    ResponsePolicy policy_;
+    std::vector<ResponsePairState> states_; //!< (tenant, unit) order
+    std::vector<ResponseAction> actions_;
+    std::uint64_t suppressed_ = 0;
+    std::uint64_t epoch_ = 0;
+    std::uint64_t nextActionId_ = 0;
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_RESPOND_ORCHESTRATOR_HH

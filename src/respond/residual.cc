@@ -1,0 +1,92 @@
+#include "respond/residual.hh"
+
+#include <algorithm>
+
+namespace cchunter
+{
+
+ResidualProbe
+probeResidualBandwidth(AuditedWorkload workload,
+                       const OnlineAuditOptions& base,
+                       const ResponsePlan& plan)
+{
+    OnlineAuditOptions options = base;
+    options.workload = workload;
+    options.scenario.response = plan;
+    // Ground truth through the link layer: a mitigated channel that
+    // still syncs frames and survives the vote is a real leak.
+    options.scenario.protocol.enabled = true;
+    // A fixed one-byte probe payload codes to a single protocol burst;
+    // the window is stretched (never shrunk) so the whole burst fits —
+    // otherwise the payload decode is truncation noise, not a leak
+    // measurement.
+    options.scenario.message = Message::fromBits(
+        {true, false, true, true, false, false, true, false});
+    const double bits_per_quantum =
+        options.scenario.bandwidthBps *
+        ticksToSeconds(options.scenario.quantum);
+    if (bits_per_quantum > 0.0) {
+        const std::size_t need =
+            static_cast<std::size_t>(
+                static_cast<double>(
+                    options.scenario.protocol.burstBits()) /
+                bits_per_quantum) +
+            2;
+        options.scenario.quanta =
+            std::max(options.scenario.quanta, need);
+    }
+    // The probe needs no in-run trigger; the plan is engaged from the
+    // first quantum.
+    options.autoRespond.enabled = false;
+
+    const OnlineAuditResult result = runOnlineAudit(options);
+
+    ResidualProbe probe;
+    probe.level = plan.level;
+    probe.effectiveBandwidthBps = result.channel.effectiveBandwidthBps;
+    probe.wireBitErrorRate = result.channel.wireBitErrorRate;
+    probe.payloadBitErrorRate = result.channel.payloadBitErrorRate;
+    probe.wireBitsDecoded = result.channel.wireBitsDecoded;
+    probe.pairActions = result.pairActions;
+    for (const UnitOutcome& outcome : result.finalVerdicts)
+        probe.detected = probe.detected || outcome.detected;
+    return probe;
+}
+
+double
+bandwidthReduction(double baselineBps, double residualBps)
+{
+    if (baselineBps <= 0.0)
+        return 1.0;
+    return std::clamp(1.0 - residualBps / baselineBps, 0.0, 1.0);
+}
+
+TaxProbe
+measureBenignTax(const OnlineAuditOptions& base,
+                 const ResponsePlan& plan)
+{
+    OnlineAuditOptions options = base;
+    options.workload = AuditedWorkload::BenignPair;
+    options.autoRespond.enabled = false;
+
+    options.scenario.response = ResponsePlan{};
+    const OnlineAuditResult baseline = runOnlineAudit(options);
+
+    options.scenario.response = plan;
+    const OnlineAuditResult taxed = runOnlineAudit(options);
+
+    TaxProbe probe;
+    probe.level = plan.level;
+    probe.baselineActions = baseline.pairActions;
+    probe.taxedActions = taxed.pairActions;
+    probe.tax = baseline.pairActions == 0
+                    ? 0.0
+                    : std::clamp(
+                          1.0 - static_cast<double>(taxed.pairActions) /
+                                    static_cast<double>(
+                                        baseline.pairActions),
+                          0.0, 1.0);
+    return probe;
+}
+
+} // namespace cchunter

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Residual-bandwidth and performance-tax measurement.
+ *
+ * "Your Processor Leaks Information" showed channels survive naive
+ * countermeasures, so engagement is not the end of the story: these
+ * probes re-run a trojan/spy pair *under* a response level and report
+ * what the receiver still decodes (through the link-layer protocol
+ * decoder as ground truth), and re-run a benign pair to price the
+ * response's collateral slowdown.  Both are deterministic re-runs of
+ * the scenario layer — the same machinery the audit itself used.
+ */
+
+#ifndef CCHUNTER_RESPOND_RESIDUAL_HH
+#define CCHUNTER_RESPOND_RESIDUAL_HH
+
+#include <cstdint>
+
+#include "scenario/experiment.hh"
+
+namespace cchunter
+{
+
+/** What a channel run under one response level still delivered. */
+struct ResidualProbe
+{
+    ResponseLevel level = ResponseLevel::Observe;
+    /** Payload bits/s surviving mitigation (BSC-capacity scaled). */
+    double effectiveBandwidthBps = 0.0;
+    double wireBitErrorRate = 1.0;
+    double payloadBitErrorRate = 1.0;
+    std::uint64_t wireBitsDecoded = 0;
+    /** Whether the audit still detects the (mitigated) channel. */
+    bool detected = false;
+    /** Trojan+spy actions executed (their own throughput cost). */
+    std::uint64_t pairActions = 0;
+};
+
+/**
+ * Run `workload`'s trojan/spy pair under `level` and measure the
+ * surviving channel.  The protocol adversary is forced on so the
+ * decode is judged end-to-end (preamble sync, voting, ECC), and the
+ * probe seconds/bandwidth derive from the simulated clock.
+ */
+ResidualProbe probeResidualBandwidth(AuditedWorkload workload,
+                                     const OnlineAuditOptions& base,
+                                     const ResponsePlan& plan);
+
+/** Bandwidth reduction fraction in [0, 1]; 1.0 when the baseline is
+ *  itself zero (nothing to reduce). */
+double bandwidthReduction(double baselineBps, double residualBps);
+
+/** The price benign co-runners pay under one response level. */
+struct TaxProbe
+{
+    ResponseLevel level = ResponseLevel::Observe;
+    std::uint64_t baselineActions = 0;
+    std::uint64_t taxedActions = 0;
+    /** 1 - taxed/baseline throughput of the benign pair. */
+    double tax = 0.0;
+};
+
+/**
+ * Run a benign pair with and without `plan` (applied to the pair's
+ * contexts {0, 1}) and report the slowdown.
+ */
+TaxProbe measureBenignTax(const OnlineAuditOptions& base,
+                          const ResponsePlan& plan);
+
+} // namespace cchunter
+
+#endif // CCHUNTER_RESPOND_RESIDUAL_HH

@@ -1,0 +1,15 @@
+#include "respond/response_policy.hh"
+
+namespace cchunter
+{
+
+const UnitResponsePolicy&
+ResponsePolicy::forUnit(MonitorTarget unit) const
+{
+    for (const auto& [id, policy] : perUnit)
+        if (id == unit)
+            return policy;
+    return defaults;
+}
+
+} // namespace cchunter

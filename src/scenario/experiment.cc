@@ -8,6 +8,8 @@
 
 #include "channels/bus_channel.hh"
 #include "channels/cache_channel.hh"
+#include "channels/capacity.hh"
+#include "channels/channel_spy.hh"
 #include "channels/divider_channel.hh"
 #include "channels/tlb_channel.hh"
 #include "detect/autocorrelation.hh"
@@ -190,6 +192,17 @@ scenarioConfig(const ScenarioOptions& opts)
         cfg.set("protocol.ack_gap_bits",
                 static_cast<std::int64_t>(opts.protocol.ackGapBits));
     }
+    // And for the response axis: only an engaged plan is echoed.
+    if (opts.response.active()) {
+        cfg.set("respond.level",
+                std::string(responseLevelName(opts.response.level)));
+        cfg.set("respond.bus_lock_interval",
+                static_cast<std::int64_t>(opts.response.busLockInterval));
+        cfg.set("respond.throttle_period",
+                static_cast<std::int64_t>(opts.response.throttlePeriod));
+        cfg.set("respond.throttle_active",
+                static_cast<std::int64_t>(opts.response.throttleActive));
+    }
     return cfg;
 }
 
@@ -284,20 +297,125 @@ runOnlineAudit(const OnlineAuditOptions& options)
     AuditDaemon daemon(machine, auditor);
     faults.attach(daemon);
 
+    // Whole-run response axis: the plan is engaged before the first
+    // quantum (measuring a channel *under* an already-applied
+    // response, e.g. a residual-bandwidth probe).
+    const std::array<ContextId, 2> pair_ctx =
+        unit ? unit->channelContexts
+             : std::array<ContextId, 2>{ContextId{0}, ContextId{1}};
+    if (opts.response.active()) {
+        if (unit)
+            applyResponsePlan(machine, unit->id, opts.response);
+        else
+            applyResponsePlan(machine, pair_ctx, opts.response);
+    }
+
     OnlineAnalysisParams online = options.online;
     if (opts.quanta != 0 &&
         online.clusteringIntervalQuanta > opts.quanta)
         online.clusteringIntervalQuanta = opts.quanta;
     online.hunter = opts.thresholds.apply(online.hunter);
+    // Detection-triggered response needs the alarm stream current at
+    // each boundary: force the synchronous analysis path so the
+    // engagement quantum is deterministic.
+    if (options.autoRespond.enabled)
+        online.asyncAnalysis = false;
     daemon.enableOnlineAnalysis(online);
+
+    OnlineAuditResult result;
+
+    // Closed loop: engage the configured plan at the first quantum
+    // boundary whose cumulative alarm count crosses the threshold.
+    // Registered after the daemon's observer, so it sees the alarms
+    // the boundary's own analysis just raised.
+    if (options.autoRespond.enabled) {
+        machine.scheduler().addQuantumObserver(
+            [&result, &machine, &daemon, &options, unit,
+             pair_ctx](std::uint64_t q, Tick) {
+                if (result.response.engaged)
+                    return;
+                if (daemon.alarms().size() <
+                    options.autoRespond.alarmThreshold)
+                    return;
+                if (unit)
+                    applyResponsePlan(machine, unit->id,
+                                      options.autoRespond.plan);
+                else
+                    applyResponsePlan(machine, pair_ctx,
+                                      options.autoRespond.plan);
+                result.response.engaged = true;
+                result.response.quantum = q;
+                result.response.level =
+                    options.autoRespond.plan.level;
+            });
+    }
 
     machine.runQuanta(opts.quanta);
 
-    OnlineAuditResult result;
     result.alarms = daemon.alarms();
     result.pipeline = daemon.pipelineStats();
     result.degraded = daemon.degradedStats();
     result.quantaRecorded = daemon.quantaRecorded();
+
+    // Performance-tax accounting: the first two processes are always
+    // the trojan/spy or benign pair (noise is added after them).
+    {
+        const auto& procs = machine.scheduler().processes();
+        const std::size_t n = std::min<std::size_t>(2, procs.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            result.pairActions += procs[i]->stats().actions;
+            result.pairScheduledQuanta +=
+                procs[i]->stats().scheduledQuanta;
+        }
+    }
+
+    // Decode oracle: recover the spy through the common ChannelSpy
+    // interface (no per-unit dispatch) and score what survived.
+    if (unit) {
+        const ChannelSpy* spy = nullptr;
+        for (const auto& p : machine.scheduler().processes())
+            if ((spy = dynamic_cast<const ChannelSpy*>(&p->workload())))
+                break;
+        if (spy) {
+            ChannelDecodeOutcome& ch = result.channel;
+            ch.present = true;
+            const Message& wire = ctx.message;
+            ch.wireBitsDecoded = spy->decodedSlots().size();
+            ch.wireBitErrorRate =
+                slotBitErrorRate(wire, spy->decodedSlots());
+            ch.payloadBitErrorRate = ch.wireBitErrorRate;
+            double payload_fraction = 1.0;
+            if (opts.protocol.enabled && !wire.empty()) {
+                // The receiver's link layer sees one wire pass; frame
+                // repeats inside the wire already vote retransmissions.
+                const Message decoded_wire = spy->decoded();
+                std::vector<bool> received;
+                const std::size_t limit =
+                    std::min(decoded_wire.size(), wire.size());
+                received.reserve(limit);
+                for (std::size_t i = 0; i < limit; ++i)
+                    received.push_back(decoded_wire.bit(i));
+                const Message recovered = decodeProtocol(
+                    Message::fromBits(std::move(received)),
+                    opts.protocol, payload.size(), &ch.protocolStats);
+                ch.payloadBitErrorRate =
+                    payload.bitErrorRate(recovered);
+                payload_fraction = static_cast<double>(payload.size()) /
+                                   static_cast<double>(wire.size());
+            }
+            ch.seconds = ticksToSeconds(
+                static_cast<Tick>(opts.quanta) * opts.quantum);
+            const double good_bits =
+                static_cast<double>(ch.wireBitsDecoded) *
+                payload_fraction;
+            ch.effectiveBandwidthBps =
+                ch.seconds > 0.0
+                    ? good_bits / ch.seconds *
+                          bscCapacity(ch.payloadBitErrorRate)
+                    : 0.0;
+        }
+    }
+
     for (unsigned s = 0; s < auditor.numSlots(); ++s) {
         if (!auditor.slotActive(s))
             continue;
@@ -401,6 +519,8 @@ runBusScenario(const ScenarioOptions& opts)
     machine.addProcess(std::move(spy_owned), 2); // core 1
 
     addNoise(machine, opts);
+    if (opts.response.active())
+        applyResponsePlan(machine, MonitorTarget::MemoryBus, opts.response);
 
     // Optional raw event-train recording (figure 4).
     std::vector<Tick> raw_events;
@@ -462,6 +582,8 @@ runDividerScenario(const ScenarioOptions& opts)
     machine.addProcess(std::move(spy_owned), 1); // same core, HT 1
 
     addNoise(machine, opts);
+    if (opts.response.active())
+        applyResponsePlan(machine, MonitorTarget::IntegerDivider, opts.response);
 
     // Optional raw event-train recording (figure 4): expand conflict
     // bursts into individual wait events inside the window.
@@ -533,6 +655,8 @@ runMultiplierScenario(const ScenarioOptions& opts)
     machine.addProcess(std::move(spy_owned), 1); // same core, HT 1
 
     addNoise(machine, opts);
+    if (opts.response.active())
+        applyResponsePlan(machine, MonitorTarget::IntegerMultiplier, opts.response);
 
     CCAuditor auditor(machine);
     FaultHarness faults(opts, auditor);
@@ -601,6 +725,8 @@ runCacheScenario(const ScenarioOptions& opts)
     machine.addProcess(std::move(spy_owned), 1); // same core, HT 1
 
     addNoise(machine, opts);
+    if (opts.response.active())
+        applyResponsePlan(machine, MonitorTarget::L2Cache, opts.response);
 
     CCAuditor auditor(machine);
     FaultHarness faults(opts, auditor);
@@ -672,6 +798,8 @@ runTlbScenario(const ScenarioOptions& opts)
     machine.addProcess(std::move(spy_owned), 1); // same core, HT 1
 
     addNoise(machine, opts);
+    if (opts.response.active())
+        applyResponsePlan(machine, MonitorTarget::Tlb, opts.response);
 
     CCAuditor auditor(machine);
     FaultHarness faults(opts, auditor);
@@ -727,6 +855,10 @@ runBenignPair(const std::string& a, const std::string& b,
         machine.addProcess(makeBenchmark(a, opts.seed + 1), 0);
         machine.addProcess(makeBenchmark(b, opts.seed + 2), 1);
         addNoise(machine, opts);
+        if (opts.response.active())
+            applyResponsePlan(machine,
+                              {ContextId{0}, ContextId{1}},
+                              opts.response);
 
         CCAuditor auditor(machine);
         FaultHarness faults(opts, auditor);
@@ -758,6 +890,10 @@ runBenignPair(const std::string& a, const std::string& b,
         machine.addProcess(makeBenchmark(a, opts.seed + 1), 0);
         machine.addProcess(makeBenchmark(b, opts.seed + 2), 1);
         addNoise(machine, opts);
+        if (opts.response.active())
+            applyResponsePlan(machine,
+                              {ContextId{0}, ContextId{1}},
+                              opts.response);
 
         CCAuditor auditor(machine);
         FaultHarness faults(opts, auditor);

@@ -19,6 +19,7 @@
 #include "detect/detector.hh"
 #include "detect/event_train.hh"
 #include "faults/fault_plan.hh"
+#include "mitigate/response_plan.hh"
 #include "units/unit_registry.hh"
 #include "util/config.hh"
 #include "util/histogram.hh"
@@ -105,6 +106,15 @@ struct ScenarioOptions
      * sweeps them for ROC curves.
      */
     DetectionThresholds thresholds;
+
+    /**
+     * The response axis: a mitigation plan engaged from the start of
+     * the run (mitigate/response_plan.hh).  Observe, the default,
+     * leaves runs bit-identical to the pre-response harness; the other
+     * rungs are how the respond subsystem measures residual channel
+     * bandwidth and benign performance tax under each ladder level.
+     */
+    ResponsePlan response;
 
     /** Effective signal window for the configured bandwidth. */
     Tick effectiveSignalTicks() const;
@@ -267,6 +277,21 @@ struct OnlineAuditOptions
     BenignAuditUnits benignUnits = BenignAuditUnits::BusDivider;
 
     /**
+     * Close the loop inside the run: once the daemon has raised
+     * `alarmThreshold` alarms, engage `plan` at the next quantum
+     * boundary (detection-triggered mitigation, as opposed to the
+     * whole-run scenario.response axis).  Forces synchronous online
+     * analysis so the engagement quantum is deterministic.
+     */
+    struct AutoResponse
+    {
+        bool enabled = false;
+        ResponsePlan plan;
+        std::size_t alarmThreshold = 1;
+    };
+    AutoResponse autoRespond;
+
+    /**
      * Defer the end-of-run oscillation verdicts: instead of running
      * the final full-window transform per cache slot inside the run,
      * carry the retained label series (and the oscillation params the
@@ -329,6 +354,40 @@ std::size_t finalizeDeferredOscillations(
  * including across analysisThreads values and the async hand-off under
  * Block — which is what lets the fleet auditor shard tenants freely.
  */
+/**
+ * Ground-truth decode oracle of a channel run: what the spy actually
+ * recovered, and the channel's effective bandwidth after accounting
+ * for protocol overhead and the BSC capacity at the observed payload
+ * error rate.  This is the number the respond subsystem compares
+ * before/after mitigation — "residual bandwidth", the metric the
+ * countermeasure literature says must be measured, not assumed zero.
+ */
+struct ChannelDecodeOutcome
+{
+    bool present = false; //!< false for benign-pair runs
+    /** Wire-level bit slots the spy decoded. */
+    std::uint64_t wireBitsDecoded = 0;
+    /** Wire-slot BER against the transmitted bits. */
+    double wireBitErrorRate = 1.0;
+    /** Payload BER after protocol decoding (== wire BER when the
+     *  protocol adversary is disabled). */
+    double payloadBitErrorRate = 1.0;
+    ProtocolDecodeStats protocolStats;
+    /** Simulated wall-clock of the run, in seconds. */
+    double seconds = 0.0;
+    /** Payload bits/s recovered: decode rate scaled by the protocol's
+     *  payload fraction and the BSC capacity at the payload BER. */
+    double effectiveBandwidthBps = 0.0;
+};
+
+/** Whether/when the in-run auto-response engaged. */
+struct ResponseEngagement
+{
+    bool engaged = false;
+    std::uint64_t quantum = 0; //!< boundary index that triggered it
+    ResponseLevel level = ResponseLevel::Observe;
+};
+
 struct OnlineAuditResult
 {
     std::vector<Alarm> alarms;
@@ -336,6 +395,18 @@ struct OnlineAuditResult
     DegradedStats degraded;
     std::uint64_t quantaRecorded = 0;
     unsigned monitoredSlots = 0;
+
+    /** Decode oracle (channel workloads only). */
+    ChannelDecodeOutcome channel;
+
+    /** In-run auto-response outcome. */
+    ResponseEngagement response;
+
+    /** Combined action count of the first two processes — the
+     *  trojan/spy or benign pair — for performance-tax accounting. */
+    std::uint64_t pairActions = 0;
+    /** Quanta the pair actually got scheduled. */
+    std::uint64_t pairScheduledQuanta = 0;
 
     /**
      * End-of-run offline verdict per monitored slot (ascending slot

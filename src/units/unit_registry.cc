@@ -31,6 +31,7 @@ makeBusUnit()
     d.policy = AlarmKind::Contention;
     d.deltaT = busDeltaT;
     d.mitigation = MitigationKind::RateLimitBusLocks;
+    d.channelContexts = {ContextId{0}, ContextId{2}};
     d.buildWorkload = [](Machine& machine, const UnitRunContext& ctx) {
         BusTrojanParams tp;
         tp.timing = ctx.timing;

@@ -157,6 +157,13 @@ struct UnitDescriptor
     /** Recommended post-detection response. */
     MitigationKind mitigation = MitigationKind::None;
 
+    /** The two hardware contexts buildWorkload pins the trojan/spy
+     *  pair onto — the pair the response ladder partitions or
+     *  quarantines.  SMT channels share a core ({0, 1}); the bus
+     *  channel crosses cores ({0, 2}). */
+    std::array<ContextId, 2> channelContexts = {ContextId{0},
+                                                ContextId{1}};
+
     /** Adjust machine parameters for a channel run on this unit
      *  (e.g. the cache channel's direct-mapped L2 substitution). */
     std::function<void(MachineParams&, const UnitRunContext&)>

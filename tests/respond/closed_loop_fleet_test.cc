@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Closed-loop fleet tests: the response action log inherits the
+ * incident stream's determinism contract (byte-identical across shard
+ * layouts, analysis fan-out and crash/resume at every batch boundary),
+ * active response state survives a crash/restart through the snapshot,
+ * and residual measurements surface in the report.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/fleet_auditor.hh"
+#include "persist/snapshot_file.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+constexpr std::size_t kFleetTenants = 8;
+
+ResponsePolicy
+aggressivePolicy()
+{
+    ResponsePolicy policy;
+    policy.defaults.escalateAfterIncidents = 1;
+    return policy;
+}
+
+class ClosedLoopFleetTest : public testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = std::filesystem::path(testing::TempDir()) /
+               (std::string("cchunter_respond_") +
+                testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name());
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+    }
+
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    FleetAuditParams
+    params(std::size_t shards, std::size_t analysisThreads = 1,
+           bool persistOn = false) const
+    {
+        FleetAuditParams p;
+        p.shards = shards;
+        p.workerThreads = 2;
+        p.analysisThreads = analysisThreads;
+        p.respond.enabled = true;
+        p.respond.policy = aggressivePolicy();
+        if (persistOn) {
+            p.persist.dir = dir_.string();
+            p.persist.checkpointIntervalBatches = 3;
+        }
+        return p;
+    }
+
+    FleetAuditReport
+    runFleet(const FleetAuditParams& p) const
+    {
+        const TenantRegistry registry = TenantRegistry::synthetic({});
+        return FleetAuditor(registry, p).run();
+    }
+
+    std::filesystem::path dir_;
+};
+
+TEST_F(ClosedLoopFleetTest, IncidentsEngageTheLadder)
+{
+    const FleetAuditReport report = runFleet(params(2));
+    ASSERT_TRUE(report.respond.enabled);
+    // The synthetic fleet plants real channels; with a 1-incident
+    // escalation threshold the loop must have engaged something.
+    EXPECT_FALSE(report.incidents.incidents().empty());
+    EXPECT_FALSE(report.respond.orchestrator.actions().empty());
+    EXPECT_FALSE(report.respond.orchestrator.engagedPairs().empty());
+    EXPECT_EQ(report.respond.orchestrator.epoch(), 1u);
+
+    const auto entries = report.statEntries();
+    bool sawActions = false;
+    for (const auto& e : entries)
+        if (e.name == "fleet.respond.actions.total") {
+            sawActions = true;
+            EXPECT_GT(e.value, 0.0);
+        }
+    EXPECT_TRUE(sawActions);
+
+    // Respond off: no respond entries, report section disabled.
+    FleetAuditParams off = params(2);
+    off.respond.enabled = false;
+    const FleetAuditReport quiet = runFleet(off);
+    EXPECT_FALSE(quiet.respond.enabled);
+    for (const auto& e : quiet.statEntries())
+        EXPECT_EQ(e.name.rfind("fleet.respond.", 0),
+                  std::string::npos);
+}
+
+TEST_F(ClosedLoopFleetTest, ActionLogByteIdenticalAcrossLayouts)
+{
+    const std::string baselineActions =
+        runFleet(params(1)).respond.orchestrator.streamText();
+    ASSERT_FALSE(baselineActions.empty());
+
+    const std::size_t hw =
+        std::max(2u, std::thread::hardware_concurrency());
+    for (const std::size_t shards : {std::size_t(2), std::size_t(8)}) {
+        for (const std::size_t threads : {std::size_t(1), hw}) {
+            const FleetAuditReport report =
+                runFleet(params(shards, threads));
+            EXPECT_EQ(report.respond.orchestrator.streamText(),
+                      baselineActions)
+                << "shards=" << shards << " threads=" << threads;
+        }
+    }
+}
+
+TEST_F(ClosedLoopFleetTest, KillSweepPreservesTheActionLog)
+{
+    // Extends the PR-8 kill sweep to the response loop: die after
+    // every durable batch count, resume, and demand the uninterrupted
+    // run's action log byte for byte.
+    const std::string baselineActions =
+        runFleet(params(2)).respond.orchestrator.streamText();
+    ASSERT_FALSE(baselineActions.empty());
+
+    for (std::uint64_t k = 1; k <= kFleetTenants; ++k) {
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+
+        FleetAuditParams crash = params(2, 1, true);
+        crash.simulateCrashAfterBatches = k;
+        const FleetAuditReport crashed = runFleet(crash);
+        ASSERT_TRUE(crashed.crashed) << "k=" << k;
+        // A killed run never orchestrates: respond stays off-path.
+        EXPECT_FALSE(crashed.respond.enabled) << "k=" << k;
+
+        FleetAuditParams resume = params(2, 1, true);
+        resume.persist.resume = true;
+        const FleetAuditReport resumed = runFleet(resume);
+        EXPECT_FALSE(resumed.crashed) << "k=" << k;
+        EXPECT_EQ(resumed.respond.orchestrator.streamText(),
+                  baselineActions)
+            << "k=" << k;
+    }
+}
+
+TEST_F(ClosedLoopFleetTest, ActiveResponseStateSurvivesRestart)
+{
+    // Run 1 engages the ladder and snapshots it; run 2 resumes, so its
+    // orchestrator continues from the persisted state (epoch 2) —
+    // byte-identical to two uninterrupted back-to-back runs, even when
+    // the second run is killed and resumed in between.
+    const std::string twoEpochs = [&] {
+        FleetAuditParams p = params(2, 1, true);
+        runFleet(p);
+        p.persist.resume = true;
+        return runFleet(p).respond.orchestrator.streamText();
+    }();
+
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    runFleet(params(2, 1, true)); // epoch 1, snapshot carries state
+
+    // The final snapshot decodes with the response record in place.
+    const std::string snapshot = persist::snapshotPath(
+        persist::PersistPolicy{.dir = dir_.string()});
+    persist::FleetCheckpoint checkpoint;
+    {
+        const persist::RecordFileContents contents =
+            persist::readRecordFile(snapshot,
+                                    persist::ReadMode::Snapshot);
+        ASSERT_TRUE(contents.clean());
+        ASSERT_TRUE(
+            persist::decodeFleetCheckpoint(contents, checkpoint));
+        ASSERT_TRUE(checkpoint.respond.has_value());
+        EXPECT_FALSE(checkpoint.respond->actions.empty());
+        EXPECT_EQ(checkpoint.respond->epoch, 1u);
+    }
+
+    // Strip the batches (keep the response state) so the next resume
+    // has to re-audit — the on-disk shape a run killed right after a
+    // compaction would leave behind.
+    checkpoint.batches.clear();
+    checkpoint.finalized = false;
+    checkpoint.incidents.reset();
+    ASSERT_TRUE(persist::writeFileAtomic(
+        snapshot, persist::encodeFleetCheckpoint(checkpoint)));
+    std::filesystem::remove(persist::journalPath(
+        persist::PersistPolicy{.dir = dir_.string()}));
+
+    // Kill the re-audit mid-way; the mid-run checkpoints must carry
+    // the restored response state forward across the crash.
+    FleetAuditParams crash = params(2, 1, true);
+    crash.persist.resume = true;
+    crash.simulateCrashAfterBatches = 4;
+    ASSERT_TRUE(runFleet(crash).crashed);
+
+    FleetAuditParams resume = params(2, 1, true);
+    resume.persist.resume = true;
+    const FleetAuditReport resumed = runFleet(resume);
+    EXPECT_FALSE(resumed.crashed);
+    EXPECT_GT(resumed.respond.restoredActions, 0u);
+    EXPECT_EQ(resumed.respond.orchestrator.epoch(), 2u);
+    EXPECT_EQ(resumed.respond.orchestrator.streamText(), twoEpochs);
+    EXPECT_GT(resumed.persist.restoredResponseActions, 0u);
+}
+
+TEST_F(ClosedLoopFleetTest, ResidualMeasurementsSurfaceInTheReport)
+{
+    FleetAuditParams p = params(2);
+    p.respond.measureResidual = true;
+    p.respond.maxResidualProbes = 1;
+    const FleetAuditReport report = runFleet(p);
+    ASSERT_TRUE(report.respond.enabled);
+    ASSERT_EQ(report.respond.residuals.size(), 1u);
+
+    const ResidualMeasurement& m = report.respond.residuals.front();
+    EXPECT_NE(m.unit, MonitorTarget::None);
+    EXPECT_GT(m.unmitigated.effectiveBandwidthBps, 0.0);
+    EXPECT_GE(m.reduction, 0.0);
+    EXPECT_LE(m.reduction, 1.0);
+    EXPECT_GE(m.tax.tax, 0.0);
+    EXPECT_GT(m.tax.baselineActions, 0u);
+
+    const auto entries = report.statEntries();
+    const auto value = [&](const std::string& name) -> double {
+        for (const auto& e : entries)
+            if (e.name == name)
+                return e.value;
+        ADD_FAILURE() << "missing stat " << name;
+        return -1.0;
+    };
+    EXPECT_EQ(value("fleet.respond.residual.measurements"), 1.0);
+    EXPECT_GE(value("fleet.respond.residual.meanReduction"), 0.0);
+    EXPECT_GE(value("fleet.respond.residual.worstTax"), 0.0);
+}
+
+} // namespace
+} // namespace cchunter

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Scheduler isolation hooks + mitigation engage/release pairs: the
+ * actuator layer the response ladder drives.  Every transition is
+ * counted (IsolationStats / MitigationLedger), releases restore the
+ * pre-engagement state, and a machine that never engages isolation
+ * schedules bit-identically to one without the hooks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "channels/divider_channel.hh"
+#include "mitigate/mitigator.hh"
+#include "mitigate/response_plan.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+MachineParams
+smallMachine()
+{
+    MachineParams p;
+    p.scheduler.quantum = 2500000;
+    return p;
+}
+
+/** Adds a divider trojan/spy pair on contexts 0/1; returns the spy. */
+Process&
+addDividerPair(Machine& machine)
+{
+    ChannelTiming timing;
+    timing.start = 1000;
+    timing.bandwidthBps = 10000.0;
+    Rng rng(1);
+    DividerTrojanParams tp;
+    tp.timing = timing;
+    tp.message = Message::random64(rng);
+    machine.addProcess(std::make_unique<DividerTrojan>(tp), 0);
+    DividerSpyParams sp;
+    sp.timing = timing;
+    return machine.addProcess(std::make_unique<DividerSpy>(sp), 1);
+}
+
+TEST(SchedulerIsolationTest, PartitionAlternatesTheTwoContexts)
+{
+    Machine machine(smallMachine());
+    Scheduler& sched = machine.scheduler();
+    EXPECT_FALSE(sched.isolationActive());
+
+    ASSERT_TRUE(sched.partitionContexts(0, 1));
+    EXPECT_TRUE(sched.isolationActive());
+    // `a` owns even quanta, `b` odd ones — never co-scheduled.
+    for (std::uint64_t q = 0; q < 6; ++q) {
+        EXPECT_EQ(sched.contextSuppressed(0, q), q % 2 == 1) << q;
+        EXPECT_EQ(sched.contextSuppressed(1, q), q % 2 == 0) << q;
+        EXPECT_FALSE(sched.contextSuppressed(2, q)) << q;
+    }
+
+    // Re-engaging the same pair (either order) is a counted no-op.
+    EXPECT_FALSE(sched.partitionContexts(1, 0));
+    EXPECT_EQ(sched.isolation().partitionsEngaged, 1u);
+    EXPECT_TRUE(sched.releasePartition(1, 0));
+    EXPECT_FALSE(sched.releasePartition(0, 1));
+    EXPECT_FALSE(sched.isolationActive());
+    EXPECT_EQ(sched.isolation().partitionsReleased, 1u);
+}
+
+TEST(SchedulerIsolationTest, ThrottleEnforcesTheDutyCycle)
+{
+    Machine machine(smallMachine());
+    Scheduler& sched = machine.scheduler();
+    ASSERT_TRUE(sched.throttleContext(1, 4, 1));
+    for (std::uint64_t q = 0; q < 8; ++q)
+        EXPECT_EQ(sched.contextSuppressed(1, q), q % 4 >= 1) << q;
+
+    // Re-engaging updates the duty cycle without a new transition.
+    EXPECT_FALSE(sched.throttleContext(1, 4, 3));
+    EXPECT_EQ(sched.isolation().throttlesEngaged, 1u);
+    for (std::uint64_t q = 0; q < 8; ++q)
+        EXPECT_EQ(sched.contextSuppressed(1, q), q % 4 >= 3) << q;
+
+    EXPECT_TRUE(sched.releaseThrottle(1));
+    EXPECT_FALSE(sched.releaseThrottle(1));
+    EXPECT_EQ(sched.isolation().throttlesReleased, 1u);
+}
+
+TEST(SchedulerIsolationTest, QuarantineSuppressesEveryQuantum)
+{
+    Machine machine(smallMachine());
+    Scheduler& sched = machine.scheduler();
+    ASSERT_TRUE(sched.quarantineContext(0));
+    EXPECT_FALSE(sched.quarantineContext(0));
+    for (std::uint64_t q = 0; q < 4; ++q)
+        EXPECT_TRUE(sched.contextSuppressed(0, q));
+    EXPECT_EQ(sched.activeQuarantines(), 1u);
+    EXPECT_TRUE(sched.releaseQuarantine(0));
+    EXPECT_EQ(sched.isolation().quarantinesEngaged, 1u);
+    EXPECT_EQ(sched.isolation().quarantinesReleased, 1u);
+}
+
+TEST(SchedulerIsolationTest, QuarantineStopsAPinnedChannelPair)
+{
+    Machine machine(smallMachine());
+    addDividerPair(machine);
+    machine.runQuanta(2);
+    const auto before = machine.divider(0).totalConflicts();
+    EXPECT_GT(before, 0u);
+
+    Scheduler& sched = machine.scheduler();
+    ASSERT_TRUE(sched.quarantineContext(0));
+    ASSERT_TRUE(sched.quarantineContext(1));
+    machine.runQuanta(1); // boundary applies the suppression
+    const auto at_switch = machine.divider(0).totalConflicts();
+    machine.runQuanta(3);
+    EXPECT_EQ(machine.divider(0).totalConflicts(), at_switch);
+    EXPECT_GT(sched.isolation().suppressedQuanta, 0u);
+}
+
+TEST(ResponsePlanTest, ConfigRoundTrip)
+{
+    ResponsePlan plan;
+    plan.level = ResponseLevel::TemporalPartition;
+    plan.busLockInterval = 42000;
+    plan.throttlePeriod = 8;
+    plan.throttleActive = 2;
+
+    const ResponsePlan back = ResponsePlan::fromConfig(plan.toConfig());
+    EXPECT_EQ(back.level, plan.level);
+    EXPECT_EQ(back.busLockInterval, plan.busLockInterval);
+    EXPECT_EQ(back.throttlePeriod, plan.throttlePeriod);
+    EXPECT_EQ(back.throttleActive, plan.throttleActive);
+    EXPECT_TRUE(back.active());
+    EXPECT_FALSE(ResponsePlan{}.active());
+}
+
+TEST(ResponsePlanTest, LevelNamesRoundTrip)
+{
+    for (const ResponseLevel level :
+         {ResponseLevel::Observe, ResponseLevel::RateLimit,
+          ResponseLevel::TemporalPartition,
+          ResponseLevel::Quarantine})
+        EXPECT_EQ(responseLevelFromName(responseLevelName(level)),
+                  level);
+    EXPECT_EQ(escalated(ResponseLevel::Quarantine),
+              ResponseLevel::Quarantine);
+    EXPECT_EQ(deescalated(ResponseLevel::Observe),
+              ResponseLevel::Observe);
+    EXPECT_EQ(escalated(ResponseLevel::Observe),
+              ResponseLevel::RateLimit);
+    EXPECT_EQ(deescalated(ResponseLevel::Quarantine),
+              ResponseLevel::TemporalPartition);
+}
+
+TEST(ResponsePlanTest, BusRateLimitPlanDrivesTheBus)
+{
+    Machine machine(smallMachine());
+    ResponsePlan plan;
+    plan.level = ResponseLevel::RateLimit;
+    plan.busLockInterval = 77000;
+    ASSERT_TRUE(applyResponsePlan(machine, MonitorTarget::MemoryBus,
+                                  plan));
+    EXPECT_EQ(machine.mem().bus().lockRateLimit(), 77000u);
+    ASSERT_TRUE(releaseResponsePlan(machine, MonitorTarget::MemoryBus,
+                                    plan));
+    EXPECT_EQ(machine.mem().bus().lockRateLimit(), 0u);
+}
+
+TEST(ResponsePlanTest, QuarantinePlanEngagesAndReleasesBothContexts)
+{
+    Machine machine(smallMachine());
+    ResponsePlan plan;
+    plan.level = ResponseLevel::Quarantine;
+    const std::array<ContextId, 2> pair = {0, 1};
+    ASSERT_TRUE(applyResponsePlan(machine, pair, plan));
+    EXPECT_EQ(machine.scheduler().activeQuarantines(), 2u);
+    ASSERT_TRUE(releaseResponsePlan(machine, pair, plan));
+    EXPECT_FALSE(machine.scheduler().isolationActive());
+    EXPECT_EQ(machine.scheduler().isolation().quarantinesEngaged, 2u);
+    EXPECT_EQ(machine.scheduler().isolation().quarantinesReleased, 2u);
+}
+
+TEST(MitigatorLedgerTest, UnshareEngageReleaseRestoresThePin)
+{
+    Machine machine(smallMachine());
+    Process& spy = addDividerPair(machine);
+
+    CCAuditor auditor(machine);
+    AuditDaemon daemon(machine, auditor);
+    Mitigator mitigator(machine, daemon);
+
+    const MitigationReport engage = mitigator.unshare(spy.pid());
+    ASSERT_TRUE(engage.applied);
+    EXPECT_EQ(mitigator.ledger().unshares, 1u);
+    EXPECT_EQ(mitigator.ledger().engaged(), 1u);
+
+    const MitigationReport release =
+        mitigator.releaseUnshare(spy.pid());
+    ASSERT_TRUE(release.applied);
+    EXPECT_EQ(mitigator.ledger().unshareReleases, 1u);
+    EXPECT_EQ(mitigator.ledger().released(), 1u);
+    // The pin is back where it started.
+    EXPECT_EQ(release.newContext, 1);
+
+    // Releasing twice is safe and not applied.
+    EXPECT_FALSE(mitigator.releaseUnshare(spy.pid()).applied);
+}
+
+TEST(MitigatorLedgerTest, BusRateLimitEngageReleasePair)
+{
+    Machine machine(smallMachine());
+    CCAuditor auditor(machine);
+    AuditDaemon daemon(machine, auditor);
+    Mitigator mitigator(machine, daemon);
+
+    ASSERT_TRUE(mitigator.rateLimitBusLocks(123456).applied);
+    EXPECT_EQ(machine.mem().bus().lockRateLimit(), 123456u);
+    EXPECT_EQ(mitigator.ledger().rateLimits, 1u);
+
+    ASSERT_TRUE(mitigator.releaseBusLockRateLimit().applied);
+    EXPECT_EQ(machine.mem().bus().lockRateLimit(), 0u);
+    EXPECT_EQ(mitigator.ledger().rateLimitReleases, 1u);
+}
+
+} // namespace
+} // namespace cchunter

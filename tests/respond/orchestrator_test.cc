@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Response orchestrator tests: the escalation ladder's hysteresis
+ * (escalate counters, TTL cool-down), the critical fast path, the
+ * per-unit caps, the action rate limits, byte-stable action-log
+ * rendering, and the persisted-state round trip (both through
+ * ResponseOrchestrator::restored and the snapshot codec).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "persist/fleet_snapshot.hh"
+#include "respond/orchestrator.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+Incident
+makeIncident(TenantId tenant, MonitorTarget unit,
+             IncidentSeverity severity = IncidentSeverity::Warning,
+             std::uint64_t id = 1)
+{
+    Incident incident;
+    incident.id = id;
+    incident.tenant = tenant;
+    incident.unit = unit;
+    incident.severity = severity;
+    return incident;
+}
+
+Incident
+fleetWideIncident(MonitorTarget unit, std::vector<TenantId> tenants)
+{
+    Incident incident;
+    incident.id = 7;
+    incident.fleetWide = true;
+    incident.unit = unit;
+    incident.severity = IncidentSeverity::Warning;
+    incident.correlatedTenants = std::move(tenants);
+    return incident;
+}
+
+TEST(ResponseOrchestratorTest, EscalatesOneRungPerThreshold)
+{
+    ResponsePolicy policy;
+    policy.criticalFastPath = false;
+    policy.deescalateAfterQuietEpochs = 0; // no cool-down here
+    ResponseOrchestrator orch(policy);
+
+    const auto round = [&](std::size_t count) {
+        std::vector<Incident> incidents(
+            count, makeIncident(3, MonitorTarget::IntegerDivider));
+        orch.observeIncidents(incidents);
+    };
+
+    // Default escalateAfterIncidents = 2: one incident is not enough.
+    round(1);
+    EXPECT_EQ(orch.levelFor(3, MonitorTarget::IntegerDivider),
+              ResponseLevel::Observe);
+    EXPECT_TRUE(orch.actions().empty());
+
+    // The second trips the counter; each further pair climbs a rung.
+    round(1);
+    EXPECT_EQ(orch.levelFor(3, MonitorTarget::IntegerDivider),
+              ResponseLevel::RateLimit);
+    round(2);
+    EXPECT_EQ(orch.levelFor(3, MonitorTarget::IntegerDivider),
+              ResponseLevel::TemporalPartition);
+    round(2);
+    EXPECT_EQ(orch.levelFor(3, MonitorTarget::IntegerDivider),
+              ResponseLevel::Quarantine);
+
+    // Quarantine saturates: more pressure adds no action.
+    const std::size_t actions = orch.actions().size();
+    round(4);
+    EXPECT_EQ(orch.levelFor(3, MonitorTarget::IntegerDivider),
+              ResponseLevel::Quarantine);
+    EXPECT_EQ(orch.actions().size(), actions);
+
+    ASSERT_EQ(actions, 3u);
+    EXPECT_EQ(orch.actions()[0].kind, ResponseActionKind::Engage);
+    EXPECT_EQ(orch.actions()[1].kind, ResponseActionKind::Escalate);
+    EXPECT_EQ(orch.actions()[2].kind, ResponseActionKind::Escalate);
+}
+
+TEST(ResponseOrchestratorTest, CriticalFastPathJumpsToPartition)
+{
+    ResponseOrchestrator orch;
+    orch.observeIncidents({makeIncident(1, MonitorTarget::L2Cache,
+                                        IncidentSeverity::Critical)});
+    EXPECT_EQ(orch.levelFor(1, MonitorTarget::L2Cache),
+              ResponseLevel::TemporalPartition);
+    ASSERT_EQ(orch.actions().size(), 1u);
+    EXPECT_EQ(orch.actions().front().kind, ResponseActionKind::Engage);
+    EXPECT_EQ(orch.actions().front().to,
+              ResponseLevel::TemporalPartition);
+}
+
+TEST(ResponseOrchestratorTest, PerUnitPolicyCapsTheLadder)
+{
+    ResponsePolicy policy;
+    policy.deescalateAfterQuietEpochs = 0;
+    UnitResponsePolicy capped;
+    capped.maxLevel = ResponseLevel::RateLimit;
+    capped.escalateAfterIncidents = 1;
+    policy.perUnit.push_back({MonitorTarget::MemoryBus, capped});
+    ResponseOrchestrator orch(policy);
+
+    for (int i = 0; i < 5; ++i)
+        orch.observeIncidents({makeIncident(
+            2, MonitorTarget::MemoryBus, IncidentSeverity::Critical)});
+    // Even the critical fast path cannot climb past the unit's cap.
+    EXPECT_EQ(orch.levelFor(2, MonitorTarget::MemoryBus),
+              ResponseLevel::RateLimit);
+    EXPECT_EQ(orch.actions().size(), 1u);
+}
+
+TEST(ResponseOrchestratorTest, TtlDeescalationUnwindsOneRungPerQuietTtl)
+{
+    ResponsePolicy policy;
+    policy.deescalateAfterQuietEpochs = 2;
+    UnitResponsePolicy fast;
+    fast.escalateAfterIncidents = 1;
+    policy.defaults = fast;
+    ResponseOrchestrator orch(policy);
+
+    // Three pressured epochs climb straight to quarantine.
+    for (int i = 0; i < 3; ++i)
+        orch.observeIncidents(
+            {makeIncident(5, MonitorTarget::IntegerDivider)});
+    ASSERT_EQ(orch.levelFor(5, MonitorTarget::IntegerDivider),
+              ResponseLevel::Quarantine);
+
+    // Quiet epochs: one rung per TTL interval, never all at once.
+    orch.observeIncidents({});
+    EXPECT_EQ(orch.levelFor(5, MonitorTarget::IntegerDivider),
+              ResponseLevel::Quarantine);
+    orch.observeIncidents({});
+    EXPECT_EQ(orch.levelFor(5, MonitorTarget::IntegerDivider),
+              ResponseLevel::TemporalPartition);
+    orch.observeIncidents({});
+    EXPECT_EQ(orch.levelFor(5, MonitorTarget::IntegerDivider),
+              ResponseLevel::TemporalPartition);
+    orch.observeIncidents({});
+    EXPECT_EQ(orch.levelFor(5, MonitorTarget::IntegerDivider),
+              ResponseLevel::RateLimit);
+    orch.observeIncidents({});
+    orch.observeIncidents({});
+    EXPECT_EQ(orch.levelFor(5, MonitorTarget::IntegerDivider),
+              ResponseLevel::Observe);
+
+    // The unwind is recorded: 2 de-escalations + the final release.
+    const auto& actions = orch.actions();
+    ASSERT_EQ(actions.size(), 6u);
+    EXPECT_EQ(actions[3].kind, ResponseActionKind::Deescalate);
+    EXPECT_TRUE(actions[3].ttl);
+    EXPECT_EQ(actions[5].kind, ResponseActionKind::Release);
+}
+
+TEST(ResponseOrchestratorTest, RateCapsSuppressWithoutMovingState)
+{
+    ResponsePolicy policy;
+    policy.maxTotalActions = 1;
+    UnitResponsePolicy fast;
+    fast.escalateAfterIncidents = 1;
+    policy.defaults = fast;
+    ResponseOrchestrator orch(policy);
+
+    orch.observeIncidents(
+        {makeIncident(1, MonitorTarget::IntegerDivider)});
+    EXPECT_EQ(orch.actions().size(), 1u);
+    EXPECT_EQ(orch.suppressed(), 0u);
+
+    // Further pressure is counted but the ladder does not move —
+    // mirroring IncidentStore suppression semantics.
+    orch.observeIncidents(
+        {makeIncident(1, MonitorTarget::IntegerDivider)});
+    EXPECT_EQ(orch.actions().size(), 1u);
+    EXPECT_GE(orch.suppressed(), 1u);
+    EXPECT_EQ(orch.levelFor(1, MonitorTarget::IntegerDivider),
+              ResponseLevel::RateLimit);
+}
+
+TEST(ResponseOrchestratorTest, PerTenantCapIsIndependent)
+{
+    ResponsePolicy policy;
+    policy.maxActionsPerTenant = 1;
+    policy.deescalateAfterQuietEpochs = 0;
+    UnitResponsePolicy fast;
+    fast.escalateAfterIncidents = 1;
+    policy.defaults = fast;
+    ResponseOrchestrator orch(policy);
+
+    for (int i = 0; i < 3; ++i)
+        orch.observeIncidents(
+            {makeIncident(1, MonitorTarget::IntegerDivider),
+             makeIncident(2, MonitorTarget::IntegerDivider)});
+    // Each tenant got exactly its one admitted action.
+    EXPECT_EQ(orch.actions().size(), 2u);
+    EXPECT_EQ(orch.levelFor(1, MonitorTarget::IntegerDivider),
+              ResponseLevel::RateLimit);
+    EXPECT_EQ(orch.levelFor(2, MonitorTarget::IntegerDivider),
+              ResponseLevel::RateLimit);
+    EXPECT_GE(orch.suppressed(), 2u);
+}
+
+TEST(ResponseOrchestratorTest, FleetWidePressuresEveryCorrelatedTenant)
+{
+    ResponsePolicy policy;
+    UnitResponsePolicy fast;
+    fast.escalateAfterIncidents = 1;
+    policy.defaults = fast;
+    ResponseOrchestrator orch(policy);
+
+    orch.observeIncidents(
+        {fleetWideIncident(MonitorTarget::L2Cache, {2, 4, 6})});
+    EXPECT_EQ(orch.actions().size(), 3u);
+    for (const TenantId tenant : {2u, 4u, 6u})
+        EXPECT_EQ(orch.levelFor(tenant, MonitorTarget::L2Cache),
+                  ResponseLevel::RateLimit)
+            << "tenant=" << tenant;
+    EXPECT_EQ(orch.engagedPairs().size(), 3u);
+}
+
+TEST(ResponseOrchestratorTest, ActionLogIsByteStable)
+{
+    const auto run = [] {
+        ResponsePolicy policy;
+        UnitResponsePolicy fast;
+        fast.escalateAfterIncidents = 1;
+        policy.defaults = fast;
+        ResponseOrchestrator orch(policy);
+        orch.observeIncidents(
+            {makeIncident(3, MonitorTarget::IntegerDivider,
+                          IncidentSeverity::Warning, 11)});
+        orch.observeIncidents({});
+        orch.observeIncidents({});
+        return orch;
+    };
+    const ResponseOrchestrator a = run();
+    const ResponseOrchestrator b = run();
+    EXPECT_EQ(a.streamText(), b.streamText());
+    EXPECT_EQ(a.streamHash(), b.streamHash());
+    EXPECT_NE(a.streamHash(), 0u);
+
+    // The rendering is the contract: pin one line's exact shape.
+    ASSERT_FALSE(a.actions().empty());
+    EXPECT_EQ(a.actions().front().actionLine(),
+              "action 0 epoch=1 tenant=3 unit=divider engage "
+              "observe->rate-limit trigger=incident:11");
+}
+
+TEST(ResponseOrchestratorTest, RestoredOrchestratorContinuesExactly)
+{
+    ResponsePolicy policy;
+    UnitResponsePolicy fast;
+    fast.escalateAfterIncidents = 1;
+    policy.defaults = fast;
+
+    ResponseOrchestrator live(policy);
+    live.observeIncidents(
+        {makeIncident(4, MonitorTarget::L2Cache)});
+
+    ResponseOrchestrator restored = ResponseOrchestrator::restored(
+        policy, live.snapshotState());
+    EXPECT_EQ(restored.streamText(), live.streamText());
+    EXPECT_EQ(restored.levelFor(4, MonitorTarget::L2Cache),
+              ResponseLevel::RateLimit);
+
+    // Both sides observe the same next round: byte-identical logs.
+    const std::vector<Incident> next = {
+        makeIncident(4, MonitorTarget::L2Cache,
+                     IncidentSeverity::Warning, 9)};
+    live.observeIncidents(next);
+    restored.observeIncidents(next);
+    EXPECT_EQ(restored.streamText(), live.streamText());
+    EXPECT_EQ(restored.streamHash(), live.streamHash());
+}
+
+TEST(ResponseOrchestratorTest, ResponseStateCodecRoundTrips)
+{
+    ResponsePolicy policy;
+    UnitResponsePolicy fast;
+    fast.escalateAfterIncidents = 1;
+    policy.defaults = fast;
+    ResponseOrchestrator orch(policy);
+    orch.observeIncidents(
+        {makeIncident(1, MonitorTarget::IntegerDivider),
+         makeIncident(2, MonitorTarget::MemoryBus,
+                      IncidentSeverity::Critical)});
+    orch.observeIncidents({});
+
+    const ResponseOrchestratorState state = orch.snapshotState();
+    const std::vector<std::uint8_t> bytes =
+        persist::encodeResponseState(state);
+    ResponseOrchestratorState back;
+    ASSERT_TRUE(persist::decodeResponseState(bytes, back));
+    EXPECT_EQ(back.epoch, state.epoch);
+    EXPECT_EQ(back.suppressed, state.suppressed);
+    EXPECT_EQ(back.nextActionId, state.nextActionId);
+    ASSERT_EQ(back.states.size(), state.states.size());
+    ASSERT_EQ(back.actions.size(), state.actions.size());
+    const ResponseOrchestrator rebuilt =
+        ResponseOrchestrator::restored(policy, back);
+    EXPECT_EQ(rebuilt.streamText(), orch.streamText());
+
+    // Wrong-kind payloads are refused, garbage does not crash.
+    ResponseOrchestratorState rejected;
+    EXPECT_FALSE(persist::decodeResponseState(
+        persist::encodeMeta(1, false, 0), rejected));
+    EXPECT_FALSE(persist::decodeResponseState({0x04, 0x01}, rejected));
+}
+
+TEST(ResponseOrchestratorTest, StatEntriesCarryTheCounters)
+{
+    ResponsePolicy policy;
+    UnitResponsePolicy fast;
+    fast.escalateAfterIncidents = 1;
+    policy.defaults = fast;
+    ResponseOrchestrator orch(policy);
+    orch.observeIncidents(
+        {makeIncident(1, MonitorTarget::IntegerDivider)});
+
+    const auto entries = orch.statEntries("respond.");
+    const auto value = [&](const std::string& name) -> double {
+        for (const auto& e : entries)
+            if (e.name == name)
+                return e.value;
+        ADD_FAILURE() << "missing stat " << name;
+        return -1.0;
+    };
+    EXPECT_EQ(value("respond.actions.total"), 1.0);
+    EXPECT_EQ(value("respond.actions.engage"), 1.0);
+    EXPECT_EQ(value("respond.actions.suppressed"), 0.0);
+    EXPECT_EQ(value("respond.epoch"), 1.0);
+    EXPECT_EQ(value("respond.level.rate-limit"), 1.0);
+    EXPECT_EQ(value("respond.level.quarantine"), 0.0);
+}
+
+} // namespace
+} // namespace cchunter

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Residual-bandwidth and performance-tax probes, plus the in-run
+ * auto-response: the measurement half of the closed loop.  The key
+ * facts pinned here: an unmitigated channel decodes real payload
+ * bandwidth, a quarantined channel decodes nothing (100% reduction —
+ * the bench gate's backbone), and the benign tax orders with response
+ * severity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "respond/residual.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+OnlineAuditOptions
+dividerAudit()
+{
+    OnlineAuditOptions options;
+    options.workload = AuditedWorkload::Divider;
+    options.scenario.bandwidthBps = 10000.0;
+    options.scenario.quanta = 8;
+    options.scenario.quantum = 2500000;
+    options.scenario.seed = 1;
+    options.scenario.noiseProcesses = 0;
+    options.online.clusteringIntervalQuanta = 4;
+    return options;
+}
+
+ResponsePlan
+planAt(ResponseLevel level)
+{
+    ResponsePlan plan;
+    plan.level = level;
+    return plan;
+}
+
+TEST(ResidualProbeTest, UnmitigatedChannelDecodesBandwidth)
+{
+    const ResidualProbe probe = probeResidualBandwidth(
+        AuditedWorkload::Divider, dividerAudit(),
+        planAt(ResponseLevel::Observe));
+    EXPECT_GT(probe.wireBitsDecoded, 0u);
+    EXPECT_GT(probe.effectiveBandwidthBps, 0.0);
+    EXPECT_LT(probe.payloadBitErrorRate, 0.5);
+    EXPECT_TRUE(probe.detected);
+}
+
+TEST(ResidualProbeTest, QuarantineSilencesTheChannelCompletely)
+{
+    const ResidualProbe baseline = probeResidualBandwidth(
+        AuditedWorkload::Divider, dividerAudit(),
+        planAt(ResponseLevel::Observe));
+    const ResidualProbe quarantined = probeResidualBandwidth(
+        AuditedWorkload::Divider, dividerAudit(),
+        planAt(ResponseLevel::Quarantine));
+    // Neither party is ever scheduled: zero decoded slots, zero
+    // bandwidth — the deterministic floor behind the >=90% bench gate.
+    EXPECT_EQ(quarantined.wireBitsDecoded, 0u);
+    EXPECT_EQ(quarantined.effectiveBandwidthBps, 0.0);
+    EXPECT_EQ(quarantined.pairActions, 0u);
+    EXPECT_EQ(bandwidthReduction(baseline.effectiveBandwidthBps,
+                                 quarantined.effectiveBandwidthBps),
+              1.0);
+}
+
+TEST(ResidualProbeTest, ReductionHelperClampsAndHandlesZeroBaseline)
+{
+    EXPECT_EQ(bandwidthReduction(0.0, 0.0), 1.0);
+    EXPECT_EQ(bandwidthReduction(100.0, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(bandwidthReduction(100.0, 25.0), 0.75);
+    EXPECT_EQ(bandwidthReduction(100.0, 200.0), 0.0);
+}
+
+TEST(ResidualProbeTest, ProbesAreDeterministic)
+{
+    const ResidualProbe a = probeResidualBandwidth(
+        AuditedWorkload::Divider, dividerAudit(),
+        planAt(ResponseLevel::TemporalPartition));
+    const ResidualProbe b = probeResidualBandwidth(
+        AuditedWorkload::Divider, dividerAudit(),
+        planAt(ResponseLevel::TemporalPartition));
+    EXPECT_EQ(a.wireBitsDecoded, b.wireBitsDecoded);
+    EXPECT_DOUBLE_EQ(a.effectiveBandwidthBps,
+                     b.effectiveBandwidthBps);
+    EXPECT_EQ(a.pairActions, b.pairActions);
+}
+
+TEST(BenignTaxTest, TaxOrdersWithResponseSeverity)
+{
+    const OnlineAuditOptions base = dividerAudit();
+    const TaxProbe none =
+        measureBenignTax(base, planAt(ResponseLevel::Observe));
+    const TaxProbe throttled =
+        measureBenignTax(base, planAt(ResponseLevel::RateLimit));
+    const TaxProbe quarantined =
+        measureBenignTax(base, planAt(ResponseLevel::Quarantine));
+
+    EXPECT_GT(none.baselineActions, 0u);
+    EXPECT_EQ(none.tax, 0.0);
+    // The spy-context throttle slows the pair; quarantine starves it.
+    EXPECT_GT(throttled.tax, 0.0);
+    EXPECT_GT(quarantined.tax, throttled.tax);
+    EXPECT_GT(quarantined.tax, 0.9);
+}
+
+TEST(AutoResponseTest, EngagesMidRunAndCutsTheChannel)
+{
+    OnlineAuditOptions options = dividerAudit();
+    options.autoRespond.enabled = true;
+    options.autoRespond.plan = planAt(ResponseLevel::Quarantine);
+    options.autoRespond.alarmThreshold = 1;
+
+    const OnlineAuditResult mitigated = runOnlineAudit(options);
+    ASSERT_TRUE(mitigated.response.engaged);
+    EXPECT_EQ(mitigated.response.level, ResponseLevel::Quarantine);
+    EXPECT_GT(mitigated.response.quantum, 0u);
+
+    options.autoRespond.enabled = false;
+    const OnlineAuditResult open = runOnlineAudit(options);
+    EXPECT_FALSE(open.response.engaged);
+    // The quarantine engaged mid-run, after the first alarm: the spy
+    // decoded strictly less than in the unmitigated run.
+    EXPECT_LT(mitigated.channel.wireBitsDecoded,
+              open.channel.wireBitsDecoded);
+    EXPECT_LT(mitigated.pairScheduledQuanta,
+              open.pairScheduledQuanta);
+}
+
+TEST(AutoResponseTest, EngagementQuantumIsDeterministic)
+{
+    OnlineAuditOptions options = dividerAudit();
+    options.autoRespond.enabled = true;
+    options.autoRespond.plan = planAt(ResponseLevel::Quarantine);
+
+    const OnlineAuditResult a = runOnlineAudit(options);
+    const OnlineAuditResult b = runOnlineAudit(options);
+    ASSERT_TRUE(a.response.engaged);
+    EXPECT_EQ(a.response.quantum, b.response.quantum);
+    EXPECT_EQ(a.channel.wireBitsDecoded, b.channel.wireBitsDecoded);
+}
+
+} // namespace
+} // namespace cchunter

@@ -1,18 +1,31 @@
 #!/usr/bin/env python3
-"""Compare a fresh BENCH_analysis.json against the checked-in baseline.
+"""Compare a fresh bench JSON against the checked-in baseline.
 
-Google-benchmark JSON in, pass/fail out.  Every gated kernel bench may
-regress at most --threshold (default 10%) relative to the baseline.
+Two modes:
 
-Raw wall times are useless across machines, so both runs are
-normalised by a reference bench first: BM_AutocorrelogramNaiveFull/16384
-is a plain scalar O(n·k) loop that none of the optimised kernels
-touch, making its ratio between the two files a clean estimate of the
-machine-speed difference.  A gated bench fails only if it got slower
-by more than the threshold *after* that correction.
+Timing mode (default) — google-benchmark JSON in, pass/fail out.
+Every gated kernel bench may regress at most --threshold (default 10%)
+relative to the baseline.  Raw wall times are useless across machines,
+so both runs are normalised by a reference bench first:
+BM_AutocorrelogramNaiveFull/16384 is a plain scalar O(n·k) loop that
+none of the optimised kernels touch, making its ratio between the two
+files a clean estimate of the machine-speed difference.  A gated bench
+fails only if it got slower by more than the threshold *after* that
+correction.
+
+Metrics mode (--metrics) — simulated-clock quality metrics
+(BENCH_mitigation.json and friends): both files carry a flat
+"metrics" object whose key prefix encodes the good direction.
+`reduction.*` entries are higher-better (fail when the current value
+falls more than --tolerance below the baseline), `tax.*` entries are
+lower-better (fail when it rises more than --tolerance above).  The
+underlying runs are deterministic, so any drift at all means the
+closed loop changed behaviour.
 
 Usage:
     check_bench_regression.py CURRENT BASELINE [--threshold 0.10]
+    check_bench_regression.py --metrics CURRENT BASELINE \\
+        [--tolerance 0.01]
 """
 
 import argparse
@@ -87,13 +100,102 @@ def load_times(path):
     return times
 
 
+def load_metrics(path):
+    """Return the flat {metric name: float} map of a metrics-mode
+    bench file (the "metrics" object BENCH_mitigation.json emits)."""
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except OSError as e:
+        raise BenchFileError(f"cannot read {path}: {e.strerror}")
+    except json.JSONDecodeError as e:
+        raise BenchFileError(f"{path} is not valid JSON: {e}")
+    metrics = doc.get("metrics") if isinstance(doc, dict) else None
+    if not isinstance(metrics, dict) or not metrics:
+        raise BenchFileError(
+            f"{path}: no \"metrics\" object — not a metrics-mode "
+            "bench file")
+    out = {}
+    for name, value in metrics.items():
+        if not isinstance(value, (int, float)):
+            raise BenchFileError(
+                f"{path}: metric {name!r} is not numeric")
+        out[name] = float(value)
+    return out
+
+
+def metric_direction(name):
+    """The good direction for a gated metric, by prefix; None for
+    informational entries."""
+    if name.startswith("reduction."):
+        return "higher"
+    if name.startswith("tax."):
+        return "lower"
+    return None
+
+
+def compare_metrics(current, baseline, tolerance):
+    """Metrics-mode comparison: deterministic quality numbers with a
+    direction per prefix.  Returns the process exit code."""
+    print(f"metrics tolerance: {tolerance:.3f}\n")
+    header = f"{'metric':<44} {'baseline':>9} {'current':>9}  verdict"
+    print(header)
+    print("-" * len(header))
+
+    failures = []
+    for name in sorted(baseline):
+        direction = metric_direction(name)
+        if direction is None:
+            continue
+        if name not in current:
+            failures.append(name)
+            print(f"{name:<44} {baseline[name]:>9.4f} {'missing':>9}  "
+                  "FAIL (metric disappeared)")
+            continue
+        drift = current[name] - baseline[name]
+        bad = (drift < -tolerance if direction == "higher"
+               else drift > tolerance)
+        if bad:
+            failures.append(name)
+        print(f"{name:<44} {baseline[name]:>9.4f} "
+              f"{current[name]:>9.4f}  "
+              f"{'FAIL' if bad else 'ok'}")
+
+    for name in sorted(set(current) - set(baseline)):
+        if metric_direction(name) is not None:
+            print(f"{name:<44} {'absent':>9} {current[name]:>9.4f}  "
+                  "new (add to baseline)")
+
+    if failures:
+        print(f"\n{len(failures)} metric(s) regressed beyond "
+              f"{tolerance:.3f}: {', '.join(failures)}")
+        return 1
+    print("\nall gated metrics within tolerance")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("current", help="fresh BENCH_analysis.json")
+    parser.add_argument("current", help="fresh bench JSON")
     parser.add_argument("baseline", help="checked-in baseline JSON")
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="max allowed slowdown (fraction)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="compare flat quality metrics instead of "
+                             "google-benchmark timings")
+    parser.add_argument("--tolerance", type=float, default=0.01,
+                        help="max allowed metric drift in the bad "
+                             "direction (metrics mode)")
     args = parser.parse_args()
+
+    if args.metrics:
+        try:
+            current = load_metrics(args.current)
+            baseline = load_metrics(args.baseline)
+        except BenchFileError as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+        return compare_metrics(current, baseline, args.tolerance)
 
     try:
         current = load_times(args.current)
