@@ -9,7 +9,9 @@
  *
  * Arguments (key=value): seed, quanta, quantum, threads
  * (analysis fan-out; the JSON must not depend on it), buckets
- * (calibration buckets), out=<path>.
+ * (calibration buckets), out=<path>, backend=cchunter|indicator2
+ * (headline decision backend; both are always swept for the evasion
+ * head-to-head regardless).
  */
 
 #include <cstdio>
@@ -53,12 +55,15 @@ main(int argc, char** argv)
     QualityScorerOptions scorer;
     scorer.analysisThreads = cfg.getUint("threads", 1);
     scorer.calibrationBuckets = cfg.getUint("buckets", 5);
+    scorer.thresholds.backend = detectBackendFromName(
+        cfg.getString("backend", "cchunter"));
     const std::string out = cfg.getString("out", "BENCH_quality.json");
 
     banner("Detection quality: labelled corpus, ROC/AUC, gate",
            "Every clean channel must be caught at the paper's 0.5 "
-           "threshold, no benign pair may alarm, and per-unit AUC "
-           "must hold the checked-in baseline.");
+           "threshold, no benign pair may alarm, per-unit AUC must "
+           "hold the checked-in baseline, and the indicator2 backend "
+           "must win the evasion head-to-head.");
 
     const std::vector<LabelledScenario> corpus =
         buildLabelledCorpus(corpusOptions);
@@ -66,7 +71,7 @@ main(int argc, char** argv)
     const QualityReport report = scoreCorpus(corpus, scorer);
 
     TableWriter units({"unit", "clean tp/fn", "degraded tp/fn",
-                       "fp/tn", "clean TPR", "FPR", "AUC"});
+                       "fp/tn", "clean TPR", "FPR", "AUC", "AUC2"});
     for (const UnitQuality& q : report.units) {
         units.addRow({monitorTargetName(q.unit),
                       std::to_string(q.cleanTp) + "/" +
@@ -77,9 +82,35 @@ main(int argc, char** argv)
                           std::to_string(q.tn),
                       fmtDouble(q.cleanTpr()),
                       fmtDouble(q.falsePositiveRate()),
-                      fmtDouble(q.auc)});
+                      fmtDouble(q.auc), fmtDouble(q.auc2)});
     }
     units.render(std::cout);
+
+    // The arms race: pooled per-strategy AUC of each backend over the
+    // evasive positives against the full negative set.
+    TableWriter evasion({"strategy", "positives", "classic AUC",
+                         "indicator2 AUC", "margin"});
+    for (const EvasionStrategy strategy :
+         {EvasionStrategy::RandomGaps, EvasionStrategy::DutyCycle,
+          EvasionStrategy::LowAndSlow}) {
+        const EvasionQuality* classic = nullptr;
+        const EvasionQuality* second = nullptr;
+        for (const EvasionQuality& q : report.evasion) {
+            if (q.strategy != strategy)
+                continue;
+            (q.backend == DetectBackend::Indicator2 ? second
+                                                    : classic) = &q;
+        }
+        if (!classic || !second)
+            continue;
+        evasion.addRow({evasionStrategyName(strategy),
+                        std::to_string(classic->positives),
+                        fmtDouble(classic->auc),
+                        fmtDouble(second->auc),
+                        fmtDouble(second->auc - classic->auc)});
+    }
+    std::printf("\nevasion head-to-head (pooled over units):\n");
+    evasion.render(std::cout);
 
     TableWriter calib({"confidence", "alarms", "true alarms",
                        "mean conf", "precision"});

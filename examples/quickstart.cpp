@@ -12,7 +12,9 @@
  *   ./build/examples/quickstart
  *
  * Pass faults.* keys (e.g. faults.drop_quantum=0.1) to watch the
- * audit degrade gracefully instead of failing.
+ * audit degrade gracefully instead of failing, or evasion.* keys
+ * (e.g. evasion.strategy=gaps) to let the pair randomize its
+ * transmission schedule against the detector.
  */
 
 #include <cstdio>
@@ -42,6 +44,15 @@ main(int argc, char** argv)
     ChannelTiming timing;
     timing.start = 1000;
     timing.bandwidthBps = 1000.0;
+    // Optional evasive schedule: both ends share the plan (seed and
+    // all), so the channel still decodes while its contention
+    // footprint loses the regularity the detector keys on.
+    timing.evasion = EvasionPlan::fromConfig(cfg);
+    if (timing.evasion.enabled())
+        std::printf("evasion: strategy=%s seed=%llu\n",
+                    evasionStrategyName(timing.evasion.strategy),
+                    static_cast<unsigned long long>(
+                        timing.evasion.seed));
 
     Rng rng(42);
     const Message secret = Message::random64(rng); // a credit card no.

@@ -42,7 +42,7 @@ BusTrojan::nextAction(const ExecView& view)
     if (bit != lastBit_) {
         lastBit_ = bit;
         ++bitsSignalled_;
-        nextLockAt_ = t.bitStart(bit);
+        nextLockAt_ = t.signalStart(bit);
     }
 
     const bool value = params_.message.bitCyclic(bit);
@@ -64,6 +64,8 @@ BusTrojan::nextAction(const ExecView& view)
             std::min(nextDecoyAt_, next_bit));
     }
 
+    if (now < t.signalStart(bit))
+        return Action::sleepUntil(t.signalStart(bit));
     if (now < nextLockAt_) {
         const Tick pad = std::min(nextLockAt_, signal_end) - now;
         return Action::compute(static_cast<Cycles>(pad));
@@ -163,6 +165,8 @@ BusSpy::nextAction(const ExecView& view)
         finishSlot();
         return Action::sleepUntil(t.bitStart(slot + 1));
     }
+    if (now < t.signalStart(slot))
+        return Action::sleepUntil(t.signalStart(slot));
 
     // Stream through the private region to force L2 misses.
     const std::size_t lines = params_.regionBytes / 64;

@@ -49,17 +49,19 @@ CacheTrojan::nextAction(const ExecView& view)
 
     // Rounds: the signal window splits into roundsPerBit prime/probe
     // cycles; the trojan primes during the first half of each round.
-    const Tick bit_start = t.bitStart(bit);
-    const Tick signal = t.signalTicks();
+    const Tick win_start = t.signalStart(bit);
+    const Tick signal = t.activeTicks(bit);
     const std::size_t rounds =
         std::max<std::size_t>(1, params_.roundsPerBit);
     const Tick round_ticks = std::max<Tick>(2, signal / rounds);
-    if (now >= bit_start + signal)
+    if (now >= win_start + signal)
         return Action::sleepUntil(t.bitStart(bit + 1));
+    if (now < win_start)
+        return Action::sleepUntil(win_start);
 
     const std::size_t round = std::min<std::size_t>(
         rounds - 1, static_cast<std::size_t>(
-                        (now - bit_start) / round_ticks));
+                        (now - win_start) / round_ticks));
     const std::uint64_t round_key =
         static_cast<std::uint64_t>(bit) * rounds + round;
     if (round_key != lastRoundKey_) {
@@ -68,12 +70,12 @@ CacheTrojan::nextAction(const ExecView& view)
     }
 
     const bool value = params_.message.bitCyclic(bit);
-    const Tick round_start = bit_start + round * round_ticks;
+    const Tick round_start = win_start + round * round_ticks;
     const Tick prime_end = round_start + round_ticks / 2;
     const std::size_t total = params_.layout.linesPerGroup();
     if (primeCursor_ >= total || now >= prime_end) {
         const Tick next_round = round_start + round_ticks;
-        if (round + 1 < rounds && next_round < bit_start + signal)
+        if (round + 1 < rounds && next_round < win_start + signal)
             return Action::sleepUntil(next_round);
         return Action::sleepUntil(t.bitStart(bit + 1));
     }
@@ -155,10 +157,11 @@ CacheSpy::nextAction(const ExecView& view)
         }
     }
 
-    // While dormant (past the signal window), optionally behave like
-    // the embedding cover program: sparse random reads, not pure sleep.
-    const Tick bit_start = t.bitStart(bit);
-    const Tick signal = t.signalTicks();
+    // While dormant (outside the signal window), optionally behave
+    // like the embedding cover program: sparse random reads, not pure
+    // sleep.
+    const Tick win_start = t.signalStart(bit);
+    const Tick signal = t.activeTicks(bit);
     auto dormant_until = [&](Tick until) -> Action {
         if (params_.dormantNoiseGap == 0)
             return Action::sleepUntil(until);
@@ -171,8 +174,10 @@ CacheSpy::nextAction(const ExecView& view)
         }
         return Action::sleepUntil(std::min(nextDormantRead_, until));
     };
-    if (now >= bit_start + signal)
+    if (now >= win_start + signal)
         return dormant_until(t.bitStart(bit + 1));
+    if (now < win_start)
+        return dormant_until(win_start);
 
     // Rounds: probe during the second half of each prime/probe round.
     const std::size_t rounds =
@@ -180,14 +185,14 @@ CacheSpy::nextAction(const ExecView& view)
     const Tick round_ticks = std::max<Tick>(2, signal / rounds);
     const std::size_t round = std::min<std::size_t>(
         rounds - 1, static_cast<std::size_t>(
-                        (now - bit_start) / round_ticks));
+                        (now - win_start) / round_ticks));
     const std::uint64_t round_key =
         static_cast<std::uint64_t>(bit) * rounds + round;
     if (round_key != lastRoundKey_) {
         lastRoundKey_ = round_key;
         probeCursor_ = 0;
     }
-    const Tick round_start = bit_start + round * round_ticks;
+    const Tick round_start = win_start + round * round_ticks;
     const Tick probe_start = round_start + round_ticks / 2;
     if (now < probe_start)
         return Action::sleepUntil(probe_start);
@@ -196,7 +201,7 @@ CacheSpy::nextAction(const ExecView& view)
     const std::size_t total = 2 * per_group;
     if (probeCursor_ >= total) {
         const Tick next_round = round_start + round_ticks;
-        if (round + 1 < rounds && next_round < bit_start + signal)
+        if (round + 1 < rounds && next_round < win_start + signal)
             return Action::sleepUntil(next_round);
         finishBit();
         return dormant_until(t.bitStart(bit + 1));

@@ -31,6 +31,8 @@ DividerTrojan::nextAction(const ExecView& view)
     const bool value = params_.message.bitCyclic(bit);
     if (!value || now >= t.signalEnd(bit))
         return Action::sleepUntil(t.bitStart(bit + 1));
+    if (now < t.signalStart(bit))
+        return Action::sleepUntil(t.signalStart(bit));
 
     opsIssued_ += params_.chunkOps;
     return params_.useMultiplier
@@ -112,6 +114,8 @@ DividerSpy::nextAction(const ExecView& view)
         finishSlot();
         return Action::sleepUntil(t.bitStart(slot + 1));
     }
+    if (now < t.signalStart(slot))
+        return Action::sleepUntil(t.signalStart(slot));
 
     // Loop overhead between timed iterations.
     if (params_.gapMax > 0 && !gapPending_) {

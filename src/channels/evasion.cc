@@ -1,0 +1,98 @@
+#include "channels/evasion.hh"
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+const char*
+evasionStrategyName(EvasionStrategy strategy)
+{
+    switch (strategy) {
+    case EvasionStrategy::None:
+        return "none";
+    case EvasionStrategy::RandomGaps:
+        return "gaps";
+    case EvasionStrategy::DutyCycle:
+        return "duty";
+    case EvasionStrategy::LowAndSlow:
+        return "lowslow";
+    }
+    return "?";
+}
+
+EvasionStrategy
+evasionStrategyFromName(const std::string& name)
+{
+    for (const EvasionStrategy s :
+         {EvasionStrategy::None, EvasionStrategy::RandomGaps,
+          EvasionStrategy::DutyCycle, EvasionStrategy::LowAndSlow})
+        if (name == evasionStrategyName(s))
+            return s;
+    fatal("unknown evasion strategy '", name,
+          "' (valid: none, gaps, duty, lowslow)");
+}
+
+void
+EvasionPlan::validate() const
+{
+    if (gapJitter < 0.0 || gapJitter > 1.0)
+        fatal("EvasionPlan: gap_jitter ", gapJitter,
+              " outside [0, 1]");
+    if (dutyMin <= 0.0 || dutyMin > 1.0)
+        fatal("EvasionPlan: duty_min ", dutyMin, " outside (0, 1]");
+    if (dutyMax <= 0.0 || dutyMax > 1.0)
+        fatal("EvasionPlan: duty_max ", dutyMax, " outside (0, 1]");
+    if (dutyMin > dutyMax)
+        fatal("EvasionPlan: duty_min ", dutyMin,
+              " exceeds duty_max ", dutyMax);
+    if (stretch == 0)
+        fatal("EvasionPlan: stretch must be >= 1");
+}
+
+EvasionPlan
+EvasionPlan::fromConfig(const Config& cfg)
+{
+    EvasionPlan plan;
+    plan.strategy = evasionStrategyFromName(cfg.getString(
+        "evasion.strategy", evasionStrategyName(plan.strategy)));
+    plan.seed = cfg.getUint("evasion.seed", plan.seed);
+    plan.gapJitter = cfg.getDouble("evasion.gap_jitter", plan.gapJitter);
+    plan.dutyMin = cfg.getDouble("evasion.duty_min", plan.dutyMin);
+    plan.dutyMax = cfg.getDouble("evasion.duty_max", plan.dutyMax);
+    plan.stretch = cfg.getUint("evasion.stretch", plan.stretch);
+    plan.validate();
+    return plan;
+}
+
+void
+EvasionPlan::toConfig(Config& cfg) const
+{
+    cfg.set("evasion.strategy", std::string(evasionStrategyName(strategy)));
+    cfg.set("evasion.seed", static_cast<std::int64_t>(seed));
+    cfg.set("evasion.gap_jitter", gapJitter);
+    cfg.set("evasion.duty_min", dutyMin);
+    cfg.set("evasion.duty_max", dutyMax);
+    cfg.set("evasion.stretch", static_cast<std::int64_t>(stretch));
+}
+
+std::uint64_t
+EvasionPlan::bitHash(std::size_t bit) const
+{
+    // splitmix64 over (seed, bit): cheap, stateless, identical on
+    // both ends of the pair, and O(1) per query so the timing API
+    // stays constant-time.
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ull *
+                                 (static_cast<std::uint64_t>(bit) + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+double
+EvasionPlan::bitUnit(std::size_t bit) const
+{
+    return static_cast<double>(bitHash(bit) >> 11) * 0x1.0p-53;
+}
+
+} // namespace cchunter

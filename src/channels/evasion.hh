@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Evasive transmission strategies for colluding trojan/spy pairs.
+ *
+ * Yao et al. ("Towards a Better Indicator for Cache Timing Channels")
+ * observe that first-order pattern statistics — exactly the
+ * autocorrelation and likelihood-ratio indicators CC-Hunter deploys —
+ * assume the trojan modulates contention on a regular rhythm, and that
+ * an adversary who randomizes pacing, duty cycle or rate can stay
+ * under them.  An EvasionPlan describes such an adversary: a seeded,
+ * per-bit perturbation of the transmission schedule that BOTH ends of
+ * the pair derive identically from the shared plan (the colluding pair
+ * exchanges the seed during its synchronization phase), so the channel
+ * still decodes while its contention footprint loses the regularity
+ * the classic detector keys on.
+ *
+ * Three strategies, all riding on ChannelTiming so every registered
+ * unit inherits them:
+ *  - RandomGaps: each bit's signalling burst starts at a seeded random
+ *    offset inside its slot (jittered pacing; inter-burst gaps become
+ *    irregular).
+ *  - DutyCycle: each bit's burst length is drawn from a seeded random
+ *    duty range (on/off trains of randomized width).
+ *  - LowAndSlow: the bit slot is stretched by an integer factor while
+ *    the burst keeps its original length, so transmission drops below
+ *    one bit per OS quantum and single bursts hide in mostly-idle
+ *    windows (bits spread over multiple quanta).
+ */
+
+#ifndef CCHUNTER_CHANNELS_EVASION_HH
+#define CCHUNTER_CHANNELS_EVASION_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/config.hh"
+
+namespace cchunter
+{
+
+/** The evasive sender strategies (None = the classic schedule). */
+enum class EvasionStrategy : std::uint8_t
+{
+    None,
+    RandomGaps,
+    DutyCycle,
+    LowAndSlow,
+};
+
+/** Short lower-case name of a strategy ("none", "gaps", ...). */
+const char* evasionStrategyName(EvasionStrategy strategy);
+
+/** Parse a strategy name; fatal on an unknown one, listing the valid
+ *  names. */
+EvasionStrategy evasionStrategyFromName(const std::string& name);
+
+/**
+ * The shared evasion schedule of one colluding pair.  A
+ * default-constructed plan (strategy None) leaves the transmission
+ * schedule bit-identical to the classic ChannelTiming arithmetic.
+ */
+struct EvasionPlan
+{
+    EvasionStrategy strategy = EvasionStrategy::None;
+
+    /** Seed of the per-bit jitter stream (shared by both ends). */
+    std::uint64_t seed = 1;
+
+    /**
+     * RandomGaps / LowAndSlow: fraction of the slot's idle slack the
+     * per-bit start offset may use, in [0, 1].  1 spreads bursts over
+     * the whole slot; 0 degenerates to the classic head-of-slot
+     * schedule.
+     */
+    double gapJitter = 1.0;
+
+    /** DutyCycle: per-bit duty drawn uniformly from [dutyMin,
+     *  dutyMax] ⊆ (0, 1]. */
+    double dutyMin = 0.25;
+    double dutyMax = 0.75;
+
+    /**
+     * LowAndSlow: integer slot-stretch factor (>= 1).  The bit slot
+     * becomes stretch x the classic slot while the burst keeps its
+     * classic length, cutting the transmitted rate to 1/stretch and
+     * leaving most of every slot idle.  1 disables the stretch.
+     */
+    std::size_t stretch = 16;
+
+    /** True when the plan perturbs the schedule at all. */
+    bool enabled() const { return strategy != EvasionStrategy::None; }
+
+    /** Fatal when any knob is out of range (named key + value). */
+    void validate() const;
+
+    /** Parse the `evasion.*` keys of a Config (missing keys keep
+     *  their defaults); validates the result. */
+    static EvasionPlan fromConfig(const Config& cfg);
+
+    /** Echo the plan into a Config under the `evasion.*` keys. */
+    void toConfig(Config& cfg) const;
+
+    /**
+     * Deterministic per-bit jitter word: both ends hash the shared
+     * seed with the bit index (splitmix64) and carve offsets / duty
+     * draws out of the result.  Pure function of (seed, bit).
+     */
+    std::uint64_t bitHash(std::size_t bit) const;
+
+    /** Uniform double in [0, 1) derived from bitHash(bit). */
+    double bitUnit(std::size_t bit) const;
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_CHANNELS_EVASION_HH

@@ -1,12 +1,18 @@
 #include "channels/timing.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace cchunter
 {
 
+namespace
+{
+
+/** Classic (unstretched) ticks per bit. */
 Tick
-ChannelTiming::bitTicks() const
+classicBitTicks(double ghz, double bandwidthBps)
 {
     if (bandwidthBps <= 0.0)
         fatal("ChannelTiming: bandwidth must be positive");
@@ -14,10 +20,23 @@ ChannelTiming::bitTicks() const
     return ticks < 1.0 ? 1 : static_cast<Tick>(ticks);
 }
 
+} // namespace
+
+Tick
+ChannelTiming::bitTicks() const
+{
+    const Tick classic = classicBitTicks(ghz, bandwidthBps);
+    if (evasion.strategy == EvasionStrategy::LowAndSlow)
+        return classic * static_cast<Tick>(evasion.stretch);
+    return classic;
+}
+
 Tick
 ChannelTiming::signalTicks() const
 {
-    const Tick bit = bitTicks();
+    // The burst keeps its classic length even when LowAndSlow
+    // stretches the slot — that is the whole point of the strategy.
+    const Tick bit = classicBitTicks(ghz, bandwidthBps);
     if (maxSignalTicks == 0 || maxSignalTicks > bit)
         return bit;
     return maxSignalTicks;
@@ -38,9 +57,50 @@ ChannelTiming::bitStart(std::size_t i) const
 }
 
 Tick
+ChannelTiming::signalStart(std::size_t i) const
+{
+    switch (evasion.strategy) {
+    case EvasionStrategy::None:
+    case EvasionStrategy::DutyCycle:
+        return bitStart(i);
+    case EvasionStrategy::RandomGaps:
+    case EvasionStrategy::LowAndSlow: {
+        // Jittered pacing: the burst starts at a seeded random offset
+        // inside the slot's idle slack, so inter-burst gaps lose their
+        // fixed period.  Both ends derive the same offset from the
+        // shared plan.
+        const Tick slot = bitTicks();
+        const Tick active = activeTicks(i);
+        const Tick slack = slot > active ? slot - active : 0;
+        const double span =
+            static_cast<double>(slack) * evasion.gapJitter;
+        const Tick offset =
+            static_cast<Tick>(span * evasion.bitUnit(i));
+        return bitStart(i) + offset;
+    }
+    }
+    return bitStart(i);
+}
+
+Tick
+ChannelTiming::activeTicks(std::size_t i) const
+{
+    if (evasion.strategy != EvasionStrategy::DutyCycle)
+        return signalTicks();
+    // Randomized duty: each bit's burst width is drawn from the plan's
+    // duty range, breaking the constant on/off train the classic
+    // autocorrelation indicator keys on.
+    const double duty =
+        evasion.dutyMin +
+        evasion.bitUnit(i) * (evasion.dutyMax - evasion.dutyMin);
+    const double active = static_cast<double>(signalTicks()) * duty;
+    return std::max<Tick>(1, static_cast<Tick>(active));
+}
+
+Tick
 ChannelTiming::signalEnd(std::size_t i) const
 {
-    return bitStart(i) + signalTicks();
+    return signalStart(i) + activeTicks(i);
 }
 
 bool
@@ -49,7 +109,7 @@ ChannelTiming::inSignalWindow(Tick now) const
     if (now < start)
         return false;
     const std::size_t bit = bitIndexAt(now);
-    return now >= bitStart(bit) && now < signalEnd(bit);
+    return now >= signalStart(bit) && now < signalEnd(bit);
 }
 
 } // namespace cchunter

@@ -8,6 +8,12 @@
  * window (the leading portion of each bit slot during which conflicts
  * are generated — low-bandwidth channels signal briefly and lie dormant
  * for the rest of the slot, as the paper's section VI-A describes).
+ *
+ * An attached EvasionPlan perturbs the schedule per bit — jittered
+ * burst starts, randomized duty, or a stretched low-and-slow slot —
+ * identically on both ends (the plan's seed is part of the agreed
+ * schedule), so evasive channels still decode.  A default (None) plan
+ * leaves every query bit-identical to the classic arithmetic.
  */
 
 #ifndef CCHUNTER_CHANNELS_TIMING_HH
@@ -15,6 +21,7 @@
 
 #include <cstddef>
 
+#include "channels/evasion.hh"
 #include "util/types.hh"
 
 namespace cchunter
@@ -33,10 +40,14 @@ struct ChannelTiming
      */
     Tick maxSignalTicks = 0;
 
-    /** Ticks per transmitted bit. */
+    /** Evasive schedule perturbation (None = classic schedule). */
+    EvasionPlan evasion;
+
+    /** Ticks per transmitted bit (LowAndSlow stretches the slot). */
     Tick bitTicks() const;
 
-    /** Ticks of active signalling at the head of each bit slot. */
+    /** Ticks of active signalling per bit before per-bit duty jitter
+     *  (the classic head-of-slot window length). */
     Tick signalTicks() const;
 
     /** Index of the bit slot containing `now`. */
@@ -44,6 +55,14 @@ struct ChannelTiming
 
     /** Start tick of bit slot i. */
     Tick bitStart(std::size_t i) const;
+
+    /** Start of the signalling window of bit slot i (== bitStart(i)
+     *  under the classic schedule; jittered under evasion). */
+    Tick signalStart(std::size_t i) const;
+
+    /** Active signalling ticks of bit slot i (== signalTicks() unless
+     *  the duty is jittered). */
+    Tick activeTicks(std::size_t i) const;
 
     /** End of the signalling window of bit slot i. */
     Tick signalEnd(std::size_t i) const;

@@ -55,11 +55,35 @@ OscillationVerdict::detectedAt(const OscillationParams& params) const
     return analysis.oscillatingAt(params);
 }
 
+const char*
+detectBackendName(DetectBackend backend)
+{
+    switch (backend) {
+    case DetectBackend::CCHunter:
+        return "cchunter";
+    case DetectBackend::Indicator2:
+        return "indicator2";
+    }
+    return "?";
+}
+
+DetectBackend
+detectBackendFromName(const std::string& name)
+{
+    for (const DetectBackend b :
+         {DetectBackend::CCHunter, DetectBackend::Indicator2})
+        if (name == detectBackendName(b))
+            return b;
+    fatal("unknown detect backend '", name,
+          "' (valid: cchunter, indicator2)");
+}
+
 void
 DetectionThresholds::validate() const
 {
     for (const double t :
-         {contentionLikelihood, oscillationPeak, oscillationStrongPeak})
+         {contentionLikelihood, oscillationPeak, oscillationStrongPeak,
+          indicator2Threshold})
         if (t < 0.0 || t > 1.0)
             fatal("DetectionThresholds: cut-off ", t,
                   " outside [0, 1]");

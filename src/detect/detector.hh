@@ -80,6 +80,26 @@ struct CCHunterParams
 };
 
 /**
+ * Which analysis backend renders the final verdict.  CCHunter is the
+ * classic recurrent-burst / autocorrelation pipeline; Indicator2 is
+ * the second-moment backend (detect/indicator2.hh) built to survive
+ * evasive senders.  Both run from the same auditor observations, so a
+ * scenario can score either (or both) without re-simulation.
+ */
+enum class DetectBackend : std::uint8_t
+{
+    CCHunter,
+    Indicator2,
+};
+
+/** Short lower-case backend name ("cchunter", "indicator2"). */
+const char* detectBackendName(DetectBackend backend);
+
+/** Parse a backend name; fatal on an unknown one, listing the valid
+ *  names. */
+DetectBackend detectBackendFromName(const std::string& name);
+
+/**
  * The decision cut-offs of both analysis paths in one plumbable
  * struct, defaulted to the paper's values: likelihood ratio >= 0.5
  * flags a contention channel (real channels score >= 0.9, benign
@@ -98,6 +118,12 @@ struct DetectionThresholds
 
     /** Single-strong-peak cut-off of the oscillation path. */
     double oscillationStrongPeak = 0.6;
+
+    /** Backend whose decision becomes the unit verdict. */
+    DetectBackend backend = DetectBackend::CCHunter;
+
+    /** Score cut-off of the indicator2 backend (both paths). */
+    double indicator2Threshold = 0.5;
 
     /** Fatal when any threshold lies outside [0, 1]. */
     void validate() const;

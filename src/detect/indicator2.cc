@@ -1,0 +1,133 @@
+#include "detect/indicator2.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cchunter
+{
+
+void
+Indicator2Params::validate() const
+{
+    if (contentionScale <= 0.0)
+        fatal("Indicator2Params: contention_scale ", contentionScale,
+              " must be positive");
+    if (runScale <= 0.0)
+        fatal("Indicator2Params: run_scale ", runScale,
+              " must be positive");
+}
+
+namespace
+{
+
+/** x / (x + scale): monotone squash of [0, inf) onto [0, 1). */
+double
+squash(double x, double scale)
+{
+    if (x <= 0.0)
+        return 0.0;
+    return x / (x + scale);
+}
+
+} // namespace
+
+Indicator2::Indicator2(Indicator2Params params) : params_(params)
+{
+    params_.validate();
+}
+
+Indicator2Result
+Indicator2::scoreContention(
+    const std::vector<const Histogram*>& quanta) const
+{
+    Indicator2Result out;
+    if (quanta.empty())
+        return out;
+
+    // Conditional second moment E[d² | d > 0] over the merged window:
+    // bin b holds the number of Δt windows that saw exactly b events,
+    // so Σ b²·c_b / Σ c_b (b >= 1) measures how hard the busy windows
+    // were driven, independent of how many idle windows separate them.
+    double weighted = 0.0;
+    std::uint64_t busy = 0;
+    for (const Histogram* h : quanta) {
+        for (std::size_t b = 1; b < h->numBins(); ++b) {
+            const std::uint64_t c = h->bin(b);
+            if (c == 0)
+                continue;
+            weighted += static_cast<double>(b) *
+                        static_cast<double>(b) *
+                        static_cast<double>(c);
+            busy += c;
+        }
+    }
+    out.samples = static_cast<std::size_t>(busy);
+    if (busy < params_.minNonZeroSamples)
+        return out;
+    out.rawStatistic = weighted / static_cast<double>(busy);
+    out.score = squash(out.rawStatistic, params_.contentionScale);
+    return out;
+}
+
+Indicator2Result
+Indicator2::scoreContention(const std::vector<Histogram>& quanta) const
+{
+    std::vector<const Histogram*> view;
+    view.reserve(quanta.size());
+    for (const Histogram& h : quanta)
+        view.push_back(&h);
+    return scoreContention(view);
+}
+
+Indicator2Result
+Indicator2::scoreOscillation(
+    const std::vector<double>& label_series) const
+{
+    Indicator2Result out;
+    out.samples = label_series.size();
+    if (label_series.size() < params_.minSeriesLength)
+        return out;
+
+    // Robust second moment of the same-label run lengths, in event
+    // order: the squared *median* run, weighted by the label balance.
+    // Group-wise eviction produces long, near-uniform alternating runs
+    // (the median run IS the signalling period), benign interference
+    // produces short geometric runs (median 1-3), and self-thrashing
+    // workloads produce a heavy tail — a few huge one-sided runs over
+    // a sea of singletons — that would dominate a mean-based moment
+    // but leaves the median untouched.
+    std::vector<std::size_t> runs;
+    std::size_t ones = 0;
+    std::size_t runLen = 1;
+    auto labelOf = [](double v) { return v >= 0.5; };
+    ones += labelOf(label_series.front()) ? 1 : 0;
+    for (std::size_t i = 1; i < label_series.size(); ++i) {
+        const bool cur = labelOf(label_series[i]);
+        ones += cur ? 1 : 0;
+        if (cur == labelOf(label_series[i - 1])) {
+            ++runLen;
+            continue;
+        }
+        runs.push_back(runLen);
+        runLen = 1;
+    }
+    runs.push_back(runLen);
+
+    // Upper median (deterministic for even counts).
+    const std::size_t mid = runs.size() / 2;
+    std::nth_element(runs.begin(), runs.begin() + mid, runs.end());
+    const double median = static_cast<double>(runs[mid]);
+
+    const double n = static_cast<double>(label_series.size());
+    const double p = static_cast<double>(ones) / n;
+    // 4p(1-p) is 1 for balanced labels and 0 for one-sided series;
+    // it suppresses degenerate all-hit / all-miss workloads whose
+    // single huge run is not communication.
+    const double balance = 4.0 * p * (1.0 - p);
+    out.rawStatistic = median * median * balance;
+    out.score = squash(out.rawStatistic, params_.runScale);
+    return out;
+}
+
+} // namespace cchunter

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Second-moment indicator backend ("indicator2").
+ *
+ * Yao et al. ("Towards a Better Indicator for Cache Timing Channels")
+ * argue that first-order pattern statistics — the autocorrelation and
+ * likelihood-ratio indicators the classic CC-Hunter backend deploys —
+ * break when the trojan randomizes its pacing or duty cycle, and
+ * propose distribution-shape statistics over the event train instead.
+ * This backend follows that idea on both analysis paths:
+ *
+ *  - Contention path: the second moment of the event-density
+ *    distribution, restricted to non-idle Δt windows.  A covert sender
+ *    must pack many conflict events into the windows it does use — no
+ *    matter how those windows are spaced in time — so the conditional
+ *    second moment E[d² | d > 0] stays large under jittered gaps,
+ *    randomized duty and low-and-slow stretching, while benign sharing
+ *    spreads thin (densities of a few events) and scores low.  The
+ *    statistic depends only on the density histogram, making it exactly
+ *    invariant under time-shift and burst re-ordering.
+ *
+ *  - Oscillation path: a robust second moment of the run lengths of
+ *    the labelled conflict-miss series — the squared *median* run,
+ *    weighted by the label balance 4p(1-p).  Communication by eviction
+ *    produces long, near-uniform same-label runs (a whole group of
+ *    sets conflicts, then the other group does) with near-balanced
+ *    labels; benign interference yields short geometric runs; and a
+ *    self-thrashing pair yields a heavy-tailed, one-sided run
+ *    distribution whose few huge runs would dominate a mean-based
+ *    moment but leave the median untouched.  Run lengths are indexed
+ *    by event order, not wall-clock, so the statistic survives pacing
+ *    jitter by construction.
+ *
+ * Both statistics are squashed to scores in [0, 1) via x / (x + scale),
+ * so a single threshold (DetectionThresholds::indicator2Threshold)
+ * sweeps ROC curves over stored results without re-simulation.  The
+ * scales are per-unit calibration constants (like the Δt presets) and
+ * come from the unit registry's `indicator2Scale`.
+ */
+
+#ifndef CCHUNTER_DETECT_INDICATOR2_HH
+#define CCHUNTER_DETECT_INDICATOR2_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "util/histogram.hh"
+
+namespace cchunter
+{
+
+/** Tunables of the second-moment backend. */
+struct Indicator2Params
+{
+    /**
+     * Squash scale of the contention statistic: score =
+     * M2 / (M2 + contentionScale) where M2 = E[d² | d > 0] over the
+     * window's merged density histogram.  M2 is expressed in the
+     * unit's own density terms, so production paths override this with
+     * the unit registry's per-unit `indicator2Scale` (bus bursts pack
+     * tens of events per Δt window, divider bursts hundreds); the
+     * default suits divider-scale densities.
+     */
+    double contentionScale = 500.0;
+
+    /** Squash scale of the oscillation run-length statistic
+     *  (median-run² x balance; also overridable per unit). */
+    double runScale = 64.0;
+
+    /**
+     * Minimum number of non-idle Δt windows before the contention
+     * statistic is trusted; fewer yields score 0 (mirrors the burst
+     * detector's minNonZeroSamples floor).
+     */
+    std::size_t minNonZeroSamples = 4;
+
+    /** Minimum labelled-event count of the oscillation path. */
+    std::size_t minSeriesLength = 64;
+
+    /** Fatal when a knob is out of range (named knob + value). */
+    void validate() const;
+};
+
+/** Outcome of one indicator2 evaluation (either path). */
+struct Indicator2Result
+{
+    /** Normalized score in [0, 1); compare against the threshold. */
+    double score = 0.0;
+
+    /** Raw statistic before squashing (M2, or median-run² x
+     *  balance). */
+    double rawStatistic = 0.0;
+
+    /** Samples the statistic was computed from (non-idle windows or
+     *  labelled events). */
+    std::size_t samples = 0;
+
+    /** Re-decide at any cut-off; `score >= threshold`. */
+    bool detectedAt(double threshold) const
+    {
+        return score >= threshold;
+    }
+};
+
+/** The second-moment analysis engine (stateless; cheap to copy). */
+class Indicator2
+{
+  public:
+    explicit Indicator2(Indicator2Params params = {});
+
+    /** Contention path over a window of per-quantum density
+     *  histograms (same input as CCHunter::analyzeContention). */
+    Indicator2Result scoreContention(
+        const std::vector<const Histogram*>& quanta) const;
+
+    /** Convenience overload for owned windows. */
+    Indicator2Result scoreContention(
+        const std::vector<Histogram>& quanta) const;
+
+    /** Oscillation path over a labelled conflict-miss series (same
+     *  input as CCHunter::analyzeOscillation). */
+    Indicator2Result scoreOscillation(
+        const std::vector<double>& label_series) const;
+
+    const Indicator2Params& params() const { return params_; }
+
+  private:
+    Indicator2Params params_;
+};
+
+} // namespace cchunter
+
+#endif // CCHUNTER_DETECT_INDICATOR2_HH

@@ -48,7 +48,8 @@ struct CorpusBuilder
         entry.name = std::move(name);
         entry.category = category;
         entry.covert = category == CorpusCategory::CleanChannel ||
-                       category == CorpusCategory::DegradedChannel;
+                       category == CorpusCategory::DegradedChannel ||
+                       category == CorpusCategory::EvasiveChannel;
         entry.audit.workload = workload;
         // Position-derived seed: entries stay decorrelated, and the
         // corpus is reproducible from the base seed alone.
@@ -57,6 +58,12 @@ struct CorpusBuilder
         entry.audit.scenario = scenario;
         entry.audit.online.clusteringIntervalQuanta =
             options.clusteringIntervalQuanta;
+        // End-of-run verdicts re-decide over the retained window, so
+        // the corpus retains every quantum of its (short) runs: a
+        // low-and-slow burst in the first quantum must still be in
+        // view at the end, for either backend.  The online per-pass
+        // cadence is unchanged (clusteringIntervalQuanta above).
+        entry.audit.online.retentionQuanta = options.quanta;
         corpus.push_back(std::move(entry));
     }
 
@@ -87,6 +94,8 @@ corpusCategoryName(CorpusCategory category)
         return "benign";
     case CorpusCategory::AdversarialBenign:
         return "adversarial";
+    case CorpusCategory::EvasiveChannel:
+        return "evasive";
     }
     return "?";
 }
@@ -103,6 +112,11 @@ LabelledScenario::label() const
             std::string(auditedWorkloadName(audit.workload)));
     cfg.set("corpus.seed",
             static_cast<std::int64_t>(audit.scenario.seed));
+    // Strategy key only on evasive entries, so every older entry's
+    // label dump stays byte-identical to the pre-arms-race corpus.
+    if (strategy != EvasionStrategy::None)
+        cfg.set("corpus.strategy",
+                std::string(evasionStrategyName(strategy)));
     return cfg;
 }
 
@@ -241,6 +255,69 @@ buildLabelledCorpus(const CorpusOptions& options)
     }
     b.addBenign("benign/mcf+gobmk/tlb", CorpusCategory::Benign, "mcf",
                 "gobmk", BenignAuditUnits::TlbBus);
+
+    // --- Evasive positives: every unit under every evasive schedule
+    // (channels/evasion.hh), the attacker side of the arms race.
+    // Appended after every older entry so the position-derived seeds
+    // of the whole pre-evasion corpus stay bit-identical. ---
+    {
+        struct UnitRow
+        {
+            AuditedWorkload workload;
+            const char* name;
+            bool contention;
+        };
+        const UnitRow rows[] = {
+            {AuditedWorkload::Bus, "bus", true},
+            {AuditedWorkload::Divider, "divider", true},
+            {AuditedWorkload::Multiplier, "multiplier", true},
+            {AuditedWorkload::Cache, "cache", false},
+            {AuditedWorkload::Tlb, "tlb", false},
+        };
+        for (const EvasionStrategy strategy :
+             {EvasionStrategy::RandomGaps, EvasionStrategy::DutyCycle,
+              EvasionStrategy::LowAndSlow}) {
+            for (const UnitRow& row : rows) {
+                ScenarioOptions sc = b.baseScenario();
+                sc.evasion.strategy = strategy;
+                sc.evasion.seed = options.seed + 77;
+                if (strategy == EvasionStrategy::LowAndSlow &&
+                    row.contention) {
+                    // Below one quantum per bit: the slowest
+                    // contention bandwidth stretched until a single
+                    // all-ones bit spans the whole run, its one short
+                    // burst jittered inside the stretched slot.  This
+                    // is the schedule the classic recurrence test
+                    // (>= 2 bursty quanta) cannot see.
+                    sc.bandwidthBps =
+                        options.contentionBandwidths.back();
+                    sc.evasion.stretch = 16;
+                    sc.evasion.gapJitter = 0.5;
+                    sc.maxSignalTicks = 500000;
+                    sc.message = Message::fromUint64(~0ull);
+                } else if (strategy == EvasionStrategy::LowAndSlow) {
+                    sc.bandwidthBps = options.cacheBandwidths.front();
+                    sc.evasion.stretch = 2;
+                } else {
+                    sc.bandwidthBps =
+                        row.contention
+                            ? options.contentionBandwidths.front()
+                            : options.cacheBandwidths.front();
+                    // RandomGaps needs idle slack to jitter the burst
+                    // inside; cap the window below the bit slot.
+                    if (strategy == EvasionStrategy::RandomGaps)
+                        sc.maxSignalTicks =
+                            row.contention ? 100000 : 1000000;
+                }
+                b.add(std::string("evasive/") +
+                          evasionStrategyName(strategy) + "/" +
+                          row.name,
+                      CorpusCategory::EvasiveChannel, row.workload,
+                      sc);
+                b.corpus.back().strategy = strategy;
+            }
+        }
+    }
 
     return b.corpus;
 }

@@ -29,10 +29,11 @@ namespace cchunter
 /** Ground-truth class of one corpus entry. */
 enum class CorpusCategory : std::uint8_t
 {
-    CleanChannel,     //!< covert channel, no injected faults
-    DegradedChannel,  //!< covert channel under a fault plan
-    Benign,           //!< ordinary benchmark pair, no channel
-    AdversarialBenign //!< benign but channel-shaped (near miss)
+    CleanChannel,      //!< covert channel, no injected faults
+    DegradedChannel,   //!< covert channel under a fault plan
+    Benign,            //!< ordinary benchmark pair, no channel
+    AdversarialBenign, //!< benign but channel-shaped (near miss)
+    EvasiveChannel     //!< covert channel under an evasive schedule
 };
 
 /** Short lower-case name of a corpus category. */
@@ -48,6 +49,10 @@ struct LabelledScenario
 
     /** Ground truth: a covert channel is present in this run. */
     bool covert = false;
+
+    /** Evasion strategy of an EvasiveChannel entry (None otherwise;
+     *  mirrors audit.scenario.evasion.strategy for cheap grouping). */
+    EvasionStrategy strategy = EvasionStrategy::None;
 
     /** The full run description (workload, scenario, cadence). */
     OnlineAuditOptions audit;

@@ -1,5 +1,6 @@
 #include "eval/quality_gate.hh"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace cchunter
@@ -61,6 +62,55 @@ evaluateQualityGate(const QualityReport& report,
             fail(name + ": AUC " + fmt(unit->auc) +
                  " regressed beyond " + fmt(params.aucEpsilon) +
                  " below baseline " + fmt(baseline));
+        }
+        // The clean-corpus half of the arms-race claim: indicator2
+        // must match the classic baseline on non-evasive entries.
+        if (unit->auc2 < baseline - params.aucEpsilon) {
+            fail(name + ": indicator2 clean AUC " + fmt(unit->auc2) +
+                 " regressed beyond " + fmt(params.aucEpsilon) +
+                 " below baseline " + fmt(baseline));
+        }
+    }
+
+    // The evasion head-to-head (reports without evasive entries skip
+    // it; see QualityGateParams).
+    if (!report.evasion.empty()) {
+        double bestMargin = -1.0;
+        double lowestClassic = 1.0;
+        for (const EvasionStrategy strategy :
+             {EvasionStrategy::RandomGaps, EvasionStrategy::DutyCycle,
+              EvasionStrategy::LowAndSlow}) {
+            const EvasionQuality* classic = nullptr;
+            const EvasionQuality* second = nullptr;
+            for (const EvasionQuality& q : report.evasion) {
+                if (q.strategy != strategy)
+                    continue;
+                (q.backend == DetectBackend::Indicator2 ? second
+                                                        : classic) = &q;
+            }
+            if (!classic || !second)
+                continue;
+            const std::string name = evasionStrategyName(strategy);
+            if (second->auc < params.minIndicator2EvasionAuc) {
+                fail("evasion/" + name + ": indicator2 AUC " +
+                     fmt(second->auc) + " below " +
+                     fmt(params.minIndicator2EvasionAuc));
+            }
+            lowestClassic = std::min(lowestClassic, classic->auc);
+            bestMargin =
+                std::max(bestMargin, second->auc - classic->auc);
+        }
+        if (lowestClassic >= params.classicEvasionCeiling) {
+            fail("evasion: no strategy pushed the classic backend "
+                 "below " +
+                 fmt(params.classicEvasionCeiling) +
+                 " (lowest classic AUC " + fmt(lowestClassic) +
+                 "); the evasive corpus no longer evades");
+        }
+        if (bestMargin < params.minEvasionMargin) {
+            fail("evasion: best indicator2-over-classic margin " +
+                 fmt(bestMargin) + " below " +
+                 fmt(params.minEvasionMargin));
         }
     }
     return result;

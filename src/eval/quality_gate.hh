@@ -39,6 +39,29 @@ struct QualityGateParams
      * list are not AUC-gated (but still TPR/FPR-gated).
      */
     std::vector<std::pair<std::string, double>> baselineAuc;
+
+    /**
+     * Arms-race head-to-head over the report's evasion section (all
+     * three checks are skipped when the section is empty, so corpora
+     * without evasive entries keep their old gate semantics):
+     *
+     *  - the indicator2 backend must hold at least
+     *    `minIndicator2EvasionAuc` on EVERY evasive strategy;
+     *  - at least one strategy must push the classic backend below
+     *    `classicEvasionCeiling` (proof the evasive corpus really
+     *    defeats first-order statistics — if classic survives
+     *    everything, the attacker side of this arms race is broken);
+     *  - on that strategy, indicator2 must beat classic by at least
+     *    `minEvasionMargin`.
+     *
+     * The clean-corpus half of the claim rides on `baselineAuc`: each
+     * baselined unit's indicator2 AUC (auc2, non-evasive entries) must
+     * match the baseline within `aucEpsilon`, exactly like the classic
+     * backend's.
+     */
+    double minIndicator2EvasionAuc = 0.99;
+    double classicEvasionCeiling = 0.95;
+    double minEvasionMargin = 0.10;
 };
 
 /** Gate verdict plus the named reason for every failed check. */

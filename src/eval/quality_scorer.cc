@@ -114,6 +114,18 @@ QualityReport::unitQuality(MonitorTarget unit) const
           monitorTargetName(unit));
 }
 
+const EvasionQuality&
+QualityReport::evasionQuality(EvasionStrategy strategy,
+                              DetectBackend backend) const
+{
+    for (const EvasionQuality& q : evasion)
+        if (q.strategy == strategy && q.backend == backend)
+            return q;
+    fatal("QualityReport: no evasion scores for ",
+          evasionStrategyName(strategy), "/",
+          detectBackendName(backend));
+}
+
 std::vector<double>
 defaultRocThresholds()
 {
@@ -183,12 +195,15 @@ scoreCorpus(const std::vector<LabelledScenario>& corpus,
             score.name = entry.name;
             score.category = entry.category;
             score.covert = entry.covert;
+            score.strategy = entry.strategy;
             score.slot = outcome.slot;
             score.unit = outcome.unit;
             score.kind = outcome.kind;
             score.detected = outcome.detected;
             score.confidence = outcome.confidence;
+            score.indicator2Score = outcome.indicator2.score;
             score.decisionAt.reserve(report.rocThresholds.size());
+            score.decisionAt2.reserve(report.rocThresholds.size());
             for (const double t : report.rocThresholds) {
                 bool decided = false;
                 if (outcome.kind == AlarmKind::Oscillation) {
@@ -202,10 +217,18 @@ scoreCorpus(const std::vector<LabelledScenario>& corpus,
                         t, hunter.clustering);
                 }
                 score.decisionAt.push_back(decided);
+                score.decisionAt2.push_back(
+                    outcome.indicator2.detectedAt(t));
             }
 
+            // Evasive entries stay out of the per-unit aggregates;
+            // they are pooled in the evasion head-to-head below.
+            const bool evasive =
+                entry.category == CorpusCategory::EvasiveChannel;
             UnitQuality& unit = unitSlot(report.units, outcome.unit);
-            if (entry.covert) {
+            if (evasive) {
+                // still registers the unit row for sparse corpora
+            } else if (entry.covert) {
                 const bool clean =
                     entry.category == CorpusCategory::CleanChannel;
                 (outcome.detected
@@ -218,23 +241,76 @@ scoreCorpus(const std::vector<LabelledScenario>& corpus,
         }
     }
 
-    // ROC curves per unit from the stored grid decisions.
+    // ROC curves per unit from the stored grid decisions (both
+    // backends; evasive entries pooled separately below).
     for (UnitQuality& unit : report.units) {
         unit.roc.resize(report.rocThresholds.size());
+        unit.roc2.resize(report.rocThresholds.size());
         for (std::size_t i = 0; i < unit.roc.size(); ++i) {
             RocPoint& p = unit.roc[i];
-            p.threshold = report.rocThresholds[i];
+            RocPoint& p2 = unit.roc2[i];
+            p.threshold = p2.threshold = report.rocThresholds[i];
             for (const ScenarioScore& s : report.scores) {
-                if (s.unit != unit.unit)
+                if (s.unit != unit.unit ||
+                    s.category == CorpusCategory::EvasiveChannel)
                     continue;
-                const bool decided = s.decisionAt[i];
-                if (s.covert)
-                    (decided ? p.tp : p.fn) += 1;
-                else
-                    (decided ? p.fp : p.tn) += 1;
+                if (s.covert) {
+                    (s.decisionAt[i] ? p.tp : p.fn) += 1;
+                    (s.decisionAt2[i] ? p2.tp : p2.fn) += 1;
+                } else {
+                    (s.decisionAt[i] ? p.fp : p.tn) += 1;
+                    (s.decisionAt2[i] ? p2.fp : p2.tn) += 1;
+                }
             }
         }
         unit.auc = areaUnderCurve(unit.roc);
+        unit.auc2 = areaUnderCurve(unit.roc2);
+    }
+
+    // Evasion head-to-head: pooled per (strategy, backend) — the
+    // strategy's evasive positives across every unit against the
+    // corpus's full negative set, under each backend's grid decision.
+    for (const EvasionStrategy strategy :
+         {EvasionStrategy::RandomGaps, EvasionStrategy::DutyCycle,
+          EvasionStrategy::LowAndSlow}) {
+        bool present = false;
+        for (const ScenarioScore& s : report.scores)
+            if (s.category == CorpusCategory::EvasiveChannel &&
+                s.strategy == strategy)
+                present = true;
+        if (!present)
+            continue;
+        for (const DetectBackend backend :
+             {DetectBackend::CCHunter, DetectBackend::Indicator2}) {
+            EvasionQuality q;
+            q.strategy = strategy;
+            q.backend = backend;
+            q.roc.resize(report.rocThresholds.size());
+            for (std::size_t i = 0; i < q.roc.size(); ++i) {
+                RocPoint& p = q.roc[i];
+                p.threshold = report.rocThresholds[i];
+                for (const ScenarioScore& s : report.scores) {
+                    const bool positive =
+                        s.category ==
+                            CorpusCategory::EvasiveChannel &&
+                        s.strategy == strategy;
+                    if (!positive && s.covert)
+                        continue; // other strategies / clean positives
+                    const bool decided =
+                        backend == DetectBackend::Indicator2
+                            ? s.decisionAt2[i]
+                            : s.decisionAt[i];
+                    if (positive)
+                        (decided ? p.tp : p.fn) += 1;
+                    else
+                        (decided ? p.fp : p.tn) += 1;
+                }
+            }
+            q.positives = q.roc.front().tp + q.roc.front().fn;
+            q.negatives = q.roc.front().fp + q.roc.front().tn;
+            q.auc = areaUnderCurve(q.roc);
+            report.evasion.push_back(std::move(q));
+        }
     }
     return report;
 }
@@ -250,7 +326,11 @@ QualityReport::toJson() const
           fmt(thresholds.contentionLikelihood) +
           ", \"oscillation_peak\": " + fmt(thresholds.oscillationPeak) +
           ", \"oscillation_strong_peak\": " +
-          fmt(thresholds.oscillationStrongPeak) + "},\n";
+          fmt(thresholds.oscillationStrongPeak) +
+          ", \"backend\": \"" +
+          detectBackendName(thresholds.backend) +
+          "\", \"indicator2\": " + fmt(thresholds.indicator2Threshold) +
+          "},\n";
     os += "  \"roc_thresholds\": [";
     for (std::size_t i = 0; i < rocThresholds.size(); ++i)
         os += (i ? ", " : "") + fmt(rocThresholds[i]);
@@ -270,7 +350,8 @@ QualityReport::toJson() const
         os += "     \"clean_tpr\": " + fmt(q.cleanTpr()) + ",";
         os += " \"degraded_tpr\": " + fmt(q.degradedTpr()) + ",";
         os += " \"fpr\": " + fmt(q.falsePositiveRate()) + ",";
-        os += " \"auc\": " + fmt(q.auc) + ",\n";
+        os += " \"auc\": " + fmt(q.auc) + ",";
+        os += " \"auc2\": " + fmt(q.auc2) + ",\n";
         os += "     \"roc\": [\n";
         for (std::size_t i = 0; i < q.roc.size(); ++i) {
             const RocPoint& p = q.roc[i];
@@ -285,6 +366,32 @@ QualityReport::toJson() const
         }
         os += "     ]}";
         os += u + 1 < units.size() ? ",\n" : "\n";
+    }
+    os += "  ],\n";
+
+    os += "  \"evasion\": [\n";
+    for (std::size_t i = 0; i < evasion.size(); ++i) {
+        const EvasionQuality& q = evasion[i];
+        os += std::string("    {\"strategy\": \"") +
+              evasionStrategyName(q.strategy) + "\", \"backend\": \"" +
+              detectBackendName(q.backend) +
+              "\", \"positives\": " + std::to_string(q.positives) +
+              ", \"negatives\": " + std::to_string(q.negatives) +
+              ", \"auc\": " + fmt(q.auc) + ",\n";
+        os += "     \"roc\": [\n";
+        for (std::size_t j = 0; j < q.roc.size(); ++j) {
+            const RocPoint& p = q.roc[j];
+            os += "       {\"threshold\": " + fmt(p.threshold) +
+                  ", \"tp\": " + std::to_string(p.tp) +
+                  ", \"fp\": " + std::to_string(p.fp) +
+                  ", \"tn\": " + std::to_string(p.tn) +
+                  ", \"fn\": " + std::to_string(p.fn) +
+                  ", \"tpr\": " + fmt(p.tpr()) +
+                  ", \"fpr\": " + fmt(p.fpr()) + "}";
+            os += j + 1 < q.roc.size() ? ",\n" : "\n";
+        }
+        os += "     ]}";
+        os += i + 1 < evasion.size() ? ",\n" : "\n";
     }
     os += "  ],\n";
 
@@ -305,12 +412,14 @@ QualityReport::toJson() const
         const ScenarioScore& s = scores[i];
         os += "    {\"name\": \"" + s.name + "\", \"category\": \"" +
               corpusCategoryName(s.category) + "\", \"covert\": " +
-              (s.covert ? "true" : "false") +
-              ", \"slot\": " + std::to_string(s.slot) +
+              (s.covert ? "true" : "false") + ", \"strategy\": \"" +
+              evasionStrategyName(s.strategy) +
+              "\", \"slot\": " + std::to_string(s.slot) +
               ", \"unit\": \"" + monitorTargetName(s.unit) +
               "\", \"kind\": \"" + alarmKindName(s.kind) +
               "\", \"detected\": " + (s.detected ? "true" : "false") +
-              ", \"confidence\": " + fmt(s.confidence) + "}";
+              ", \"confidence\": " + fmt(s.confidence) +
+              ", \"indicator2\": " + fmt(s.indicator2Score) + "}";
         os += i + 1 < scores.size() ? ",\n" : "\n";
     }
     os += "  ]\n}\n";

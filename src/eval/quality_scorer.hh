@@ -37,7 +37,13 @@ struct RocPoint
     double fpr() const;
 };
 
-/** Quality of one monitored hardware-unit kind over the corpus. */
+/**
+ * Quality of one monitored hardware-unit kind over the NON-evasive
+ * corpus (clean + degraded positives, all negatives).  Evasive entries
+ * are scored in the report's `evasion` section instead, so the
+ * long-standing per-unit baseline (all-1.000 AUC) is a clean-corpus
+ * statement that evasive additions cannot silently erode.
+ */
 struct UnitQuality
 {
     MonitorTarget unit = MonitorTarget::None;
@@ -57,6 +63,11 @@ struct UnitQuality
     /** Area under the ROC curve (trapezoid, anchored at (0,0) and
      *  (1,1)). */
     double auc = 0.0;
+
+    /** Indicator2-backend ROC/AUC over the same non-evasive entries
+     *  (the "matches classic on the clean corpus" half of the gate). */
+    std::vector<RocPoint> roc2;
+    double auc2 = 0.0;
 
     double cleanTpr() const;
     double degradedTpr() const;
@@ -87,13 +98,38 @@ struct ScenarioScore
     MonitorTarget unit = MonitorTarget::None;
     AlarmKind kind = AlarmKind::Contention;
 
+    /** Evasion strategy of the entry (None off the evasive axis). */
+    EvasionStrategy strategy = EvasionStrategy::None;
+
     /** Decision and confidence at the headline thresholds. */
     bool detected = false;
     double confidence = 1.0;
 
-    /** Decision at each grid threshold (parallel to the report's
-     *  rocThresholds). */
+    /** Indicator2 score of the same retained window. */
+    double indicator2Score = 0.0;
+
+    /** Classic-backend decision at each grid threshold (parallel to
+     *  the report's rocThresholds). */
     std::vector<bool> decisionAt;
+
+    /** Indicator2-backend decision at each grid threshold. */
+    std::vector<bool> decisionAt2;
+};
+
+/**
+ * Pooled ROC/AUC of one (evasion strategy, backend) pair: positives
+ * are the strategy's evasive entries across every unit, negatives the
+ * corpus's full negative set.  The per-backend rows side by side are
+ * the arms-race head-to-head the evasion gate asserts over.
+ */
+struct EvasionQuality
+{
+    EvasionStrategy strategy = EvasionStrategy::None;
+    DetectBackend backend = DetectBackend::CCHunter;
+    std::size_t positives = 0;
+    std::size_t negatives = 0;
+    std::vector<RocPoint> roc;
+    double auc = 0.0;
 };
 
 /** Everything the quality gate and the bench report consume. */
@@ -113,10 +149,19 @@ struct QualityReport
 
     std::vector<CalibrationBucket> calibration;
 
+    /** Per-(strategy, backend) evasion head-to-head, strategy-major in
+     *  declaration order, cchunter before indicator2.  Empty when the
+     *  corpus carries no evasive entries. */
+    std::vector<EvasionQuality> evasion;
+
     std::size_t runs = 0;
 
     /** Aggregate quality of one unit (fatal when absent). */
     const UnitQuality& unitQuality(MonitorTarget unit) const;
+
+    /** Evasion head-to-head row (fatal when absent). */
+    const EvasionQuality& evasionQuality(EvasionStrategy strategy,
+                                         DetectBackend backend) const;
 
     /**
      * Deterministic JSON rendering: fixed key order, fixed float

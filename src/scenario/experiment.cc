@@ -74,6 +74,9 @@ makeTiming(const ScenarioOptions& opts)
     t.start = 1000;
     t.bandwidthBps = opts.bandwidthBps;
     t.maxSignalTicks = opts.effectiveSignalTicks();
+    if (opts.evasion.enabled())
+        opts.evasion.validate();
+    t.evasion = opts.evasion;
     return t;
 }
 
@@ -178,6 +181,17 @@ scenarioConfig(const ScenarioOptions& opts)
     cfg.set("detect.osc_peak", opts.thresholds.oscillationPeak);
     cfg.set("detect.osc_strong_peak",
             opts.thresholds.oscillationStrongPeak);
+    // The backend keys appear only off the default, keeping classic
+    // runs' config dumps byte-identical to pre-arms-race output.
+    if (opts.thresholds.backend != DetectBackend::CCHunter) {
+        cfg.set("detect.backend",
+                std::string(detectBackendName(opts.thresholds.backend)));
+        cfg.set("detect.indicator2",
+                opts.thresholds.indicator2Threshold);
+    }
+    // Evasion keys likewise: only an enabled plan is echoed.
+    if (opts.evasion.enabled())
+        opts.evasion.toConfig(cfg);
     // Fault keys are echoed only when a plan is active, keeping clean
     // runs' config dumps byte-identical to pre-fault-injection output.
     if (opts.faults.enabled())
@@ -423,24 +437,56 @@ runOnlineAudit(const OnlineAuditOptions& options)
         UnitOutcome outcome;
         outcome.slot = s;
         outcome.unit = auditor.slotTarget(s);
-        if (registry.require(outcome.unit).policy ==
-            AlarmKind::Oscillation) {
+        outcome.backend = opts.thresholds.backend;
+        outcome.indicator2Threshold =
+            opts.thresholds.indicator2Threshold;
+        // Both backends score the same retained window; the selected
+        // one renders `detected`, the other rides along for the
+        // detection-quality head-to-head.  The squash scale is the
+        // unit's own calibration constant from the registry.
+        const UnitDescriptor& descriptor =
+            registry.require(outcome.unit);
+        Indicator2Params i2params;
+        if (descriptor.indicator2Scale > 0.0) {
+            if (descriptor.policy == AlarmKind::Oscillation)
+                i2params.runScale = descriptor.indicator2Scale;
+            else
+                i2params.contentionScale = descriptor.indicator2Scale;
+        }
+        const Indicator2 indicator2(i2params);
+        const bool byIndicator2 =
+            outcome.backend == DetectBackend::Indicator2;
+        if (descriptor.policy == AlarmKind::Oscillation) {
             outcome.kind = AlarmKind::Oscillation;
             outcome.confidence = daemon.oscillationConfidence(s);
+            outcome.indicator2 =
+                indicator2.scoreOscillation(daemon.labelSeries(s));
             if (options.deferOscillationVerdicts) {
                 outcome.deferredOscillation = true;
                 outcome.pendingSeries = daemon.labelSeries(s);
                 outcome.pendingParams = online.hunter.oscillation;
+                if (byIndicator2)
+                    outcome.detected = outcome.indicator2.detectedAt(
+                        outcome.indicator2Threshold);
             } else {
                 outcome.oscillation =
                     daemon.analyzeOscillation(s, online.hunter);
-                outcome.detected = outcome.oscillation.detected;
+                outcome.detected =
+                    byIndicator2
+                        ? outcome.indicator2.detectedAt(
+                              outcome.indicator2Threshold)
+                        : outcome.oscillation.detected;
             }
         } else {
             outcome.kind = AlarmKind::Contention;
             outcome.contention =
                 daemon.analyzeContention(s, online.hunter);
-            outcome.detected = outcome.contention.detected;
+            outcome.indicator2 =
+                indicator2.scoreContention(daemon.contentionQuanta(s));
+            outcome.detected =
+                byIndicator2 ? outcome.indicator2.detectedAt(
+                                   outcome.indicator2Threshold)
+                             : outcome.contention.detected;
             outcome.confidence =
                 daemon.contentionConfidence(s, outcome.contention);
         }
@@ -465,7 +511,11 @@ finalizeDeferredOscillations(std::vector<UnitOutcome*>& pending)
                           outcome.pendingParams);
         outcome.oscillation.detected =
             outcome.oscillation.analysis.oscillating;
-        outcome.detected = outcome.oscillation.detected;
+        outcome.detected =
+            outcome.backend == DetectBackend::Indicator2
+                ? outcome.indicator2.detectedAt(
+                      outcome.indicator2Threshold)
+                : outcome.oscillation.detected;
         outcome.deferredOscillation = false;
         outcome.pendingSeries.clear();
         outcome.pendingSeries.shrink_to_fit();

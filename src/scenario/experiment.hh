@@ -14,10 +14,12 @@
 #include <vector>
 
 #include "auditor/daemon.hh"
+#include "channels/evasion.hh"
 #include "channels/message.hh"
 #include "channels/protocol.hh"
 #include "detect/detector.hh"
 #include "detect/event_train.hh"
+#include "detect/indicator2.hh"
 #include "faults/fault_plan.hh"
 #include "mitigate/response_plan.hh"
 #include "units/unit_registry.hh"
@@ -71,6 +73,15 @@ struct ScenarioOptions
      * default, leaving runs bit-identical to raw-payload output.
      */
     ProtocolParams protocol;
+
+    /**
+     * Evasive transmission schedule (channels/evasion.hh), shared by
+     * both ends of the pair through ChannelTiming.  The default (None)
+     * plan leaves every run bit-identical to the classic schedule;
+     * enabling a strategy is how the detection-quality corpus builds
+     * its labelled evasive positives.
+     */
+    EvasionPlan evasion;
 
     /** Audit the L2 with the ideal LRU-stack tracker instead of the
      *  practical generation/bloom scheme (ablation studies). */
@@ -321,7 +332,22 @@ struct UnitOutcome
     ContentionVerdict contention;
     OscillationVerdict oscillation;
 
-    /** The filled verdict's detected flag. */
+    /**
+     * Second-moment backend score for the same retained window
+     * (detect/indicator2.hh), always computed alongside the classic
+     * verdict so detection-quality scoring can sweep both backends
+     * from one simulation.
+     */
+    Indicator2Result indicator2;
+
+    /** Backend that renders `detected` (copied from the run's
+     *  thresholds so deferred finalization re-decides consistently). */
+    DetectBackend backend = DetectBackend::CCHunter;
+
+    /** Indicator2 cut-off used when `backend` selects it. */
+    double indicator2Threshold = 0.5;
+
+    /** The selected backend's detected flag (thresholds.backend). */
     bool detected = false;
 
     /** Daemon confidence for this verdict (coverage x integrity). */

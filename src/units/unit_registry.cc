@@ -30,6 +30,7 @@ makeBusUnit()
         "atomic unaligned access asserting the shared bus lock";
     d.policy = AlarmKind::Contention;
     d.deltaT = busDeltaT;
+    d.indicator2Scale = 50.0;
     d.mitigation = MitigationKind::RateLimitBusLocks;
     d.channelContexts = {ContextId{0}, ContextId{2}};
     d.buildWorkload = [](Machine& machine, const UnitRunContext& ctx) {
@@ -60,6 +61,7 @@ makeDividerUnit()
         "SMT sibling waiting on the busy integer divider";
     d.policy = AlarmKind::Contention;
     d.deltaT = dividerDeltaT;
+    d.indicator2Scale = 2000.0;
     d.mitigation = MitigationKind::UnshareCore;
     d.buildWorkload = [](Machine& machine, const UnitRunContext& ctx) {
         DividerTrojanParams tp;
@@ -88,6 +90,7 @@ makeMultiplierUnit()
         "SMT sibling waiting on the busy integer multiplier";
     d.policy = AlarmKind::Contention;
     d.deltaT = multiplierDeltaT;
+    d.indicator2Scale = 2000.0;
     d.mitigation = MitigationKind::UnshareCore;
     d.buildWorkload = [](Machine& machine, const UnitRunContext& ctx) {
         DividerTrojanParams tp;
@@ -120,6 +123,7 @@ makeCacheUnit()
     d.conflictSemantics =
         "conflict miss displacing another context's L2 line";
     d.policy = AlarmKind::Oscillation;
+    d.indicator2Scale = 64.0;
     d.mitigation = MitigationKind::UnshareCore;
     d.configureMachine = [](MachineParams& mp, const UnitRunContext&) {
         // The cache channel experiments configure the 256 KB L2 with
@@ -171,6 +175,7 @@ makeTlbUnit()
     d.conflictSemantics =
         "fill displacing another context's TLB translation";
     d.policy = AlarmKind::Oscillation;
+    d.indicator2Scale = 64.0;
     d.mitigation = MitigationKind::UnshareCore;
     const auto enableTlb = [](MachineParams& mp,
                               const UnitRunContext&) {

@@ -151,6 +151,18 @@ struct UnitDescriptor
      *  units, which have no count-down register). */
     Tick deltaT = 0;
 
+    /**
+     * Squash scale of the indicator2 backend on this unit (0 keeps
+     * Indicator2Params' defaults).  The second-moment statistic is
+     * expressed in the unit's own event-density terms — a divider
+     * conflict burst packs hundreds of events per Δt window where a
+     * bus lock burst packs tens — so, exactly like Δt, the scale that
+     * maps "clearly covert" onto the same [0, 1) score band is a
+     * per-unit calibration constant.  Contention units use it as the
+     * contention scale, oscillation units as the run-length scale.
+     */
+    double indicator2Scale = 0.0;
+
     /** Paper operating point for the unit's verdicts. */
     DetectionThresholds defaultThresholds;
 

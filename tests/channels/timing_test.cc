@@ -73,5 +73,101 @@ TEST(ChannelTimingTest, VeryHighBandwidthClampsToOneTick)
     EXPECT_GE(t.bitTicks(), 1u);
 }
 
+TEST(ChannelTimingTest, NonePlanIsScheduleIdentity)
+{
+    // A default plan must leave every query bit-identical to the
+    // classic arithmetic -- the whole non-evasive stack rides on it.
+    ChannelTiming t;
+    t.start = 500;
+    t.bandwidthBps = 1000.0;
+    t.maxSignalTicks = 100000;
+    for (std::size_t i = 0; i < 16; ++i) {
+        EXPECT_EQ(t.signalStart(i), t.bitStart(i));
+        EXPECT_EQ(t.activeTicks(i), t.signalTicks());
+        EXPECT_EQ(t.signalEnd(i), t.bitStart(i) + t.signalTicks());
+    }
+}
+
+TEST(ChannelTimingTest, RandomGapsJitterWithinTheSlot)
+{
+    ChannelTiming t;
+    t.bandwidthBps = 1000.0;    // bit = 2.5M
+    t.maxSignalTicks = 100000;  // plenty of idle slack to jitter in
+    t.evasion.strategy = EvasionStrategy::RandomGaps;
+    t.evasion.seed = 7;
+    bool moved = false;
+    for (std::size_t i = 0; i < 64; ++i) {
+        // The jittered window stays inside its own bit slot, keeps
+        // the classic length, and actually moves for some bits.
+        EXPECT_GE(t.signalStart(i), t.bitStart(i)) << i;
+        EXPECT_LE(t.signalEnd(i), t.bitStart(i + 1)) << i;
+        EXPECT_EQ(t.activeTicks(i), t.signalTicks()) << i;
+        moved = moved || t.signalStart(i) != t.bitStart(i);
+    }
+    EXPECT_TRUE(moved);
+}
+
+TEST(ChannelTimingTest, DutyCycleDrawsWithinTheConfiguredRange)
+{
+    ChannelTiming t;
+    t.bandwidthBps = 1000.0;
+    t.evasion.strategy = EvasionStrategy::DutyCycle;
+    t.evasion.seed = 11;
+    t.evasion.dutyMin = 0.25;
+    t.evasion.dutyMax = 0.75;
+    const double window = static_cast<double>(t.signalTicks());
+    bool varied = false;
+    for (std::size_t i = 0; i < 64; ++i) {
+        const Tick active = t.activeTicks(i);
+        EXPECT_GE(static_cast<double>(active),
+                  t.evasion.dutyMin * window - 1.0)
+            << i;
+        EXPECT_LE(static_cast<double>(active),
+                  t.evasion.dutyMax * window + 1.0)
+            << i;
+        varied = varied || active != t.activeTicks(0);
+    }
+    EXPECT_TRUE(varied);
+}
+
+TEST(ChannelTimingTest, LowAndSlowStretchesSlotsNotBursts)
+{
+    ChannelTiming classic;
+    classic.bandwidthBps = 1000.0;
+    classic.maxSignalTicks = 100000;
+    ChannelTiming slow = classic;
+    slow.evasion.strategy = EvasionStrategy::LowAndSlow;
+    slow.evasion.stretch = 16;
+    slow.evasion.gapJitter = 0.0; // isolate the stretch
+    // The slot grows by the stretch factor; the burst length does not
+    // (the rate drops, the footprint per burst stays the same).
+    EXPECT_EQ(slow.bitTicks(), 16 * classic.bitTicks());
+    EXPECT_EQ(slow.signalTicks(), classic.signalTicks());
+    EXPECT_EQ(slow.bitStart(1), slow.start + slow.bitTicks());
+    EXPECT_EQ(slow.activeTicks(0), classic.signalTicks());
+}
+
+TEST(ChannelTimingTest, EvasionScheduleIsSeedDeterministic)
+{
+    // Both ends of the colluding pair derive the schedule from the
+    // shared plan alone; same seed => same schedule, different seed
+    // => (almost surely) a different one.
+    ChannelTiming a;
+    a.bandwidthBps = 1000.0;
+    a.maxSignalTicks = 100000;
+    a.evasion.strategy = EvasionStrategy::RandomGaps;
+    a.evasion.seed = 3;
+    ChannelTiming b = a;
+    bool diverged = false;
+    ChannelTiming c = a;
+    c.evasion.seed = 4;
+    for (std::size_t i = 0; i < 64; ++i) {
+        EXPECT_EQ(a.signalStart(i), b.signalStart(i)) << i;
+        EXPECT_EQ(a.activeTicks(i), b.activeTicks(i)) << i;
+        diverged = diverged || a.signalStart(i) != c.signalStart(i);
+    }
+    EXPECT_TRUE(diverged);
+}
+
 } // namespace
 } // namespace cchunter

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Property tests of the second-moment indicator backend: the
+ * invariances that make it robust to evasive pacing (time-shift and
+ * re-ordering, idle-gap dilution), the monotone responses the arms
+ * race relies on (density, spread, run length), and exact decision
+ * agreement with the classic CC-Hunter backend on its own pinned
+ * non-evasive fixtures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "detect/detector.hh"
+#include "detect/indicator2.hh"
+#include "util/rng.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+// The classic detector's own fixtures (tests/detect/detector_test.cc),
+// bus-scale: the agreement properties assert both backends reach the
+// same verdict on the corpus the classic backend was calibrated on.
+
+Histogram
+burstyQuantum(Rng& rng)
+{
+    Histogram h(128);
+    h.addSample(0, 1600 + rng.nextBelow(100));
+    h.addSample(1, rng.nextBelow(4));
+    h.addSample(20, 200 + rng.nextBelow(50));
+    h.addSample(21, 100 + rng.nextBelow(20));
+    return h;
+}
+
+Histogram
+benignQuantum(Rng& rng)
+{
+    Histogram h(128);
+    h.addSample(0, 2300 + rng.nextBelow(100));
+    h.addSample(1, 50 + rng.nextBelow(20));
+    h.addSample(2, 12 + rng.nextBelow(8));
+    h.addSample(3, rng.nextBelow(5));
+    return h;
+}
+
+std::vector<double>
+squareWave(std::size_t period, std::size_t cycles)
+{
+    std::vector<double> s;
+    for (std::size_t c = 0; c < cycles; ++c)
+        for (std::size_t i = 0; i < period; ++i)
+            s.push_back(i < period / 2 ? 1.0 : 0.0);
+    return s;
+}
+
+/** Bus-scale params: the unit registry's calibration of the bus. */
+Indicator2Params
+busParams()
+{
+    Indicator2Params params;
+    params.contentionScale = 50.0;
+    return params;
+}
+
+std::vector<Histogram>
+burstyWindow(std::uint64_t seed, std::size_t quanta = 8)
+{
+    Rng rng(seed);
+    std::vector<Histogram> window;
+    for (std::size_t i = 0; i < quanta; ++i)
+        window.push_back(burstyQuantum(rng));
+    return window;
+}
+
+TEST(Indicator2PropertyTest, ContentionInvariantUnderQuantumOrder)
+{
+    // Pure time-shift resistance: the statistic reads the merged
+    // density histogram, so shuffling WHEN the bursts happened (the
+    // randomized-gaps evasion) cannot move the score.
+    const Indicator2 indicator(busParams());
+    std::vector<Histogram> window = burstyWindow(7);
+    const double before =
+        indicator.scoreContention(window).score;
+    std::reverse(window.begin(), window.end());
+    EXPECT_DOUBLE_EQ(indicator.scoreContention(window).score, before);
+    std::rotate(window.begin(), window.begin() + 3, window.end());
+    EXPECT_DOUBLE_EQ(indicator.scoreContention(window).score, before);
+}
+
+TEST(Indicator2PropertyTest, ContentionInvariantUnderIdleDilution)
+{
+    // Low-and-slow resistance: interleaving arbitrarily many idle
+    // quanta (all mass in bin 0) leaves E[d² | d > 0] untouched.
+    const Indicator2 indicator(busParams());
+    std::vector<Histogram> window = burstyWindow(11, 2);
+    const Indicator2Result before =
+        indicator.scoreContention(window);
+    Histogram idle(128);
+    idle.addSample(0, 2000);
+    for (int i = 0; i < 6; ++i)
+        window.insert(window.begin() + 1, idle);
+    const Indicator2Result after =
+        indicator.scoreContention(window);
+    EXPECT_DOUBLE_EQ(after.score, before.score);
+    EXPECT_EQ(after.samples, before.samples);
+}
+
+TEST(Indicator2PropertyTest, ContentionMonotoneInBurstDensity)
+{
+    // Packing the same number of busy windows harder must only raise
+    // the statistic: the sender cannot hide by sending harder.
+    const Indicator2 indicator(busParams());
+    double last = 0.0;
+    for (const std::size_t density : {4u, 8u, 16u, 32u, 64u}) {
+        Histogram h(128);
+        h.addSample(0, 1000);
+        h.addSample(density, 50);
+        const double score =
+            indicator.scoreContention(std::vector<Histogram>{h})
+                .score;
+        EXPECT_GT(score, last) << "density " << density;
+        last = score;
+    }
+}
+
+TEST(Indicator2PropertyTest, ContentionRisesUnderMeanPreservingSpread)
+{
+    // The duty-cycle response: jittering a fixed event budget into
+    // alternately harder and softer windows preserves the mean density
+    // but raises the second moment, so the score must not drop.
+    const Indicator2 indicator(busParams());
+    Histogram even(128);
+    even.addSample(0, 1000);
+    even.addSample(20, 100);
+    Histogram jittered(128);
+    jittered.addSample(0, 1000);
+    jittered.addSample(10, 50); // same total mass 20·100 = 2000,
+    jittered.addSample(30, 50); // spread ±10 around the mean
+    const double evenScore =
+        indicator.scoreContention(std::vector<Histogram>{even}).score;
+    const double jitteredScore =
+        indicator.scoreContention(std::vector<Histogram>{jittered})
+            .score;
+    EXPECT_GT(jitteredScore, evenScore);
+}
+
+TEST(Indicator2PropertyTest, OscillationInvariantUnderReversalAndFlip)
+{
+    // Run lengths are label-symmetric and direction-symmetric: neither
+    // playing the series backwards nor swapping hit/miss labels can
+    // change the verdict.
+    const Indicator2 indicator;
+    std::vector<double> series = squareWave(128, 40);
+    const double before =
+        indicator.scoreOscillation(series).score;
+    std::reverse(series.begin(), series.end());
+    EXPECT_DOUBLE_EQ(indicator.scoreOscillation(series).score, before);
+    for (double& v : series)
+        v = 1.0 - v;
+    EXPECT_DOUBLE_EQ(indicator.scoreOscillation(series).score, before);
+}
+
+TEST(Indicator2PropertyTest, OscillationMonotoneInRunLength)
+{
+    // Longer eviction groups (slower, steadier signalling) must score
+    // at least as high — low-and-slow stretching cannot help there.
+    const Indicator2 indicator;
+    double last = 0.0;
+    for (const std::size_t period : {8u, 16u, 32u, 64u, 128u}) {
+        const double score =
+            indicator.scoreOscillation(squareWave(period, 5120 / period))
+                .score;
+        EXPECT_GT(score, last) << "period " << period;
+        last = score;
+    }
+}
+
+TEST(Indicator2PropertyTest, OscillationRobustToHeavyTailedRuns)
+{
+    // A self-thrashing workload's signature: a few enormous one-sided
+    // runs over a sea of singletons.  A mean-based second moment is
+    // dominated by the big runs; the median must stay on the floor.
+    Rng rng(3);
+    std::vector<double> series;
+    for (const std::size_t big : {6987u, 1065u, 203u}) {
+        for (std::size_t i = 0; i < big; ++i)
+            series.push_back(0.0);
+        series.push_back(1.0);
+    }
+    for (std::size_t i = 0; i < 400; ++i)
+        series.push_back(rng.nextBelow(8) == 0 ? 1.0 : 0.0);
+    const Indicator2 indicator;
+    EXPECT_LT(indicator.scoreOscillation(series).score, 0.1);
+}
+
+TEST(Indicator2PropertyTest, AgreesWithClassicOnContentionFixtures)
+{
+    // Pinned non-evasive fixtures: both backends must call the bursty
+    // window covert and the benign window clean at the 0.5 cut-off.
+    const CCHunter hunter;
+    const Indicator2 indicator(busParams());
+    Rng rng(1);
+    std::vector<Histogram> covert;
+    for (int i = 0; i < 24; ++i)
+        covert.push_back(burstyQuantum(rng));
+    EXPECT_TRUE(hunter.analyzeContention(covert).detected);
+    EXPECT_TRUE(
+        indicator.scoreContention(covert).detectedAt(0.5));
+
+    Rng rng2(2);
+    std::vector<Histogram> benign;
+    for (int i = 0; i < 24; ++i)
+        benign.push_back(benignQuantum(rng2));
+    EXPECT_FALSE(hunter.analyzeContention(benign).detected);
+    EXPECT_FALSE(
+        indicator.scoreContention(benign).detectedAt(0.5));
+}
+
+TEST(Indicator2PropertyTest, AgreesWithClassicOnOscillationFixtures)
+{
+    const CCHunter hunter;
+    const Indicator2 indicator;
+    const std::vector<double> covert = squareWave(128, 40);
+    EXPECT_TRUE(hunter.analyzeOscillation(covert).detected);
+    EXPECT_TRUE(indicator.scoreOscillation(covert).detectedAt(0.5));
+
+    Rng rng(9);
+    std::vector<double> noise;
+    for (int i = 0; i < 5120; ++i)
+        noise.push_back(rng.nextBelow(2) ? 1.0 : 0.0);
+    EXPECT_FALSE(hunter.analyzeOscillation(noise).detected);
+    EXPECT_FALSE(indicator.scoreOscillation(noise).detectedAt(0.5));
+}
+
+} // namespace
+} // namespace cchunter

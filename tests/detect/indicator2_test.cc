@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "detect/indicator2.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+/** Run fn, which should fatal(); return its message ("" if it ran). */
+template <typename Fn>
+std::string
+fatalMessageOf(Fn&& fn)
+{
+    try {
+        fn();
+    } catch (const std::runtime_error& e) {
+        return e.what();
+    }
+    return "";
+}
+
+/** A histogram whose only busy mass is `count` windows at density
+ *  `bin` (plus idle windows in bin 0, which must not matter). */
+Histogram
+densitySpike(std::size_t bin, std::uint64_t count,
+             std::uint64_t idle = 1000)
+{
+    Histogram h(128);
+    h.addSample(0, idle);
+    h.addSample(bin, count);
+    return h;
+}
+
+/** A label series of `count` alternating same-label runs, each
+ *  `runLength` events long. */
+std::vector<double>
+uniformRuns(std::size_t runLength, std::size_t count)
+{
+    std::vector<double> s;
+    for (std::size_t r = 0; r < count; ++r)
+        for (std::size_t i = 0; i < runLength; ++i)
+            s.push_back(r % 2 ? 1.0 : 0.0);
+    return s;
+}
+
+TEST(Indicator2Test, ParamsOutOfRangeAreFatal)
+{
+    Indicator2Params params;
+    params.contentionScale = 0.0;
+    EXPECT_NE(fatalMessageOf([&] { Indicator2 i(params); })
+                  .find("contention_scale"),
+              std::string::npos);
+    params = {};
+    params.runScale = -1.0;
+    EXPECT_NE(
+        fatalMessageOf([&] { Indicator2 i(params); }).find("run_scale"),
+        std::string::npos);
+}
+
+TEST(Indicator2Test, EmptyInputsScoreZero)
+{
+    const Indicator2 indicator;
+    const Indicator2Result contention =
+        indicator.scoreContention(std::vector<Histogram>{});
+    EXPECT_EQ(contention.score, 0.0);
+    EXPECT_EQ(contention.samples, 0u);
+    const Indicator2Result oscillation =
+        indicator.scoreOscillation({});
+    EXPECT_EQ(oscillation.score, 0.0);
+    EXPECT_EQ(oscillation.samples, 0u);
+}
+
+TEST(Indicator2Test, ContentionBelowSampleFloorScoresZero)
+{
+    const Indicator2 indicator; // minNonZeroSamples = 4
+    const std::vector<Histogram> thin{densitySpike(20, 3)};
+    const Indicator2Result starved =
+        indicator.scoreContention(thin);
+    EXPECT_EQ(starved.samples, 3u);
+    EXPECT_EQ(starved.score, 0.0);
+    const std::vector<Histogram> enough{densitySpike(20, 4)};
+    EXPECT_GT(indicator.scoreContention(enough).score, 0.0);
+}
+
+TEST(Indicator2Test, ContentionStatisticIsExact)
+{
+    // Bins: three windows at density 2, one at density 4 →
+    // M2 = (3·4 + 1·16) / 4 = 7 exactly; scale 7 squashes to 0.5.
+    Indicator2Params params;
+    params.contentionScale = 7.0;
+    const Indicator2 indicator(params);
+    Histogram h(128);
+    h.addSample(0, 5000); // idle windows must not dilute M2
+    h.addSample(2, 3);
+    h.addSample(4, 1);
+    const Indicator2Result r =
+        indicator.scoreContention(std::vector<Histogram>{h});
+    EXPECT_DOUBLE_EQ(r.rawStatistic, 7.0);
+    EXPECT_DOUBLE_EQ(r.score, 0.5);
+    EXPECT_EQ(r.samples, 4u);
+    EXPECT_TRUE(r.detectedAt(0.5));
+    EXPECT_FALSE(r.detectedAt(0.51));
+}
+
+TEST(Indicator2Test, OscillationBelowSeriesFloorScoresZero)
+{
+    const Indicator2 indicator; // minSeriesLength = 64
+    const Indicator2Result r =
+        indicator.scoreOscillation(uniformRuns(4, 8)); // 32 events
+    EXPECT_EQ(r.samples, 32u);
+    EXPECT_EQ(r.score, 0.0);
+}
+
+TEST(Indicator2Test, OscillationStatisticIsExact)
+{
+    // 16 alternating runs of 8 → median run 8, balance 1 →
+    // raw = 64; runScale 64 squashes to exactly 0.5.
+    Indicator2Params params;
+    params.runScale = 64.0;
+    const Indicator2 indicator(params);
+    const Indicator2Result r =
+        indicator.scoreOscillation(uniformRuns(8, 16));
+    EXPECT_DOUBLE_EQ(r.rawStatistic, 64.0);
+    EXPECT_DOUBLE_EQ(r.score, 0.5);
+    EXPECT_EQ(r.samples, 128u);
+}
+
+TEST(Indicator2Test, OscillationBalanceSuppressesOneSidedSeries)
+{
+    // One huge run of a single label is not communication: the
+    // 4p(1-p) balance factor zeroes a constant series outright.
+    const Indicator2 indicator;
+    const std::vector<double> constant(256, 1.0);
+    EXPECT_EQ(indicator.scoreOscillation(constant).score, 0.0);
+}
+
+} // namespace
+} // namespace cchunter

@@ -40,7 +40,8 @@ TEST(LabelledCorpusTest, CovertFlagFollowsCategory)
     for (const LabelledScenario& entry : buildLabelledCorpus()) {
         const bool channel =
             entry.category == CorpusCategory::CleanChannel ||
-            entry.category == CorpusCategory::DegradedChannel;
+            entry.category == CorpusCategory::DegradedChannel ||
+            entry.category == CorpusCategory::EvasiveChannel;
         EXPECT_EQ(entry.covert, channel) << entry.name;
         // Channel entries carry a channel workload; negatives always
         // run the benign pair.
@@ -66,7 +67,7 @@ TEST(LabelledCorpusTest, CoversAllRegisteredUnitsAndAllCategories)
         else
             negatives.insert(entry.audit.benignUnits);
     }
-    EXPECT_EQ(categories.size(), 4u);
+    EXPECT_EQ(categories.size(), 5u);
     // Every registered unit has at least one clean positive.
     for (const UnitDescriptor& unit :
          UnitRegistry::instance().descriptors())

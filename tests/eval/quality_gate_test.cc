@@ -32,6 +32,7 @@ perfectReport()
     unit.cleanTp = 2;
     unit.tn = 2;
     unit.auc = 1.0;
+    unit.auc2 = 1.0;
     report.units.push_back(unit);
     return report;
 }
@@ -149,4 +150,91 @@ TEST(QualityGateTest, DeliberatelyWeakenedDetectorTripsTheGate)
         EXPECT_EQ(unit.cleanTp, 0u) << monitorTargetName(unit.unit);
         EXPECT_EQ(unit.fp, 0u) << monitorTargetName(unit.unit);
     }
+}
+
+namespace
+{
+
+/** Append one strategy's classic/indicator2 head-to-head rows. */
+void
+addEvasionRows(QualityReport& report, EvasionStrategy strategy,
+               double classicAuc, double indicator2Auc)
+{
+    EvasionQuality classic;
+    classic.strategy = strategy;
+    classic.backend = DetectBackend::CCHunter;
+    classic.positives = 5;
+    classic.negatives = 7;
+    classic.auc = classicAuc;
+    EvasionQuality second = classic;
+    second.backend = DetectBackend::Indicator2;
+    second.auc = indicator2Auc;
+    report.evasion.push_back(classic);
+    report.evasion.push_back(second);
+}
+
+} // namespace
+
+TEST(QualityGateTest, HealthyEvasionHeadToHeadPasses)
+{
+    QualityReport report = perfectReport();
+    addEvasionRows(report, EvasionStrategy::RandomGaps, 1.0, 1.0);
+    addEvasionRows(report, EvasionStrategy::LowAndSlow, 0.675, 1.0);
+    const QualityGateResult verdict =
+        evaluateQualityGate(report, {});
+    EXPECT_TRUE(verdict.pass) << [&] {
+        std::string all;
+        for (const std::string& f : verdict.failures)
+            all += f + "; ";
+        return all;
+    }();
+}
+
+TEST(QualityGateTest, Indicator2EvasionAucBelowFloorFails)
+{
+    QualityReport report = perfectReport();
+    addEvasionRows(report, EvasionStrategy::LowAndSlow, 0.675, 0.9);
+    const QualityGateResult verdict =
+        evaluateQualityGate(report, {});
+    EXPECT_FALSE(verdict.pass);
+    EXPECT_TRUE(mentions(verdict, "evasion/lowslow"));
+    EXPECT_TRUE(mentions(verdict, "indicator2 AUC"));
+}
+
+TEST(QualityGateTest, CorpusThatNoLongerEvadesFails)
+{
+    // Both backends acing every strategy means the attacker side of
+    // the arms race rotted: the gate must refuse the hollow victory.
+    QualityReport report = perfectReport();
+    addEvasionRows(report, EvasionStrategy::RandomGaps, 1.0, 1.0);
+    addEvasionRows(report, EvasionStrategy::DutyCycle, 1.0, 1.0);
+    addEvasionRows(report, EvasionStrategy::LowAndSlow, 1.0, 1.0);
+    const QualityGateResult verdict =
+        evaluateQualityGate(report, {});
+    EXPECT_FALSE(verdict.pass);
+    EXPECT_TRUE(mentions(verdict, "no longer evades"));
+}
+
+TEST(QualityGateTest, EvasionMarginBelowFloorFails)
+{
+    QualityReport report = perfectReport();
+    addEvasionRows(report, EvasionStrategy::LowAndSlow, 0.94, 0.995);
+    const QualityGateResult verdict =
+        evaluateQualityGate(report, {});
+    EXPECT_FALSE(verdict.pass);
+    EXPECT_TRUE(mentions(verdict, "margin"));
+}
+
+TEST(QualityGateTest, Indicator2CleanAucRegressionFails)
+{
+    // The other half of the arms-race claim: indicator2 must MATCH the
+    // classic backend on the clean corpus, not trade it away.
+    QualityReport report = perfectReport();
+    report.units[0].auc2 = 0.9;
+    QualityGateParams params;
+    params.baselineAuc = {{"bus", 1.0}};
+    const QualityGateResult verdict =
+        evaluateQualityGate(report, params);
+    EXPECT_FALSE(verdict.pass);
+    EXPECT_TRUE(mentions(verdict, "indicator2 clean AUC"));
 }

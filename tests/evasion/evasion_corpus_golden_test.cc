@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Golden pins of the evasion-extended corpus.  The detection-quality
+ * baseline is only meaningful while the corpus underneath it stays
+ * put, so this file pins the extended corpus' shape — entry count,
+ * the evasive names and labels, the position-derived seeds — and the
+ * scorer's byte-identical-JSON contract across analysis thread
+ * counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "eval/quality_scorer.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+/** The evasive tail of the default corpus, in corpus order. */
+const std::vector<std::string> kEvasiveNames = {
+    "evasive/gaps/bus",       "evasive/gaps/divider",
+    "evasive/gaps/multiplier", "evasive/gaps/cache",
+    "evasive/gaps/tlb",       "evasive/duty/bus",
+    "evasive/duty/divider",   "evasive/duty/multiplier",
+    "evasive/duty/cache",     "evasive/duty/tlb",
+    "evasive/lowslow/bus",    "evasive/lowslow/divider",
+    "evasive/lowslow/multiplier", "evasive/lowslow/cache",
+    "evasive/lowslow/tlb",
+};
+
+TEST(EvasionCorpusGoldenTest, ExtendedCorpusShapeIsPinned)
+{
+    const auto corpus = buildLabelledCorpus();
+    ASSERT_EQ(corpus.size(), 39u);
+    // The evasive axis is appended after every older entry, so the
+    // pre-evasion corpus (and its position-derived seeds) stays
+    // bit-identical to the previous baseline.
+    const std::size_t first = corpus.size() - kEvasiveNames.size();
+    for (std::size_t i = 0; i < kEvasiveNames.size(); ++i) {
+        const LabelledScenario& entry = corpus[first + i];
+        EXPECT_EQ(entry.name, kEvasiveNames[i]);
+        EXPECT_EQ(entry.category, CorpusCategory::EvasiveChannel);
+        EXPECT_TRUE(entry.covert) << entry.name;
+        EXPECT_EQ(entry.strategy,
+                  entry.audit.scenario.evasion.strategy)
+            << entry.name;
+        EXPECT_NE(entry.strategy, EvasionStrategy::None)
+            << entry.name;
+    }
+    for (std::size_t i = 0; i < first; ++i)
+        EXPECT_EQ(corpus[i].strategy, EvasionStrategy::None)
+            << corpus[i].name;
+}
+
+TEST(EvasionCorpusGoldenTest, SeedsStayPositionDerived)
+{
+    CorpusOptions options;
+    options.seed = 42;
+    const auto corpus = buildLabelledCorpus(options);
+    for (std::size_t i = 0; i < corpus.size(); ++i)
+        EXPECT_EQ(corpus[i].audit.scenario.seed,
+                  options.seed + 1000 * (i + 1))
+            << corpus[i].name;
+    // The shared evasion jitter seed derives from the base seed too.
+    for (const LabelledScenario& entry : corpus) {
+        if (entry.strategy != EvasionStrategy::None) {
+            EXPECT_EQ(entry.audit.scenario.evasion.seed,
+                      options.seed + 77)
+                << entry.name;
+        }
+    }
+}
+
+TEST(EvasionCorpusGoldenTest, StrategyLabelOnlyOnEvasiveEntries)
+{
+    for (const LabelledScenario& entry : buildLabelledCorpus()) {
+        const Config label = entry.label();
+        if (entry.strategy == EvasionStrategy::None) {
+            // Older entries' label dumps must stay byte-identical to
+            // the pre-arms-race corpus: no stray strategy key.
+            EXPECT_FALSE(label.has("corpus.strategy")) << entry.name;
+            continue;
+        }
+        EXPECT_EQ(label.getString("corpus.strategy"),
+                  evasionStrategyName(entry.strategy))
+            << entry.name;
+        EXPECT_EQ(label.getString("corpus.category"), "evasive")
+            << entry.name;
+    }
+}
+
+TEST(EvasionCorpusGoldenTest, ScoringJsonIsThreadCountInvariant)
+{
+    // The full report (including the evasion head-to-head section)
+    // must not depend on the analysis fan-out.
+    CorpusOptions corpus;
+    corpus.contentionBandwidths = {10000.0};
+    corpus.cacheBandwidths = {1000.0};
+    corpus.includeDegraded = false;
+    corpus.includeAdversarial = false;
+    QualityScorerOptions serial;
+    serial.analysisThreads = 1;
+    QualityScorerOptions fanned;
+    fanned.analysisThreads =
+        std::max(2u, std::thread::hardware_concurrency());
+    const std::string a =
+        scoreCorpus(buildLabelledCorpus(corpus), serial).toJson();
+    const std::string b =
+        scoreCorpus(buildLabelledCorpus(corpus), fanned).toJson();
+    EXPECT_EQ(a, b);
+    // And the evasion section is actually in the report.
+    EXPECT_NE(a.find("\"evasion\""), std::string::npos);
+}
+
+} // namespace
+} // namespace cchunter

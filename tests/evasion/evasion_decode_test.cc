@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Differential decode guarantee of the evasive corpus: evading the
+ * detector must not break the channel.  Every evasive entry still has
+ * to deliver its payload through the spy's decoder — otherwise the
+ * arms race is vacuous (an undetectable channel that transmits nothing
+ * is just silence) — and the link-layer protocol adversary has to
+ * survive each evasive schedule too.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "eval/labelled_corpus.hh"
+#include "scenario/experiment.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+/** Pinned payload-BER ceiling of the evasive corpus.  Most entries
+ *  decode perfectly; the jittered TLB schedule loses one wire slot in
+ *  eight (0.125), so the ceiling sits just above it. */
+constexpr double kBerCeiling = 0.15;
+
+void
+expectStrategyDecodes(EvasionStrategy strategy)
+{
+    std::size_t entries = 0;
+    for (const LabelledScenario& entry : buildLabelledCorpus()) {
+        if (entry.strategy != strategy)
+            continue;
+        ++entries;
+        const OnlineAuditResult r = runOnlineAudit(entry.audit);
+        EXPECT_TRUE(r.channel.present) << entry.name;
+        EXPECT_LE(r.channel.payloadBitErrorRate, kBerCeiling)
+            << entry.name;
+    }
+    // One evasive positive per registered unit.
+    EXPECT_EQ(entries, 5u);
+}
+
+TEST(EvasionDecodeTest, RandomGapsStillDecodeOnEveryUnit)
+{
+    expectStrategyDecodes(EvasionStrategy::RandomGaps);
+}
+
+TEST(EvasionDecodeTest, DutyCycleStillDecodesOnEveryUnit)
+{
+    expectStrategyDecodes(EvasionStrategy::DutyCycle);
+}
+
+TEST(EvasionDecodeTest, LowAndSlowStillDecodesOnEveryUnit)
+{
+    expectStrategyDecodes(EvasionStrategy::LowAndSlow);
+}
+
+TEST(EvasionDecodeTest, ProtocolLayerSurvivesEvasiveSchedules)
+{
+    // The protocol adversary frames and forward-error-corrects the
+    // wire bits; an evasive schedule only moves WHEN those bits go
+    // out, so the payload must still come through under it.  The run
+    // has to cover the full ~96-bit frame burst, so it uses the
+    // protocol operating point (ten wire bits per quantum) instead of
+    // the corpus's one-bit-per-quantum rate, with the low-and-slow
+    // stretch compensated by a longer run.
+    for (const LabelledScenario& entry : buildLabelledCorpus()) {
+        if (entry.strategy == EvasionStrategy::None ||
+            entry.audit.workload != AuditedWorkload::Tlb)
+            continue;
+        OnlineAuditOptions options = entry.audit;
+        options.scenario.protocol.enabled = true;
+        options.scenario.bandwidthBps = 10000.0;
+        options.scenario.message = Message::fromBits(
+            {true, false, true, true, false, false, true, false});
+        options.scenario.quanta = 12;
+        if (entry.strategy == EvasionStrategy::LowAndSlow)
+            options.scenario.quanta *=
+                options.scenario.evasion.stretch;
+        options.online.retentionQuanta = options.scenario.quanta;
+        const OnlineAuditResult r = runOnlineAudit(options);
+        EXPECT_TRUE(r.channel.present) << entry.name;
+        EXPECT_LE(r.channel.payloadBitErrorRate, kBerCeiling)
+            << entry.name << " under protocol";
+    }
+}
+
+} // namespace
+} // namespace cchunter

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Fuzz-style negative tests of the arms-race configuration surface:
+ * every malformed EvasionPlan knob and every unknown detect.backend
+ * name must die with a message that names the offending key and the
+ * valid range, never silently clamp or misparse.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "channels/evasion.hh"
+#include "detect/detector.hh"
+#include "util/config.hh"
+
+namespace cchunter
+{
+namespace
+{
+
+/** Run fn, which should fatal(); return its message ("" if it ran). */
+template <typename Fn>
+std::string
+fatalMessageOf(Fn&& fn)
+{
+    try {
+        fn();
+    } catch (const std::runtime_error& e) {
+        return e.what();
+    }
+    return "";
+}
+
+bool
+contains(const std::string& haystack, const std::string& needle)
+{
+    return haystack.find(needle) != std::string::npos;
+}
+
+TEST(EvasionNegativeTest, GapJitterOutsideUnitIntervalIsFatal)
+{
+    for (const double bad : {-0.1, 1.0001, 7.0}) {
+        EvasionPlan plan;
+        plan.gapJitter = bad;
+        const std::string message =
+            fatalMessageOf([&] { plan.validate(); });
+        EXPECT_TRUE(contains(message, "gap_jitter")) << message;
+        EXPECT_TRUE(contains(message, "[0, 1]")) << message;
+    }
+}
+
+TEST(EvasionNegativeTest, DutyRangeOutsideHalfOpenIntervalIsFatal)
+{
+    EvasionPlan plan;
+    plan.dutyMin = 0.0;
+    EXPECT_TRUE(contains(fatalMessageOf([&] { plan.validate(); }),
+                         "duty_min"));
+    plan = {};
+    plan.dutyMax = 1.5;
+    EXPECT_TRUE(contains(fatalMessageOf([&] { plan.validate(); }),
+                         "duty_max"));
+    plan = {};
+    plan.dutyMin = 0.8;
+    plan.dutyMax = 0.4;
+    const std::string crossed =
+        fatalMessageOf([&] { plan.validate(); });
+    EXPECT_TRUE(contains(crossed, "exceeds duty_max")) << crossed;
+}
+
+TEST(EvasionNegativeTest, ZeroStretchIsFatal)
+{
+    EvasionPlan plan;
+    plan.stretch = 0;
+    EXPECT_TRUE(contains(fatalMessageOf([&] { plan.validate(); }),
+                         "stretch"));
+}
+
+TEST(EvasionNegativeTest, UnknownStrategyNameIsFatalAndListsValid)
+{
+    const std::string message = fatalMessageOf(
+        [] { evasionStrategyFromName("quiet"); });
+    EXPECT_TRUE(contains(message, "quiet")) << message;
+    EXPECT_TRUE(contains(message, "valid: none, gaps, duty, lowslow"))
+        << message;
+    // The happy path round-trips every strategy.
+    for (const EvasionStrategy s :
+         {EvasionStrategy::None, EvasionStrategy::RandomGaps,
+          EvasionStrategy::DutyCycle, EvasionStrategy::LowAndSlow})
+        EXPECT_EQ(evasionStrategyFromName(evasionStrategyName(s)), s);
+}
+
+TEST(EvasionNegativeTest, MalformedPlanConfigIsFatal)
+{
+    Config cfg;
+    cfg.set("evasion.strategy", std::string("gaps"));
+    cfg.set("evasion.gap_jitter", 2.0);
+    EXPECT_TRUE(contains(
+        fatalMessageOf([&] { EvasionPlan::fromConfig(cfg); }),
+        "gap_jitter"));
+    Config unknown;
+    unknown.set("evasion.strategy", std::string("burst"));
+    EXPECT_TRUE(contains(
+        fatalMessageOf([&] { EvasionPlan::fromConfig(unknown); }),
+        "unknown evasion strategy"));
+}
+
+TEST(EvasionNegativeTest, PlanConfigRoundTrips)
+{
+    EvasionPlan plan;
+    plan.strategy = EvasionStrategy::DutyCycle;
+    plan.seed = 99;
+    plan.gapJitter = 0.5;
+    plan.dutyMin = 0.3;
+    plan.dutyMax = 0.6;
+    plan.stretch = 4;
+    Config cfg;
+    plan.toConfig(cfg);
+    const EvasionPlan back = EvasionPlan::fromConfig(cfg);
+    EXPECT_EQ(back.strategy, plan.strategy);
+    EXPECT_EQ(back.seed, plan.seed);
+    EXPECT_DOUBLE_EQ(back.gapJitter, plan.gapJitter);
+    EXPECT_DOUBLE_EQ(back.dutyMin, plan.dutyMin);
+    EXPECT_DOUBLE_EQ(back.dutyMax, plan.dutyMax);
+    EXPECT_EQ(back.stretch, plan.stretch);
+}
+
+TEST(EvasionNegativeTest, UnknownDetectBackendIsFatalAndListsValid)
+{
+    const std::string message =
+        fatalMessageOf([] { detectBackendFromName("bayes"); });
+    EXPECT_TRUE(contains(message, "bayes")) << message;
+    EXPECT_TRUE(contains(message, "valid: cchunter, indicator2"))
+        << message;
+    EXPECT_EQ(detectBackendFromName("cchunter"),
+              DetectBackend::CCHunter);
+    EXPECT_EQ(detectBackendFromName("indicator2"),
+              DetectBackend::Indicator2);
+}
+
+TEST(EvasionNegativeTest, DuplicateConfigKeysAreFatal)
+{
+    const char* argv[] = {"prog", "evasion.stretch=4",
+                          "evasion.stretch=8"};
+    const std::string message = fatalMessageOf(
+        [&] { Config::fromArgs(3, argv); });
+    EXPECT_TRUE(contains(message, "duplicate config key")) << message;
+    EXPECT_TRUE(contains(message, "evasion.stretch")) << message;
+}
+
+} // namespace
+} // namespace cchunter
